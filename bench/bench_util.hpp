@@ -1,0 +1,29 @@
+// Shared helpers for the figure/table benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/platform.hpp"
+
+namespace armbar::bench {
+
+/// Standard bench banner: what paper artifact this regenerates.
+inline void banner(const std::string& id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("metric: simulated cycles at the platform clock; shapes (who\n");
+  std::printf("wins, crossovers) are the reproduction target, not absolutes.\n");
+  std::printf("==============================================================\n\n");
+}
+
+/// A PASS/FAIL qualitative check line, e.g. the paper's claimed orderings.
+inline bool check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok;
+}
+
+inline double ratio(double a, double b) { return b == 0 ? 0.0 : a / b; }
+
+}  // namespace armbar::bench

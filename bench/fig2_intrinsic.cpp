@@ -1,0 +1,65 @@
+// Figure 2 — intrinsic overhead of barriers (no memory operations on the
+// critical path), one sub-table per platform, throughput in 10^6 loops/s.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "simprog/abstract_model.hpp"
+
+using namespace armbar;
+using namespace armbar::simprog;
+
+int main() {
+  bench::banner("Figure 2", "intrinsic overhead of barriers (no memory ops)");
+
+  const std::vector<OrderChoice> kBarriers = {
+      OrderChoice::kNone, OrderChoice::kDmbFull, OrderChoice::kDmbLd,
+      OrderChoice::kDmbSt, OrderChoice::kDsbFull, OrderChoice::kDsbLd,
+      OrderChoice::kDsbSt, OrderChoice::kIsb};
+  constexpr std::uint32_t kIters = 2000;
+
+  bool ok = true;
+  for (const auto& spec : sim::all_platforms()) {
+    const std::vector<std::uint32_t> nop_counts =
+        spec.name == "kunpeng916" ? std::vector<std::uint32_t>{10, 30, 50}
+                                  : std::vector<std::uint32_t>{10, 30, 50, 100};
+    TextTable t("Fig 2 (" + spec.name + ") — throughput, 10^6 loops/s");
+    std::vector<std::string> hdr = {"barrier"};
+    for (auto n : nop_counts) hdr.push_back(std::to_string(n) + " nops");
+    t.header(hdr);
+
+    double none10 = 0, dmb10 = 0, isb10 = 0, dsb10 = 0;
+    double dmb_opts[3] = {}, dsb_opts[3] = {};
+    for (auto b : kBarriers) {
+      std::vector<std::string> row = {to_string(b)};
+      for (std::size_t i = 0; i < nop_counts.size(); ++i) {
+        Program p = make_intrinsic_model(b, nop_counts[i], kIters);
+        const double thr = run_single(spec, p, kIters) / 1e6;
+        row.push_back(TextTable::num(thr, 2));
+        if (i == 0) {
+          if (b == OrderChoice::kNone) none10 = thr;
+          if (b == OrderChoice::kDmbFull) { dmb10 = thr; dmb_opts[0] = thr; }
+          if (b == OrderChoice::kDmbLd) dmb_opts[1] = thr;
+          if (b == OrderChoice::kDmbSt) dmb_opts[2] = thr;
+          if (b == OrderChoice::kDsbFull) { dsb10 = thr; dsb_opts[0] = thr; }
+          if (b == OrderChoice::kDsbLd) dsb_opts[1] = thr;
+          if (b == OrderChoice::kDsbSt) dsb_opts[2] = thr;
+          if (b == OrderChoice::kIsb) isb10 = thr;
+        }
+      }
+      t.row(row);
+    }
+    t.print();
+
+    ok &= bench::check(dmb10 > 0.85 * none10,
+                       spec.name + ": DMB nearly free without memory ops (Obs 1)");
+    ok &= bench::check(dmb10 > isb10 && isb10 > dsb10,
+                       spec.name + ": DMB > ISB > DSB ordering (Obs 1)");
+    ok &= bench::check(
+        dmb_opts[1] > 0.9 * dmb_opts[0] && dmb_opts[2] > 0.9 * dmb_opts[0],
+        spec.name + ": DMB options equivalent without memory ops");
+    ok &= bench::check(
+        dsb_opts[1] > 0.9 * dsb_opts[0] && dsb_opts[2] > 0.9 * dsb_opts[0],
+        spec.name + ": DSB options equivalent");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// Figure 3 — two-store abstracted model: barrier choice x insertion
+// location x nop count, five configurations:
+//   (a) kunpeng916 same node   (b) kunpeng916 cross node
+//   (c) kirin960               (d) kirin970             (e) rpi4
+// Also prints the Figure 4 tipping-point check (DMB full-1 at half the
+// throughput of DMB full-2 when nops just cover the drain).
+#include <vector>
+
+#include "bench_util.hpp"
+#include "simprog/abstract_model.hpp"
+
+using namespace armbar;
+using namespace armbar::simprog;
+
+namespace {
+
+struct Variant {
+  OrderChoice choice;
+  BarrierLoc loc;
+  std::string label;
+};
+
+const std::vector<Variant> kVariants = {
+    {OrderChoice::kNone, BarrierLoc::kNone, "No Barrier"},
+    {OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full-1"},
+    {OrderChoice::kDmbFull, BarrierLoc::kLoc2, "DMB full-2"},
+    {OrderChoice::kDmbSt, BarrierLoc::kLoc1, "DMB st-1"},
+    {OrderChoice::kDmbSt, BarrierLoc::kLoc2, "DMB st-2"},
+    {OrderChoice::kDsbFull, BarrierLoc::kLoc1, "DSB full-1"},
+    {OrderChoice::kDsbFull, BarrierLoc::kLoc2, "DSB full-2"},
+    {OrderChoice::kDsbSt, BarrierLoc::kLoc1, "DSB st-1"},
+    {OrderChoice::kDsbSt, BarrierLoc::kLoc2, "DSB st-2"},
+    {OrderChoice::kStlr, BarrierLoc::kNone, "STLR"},
+};
+
+constexpr std::uint32_t kIters = 1500;
+
+struct Sweep {
+  std::string title;
+  sim::PlatformSpec spec;
+  CoreId c0, c1;
+  std::vector<std::uint32_t> nops;
+  std::size_t gap_idx;   ///< column where the X-1 vs X-2 gap is sharpest
+  std::size_t hide_idx;  ///< column with enough nops to hide DMB st
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 3", "store-store model under different configurations");
+
+  const std::vector<Sweep> sweeps = {
+      {"(a) kunpeng916, same NUMA node", sim::kunpeng916(), 0, 1,
+       {10, 150, 500, 700}, 1, 1},
+      {"(b) kunpeng916, cross NUMA nodes", sim::kunpeng916(), 0, 32,
+       {10, 150, 500, 700}, 3, 3},
+      {"(c) kirin960 big cluster", sim::kirin960(), 0, 1, {10, 30, 60, 100}, 1, 3},
+      {"(d) kirin970 big cluster", sim::kirin970(), 0, 1, {10, 30, 60, 100}, 1, 3},
+      {"(e) rpi4", sim::rpi4(), 0, 1, {10, 30, 60, 100}, 1, 3},
+  };
+
+  bool ok = true;
+  for (const auto& sw : sweeps) {
+    TextTable t("Fig 3 " + sw.title + " — throughput, 10^6 loops/s");
+    std::vector<std::string> hdr = {"variant"};
+    for (auto n : sw.nops) hdr.push_back(std::to_string(n) + " nops");
+    t.header(hdr);
+
+    // throughput[variant][nop index]
+    std::vector<std::vector<double>> thr(kVariants.size());
+    for (std::size_t v = 0; v < kVariants.size(); ++v) {
+      std::vector<std::string> row = {kVariants[v].label};
+      for (auto n : sw.nops) {
+        Program p = make_store_store_model(kVariants[v].choice, kVariants[v].loc,
+                                           n, kIters, kBufA, kBufB);
+        const double x = run_pair(sw.spec, p, kIters, sw.c0, sw.c1) / 1e6;
+        thr[v].push_back(x);
+        row.push_back(TextTable::num(x, 2));
+      }
+      t.row(row);
+    }
+    t.print();
+
+    // Qualitative checks. The X-1 vs X-2 gap is evaluated where it is
+    // sharpest (nops ~ the drain window); once nops greatly exceed the
+    // drain the gap closes by construction, as in the paper's plots.
+    const double none = thr[0][sw.hide_idx];
+    const double dmbfull1 = thr[1][sw.gap_idx], dmbfull2 = thr[2][sw.gap_idx];
+    const double dmbst1 = thr[3][sw.hide_idx];
+    const double dsbfull1 = thr[5][sw.gap_idx];
+    ok &= bench::check(dmbfull1 < 0.8 * dmbfull2,
+                       sw.title + ": barrier after the RMR costs more (Obs 2)");
+    ok &= bench::check(dmbst1 > 0.8 * none,
+                       sw.title + ": DMB st hides behind enough nops");
+    ok &= bench::check(dsbfull1 < dmbfull1 * 1.02,
+                       sw.title + ": DSB is the most expensive");
+  }
+
+  // Figure 4 check: at the tipping point DMB full-2 ~ No Barrier and
+  // DMB full-1 ~ half of DMB full-2 (same-node kunpeng916).
+  {
+    const auto spec = sim::kunpeng916();
+    const std::uint32_t tip = spec.lat.inv_local + spec.lat.sb_drain_delay + 20;
+    Program p0 = make_store_store_model(OrderChoice::kNone, BarrierLoc::kNone,
+                                        tip, kIters, kBufA, kBufB);
+    Program p1 = make_store_store_model(OrderChoice::kDmbFull, BarrierLoc::kLoc1,
+                                        tip, kIters, kBufA, kBufB);
+    Program p2 = make_store_store_model(OrderChoice::kDmbFull, BarrierLoc::kLoc2,
+                                        tip, kIters, kBufA, kBufB);
+    const double none = run_pair(spec, p0, kIters, 0, 1);
+    const double l1 = run_pair(spec, p1, kIters, 0, 1);
+    const double l2 = run_pair(spec, p2, kIters, 0, 1);
+    std::printf("\nFigure 4 tipping point (%u nops, kunpeng916 same node):\n", tip);
+    std::printf("  No Barrier %.2f, DMB full-2 %.2f, DMB full-1 %.2f (10^6 loops/s)\n",
+                none / 1e6, l2 / 1e6, l1 / 1e6);
+    std::printf("  DMB full-1 / DMB full-2 = %.3f (paper: ~1/2)\n",
+                bench::ratio(l1, l2));
+    ok &= bench::check(l2 > 0.85 * none,
+                       "tipping: nops fully hide DMB full at location 2");
+    const double r = bench::ratio(l1, l2);
+    ok &= bench::check(r > 0.40 && r < 0.62,
+                       "tipping: DMB full-1 at ~half of DMB full-2 (Fig 4)");
+  }
+  return ok ? 0 : 1;
+}

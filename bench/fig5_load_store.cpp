@@ -1,0 +1,88 @@
+// Figure 5 — load + store abstracted model, threads on different NUMA
+// nodes of kunpeng916. Compares every order-preserving option including
+// the dependency idioms (Observation 6).
+#include <vector>
+
+#include "bench_util.hpp"
+#include "simprog/abstract_model.hpp"
+
+using namespace armbar;
+using namespace armbar::simprog;
+
+namespace {
+
+struct Variant {
+  OrderChoice choice;
+  BarrierLoc loc;
+  std::string label;
+};
+
+const std::vector<Variant> kVariants = {
+    {OrderChoice::kNone, BarrierLoc::kNone, "No Barrier"},
+    {OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full-1"},
+    {OrderChoice::kDmbFull, BarrierLoc::kLoc2, "DMB full-2"},
+    {OrderChoice::kDmbLd, BarrierLoc::kLoc1, "DMB ld-1"},
+    {OrderChoice::kDmbLd, BarrierLoc::kLoc2, "DMB ld-2"},
+    {OrderChoice::kDsbFull, BarrierLoc::kLoc1, "DSB full-1"},
+    {OrderChoice::kDsbFull, BarrierLoc::kLoc2, "DSB full-2"},
+    {OrderChoice::kDsbLd, BarrierLoc::kLoc1, "DSB ld-1"},
+    {OrderChoice::kDsbLd, BarrierLoc::kLoc2, "DSB ld-2"},
+    {OrderChoice::kLdar, BarrierLoc::kNone, "LDAR"},
+    {OrderChoice::kStlr, BarrierLoc::kNone, "STLR"},
+    {OrderChoice::kCtrlIsb, BarrierLoc::kNone, "CTRL+ISB"},
+    {OrderChoice::kCtrl, BarrierLoc::kNone, "CTRL"},
+    {OrderChoice::kDataDep, BarrierLoc::kNone, "DATA DEP"},
+    {OrderChoice::kAddrDep, BarrierLoc::kNone, "ADDR DEP"},
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5",
+                "load+store model, threads on different NUMA nodes (kunpeng916)");
+
+  const auto spec = sim::kunpeng916();
+  constexpr std::uint32_t kIters = 1500;
+  const std::vector<std::uint32_t> kNops = {300, 500};
+
+  TextTable t("Fig 5 — throughput, 10^6 loops/s (cross-node kunpeng916)");
+  std::vector<std::string> hdr = {"variant"};
+  for (auto n : kNops) hdr.push_back(std::to_string(n) + " nops");
+  t.header(hdr);
+
+  std::vector<std::vector<double>> thr(kVariants.size());
+  for (std::size_t v = 0; v < kVariants.size(); ++v) {
+    std::vector<std::string> row = {kVariants[v].label};
+    for (auto n : kNops) {
+      Program p = make_load_store_model(kVariants[v].choice, kVariants[v].loc, n,
+                                        kIters, kBufA, kBufB);
+      const double x = run_pair(spec, p, kIters, 0, 32) / 1e6;
+      thr[v].push_back(x);
+      row.push_back(TextTable::num(x, 2));
+    }
+    t.row(row);
+  }
+  t.note("X-1: barrier strictly after the RMR; X-2: after the nop block");
+  t.print();
+
+  // Indices into kVariants.
+  const double none = thr[0][0];
+  const double dmbfull1 = thr[1][0], dmbld1 = thr[3][0], dmbld2 = thr[4][0];
+  const double dsbfull1 = thr[5][0], dsbld1 = thr[7][0];
+  const double ldar = thr[9][0], stlr = thr[10][0];
+  const double ctrlisb = thr[11][0], ctrl = thr[12][0];
+  const double data = thr[13][0], addr = thr[14][0];
+
+  bool ok = true;
+  ok &= bench::check(data > 0.9 * none && addr > 0.9 * none && ctrl > 0.9 * none,
+                     "bogus dependencies nearly free (Obs 6)");
+  ok &= bench::check(dmbld2 > dmbld1 * 0.98 && dmbld1 > dmbfull1,
+                     "DMB ld cheaper than DMB full; X-1 exposed (Obs 2/6)");
+  ok &= bench::check(ldar > dmbfull1, "LDAR outperforms DMB full (Obs 6)");
+  ok &= bench::check(ctrlisb < ctrl && ctrlisb > dsbfull1,
+                     "CTRL+ISB pays the flush; still beats DSB");
+  ok &= bench::check(stlr <= dmbfull1 * 1.1,
+                     "STLR does not outperform stronger DMB full here (Obs 3)");
+  ok &= bench::check(dsbld1 < dmbld1, "DSB ld far costlier than DMB ld (Obs 5)");
+  return ok ? 0 : 1;
+}

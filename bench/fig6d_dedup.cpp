@@ -1,0 +1,112 @@
+// Figure 6(d) — dedup pipeline: lock-based queue (Q) vs lock-free ring
+// buffer (RB) vs ring buffer with Pilot (RB-P), three workload sizes.
+//
+// Two views are produced:
+//  1. the simulated channel protocols under pipeline-shaped traffic
+//     (producer computes, sends; consumer computes, receives) — this is
+//     where the paper's shape (RB-P >= Q, RB can lose to Q under
+//     contention) must hold;
+//  2. the real host pipeline (src/dedup) as an end-to-end correctness and
+//     throughput exercise (host is x86 and possibly single-core: those
+//     numbers validate the plumbing, not the ARM barrier effects).
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dedup/dedup.hpp"
+#include "simprog/prodcons.hpp"
+
+using namespace armbar;
+using namespace armbar::simprog;
+
+namespace {
+
+// Simulated stand-ins for the three channels, under stage-like work:
+//   Q    : DMB full - DMB full with extra per-message cost (lock acquire
+//          and release around each operation: modelled as the full-barrier
+//          combo plus two extra RMW lines via produce work)
+//   RB   : DMB ld - DMB st (the paper's lock-free ring)
+//   RB-P : Pilot ring
+struct SimPoint {
+  double q, rb, rbp;
+};
+
+SimPoint run_sim_channels(const sim::PlatformSpec& spec, CoreId prod,
+                          CoreId cons, std::uint32_t stage_work) {
+  constexpr std::uint32_t kMsgs = 1200;
+  SimPoint p{};
+  // Q: every push/pop does lock()+unlock() -> two more full barriers on
+  // the critical path than the ring.
+  auto q = run_prodcons(spec, {OrderChoice::kDmbFull, OrderChoice::kDmbFull, true},
+                        kMsgs, stage_work, prod, cons);
+  auto rb = run_prodcons(spec, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
+                         kMsgs, stage_work, prod, cons);
+  auto rbp = run_prodcons_pilot(spec, kMsgs, stage_work, prod, cons);
+  p.q = q.msgs_per_sec;
+  p.rb = rb.msgs_per_sec;
+  p.rbp = rbp.msgs_per_sec;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 6(d)", "dedup: Q vs RB vs RB-P across workloads");
+
+  bool ok = true;
+
+  // ---- simulated channel comparison (the reproduction target) ----
+  TextTable t("Fig 6(d) sim — normalized compress-stage throughput (Q = 1.00)");
+  t.header({"workload", "Q", "RB", "RB-P"});
+  struct W {
+    const char* name;
+    std::uint32_t stage_work;
+  };
+  // Larger inputs -> more per-chunk work between channel operations.
+  const std::vector<W> workloads = {{"Small", 60}, {"Middle", 120}, {"Large", 240}};
+  for (const auto& w : workloads) {
+    auto p = run_sim_channels(sim::kunpeng916(), 0, 1, w.stage_work);
+    t.row({w.name, "1.00", TextTable::num(p.rb / p.q, 2),
+           TextTable::num(p.rbp / p.q, 2)});
+    ok &= bench::check(p.rbp > p.q,
+                       std::string(w.name) + ": RB-P beats the lock-based queue");
+    ok &= bench::check(p.rbp >= p.rb,
+                       std::string(w.name) + ": Pilot does not lose to plain RB");
+  }
+  t.note("paper: RB sometimes under Q; RB-P ~ +10% over Q");
+  t.print();
+
+  // Pilot ring microbenchmark speedups (paper: 1.8x same node, 2.2x cross).
+  {
+    auto same = run_sim_channels(sim::kunpeng916(), 0, 1, 0);
+    auto cross = run_sim_channels(sim::kunpeng916(), 0, 32, 0);
+    const double g_same = bench::ratio(same.rbp, same.rb);
+    const double g_cross = bench::ratio(cross.rbp, cross.rb);
+    std::printf("  ring microbench: RB-P/RB same node %.2fx, cross nodes %.2fx\n",
+                g_same, g_cross);
+    std::printf("  (paper: 1.8x same node, 2.2x cross nodes)\n\n");
+    ok &= bench::check(g_same > 1.5 && g_cross > 1.5,
+                       "ring microbench: Pilot speedup large in both placements");
+  }
+
+  // ---- host pipeline (correctness + end-to-end exercise) ----
+  TextTable h("Host dedup pipeline (x86 host; validates the real code path)");
+  h.header({"workload", "channel", "MB/s", "unique", "dup", "ratio"});
+  const std::vector<std::pair<const char*, std::size_t>> sizes = {
+      {"Small", 1u << 20}, {"Middle", 2u << 20}, {"Large", 4u << 20}};
+  for (const auto& [name, bytes] : sizes) {
+    auto data = dedup::make_input(bytes, 0.5, 17);
+    for (auto kind : {dedup::ChannelKind::kLockQueue, dedup::ChannelKind::kRing,
+                      dedup::ChannelKind::kPilotRing}) {
+      auto r = dedup::run_pipeline(data, kind, /*verify=*/true);
+      h.row({name, dedup::to_string(kind),
+             TextTable::num(static_cast<double>(r.input_bytes) / 1e6 / r.seconds, 1),
+             std::to_string(r.unique_chunks), std::to_string(r.duplicate_chunks),
+             TextTable::num(static_cast<double>(r.input_bytes) /
+                                static_cast<double>(r.compressed_bytes), 2)});
+    }
+  }
+  h.note("round-trip verified (decompress + compare); see DESIGN.md for the");
+  h.note("host-vs-sim split: barrier effects are measured on the simulator");
+  h.print();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Figure 7(c) — applying Pilot to delegation locks: Ticket vs
+// DSynch(-P) vs FFWD(-P) as contention decreases (interval = 10^n x 128
+// nops between acquisitions).
+#include <vector>
+
+#include "bench_util.hpp"
+#include "simprog/locks_sim.hpp"
+
+using namespace armbar;
+using namespace armbar::simprog;
+
+int main() {
+  bench::banner("Figure 7(c)", "Pilot in delegation locks vs contention level");
+
+  const auto spec = sim::kunpeng916();
+  // interval = 10^n * 128 nops, n = 0..3 (the paper sweeps to 10^5; larger
+  // intervals only dilute further and cost simulated cycles).
+  const std::vector<std::uint32_t> intervals = {128, 1280, 12800, 128000};
+
+  TextTable t("Fig 7(c) — throughput, 10^6 ops/s (kunpeng916, 24 threads)");
+  t.header({"interval (nops)", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"});
+
+  bool ok = true;
+  double ds_gain_high = 0, ff_gain_high = 0, ds_gain_low = 0, ff_gain_low = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    LockWorkload w;
+    w.threads = 24;
+    w.iters = intervals[i] >= 12800 ? 12 : 40;
+    w.interval_nops = intervals[i];
+
+    auto ticket = run_ticket(spec, w, OrderChoice::kDmbFull);
+    auto ds = run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, 64});
+    auto dsp = run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, 64});
+    auto ff = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
+    auto ffp = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
+    if (!(ticket.correct && ds.correct && dsp.correct && ff.correct && ffp.correct)) {
+      std::printf("COUNTER MISMATCH at interval %u\n", intervals[i]);
+      return 1;
+    }
+    t.row({std::to_string(intervals[i]), TextTable::num(ticket.acq_per_sec / 1e6, 2),
+           TextTable::num(ds.acq_per_sec / 1e6, 2),
+           TextTable::num(dsp.acq_per_sec / 1e6, 2),
+           TextTable::num(ff.acq_per_sec / 1e6, 2),
+           TextTable::num(ffp.acq_per_sec / 1e6, 2)});
+    if (i == 0) {
+      ds_gain_high = bench::ratio(dsp.acq_per_sec, ds.acq_per_sec);
+      ff_gain_high = bench::ratio(ffp.acq_per_sec, ff.acq_per_sec);
+    }
+    if (i + 1 == intervals.size()) {
+      ds_gain_low = bench::ratio(dsp.acq_per_sec, ds.acq_per_sec);
+      ff_gain_low = bench::ratio(ffp.acq_per_sec, ff.acq_per_sec);
+    }
+  }
+  t.note("DSynch = CC-Synch combining lock (the paper's DSMSynch family)");
+  t.note("paper: +56% (DSynch-P) and +32% (FFWD-P) at high contention");
+  t.print();
+
+  std::printf("  high contention gains: DSynch-P %.2fx, FFWD-P %.2fx\n",
+              ds_gain_high, ff_gain_high);
+  std::printf("  low  contention gains: DSynch-P %.2fx, FFWD-P %.2fx\n",
+              ds_gain_low, ff_gain_low);
+  ok &= bench::check(ds_gain_high > 1.15,
+                     "DSynch-P gains significantly at high contention (paper: +56%)");
+  ok &= bench::check(ff_gain_high > 1.10,
+                     "FFWD-P gains significantly at high contention (paper: +32%)");
+  // Paper caveat not asserted: real FFWD batches responses into shared
+  // per-group response lines, which amortizes the line-7 barrier and caps
+  // FFWD-P's relative gain below DSynch-P's. Our per-client response slots
+  // do not model that batching, so the two gains are not ordered here.
+  ok &= bench::check(ds_gain_low > 0.9 && ff_gain_low > 0.9,
+                     "at low contention Pilot only falls back to par (no loss)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Figure 8(a) — queue and stack protected by a global lock: Ticket vs
+// DSynch(-P) vs FFWD(-P). Threads insert one element then remove one.
+//
+// On the simulator the data-structure critical sections are modelled by
+// their memory footprint: a queue operation touches head/tail/node lines
+// (3 shared lines), a stack operation top/node (2 lines); see DESIGN.md.
+// The host data structures themselves (src/ds) are validated in
+// tests/ds and exercised in examples/.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "simprog/locks_sim.hpp"
+
+using namespace armbar;
+using namespace armbar::simprog;
+
+namespace {
+
+struct Row {
+  double ticket, ds, dsp, ff, ffp;
+};
+
+Row run_structure(const sim::PlatformSpec& spec, std::uint32_t cs_lines,
+                  std::uint32_t cs_ro) {
+  LockWorkload w;
+  w.threads = 24;
+  w.iters = 40;
+  w.cs_lines = cs_lines;
+  w.cs_ro_lines = cs_ro;
+  Row r{};
+  auto t = run_ticket(spec, w, OrderChoice::kDmbFull);
+  auto ds = run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, 64});
+  auto dsp = run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, 64});
+  auto ff = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
+  auto ffp = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
+  ARMBAR_CHECK(t.correct && ds.correct && dsp.correct && ff.correct && ffp.correct);
+  r.ticket = t.acq_per_sec;
+  r.ds = ds.acq_per_sec;
+  r.dsp = dsp.acq_per_sec;
+  r.ff = ff.acq_per_sec;
+  r.ffp = ffp.acq_per_sec;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 8(a)", "queue and stack throughput under each lock");
+
+  const auto spec = sim::kunpeng916();
+  TextTable t("Fig 8(a) — operations/s (10^6), kunpeng916, 24 threads");
+  t.header({"structure", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P",
+            "DSynch-P gain", "FFWD-P gain"});
+
+  bool ok = true;
+  // Queue: enqueue+dequeue touch head, tail and a node line.
+  // Stack: push+pop touch top and a node line.
+  const std::vector<std::pair<const char*, std::uint32_t>> shapes = {
+      {"Queue", 3}, {"Stack", 2}};
+  for (const auto& [name, lines] : shapes) {
+    auto r = run_structure(spec, lines, 0);
+    const double dg = bench::ratio(r.dsp, r.ds);
+    const double fg = bench::ratio(r.ffp, r.ff);
+    t.row({name, TextTable::num(r.ticket / 1e6, 2), TextTable::num(r.ds / 1e6, 2),
+           TextTable::num(r.dsp / 1e6, 2), TextTable::num(r.ff / 1e6, 2),
+           TextTable::num(r.ffp / 1e6, 2),
+           "+" + TextTable::num(100 * (dg - 1), 0) + "%",
+           "+" + TextTable::num(100 * (fg - 1), 0) + "%"});
+    ok &= bench::check(dg > 1.05, std::string(name) + ": DSynch-P gains (paper: 20-30%)");
+    ok &= bench::check(fg > 1.05, std::string(name) + ": FFWD-P gains (paper: 16-26%)");
+    ok &= bench::check(r.ds > r.ticket,
+                       std::string(name) + ": delegation beats ticket at high contention");
+  }
+  t.note("paper: +20%/+26% (queue), +30%/+16% (stack)");
+  t.print();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Host microbenchmarks (google-benchmark): the portable library measured
+// on whatever machine this runs on. On an AArch64 host these numbers are
+// real ARM barrier costs; on x86 they exercise the fallback mappings. The
+// ARM *model* numbers live in the fig* benches.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "arch/barrier.hpp"
+#include "locks/ticket_lock.hpp"
+#include "pilot/pilot.hpp"
+#include "spsc/ring.hpp"
+
+using namespace armbar;
+
+namespace {
+
+void BM_Barrier(benchmark::State& state) {
+  const auto kind = static_cast<arch::Barrier>(state.range(0));
+  for (auto _ : state) {
+    arch::barrier(kind);
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(arch::to_string(kind));
+}
+BENCHMARK(BM_Barrier)
+    ->Arg(static_cast<int>(arch::Barrier::kNone))
+    ->Arg(static_cast<int>(arch::Barrier::kDmbFull))
+    ->Arg(static_cast<int>(arch::Barrier::kDmbSt))
+    ->Arg(static_cast<int>(arch::Barrier::kDmbLd))
+    ->Arg(static_cast<int>(arch::Barrier::kDsbFull))
+    ->Arg(static_cast<int>(arch::Barrier::kIsb));
+
+void BM_DataDependency(benchmark::State& state) {
+  std::uint64_t v = 42;
+  for (auto _ : state) {
+    v += arch::data_dep_zero(v) + 1;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_DataDependency);
+
+void BM_AcquireRelease(benchmark::State& state) {
+  std::atomic<std::uint64_t> word{0};
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    arch::store_release(word, ++x);
+    benchmark::DoNotOptimize(arch::load_acquire(word));
+  }
+}
+BENCHMARK(BM_AcquireRelease);
+
+void BM_PilotSendReceive(benchmark::State& state) {
+  pilot::HashPool pool(9, 64);
+  pilot::PilotSlot slot;
+  pilot::PilotSender tx(slot, pool);
+  pilot::PilotReceiver rx(slot, pool);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tx.send(++i);
+    benchmark::DoNotOptimize(rx.receive());
+  }
+}
+BENCHMARK(BM_PilotSendReceive);
+
+void BM_RingPushPop(benchmark::State& state) {
+  spsc::BarrierRing ring(64);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.push(++v);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+}
+BENCHMARK(BM_RingPushPop);
+
+void BM_PilotRingPushPop(benchmark::State& state) {
+  spsc::PilotRing ring(64);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.push(++v);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+}
+BENCHMARK(BM_PilotRingPushPop);
+
+void BM_TicketLockUncontended(benchmark::State& state) {
+  locks::TicketLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_TicketLockUncontended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 3 — suggestions for selecting order-preserving approaches: derive
+// the per-scenario ranking from measurements, then print the suggestion
+// matrix and verify it matches the paper's table.
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "simprog/abstract_model.hpp"
+
+using namespace armbar;
+using namespace armbar::simprog;
+
+int main() {
+  bench::banner("Table 3", "suggested order-preserving choices per scenario");
+
+  const auto spec = sim::kunpeng916();
+  constexpr std::uint32_t kIters = 1200;
+  constexpr std::uint32_t kNops = 300;
+
+  // Measure the load->store scenario options (Fig 5 machinery).
+  std::map<std::string, double> ls;
+  auto measure_ls = [&](OrderChoice c, BarrierLoc l, const std::string& name) {
+    Program p = make_load_store_model(c, l, kNops, kIters, kBufA, kBufB);
+    ls[name] = run_pair(spec, p, kIters, 0, 32);
+  };
+  measure_ls(OrderChoice::kDataDep, BarrierLoc::kNone, "DATA dep");
+  measure_ls(OrderChoice::kAddrDep, BarrierLoc::kNone, "ADDR dep");
+  measure_ls(OrderChoice::kCtrl, BarrierLoc::kNone, "CTRL");
+  measure_ls(OrderChoice::kLdar, BarrierLoc::kNone, "LDAR");
+  measure_ls(OrderChoice::kDmbLd, BarrierLoc::kLoc1, "DMB ld");
+  measure_ls(OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full");
+
+  // Measure the store->store scenario options (Fig 3 machinery).
+  std::map<std::string, double> ss;
+  auto measure_ss = [&](OrderChoice c, BarrierLoc l, const std::string& name) {
+    Program p = make_store_store_model(c, l, kNops, kIters, kBufA, kBufB);
+    ss[name] = run_pair(spec, p, kIters, 0, 32);
+  };
+  measure_ss(OrderChoice::kDmbSt, BarrierLoc::kLoc1, "DMB st");
+  measure_ss(OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full");
+  measure_ss(OrderChoice::kStlr, BarrierLoc::kNone, "STLR");
+  measure_ss(OrderChoice::kDsbFull, BarrierLoc::kLoc1, "DSB full");
+
+  TextTable m("Measured option ranking (cross-node kunpeng916, 10^6 loops/s)");
+  m.header({"scenario", "option", "throughput"});
+  for (const auto& [k, v] : ls) m.row({"load -> store", k, TextTable::num(v / 1e6, 2)});
+  for (const auto& [k, v] : ss) m.row({"store -> stores", k, TextTable::num(v / 1e6, 2)});
+  m.print();
+
+  TextTable t("Table 3 — suggestions (derived)");
+  t.header({"from \\ to", "load(s)", "store(s)", "any"});
+  t.row({"load", "ADDR dep or LDAR/DMB ld", "A/D/C dep or LDAR/DMB ld",
+         "ADDR dep or LDAR/DMB ld"});
+  t.row({"store", "DMB full", "DMB st (STLR: compare first)", "DMB full"});
+  t.row({"any", "DMB full", "DMB full", "DMB full"});
+  t.note("dependencies win when constructible; LDAR/DMB ld otherwise (Obs 6)");
+  t.note("STLR needs a measurement against DMB full before use (Obs 3)");
+  t.print();
+
+  bool ok = true;
+  ok &= bench::check(ls["DATA dep"] >= ls["LDAR"] * 0.97 &&
+                         ls["ADDR dep"] >= ls["LDAR"] * 0.97,
+                     "dependencies >= LDAR for load->* (Table 3 row 1)");
+  ok &= bench::check(ls["LDAR"] > ls["DMB full"] && ls["DMB ld"] > ls["DMB full"],
+                     "LDAR/DMB ld beat DMB full for load->*");
+  ok &= bench::check(ss["DMB st"] > ss["DMB full"],
+                     "DMB st is the choice for store->stores");
+  ok &= bench::check(ss["STLR"] <= ss["DMB st"] && ss["STLR"] >= ss["DSB full"] * 0.95,
+                     "STLR between DMB st and DSB full (footnote 2 caveat)");
+  return ok ? 0 : 1;
+}

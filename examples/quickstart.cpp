@@ -1,0 +1,97 @@
+// Quickstart: assemble a small program, run it on a simulated ARM server,
+// and see what one barrier choice costs.
+//
+//   $ ./quickstart
+//
+// Walks through the three core concepts: the assembler, the machine, and
+// the barrier cost model.
+#include <cstdio>
+
+#include "sim/machine.hpp"
+
+using namespace armbar;
+using namespace armbar::sim;
+
+namespace {
+
+// A message-passing producer: write data, [barrier], set the flag. The
+// prelude takes ownership of the flag line (it wrote flag = BUSY before),
+// which is what makes the flag store drain long before the data store.
+Program make_producer(Op barrier, unsigned skew) {
+  Asm a;
+  a.movi(X0, 0x1000);   // &data
+  a.movi(X1, 0x2000);   // &flag  (different cache line)
+  a.str(XZR, X1, 0);    // flag = BUSY: take M ownership of the flag line
+  a.nops(60 + skew);
+  a.movi(X2, 23);
+  a.str(X2, X0, 0);     // data = 23
+  if (barrier != Op::kNop) a.emit({barrier});
+  a.movi(X3, 1);
+  a.str(X3, X1, 0);     // flag = DONE
+  a.halt();
+  return a.take("producer");
+}
+
+// The consumer polls the flag and reads data in the same iteration.
+Program make_consumer() {
+  Asm a;
+  a.movi(X0, 0x1000);
+  a.movi(X1, 0x2000);
+  a.ldr(X9, X0, 0);     // warm a copy of data (so it can go stale)
+  a.label("poll");
+  a.ldr(X3, X1, 0);     // flag
+  a.ldr(X10, X0, 0);    // data
+  a.cbz(X3, "poll");
+  a.halt();
+  return a.take("consumer");
+}
+
+// Runs one producer/consumer pair; returns the data value the consumer
+// held when it saw the flag.
+std::uint64_t run_pair(Op barrier, unsigned skew, Cycle& cycles_out) {
+  Machine m(kunpeng916(), 1u << 20);
+  Program prod = make_producer(barrier, skew);
+  Program cons = make_consumer();
+  m.load_program(0, &prod);
+  m.load_program(32, &cons);  // other NUMA node
+  auto r = m.run();
+  cycles_out = r.cycles;
+  return m.core(32).reg(X10);
+}
+
+void run_once(Op barrier, const char* label) {
+  // Interleavings depend on relative timing; sweep a few start skews and
+  // report what was observed (the litmus harness does this systematically).
+  bool reordered = false;
+  Cycle cycles = 0;
+  std::uint64_t last = 0;
+  for (unsigned skew = 0; skew <= 64 && !reordered; skew += 4) {
+    last = run_pair(barrier, skew, cycles);
+    reordered = last != 23;
+  }
+  std::printf("  %-10s consumer saw data=%2llu (~%llu cycles)  %s\n", label,
+              static_cast<unsigned long long>(last),
+              static_cast<unsigned long long>(cycles),
+              reordered ? "<-- reordered! (WMM)" : "in order, every skew");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("armbar quickstart: message passing on a simulated ARM server\n");
+  std::printf("(kunpeng916 preset, producer and consumer on different NUMA nodes)\n\n");
+
+  std::printf("1. Without a barrier the flag can become visible before the data:\n");
+  run_once(Op::kNop, "none");
+
+  std::printf("\n2. DMB ishst orders the two stores (and shows its cost):\n");
+  run_once(Op::kDmbSt, "dmb ishst");
+
+  std::printf("\n3. The heavyweight options work too, at a price:\n");
+  run_once(Op::kDmbFull, "dmb ish");
+  run_once(Op::kDsbFull, "dsb ish");
+
+  std::printf("\nNext steps: bench/fig3_store_store sweeps this cost structure;\n");
+  std::printf("examples/pilot_channel.cpp removes the barrier entirely.\n");
+  return 0;
+}

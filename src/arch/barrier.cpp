@@ -1,0 +1,22 @@
+#include "arch/barrier.hpp"
+
+namespace armbar::arch {
+
+std::string to_string(Barrier b) {
+  switch (b) {
+    case Barrier::kNone: return "None";
+    case Barrier::kDmbFull: return "DMB full";
+    case Barrier::kDmbSt: return "DMB st";
+    case Barrier::kDmbLd: return "DMB ld";
+    case Barrier::kDsbFull: return "DSB full";
+    case Barrier::kDsbSt: return "DSB st";
+    case Barrier::kDsbLd: return "DSB ld";
+    case Barrier::kIsb: return "ISB";
+    case Barrier::kCtrlIsb: return "CTRL+ISB";
+    case Barrier::kDataDep: return "DATA dep";
+    case Barrier::kAddrDep: return "ADDR dep";
+  }
+  return "?";
+}
+
+}  // namespace armbar::arch

@@ -1,0 +1,137 @@
+// Portable order-preserving primitives (paper §2.2).
+//
+// On AArch64 these compile to the real instructions (DMB/DSB/ISB/LDAR/STLR
+// and dependency idioms). On other architectures they map to the strongest
+// cheap equivalent so that code written against this header is *correct*
+// everywhere and *fast* on ARM:
+//
+//   kind        aarch64          x86-64 fallback (TSO)
+//   ---------   --------------   --------------------------------------
+//   DMB full    dmb ish          mfence-equivalent (seq_cst fence)
+//   DMB st      dmb ishst        compiler fence (stores already ordered)
+//   DMB ld      dmb ishld        compiler fence (loads already ordered)
+//   DSB *       dsb ish          seq_cst fence (no x86 analogue of DSB)
+//   ISB         isb              compiler fence
+//
+// The simulator (src/sim) is the vehicle for *performance* statements; this
+// layer is the vehicle for running the same algorithms on real hardware.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace armbar::arch {
+
+/// Every order-preserving option the paper studies (§2.2), including
+/// "none" and the dependency idioms, so data structures can be
+/// parameterized by choice of approach.
+enum class Barrier : std::uint8_t {
+  kNone,
+  kDmbFull,
+  kDmbSt,
+  kDmbLd,
+  kDsbFull,
+  kDsbSt,
+  kDsbLd,
+  kIsb,
+  kCtrlIsb,   ///< bogus control dependency + ISB (load->load/store)
+  kDataDep,   ///< bogus data dependency (load->store)
+  kAddrDep,   ///< bogus address dependency (load->load/store)
+};
+
+std::string to_string(Barrier b);
+
+#if defined(__aarch64__)
+inline void dmb_full() { asm volatile("dmb ish" ::: "memory"); }
+inline void dmb_st() { asm volatile("dmb ishst" ::: "memory"); }
+inline void dmb_ld() { asm volatile("dmb ishld" ::: "memory"); }
+inline void dsb_full() { asm volatile("dsb ish" ::: "memory"); }
+inline void dsb_st() { asm volatile("dsb ishst" ::: "memory"); }
+inline void dsb_ld() { asm volatile("dsb ishld" ::: "memory"); }
+inline void isb() { asm volatile("isb" ::: "memory"); }
+#else
+inline void dmb_full() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+inline void dmb_st() { std::atomic_thread_fence(std::memory_order_release); }
+inline void dmb_ld() { std::atomic_thread_fence(std::memory_order_acquire); }
+inline void dsb_full() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+inline void dsb_st() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+inline void dsb_ld() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+inline void isb() { std::atomic_signal_fence(std::memory_order_seq_cst); }
+#endif
+
+/// Dynamic dispatch on the barrier choice; kNone and the dependency kinds
+/// are no-ops here (dependencies are constructed at the use site with the
+/// helpers below).
+inline void barrier(Barrier b) {
+  switch (b) {
+    case Barrier::kDmbFull: dmb_full(); break;
+    case Barrier::kDmbSt: dmb_st(); break;
+    case Barrier::kDmbLd: dmb_ld(); break;
+    case Barrier::kDsbFull: dsb_full(); break;
+    case Barrier::kDsbSt: dsb_st(); break;
+    case Barrier::kDsbLd: dsb_ld(); break;
+    case Barrier::kIsb:
+    case Barrier::kCtrlIsb: isb(); break;
+    case Barrier::kNone:
+    case Barrier::kDataDep:
+    case Barrier::kAddrDep: break;
+  }
+}
+
+/// Load-acquire of a 64-bit word.
+inline std::uint64_t load_acquire(const std::atomic<std::uint64_t>& v) {
+#if defined(__aarch64__)
+  std::uint64_t out;
+  asm volatile("ldar %0, %1" : "=r"(out) : "Q"(v) : "memory");
+  return out;
+#else
+  return v.load(std::memory_order_acquire);
+#endif
+}
+
+/// Store-release of a 64-bit word.
+inline void store_release(std::atomic<std::uint64_t>& v, std::uint64_t x) {
+#if defined(__aarch64__)
+  asm volatile("stlr %1, %0" : "=Q"(v) : "r"(x) : "memory");
+#else
+  v.store(x, std::memory_order_release);
+#endif
+}
+
+/// Bogus data dependency (paper §2.2): returns 0, but the compiler and the
+/// CPU must treat it as depending on `loaded`. Add it to a value about to
+/// be stored to order that store after the load of `loaded`.
+inline std::uint64_t data_dep_zero(std::uint64_t loaded) {
+  std::uint64_t z = loaded ^ loaded;
+  asm volatile("" : "+r"(z));  // opaque to the optimizer
+  return z;
+}
+
+/// Bogus address dependency: fold `data_dep_zero(loaded)` into a pointer.
+template <typename T>
+inline T* addr_dep(T* p, std::uint64_t loaded) {
+  return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) +
+                              data_dep_zero(loaded));
+}
+
+/// Bogus control dependency + ISB (load->load ordering, paper §2.2).
+inline void ctrl_isb(std::uint64_t loaded) {
+  if (data_dep_zero(loaded) != 0) {
+    // Never taken; exists only to form the control dependency.
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  }
+  isb();
+}
+
+/// True when the build targets AArch64 (i.e. the inline-asm paths above
+/// are active rather than the portable fallbacks).
+constexpr bool native_arm() {
+#if defined(__aarch64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace armbar::arch

@@ -1,0 +1,26 @@
+// Internal invariant checking. ARMBAR_CHECK stays on in release builds:
+// the simulator's correctness is the product, so we never silently continue
+// past a broken invariant.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace armbar::detail {
+[[noreturn]] inline void check_fail(const char* cond, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "ARMBAR_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace armbar::detail
+
+#define ARMBAR_CHECK(cond)                                                     \
+  do {                                                                         \
+    if (!(cond)) ::armbar::detail::check_fail(#cond, __FILE__, __LINE__, "");  \
+  } while (0)
+
+#define ARMBAR_CHECK_MSG(cond, msg)                                               \
+  do {                                                                            \
+    if (!(cond)) ::armbar::detail::check_fail(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)

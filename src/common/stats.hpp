@@ -1,0 +1,77 @@
+// Streaming statistics accumulator used by benches and the simulator's
+// per-core counters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace armbar {
+
+/// Accumulates samples; computes mean/stddev/min/max/percentiles.
+/// Percentiles retain all samples, so reserve() for large runs.
+class Stats {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+
+  double mean() const { return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size()); }
+
+  double stddev() const {
+    const auto n = static_cast<double>(samples_.size());
+    if (n < 2) return 0.0;
+    const double m = mean();
+    const double var = std::max(0.0, (sum_sq_ - n * m * m) / (n - 1));
+    return std::sqrt(var);
+  }
+
+  double min() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+  }
+  double max() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+  }
+
+  /// Nearest-rank percentile, p in [0,100].
+  double percentile(double p) const {
+    ensure_sorted();
+    if (samples_.empty()) return 0.0;
+    const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  void clear() {
+    samples_.clear();
+    sum_ = sum_sq_ = 0.0;
+    sorted_ = false;
+  }
+
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace armbar

@@ -1,0 +1,70 @@
+// Plain-text table printer. Every bench prints its figure/table with this so
+// output formatting is uniform and diffable (EXPERIMENTS.md embeds it).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace armbar {
+
+/// Column-aligned text table with a title and optional footnotes.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+  TextTable& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void note(std::string text) { notes_.push_back(std::move(text)); }
+
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  std::string str() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      if (cells.size() > width.size()) width.resize(cells.size(), 0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string{};
+        os << (i == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(width[i])) << c;
+      }
+      os << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto& r : rows_) emit(r);
+    for (const auto& n : notes_) os << "  * " << n << "\n";
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const { os << str() << std::endl; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace armbar

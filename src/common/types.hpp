@@ -1,0 +1,34 @@
+// Fundamental scalar types shared by every armbar module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace armbar {
+
+/// Simulated clock cycle count. 64 bits: benchmarks run for billions of
+/// cycles and must never wrap.
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Simulated core identifier (dense, 0-based).
+using CoreId = std::uint32_t;
+
+/// NUMA node identifier (dense, 0-based).
+using NodeId = std::uint32_t;
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kWordBytes = 8;
+
+/// Round an address down to its cache-line base.
+constexpr Addr line_of(Addr a) { return a & ~static_cast<Addr>(kCacheLineBytes - 1); }
+
+/// Round an address down to its 8-byte word base.
+constexpr Addr word_of(Addr a) { return a & ~static_cast<Addr>(kWordBytes - 1); }
+
+/// A cycle value that is later than any reachable simulation time.
+inline constexpr Cycle kNeverCycle = ~static_cast<Cycle>(0);
+
+}  // namespace armbar

@@ -1,0 +1,94 @@
+// A from-scratch dedup compression pipeline in the shape of PARSEC dedup
+// (paper §4.5, Fig 6d): chunk -> fingerprint/dedup -> compress -> gather,
+// with pipeline stages connected by swappable channels:
+//
+//   Q    - lock-protected queue (the original PARSEC communication buffer)
+//   RB   - lock-free SPSC ring buffer (the paper's replacement)
+//   RB-P - ring buffer with Pilot applied (the paper's optimized variant)
+//
+// File I/O is removed and output gathered in memory, as the paper does, so
+// the stage communication cost is what the benchmark exposes.
+//
+// WMM note: messages are chunk indices (by value); chunk payloads are
+// written by stage 1 and only *read* downstream, and each stage's own
+// fields are written long before the index is forwarded again, so the
+// by-reference window the paper warns about for site-1 barriers does not
+// arise in this pipeline shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "locks/ticket_lock.hpp"
+#include "spsc/ring.hpp"
+
+namespace armbar::dedup {
+
+/// Which channel implementation connects the pipeline stages.
+enum class ChannelKind : std::uint8_t {
+  kLockQueue,   ///< Q: lock-based queue
+  kRing,        ///< RB: lock-free ring buffer
+  kPilotRing,   ///< RB-P: ring buffer with Pilot applied
+};
+
+std::string to_string(ChannelKind k);
+
+/// SPSC channel of 64-bit tokens. kEof terminates the stream.
+class Channel {
+ public:
+  static constexpr std::uint64_t kEof = ~0ULL;
+  virtual ~Channel() = default;
+  virtual void send(std::uint64_t v) = 0;
+  virtual std::uint64_t recv() = 0;
+};
+
+std::unique_ptr<Channel> make_channel(ChannelKind kind, std::size_t capacity);
+
+/// One content-defined chunk moving through the pipeline.
+struct Chunk {
+  std::size_t offset = 0;       ///< into the input buffer
+  std::size_t length = 0;
+  std::uint64_t fingerprint = 0;  ///< stage 2
+  bool duplicate = false;         ///< stage 2
+  std::vector<std::uint8_t> compressed;  ///< stage 3 (unique chunks only)
+};
+
+/// Deterministic synthetic input with tunable redundancy: a stream built
+/// from a pool of segments, some repeated (dedup-friendly), some fresh.
+std::vector<std::uint8_t> make_input(std::size_t bytes, double duplicate_fraction,
+                                     std::uint64_t seed);
+
+/// Content-defined chunking via a rolling hash; min/avg/max bounds.
+std::vector<Chunk> chunk_input(const std::vector<std::uint8_t>& data,
+                               std::size_t min_chunk, std::size_t avg_chunk,
+                               std::size_t max_chunk);
+
+/// FNV-1a fingerprint of a byte range.
+std::uint64_t fingerprint(const std::uint8_t* p, std::size_t n);
+
+/// Byte-oriented LZ-style compressor (greedy match against a 4KB window)
+/// and its inverse; self-contained, deterministic.
+std::vector<std::uint8_t> compress(const std::uint8_t* p, std::size_t n);
+std::vector<std::uint8_t> decompress(const std::vector<std::uint8_t>& in);
+
+/// End-to-end pipeline result.
+struct PipelineResult {
+  std::size_t input_bytes = 0;
+  std::size_t unique_chunks = 0;
+  std::size_t duplicate_chunks = 0;
+  std::size_t compressed_bytes = 0;
+  double seconds = 0;            ///< wall time of the parallel section
+  std::uint64_t checksum = 0;    ///< over the reconstructed stream
+};
+
+/// Run the 4-stage pipeline (3 worker threads + the caller as stage 4)
+/// over `data` with the chosen channel kind. Verifies round-trip
+/// integrity (decompress + checksum) when `verify` is set.
+PipelineResult run_pipeline(const std::vector<std::uint8_t>& data,
+                            ChannelKind kind, bool verify = true);
+
+}  // namespace armbar::dedup

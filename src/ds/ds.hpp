@@ -1,0 +1,248 @@
+// Lock-protected data structures used by the paper's Fig 8 benchmarks:
+// queue, stack (global lock), sorted linked list (Synchrobench-style [16]),
+// and a hash table of per-bucket locked lists.
+//
+// Every operation is expressed as a CriticalFn so the same structure runs
+// under an in-place lock (ticket/MCS) or a delegation lock (FFWD/CC-Synch)
+// — that is exactly the comparison the paper draws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "locks/delegation.hpp"
+
+namespace armbar::ds {
+
+using locks::CriticalFn;
+using locks::Executor;
+
+/// FIFO queue of 64-bit values under a global Executor.
+class ConcurrentQueue {
+ public:
+  explicit ConcurrentQueue(Executor& ex) : ex_(ex) {}
+  ~ConcurrentQueue() {
+    std::uint64_t v;
+    while (dequeue(v)) {}
+  }
+  ConcurrentQueue(const ConcurrentQueue&) = delete;
+  ConcurrentQueue& operator=(const ConcurrentQueue&) = delete;
+
+  void enqueue(std::uint64_t v) {
+    auto* n = new Node{v, nullptr};
+    ex_.execute(&enqueue_cs, this, reinterpret_cast<std::uint64_t>(n));
+  }
+
+  /// Returns false when empty.
+  bool dequeue(std::uint64_t& out) {
+    const std::uint64_t r = ex_.execute(&dequeue_cs, this, 0);
+    if (r == kEmpty) return false;
+    auto* n = reinterpret_cast<Node*>(r);
+    out = n->value;
+    delete n;
+    return true;
+  }
+
+  std::size_t size_unlocked() const { return size_; }
+
+ private:
+  struct Node {
+    std::uint64_t value;
+    Node* next;
+  };
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  static std::uint64_t enqueue_cs(void* ctx, std::uint64_t arg) {
+    auto* q = static_cast<ConcurrentQueue*>(ctx);
+    auto* n = reinterpret_cast<Node*>(arg);
+    if (q->tail_ == nullptr) {
+      q->head_ = q->tail_ = n;
+    } else {
+      q->tail_->next = n;
+      q->tail_ = n;
+    }
+    ++q->size_;
+    return 0;
+  }
+
+  static std::uint64_t dequeue_cs(void* ctx, std::uint64_t) {
+    auto* q = static_cast<ConcurrentQueue*>(ctx);
+    if (q->head_ == nullptr) return kEmpty;
+    Node* n = q->head_;
+    q->head_ = n->next;
+    if (q->head_ == nullptr) q->tail_ = nullptr;
+    --q->size_;
+    return reinterpret_cast<std::uint64_t>(n);
+  }
+
+  Executor& ex_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// LIFO stack of 64-bit values under a global Executor.
+class ConcurrentStack {
+ public:
+  explicit ConcurrentStack(Executor& ex) : ex_(ex) {}
+  ~ConcurrentStack() {
+    std::uint64_t v;
+    while (pop(v)) {}
+  }
+  ConcurrentStack(const ConcurrentStack&) = delete;
+  ConcurrentStack& operator=(const ConcurrentStack&) = delete;
+
+  void push(std::uint64_t v) {
+    auto* n = new Node{v, nullptr};
+    ex_.execute(&push_cs, this, reinterpret_cast<std::uint64_t>(n));
+  }
+
+  bool pop(std::uint64_t& out) {
+    const std::uint64_t r = ex_.execute(&pop_cs, this, 0);
+    if (r == kEmpty) return false;
+    auto* n = reinterpret_cast<Node*>(r);
+    out = n->value;
+    delete n;
+    return true;
+  }
+
+  std::size_t size_unlocked() const { return size_; }
+
+ private:
+  struct Node {
+    std::uint64_t value;
+    Node* next;
+  };
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  static std::uint64_t push_cs(void* ctx, std::uint64_t arg) {
+    auto* s = static_cast<ConcurrentStack*>(ctx);
+    auto* n = reinterpret_cast<Node*>(arg);
+    n->next = s->top_;
+    s->top_ = n;
+    ++s->size_;
+    return 0;
+  }
+
+  static std::uint64_t pop_cs(void* ctx, std::uint64_t) {
+    auto* s = static_cast<ConcurrentStack*>(ctx);
+    if (s->top_ == nullptr) return kEmpty;
+    Node* n = s->top_;
+    s->top_ = n->next;
+    --s->size_;
+    return reinterpret_cast<std::uint64_t>(n);
+  }
+
+  Executor& ex_;
+  Node* top_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Sorted singly-linked list implementing a set of 64-bit keys, protected
+/// by a global Executor; critical-section length grows with the list.
+class SortedList {
+ public:
+  explicit SortedList(Executor& ex) : ex_(ex) {}
+  ~SortedList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+  SortedList(const SortedList&) = delete;
+  SortedList& operator=(const SortedList&) = delete;
+
+  /// Returns true if inserted (false: already present).
+  bool insert(std::uint64_t key) { return ex_.execute(&insert_cs, this, key) != 0; }
+  /// Returns true if removed (false: not found).
+  bool remove(std::uint64_t key) { return ex_.execute(&remove_cs, this, key) != 0; }
+  /// Membership query.
+  bool contains(std::uint64_t key) { return ex_.execute(&contains_cs, this, key) != 0; }
+
+  std::size_t size_unlocked() const { return size_; }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    Node* next;
+  };
+
+  static std::uint64_t insert_cs(void* ctx, std::uint64_t key) {
+    auto* l = static_cast<SortedList*>(ctx);
+    Node** link = &l->head_;
+    while (*link != nullptr && (*link)->key < key) link = &(*link)->next;
+    if (*link != nullptr && (*link)->key == key) return 0;
+    *link = new Node{key, *link};
+    ++l->size_;
+    return 1;
+  }
+
+  static std::uint64_t remove_cs(void* ctx, std::uint64_t key) {
+    auto* l = static_cast<SortedList*>(ctx);
+    Node** link = &l->head_;
+    while (*link != nullptr && (*link)->key < key) link = &(*link)->next;
+    if (*link == nullptr || (*link)->key != key) return 0;
+    Node* victim = *link;
+    *link = victim->next;
+    delete victim;
+    --l->size_;
+    return 1;
+  }
+
+  static std::uint64_t contains_cs(void* ctx, std::uint64_t key) {
+    auto* l = static_cast<SortedList*>(ctx);
+    Node* n = l->head_;
+    while (n != nullptr && n->key < key) n = n->next;
+    return n != nullptr && n->key == key;
+  }
+
+  Executor& ex_;
+  Node* head_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Hash table: each bucket is a SortedList behind its own Executor
+/// (the paper attaches a list and a lock to every bucket).
+class HashTable {
+ public:
+  /// `make_lock` supplies one Executor per bucket; buckets must be a
+  /// power of two.
+  template <typename MakeLock>
+  HashTable(std::size_t buckets, MakeLock&& make_lock) : mask_(buckets - 1) {
+    ARMBAR_CHECK(buckets >= 1 && (buckets & (buckets - 1)) == 0);
+    locks_.reserve(buckets);
+    lists_.reserve(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      locks_.push_back(make_lock(b));
+      lists_.push_back(std::make_unique<SortedList>(*locks_.back()));
+    }
+  }
+
+  bool insert(std::uint64_t key) { return list_of(key).insert(key); }
+  bool remove(std::uint64_t key) { return list_of(key).remove(key); }
+  bool contains(std::uint64_t key) { return list_of(key).contains(key); }
+
+  std::size_t buckets() const { return mask_ + 1; }
+  std::size_t size_unlocked() const {
+    std::size_t total = 0;
+    for (const auto& l : lists_) total += l->size_unlocked();
+    return total;
+  }
+
+ private:
+  SortedList& list_of(std::uint64_t key) {
+    // Fibonacci hash spreads sequential keys across buckets.
+    const std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    return *lists_[(h >> 32) & mask_];
+  }
+
+  std::size_t mask_;
+  std::vector<std::unique_ptr<Executor>> locks_;
+  std::vector<std::unique_ptr<SortedList>> lists_;
+};
+
+}  // namespace armbar::ds

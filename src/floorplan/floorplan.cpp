@@ -1,0 +1,207 @@
+#include "floorplan/floorplan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "locks/ticket_lock.hpp"
+
+namespace armbar::floorplan {
+
+std::vector<Cell> make_cells(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Cell> cells(n);
+  for (auto& c : cells) {
+    const std::size_t alts = 2 + rng.below(2);
+    for (std::size_t a = 0; a < alts; ++a) {
+      const auto w = static_cast<std::uint32_t>(1 + rng.below(4));
+      const auto h = static_cast<std::uint32_t>(1 + rng.below(4));
+      c.shapes.emplace_back(w, h);
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+/// Shared best-solution record; updated only inside the critical section.
+struct Best {
+  std::atomic<std::uint64_t> area{~0ULL};  ///< snapshot for lock-free pruning
+  std::vector<Placement> placements;
+  std::uint64_t updates = 0;
+};
+
+/// Critical-section payload: candidate solution proposed by a worker.
+struct Proposal {
+  Best* best;
+  std::uint64_t area;
+  const std::vector<Placement>* placements;
+};
+
+std::uint64_t commit_best_cs(void* ctx, std::uint64_t) {
+  auto* p = static_cast<Proposal*>(ctx);
+  Best& b = *p->best;
+  // Re-check under the lock: another worker may have done better.
+  if (p->area < b.area.load(std::memory_order_relaxed)) {
+    b.placements = *p->placements;
+    ++b.updates;
+    b.area.store(p->area, std::memory_order_relaxed);
+    return 1;
+  }
+  return 0;
+}
+
+struct SearchState {
+  const std::vector<Cell>* cells;
+  Best* best;
+  locks::Executor* lock;
+  std::uint64_t nodes = 0;
+
+  std::vector<Placement> placed;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> anchors;
+
+  bool overlaps(std::uint32_t x, std::uint32_t y, std::uint32_t w,
+                std::uint32_t h) const {
+    for (const auto& p : placed) {
+      if (x < p.x + p.w && p.x < x + w && y < p.y + p.h && p.y < y + h)
+        return true;
+    }
+    return false;
+  }
+
+  std::uint64_t bounding_area(std::uint32_t extra_x, std::uint32_t extra_y) const {
+    std::uint32_t mx = extra_x, my = extra_y;
+    for (const auto& p : placed) {
+      mx = std::max(mx, p.x + p.w);
+      my = std::max(my, p.y + p.h);
+    }
+    return static_cast<std::uint64_t>(mx) * my;
+  }
+
+  void recurse(std::size_t cell_idx) {
+    ++nodes;
+    const auto& cells_ref = *cells;
+    if (cell_idx == cells_ref.size()) {
+      const std::uint64_t area = bounding_area(0, 0);
+      if (area < best->area.load(std::memory_order_relaxed)) {
+        Proposal prop{best, area, &placed};
+        lock->execute(&commit_best_cs, &prop, 0);
+      }
+      return;
+    }
+    const Cell& cell = cells_ref[cell_idx];
+    // Try every anchor x every shape alternative.
+    const std::size_t num_anchors = anchors.size();
+    for (std::size_t ai = 0; ai < num_anchors; ++ai) {
+      const auto [ax, ay] = anchors[ai];
+      for (const auto& [w, h] : cell.shapes) {
+        if (overlaps(ax, ay, w, h)) continue;
+        // Prune: even before placing the rest, the bounding area must beat
+        // the best known solution.
+        if (bounding_area(ax + w, ay + h) >=
+            best->area.load(std::memory_order_relaxed))
+          continue;
+        placed.push_back({ax, ay, w, h});
+        // New anchors at the fresh corners (skyline-style packing).
+        anchors.push_back({ax + w, ay});
+        anchors.push_back({ax, ay + h});
+        std::swap(anchors[ai], anchors[num_anchors + 1]);  // consume anchor
+        recurse(cell_idx + 1);
+        std::swap(anchors[ai], anchors[num_anchors + 1]);
+        anchors.pop_back();
+        anchors.pop_back();
+        placed.pop_back();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Result solve(const std::vector<Cell>& cells, locks::Executor& best_lock,
+             unsigned threads) {
+  ARMBAR_CHECK(!cells.empty() && threads >= 1);
+  Best best;
+
+  // Top-level work units: the shape choice of cell 0 (placed at the
+  // origin) x the shape choice of cell 1. Workers claim units from an
+  // atomic counter.
+  struct Unit {
+    std::size_t shape0, shape1;
+  };
+  std::vector<Unit> units;
+  for (std::size_t s0 = 0; s0 < cells[0].shapes.size(); ++s0) {
+    if (cells.size() == 1) {
+      units.push_back({s0, 0});
+      continue;
+    }
+    for (std::size_t s1 = 0; s1 < cells[1].shapes.size(); ++s1)
+      units.push_back({s0, s1});
+  }
+
+  std::atomic<std::size_t> next_unit{0};
+  std::atomic<std::uint64_t> total_nodes{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t u = next_unit.fetch_add(1, std::memory_order_relaxed);
+      if (u >= units.size()) break;
+      SearchState st;
+      st.cells = &cells;
+      st.best = &best;
+      st.lock = &best_lock;
+
+      const auto [w0, h0] = cells[0].shapes[units[u].shape0];
+      st.placed.push_back({0, 0, w0, h0});
+      st.anchors.push_back({w0, 0});
+      st.anchors.push_back({0, h0});
+      if (cells.size() == 1) {
+        st.recurse(1);
+      } else {
+        const auto [w1, h1] = cells[1].shapes[units[u].shape1];
+        bool advanced = false;
+        const std::size_t n_anchors = st.anchors.size();
+        for (std::size_t ai = 0; ai < n_anchors; ++ai) {
+          const auto [ax, ay] = st.anchors[ai];
+          if (st.overlaps(ax, ay, w1, h1)) continue;
+          st.placed.push_back({ax, ay, w1, h1});
+          st.anchors.push_back({ax + w1, ay});
+          st.anchors.push_back({ax, ay + h1});
+          std::swap(st.anchors[ai], st.anchors[n_anchors + 1]);
+          st.recurse(2);
+          std::swap(st.anchors[ai], st.anchors[n_anchors + 1]);
+          st.anchors.pop_back();
+          st.anchors.pop_back();
+          st.placed.pop_back();
+          advanced = true;
+        }
+        (void)advanced;
+      }
+      total_nodes.fetch_add(st.nodes, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Result res;
+  res.best_area = best.area.load(std::memory_order_relaxed);
+  res.placements = best.placements;
+  res.nodes_explored = total_nodes.load(std::memory_order_relaxed);
+  res.best_updates = best.updates;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+Result solve_sequential(const std::vector<Cell>& cells) {
+  locks::TicketLock lock;
+  return solve(cells, lock, 1);
+}
+
+}  // namespace armbar::floorplan

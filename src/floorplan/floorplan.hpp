@@ -1,0 +1,51 @@
+// Branch-and-bound floorplanner in the shape of BOTS `floorplan` (paper
+// Fig 8d): compute the minimum-area placement of N cells, each with
+// several alternative shapes, onto a plane where every cell must abut the
+// already-placed structure.
+//
+// The shared best-solution record is the only cross-thread state; it is
+// guarded by a pluggable Executor, which is exactly where the paper swaps
+// Ticket / DSMSynch / DSMSynch-Pilot. The lock is *off* the hot path (the
+// hot path is the recursive search with an atomic snapshot for pruning), so
+// the expected improvement from Pilot is small — that is Fig 8(d)'s point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "locks/delegation.hpp"
+
+namespace armbar::floorplan {
+
+/// One cell: a set of alternative (width, height) shapes.
+struct Cell {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> shapes;
+};
+
+/// A placed rectangle (for solution reporting).
+struct Placement {
+  std::uint32_t x = 0, y = 0, w = 0, h = 0;
+};
+
+/// Deterministic problem generator: `n` cells with 2-3 shape alternatives
+/// each. `n` plays the role of the BOTS input size (input.5/15/20).
+std::vector<Cell> make_cells(std::size_t n, std::uint64_t seed);
+
+struct Result {
+  std::uint64_t best_area = ~0ULL;
+  std::vector<Placement> placements;   ///< one per cell, in input order
+  std::uint64_t nodes_explored = 0;    ///< search-tree accounting
+  std::uint64_t best_updates = 0;      ///< critical sections executed
+  double seconds = 0;
+};
+
+/// Solve with `threads` workers sharing the best-solution record through
+/// `best_lock`. Deterministic result area (the search is exhaustive).
+Result solve(const std::vector<Cell>& cells, locks::Executor& best_lock,
+             unsigned threads);
+
+/// Single-threaded reference solver (no locking) for verification.
+Result solve_sequential(const std::vector<Cell>& cells);
+
+}  // namespace armbar::floorplan

@@ -1,0 +1,385 @@
+#include "litmus/litmus.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace armbar::litmus {
+
+using sim::Asm;
+using sim::Machine;
+using sim::Op;
+using namespace sim;  // registers X0..X30
+
+std::string LitmusReport::str() const {
+  std::ostringstream os;
+  os << runs << " runs, " << histogram.size() << " distinct outcomes\n";
+  for (const auto& [o, n] : histogram) {
+    os << "  {";
+    for (std::size_t i = 0; i < o.size(); ++i) os << (i ? "," : "") << o[i];
+    os << "} x" << n << "\n";
+  }
+  return os.str();
+}
+
+LitmusReport run_litmus(const Litmus& test, const LitmusConfig& cfg) {
+  ARMBAR_CHECK(test.threads.size() == cfg.binding.size());
+  const std::size_t nthreads = test.threads.size();
+
+  std::vector<std::uint32_t> skews(nthreads, 0);
+  LitmusReport report;
+
+  // Enumerate the cartesian product of per-thread skews.
+  while (true) {
+    Machine m(cfg.platform, 1u << 20);
+    m.set_tso(cfg.tso);
+    for (const auto& [addr, bytes, node] : test.homes)
+      m.mem().set_home(addr, bytes, node);
+    for (const auto& [addr, v] : test.init) m.mem().poke(addr, v);
+
+    std::vector<Program> progs;
+    progs.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t)
+      progs.push_back(test.threads[t].make(skews[t]));
+    for (std::size_t t = 0; t < nthreads; ++t)
+      m.load_program(cfg.binding[t], &progs[t]);
+
+    auto r = m.run(cfg.max_cycles);
+    ARMBAR_CHECK_MSG(r.completed, "litmus run timed out");
+
+    Outcome o;
+    for (std::size_t t = 0; t < nthreads; ++t)
+      for (auto reg : test.threads[t].observe)
+        o.push_back(m.core(cfg.binding[t]).reg(reg));
+    for (auto addr : test.observe_mem) o.push_back(m.mem().peek(addr));
+    ++report.histogram[o];
+    ++report.runs;
+
+    // Advance the skew odometer.
+    std::size_t i = 0;
+    for (; i < nthreads; ++i) {
+      skews[i] += cfg.skew_step;
+      if (skews[i] <= cfg.max_skew) break;
+      skews[i] = 0;
+    }
+    if (i == nthreads) break;
+  }
+  return report;
+}
+
+namespace {
+constexpr Addr kData = 0x1000;   // line A
+constexpr Addr kFlag = 0x2000;   // line B
+constexpr Addr kX = 0x3000;
+constexpr Addr kY = 0x4000;
+}  // namespace
+
+Litmus make_mp(Op producer_barrier) {
+  Litmus t;
+  t.name = "MP";
+  t.init = {{kData, 0}, {kFlag, 0}};
+
+  // The realistic weak scenario: the producer has the flag line in M
+  // (it wrote flag = BUSY earlier), while the consumer holds a clean copy
+  // of the data line. The flag store then drains in a couple of cycles but
+  // the data store needs a full invalidation round — without a barrier the
+  // flag can become visible long before the data.
+  LitmusThread producer;
+  producer.make = [producer_barrier](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kData).movi(X2, kFlag).movi(X3, 23).movi(X4, 1);
+    a.str(XZR, X2, 0);                      // flag = BUSY: take M ownership
+    a.nops(60);                             // let the drain complete
+    a.nops(skew);
+    a.str(X3, X0, 0);                       // data = 23
+    if (producer_barrier != Op::kNop) a.emit({producer_barrier});
+    a.str(X4, X2, 0);                       // flag = DONE
+    a.halt();
+    return a.take("mp-producer");
+  };
+
+  // Poll-style consumer: samples flag and data every iteration so the pair
+  // is captured within a couple of cycles of each other (the standard MP
+  // poll shape; it avoids measuring through the loop-exit mispredict).
+  LitmusThread consumer;
+  consumer.make = [](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kData).movi(X2, kFlag);
+    a.ldr(X9, X0, 0);                       // warm a (soon stale) copy of data
+    a.nops(skew);
+    a.label("poll");
+    a.ldr(X3, X2, 0);                       // flag
+    a.ldr(X10, X0, 0);                      // data, sampled 1 cycle later
+    a.cbz(X3, "poll");
+    a.halt();
+    return a.take("mp-consumer");
+  };
+  consumer.observe = {X10};
+
+  t.threads = {producer, consumer};
+  return t;
+}
+
+Litmus make_sb(Op barrier) {
+  Litmus t;
+  t.name = "SB";
+  t.init = {{kX, 0}, {kY, 0}};
+
+  auto thread = [barrier](Addr mine, Addr other) {
+    LitmusThread th;
+    th.make = [barrier, mine, other](std::uint32_t skew) {
+      Asm a;
+      a.movi(X0, mine).movi(X1, other).movi(X2, 1);
+      a.nops(skew);
+      a.str(X2, X0, 0);
+      if (barrier != Op::kNop) a.emit({barrier});
+      a.ldr(X3, X1, 0);
+      a.halt();
+      return a.take("sb-thread");
+    };
+    th.observe = {X3};
+    return th;
+  };
+
+  t.threads = {thread(kX, kY), thread(kY, kX)};
+  return t;
+}
+
+Litmus make_coherence() {
+  Litmus t;
+  t.name = "CoRR";
+  t.init = {{kX, 0}};
+  constexpr int kIters = 100;
+
+  LitmusThread writer;
+  writer.make = [](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X6, kIters).movi(X1, 0);
+    a.nops(skew);
+    a.label("loop");
+    a.addi(X1, X1, 1);
+    a.str(X1, X0, 0);  // monotonically increasing values
+    a.nops(3);
+    a.subi(X6, X6, 1);
+    a.cbnz(X6, "loop");
+    a.halt();
+    return a.take("co-writer");
+  };
+
+  LitmusThread reader;
+  reader.make = [](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X6, kIters).movi(X7, 0);
+    a.nops(skew);
+    a.label("loop");
+    a.ldr(X1, X0, 0);
+    a.ldr(X2, X0, 0);
+    a.cmp(X2, X1);
+    a.bge("ok");       // same-location reads must not regress
+    a.movi(X7, 1);
+    a.label("ok");
+    a.subi(X6, X6, 1);
+    a.cbnz(X6, "loop");
+    a.halt();
+    return a.take("co-reader");
+  };
+  reader.observe = {X7};
+
+  t.threads = {writer, reader};
+  return t;
+}
+
+Litmus make_atomicity() {
+  Litmus t;
+  t.name = "single-copy-atomicity";
+  t.init = {{kX, 0}};
+  constexpr int kIters = 100;
+  constexpr std::int64_t kA = 0x00000000FFFFFFFFll;
+  constexpr std::int64_t kB = static_cast<std::int64_t>(0xFFFFFFFF00000000ull);
+
+  LitmusThread writer;
+  writer.make = [](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X4, kA).movi(X5, kB).movi(X6, kIters);
+    a.nops(skew);
+    a.label("loop");
+    a.str(X4, X0, 0);
+    a.nops(5);
+    a.str(X5, X0, 0);
+    a.nops(5);
+    a.subi(X6, X6, 1);
+    a.cbnz(X6, "loop");
+    a.halt();
+    return a.take("atomicity-writer");
+  };
+
+  LitmusThread reader;
+  reader.make = [](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X4, kA).movi(X5, kB).movi(X7, 0).movi(X6, kIters);
+    a.nops(skew);
+    a.label("loop");
+    a.ldr(X1, X0, 0);
+    a.cbz(X1, "ok");        // initial value
+    a.cmp(X1, X4);
+    a.beq("ok");
+    a.cmp(X1, X5);
+    a.beq("ok");
+    a.movi(X7, 1);          // torn 64-bit value observed
+    a.label("ok");
+    a.subi(X6, X6, 1);
+    a.cbnz(X6, "loop");
+    a.halt();
+    return a.take("atomicity-reader");
+  };
+  reader.observe = {X7};
+
+  t.threads = {writer, reader};
+  return t;
+}
+
+namespace {
+
+void emit_barrier_op(Asm& a, Op b) {
+  if (b != Op::kNop) a.emit({b});
+}
+
+}  // namespace
+
+Litmus make_lb(Op barrier) {
+  Litmus t;
+  t.name = "LB";
+  t.init = {{kX, 0}, {kY, 0}};
+  auto thread = [barrier](Addr read_from, Addr write_to) {
+    LitmusThread th;
+    th.make = [barrier, read_from, write_to](std::uint32_t skew) {
+      Asm a;
+      a.movi(X0, read_from).movi(X1, write_to).movi(X2, 1);
+      a.nops(skew);
+      a.ldr(X3, X0, 0);
+      emit_barrier_op(a, barrier);
+      a.str(X2, X1, 0);
+      a.halt();
+      return a.take("lb-thread");
+    };
+    th.observe = {X3};
+    return th;
+  };
+  t.threads = {thread(kX, kY), thread(kY, kX)};
+  return t;
+}
+
+Litmus make_s(Op barrier) {
+  Litmus t;
+  t.name = "S";
+  t.init = {{kX, 0}, {kY, 0}};
+
+  LitmusThread t0;
+  t0.make = [barrier](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X1, kY).movi(X2, 2).movi(X3, 1);
+    a.nops(skew);
+    a.str(X2, X0, 0);                  // X = 2
+    emit_barrier_op(a, barrier);
+    a.str(X3, X1, 0);                  // Y = 1
+    a.halt();
+    return a.take("s-t0");
+  };
+
+  LitmusThread t1;
+  t1.make = [](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X1, kY).movi(X3, 1);
+    a.nops(skew);
+    a.ldr(X4, X1, 0);                  // ry
+    // Data dependency: the stored value depends on the load, so the store
+    // cannot drain before the read — the classic S-shape consumer edge.
+    a.eor(X5, X4, X4);
+    a.add(X5, X3, X5);
+    a.str(X5, X0, 0);                  // X = 1 (dependent)
+    a.halt();
+    return a.take("s-t1");
+  };
+  t1.observe = {X4};
+
+  t.threads = {t0, t1};
+  t.observe_mem = {kX};
+  return t;
+}
+
+Litmus make_2p2w(Op barrier) {
+  Litmus t;
+  t.name = "2+2W";
+  t.init = {{kX, 0}, {kY, 0}};
+  auto thread = [barrier](Addr first, Addr second, std::uint64_t v) {
+    LitmusThread th;
+    th.make = [barrier, first, second, v](std::uint32_t skew) {
+      Asm a;
+      a.movi(X0, first).movi(X1, second);
+      a.movi(X2, static_cast<std::int64_t>(v));
+      a.movi(X3, static_cast<std::int64_t>(v + 1));
+      a.nops(skew);
+      a.str(X2, X0, 0);
+      emit_barrier_op(a, barrier);
+      a.str(X3, X1, 0);
+      a.halt();
+      return a.take("2p2w-thread");
+    };
+    return th;
+  };
+  t.threads = {thread(kX, kY, 1), thread(kY, kX, 3)};
+  t.observe_mem = {kX, kY};
+  return t;
+}
+
+Litmus make_wrc(Op t1_barrier, Op t2_barrier) {
+  Litmus t;
+  t.name = "WRC";
+  t.init = {{kX, 0}, {kY, 0}};
+
+  LitmusThread t0;
+  t0.make = [](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X2, 1);
+    a.nops(skew);
+    a.str(X2, X0, 0);  // X = 1
+    a.halt();
+    return a.take("wrc-t0");
+  };
+
+  LitmusThread t1;
+  t1.make = [t1_barrier](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X1, kY).movi(X2, 1);
+    a.nops(skew);
+    a.label("spin");
+    a.ldr(X3, X0, 0);  // rx: wait until T0's write is visible here
+    a.cbz(X3, "spin");
+    emit_barrier_op(a, t1_barrier);
+    a.str(X2, X1, 0);  // Y = 1
+    a.halt();
+    return a.take("wrc-t1");
+  };
+  t1.observe = {X3};
+
+  LitmusThread t2;
+  t2.make = [t2_barrier](std::uint32_t skew) {
+    Asm a;
+    a.movi(X0, kX).movi(X1, kY);
+    a.ldr(X9, X0, 0);  // warm a copy of X (the potential stale window)
+    a.nops(skew);
+    a.label("poll");
+    a.ldr(X4, X1, 0);  // ry
+    emit_barrier_op(a, t2_barrier);
+    a.ldr(X5, X0, 0);  // rx
+    a.cbz(X4, "poll");
+    a.halt();
+    return a.take("wrc-t2");
+  };
+  t2.observe = {X4, X5};
+
+  t.threads = {t0, t1, t2};
+  return t;
+}
+
+}  // namespace armbar::litmus

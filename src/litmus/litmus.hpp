@@ -1,0 +1,128 @@
+// Litmus-test harness for the simulator.
+//
+// A litmus test is a small multi-threaded program with an initial memory
+// state and a set of observed registers. The harness runs the test across a
+// sweep of timing perturbations (per-thread start skews and core bindings)
+// and collects the histogram of observed outcomes. Tests then assert which
+// outcomes are reachable under WMM and which are forbidden under TSO or
+// with barriers inserted (paper Table 1 and §2).
+//
+// Model fidelity notes
+// --------------------
+// * Store-side reordering (non-FIFO store buffer, deferred visibility) is
+//   fully modelled: MP and SB behave as on real ARM hardware.
+// * Load values are sampled when the load is issued, so pure load-side
+//   reorderings that require out-of-order load *satisfaction* (e.g. the LB
+//   shape) are not observable: the model is slightly stronger than the
+//   architecture on that axis. This does not affect the paper's
+//   experiments, which all concern barriers ordering stores after RMRs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace armbar::litmus {
+
+using sim::Program;  // Addr/CoreId/NodeId/Cycle come from the armbar namespace
+
+/// One thread of a litmus test. `make(skew)` must emit a program whose
+/// first `skew` instructions are nops (the harness sweeps skews to explore
+/// interleavings). `observe` lists registers whose final values form the
+/// outcome tuple.
+struct LitmusThread {
+  std::function<Program(std::uint32_t skew)> make;
+  std::vector<sim::Reg> observe;
+};
+
+/// A complete litmus test.
+struct Litmus {
+  std::string name;
+  std::vector<std::pair<Addr, std::uint64_t>> init;
+  /// Optional NUMA placement: (addr, bytes, node).
+  std::vector<std::tuple<Addr, std::size_t, NodeId>> homes;
+  std::vector<LitmusThread> threads;
+  /// Final memory words appended to each outcome after the register values
+  /// (for shapes like 2+2W whose condition is over coherence order).
+  std::vector<Addr> observe_mem;
+};
+
+/// An observed outcome: the concatenated observed register values,
+/// thread-major in declaration order.
+using Outcome = std::vector<std::uint64_t>;
+
+struct LitmusReport {
+  std::map<Outcome, std::uint64_t> histogram;
+  std::uint64_t runs = 0;
+
+  bool saw(const Outcome& o) const { return histogram.contains(o); }
+  std::uint64_t count(const Outcome& o) const {
+    auto it = histogram.find(o);
+    return it == histogram.end() ? 0 : it->second;
+  }
+  std::string str() const;
+};
+
+struct LitmusConfig {
+  sim::PlatformSpec platform;
+  std::vector<CoreId> binding;    ///< core for each thread
+  std::uint32_t max_skew = 256;   ///< skews swept per thread: 0..max step `skew_step`
+  std::uint32_t skew_step = 16;
+  bool tso = false;
+  Cycle max_cycles = 10'000'000;
+};
+
+/// Run the litmus test over the full skew sweep; aborts on timeout.
+LitmusReport run_litmus(const Litmus& test, const LitmusConfig& cfg);
+
+// ---- the standard shapes used by the paper and the test suite ----
+
+/// Message passing (paper Table 1): T0 stores data then flag; T1 spins on
+/// flag then reads data. Outcome = {T1.data}. `barrier` is inserted between
+/// the two stores (kNop means none); `data` observed != 23 is the weak
+/// outcome.
+Litmus make_mp(sim::Op producer_barrier);
+
+/// Store buffering: T0 stores X, reads Y; T1 stores Y, reads X.
+/// Outcome = {T0.ry, T1.rx}; (0,0) is the relaxed outcome. `barrier` is
+/// inserted between each thread's store and load.
+Litmus make_sb(sim::Op barrier);
+
+/// Coherence: two stores by the same thread to one location must be seen
+/// in order by a spinning observer. Outcome = {observer saw regression}.
+Litmus make_coherence();
+
+/// Single-copy atomicity: a 64-bit store is never observed torn. The
+/// producer alternates between two bit patterns; the observer records
+/// whether it ever saw a mix. Outcome = {saw_torn}.
+Litmus make_atomicity();
+
+/// Load buffering: T0 reads X then stores Y; T1 reads Y then stores X.
+/// Outcome = {T0.rx, T1.ry}; (1,1) is the relaxed outcome. NOT observable
+/// in this model (load values are sampled at issue — see the fidelity note
+/// above), matching most real implementations even though the architecture
+/// allows it.
+Litmus make_lb(sim::Op barrier);
+
+/// S shape: T0 stores X=2 then (barrier) stores Y=1; T1 reads Y then
+/// stores X=1. Outcome = {T1.ry, final X}. The relaxed outcome is
+/// ry==1 && X==2 (T1's store to X lost "before" T0's earlier store).
+Litmus make_s(sim::Op barrier);
+
+/// 2+2W: both threads store to both locations in opposite orders.
+/// Outcome = {final X, final Y}; (1,1) — each location keeping the
+/// *first* store in the respective program order — is the relaxed shape.
+Litmus make_2p2w(sim::Op barrier);
+
+/// WRC (write-to-read causality): T0 stores X; T1 reads X then stores Y;
+/// T2 reads Y then reads X. Outcome = {T1.rx, T2.ry, T2.rx}. The
+/// non-causal outcome is (1,1,0). Our machine's stale-share window is the
+/// only non-MCA behaviour; the harness reports whether it manifests.
+Litmus make_wrc(sim::Op t1_barrier, sim::Op t2_barrier);
+
+}  // namespace armbar::litmus

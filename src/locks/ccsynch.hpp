@@ -1,0 +1,262 @@
+// CC-Synch combining lock, implemented from scratch after Fatourou &
+// Kallimanis [14] — the migratory-server delegation family the paper
+// evaluates as "DSMSynch" (CC-Synch and DSM-Synch are the two variants of
+// the same combining technique in [14]; we build the cache-coherent one).
+//
+// Protocol: a SWAP-based queue of announcement nodes. The thread whose
+// node reaches the head becomes the *combiner* and serves up to
+// `combine_budget` queued requests before handing the role to the next
+// waiter. The response path per request is
+//
+//     store ret; store completed; BARRIER; store wait=false
+//
+// i.e. a barrier strictly after the RMRs of the critical section and the
+// response write — the Fig 7(b)/(c) hotspot. The Pilot variant piggybacks
+// {completed, ret} on a single 64-bit word per node: the waiter learns it
+// was served and gets its return value from one single-copy-atomic store,
+// no barrier (paper §5.3 / Algorithm 6 adapted to a migratory server).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/barrier.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "locks/delegation.hpp"
+#include "pilot/pilot.hpp"
+
+namespace armbar::locks {
+
+class CcSynchLock final : public Executor {
+ public:
+  struct Config {
+    std::size_t max_threads = 64;
+    std::uint32_t combine_budget = 64;
+    bool use_pilot = false;
+    /// Barrier publishing {ret, completed} before wait=false; ignored
+    /// when use_pilot is true.
+    arch::Barrier response_barrier = arch::Barrier::kDmbSt;
+  };
+
+  CcSynchLock() : CcSynchLock(Config{}) {}
+
+  explicit CcSynchLock(Config cfg)
+      : cfg_(cfg), pool_(0xCC5ULL, 64), nodes_(cfg.max_threads + 1) {
+    // The queue starts with one unowned dummy node: its future owner
+    // becomes the first combiner.
+    Node* dummy = &nodes_[0];
+    dummy->wait.store(0, std::memory_order_relaxed);
+    dummy->completed.store(0, std::memory_order_relaxed);
+    // Pilot mode polls the token word instead of `wait`; arm it so the
+    // dummy's first owner becomes the first combiner there too.
+    dummy->combiner_token.store(1, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+    next_node_.store(1, std::memory_order_relaxed);
+  }
+
+  CcSynchLock(const CcSynchLock&) = delete;
+  CcSynchLock& operator=(const CcSynchLock&) = delete;
+
+ private:
+  struct Node;
+
+ public:
+  /// Per-thread handle carrying the thread's recyclable node.
+  class Handle {
+   public:
+    explicit Handle(CcSynchLock& lock) : lock_(&lock) {
+      const std::size_t idx =
+          lock.next_node_.fetch_add(1, std::memory_order_relaxed);
+      ARMBAR_CHECK_MSG(idx < lock.nodes_.size(), "too many CC-Synch threads");
+      node_ = &lock.nodes_[idx];
+    }
+
+    std::uint64_t execute(CriticalFn fn, void* ctx, std::uint64_t arg) {
+      return lock_->apply(node_, fn, ctx, arg);
+    }
+
+   private:
+    friend class CcSynchLock;
+    CcSynchLock* lock_;
+    Node* node_;
+  };
+
+  std::uint64_t execute(CriticalFn fn, void* ctx, std::uint64_t arg) override {
+    // Handles are cached per (thread, lock-generation). Keying on the
+    // globally unique uid — not the address — prevents a stale handle from
+    // being revived when a new lock is constructed at a reused address.
+    thread_local std::unordered_map<std::uint64_t, std::unique_ptr<Handle>> handles;
+    auto& h = handles[uid_];
+    if (!h) h = std::make_unique<Handle>(*this);
+    return h->execute(fn, ctx, arg);
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Node {
+    // Announcement (written by the requester before linking).
+    CriticalFn fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
+    std::atomic<Node*> next{nullptr};
+    // Response (written by the combiner).
+    std::atomic<std::uint64_t> ret{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> wait{0};
+    // Pilot response channel: data word carries the shuffled return value;
+    // a separate code word signals "you are the next combiner".
+    alignas(kCacheLineBytes) pilot::PilotSlot pilot_slot;
+    std::atomic<std::uint64_t> combiner_token{0};
+    // Receiver-side pilot state lives with the node since node ownership
+    // migrates: the new owner inherits the channel state.
+    std::uint64_t rx_old_data = 0;
+    std::uint64_t rx_old_flag = 0;
+    std::uint64_t rx_cnt = 0;
+    std::uint64_t rx_token_seen = 0;
+    // Sender-side (combiner) pilot state, same-node migration argument.
+    std::uint64_t tx_old_data = 0;
+    std::uint64_t tx_flag = 0;
+    std::uint64_t tx_cnt = 0;
+  };
+
+  std::uint64_t apply(Node*& my_node, CriticalFn fn, void* ctx,
+                      std::uint64_t arg) {
+    Node* fresh = my_node;
+    fresh->next.store(nullptr, std::memory_order_relaxed);
+    fresh->wait.store(1, std::memory_order_relaxed);
+    fresh->completed.store(0, std::memory_order_relaxed);
+
+    Node* cur = tail_.exchange(fresh, std::memory_order_acq_rel);
+    // Announce on the node we received; recycle it as ours next time.
+    cur->fn = fn;
+    cur->ctx = ctx;
+    cur->arg = arg;
+    cur->next.store(fresh, std::memory_order_release);
+    my_node = cur;
+
+    if (cfg_.use_pilot) return wait_pilot(cur);
+    return wait_plain(cur);
+  }
+
+  std::uint64_t wait_plain(Node* cur) {
+    unsigned spins = 0;
+    while (cur->wait.load(std::memory_order_acquire)) {
+      if ((++spins & 0x3f) == 0) std::this_thread::yield();
+    }
+    arch::barrier(arch::Barrier::kDmbLd);
+    if (cur->completed.load(std::memory_order_relaxed))
+      return cur->ret.load(std::memory_order_relaxed);
+    return combine(cur);
+  }
+
+  std::uint64_t wait_pilot(Node* cur) {
+    // Poll the pilot data/flag words (served case) and the combiner token
+    // (handoff case).
+    for (unsigned spins = 0;; ++spins) {
+      const std::uint64_t d = cur->pilot_slot.data.load(std::memory_order_relaxed);
+      if (d != cur->rx_old_data) {
+        cur->rx_old_data = d;
+        return d ^ pool_.at(cur->rx_cnt++);
+      }
+      const std::uint64_t f = cur->pilot_slot.flag.load(std::memory_order_relaxed);
+      if (f != cur->rx_old_flag) {
+        cur->rx_old_flag = f;
+        return cur->rx_old_data ^ pool_.at(cur->rx_cnt++);
+      }
+      const std::uint64_t tok = cur->combiner_token.load(std::memory_order_relaxed);
+      if (tok != cur->rx_token_seen) {
+        cur->rx_token_seen = tok;
+        arch::barrier(arch::Barrier::kDmbLd);
+        return combine(cur);
+      }
+      if ((spins & 0x3f) == 0x3f) std::this_thread::yield();
+    }
+  }
+
+  void respond(Node* n, std::uint64_t ret) {
+    if (cfg_.use_pilot) {
+      // One single-copy-atomic store publishes served+value (Algorithm 6).
+      const std::uint64_t shuffled = ret ^ pool_.at(n->tx_cnt++);
+      if (shuffled == n->tx_old_data) {
+        n->tx_flag ^= 1;
+        n->pilot_slot.flag.store(n->tx_flag, std::memory_order_relaxed);
+      } else {
+        n->pilot_slot.data.store(shuffled, std::memory_order_relaxed);
+        n->tx_old_data = shuffled;
+      }
+    } else {
+      n->ret.store(ret, std::memory_order_relaxed);
+      n->completed.store(1, std::memory_order_relaxed);
+      arch::barrier(cfg_.response_barrier);  // the Fig 7 hotspot barrier
+#if !defined(__aarch64__)
+      std::atomic_thread_fence(std::memory_order_release);
+#endif
+      n->wait.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void handoff(Node* n) {
+    if (cfg_.use_pilot) {
+      arch::barrier(arch::Barrier::kDmbSt);
+#if !defined(__aarch64__)
+      std::atomic_thread_fence(std::memory_order_release);
+#endif
+      n->combiner_token.store(n->rx_token_seen + 1, std::memory_order_relaxed);
+    } else {
+      // completed stays 0: the woken waiter becomes the combiner.
+      arch::barrier(arch::Barrier::kDmbSt);
+#if !defined(__aarch64__)
+      std::atomic_thread_fence(std::memory_order_release);
+#endif
+      n->wait.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t combine(Node* my) {
+    Node* tmp = my;
+    std::uint64_t my_ret = 0;
+    std::uint32_t served = 0;
+    for (;;) {
+      Node* next = tmp->next.load(std::memory_order_acquire);
+      if (next == nullptr || served >= cfg_.combine_budget) {
+        // tmp is either the unannounced tail node or a handoff target;
+        // in both cases its owner (current or future) combines next.
+        handoff(tmp);
+        break;
+      }
+      arch::barrier(arch::Barrier::kDmbLd);  // request read before execution
+      const std::uint64_t ret = tmp->fn(tmp->ctx, tmp->arg);
+      ++served;
+      if (tmp == my) {
+        my_ret = ret;  // our own request: no response message needed
+        if (cfg_.use_pilot) {
+          // Keep the channel state in sync: consume our own slot locally.
+          (void)pool_.at(tmp->tx_cnt++);
+          ++tmp->rx_cnt;
+        }
+      } else {
+        respond(tmp, ret);
+      }
+      tmp = next;
+    }
+    return my_ret;
+  }
+
+  static std::uint64_t next_uid() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Config cfg_;
+  const std::uint64_t uid_ = next_uid();
+  pilot::HashPool pool_;
+  std::vector<Node> nodes_;
+  std::atomic<std::size_t> next_node_{0};
+  alignas(kCacheLineBytes) std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace armbar::locks

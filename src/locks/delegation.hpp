@@ -1,0 +1,25 @@
+// Common interface for critical-section execution (paper §5).
+//
+// In-place locks (ticket, MCS) expose lock()/unlock() and run the critical
+// section in the calling thread. Delegation locks (FFWD, CC-Synch) ship a
+// function pointer + context to a server/combiner. `Executor` unifies both
+// so the data structures in src/ds can run under any of them.
+#pragma once
+
+#include <cstdint>
+
+namespace armbar::locks {
+
+/// A critical section: reads/writes the protected state reachable from
+/// `ctx`, takes a 64-bit argument, returns a 64-bit result. Plain function
+/// pointer (not std::function) so requests fit in a delegation slot.
+using CriticalFn = std::uint64_t (*)(void* ctx, std::uint64_t arg);
+
+/// Anything that can run a critical section with mutual exclusion.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual std::uint64_t execute(CriticalFn fn, void* ctx, std::uint64_t arg) = 0;
+};
+
+}  // namespace armbar::locks

@@ -1,0 +1,183 @@
+// FFWD-style dedicated-server delegation lock (paper §5, Algorithm 5),
+// implemented from scratch after Roghanchi et al. [42]: one server thread
+// owns every critical section; clients publish requests into per-client
+// cache-line slots and spin on per-client response slots.
+//
+// Barrier structure (Algorithm 5):
+//   * server: detect request flag -> BARRIER (line 4) -> run the critical
+//     section -> BARRIER (line 7) -> publish the response flag.
+//   * The line-7 barrier strictly follows the RMR of writing the response,
+//     which is the overhead Pilot removes (Algorithm 6): the response value
+//     is piggybacked on the flag word through a Pilot channel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/barrier.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "locks/delegation.hpp"
+#include "pilot/pilot.hpp"
+
+namespace armbar::locks {
+
+class FfwdLock final : public Executor {
+ public:
+  struct Config {
+    std::size_t max_clients = 16;
+    bool use_pilot = false;  ///< Algorithm 6: piggyback the response
+    /// Algorithm 5 line 4: order the request read before the critical
+    /// section.
+    arch::Barrier request_barrier = arch::Barrier::kDmbLd;
+    /// Algorithm 5 line 7: order the response data before the flag.
+    /// Ignored when use_pilot is true (that is the point of Pilot).
+    arch::Barrier response_barrier = arch::Barrier::kDmbSt;
+  };
+
+  FfwdLock() : FfwdLock(Config{}) {}
+
+  explicit FfwdLock(Config cfg)
+      : cfg_(cfg), pool_(0x5eedULL, 64), slots_(cfg.max_clients) {
+    server_ = std::thread([this] { serve(); });
+  }
+
+  ~FfwdLock() override {
+    stop_.store(true, std::memory_order_release);
+    server_.join();
+  }
+
+  FfwdLock(const FfwdLock&) = delete;
+  FfwdLock& operator=(const FfwdLock&) = delete;
+
+  /// Register the calling thread; returns its client id. Each thread must
+  /// use its own id for all execute_as() calls.
+  std::size_t register_client() {
+    const std::size_t id = next_client_.fetch_add(1, std::memory_order_relaxed);
+    ARMBAR_CHECK_MSG(id < cfg_.max_clients, "too many FFWD clients");
+    return id;
+  }
+
+  std::uint64_t execute_as(std::size_t client, CriticalFn fn, void* ctx,
+                           std::uint64_t arg) {
+    Slot& s = slots_[client];
+    // Publish the request: payload first, then the toggled sequence flag.
+    s.fn = fn;
+    s.ctx = ctx;
+    s.arg = arg;
+    arch::dmb_st();
+    const std::uint64_t seq = s.req_seq.load(std::memory_order_relaxed) + 1;
+    s.req_seq.store(seq, std::memory_order_release);
+
+    if (cfg_.use_pilot) return pilot_receive(client);
+    unsigned spins = 0;
+    while (s.resp_seq.load(std::memory_order_acquire) != seq) {
+      if ((++spins & 0x3f) == 0) std::this_thread::yield();
+    }
+    arch::barrier(arch::Barrier::kDmbLd);
+    return s.ret;
+  }
+
+  /// Executor interface: auto-registers one id per (thread, lock) pair on
+  /// first use. Keyed by the lock's globally unique uid, not its address,
+  /// so ids never leak across lock generations.
+  std::uint64_t execute(CriticalFn fn, void* ctx, std::uint64_t arg) override {
+    thread_local std::unordered_map<std::uint64_t, std::size_t> ids;
+    auto it = ids.find(uid_);
+    if (it == ids.end()) it = ids.emplace(uid_, register_client()).first;
+    return execute_as(it->second, fn, ctx, arg);
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    // --- request line (written by the client, read by the server) ---
+    std::atomic<std::uint64_t> req_seq{0};
+    CriticalFn fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
+    // --- response line (written by the server, read by the client) ---
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> resp_seq{0};
+    std::uint64_t ret = 0;
+    // --- pilot response channel (Algorithm 6) ---
+    alignas(kCacheLineBytes) pilot::PilotSlot pilot_slot;
+    std::uint64_t rx_old_data = 0;  // receiver-side pilot state
+    std::uint64_t rx_old_flag = 0;
+    std::uint64_t rx_cnt = 0;
+    // --- server-side bookkeeping (server thread only) ---
+    alignas(kCacheLineBytes) std::uint64_t served = 0;
+    std::uint64_t tx_old_data = 0;  // sender-side pilot state
+    std::uint64_t tx_flag = 0;
+    std::uint64_t tx_cnt = 0;
+  };
+
+  void serve() {
+    const std::size_t n = cfg_.max_clients;
+    while (!stop_.load(std::memory_order_acquire)) {
+      bool any = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        Slot& s = slots_[i];
+        const std::uint64_t seq = s.req_seq.load(std::memory_order_acquire);
+        if (seq == s.served) continue;
+        any = true;
+        s.served = seq;
+        arch::barrier(cfg_.request_barrier);  // Algorithm 5 line 4
+        const std::uint64_t ret = s.fn(s.ctx, s.arg);
+        if (cfg_.use_pilot) {
+          // Algorithm 6: shuffle + piggyback; flag fallback on collision.
+          const std::uint64_t shuffled = ret ^ pool_.at(s.tx_cnt++);
+          if (shuffled == s.tx_old_data) {
+            s.tx_flag ^= 1;
+            s.pilot_slot.flag.store(s.tx_flag, std::memory_order_relaxed);
+          } else {
+            s.pilot_slot.data.store(shuffled, std::memory_order_relaxed);
+            s.tx_old_data = shuffled;
+          }
+        } else {
+          s.ret = ret;
+          arch::barrier(cfg_.response_barrier);  // Algorithm 5 line 7
+          s.resp_seq.store(seq, std::memory_order_release);
+        }
+      }
+      if (!any) std::this_thread::yield();
+    }
+  }
+
+  static std::uint64_t next_uid() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Config cfg_;
+  const std::uint64_t uid_ = next_uid();
+  pilot::HashPool pool_;
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> next_client_{0};
+  std::atomic<bool> stop_{false};
+  std::thread server_;
+
+ public:
+  /// Client-side pilot receive for slot `client` (exposed for tests).
+  std::uint64_t pilot_receive(std::size_t client) {
+    Slot& s = slots_[client];
+    for (unsigned spins = 0;; ++spins) {
+      const std::uint64_t d = s.pilot_slot.data.load(std::memory_order_relaxed);
+      if (d != s.rx_old_data) {
+        s.rx_old_data = d;
+        break;
+      }
+      const std::uint64_t f = s.pilot_slot.flag.load(std::memory_order_relaxed);
+      if (f != s.rx_old_flag) {
+        s.rx_old_flag = f;
+        break;
+      }
+      if ((spins & 0x3f) == 0x3f) std::this_thread::yield();
+    }
+    return s.rx_old_data ^ pool_.at(s.rx_cnt++);
+  }
+};
+
+}  // namespace armbar::locks

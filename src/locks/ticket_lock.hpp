@@ -1,0 +1,123 @@
+// Ticket lock (paper §5.1-5.2), modelled on the classic Linux-kernel
+// implementation: FIFO via a ticket counter, spin on now-serving.
+//
+// The acquire/release barrier choices are configurable because that is the
+// paper's Fig 7(a) experiment. The defaults are architecturally correct on
+// ARM (acquire: DMB ld after the spin read; release: DMB full before the
+// now-serving store, since critical-section *loads and stores* must both
+// complete before the release store becomes visible). Weaker settings are
+// for experiments; on the x86 host every setting is safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "arch/barrier.hpp"
+#include "common/types.hpp"
+#include "locks/delegation.hpp"
+
+namespace armbar::locks {
+
+class TicketLock final : public Executor {
+ public:
+  struct Config {
+    arch::Barrier acquire_barrier = arch::Barrier::kDmbLd;
+    arch::Barrier release_barrier = arch::Barrier::kDmbFull;
+  };
+
+  TicketLock() : TicketLock(Config{}) {}
+  explicit TicketLock(Config cfg) : cfg_(cfg) {}
+
+  void lock() {
+    const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    unsigned spins = 0;
+    while (serving_.load(std::memory_order_relaxed) != ticket) {
+      if ((++spins & 0x3f) == 0) std::this_thread::yield();
+    }
+    // Order the spin read before the critical section (Table 3: load ->
+    // any needs DMB ld / LDAR / a dependency).
+    arch::barrier(cfg_.acquire_barrier);
+#if !defined(__aarch64__)
+    // Host fallback: guarantee acquire semantics regardless of the
+    // experiment's configured barrier.
+    std::atomic_thread_fence(std::memory_order_acquire);
+#endif
+  }
+
+  void unlock() {
+    // Critical-section accesses must complete before now-serving is
+    // published (Table 3: any -> store needs DMB full).
+    arch::barrier(cfg_.release_barrier);
+#if !defined(__aarch64__)
+    std::atomic_thread_fence(std::memory_order_release);
+#endif
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  }
+
+  std::uint64_t execute(CriticalFn fn, void* ctx, std::uint64_t arg) override {
+    lock();
+    const std::uint64_t ret = fn(ctx, arg);
+    unlock();
+    return ret;
+  }
+
+ private:
+  Config cfg_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> next_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> serving_{0};
+};
+
+/// MCS queue lock: each waiter spins on its own node — the classic
+/// scalable in-place lock the paper cites alongside ticket locks [30].
+class McsLock final : public Executor {
+ public:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  void lock(Node& me) {
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.locked.store(true, std::memory_order_relaxed);
+    Node* pred = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.store(&me, std::memory_order_release);
+      unsigned spins = 0;
+      while (me.locked.load(std::memory_order_acquire)) {
+        if ((++spins & 0x3f) == 0) std::this_thread::yield();
+      }
+    }
+    arch::barrier(arch::Barrier::kDmbLd);
+  }
+
+  void unlock(Node& me) {
+    Node* succ = me.next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      Node* expected = &me;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel))
+        return;
+      unsigned spins = 0;
+      while ((succ = me.next.load(std::memory_order_acquire)) == nullptr) {
+        if ((++spins & 0x3f) == 0) std::this_thread::yield();
+      }
+    }
+    arch::barrier(arch::Barrier::kDmbFull);
+    succ->locked.store(false, std::memory_order_release);
+  }
+
+  std::uint64_t execute(CriticalFn fn, void* ctx, std::uint64_t arg) override {
+    Node me;
+    lock(me);
+    const std::uint64_t ret = fn(ctx, arg);
+    unlock(me);
+    return ret;
+  }
+
+ private:
+  alignas(kCacheLineBytes) std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace armbar::locks

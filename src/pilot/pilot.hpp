@@ -1,0 +1,173 @@
+// Pilot (paper §4.3): barrier-free single-word message passing.
+//
+// The expensive pattern in memory-based communication is
+//
+//     store data; DMB st; store flag
+//
+// where the barrier strictly follows a remote memory reference and exposes
+// the whole drain latency (Observation 2). Pilot removes the barrier by
+// *piggybacking the flag on the data*: the receiver detects a new message
+// because the (shuffled) data word changed. 64-bit single-copy atomicity
+// guarantees the receiver sees the whole word or nothing.
+//
+// Shuffling: the sender XORs each message with a pseudo-random seed from a
+// pool both sides share, so consecutive equal messages still (almost
+// always) produce different words. The corner case where the shuffled word
+// collides with the previous one falls back to toggling a separate flag
+// word (Algorithm 3 line 2-3 / Algorithm 4 line 2-4).
+//
+// Flow control is the caller's job: this is a 1-slot channel, so a second
+// send before the matching receive overwrites the first message. The ring
+// buffer (src/spsc/pilot_ring.hpp) and the delegation locks (src/locks)
+// provide the bounded-buffer counters the paper keeps for that purpose.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace armbar::pilot {
+
+/// Shared seed pool. Sender and receiver must construct it with the same
+/// seed and size.
+class HashPool {
+ public:
+  explicit HashPool(std::uint64_t seed = 0x9e3779b97f4a7c15ULL,
+                    std::size_t size = 64)
+      : seeds_(size) {
+    ARMBAR_CHECK(size > 0);
+    Rng rng(seed);
+    for (auto& s : seeds_) {
+      // Zero seeds would disable shuffling for that slot; skip them.
+      do {
+        s = rng.next();
+      } while (s == 0);
+    }
+  }
+
+  std::uint64_t at(std::uint64_t i) const { return seeds_[i % seeds_.size()]; }
+  std::size_t size() const { return seeds_.size(); }
+
+ private:
+  std::vector<std::uint64_t> seeds_;
+};
+
+/// The shared memory of one Pilot channel: one cache line holding the
+/// piggybacked data word and the fallback flag word.
+struct alignas(kCacheLineBytes) PilotSlot {
+  std::atomic<std::uint64_t> data{0};
+  std::atomic<std::uint64_t> flag{0};
+};
+static_assert(sizeof(PilotSlot) == kCacheLineBytes);
+
+/// Sender half (Algorithm 3). Single producer.
+class PilotSender {
+ public:
+  PilotSender(PilotSlot& slot, const HashPool& pool) : slot_(slot), pool_(pool) {}
+
+  /// Publish a 64-bit message. No barrier: one single-copy-atomic store.
+  void send(std::uint64_t value) {
+    const std::uint64_t shuffled = value ^ pool_.at(cnt_++);
+    if (shuffled == old_data_) {
+      // Fallback: the shuffled word collides with the previous one, so a
+      // data store would be invisible; toggle the flag word instead.
+      flag_ ^= 1;
+      slot_.flag.store(flag_, std::memory_order_relaxed);
+    } else {
+      slot_.data.store(shuffled, std::memory_order_relaxed);
+      old_data_ = shuffled;
+    }
+  }
+
+ private:
+  PilotSlot& slot_;
+  const HashPool& pool_;
+  std::uint64_t old_data_ = 0;
+  std::uint64_t flag_ = 0;
+  std::uint64_t cnt_ = 0;
+};
+
+/// Receiver half (Algorithm 4). Single consumer.
+class PilotReceiver {
+ public:
+  PilotReceiver(const PilotSlot& slot, const HashPool& pool)
+      : slot_(slot), pool_(pool) {}
+
+  /// True if a new message is available (non-blocking probe).
+  bool poll() const {
+    return slot_.data.load(std::memory_order_relaxed) != old_data_ ||
+           slot_.flag.load(std::memory_order_relaxed) != old_flag_;
+  }
+
+  /// Spin until the next message arrives and return it. Yields periodically
+  /// so oversubscribed hosts (fewer cores than threads) make progress.
+  std::uint64_t receive() {
+    for (unsigned spins = 0;; ++spins) {
+      const std::uint64_t d = slot_.data.load(std::memory_order_relaxed);
+      if (d != old_data_) {
+        old_data_ = d;
+        break;
+      }
+      const std::uint64_t f = slot_.flag.load(std::memory_order_relaxed);
+      if (f != old_flag_) {
+        // Fallback path: the new message shuffles to exactly the previous
+        // word, which old_data_ already holds.
+        old_flag_ = f;
+        break;
+      }
+      if ((spins & 0x3f) == 0x3f) std::this_thread::yield();
+    }
+    return old_data_ ^ pool_.at(cnt_++);
+  }
+
+ private:
+  const PilotSlot& slot_;
+  const HashPool& pool_;
+  std::uint64_t old_data_ = 0;
+  std::uint64_t old_flag_ = 0;
+  std::uint64_t cnt_ = 0;
+};
+
+/// A multi-word Pilot channel (paper Fig 6c): Pilot applied to every
+/// 64-bit slice of a batched message. Each slice gets its own slot and
+/// its own position in the seed stream.
+class PilotBatchChannel {
+ public:
+  explicit PilotBatchChannel(std::size_t words, std::uint64_t seed = 1)
+      : pool_(seed), slots_(words) {
+    senders_.reserve(words);
+    receivers_.reserve(words);
+    for (std::size_t i = 0; i < words; ++i) {
+      senders_.emplace_back(slots_[i], pool_);
+      receivers_.emplace_back(slots_[i], pool_);
+    }
+  }
+
+  std::size_t words() const { return slots_.size(); }
+
+  /// Publish a batch; msg.size() must equal words().
+  void send(std::span<const std::uint64_t> msg) {
+    ARMBAR_CHECK(msg.size() == slots_.size());
+    for (std::size_t i = 0; i < msg.size(); ++i) senders_[i].send(msg[i]);
+  }
+
+  /// Blocking receive of a full batch.
+  void receive(std::span<std::uint64_t> out) {
+    ARMBAR_CHECK(out.size() == slots_.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = receivers_[i].receive();
+  }
+
+ private:
+  HashPool pool_;
+  std::vector<PilotSlot> slots_;
+  std::vector<PilotSender> senders_;
+  std::vector<PilotReceiver> receivers_;
+};
+
+}  // namespace armbar::pilot

@@ -1,0 +1,123 @@
+#include "sim/analysis.hpp"
+
+#include <sstream>
+
+namespace armbar::sim {
+
+BarrierClass barrier_class(Op op) {
+  switch (op) {
+    case Op::kDmbFull:
+    case Op::kDsbFull:
+      return {true, true, true, true};
+    case Op::kDmbSt:
+    case Op::kDsbSt:
+      return {false, true, false, true};   // store -> store
+    case Op::kDmbLd:
+    case Op::kDsbLd:
+      return {true, false, true, true};    // load -> load/store
+    default:
+      return {};
+  }
+}
+
+namespace {
+
+/// Conservative per-instruction summary used by the forward scan.
+struct Effect {
+  bool load = false;
+  bool store = false;
+  bool join = false;  // branch target or branch: kills all knowledge
+};
+
+Effect effect_of(const Instr& ins) {
+  Effect e;
+  e.load = is_load(ins.op);
+  e.store = is_store(ins.op);
+  e.join = is_branch(ins.op);
+  return e;
+}
+
+bool subsumes(const BarrierClass& strong, const BarrierClass& weak) {
+  return (!weak.before_loads || strong.before_loads) &&
+         (!weak.before_stores || strong.before_stores) &&
+         (!weak.after_loads || strong.after_loads) &&
+         (!weak.after_stores || strong.after_stores);
+}
+
+}  // namespace
+
+FenceAnalysis analyze_fences(const Program& p) {
+  FenceAnalysis out;
+
+  // Mark instructions that are branch targets: knowledge is killed there
+  // (another path may carry pending accesses).
+  std::vector<bool> is_target(p.size(), false);
+  for (std::uint32_t i = 0; i < p.size(); ++i)
+    if (is_branch(p.at(i).op)) is_target[p.at(i).target] = true;
+
+  // Forward scan tracking, since the last "knowledge kill" (program start,
+  // join, or barrier), whether a load/store of each class occurred.
+  bool pending_load = false;
+  bool pending_store = false;
+  bool clean_path = true;  // no join since the last subsuming barrier
+  // The strongest barrier seen on the current clean straight-line segment.
+  BarrierClass last_barrier{};
+  bool have_last_barrier = false;
+
+  for (std::uint32_t i = 0; i < p.size(); ++i) {
+    const Instr& ins = p.at(i);
+    if (is_target[i]) {
+      // A join: assume the worst from the other path.
+      pending_load = pending_store = true;
+      clean_path = false;
+      have_last_barrier = false;
+    }
+
+    if (is_barrier(ins.op) && ins.op != Op::kIsb) {
+      ++out.total_barriers;
+      const BarrierClass cls = barrier_class(ins.op);
+      const bool nothing_before =
+          (!cls.before_loads || !pending_load) &&
+          (!cls.before_stores || !pending_store);
+      if (nothing_before && clean_path) {
+        out.redundant.push_back(
+            {i, ins.op,
+             "no preceding access of the ordered class since program start "
+             "or the previous subsuming barrier"});
+      } else if (have_last_barrier && subsumes(last_barrier, cls) &&
+                 !pending_load && !pending_store) {
+        out.redundant.push_back(
+            {i, ins.op,
+             "subsumed by an earlier equal-or-stronger barrier with no "
+             "memory access in between"});
+      }
+      // The barrier discharges the accesses it orders.
+      if (cls.before_loads) pending_load = false;
+      if (cls.before_stores) pending_store = false;
+      last_barrier = cls;
+      have_last_barrier = true;
+      clean_path = true;
+      continue;
+    }
+
+    const Effect e = effect_of(ins);
+    if (e.load) pending_load = true;
+    if (e.store) pending_store = true;
+    if (e.join) {
+      // Fallthrough past a branch: the next instruction may also be
+      // reached from elsewhere; handled by is_target above. The branch
+      // itself doesn't kill straight-line knowledge for the fallthrough.
+    }
+  }
+  return out;
+}
+
+std::string FenceAnalysis::str() const {
+  std::ostringstream os;
+  os << total_barriers << " barriers, " << redundant.size() << " provably redundant\n";
+  for (const auto& r : redundant)
+    os << "  @" << r.pc << " " << to_string(r.op) << ": " << r.reason << "\n";
+  return os.str();
+}
+
+}  // namespace armbar::sim

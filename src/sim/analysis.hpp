@@ -1,0 +1,54 @@
+// Static barrier-redundancy analysis over micro-ISA programs.
+//
+// A lightweight, conservative take on partially-redundant fence
+// elimination (the compile-time direction the paper contrasts itself with
+// in §6): it flags barriers that cannot order anything because no memory
+// access of the class they protect can reach them since the previous
+// equally-strong barrier. Only *provably* redundant barriers are reported:
+//
+//   * a barrier with no preceding memory access anywhere in the program
+//     prefix/loop body that could pair with a following one;
+//   * a barrier dominated by an equal-or-stronger barrier with no memory
+//     access of the protected "before" class in between;
+//   * consecutive barriers where the earlier one is subsumed by the later,
+//     stronger one with no intervening memory access.
+//
+// The analysis is path-insensitive and treats any branch target as a join
+// (conservative: barriers reachable from unanalyzed paths are kept).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace armbar::sim {
+
+/// What a barrier orders on each side.
+struct BarrierClass {
+  bool before_loads = false;
+  bool before_stores = false;
+  bool after_loads = false;
+  bool after_stores = false;
+};
+
+/// Ordering classes of the barrier instructions (inner-shareable).
+BarrierClass barrier_class(Op op);
+
+struct RedundantBarrier {
+  std::uint32_t pc = 0;
+  Op op = Op::kNop;
+  std::string reason;
+};
+
+struct FenceAnalysis {
+  std::uint32_t total_barriers = 0;
+  std::vector<RedundantBarrier> redundant;
+  std::string str() const;
+};
+
+/// Analyze `p` and report provably redundant barriers.
+FenceAnalysis analyze_fences(const Program& p);
+
+}  // namespace armbar::sim

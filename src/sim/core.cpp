@@ -1,0 +1,649 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace armbar::sim {
+
+namespace {
+constexpr Cycle cyc_min(Cycle a, Cycle b) { return a < b ? a : b; }
+constexpr Cycle cyc_max(Cycle a, Cycle b) { return a > b ? a : b; }
+}  // namespace
+
+Core::Core(CoreId id, const PlatformSpec& spec, MemorySystem& mem)
+    : id_(id), spec_(spec), lat_(spec.lat), mem_(mem) {}
+
+void Core::load_program(const Program* prog) {
+  ARMBAR_CHECK(prog != nullptr && !prog->code.empty());
+  prog_ = prog;
+  pc_ = 0;
+  halted_ = false;
+  next_attention_ = 0;
+}
+
+void Core::set_reg(Reg r, std::uint64_t v) {
+  if (r == XZR) return;
+  regs_[r] = v;
+  ready_[r] = 0;
+}
+
+void Core::write(Reg r, std::uint64_t v, Cycle ready_at) {
+  if (r == XZR) return;
+  regs_[r] = v;
+  ready_[r] = ready_at;
+}
+
+void Core::stall(Cycle now, Cycle until, StallCause cause) {
+  if (until > now) stats_.stall_cycles[static_cast<int>(cause)] += until - now;
+  stall_until_ = cyc_max(stall_until_, until);
+  stall_cause_ = cause;
+}
+
+bool Core::sb_has_older_same_word(std::uint64_t seq, Addr word) const {
+  for (const auto& e : sb_) {
+    if (e.seq >= seq) break;
+    if (word_of(e.addr) == word) return true;
+  }
+  return false;
+}
+
+void Core::retire_drain(const SbEntry& e) {
+  for (auto& w : watches_) {
+    if (!w.active || e.seq >= w.epoch) continue;
+    ARMBAR_CHECK(w.pending > 0);
+    --w.pending;
+    w.max_done = cyc_max(w.max_done, e.drain_done);
+    w.remote = w.remote || e.remote_snoop;
+  }
+}
+
+int Core::alloc_watch(Cycle now) {
+  int idx = -1;
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    if (!watches_[i].active) {
+      idx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (idx < 0) {
+    watches_.emplace_back();
+    idx = static_cast<int>(watches_.size() - 1);
+  }
+  SbWatch& w = watches_[idx];
+  w.active = true;
+  w.epoch = sb_next_seq_;
+  w.pending = static_cast<std::uint32_t>(sb_.size());
+  w.max_done = now;
+  w.remote = false;
+  return idx;
+}
+
+void Core::pump_store_buffer(Cycle now) {
+  // Retire finished drains (completion order, not program order: the
+  // buffer is non-FIFO).
+  for (auto it = sb_.begin(); it != sb_.end();) {
+    if (it->draining && it->drain_done <= now) {
+      retire_drain(*it);
+      it = sb_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::uint32_t inflight = 0;
+  for (const auto& e : sb_)
+    if (e.draining) ++inflight;
+
+  const std::uint32_t mshrs = tso_ ? 1 : lat_.sb_mshrs;
+  for (auto& e : sb_) {
+    if (inflight >= mshrs) break;
+    if (e.draining) continue;
+    if (tso_ && &e != &sb_.front()) break;  // TSO: strict FIFO drain
+    if (e.value_ready > now) continue;      // data dependency
+    if (e.drain_at > now) continue;         // still sitting in the buffer
+    if (e.gate_branch > committed_branch_) continue;  // control dependency
+    if (sb_has_older_same_word(e.seq, word_of(e.addr))) continue;
+    if (e.release) {
+      // STLR drains only once every older store has drained and every
+      // prior load has completed; then it pays the global-visibility ack.
+      if (&e != &sb_.front()) continue;
+      if (e.release_loads > now) continue;
+    }
+    bool remote = false;
+    Cycle done = mem_.store(id_, e.addr, e.value, now, remote);
+    if (e.release) done += lat_.stlr_extra;
+    e.draining = true;
+    e.drain_done = done;
+    e.remote_snoop = remote;
+    ++inflight;
+  }
+
+  // Resolve a pending DMB st gate once its watched stores have drained.
+  if (store_gate_armed_ && store_gate_watch_ >= 0) {
+    SbWatch& w = watches_[store_gate_watch_];
+    if (w.pending == 0) {
+      const std::uint32_t txn =
+          spec_.mca ? lat_.barrier_base
+                    : (w.remote ? lat_.bus_mem_cross : lat_.bus_mem_local);
+      store_gate_ready_ = w.max_done + txn;
+      w.active = false;
+      store_gate_watch_ = -1;
+    }
+  }
+}
+
+Cycle Core::earliest_sb_event(Cycle now) const {
+  Cycle t = kNeverCycle;
+  for (const auto& e : sb_) {
+    if (e.draining) {
+      t = cyc_min(t, e.drain_done);
+    } else {
+      if (e.value_ready > now) t = cyc_min(t, e.value_ready);
+      if (e.drain_at > now) t = cyc_min(t, e.drain_at);
+      if (e.release && e.release_loads > now) t = cyc_min(t, e.release_loads);
+    }
+  }
+  return t;
+}
+
+void Core::squash(const PendingBranch& br, Cycle now) {
+  std::copy(std::begin(br.regs), std::end(br.regs), std::begin(regs_));
+  std::copy(std::begin(br.ready), std::end(br.ready), std::begin(ready_));
+  flags_ = br.flags;
+  flags_ready_ = br.flags_ready;
+  loads_done_at_ = br.loads_done;
+  while (!sb_.empty() && sb_.back().seq >= br.sb_seq) {
+    ARMBAR_CHECK_MSG(!sb_.back().draining, "speculative store drained");
+    sb_.pop_back();
+  }
+  branches_.clear();
+  committed_branch_ = br.idx;
+  pc_ = br.actual_pc;
+  ++stats_.squashes;
+  stall(now, now + lat_.pipeline_flush, StallCause::kSquash);
+}
+
+void Core::resolve_branches(Cycle now) {
+  while (!branches_.empty() && branches_.front().resolve_at <= now) {
+    PendingBranch br = branches_.front();
+    if (br.actual_pc == br.predicted_pc) {
+      branches_.pop_front();
+      committed_branch_ = br.idx;
+    } else {
+      squash(br, now);
+      return;
+    }
+  }
+}
+
+bool Core::check_blocking_barrier(Cycle now) {
+  BlockingBarrier& b = *barrier_;
+  Cycle done_at = cyc_max(b.issue, b.loads_done);
+  bool remote = false;
+  if (b.watch >= 0) {
+    SbWatch& w = watches_[b.watch];
+    if (w.pending > 0) return false;
+    done_at = cyc_max(done_at, w.max_done);
+    remote = w.remote;
+    w.active = false;
+  }
+
+  std::uint32_t extra = lat_.barrier_base;
+  switch (b.kind) {
+    case Op::kDmbLd:
+      extra = lat_.barrier_base;
+      break;
+    case Op::kDmbFull:
+      extra = (!b.had_stores || spec_.mca)
+                  ? lat_.barrier_base
+                  : (remote ? lat_.bus_mem_cross : lat_.bus_mem_local);
+      break;
+    case Op::kDsbFull:
+    case Op::kDsbSt:
+    case Op::kDsbLd:
+      // Synchronization barrier transactions always travel to the inner
+      // domain boundary — no locality benefit (Observation 5).
+      extra = lat_.bus_sync;
+      break;
+    default:
+      ARMBAR_CHECK(false);
+  }
+  barrier_.reset();
+  stall(now, done_at + extra, StallCause::kBarrier);
+  return true;
+}
+
+Cycle Core::do_load(const Instr& ins, Cycle now, Addr addr) {
+  // Store-buffer forwarding: youngest same-word entry wins.
+  for (auto it = sb_.rbegin(); it != sb_.rend(); ++it) {
+    if (word_of(it->addr) == word_of(addr)) {
+      const Cycle done = cyc_max(now + lat_.sb_hit, it->value_ready);
+      write(ins.rd, it->value, done);
+      return done;
+    }
+  }
+  std::uint64_t value = 0;
+  Cycle done = mem_.load(id_, addr, now, value, /*exclusive=*/ins.op == Op::kLdxr);
+  if (done - now > lat_.cache_hit) ++stats_.load_misses;
+  if (tso_) {
+    // TSO: loads become visible in program order.
+    done = cyc_max(done, tso_last_load_done_);
+    tso_last_load_done_ = done;
+  }
+  write(ins.rd, value, done);
+  return done;
+}
+
+bool Core::sources_ready(const Instr& ins, Cycle now) {
+  Cycle need = 0;
+  switch (ins.op) {
+    case Op::kMov:
+      need = reg_ready(ins.rn);
+      break;
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOrr:
+    case Op::kEor: case Op::kLsl: case Op::kLsr: case Op::kMul:
+    case Op::kCmp:
+      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
+      break;
+    case Op::kAddImm: case Op::kSubImm: case Op::kAndImm: case Op::kOrrImm:
+    case Op::kEorImm: case Op::kLslImm: case Op::kLsrImm: case Op::kCmpImm:
+      need = reg_ready(ins.rn);
+      break;
+    case Op::kLdr: case Op::kLdar: case Op::kLdapr: case Op::kLdxr:
+      need = reg_ready(ins.rn);
+      break;
+    case Op::kLdrIdx:
+      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
+      break;
+    case Op::kStr: case Op::kStlr:
+      need = reg_ready(ins.rn);  // value reg may still be pending
+      break;
+    case Op::kStrIdx:
+      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
+      break;
+    case Op::kStxr:
+    case Op::kSwp:
+      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
+      break;
+    default:
+      return true;
+  }
+  if (need > now) {
+    stall(now, need, StallCause::kOperand);
+    return false;
+  }
+  return true;
+}
+
+void Core::issue(Cycle now) {
+  ARMBAR_CHECK(prog_ != nullptr && pc_ < prog_->size());
+  const Instr& ins = prog_->at(pc_);
+
+  // Barriers, exclusives, WFE and HALT never execute speculatively.
+  const bool needs_nonspec = is_barrier(ins.op) || ins.op == Op::kStxr ||
+                             ins.op == Op::kLdar || ins.op == Op::kLdapr ||
+                             ins.op == Op::kLdxr || ins.op == Op::kStlr ||
+                             ins.op == Op::kWfe || ins.op == Op::kSwp ||
+                             ins.op == Op::kHalt;
+  if (needs_nonspec && !branches_.empty()) {
+    stall(now, branches_.front().resolve_at, StallCause::kSpec);
+    return;
+  }
+  if (!sources_ready(ins, now)) return;
+
+  switch (ins.op) {
+    case Op::kNop:
+      ++pc_;
+      break;
+
+    case Op::kHalt:
+      halted_ = true;
+      stats_.halted_at = now;
+      break;
+
+    case Op::kWfe:
+      if (event_pending_) {
+        event_pending_ = false;
+      } else {
+        parked_ = true;
+        park_wake_ = now + lat_.wfe_timeout;
+        ++stats_.wfe_parks;
+      }
+      ++pc_;
+      break;
+
+    case Op::kMovImm:
+      write(ins.rd, static_cast<std::uint64_t>(ins.imm), now + lat_.alu);
+      ++pc_;
+      break;
+    case Op::kMov:
+      write(ins.rd, read(ins.rn), now + lat_.alu);
+      ++pc_;
+      break;
+
+    case Op::kAdd: write(ins.rd, read(ins.rn) + read(ins.rm), now + lat_.alu); ++pc_; break;
+    case Op::kAddImm: write(ins.rd, read(ins.rn) + static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
+    case Op::kSub: write(ins.rd, read(ins.rn) - read(ins.rm), now + lat_.alu); ++pc_; break;
+    case Op::kSubImm: write(ins.rd, read(ins.rn) - static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
+    case Op::kAnd: write(ins.rd, read(ins.rn) & read(ins.rm), now + lat_.alu); ++pc_; break;
+    case Op::kAndImm: write(ins.rd, read(ins.rn) & static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
+    case Op::kOrr: write(ins.rd, read(ins.rn) | read(ins.rm), now + lat_.alu); ++pc_; break;
+    case Op::kOrrImm: write(ins.rd, read(ins.rn) | static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
+    case Op::kEor: write(ins.rd, read(ins.rn) ^ read(ins.rm), now + lat_.alu); ++pc_; break;
+    case Op::kEorImm: write(ins.rd, read(ins.rn) ^ static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
+    case Op::kLsl: write(ins.rd, read(ins.rn) << (read(ins.rm) & 63), now + lat_.alu); ++pc_; break;
+    case Op::kLslImm: write(ins.rd, read(ins.rn) << (ins.imm & 63), now + lat_.alu); ++pc_; break;
+    case Op::kLsr: write(ins.rd, read(ins.rn) >> (read(ins.rm) & 63), now + lat_.alu); ++pc_; break;
+    case Op::kLsrImm: write(ins.rd, read(ins.rn) >> (ins.imm & 63), now + lat_.alu); ++pc_; break;
+    case Op::kMul: write(ins.rd, read(ins.rn) * read(ins.rm), now + lat_.alu); ++pc_; break;
+
+    case Op::kCmp:
+      flags_ = (read(ins.rn) < read(ins.rm)) ? -1 : (read(ins.rn) == read(ins.rm) ? 0 : 1);
+      flags_ready_ = now + lat_.alu;
+      ++pc_;
+      break;
+    case Op::kCmpImm: {
+      const auto rhs = static_cast<std::uint64_t>(ins.imm);
+      flags_ = (read(ins.rn) < rhs) ? -1 : (read(ins.rn) == rhs ? 0 : 1);
+      flags_ready_ = now + lat_.alu;
+      ++pc_;
+      break;
+    }
+
+    case Op::kB:
+      pc_ = ins.target;
+      break;
+
+    case Op::kBeq: case Op::kBne: case Op::kBlt:
+    case Op::kBle: case Op::kBgt: case Op::kBge:
+    case Op::kCbz: case Op::kCbnz: {
+      const bool is_cb = ins.op == Op::kCbz || ins.op == Op::kCbnz;
+      const Cycle resolve_at = is_cb ? reg_ready(ins.rn) : flags_ready_;
+      bool taken = false;
+      switch (ins.op) {
+        case Op::kBeq: taken = flags_ == 0; break;
+        case Op::kBne: taken = flags_ != 0; break;
+        case Op::kBlt: taken = flags_ < 0; break;
+        case Op::kBle: taken = flags_ <= 0; break;
+        case Op::kBgt: taken = flags_ > 0; break;
+        case Op::kBge: taken = flags_ >= 0; break;
+        case Op::kCbz: taken = read(ins.rn) == 0; break;
+        case Op::kCbnz: taken = read(ins.rn) != 0; break;
+        default: break;
+      }
+      const std::uint32_t actual = taken ? ins.target : pc_ + 1;
+      if (resolve_at <= now) {
+        pc_ = actual;
+        break;
+      }
+      if (branches_.size() >= lat_.max_spec_branches) {
+        stall(now, branches_.front().resolve_at, StallCause::kSpec);
+        return;
+      }
+      // Static prediction: backward taken, forward not-taken.
+      const std::uint32_t predicted = ins.target <= pc_ ? ins.target : pc_ + 1;
+      PendingBranch br;
+      br.idx = next_branch_id_++;
+      br.resolve_at = resolve_at;
+      br.actual_pc = actual;
+      br.predicted_pc = predicted;
+      std::copy(std::begin(regs_), std::end(regs_), std::begin(br.regs));
+      std::copy(std::begin(ready_), std::end(ready_), std::begin(br.ready));
+      br.flags = flags_;
+      br.flags_ready = flags_ready_;
+      br.loads_done = loads_done_at_;
+      br.sb_seq = sb_next_seq_;
+      branches_.push_back(br);
+      pc_ = predicted;
+      break;
+    }
+
+    case Op::kLdr: case Op::kLdrIdx: case Op::kLdar: case Op::kLdapr:
+    case Op::kLdxr: {
+      if (mem_gate_ > now) {
+        stall(now, mem_gate_, StallCause::kMemGate);
+        return;
+      }
+      if (load_gate_ > now) {
+        stall(now, load_gate_, StallCause::kMemGate);
+        return;
+      }
+      std::erase_if(load_queue_, [now](Cycle c) { return c <= now; });
+      if (load_queue_.size() >= lat_.lq_entries) {
+        stall(now, *std::min_element(load_queue_.begin(), load_queue_.end()),
+              StallCause::kLqFull);
+        return;
+      }
+      const Addr addr = ins.op == Op::kLdrIdx
+                            ? read(ins.rn) + read(ins.rm)
+                            : read(ins.rn) + static_cast<std::uint64_t>(ins.imm);
+      const Cycle done = do_load(ins, now, addr);
+      load_queue_.push_back(done);
+      loads_done_at_ = cyc_max(loads_done_at_, done);
+      if (ins.op == Op::kLdar) mem_gate_ = cyc_max(mem_gate_, done);
+      if (ins.op == Op::kLdapr) {
+        // RCpc acquire: later loads wait; later stores only have their
+        // visibility (drain) floored — the pipe keeps flowing.
+        load_gate_ = cyc_max(load_gate_, done);
+        drain_floor_ = cyc_max(drain_floor_, done);
+      }
+      if (ins.op == Op::kLdxr) {
+        monitor_valid_ = true;
+        monitor_line_ = line_of(addr);
+      }
+      ++stats_.loads;
+      ++pc_;
+      break;
+    }
+
+    case Op::kStr: case Op::kStrIdx: case Op::kStlr: {
+      if (mem_gate_ > now) {
+        stall(now, mem_gate_, StallCause::kMemGate);
+        return;
+      }
+      if (store_gate_armed_ && store_gate_watch_ < 0 && store_gate_ready_ <= now)
+        store_gate_armed_ = false;  // gate already resolved and elapsed
+      if (store_gate_armed_) {
+        if (store_gate_watch_ >= 0) {
+          // Gate resolution time still unknown: drains outstanding.
+          stall(now, now + 1, StallCause::kStoreGate);
+          return;
+        }
+        if (store_gate_ready_ > now) {
+          stall(now, store_gate_ready_, StallCause::kStoreGate);
+          return;
+        }
+        store_gate_armed_ = false;
+      }
+      if (sb_.size() >= lat_.sb_entries) {
+        stall(now, earliest_sb_event(now), StallCause::kSbFull);
+        return;
+      }
+      SbEntry e;
+      e.seq = sb_next_seq_++;
+      e.addr = ins.op == Op::kStrIdx
+                   ? read(ins.rn) + read(ins.rm)
+                   : read(ins.rn) + static_cast<std::uint64_t>(ins.imm);
+      e.value = read(ins.rd);
+      e.value_ready = cyc_max(now + lat_.sb_insert, reg_ready(ins.rd));
+      e.drain_at = cyc_max(now + lat_.sb_drain_delay, drain_floor_);
+      e.gate_branch = youngest_branch_id();
+      e.release = ins.op == Op::kStlr;
+      e.release_loads = loads_done_at_;
+      sb_.push_back(e);
+      ++stats_.stores;
+      ++pc_;
+      break;
+    }
+
+    case Op::kSwp: {
+      if (mem_gate_ > now) {
+        stall(now, mem_gate_, StallCause::kMemGate);
+        return;
+      }
+      const Addr addr = read(ins.rn);
+      std::uint64_t old = 0;
+      bool remote = false;
+      const Cycle done = mem_.exchange(id_, addr, read(ins.rm), now, old, remote);
+      write(ins.rd, old, done);
+      monitor_valid_ = false;
+      ++stats_.loads;
+      ++stats_.stores;
+      ++pc_;
+      break;
+    }
+
+    case Op::kStxr: {
+      if (mem_gate_ > now) {
+        stall(now, mem_gate_, StallCause::kMemGate);
+        return;
+      }
+      const Addr addr = read(ins.rn);
+      if (!monitor_valid_ || monitor_line_ != line_of(addr)) {
+        write(ins.rd, 1, now + lat_.alu);  // fail fast
+        monitor_valid_ = false;
+        ++stats_.stxr_failures;
+      } else {
+        bool remote = false;
+        const Cycle done = mem_.store(id_, addr, read(ins.rm), now, remote);
+        write(ins.rd, 0, done);
+        monitor_valid_ = false;
+        ++stats_.stores;
+      }
+      ++pc_;
+      break;
+    }
+
+    case Op::kIsb:
+      // Context synchronization: prior branches already resolved
+      // (non-speculative issue); pay the pipeline refill.
+      stall(now, now + lat_.pipeline_flush, StallCause::kBarrier);
+      ++stats_.barriers;
+      ++pc_;
+      break;
+
+    case Op::kDmbLd: {
+      BlockingBarrier b;
+      b.kind = ins.op;
+      b.watch = -1;
+      b.loads_done = loads_done_at_;
+      b.issue = now + lat_.barrier_base;
+      b.had_stores = false;
+      barrier_ = b;
+      ++stats_.barriers;
+      ++pc_;
+      break;
+    }
+
+    case Op::kDmbFull: case Op::kDsbFull: case Op::kDsbSt: case Op::kDsbLd: {
+      BlockingBarrier b;
+      b.kind = ins.op;
+      b.had_stores = !sb_.empty();
+      b.watch = sb_.empty() ? -1 : alloc_watch(now);
+      b.loads_done = loads_done_at_;
+      b.issue = now + 1;
+      barrier_ = b;
+      ++stats_.barriers;
+      ++pc_;
+      break;
+    }
+
+    case Op::kDmbSt: {
+      if (store_gate_armed_ && store_gate_watch_ < 0 && store_gate_ready_ <= now)
+        store_gate_armed_ = false;  // gate already resolved and elapsed
+      if (store_gate_armed_) {
+        // A previous DMB st gate is still pending; serialize on it.
+        stall(now, store_gate_watch_ >= 0 ? now + 1 : store_gate_ready_,
+              StallCause::kStoreGate);
+        return;
+      }
+      store_gate_armed_ = true;
+      if (sb_.empty()) {
+        store_gate_watch_ = -1;
+        store_gate_ready_ = now + lat_.barrier_base;
+      } else {
+        store_gate_watch_ = alloc_watch(now);
+        store_gate_ready_ = 0;
+      }
+      ++stats_.barriers;
+      ++pc_;
+      break;
+    }
+  }
+
+  ++stats_.instructions;
+}
+
+void Core::step(Cycle now) {
+  last_step_ = now;
+  pump_store_buffer(now);
+  resolve_branches(now);
+
+  auto finish = [&](Cycle candidate) {
+    Cycle na = candidate;
+    na = cyc_min(na, earliest_sb_event(now));
+    if (!branches_.empty()) na = cyc_min(na, branches_.front().resolve_at);
+    // Progress guarantee: never schedule in the past/present.
+    next_attention_ = cyc_max(na, now + 1);
+  };
+
+  if (halted_) {
+    finish(sb_.empty() ? kNeverCycle : now + 1);
+    return;
+  }
+
+  if (parked_) {
+    if (now >= park_wake_) {
+      parked_ = false;
+    } else {
+      stats_.stall_cycles[static_cast<int>(StallCause::kParked)] +=
+          park_wake_ - now;
+      finish(park_wake_);
+      return;
+    }
+  }
+
+  if (stall_until_ > now) {
+    finish(stall_until_);
+    return;
+  }
+
+  if (barrier_) {
+    if (!check_blocking_barrier(now)) {
+      // Still waiting on store drains; wake at the next SB event.
+      finish(now + 1);
+      return;
+    }
+    if (stall_until_ > now) {
+      finish(stall_until_);
+      return;
+    }
+  }
+
+  issue(now);
+
+  if (halted_) {
+    finish(sb_.empty() ? kNeverCycle : now + 1);
+  } else if (parked_) {
+    finish(park_wake_);
+  } else if (stall_until_ > now) {
+    finish(stall_until_);
+  } else {
+    finish(now + 1);
+  }
+}
+
+void Core::on_invalidate(Addr line, Cycle at) {
+  event_pending_ = true;
+  if (monitor_valid_ && monitor_line_ == line) monitor_valid_ = false;
+  if (parked_) {
+    const Cycle wake = cyc_max(at, last_step_ + 1);
+    if (wake < park_wake_) {
+      park_wake_ = wake;
+      next_attention_ = cyc_min(next_attention_, wake);
+    }
+  }
+}
+
+}  // namespace armbar::sim

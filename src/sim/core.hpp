@@ -1,0 +1,246 @@
+// One simulated ARMv8-lite core.
+//
+// Pipeline model (paper §2.3 "one typical implementation"):
+//  * in-order issue, one instruction per cycle, ALU latency 1;
+//  * loads are non-blocking: they enter a load queue and deliver into their
+//    destination register at a future completion cycle; consumers stall,
+//    independent instructions flow past (this is what makes bogus
+//    data/address dependencies nearly free — Observation 6);
+//  * stores retire into a bounded, NON-FIFO store buffer and drain in the
+//    background through the coherence fabric (up to `sb_mshrs` concurrent
+//    drains). A store's drain cannot start before its value's producer has
+//    finished (data dependency) or before the branches it speculated past
+//    have resolved (control dependency);
+//  * conditional branches with unresolved conditions are predicted
+//    (backward taken / forward not-taken); wrong-path work is squashed with
+//    a register-file snapshot and a flush penalty;
+//  * barriers follow the ACE model: when a barrier reaches issue it blocks
+//    the instruction classes its type demands, and — if it needs the bus —
+//    cannot complete before prior snoop activity finished plus a barrier-
+//    transaction round trip (memory barrier txn to the bi-section boundary,
+//    escalated to the domain boundary when cross-node snooping was involved;
+//    synchronization barrier txn always to the domain boundary).
+//
+// Barrier semantics implemented (calibrated to the paper's observations):
+//   DMB full : blocks all issue until prior loads complete and prior stores
+//              drain; pays a memory-barrier txn only if stores were pending
+//              (empty-queue barriers terminate internally — Fig 2).
+//              Blocking *all* issue models the issue-queue/ROB saturation
+//              the paper infers in Observation 2 / Fig 4.
+//   DMB st   : does not block the pipe; arms a "store gate" — later stores
+//              cannot issue until prior stores drained + memory txn.
+//   DMB ld   : blocks all issue until prior loads complete; no bus txn.
+//   DSB *    : blocks all issue until loads+stores done, then always pays a
+//              synchronization-barrier txn to the domain boundary (Obs 5).
+//   ISB      : waits for pending branches to resolve, then flushes the pipe.
+//   LDAR     : a load that also gates later *memory* ops until it completes.
+//   STLR     : a store whose drain waits for all older stores to drain and
+//              all prior loads to complete, then pays an extra global-
+//              visibility acknowledgement (stlr_extra). Later stores may
+//              still drain around it (one-way barrier), but successive
+//              STLRs chain, which is what makes its cost high and
+//              occupancy-dependent (Observation 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/isa.hpp"
+#include "sim/mem.hpp"
+#include "sim/program.hpp"
+
+namespace armbar::sim {
+
+/// Why a core did not issue this cycle (for the stall breakdown).
+enum class StallCause : std::uint8_t {
+  kNone = 0,
+  kOperand,      ///< waiting for a source register
+  kBarrier,      ///< blocking barrier in progress
+  kStoreGate,    ///< DMB st gate blocks a store
+  kMemGate,      ///< LDAR gate blocks a memory op
+  kSbFull,       ///< store buffer full
+  kLqFull,       ///< load queue full
+  kSpec,         ///< speculation depth exhausted / must be non-speculative
+  kSquash,       ///< refilling after a branch mispredict
+  kParked,       ///< in WFE
+  kCount,
+};
+
+struct CoreStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t load_misses = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t squashes = 0;
+  std::uint64_t wfe_parks = 0;
+  std::uint64_t stxr_failures = 0;
+  std::uint64_t stall_cycles[static_cast<int>(StallCause::kCount)] = {};
+  Cycle halted_at = 0;
+
+  std::uint64_t total_stalls() const {
+    std::uint64_t s = 0;
+    for (auto v : stall_cycles) s += v;
+    return s;
+  }
+};
+
+class Core {
+ public:
+  Core(CoreId id, const PlatformSpec& spec, MemorySystem& mem);
+
+  /// Bind a program. The program must outlive the run.
+  void load_program(const Program* prog);
+
+  void set_reg(Reg r, std::uint64_t v);
+  std::uint64_t reg(Reg r) const { return r == XZR ? 0 : regs_[r]; }
+
+  void set_tso(bool tso) { tso_ = tso; }
+
+  CoreId id() const { return id_; }
+  bool halted() const { return halted_; }
+  bool idle() const { return halted_ && sb_.empty(); }
+
+  /// Earliest cycle at which this core needs to be stepped again.
+  Cycle next_attention() const { return next_attention_; }
+
+  /// Advance the core at cycle `now`. Issues at most one instruction and
+  /// pumps the store buffer. Updates next_attention().
+  void step(Cycle now);
+
+  /// Coherence callback: this core's copy of `line` was invalidated,
+  /// effective at cycle `at`.
+  void on_invalidate(Addr line, Cycle at);
+
+  const CoreStats& stats() const { return stats_; }
+  std::uint32_t pc() const { return pc_; }
+
+ private:
+  // ---- store buffer ----
+  struct SbEntry {
+    std::uint64_t seq = 0;
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    Cycle value_ready = 0;     ///< data-dependency: value usable from here
+    Cycle drain_at = 0;        ///< earliest drain request (sb_drain_delay)
+    std::uint64_t gate_branch = 0;  ///< control-dependency: youngest branch id
+    bool release = false;      ///< STLR
+    Cycle release_loads = 0;   ///< STLR: prior loads must be done by drain
+    bool draining = false;
+    Cycle drain_done = 0;
+    bool remote_snoop = false;
+  };
+
+  // A barrier's view of the store buffer: "all entries with seq < epoch
+  // must drain"; tracks the last completion among them and whether any
+  // snoop crossed a node boundary.
+  struct SbWatch {
+    std::uint64_t epoch = 0;
+    std::uint32_t pending = 0;
+    Cycle max_done = 0;
+    bool remote = false;
+    bool active = false;
+  };
+
+  struct PendingBranch {
+    std::uint64_t idx;          ///< monotonically increasing branch id
+    Cycle resolve_at;
+    std::uint32_t actual_pc;    ///< correct next pc (evaluated at issue)
+    std::uint32_t predicted_pc;
+    // register-file snapshot for squash
+    std::uint64_t regs[kNumRegs];
+    Cycle ready[kNumRegs];
+    std::int64_t flags;
+    Cycle flags_ready;
+    Cycle loads_done;
+    std::uint64_t sb_seq;       ///< entries with seq >= this are speculative
+  };
+
+  struct BlockingBarrier {
+    Op kind;
+    int watch = -1;             ///< index into watches_, or -1
+    Cycle loads_done = 0;       ///< prior-load completion snapshot
+    Cycle issue = 0;
+    bool had_stores = false;
+  };
+
+  // ---- helpers ----
+  void pump_store_buffer(Cycle now);
+  void resolve_branches(Cycle now);
+  bool check_blocking_barrier(Cycle now);
+  void issue(Cycle now);
+  void stall(Cycle now, Cycle until, StallCause cause);
+  bool sources_ready(const Instr& ins, Cycle now);
+  std::uint64_t read(Reg r) const { return r == XZR ? 0 : regs_[r]; }
+  void write(Reg r, std::uint64_t v, Cycle ready_at);
+  Cycle reg_ready(Reg r) const { return r == XZR ? 0 : ready_[r]; }
+  int alloc_watch(Cycle now);
+  void retire_drain(const SbEntry& e);
+  Cycle do_load(const Instr& ins, Cycle now, Addr addr);
+  bool sb_has_older_same_word(std::uint64_t seq, Addr word) const;
+  Cycle earliest_sb_event(Cycle now) const;
+  void squash(const PendingBranch& br, Cycle now);
+  std::uint64_t youngest_branch_id() const {
+    return branches_.empty() ? 0 : branches_.back().idx;
+  }
+
+  // ---- identity / wiring ----
+  const CoreId id_;
+  const PlatformSpec& spec_;
+  const Latencies& lat_;
+  MemorySystem& mem_;
+  const Program* prog_ = nullptr;
+
+  // ---- architectural state ----
+  std::uint64_t regs_[kNumRegs] = {};
+  Cycle ready_[kNumRegs] = {};
+  std::int64_t flags_ = 0;      ///< last CMP result (signed rn - rm)
+  Cycle flags_ready_ = 0;
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+
+  // ---- memory-order state ----
+  std::deque<SbEntry> sb_;
+  std::uint64_t sb_next_seq_ = 1;
+  std::uint64_t sb_resolved_branch_ = ~0ULL;  ///< see resolve_branches()
+  std::vector<SbWatch> watches_;
+  std::vector<Cycle> load_queue_;   ///< completion cycles of in-flight loads
+  Cycle loads_done_at_ = 0;         ///< max completion over all issued loads
+  Cycle mem_gate_ = 0;              ///< LDAR: memory ops blocked before this
+  /// LDAPR (RCpc acquire): subsequent LOADS blocked before this; stores may
+  /// enter the buffer but their drain is floored at the acquire completion.
+  Cycle load_gate_ = 0;
+  Cycle drain_floor_ = 0;
+  std::optional<BlockingBarrier> barrier_;
+  int store_gate_watch_ = -1;       ///< DMB st gate (index into watches_)
+  Cycle store_gate_ready_ = 0;      ///< resolved gate cycle (0 = none/done)
+  bool store_gate_armed_ = false;
+
+  // ---- speculation ----
+  std::deque<PendingBranch> branches_;
+  std::uint64_t next_branch_id_ = 1;
+  std::uint64_t committed_branch_ = 0;  ///< all ids <= this are resolved-correct
+
+  // ---- exclusives / events ----
+  Addr monitor_line_ = 0;
+  bool monitor_valid_ = false;
+  bool event_pending_ = false;
+  bool parked_ = false;
+  Cycle park_wake_ = 0;
+
+  // ---- scheduling ----
+  Cycle next_attention_ = 0;
+  Cycle stall_until_ = 0;
+  StallCause stall_cause_ = StallCause::kNone;
+  Cycle last_step_ = 0;
+
+  bool tso_ = false;
+  Cycle tso_last_load_done_ = 0;
+
+  CoreStats stats_;
+};
+
+}  // namespace armbar::sim

@@ -1,0 +1,120 @@
+#include "sim/isa.hpp"
+
+#include <sstream>
+
+namespace armbar::sim {
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kHalt: return "halt";
+    case Op::kWfe: return "wfe";
+    case Op::kMovImm: return "movi";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kAddImm: return "addi";
+    case Op::kSub: return "sub";
+    case Op::kSubImm: return "subi";
+    case Op::kAnd: return "and";
+    case Op::kAndImm: return "andi";
+    case Op::kOrr: return "orr";
+    case Op::kOrrImm: return "orri";
+    case Op::kEor: return "eor";
+    case Op::kEorImm: return "eori";
+    case Op::kLsl: return "lsl";
+    case Op::kLslImm: return "lsli";
+    case Op::kLsr: return "lsr";
+    case Op::kLsrImm: return "lsri";
+    case Op::kMul: return "mul";
+    case Op::kLdr: return "ldr";
+    case Op::kLdrIdx: return "ldr(idx)";
+    case Op::kStr: return "str";
+    case Op::kStrIdx: return "str(idx)";
+    case Op::kLdar: return "ldar";
+    case Op::kLdapr: return "ldapr";
+    case Op::kStlr: return "stlr";
+    case Op::kLdxr: return "ldxr";
+    case Op::kStxr: return "stxr";
+    case Op::kSwp: return "swp";
+    case Op::kCmp: return "cmp";
+    case Op::kCmpImm: return "cmpi";
+    case Op::kB: return "b";
+    case Op::kBeq: return "b.eq";
+    case Op::kBne: return "b.ne";
+    case Op::kBlt: return "b.lt";
+    case Op::kBle: return "b.le";
+    case Op::kBgt: return "b.gt";
+    case Op::kBge: return "b.ge";
+    case Op::kCbz: return "cbz";
+    case Op::kCbnz: return "cbnz";
+    case Op::kDmbFull: return "dmb ish";
+    case Op::kDmbSt: return "dmb ishst";
+    case Op::kDmbLd: return "dmb ishld";
+    case Op::kDsbFull: return "dsb ish";
+    case Op::kDsbSt: return "dsb ishst";
+    case Op::kDsbLd: return "dsb ishld";
+    case Op::kIsb: return "isb";
+  }
+  return "?";
+}
+
+std::string to_string(const Instr& ins) {
+  std::ostringstream os;
+  os << to_string(ins.op);
+  auto reg = [](Reg r) {
+    return r == XZR ? std::string("xzr") : "x" + std::to_string(static_cast<int>(r));
+  };
+  switch (ins.op) {
+    case Op::kNop: case Op::kHalt: case Op::kWfe:
+    case Op::kDmbFull: case Op::kDmbSt: case Op::kDmbLd:
+    case Op::kDsbFull: case Op::kDsbSt: case Op::kDsbLd:
+    case Op::kIsb:
+      break;
+    case Op::kMovImm:
+      os << " " << reg(ins.rd) << ", #" << ins.imm;
+      break;
+    case Op::kMov:
+      os << " " << reg(ins.rd) << ", " << reg(ins.rn);
+      break;
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOrr:
+    case Op::kEor: case Op::kLsl: case Op::kLsr: case Op::kMul:
+      os << " " << reg(ins.rd) << ", " << reg(ins.rn) << ", " << reg(ins.rm);
+      break;
+    case Op::kAddImm: case Op::kSubImm: case Op::kAndImm: case Op::kOrrImm:
+    case Op::kEorImm: case Op::kLslImm: case Op::kLsrImm:
+      os << " " << reg(ins.rd) << ", " << reg(ins.rn) << ", #" << ins.imm;
+      break;
+    case Op::kLdr: case Op::kLdar: case Op::kLdapr: case Op::kLdxr:
+      os << " " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #" << ins.imm << "]";
+      break;
+    case Op::kLdrIdx:
+      os << " " << reg(ins.rd) << ", [" << reg(ins.rn) << ", " << reg(ins.rm) << "]";
+      break;
+    case Op::kStr: case Op::kStlr:
+      os << " " << reg(ins.rd) << ", [" << reg(ins.rn) << ", #" << ins.imm << "]";
+      break;
+    case Op::kStrIdx:
+      os << " " << reg(ins.rd) << ", [" << reg(ins.rn) << ", " << reg(ins.rm) << "]";
+      break;
+    case Op::kStxr:
+    case Op::kSwp:
+      os << " " << reg(ins.rd) << ", " << reg(ins.rm) << ", [" << reg(ins.rn) << "]";
+      break;
+    case Op::kCmp:
+      os << " " << reg(ins.rn) << ", " << reg(ins.rm);
+      break;
+    case Op::kCmpImm:
+      os << " " << reg(ins.rn) << ", #" << ins.imm;
+      break;
+    case Op::kB: case Op::kBeq: case Op::kBne: case Op::kBlt:
+    case Op::kBle: case Op::kBgt: case Op::kBge:
+      os << " @" << ins.target;
+      break;
+    case Op::kCbz: case Op::kCbnz:
+      os << " " << reg(ins.rn) << ", @" << ins.target;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace armbar::sim

@@ -1,0 +1,75 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace armbar::sim {
+
+Machine::Machine(PlatformSpec spec, std::size_t mem_bytes)
+    : spec_(std::move(spec)),
+      mem_(std::make_unique<MemorySystem>(spec_, mem_bytes)),
+      active_(spec_.total_cores(), false) {
+  cores_.reserve(spec_.total_cores());
+  for (CoreId c = 0; c < spec_.total_cores(); ++c)
+    cores_.push_back(std::make_unique<Core>(c, spec_, *mem_));
+  mem_->set_invalidate_hook([this](CoreId victim, Addr line, Cycle at) {
+    cores_[victim]->on_invalidate(line, at);
+  });
+}
+
+void Machine::load_program(CoreId c, const Program* prog) {
+  ARMBAR_CHECK(c < num_cores());
+  cores_[c]->load_program(prog);
+  active_[c] = true;
+}
+
+void Machine::set_tso(bool tso) {
+  for (auto& c : cores_) c->set_tso(tso);
+}
+
+RunResult Machine::run(Cycle max_cycles) {
+  ARMBAR_CHECK_MSG(!ran_, "Machine::run() may only be called once");
+  ran_ = true;
+
+  RunResult res;
+  std::vector<Core*> live;
+  for (CoreId c = 0; c < num_cores(); ++c)
+    if (active_[c]) live.push_back(cores_[c].get());
+
+  Cycle now = 0;
+  while (true) {
+    Cycle next = kNeverCycle;
+    bool all_idle = true;
+    for (Core* core : live) {
+      if (core->idle()) continue;
+      all_idle = false;
+      next = std::min(next, core->next_attention());
+    }
+    if (all_idle) {
+      res.completed = true;
+      break;
+    }
+    ARMBAR_CHECK_MSG(next != kNeverCycle, "simulation deadlock: no core schedulable");
+    now = std::max(now, next);
+    if (now > max_cycles) {
+      res.completed = false;
+      break;
+    }
+    for (Core* core : live) {
+      if (!core->idle() && core->next_attention() <= now) core->step(now);
+    }
+  }
+
+  Cycle end = 0;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (!active_[c]) continue;
+    res.cores.push_back(cores_[c]->stats());
+    end = std::max(end, cores_[c]->stats().halted_at);
+  }
+  res.cycles = res.completed ? end : max_cycles;
+  res.mem = mem_->stats();
+  return res;
+}
+
+}  // namespace armbar::sim

@@ -1,0 +1,67 @@
+// The simulated machine: cores + memory system + clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/core.hpp"
+#include "sim/mem.hpp"
+#include "sim/platform.hpp"
+#include "sim/program.hpp"
+
+namespace armbar::sim {
+
+/// Outcome of a Machine::run().
+struct RunResult {
+  bool completed = false;   ///< all cores halted before the cycle limit
+  Cycle cycles = 0;         ///< cycle at which the last core halted
+  MemStats mem;
+  std::vector<CoreStats> cores;
+
+  /// Convert a per-core event count into the paper's throughput unit
+  /// (events per second at the platform frequency), given the events and
+  /// the cycles they took.
+  static double throughput_per_sec(std::uint64_t events, Cycle cycles_taken,
+                                   double freq_ghz) {
+    if (cycles_taken == 0) return 0.0;
+    return static_cast<double>(events) / static_cast<double>(cycles_taken) *
+           freq_ghz * 1e9;
+  }
+};
+
+/// A whole simulated machine. Construct, load programs onto cores, poke
+/// initial memory, run. Deterministic: same inputs -> same cycle counts.
+class Machine {
+ public:
+  explicit Machine(PlatformSpec spec, std::size_t mem_bytes = 16u << 20);
+
+  const PlatformSpec& spec() const { return spec_; }
+  MemorySystem& mem() { return *mem_; }
+  const MemorySystem& mem() const { return *mem_; }
+
+  std::uint32_t num_cores() const { return static_cast<std::uint32_t>(cores_.size()); }
+  Core& core(CoreId c) { return *cores_[c]; }
+  const Core& core(CoreId c) const { return *cores_[c]; }
+
+  /// Bind `prog` to core `c`. Cores without a program never run.
+  void load_program(CoreId c, const Program* prog);
+
+  /// Switch the whole machine to TSO (total-store-order) memory ordering.
+  /// Used by the litmus harness to contrast WMM and TSO (paper Table 1).
+  void set_tso(bool tso);
+
+  /// Run until every program-bearing core halts or `max_cycles` elapses.
+  RunResult run(Cycle max_cycles = 500'000'000);
+
+ private:
+  PlatformSpec spec_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<bool> active_;
+  bool ran_ = false;
+};
+
+}  // namespace armbar::sim

@@ -1,0 +1,244 @@
+#include "sim/mem.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace armbar::sim {
+
+MemorySystem::MemorySystem(const PlatformSpec& spec, std::size_t mem_bytes)
+    : spec_(spec),
+      words_(mem_bytes / kWordBytes, 0),
+      lines_(mem_bytes / kCacheLineBytes),
+      home_((mem_bytes + kHomeGranule - 1) / kHomeGranule, 0) {
+  ARMBAR_CHECK(spec.total_cores() <= kMaxCores);
+  ARMBAR_CHECK(mem_bytes % kCacheLineBytes == 0);
+}
+
+void MemorySystem::set_home(Addr base, std::size_t bytes, NodeId node) {
+  ARMBAR_CHECK(node < spec_.nodes);
+  const std::size_t first = base / kHomeGranule;
+  const std::size_t last = (base + bytes + kHomeGranule - 1) / kHomeGranule;
+  for (std::size_t g = first; g < last && g < home_.size(); ++g) home_[g] = node;
+}
+
+NodeId MemorySystem::home_of(Addr a) const {
+  const std::size_t g = a / kHomeGranule;
+  return g < home_.size() ? home_[g] : 0;
+}
+
+std::size_t MemorySystem::word_index(Addr a) const {
+  ARMBAR_CHECK_MSG(a % kWordBytes == 0, "unaligned 8-byte access");
+  const std::size_t idx = a / kWordBytes;
+  ARMBAR_CHECK_MSG(idx < words_.size(), "address out of simulated memory");
+  return idx;
+}
+
+std::size_t MemorySystem::line_index(Addr a) const {
+  const std::size_t idx = a / kCacheLineBytes;
+  ARMBAR_CHECK_MSG(idx < lines_.size(), "address out of simulated memory");
+  return idx;
+}
+
+void MemorySystem::apply_pending(LineState& ls) {
+  if (!ls.pending) return;
+  words_[word_index(ls.pending_word)] = ls.pending_value;
+  ls.owner = ls.pending_owner;
+  ls.sharers = ls.pending_keep_sharers;
+  ls.pending = false;
+}
+
+std::uint64_t MemorySystem::peek(Addr a) const {
+  const LineState& ls = lines_[line_index(a)];
+  if (ls.pending && word_of(ls.pending_word) == word_of(a)) return ls.pending_value;
+  return words_[word_index(a)];
+}
+
+void MemorySystem::poke(Addr a, std::uint64_t v) {
+  LineState& ls = line_mut(a);
+  if (ls.pending && word_of(ls.pending_word) == word_of(a)) ls.pending = false;
+  words_[word_index(a)] = v;
+}
+
+bool MemorySystem::load_hits(CoreId core, Addr a) const {
+  const LineState& ls = lines_[line_index(a)];
+  return ls.owner == static_cast<std::int16_t>(core) || (ls.sharers >> core) & 1;
+}
+
+bool MemorySystem::owns(CoreId core, Addr a) const {
+  return lines_[line_index(a)].owner == static_cast<std::int16_t>(core);
+}
+
+bool MemorySystem::any_remote_holder(CoreId core, Addr a) const {
+  const LineState& ls = lines_[line_index(a)];
+  if (ls.owner != kNoOwner && ls.owner != static_cast<std::int16_t>(core)) return true;
+  return (ls.sharers & ~(1ULL << core)) != 0;
+}
+
+void MemorySystem::notify_holders(const LineState& ls, Addr line, CoreId except,
+                                  Cycle at) {
+  if (!inv_hook_) return;
+  std::uint64_t mask = ls.sharers & ~(1ULL << except);
+  while (mask) {
+    const auto victim = static_cast<CoreId>(__builtin_ctzll(mask));
+    mask &= mask - 1;
+    inv_hook_(victim, line, at);
+  }
+  if (ls.owner != kNoOwner && ls.owner != static_cast<std::int16_t>(except))
+    inv_hook_(static_cast<CoreId>(ls.owner), line, at);
+}
+
+Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_out,
+                         bool exclusive) {
+  const Addr line = line_of(a);
+  LineState& ls = line_mut(line);
+
+  if (ls.pending && ls.pending_at <= now) apply_pending(ls);
+
+  // Hit — possibly a *stale* hit while another core's store is still in
+  // flight (the weakly-ordered window; invalidation lands at pending_at).
+  // Exclusive loads may not use the stale window.
+  const bool may_hit = !(exclusive && ls.pending);
+  if (may_hit &&
+      (ls.owner == static_cast<std::int16_t>(core) || (ls.sharers >> core) & 1)) {
+    ++stats_.hits;
+    value_out = words_[word_index(a)];
+    return now + spec_.lat.cache_hit;
+  }
+
+  // Miss: a GetS transfer, serialized after any in-flight work on the line.
+  const Cycle start = std::max(now, ls.busy_until);
+  if (ls.pending) {
+    ARMBAR_CHECK(ls.pending_at <= start);
+    apply_pending(ls);
+  }
+
+  const NodeId me = spec_.node_of(core);
+  std::uint32_t latency;
+  if (ls.owner != kNoOwner) {
+    const NodeId on = spec_.node_of(static_cast<CoreId>(ls.owner));
+    const bool cross = on != me;
+    latency = cross ? spec_.lat.c2c_remote : spec_.lat.c2c_local;
+    cross ? ++stats_.gets_remote : ++stats_.gets_local;
+    // Owner downgrades M/E -> S; both now share.
+    ls.sharers |= (1ULL << static_cast<CoreId>(ls.owner));
+    ls.owner = kNoOwner;
+  } else if (ls.sharers != 0) {
+    // Clean copies exist: transfer from the nearest sharer
+    // (approximated: local if any sharer is on our node).
+    const bool local_sharer = [&] {
+      std::uint64_t m = ls.sharers;
+      while (m) {
+        const auto c = static_cast<CoreId>(__builtin_ctzll(m));
+        m &= m - 1;
+        if (spec_.node_of(c) == me) return true;
+      }
+      return false;
+    }();
+    latency = local_sharer ? spec_.lat.c2c_local : spec_.lat.c2c_remote;
+    local_sharer ? ++stats_.gets_local : ++stats_.gets_remote;
+  } else {
+    const bool local_home = home_of(a) == me;
+    latency = local_home ? spec_.lat.mem_local : spec_.lat.mem_remote;
+    ++stats_.mem_fills;
+  }
+  ls.sharers |= (1ULL << core);
+  const Cycle done = start + latency;
+  // Read transfers pipeline: the line's service port frees after the
+  // occupancy window even though this requester waits the full latency.
+  ls.busy_until = start + std::min<Cycle>(latency, spec_.lat.read_occupancy);
+  value_out = words_[word_index(a)];
+  return done;
+}
+
+Cycle MemorySystem::exchange(CoreId core, Addr a, std::uint64_t v, Cycle now,
+                             std::uint64_t& old_out, bool& remote_snoop_out) {
+  // The pre-store value as of this access's serialization point: any
+  // pending store on the line is ordered before us, so its value is what
+  // we exchange against.
+  old_out = peek(a);
+  return store(core, a, v, now, remote_snoop_out);
+}
+
+Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
+                          bool& remote_snoop_out) {
+  const Addr line = line_of(a);
+  LineState& ls = line_mut(line);
+  const auto self = static_cast<std::int16_t>(core);
+  remote_snoop_out = false;
+
+  if (ls.pending && ls.pending_at <= now) apply_pending(ls);
+
+  if (ls.owner == self && !ls.pending) {
+    // Already own the line in M/E and nothing in flight: cheap drain,
+    // visible after owned_drain.
+    ++stats_.hits;
+    const Cycle done = now + spec_.lat.owned_drain;
+    ls.pending = true;
+    ls.pending_word = word_of(a);
+    ls.pending_value = v;
+    ls.pending_at = done;
+    ls.pending_owner = self;
+    ls.pending_keep_sharers = ls.sharers;
+    ls.busy_until = std::max(ls.busy_until, done);
+    return done;
+  }
+
+  const Cycle start = std::max(now, ls.busy_until);
+  if (ls.pending) {
+    ARMBAR_CHECK(ls.pending_at <= start);
+    apply_pending(ls);
+  }
+
+  const NodeId me = spec_.node_of(core);
+  std::uint32_t latency;
+  bool cross = false;
+  if (ls.owner == self) {
+    // Chained drain behind our own in-flight store on the same line.
+    latency = spec_.lat.owned_drain;
+    ++stats_.hits;
+  } else {
+    // Does the transfer involve any holder outside our node?
+    {
+      std::uint64_t m = ls.sharers & ~(1ULL << core);
+      while (m) {
+        const auto c = static_cast<CoreId>(__builtin_ctzll(m));
+        m &= m - 1;
+        if (spec_.node_of(c) != me) cross = true;
+      }
+      if (ls.owner != kNoOwner && spec_.node_of(static_cast<CoreId>(ls.owner)) != me)
+        cross = true;
+    }
+    const bool other_holder =
+        ls.owner != kNoOwner || (ls.sharers & ~(1ULL << core)) != 0;
+    if (other_holder) {
+      latency = cross ? spec_.lat.inv_remote : spec_.lat.inv_local;
+      cross ? ++stats_.getm_remote : ++stats_.getm_local;
+      if ((ls.sharers >> core) & 1) ++stats_.upgrades;
+    } else if ((ls.sharers >> core) & 1) {
+      // Sole sharer upgrading S -> M.
+      latency = spec_.lat.owned_drain;
+      ++stats_.upgrades;
+    } else {
+      const bool local_home = home_of(a) == me;
+      latency = local_home ? spec_.lat.mem_local : spec_.lat.mem_remote;
+      ++stats_.mem_fills;
+    }
+  }
+
+  const Cycle done = start + latency;
+  // Victims learn about the invalidation now but it lands at `done`;
+  // until then their stale S copies keep satisfying loads.
+  notify_holders(ls, line, core, done);
+  ls.pending = true;
+  ls.pending_word = word_of(a);
+  ls.pending_value = v;
+  ls.pending_at = done;
+  ls.pending_owner = self;
+  ls.pending_keep_sharers = 0;
+  ls.busy_until = done;
+  remote_snoop_out = cross;
+  return done;
+}
+
+}  // namespace armbar::sim

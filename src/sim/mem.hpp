@@ -1,0 +1,138 @@
+// Simulated memory system: word storage, per-line MESI-style coherence,
+// NUMA home placement, and the latency model for coherence requests.
+//
+// Design notes
+// ------------
+// * Caches are infinite (no evictions): line presence is tracked purely by
+//   the coherence state, which is all the paper's workloads exercise. The
+//   interesting events are ownership transfers (RMRs), not capacity misses.
+// * Requests are granted synchronously: each line carries `busy_until`,
+//   serializing transfers on the same line. This keeps the simulator
+//   single-pass and deterministic while modelling transfer serialization
+//   (e.g. the thundering herd after a lock release).
+// * Store VISIBILITY is deferred to drain completion through a per-line
+//   pending-write slot: until the completion cycle, cores still holding a
+//   stale S copy keep reading the old value, while any core that must
+//   transfer the line serializes after completion and sees the new value.
+//   This is what lets weakly-ordered reorderings (paper Table 1) actually
+//   manifest: two drains issued together but completing at different times
+//   become visible out of program order.
+// * Values live at 8-byte-word granularity, which gives the simulator the
+//   64-bit single-copy atomicity that Pilot (paper §4.3) relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/platform.hpp"
+
+namespace armbar::sim {
+
+inline constexpr std::uint32_t kMaxCores = 64;
+inline constexpr std::int16_t kNoOwner = -1;
+
+/// Coherence metadata for one cache line.
+struct LineState {
+  std::int16_t owner = kNoOwner;  ///< core holding the line in M/E, or kNoOwner
+  std::uint64_t sharers = 0;      ///< bitmask of cores holding the line in S
+  Cycle busy_until = 0;           ///< transfers on this line serialize after this
+
+  // In-flight store: becomes architecturally visible at `pending_at`.
+  bool pending = false;
+  Addr pending_word = 0;
+  std::uint64_t pending_value = 0;
+  Cycle pending_at = 0;
+  std::int16_t pending_owner = kNoOwner;   ///< owner once applied
+  std::uint64_t pending_keep_sharers = 0;  ///< sharers surviving the apply
+};
+
+/// Aggregate coherence traffic counters.
+struct MemStats {
+  std::uint64_t gets_local = 0;    ///< read transfers within one node
+  std::uint64_t gets_remote = 0;   ///< read transfers across nodes
+  std::uint64_t getm_local = 0;    ///< ownership transfers within one node
+  std::uint64_t getm_remote = 0;   ///< ownership transfers across nodes
+  std::uint64_t mem_fills = 0;     ///< fills straight from memory
+  std::uint64_t upgrades = 0;      ///< S->M upgrades
+  std::uint64_t hits = 0;          ///< requests satisfied without a transfer
+};
+
+/// The shared memory + coherence fabric of one simulated machine.
+class MemorySystem {
+ public:
+  /// Invalidation/downgrade notification: (victim core, line, effective cycle).
+  /// Used by the machine to clear exclusive monitors and wake WFE'd cores.
+  using InvalidateHook = std::function<void(CoreId, Addr, Cycle)>;
+
+  MemorySystem(const PlatformSpec& spec, std::size_t mem_bytes);
+
+  void set_invalidate_hook(InvalidateHook hook) { inv_hook_ = std::move(hook); }
+
+  /// Assign a home NUMA node to [base, base+bytes). Defaults to node 0.
+  void set_home(Addr base, std::size_t bytes, NodeId node);
+  NodeId home_of(Addr a) const;
+
+  std::size_t size_bytes() const { return words_.size() * kWordBytes; }
+
+  // ---- functional access (setup/teardown, no timing) ----
+  /// End-of-time view: includes any pending (in-flight) store's value.
+  std::uint64_t peek(Addr a) const;
+  void poke(Addr a, std::uint64_t v);
+
+  // ---- timed coherence operations ----
+
+  /// True if a load by `core` to `a` hits (core is owner or sharer).
+  bool load_hits(CoreId core, Addr a) const;
+
+  /// True if `core` may write `a` without a transfer (owner in M/E).
+  bool owns(CoreId core, Addr a) const;
+
+  /// Read access. Returns the completion cycle and delivers the value.
+  /// Issues a GetS transfer if the line is not present. `exclusive` loads
+  /// (LDXR) never take stale hits: they serialize after any in-flight
+  /// store on the line, otherwise a stale read could slip past the
+  /// exclusive monitor and break read-modify-write atomicity.
+  Cycle load(CoreId core, Addr a, Cycle now, std::uint64_t& value_out,
+             bool exclusive = false);
+
+  /// Atomic exchange (SWP): writes `v`, delivers the pre-store value, and
+  /// returns the completion cycle. Serialized like a store; never reads
+  /// stale data.
+  Cycle exchange(CoreId core, Addr a, std::uint64_t v, Cycle now,
+                 std::uint64_t& old_out, bool& remote_snoop_out);
+
+  /// Write access (a store-buffer drain). Returns the completion cycle.
+  /// Issues a GetM/upgrade if the core does not own the line; invalidates
+  /// sharers through the hook. `remote_snoop_out` reports whether the
+  /// transfer had to cross a node boundary (used for ACE barrier-transaction
+  /// latency selection).
+  Cycle store(CoreId core, Addr a, std::uint64_t v, Cycle now, bool& remote_snoop_out);
+
+  /// True if any core other than `core` currently holds the line.
+  bool any_remote_holder(CoreId core, Addr a) const;
+
+  const MemStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MemStats{}; }
+
+  const LineState& line_state(Addr a) const { return lines_[line_index(a)]; }
+
+ private:
+  std::size_t word_index(Addr a) const;
+  std::size_t line_index(Addr a) const;
+  LineState& line_mut(Addr a) { return lines_[line_index(a)]; }
+  void apply_pending(LineState& ls);
+  void notify_holders(const LineState& ls, Addr line, CoreId except, Cycle at);
+
+  const PlatformSpec spec_;
+  std::vector<std::uint64_t> words_;
+  std::vector<LineState> lines_;
+  std::vector<NodeId> home_;  ///< per home-granule node id
+  InvalidateHook inv_hook_;
+  MemStats stats_;
+
+  static constexpr std::size_t kHomeGranule = 4096;  ///< home map granularity
+};
+
+}  // namespace armbar::sim

@@ -1,0 +1,30 @@
+#include "sim/program.hpp"
+
+#include <sstream>
+
+namespace armbar::sim {
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  os << "; program: " << name << "\n";
+  for (std::uint32_t i = 0; i < code.size(); ++i)
+    os << i << ":\t" << to_string(code[i]) << "\n";
+  return os.str();
+}
+
+Program Asm::take(std::string name) {
+  for (const auto& [idx, label] : fixups_) {
+    auto it = labels_.find(label);
+    ARMBAR_CHECK_MSG(it != labels_.end(), "unresolved label");
+    code_[idx].target = it->second;
+  }
+  Program p;
+  p.name = std::move(name);
+  p.code = std::move(code_);
+  code_.clear();
+  labels_.clear();
+  fixups_.clear();
+  return p;
+}
+
+}  // namespace armbar::sim

@@ -1,0 +1,62 @@
+// Lock experiments on the simulator (paper §5, Figs 7-8).
+//
+// Three lock families, all expressed in micro-ISA:
+//  * ticket lock — LDXR/STXR fetch-add + WFE spin on now-serving, with the
+//    unlock barrier configurable (Fig 7a);
+//  * FFWD-style dedicated server (Algorithm 5) with the line-4 and line-7
+//    barriers configurable and a Pilot response mode (Algorithm 6);
+//  * CC-Synch migratory combiner (the paper's "DSynch" family), with the
+//    response barrier configurable and a Pilot response mode.
+//
+// Critical sections read-modify-write `cs_lines` shared cache lines and
+// walk `cs_ro_lines` read-only lines (models list traversal), then update
+// a counter; runs are validated by checking the final counter value.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+#include "simprog/abstract_model.hpp"
+
+namespace armbar::simprog {
+
+struct LockWorkload {
+  std::uint32_t threads = 8;       ///< client/competitor cores
+  std::uint32_t iters = 200;       ///< acquisitions per thread
+  std::uint32_t cs_lines = 1;      ///< shared lines RMW'd in the CS
+  std::uint32_t cs_ro_lines = 0;   ///< shared lines only read in the CS
+  std::uint32_t interval_nops = 0; ///< nops between two acquisitions
+};
+
+struct LockResult {
+  double acq_per_sec = 0;   ///< critical sections per second (whole machine)
+  bool correct = false;     ///< counter == threads * iters
+  Cycle cycles = 0;
+};
+
+/// Ticket lock (Fig 7a). `release_barrier` guards the now-serving store;
+/// kNone removes it ("Remove barrier after RMR").
+LockResult run_ticket(const sim::PlatformSpec& spec, const LockWorkload& w,
+                      OrderChoice release_barrier);
+
+/// FFWD delegation lock (Fig 7b/7c). `request_barrier` = Algorithm 5 line
+/// 4, `response_barrier` = line 7 (ignored with pilot). One server core +
+/// w.threads client cores.
+struct FfwdChoice {
+  OrderChoice request_barrier = OrderChoice::kLdar;  // kLdar: seq load is LDAR
+  OrderChoice response_barrier = OrderChoice::kDmbSt;
+  bool pilot = false;
+};
+LockResult run_ffwd(const sim::PlatformSpec& spec, const LockWorkload& w,
+                    const FfwdChoice& choice);
+
+/// CC-Synch combining lock ("DSynch"). `pilot` piggybacks the response.
+struct CcSynchChoice {
+  OrderChoice response_barrier = OrderChoice::kDmbSt;
+  bool pilot = false;
+  std::uint32_t combine_budget = 64;
+};
+LockResult run_ccsynch(const sim::PlatformSpec& spec, const LockWorkload& w,
+                       const CcSynchChoice& choice);
+
+}  // namespace armbar::simprog

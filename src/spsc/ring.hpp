@@ -1,0 +1,153 @@
+// Single-producer single-consumer ring buffers.
+//
+// BarrierRing is the paper's Algorithm 2 producer/consumer with both
+// barrier sites configurable:
+//   * site 1 (line 3): after the availability check — orders the counter
+//     load before touching the buffer;
+//   * site 2 (line 5): between filling the buffer slot and publishing the
+//     counter — the barrier that strictly follows the RMR and causes the
+//     dominant overhead (Observation 2).
+//
+// PilotRing applies Pilot (§4.4): each slot is a Pilot channel, so the
+// site-2 barrier and the consumer's matching load barrier disappear; the
+// counters remain solely for flow control.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "arch/barrier.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "pilot/pilot.hpp"
+
+namespace armbar::spsc {
+
+/// A 64-bit-payload SPSC ring with configurable order-preserving choices.
+/// Capacity must be a power of two.
+class BarrierRing {
+ public:
+  struct Config {
+    arch::Barrier avail_barrier = arch::Barrier::kDmbLd;   // site 1
+    arch::Barrier publish_barrier = arch::Barrier::kDmbSt; // site 2
+    arch::Barrier consume_barrier = arch::Barrier::kDmbLd; // consumer's site 1
+  };
+
+  explicit BarrierRing(std::size_t capacity) : BarrierRing(capacity, Config{}) {}
+
+  BarrierRing(std::size_t capacity, Config cfg)
+      : cfg_(cfg), mask_(capacity - 1), slots_(capacity) {
+    ARMBAR_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when full.
+  bool try_push(std::uint64_t v) {
+    const std::uint64_t prod = prod_cnt_.load(std::memory_order_relaxed);
+    const std::uint64_t cons = cons_cnt_.load(std::memory_order_relaxed);
+    if (prod - cons == capacity()) return false;
+    arch::barrier(cfg_.avail_barrier);  // Algorithm 2 line 3
+    slots_[prod & mask_].value = v;     // line 4: fill the (likely RMR) slot
+    arch::barrier(cfg_.publish_barrier);  // line 5
+    prod_cnt_.store(prod + 1, std::memory_order_relaxed);  // line 6
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(std::uint64_t& out) {
+    const std::uint64_t cons = cons_cnt_.load(std::memory_order_relaxed);
+    const std::uint64_t prod = prod_cnt_.load(std::memory_order_relaxed);
+    if (prod == cons) return false;
+    arch::barrier(cfg_.consume_barrier);  // order counter load before data read
+    out = slots_[cons & mask_].value;
+    arch::barrier(arch::Barrier::kDmbLd);  // data read before releasing the slot
+    cons_cnt_.store(cons + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Blocking push; yields when full so oversubscribed hosts make progress.
+  void push(std::uint64_t v) {
+    while (!try_push(v)) std::this_thread::yield();
+  }
+  /// Blocking pop; yields when empty.
+  std::uint64_t pop() {
+    std::uint64_t v;
+    while (!try_pop(v)) std::this_thread::yield();
+    return v;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    std::uint64_t value = 0;
+  };
+  Config cfg_;
+  const std::size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> prod_cnt_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> cons_cnt_{0};
+};
+
+/// Algorithm 2 with Pilot applied (§4.4): the publish barrier is gone —
+/// each slot broadcasts data+flag in one single-copy-atomic store.
+class PilotRing {
+ public:
+  explicit PilotRing(std::size_t capacity, std::uint64_t seed = 7,
+                     arch::Barrier avail_barrier = arch::Barrier::kDmbLd)
+      : avail_barrier_(avail_barrier), mask_(capacity - 1), pool_(seed),
+        slots_(capacity) {
+    ARMBAR_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    senders_.reserve(capacity);
+    receivers_.reserve(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      senders_.emplace_back(slots_[i], pool_);
+      receivers_.emplace_back(slots_[i], pool_);
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  bool try_push(std::uint64_t v) {
+    const std::uint64_t prod = prod_cnt_.load(std::memory_order_relaxed);
+    const std::uint64_t cons = cons_cnt_.load(std::memory_order_relaxed);
+    if (prod - cons == capacity()) return false;
+    arch::barrier(avail_barrier_);        // flow-control barrier stays (§4.4)
+    senders_[prod & mask_].send(v);       // barrier-free publish
+    prod_cnt_.store(prod + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool try_pop(std::uint64_t& out) {
+    const std::uint64_t cons = cons_cnt_.load(std::memory_order_relaxed);
+    auto& rx = receivers_[cons & mask_];
+    if (!rx.poll()) return false;
+    out = rx.receive();                    // no load barrier needed
+    cons_cnt_.store(cons + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Blocking push; yields when full so oversubscribed hosts make progress.
+  void push(std::uint64_t v) {
+    while (!try_push(v)) std::this_thread::yield();
+  }
+  /// Blocking pop; yields when empty.
+  std::uint64_t pop() {
+    std::uint64_t v;
+    while (!try_pop(v)) std::this_thread::yield();
+    return v;
+  }
+
+ private:
+  arch::Barrier avail_barrier_;
+  const std::size_t mask_;
+  pilot::HashPool pool_;
+  std::vector<pilot::PilotSlot> slots_;
+  std::vector<pilot::PilotSender> senders_;
+  std::vector<pilot::PilotReceiver> receivers_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> prod_cnt_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> cons_cnt_{0};
+};
+
+}  // namespace armbar::spsc

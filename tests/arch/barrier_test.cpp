@@ -1,0 +1,93 @@
+// Host barrier layer: these run on whatever architecture the test host is;
+// they verify functional correctness and the dependency helpers' opacity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "arch/barrier.hpp"
+
+namespace armbar::arch {
+namespace {
+
+TEST(Barrier, AllKindsExecute) {
+  // Smoke: none of the barrier flavours may fault or deadlock.
+  for (auto b : {Barrier::kNone, Barrier::kDmbFull, Barrier::kDmbSt,
+                 Barrier::kDmbLd, Barrier::kDsbFull, Barrier::kDsbSt,
+                 Barrier::kDsbLd, Barrier::kIsb, Barrier::kCtrlIsb,
+                 Barrier::kDataDep, Barrier::kAddrDep}) {
+    barrier(b);
+  }
+  SUCCEED();
+}
+
+TEST(Barrier, ToStringRoundTrip) {
+  EXPECT_EQ(to_string(Barrier::kDmbFull), "DMB full");
+  EXPECT_EQ(to_string(Barrier::kDmbSt), "DMB st");
+  EXPECT_EQ(to_string(Barrier::kCtrlIsb), "CTRL+ISB");
+  EXPECT_EQ(to_string(Barrier::kAddrDep), "ADDR dep");
+  EXPECT_EQ(to_string(Barrier::kNone), "None");
+}
+
+TEST(Barrier, DataDepZeroIsZeroButOpaque) {
+  for (std::uint64_t v : {0ULL, 1ULL, 0xdeadbeefULL, ~0ULL}) {
+    EXPECT_EQ(data_dep_zero(v), 0u);
+  }
+}
+
+TEST(Barrier, AddrDepPreservesPointer) {
+  int x = 42;
+  int* p = addr_dep(&x, 0x123456789abcdefULL);
+  EXPECT_EQ(p, &x);
+  EXPECT_EQ(*p, 42);
+}
+
+TEST(Barrier, CtrlIsbExecutes) {
+  ctrl_isb(0);
+  ctrl_isb(~0ULL);
+  SUCCEED();
+}
+
+TEST(Barrier, AcquireReleaseRoundTrip) {
+  std::atomic<std::uint64_t> v{0};
+  store_release(v, 77);
+  EXPECT_EQ(load_acquire(v), 77u);
+}
+
+TEST(Barrier, MessagePassingWithStoreRelease) {
+  // The MP idiom must hold on the host with release/acquire.
+  std::atomic<std::uint64_t> data{0};
+  std::atomic<std::uint64_t> flag{0};
+  std::thread producer([&] {
+    data.store(23, std::memory_order_relaxed);
+    store_release(flag, 1);
+  });
+  while (load_acquire(flag) == 0) {}
+  EXPECT_EQ(data.load(std::memory_order_relaxed), 23u);
+  producer.join();
+}
+
+TEST(Barrier, MessagePassingWithDmbSt) {
+  std::atomic<std::uint64_t> data{0};
+  std::atomic<std::uint64_t> flag{0};
+  std::thread producer([&] {
+    data.store(23, std::memory_order_relaxed);
+    dmb_st();
+    flag.store(1, std::memory_order_relaxed);
+  });
+  while (flag.load(std::memory_order_relaxed) == 0) {}
+  dmb_ld();
+  EXPECT_EQ(data.load(std::memory_order_relaxed), 23u);
+  producer.join();
+}
+
+TEST(Barrier, NativeArmFlagConsistent) {
+#if defined(__aarch64__)
+  EXPECT_TRUE(native_arm());
+#else
+  EXPECT_FALSE(native_arm());
+#endif
+}
+
+}  // namespace
+}  // namespace armbar::arch

@@ -1,0 +1,70 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace armbar {
+namespace {
+
+TEST(Stats, EmptyIsZero) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Stats, MeanAndSum) {
+  Stats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  Stats s;
+  for (int i = 0; i < 10; ++i) s.add(5.0);
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-12);
+}
+
+TEST(Stats, StddevKnownValue) {
+  Stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(s.stddev(), 2.1380899, 1e-6);
+}
+
+TEST(Stats, MinMax) {
+  Stats s;
+  for (double v : {3.0, -1.0, 7.5, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  Stats s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(0), 0.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.0, 1e-9);
+}
+
+TEST(Stats, AddAfterPercentileStillCorrect) {
+  Stats s;
+  s.add(1.0);
+  (void)s.percentile(50);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(Stats, ClearResets) {
+  Stats s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace armbar

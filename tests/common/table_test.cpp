@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace armbar {
+namespace {
+
+TEST(TextTable, ContainsTitleHeaderAndRows) {
+  TextTable t("Figure X");
+  t.header({"name", "value"});
+  t.row({"alpha", "1.00"});
+  t.row({"beta", "2.50"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Figure X"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+}
+
+TEST(TextTable, NotesRendered) {
+  TextTable t("T");
+  t.header({"a"});
+  t.note("important caveat");
+  EXPECT_NE(t.str().find("important caveat"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::num(10.0, 0), "10");
+}
+
+TEST(TextTable, RowWiderThanHeaderDoesNotCrash) {
+  TextTable t("T");
+  t.header({"a"});
+  t.row({"x", "extra", "cols"});
+  EXPECT_NE(t.str().find("extra"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t("T");
+  t.header({"col", "v"});
+  t.row({"longer-name", "1"});
+  const std::string s = t.str();
+  // Header "col" must be padded to the width of "longer-name".
+  const auto header_line = s.substr(s.find('\n') + 1, s.find('\n', s.find('\n') + 1) - s.find('\n') - 1);
+  EXPECT_GE(header_line.size(), std::string("longer-name").size());
+}
+
+}  // namespace
+}  // namespace armbar

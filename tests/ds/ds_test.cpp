@@ -1,0 +1,271 @@
+// Data-structure correctness under each lock family, including threaded
+// runs. Scaled for a possibly single-core host; throughput figures come
+// from the simulator benches.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ds/ds.hpp"
+#include "locks/ccsynch.hpp"
+#include "locks/ffwd.hpp"
+#include "locks/ticket_lock.hpp"
+
+namespace armbar::ds {
+namespace {
+
+// ---- queue ----
+
+TEST(Queue, FifoOrder) {
+  locks::TicketLock lock;
+  ConcurrentQueue q(lock);
+  for (std::uint64_t i = 0; i < 100; ++i) q.enqueue(i);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.dequeue(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.dequeue(v));
+}
+
+TEST(Queue, EmptyDequeueFails) {
+  locks::TicketLock lock;
+  ConcurrentQueue q(lock);
+  std::uint64_t v;
+  EXPECT_FALSE(q.dequeue(v));
+  q.enqueue(1);
+  EXPECT_TRUE(q.dequeue(v));
+  EXPECT_FALSE(q.dequeue(v));
+}
+
+TEST(Queue, InsertThenRemovePairsThreaded) {
+  // The paper's Fig 8(a) workload: each thread inserts then removes.
+  locks::TicketLock lock;
+  ConcurrentQueue q(lock);
+  constexpr int kThreads = 4, kIters = 1000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&q] {
+      std::uint64_t v;
+      for (int i = 0; i < kIters; ++i) {
+        q.enqueue(i);
+        ASSERT_TRUE(q.dequeue(v));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  std::uint64_t v;
+  EXPECT_FALSE(q.dequeue(v));
+}
+
+TEST(Queue, UnderCcSynch) {
+  locks::CcSynchLock lock;
+  ConcurrentQueue q(lock);
+  constexpr int kThreads = 3, kIters = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&q] {
+      std::uint64_t v;
+      for (int i = 0; i < kIters; ++i) {
+        q.enqueue(i);
+        ASSERT_TRUE(q.dequeue(v));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(q.size_unlocked(), 0u);
+}
+
+TEST(Queue, UnderFfwdPilot) {
+  locks::FfwdLock::Config cfg;
+  cfg.use_pilot = true;
+  locks::FfwdLock lock(cfg);
+  ConcurrentQueue q(lock);
+  constexpr int kThreads = 3, kIters = 400;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&q] {
+      std::uint64_t v;
+      for (int i = 0; i < kIters; ++i) {
+        q.enqueue(i * 2);
+        ASSERT_TRUE(q.dequeue(v));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(q.size_unlocked(), 0u);
+}
+
+// ---- stack ----
+
+TEST(Stack, LifoOrder) {
+  locks::TicketLock lock;
+  ConcurrentStack s(lock);
+  for (std::uint64_t i = 0; i < 50; ++i) s.push(i);
+  std::uint64_t v;
+  for (std::uint64_t i = 50; i-- > 0;) {
+    ASSERT_TRUE(s.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(s.pop(v));
+}
+
+TEST(Stack, ThreadedPushPopBalanced) {
+  locks::TicketLock lock;
+  ConcurrentStack s(lock);
+  constexpr int kThreads = 4, kIters = 1000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&s] {
+      std::uint64_t v;
+      for (int i = 0; i < kIters; ++i) {
+        s.push(i);
+        ASSERT_TRUE(s.pop(v));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(s.size_unlocked(), 0u);
+}
+
+TEST(Stack, UnderCcSynchPilot) {
+  locks::CcSynchLock::Config cfg;
+  cfg.use_pilot = true;
+  locks::CcSynchLock lock(cfg);
+  ConcurrentStack s(lock);
+  constexpr int kThreads = 3, kIters = 400;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&s] {
+      std::uint64_t v;
+      for (int i = 0; i < kIters; ++i) {
+        s.push(7);
+        ASSERT_TRUE(s.pop(v));
+        ASSERT_EQ(v, 7u);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(s.size_unlocked(), 0u);
+}
+
+// ---- sorted list ----
+
+TEST(SortedList, InsertRemoveContains) {
+  locks::TicketLock lock;
+  SortedList l(lock);
+  EXPECT_TRUE(l.insert(5));
+  EXPECT_TRUE(l.insert(1));
+  EXPECT_TRUE(l.insert(9));
+  EXPECT_FALSE(l.insert(5));  // duplicate
+  EXPECT_TRUE(l.contains(1));
+  EXPECT_TRUE(l.contains(5));
+  EXPECT_TRUE(l.contains(9));
+  EXPECT_FALSE(l.contains(2));
+  EXPECT_TRUE(l.remove(5));
+  EXPECT_FALSE(l.remove(5));
+  EXPECT_FALSE(l.contains(5));
+  EXPECT_EQ(l.size_unlocked(), 2u);
+}
+
+TEST(SortedList, MatchesReferenceSetUnderRandomOps) {
+  locks::TicketLock lock;
+  SortedList l(lock);
+  std::set<std::uint64_t> ref;
+  Rng rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = rng.below(64);
+    switch (rng.below(3)) {
+      case 0:
+        EXPECT_EQ(l.insert(key), ref.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(l.remove(key), ref.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(l.contains(key), ref.contains(key));
+    }
+  }
+  EXPECT_EQ(l.size_unlocked(), ref.size());
+}
+
+TEST(SortedList, PaperWorkloadThreaded) {
+  // Fig 8(b): 10 queries, then 1 insert + 1 remove, preloaded members.
+  locks::CcSynchLock lock;
+  SortedList l(lock);
+  for (std::uint64_t k = 0; k < 50; ++k) l.insert(k * 3);
+  constexpr int kThreads = 3, kRounds = 100;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&l, t] {
+      Rng rng(t + 1);
+      for (int r = 0; r < kRounds; ++r) {
+        for (int qn = 0; qn < 10; ++qn) l.contains(rng.below(150));
+        const std::uint64_t key = 1000 + t * 1000 + r;
+        ASSERT_TRUE(l.insert(key));
+        ASSERT_TRUE(l.remove(key));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(l.size_unlocked(), 50u);
+}
+
+// ---- hash table ----
+
+TEST(HashTable, BasicSetSemantics) {
+  HashTable h(8, [](std::size_t) { return std::make_unique<locks::TicketLock>(); });
+  EXPECT_TRUE(h.insert(1));
+  EXPECT_TRUE(h.insert(2));
+  EXPECT_FALSE(h.insert(1));
+  EXPECT_TRUE(h.contains(1));
+  EXPECT_FALSE(h.contains(3));
+  EXPECT_TRUE(h.remove(1));
+  EXPECT_FALSE(h.contains(1));
+  EXPECT_EQ(h.size_unlocked(), 1u);
+}
+
+TEST(HashTable, NonPowerOfTwoBucketsAborts) {
+  EXPECT_DEATH(HashTable h(6, [](std::size_t) {
+    return std::make_unique<locks::TicketLock>();
+  }), "");
+}
+
+TEST(HashTable, PreloadedUniformAndThreaded) {
+  // Fig 8(c): 512 preloaded members, threads run 10 queries then an
+  // insert+remove pair.
+  HashTable h(32, [](std::size_t) { return std::make_unique<locks::TicketLock>(); });
+  for (std::uint64_t k = 0; k < 512; ++k) ASSERT_TRUE(h.insert(k));
+  EXPECT_EQ(h.size_unlocked(), 512u);
+  constexpr int kThreads = 4, kRounds = 150;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      Rng rng(t + 10);
+      for (int r = 0; r < kRounds; ++r) {
+        for (int qn = 0; qn < 10; ++qn) h.contains(rng.below(512));
+        const std::uint64_t key = 10000 + t * 10000 + r;
+        ASSERT_TRUE(h.insert(key));
+        ASSERT_TRUE(h.remove(key));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(h.size_unlocked(), 512u);
+}
+
+TEST(HashTable, VariousBucketCounts) {
+  for (std::size_t buckets : {1u, 2u, 8u, 64u, 512u}) {
+    HashTable h(buckets,
+                [](std::size_t) { return std::make_unique<locks::TicketLock>(); });
+    for (std::uint64_t k = 0; k < 128; ++k) ASSERT_TRUE(h.insert(k * 7));
+    for (std::uint64_t k = 0; k < 128; ++k) ASSERT_TRUE(h.contains(k * 7));
+    EXPECT_EQ(h.size_unlocked(), 128u);
+  }
+}
+
+}  // namespace
+}  // namespace armbar::ds

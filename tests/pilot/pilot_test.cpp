@@ -1,0 +1,154 @@
+// Pilot channel unit tests: framing correctness, the shuffle-collision
+// fallback path, batched transfer, and a threaded end-to-end check.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "pilot/pilot.hpp"
+
+namespace armbar::pilot {
+namespace {
+
+TEST(HashPool, DeterministicAndNonZero) {
+  HashPool a(42, 16), b(42, 16);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.at(i), b.at(i));
+    EXPECT_NE(a.at(i), 0u);
+  }
+  EXPECT_EQ(a.at(3), a.at(19));  // wraps modulo size
+}
+
+class PilotChannelTest : public ::testing::Test {
+ protected:
+  HashPool pool_{7, 32};
+  PilotSlot slot_;
+  PilotSender tx_{slot_, pool_};
+  PilotReceiver rx_{slot_, pool_};
+};
+
+TEST_F(PilotChannelTest, SingleMessage) {
+  tx_.send(1234);
+  EXPECT_TRUE(rx_.poll());
+  EXPECT_EQ(rx_.receive(), 1234u);
+  EXPECT_FALSE(rx_.poll());
+}
+
+TEST_F(PilotChannelTest, AlternatingSendReceiveSequence) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    tx_.send(i * 3);
+    EXPECT_EQ(rx_.receive(), i * 3);
+  }
+}
+
+TEST_F(PilotChannelTest, RepeatedIdenticalValues) {
+  // Identical payloads must still be detected as distinct messages — the
+  // shuffle (and in the collision corner case, the flag fallback) ensures
+  // each send changes an observable word.
+  for (int i = 0; i < 500; ++i) {
+    tx_.send(42);
+    EXPECT_TRUE(rx_.poll()) << "message " << i << " invisible";
+    EXPECT_EQ(rx_.receive(), 42u);
+  }
+}
+
+TEST_F(PilotChannelTest, ZeroValuesWork) {
+  for (int i = 0; i < 100; ++i) {
+    tx_.send(0);
+    EXPECT_EQ(rx_.receive(), 0u);
+  }
+}
+
+TEST(PilotFallback, CollisionTogglesFlagNotData) {
+  // Force the corner case: craft messages so that consecutive shuffled
+  // words are identical. With pool seeds s0, s1: send m0, then
+  // m1 = m0 ^ s0 ^ s1, whose shuffle equals m0 ^ s0 — a collision.
+  HashPool pool(11, 4);
+  PilotSlot slot;
+  PilotSender tx(slot, pool);
+  PilotReceiver rx(slot, pool);
+
+  const std::uint64_t m0 = 0xabcdef;
+  tx.send(m0);
+  EXPECT_EQ(rx.receive(), m0);
+
+  const std::uint64_t data_word = slot.data.load();
+  const std::uint64_t flag_word = slot.flag.load();
+  const std::uint64_t m1 = m0 ^ pool.at(0) ^ pool.at(1);
+  tx.send(m1);
+  EXPECT_EQ(slot.data.load(), data_word) << "collision should not touch data";
+  EXPECT_NE(slot.flag.load(), flag_word) << "collision must toggle the flag";
+  EXPECT_EQ(rx.receive(), m1);
+
+  // And the channel keeps working afterwards.
+  tx.send(999);
+  EXPECT_EQ(rx.receive(), 999u);
+}
+
+TEST(PilotFallback, ManyConsecutiveCollisions) {
+  HashPool pool(13, 2);
+  PilotSlot slot;
+  PilotSender tx(slot, pool);
+  PilotReceiver rx(slot, pool);
+  // With a pool of size 2, sending v, v^s0^s1, v, v^s0^s1, ... collides on
+  // every second message.
+  const std::uint64_t v = 5;
+  const std::uint64_t w = v ^ pool.at(0) ^ pool.at(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t msg = (i % 2 == 0) ? v : w;
+    tx.send(msg);
+    EXPECT_EQ(rx.receive(), msg) << "iteration " << i;
+  }
+}
+
+TEST(PilotBatch, RoundTripVariousSizes) {
+  for (std::size_t words : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    PilotBatchChannel tx_side(words, 3);
+    // Use distinct sender/receiver objects over the same logical channel
+    // state by exercising the channel's own send/receive pair.
+    std::vector<std::uint64_t> msg(words), out(words);
+    for (int round = 0; round < 20; ++round) {
+      for (std::size_t i = 0; i < words; ++i)
+        msg[i] = round * 1000 + i;
+      tx_side.send(msg);
+      tx_side.receive(out);
+      EXPECT_EQ(out, msg);
+    }
+  }
+}
+
+TEST(PilotThreaded, SpscStreamIsLossless) {
+  // End-to-end with real threads: strictly alternating ping-pong is the
+  // contract (flow control comes from the enclosing ring in real usage);
+  // here the receiver acks via a second pilot channel.
+  HashPool pool(21, 64);
+  PilotSlot fwd_slot, ack_slot;
+  constexpr int kMessages = 4000;
+
+  std::thread consumer([&] {
+    PilotReceiver rx(fwd_slot, pool);
+    PilotSender ack(ack_slot, pool);
+    for (int i = 0; i < kMessages; ++i) {
+      const std::uint64_t v = rx.receive();
+      ASSERT_EQ(v, static_cast<std::uint64_t>(i) * 7);
+      ack.send(v);
+    }
+  });
+
+  PilotSender tx(fwd_slot, pool);
+  PilotReceiver ack_rx(ack_slot, pool);
+  for (int i = 0; i < kMessages; ++i) {
+    tx.send(static_cast<std::uint64_t>(i) * 7);
+    ASSERT_EQ(ack_rx.receive(), static_cast<std::uint64_t>(i) * 7);
+  }
+  consumer.join();
+}
+
+TEST(PilotSlot, IsExactlyOneCacheLine) {
+  EXPECT_EQ(sizeof(PilotSlot), kCacheLineBytes);
+  EXPECT_EQ(alignof(PilotSlot), kCacheLineBytes);
+}
+
+}  // namespace
+}  // namespace armbar::pilot

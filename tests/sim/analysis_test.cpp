@@ -1,0 +1,151 @@
+// Fence-redundancy analysis tests: provable redundancies are found,
+// load-bearing barriers are never flagged.
+#include <gtest/gtest.h>
+
+#include "sim/analysis.hpp"
+
+namespace armbar::sim {
+namespace {
+
+TEST(BarrierClass, Classes) {
+  auto full = barrier_class(Op::kDmbFull);
+  EXPECT_TRUE(full.before_loads && full.before_stores && full.after_loads &&
+              full.after_stores);
+  auto st = barrier_class(Op::kDmbSt);
+  EXPECT_FALSE(st.before_loads);
+  EXPECT_TRUE(st.before_stores && st.after_stores);
+  EXPECT_FALSE(st.after_loads);
+  auto ld = barrier_class(Op::kDmbLd);
+  EXPECT_TRUE(ld.before_loads && ld.after_loads && ld.after_stores);
+  EXPECT_FALSE(ld.before_stores);
+  auto none = barrier_class(Op::kNop);
+  EXPECT_FALSE(none.before_loads || none.before_stores);
+}
+
+TEST(FenceAnalysis, BarrierAtProgramStartIsRedundant) {
+  Asm a;
+  a.dmb_full();
+  a.movi(X0, 0x100);
+  a.str(X1, X0, 0);
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  ASSERT_EQ(r.redundant.size(), 1u);
+  EXPECT_EQ(r.redundant[0].pc, 0u);
+  EXPECT_EQ(r.total_barriers, 1u);
+}
+
+TEST(FenceAnalysis, MessagePassingBarrierIsKept) {
+  Asm a;
+  a.movi(X0, 0x100).movi(X1, 0x200);
+  a.str(X2, X0, 0);
+  a.dmb_st();     // load-bearing: orders the two stores
+  a.str(X3, X1, 0);
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  EXPECT_TRUE(r.redundant.empty()) << r.str();
+}
+
+TEST(FenceAnalysis, BackToBackBarriersSecondRedundant) {
+  Asm a;
+  a.movi(X0, 0x100);
+  a.str(X2, X0, 0);
+  a.dmb_full();
+  a.dmb_full();   // nothing between the two
+  a.str(X3, X0, 64);
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  ASSERT_EQ(r.redundant.size(), 1u);
+  EXPECT_EQ(r.redundant[0].pc, 3u);
+}
+
+TEST(FenceAnalysis, WeakerBarrierAfterStrongerRedundant) {
+  Asm a;
+  a.movi(X0, 0x100);
+  a.str(X2, X0, 0);
+  a.dmb_full();
+  a.dmb_st();     // subsumed: DMB full already ordered everything pending
+  a.str(X3, X0, 64);
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  ASSERT_EQ(r.redundant.size(), 1u);
+  EXPECT_EQ(r.redundant[0].op, Op::kDmbSt);
+}
+
+TEST(FenceAnalysis, StrongerAfterWeakerIsKept) {
+  Asm a;
+  a.movi(X0, 0x100);
+  a.ldr(X2, X0, 0);
+  a.dmb_st();     // does NOT order the load...
+  a.dmb_full();   // ...so this one still does work
+  a.str(X3, X0, 64);
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  // The dmb_st itself is redundant (no store before it), the full is kept.
+  ASSERT_EQ(r.redundant.size(), 1u);
+  EXPECT_EQ(r.redundant[0].op, Op::kDmbSt);
+}
+
+TEST(FenceAnalysis, DmbStWithOnlyLoadsBeforeIsRedundant) {
+  Asm a;
+  a.movi(X0, 0x100);
+  a.ldr(X2, X0, 0);
+  a.dmb_st();     // store->store barrier with no store before it
+  a.str(X3, X0, 64);
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  ASSERT_EQ(r.redundant.size(), 1u);
+  EXPECT_EQ(r.redundant[0].op, Op::kDmbSt);
+}
+
+TEST(FenceAnalysis, BranchTargetKillsKnowledge) {
+  // The barrier sits at a join: another path may carry pending stores, so
+  // it must be kept even though the straight-line prefix has none.
+  Asm a;
+  a.movi(X0, 0x100);
+  a.cbz(X1, "join");
+  a.str(X2, X0, 0);
+  a.label("join");
+  a.dmb_st();
+  a.str(X3, X0, 64);
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  EXPECT_TRUE(r.redundant.empty()) << r.str();
+}
+
+TEST(FenceAnalysis, LoopBodyBarrierKept) {
+  // Algorithm 1-style loop: the barrier is reached again after the loop's
+  // store, so it is load-bearing despite the clean first iteration.
+  Asm a;
+  a.movi(X20, 0).movi(X0, 0x100);
+  a.label("loop");
+  a.str(X2, X0, 0);
+  a.dmb_st();
+  a.str(X3, X0, 64);
+  a.addi(X20, X20, 1);
+  a.cmpi(X20, 10);
+  a.blt("loop");
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  EXPECT_TRUE(r.redundant.empty()) << r.str();
+}
+
+TEST(FenceAnalysis, IsbNotCounted) {
+  Asm a;
+  a.isb();
+  a.halt();
+  auto r = analyze_fences(a.take("t"));
+  EXPECT_EQ(r.total_barriers, 0u);  // ISB is context sync, not data order
+  EXPECT_TRUE(r.redundant.empty());
+}
+
+TEST(FenceAnalysis, ReportFormats) {
+  Asm a;
+  a.dmb_full().halt();
+  auto r = analyze_fences(a.take("t"));
+  const std::string s = r.str();
+  EXPECT_NE(s.find("1 barriers"), std::string::npos);
+  EXPECT_NE(s.find("redundant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace armbar::sim

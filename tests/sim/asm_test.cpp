@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sim/program.hpp"
+
+namespace armbar::sim {
+namespace {
+
+TEST(Asm, EmitsInstructions) {
+  Asm a;
+  a.movi(X0, 5).addi(X0, X0, 1).halt();
+  Program p = a.take("t");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.at(0).op, Op::kMovImm);
+  EXPECT_EQ(p.at(1).op, Op::kAddImm);
+  EXPECT_EQ(p.at(2).op, Op::kHalt);
+}
+
+TEST(Asm, BackwardLabelResolves) {
+  Asm a;
+  a.label("top").nop().b("top");
+  Program p = a.take("t");
+  EXPECT_EQ(p.at(1).target, 0u);
+}
+
+TEST(Asm, ForwardLabelResolves) {
+  Asm a;
+  a.cbz(X0, "out").nop().nop().label("out").halt();
+  Program p = a.take("t");
+  EXPECT_EQ(p.at(0).target, 3u);
+}
+
+TEST(Asm, NopsEmitsCount) {
+  Asm a;
+  a.nops(17).halt();
+  Program p = a.take("t");
+  EXPECT_EQ(p.size(), 18u);
+}
+
+TEST(Asm, TakeResetsAssembler) {
+  Asm a;
+  a.nop();
+  Program p1 = a.take("p1");
+  a.halt();
+  Program p2 = a.take("p2");
+  EXPECT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p2.size(), 1u);
+  EXPECT_EQ(p2.at(0).op, Op::kHalt);
+}
+
+TEST(Asm, LabelReusableAcrossPrograms) {
+  Asm a;
+  a.label("L").b("L");
+  (void)a.take("p1");
+  a.label("L").b("L");
+  Program p2 = a.take("p2");
+  EXPECT_EQ(p2.at(0).target, 0u);
+}
+
+TEST(Asm, DisassembleMentionsMnemonics) {
+  Asm a;
+  a.ldr(X1, X0, 8).dmb_full().stlr(X1, X2).halt();
+  Program p = a.take("t");
+  const std::string d = p.disassemble();
+  EXPECT_NE(d.find("ldr"), std::string::npos);
+  EXPECT_NE(d.find("dmb ish"), std::string::npos);
+  EXPECT_NE(d.find("stlr"), std::string::npos);
+}
+
+TEST(Isa, Classification) {
+  EXPECT_TRUE(is_barrier(Op::kDmbSt));
+  EXPECT_TRUE(is_barrier(Op::kIsb));
+  EXPECT_FALSE(is_barrier(Op::kLdar));
+  EXPECT_TRUE(is_load(Op::kLdar));
+  EXPECT_TRUE(is_load(Op::kLdxr));
+  EXPECT_TRUE(is_store(Op::kStlr));
+  EXPECT_TRUE(is_store(Op::kStxr));
+  EXPECT_FALSE(is_store(Op::kLdr));
+  EXPECT_TRUE(is_branch(Op::kCbz));
+  EXPECT_TRUE(is_conditional_branch(Op::kBne));
+  EXPECT_FALSE(is_conditional_branch(Op::kB));
+}
+
+TEST(Isa, StxrOperandEncoding) {
+  Asm a;
+  a.stxr(X0, X1, X2).halt();
+  Program p = a.take("t");
+  // rd = status, rn = address, rm = value.
+  EXPECT_EQ(p.at(0).rd, X0);
+  EXPECT_EQ(p.at(0).rn, X2);
+  EXPECT_EQ(p.at(0).rm, X1);
+}
+
+}  // namespace
+}  // namespace armbar::sim

@@ -1,0 +1,281 @@
+// Barrier timing semantics: each barrier kind must exhibit the cost
+// structure the model promises (these are the hooks behind the paper's
+// Observations 1-6).
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace armbar::sim {
+namespace {
+
+// Runs a single-core program and returns total cycles.
+Cycle run_cycles(const PlatformSpec& spec, const Program& p) {
+  Machine m(spec, 16u << 20);
+  m.load_program(0, &p);
+  auto r = m.run(100'000'000);
+  EXPECT_TRUE(r.completed);
+  return r.cycles;
+}
+
+// Loop of `iters` iterations containing `body`.
+template <typename Body>
+Program loop_program(int iters, Body&& body) {
+  Asm a;
+  a.movi(X20, 0);
+  a.label("loop");
+  body(a);
+  a.addi(X20, X20, 1);
+  a.cmpi(X20, iters);
+  a.blt("loop");
+  a.halt();
+  return a.take("loop");
+}
+
+constexpr int kIters = 500;
+
+TEST(BarrierIntrinsic, DmbIsNearlyFreeWithoutMemoryOps) {
+  // Observation 1: with no memory operations around, DMB adds ~nothing.
+  const PlatformSpec spec = kunpeng916();
+  const Cycle base = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.nops(10); }));
+  const Cycle dmb = run_cycles(spec, loop_program(kIters, [](Asm& a) {
+    a.dmb_full();
+    a.nops(10);
+  }));
+  // One extra instruction + barrier_base per iteration, no more.
+  EXPECT_LT(dmb, base + kIters * 4);
+}
+
+TEST(BarrierIntrinsic, DmbOptionsEquivalentWithoutMemoryOps) {
+  const PlatformSpec spec = kunpeng916();
+  const Cycle full = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.dmb_full(); a.nops(10); }));
+  const Cycle st = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.dmb_st(); a.nops(10); }));
+  const Cycle ld = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.dmb_ld(); a.nops(10); }));
+  // DMB st does not block issue at all, so it runs one cycle per iteration
+  // cheaper than the blocking flavours; "similar", not identical.
+  EXPECT_NEAR(static_cast<double>(st), static_cast<double>(full), full * 0.10);
+  EXPECT_NEAR(static_cast<double>(ld), static_cast<double>(full), full * 0.10);
+}
+
+TEST(BarrierIntrinsic, IsbCostsAFlush) {
+  const PlatformSpec spec = kunpeng916();
+  const Cycle base = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.nops(10); }));
+  const Cycle isb = run_cycles(spec, loop_program(kIters, [](Asm& a) {
+    a.isb();
+    a.nops(10);
+  }));
+  const double per_iter = static_cast<double>(isb - base) / kIters;
+  EXPECT_NEAR(per_iter, spec.lat.pipeline_flush + 1, 3.0);
+}
+
+TEST(BarrierIntrinsic, DsbAlwaysPaysTheSyncTransaction) {
+  // Observation 1 + 5: DSB cost is huge and constant even with empty
+  // buffers, because the synchronization barrier transaction must reach
+  // the inner domain boundary.
+  const PlatformSpec spec = kunpeng916();
+  const Cycle base = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.nops(10); }));
+  const Cycle dsb = run_cycles(spec, loop_program(kIters, [](Asm& a) {
+    a.dsb_full();
+    a.nops(10);
+  }));
+  const double per_iter = static_cast<double>(dsb - base) / kIters;
+  EXPECT_GT(per_iter, spec.lat.bus_sync * 0.9);
+}
+
+TEST(BarrierIntrinsic, DsbOptionsEquivalent) {
+  const PlatformSpec spec = kunpeng916();
+  const Cycle full = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.dsb_full(); a.nops(10); }));
+  const Cycle st = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.dsb_st(); a.nops(10); }));
+  const Cycle ld = run_cycles(spec, loop_program(kIters, [](Asm& a) { a.dsb_ld(); a.nops(10); }));
+  EXPECT_NEAR(static_cast<double>(st), static_cast<double>(full), full * 0.02);
+  EXPECT_NEAR(static_cast<double>(ld), static_cast<double>(full), full * 0.02);
+}
+
+// Two-core ping-pong fixture: both cores run the same store-store loop over
+// a shared buffer, so stores are remote memory references (RMRs).
+Cycle run_two_core(const PlatformSpec& spec, const Program& p, CoreId c0, CoreId c1) {
+  Machine m(spec, 16u << 20);
+  m.load_program(c0, &p);
+  m.load_program(c1, &p);
+  auto r = m.run(500'000'000);
+  EXPECT_TRUE(r.completed);
+  return r.cycles;
+}
+
+Program store_store(int iters, int nops, int barrier_sel /*0 none,1 dmbfull-1,2 dmbfull-2*/) {
+  Asm a;
+  a.movi(X0, 0x100000);
+  a.movi(X1, 0x200000);
+  a.movi(X20, 0);
+  a.label("loop");
+  a.addi(X0, X0, 64);
+  a.addi(X1, X1, 64);
+  a.str(X3, X0, 0);
+  if (barrier_sel == 1) a.dmb_full();
+  a.nops(nops);
+  if (barrier_sel == 2) a.dmb_full();
+  a.str(X4, X1, 0);
+  a.addi(X20, X20, 1);
+  a.cmpi(X20, iters);
+  a.blt("loop");
+  a.halt();
+  return a.take("ss");
+}
+
+TEST(BarrierRmr, BarrierAfterRmrCostsMoreThanAfterNops) {
+  // Observation 2: DMB full strictly after the RMR (location 1) is much
+  // slower than after the nops (location 2).
+  const PlatformSpec spec = kunpeng916();
+  const int nops = 150;  // ~ the same-node tipping point
+  Program p1 = store_store(400, nops, 1);
+  Program p2 = store_store(400, nops, 2);
+  const Cycle c1 = run_two_core(spec, p1, 0, 1);
+  const Cycle c2 = run_two_core(spec, p2, 0, 1);
+  EXPECT_GT(static_cast<double>(c1), 1.5 * static_cast<double>(c2));
+}
+
+TEST(BarrierRmr, NopsHideDmbOverheadAtTippingPoint) {
+  // Observation 2 / Fig 4: with enough nops, DMB full at location 2 costs
+  // nothing; at location 1 it roughly halves throughput.
+  const PlatformSpec spec = kunpeng916();
+  // Tipping point: nop execution fully covers the drain window.
+  const int nops = static_cast<int>(spec.lat.inv_local + spec.lat.sb_drain_delay + 20);
+  const Cycle none = run_two_core(spec, store_store(400, nops, 0), 0, 1);
+  const Cycle at2 = run_two_core(spec, store_store(400, nops, 2), 0, 1);
+  const Cycle at1 = run_two_core(spec, store_store(400, nops, 1), 0, 1);
+  EXPECT_LT(static_cast<double>(at2), 1.15 * static_cast<double>(none));
+  const double ratio = static_cast<double>(at1) / static_cast<double>(at2);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(BarrierRmr, CrossNodeCostsMore) {
+  // Observation 5: crossing NUMA nodes is a killer.
+  const PlatformSpec spec = kunpeng916();
+  Program p = store_store(300, 10, 1);
+  const Cycle same = run_two_core(spec, p, 0, 1);
+  Program p2 = store_store(300, 10, 1);
+  const Cycle cross = run_two_core(spec, p2, 0, 32);
+  EXPECT_GT(static_cast<double>(cross), 2.0 * static_cast<double>(same));
+}
+
+TEST(BarrierRmr, MobileOverheadSmallerThanServer) {
+  // Observation 4: the absolute per-iteration barrier overhead is an order
+  // of magnitude smaller on simple-bus (mobile) platforms. (The paper
+  // compensates by sweeping much smaller nop counts there.)
+  const int iters = 300, nops = 150;
+  auto overhead = [&](const PlatformSpec& spec) {
+    const Cycle none = run_two_core(spec, store_store(iters, nops, 0), 0, 1);
+    const Cycle c1 = run_two_core(spec, store_store(iters, nops, 1), 0, 1);
+    return static_cast<double>(c1 - none) / iters;
+  };
+  // The mobile number includes same-line transfer serialization between the
+  // two ping-ponging cores, which compresses the gap; the server still pays
+  // at least twice the mobile overhead per iteration.
+  EXPECT_GT(overhead(kunpeng916()), 2.0 * overhead(kirin960()));
+}
+
+TEST(BarrierGate, DmbStDoesNotBlockNops) {
+  // DMB st never stalls non-store instructions; with enough nops after it
+  // the gate resolves before the next store issues.
+  const PlatformSpec spec = kunpeng916();
+  Asm a;
+  a.movi(X0, 0x100000);
+  a.movi(X20, 0);
+  a.label("loop");
+  a.addi(X0, X0, 64);
+  a.str(X3, X0, 0);
+  a.dmb_st();
+  a.nops(200);  // > inv_local + txn
+  a.addi(X20, X20, 1);
+  a.cmpi(X20, 300);
+  a.blt("loop");
+  a.halt();
+  Program p = a.take("t");
+
+  Asm b;
+  b.movi(X20, 0);
+  b.label("loop");
+  b.addi(X0, X0, 64);
+  b.nop();  // placeholder matching the str slot
+  b.nops(200);
+  b.addi(X20, X20, 1);
+  b.cmpi(X20, 300);
+  b.blt("loop");
+  b.halt();
+  Program pb = b.take("nostore");
+
+  const Cycle with_store = run_cycles(spec, p);
+  const Cycle without = run_cycles(spec, pb);
+  EXPECT_LT(static_cast<double>(with_store), 1.1 * static_cast<double>(without));
+}
+
+TEST(BarrierGate, LdarGatesLaterMemoryOpsOnly) {
+  // LDAR blocks later memory accesses until it completes, but nops flow.
+  const PlatformSpec spec = kunpeng916();
+  // Warm: core 1 owns the line so core 0's LDAR misses (slow).
+  Machine m(spec, 1u << 20);
+  Asm w;
+  w.movi(X0, 0x3000).movi(X1, 1).str(X1, X0, 0).halt();
+  Program pw = w.take("warm");
+  m.load_program(1, &pw);
+
+  Asm a;
+  a.nops(400);
+  a.movi(X0, 0x3000).movi(X2, 0x4000);
+  a.ldar(X1, X0, 0);
+  a.str(X1, X2, 0);  // gated behind the LDAR completion
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run(10'000'000).completed);
+  EXPECT_EQ(m.mem().peek(0x4000), 1u);
+  EXPECT_GT(m.core(0).stats().stall_cycles[static_cast<int>(StallCause::kMemGate)], 0u);
+}
+
+TEST(BarrierMca, McaModeCollapsesDmbTransactionCost) {
+  // Extension: in multi-copy-atomic mode (ARMv8.4-style) the memory
+  // barrier transaction terminates internally; the drain wait remains.
+  PlatformSpec spec = kunpeng916();
+  PlatformSpec mca = spec;
+  mca.mca = true;
+  const int nops = 10;
+  const Cycle plain = run_two_core(spec, store_store(300, nops, 1), 0, 32);
+  const Cycle fast = run_two_core(mca, store_store(300, nops, 1), 0, 32);
+  EXPECT_LT(fast, plain);
+}
+
+TEST(BarrierStlr, StlrChainsThroughTheStoreBuffer) {
+  // Observation 3: successive STLRs serialize on prior drains plus the
+  // visibility ack, making them costlier than DMB st in RMR loops.
+  const PlatformSpec spec = kunpeng916();
+  auto make = [&](bool use_stlr) {
+    Asm a;
+    a.movi(X0, 0x100000);
+    a.movi(X1, 0x200000);
+    a.movi(X20, 0);
+    a.label("loop");
+    a.addi(X0, X0, 64);
+    a.addi(X1, X1, 64);
+    a.str(X3, X0, 0);
+    a.nops(20);
+    if (use_stlr) {
+      a.stlr(X4, X1, 0);
+    } else {
+      a.dmb_st();
+      a.str(X4, X1, 0);
+    }
+    a.addi(X20, X20, 1);
+    a.cmpi(X20, 300);
+    a.blt("loop");
+    a.halt();
+    return a.take(use_stlr ? "stlr" : "dmbst");
+  };
+  Program ps = make(true);
+  Program pd = make(false);
+  const Cycle stlr = run_two_core(spec, ps, 0, 1);
+  const Cycle dmbst = run_two_core(spec, pd, 0, 1);
+  EXPECT_GT(stlr, dmbst);
+}
+
+}  // namespace
+}  // namespace armbar::sim

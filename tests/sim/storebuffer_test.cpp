@@ -1,0 +1,187 @@
+// Store-buffer behaviour: forwarding, non-FIFO drain, data/control
+// dependencies gating drains, capacity stalls, release (STLR) ordering.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace armbar::sim {
+namespace {
+
+TEST(StoreBuffer, ForwardsToOwnLoad) {
+  Machine m(rpi4(), 1u << 20);
+  Asm a;
+  a.movi(X0, 0x1000).movi(X1, 11);
+  a.str(X1, X0, 0);
+  a.ldr(X2, X0, 0);  // must observe 11 via forwarding, long before drain
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.core(0).reg(X2), 11u);
+}
+
+TEST(StoreBuffer, YoungestEntryWinsForwarding) {
+  Machine m(rpi4(), 1u << 20);
+  Asm a;
+  a.movi(X0, 0x1000).movi(X1, 1).movi(X2, 2);
+  a.str(X1, X0, 0);
+  a.str(X2, X0, 0);
+  a.ldr(X3, X0, 0);
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.core(0).reg(X3), 2u);
+}
+
+TEST(StoreBuffer, SameWordStoresDrainInOrder) {
+  Machine m(rpi4(), 1u << 20);
+  Asm a;
+  a.movi(X0, 0x1000).movi(X1, 1).movi(X2, 2);
+  a.str(X1, X0, 0);
+  a.str(X2, X0, 0);
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.mem().peek(0x1000), 2u);  // final value = program-order last
+}
+
+TEST(StoreBuffer, NonFifoDrainAllowsYoungerFirst) {
+  // An older store whose value is still being produced (slow dependency
+  // chain) must not block a younger independent store from draining.
+  PlatformSpec spec = rpi4();
+  Machine m(spec, 1u << 20);
+
+  // Core 1 owns line 0x2000 so core 0's load of it is slow.
+  Asm warm;
+  warm.movi(X0, 0x2000).movi(X1, 5).str(X1, X0, 0).halt();
+  Program pw = warm.take("warm");
+  m.load_program(1, &pw);
+
+  Asm a;
+  a.nops(600);             // let core 1 take ownership first
+  a.movi(X0, 0x2000);
+  a.movi(X2, 0x3000);
+  a.movi(X4, 0x4000);
+  a.ldr(X1, X0, 0);        // slow load (remote line)
+  a.str(X1, X2, 0);        // older store, value depends on the slow load
+  a.str(X4, X4, 0);        // younger independent store
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.mem().peek(0x3000), 5u);
+  EXPECT_EQ(m.mem().peek(0x4000), 0x4000u);
+}
+
+TEST(StoreBuffer, CapacityStallDoesNotDeadlock) {
+  PlatformSpec spec = kunpeng916();
+  spec.lat.sb_entries = 4;
+  spec.lat.sb_mshrs = 1;
+  Machine m(spec, 1u << 20);
+  Asm a;
+  a.movi(X0, 0x1000);
+  a.movi(X2, 0);
+  a.label("loop");
+  a.str(X2, X0, 0);
+  a.addi(X0, X0, 64);
+  a.addi(X2, X2, 1);
+  a.cmpi(X2, 64);
+  a.blt("loop");
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  auto r = m.run(10'000'000);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.cores[0].stall_cycles[static_cast<int>(StallCause::kSbFull)], 0u);
+  EXPECT_EQ(m.mem().peek(0x1000 + 63 * 64), 63u);
+}
+
+TEST(StoreBuffer, DataDependencyOrdersStoreAfterLoad) {
+  // A store whose value depends on a load cannot drain before the load
+  // completes: the final memory image must reflect the loaded value.
+  Machine m(rpi4(), 1u << 20);
+  m.mem().poke(0x5000, 123);
+  Asm a;
+  a.movi(X0, 0x5000).movi(X2, 0x6000);
+  a.ldr(X1, X0, 0);
+  a.eor(X3, X1, X1);     // bogus data dependency (paper §2.2)
+  a.addi(X3, X3, 9);
+  a.add(X3, X3, X1);     // 9 + 123
+  a.str(X3, X2, 0);
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.mem().peek(0x6000), 132u);
+}
+
+TEST(StoreBuffer, SpeculativeStoreSquashedLeavesNoTrace) {
+  // A store on the wrong path of a mispredicted branch must never drain.
+  Machine m(rpi4(), 1u << 20);
+  m.mem().poke(0x7000, 1);  // condition value: branch should exit
+  Asm a;
+  a.movi(X0, 0x7000).movi(X2, 0x7100).movi(X3, 666);
+  a.label("spin");
+  a.ldr(X1, X0, 0);
+  a.cbz(X1, "body");  // forward branch predicted not-taken => falls to body?
+  a.b("out");
+  a.label("body");
+  a.str(X3, X2, 0);   // only on the (wrong) speculative path
+  a.b("spin");
+  a.label("out").halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.mem().peek(0x7100), 0u) << "speculative store leaked";
+}
+
+TEST(StoreBuffer, StlrPublishesAfterPriorStore) {
+  // Message-passing with STLR: data store + stlr flag. The receiver's
+  // acquire load of the flag implies the data must be visible.
+  Machine m(kunpeng916(), 1u << 20);
+  Asm prod;
+  prod.movi(X0, 0x8000).movi(X1, 0x8040);
+  prod.movi(X2, 99).movi(X3, 1);
+  prod.str(X2, X0, 0);   // data
+  prod.stlr(X3, X1, 0);  // flag, release
+  prod.halt();
+  Program pp = prod.take("prod");
+
+  Asm cons;
+  cons.movi(X0, 0x8000).movi(X1, 0x8040);
+  cons.label("spin");
+  cons.ldar(X2, X1, 0);
+  cons.cbz(X2, "spin");
+  cons.ldr(X3, X0, 0);
+  cons.halt();
+  Program pc = cons.take("cons");
+
+  m.load_program(0, &pp);
+  m.load_program(32, &pc);  // other NUMA node
+  ASSERT_TRUE(m.run(10'000'000).completed);
+  EXPECT_EQ(m.core(32).reg(X3), 99u);
+}
+
+TEST(StoreBuffer, TsoDrainsFifo) {
+  // In TSO mode two stores to different lines become visible in order:
+  // the classic MP litmus must be forbidden (checked thoroughly in the
+  // litmus tests; here we just exercise the drain path).
+  PlatformSpec spec = kunpeng916();
+  Machine m(spec, 1u << 20);
+  m.set_tso(true);
+  Asm a;
+  a.movi(X0, 0x9000).movi(X1, 0x9040).movi(X2, 1);
+  a.str(X2, X0, 0);
+  a.str(X2, X1, 0);
+  a.halt();
+  Program p = a.take("t");
+  m.load_program(0, &p);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.mem().peek(0x9000), 1u);
+  EXPECT_EQ(m.mem().peek(0x9040), 1u);
+}
+
+}  // namespace
+}  // namespace armbar::sim

@@ -1,0 +1,114 @@
+// Property sweeps (parameterized): invariants that must hold on every
+// platform preset and across workload scales — correctness of the
+// generated experiment programs is independent of timing parameters.
+#include <gtest/gtest.h>
+
+#include "simprog/abstract_model.hpp"
+#include "simprog/locks_sim.hpp"
+#include "simprog/prodcons.hpp"
+
+namespace armbar::simprog {
+namespace {
+
+class EveryPlatform : public ::testing::TestWithParam<std::string> {
+ protected:
+  sim::PlatformSpec spec_ = sim::platform_by_name(GetParam());
+};
+
+TEST_P(EveryPlatform, ProdConsChecksumHolds) {
+  for (auto combo : {
+           ProdConsCombo{OrderChoice::kDmbFull, OrderChoice::kDmbSt, true},
+           ProdConsCombo{OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
+           ProdConsCombo{OrderChoice::kLdar, OrderChoice::kStlr, true},
+       }) {
+    auto r = run_prodcons(spec_, combo, 200, 20, 0, 1);
+    EXPECT_TRUE(r.checksum_ok) << GetParam() << " / " << combo.name();
+  }
+}
+
+TEST_P(EveryPlatform, PilotProdConsChecksumHolds) {
+  auto r = run_prodcons_pilot(spec_, 300, 20, 0, 1);
+  EXPECT_TRUE(r.checksum_ok) << GetParam();
+}
+
+TEST_P(EveryPlatform, PilotBeatsOrMatchesBestBarrierCombo) {
+  auto base = run_prodcons(spec_, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
+                           400, 30, 0, 1);
+  auto pilot = run_prodcons_pilot(spec_, 400, 30, 0, 1);
+  EXPECT_GE(pilot.msgs_per_sec, base.msgs_per_sec * 0.98) << GetParam();
+}
+
+TEST_P(EveryPlatform, TicketLockCorrectUpToPlatformWidth) {
+  LockWorkload w;
+  w.threads = std::min(8u, spec_.total_cores());
+  w.iters = 30;
+  w.cs_lines = 1;
+  auto r = run_ticket(spec_, w, OrderChoice::kDmbFull);
+  EXPECT_TRUE(r.correct) << GetParam();
+}
+
+TEST_P(EveryPlatform, BatchPilotChecksumAcrossSizes) {
+  for (std::uint32_t words : {1u, 4u, 16u}) {
+    // run_batch aborts internally on checksum mismatch; surviving the call
+    // is the assertion.
+    auto r = run_batch(spec_, words, 120, 0, 1);
+    EXPECT_GT(r.baseline, 0.0);
+    EXPECT_GT(r.pilot, 0.0);
+  }
+}
+
+TEST_P(EveryPlatform, DeterministicAcrossRepeats) {
+  auto a = run_prodcons(spec_, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
+                        150, 10, 0, 1);
+  auto b = run_prodcons(spec_, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
+                        150, 10, 0, 1);
+  EXPECT_DOUBLE_EQ(a.msgs_per_sec, b.msgs_per_sec) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, EveryPlatform,
+                         ::testing::Values("kunpeng916", "kirin960",
+                                           "kirin970", "rpi4"),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+// ---- scale sweeps on the server preset ----
+
+class ThreadScale : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThreadScale, AllLockFamiliesCorrect) {
+  const auto spec = sim::kunpeng916();
+  LockWorkload w;
+  w.threads = GetParam();
+  w.iters = 24;
+  w.cs_lines = 1;
+  EXPECT_TRUE(run_ticket(spec, w, OrderChoice::kDmbFull).correct);
+  EXPECT_TRUE(run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false}).correct);
+  EXPECT_TRUE(run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true}).correct);
+  EXPECT_TRUE(run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, 64}).correct);
+  EXPECT_TRUE(run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, 64}).correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadScale,
+                         ::testing::Values(2u, 3u, 5u, 12u, 31u),
+                         [](const auto& pinfo) {
+                           return "t" + std::to_string(pinfo.param);
+                         });
+
+class CombineBudget : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CombineBudget, CcSynchCorrectAtEveryBudget) {
+  const auto spec = sim::kunpeng916();
+  LockWorkload w;
+  w.threads = 8;
+  w.iters = 25;
+  EXPECT_TRUE(run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, GetParam()}).correct);
+  EXPECT_TRUE(run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, GetParam()}).correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CombineBudget,
+                         ::testing::Values(1u, 2u, 7u, 64u, 1024u),
+                         [](const auto& pinfo) {
+                           return "h" + std::to_string(pinfo.param);
+                         });
+
+}  // namespace
+}  // namespace armbar::simprog

@@ -1,0 +1,168 @@
+// SPSC ring tests: capacity/emptiness edges, FIFO order, every barrier
+// configuration, and threaded end-to-end streams for both the barrier ring
+// and the Pilot ring.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "spsc/ring.hpp"
+
+namespace armbar::spsc {
+namespace {
+
+TEST(BarrierRing, PushPopSingle) {
+  BarrierRing r(8);
+  EXPECT_TRUE(r.try_push(5));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(r.try_pop(v));
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(BarrierRing, EmptyPopFails) {
+  BarrierRing r(8);
+  std::uint64_t v;
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+TEST(BarrierRing, FullPushFails) {
+  BarrierRing r(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(99));
+  std::uint64_t v;
+  EXPECT_TRUE(r.try_pop(v));
+  EXPECT_TRUE(r.try_push(99));  // space reclaimed
+}
+
+TEST(BarrierRing, FifoOrderAcrossWraparound) {
+  BarrierRing r(4);
+  std::uint64_t next_out = 0, next_in = 0;
+  for (int round = 0; round < 20; ++round) {
+    while (r.try_push(next_in)) ++next_in;
+    std::uint64_t v;
+    while (r.try_pop(v)) {
+      EXPECT_EQ(v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_out, next_in);
+  EXPECT_GT(next_out, 16u);
+}
+
+TEST(BarrierRing, NonPowerOfTwoCapacityAborts) {
+  EXPECT_DEATH(BarrierRing r(6), "");
+}
+
+class BarrierRingConfigs
+    : public ::testing::TestWithParam<std::pair<arch::Barrier, arch::Barrier>> {};
+
+TEST_P(BarrierRingConfigs, ThreadedStreamIsLossless) {
+  const auto [b1, b2] = GetParam();
+  BarrierRing::Config cfg;
+  cfg.avail_barrier = b1;
+  cfg.publish_barrier = b2;
+  BarrierRing r(16, cfg);
+  constexpr std::uint64_t kN = 5000;
+
+  std::thread consumer([&] {
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(r.pop(), i * 3 + 1);
+    }
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) r.push(i * 3 + 1);
+  consumer.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCombos, BarrierRingConfigs,
+    ::testing::Values(
+        // The combinations of paper Fig 6(a), site1 - site2.
+        std::pair{arch::Barrier::kDmbFull, arch::Barrier::kDmbFull},
+        std::pair{arch::Barrier::kDmbFull, arch::Barrier::kDmbSt},
+        std::pair{arch::Barrier::kDmbLd, arch::Barrier::kDmbSt},
+        std::pair{arch::Barrier::kDmbLd, arch::Barrier::kDsbSt},
+        std::pair{arch::Barrier::kCtrlIsb, arch::Barrier::kDmbSt},
+        std::pair{arch::Barrier::kDmbFull, arch::Barrier::kDsbFull}),
+    [](const auto& param_info) {
+      std::string n = arch::to_string(param_info.param.first) + "_" +
+                      arch::to_string(param_info.param.second);
+      for (auto& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(PilotRing, PushPopSingle) {
+  PilotRing r(8);
+  EXPECT_TRUE(r.try_push(5));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(r.try_pop(v));
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(PilotRing, EmptyPopFails) {
+  PilotRing r(8);
+  std::uint64_t v;
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+TEST(PilotRing, FullPushFailsAndRecovers) {
+  PilotRing r(4);
+  for (std::uint64_t i = 1; i <= 4; ++i) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(5));
+  std::uint64_t v;
+  EXPECT_TRUE(r.try_pop(v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(r.try_push(5));
+}
+
+TEST(PilotRing, RepeatedEqualValuesSurviveWraparound) {
+  // The Pilot slots must keep distinguishing messages even when the same
+  // value lands in the same slot repeatedly (shuffle/fallback machinery).
+  PilotRing r(4);
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_TRUE(r.try_push(7));
+    std::uint64_t v;
+    ASSERT_TRUE(r.try_pop(v));
+    ASSERT_EQ(v, 7u);
+  }
+}
+
+TEST(PilotRing, FifoOrderAcrossWraparound) {
+  PilotRing r(8);
+  std::uint64_t in = 0, out = 0;
+  for (int round = 0; round < 50; ++round) {
+    while (r.try_push(in * 11)) ++in;
+    std::uint64_t v;
+    while (r.try_pop(v)) {
+      ASSERT_EQ(v, out * 11);
+      ++out;
+    }
+  }
+  EXPECT_EQ(in, out);
+}
+
+TEST(PilotRing, ThreadedStreamIsLossless) {
+  PilotRing r(16);
+  constexpr std::uint64_t kN = 5000;
+  std::thread consumer([&] {
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(r.pop(), i ^ 0x5555);
+    }
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) r.push(i ^ 0x5555);
+  consumer.join();
+}
+
+TEST(PilotRing, ThreadedStreamWithIdenticalPayloads) {
+  PilotRing r(8);
+  constexpr std::uint64_t kN = 4000;
+  std::thread consumer([&] {
+    for (std::uint64_t i = 0; i < kN; ++i) ASSERT_EQ(r.pop(), 99u);
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) r.push(99);
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace armbar::spsc
