@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/common")
+subdirs("src/sim")
+subdirs("src/litmus")
+subdirs("src/arch")
+subdirs("src/pilot")
+subdirs("src/spsc")
+subdirs("src/locks")
+subdirs("src/ds")
+subdirs("src/dedup")
+subdirs("src/floorplan")
+subdirs("src/simprog")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_intrinsic.dir/fig2_intrinsic.cpp.o"
+  "CMakeFiles/fig2_intrinsic.dir/fig2_intrinsic.cpp.o.d"
+  "fig2_intrinsic"
+  "fig2_intrinsic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_intrinsic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

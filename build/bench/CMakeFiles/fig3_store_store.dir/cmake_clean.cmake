@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_store_store.dir/fig3_store_store.cpp.o"
+  "CMakeFiles/fig3_store_store.dir/fig3_store_store.cpp.o.d"
+  "fig3_store_store"
+  "fig3_store_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_store_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_load_store.dir/fig5_load_store.cpp.o"
+  "CMakeFiles/fig5_load_store.dir/fig5_load_store.cpp.o.d"
+  "fig5_load_store"
+  "fig5_load_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_load_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

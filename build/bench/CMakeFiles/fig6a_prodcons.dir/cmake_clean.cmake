@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_prodcons.dir/fig6a_prodcons.cpp.o"
+  "CMakeFiles/fig6a_prodcons.dir/fig6a_prodcons.cpp.o.d"
+  "fig6a_prodcons"
+  "fig6a_prodcons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_prodcons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

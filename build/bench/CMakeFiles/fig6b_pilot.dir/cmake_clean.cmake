@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_pilot.dir/fig6b_pilot.cpp.o"
+  "CMakeFiles/fig6b_pilot.dir/fig6b_pilot.cpp.o.d"
+  "fig6b_pilot"
+  "fig6b_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

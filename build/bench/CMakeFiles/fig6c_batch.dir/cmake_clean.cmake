@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_batch.dir/fig6c_batch.cpp.o"
+  "CMakeFiles/fig6c_batch.dir/fig6c_batch.cpp.o.d"
+  "fig6c_batch"
+  "fig6c_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6d_dedup.dir/fig6d_dedup.cpp.o"
+  "CMakeFiles/fig6d_dedup.dir/fig6d_dedup.cpp.o.d"
+  "fig6d_dedup"
+  "fig6d_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_ticket.dir/fig7a_ticket.cpp.o"
+  "CMakeFiles/fig7a_ticket.dir/fig7a_ticket.cpp.o.d"
+  "fig7a_ticket"
+  "fig7a_ticket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_ticket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

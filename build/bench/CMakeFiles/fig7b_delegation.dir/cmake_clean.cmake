@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_delegation.dir/fig7b_delegation.cpp.o"
+  "CMakeFiles/fig7b_delegation.dir/fig7b_delegation.cpp.o.d"
+  "fig7b_delegation"
+  "fig7b_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

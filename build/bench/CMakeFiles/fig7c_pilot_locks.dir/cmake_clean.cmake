@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_pilot_locks.dir/fig7c_pilot_locks.cpp.o"
+  "CMakeFiles/fig7c_pilot_locks.dir/fig7c_pilot_locks.cpp.o.d"
+  "fig7c_pilot_locks"
+  "fig7c_pilot_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_pilot_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

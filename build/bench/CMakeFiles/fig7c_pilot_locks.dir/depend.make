@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7c_pilot_locks.
+# This may be replaced when dependencies are built.

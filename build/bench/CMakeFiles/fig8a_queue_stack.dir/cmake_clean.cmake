@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_queue_stack.dir/fig8a_queue_stack.cpp.o"
+  "CMakeFiles/fig8a_queue_stack.dir/fig8a_queue_stack.cpp.o.d"
+  "fig8a_queue_stack"
+  "fig8a_queue_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_queue_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_list.dir/fig8b_list.cpp.o"
+  "CMakeFiles/fig8b_list.dir/fig8b_list.cpp.o.d"
+  "fig8b_list"
+  "fig8b_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

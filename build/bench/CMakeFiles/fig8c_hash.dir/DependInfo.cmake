@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8c_hash.cpp" "bench/CMakeFiles/fig8c_hash.dir/fig8c_hash.cpp.o" "gcc" "bench/CMakeFiles/fig8c_hash.dir/fig8c_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/armbar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/armbar_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/simprog/CMakeFiles/armbar_simprog.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/armbar_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedup/CMakeFiles/armbar_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/armbar_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_hash.dir/fig8c_hash.cpp.o"
+  "CMakeFiles/fig8c_hash.dir/fig8c_hash.cpp.o.d"
+  "fig8c_hash"
+  "fig8c_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_floorplan.dir/fig8d_floorplan.cpp.o"
+  "CMakeFiles/fig8d_floorplan.dir/fig8d_floorplan.cpp.o.d"
+  "fig8d_floorplan"
+  "fig8d_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

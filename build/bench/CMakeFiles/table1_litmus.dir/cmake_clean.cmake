@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_litmus.dir/table1_litmus.cpp.o"
+  "CMakeFiles/table1_litmus.dir/table1_litmus.cpp.o.d"
+  "table1_litmus"
+  "table1_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_platforms.dir/table2_platforms.cpp.o"
+  "CMakeFiles/table2_platforms.dir/table2_platforms.cpp.o.d"
+  "table2_platforms"
+  "table2_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_suggestions.dir/table3_suggestions.cpp.o"
+  "CMakeFiles/table3_suggestions.dir/table3_suggestions.cpp.o.d"
+  "table3_suggestions"
+  "table3_suggestions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_suggestions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

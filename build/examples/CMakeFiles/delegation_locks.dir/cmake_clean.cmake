@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation_locks.dir/delegation_locks.cpp.o"
+  "CMakeFiles/delegation_locks.dir/delegation_locks.cpp.o.d"
+  "delegation_locks"
+  "delegation_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilot_channel.dir/pilot_channel.cpp.o"
+  "CMakeFiles/pilot_channel.dir/pilot_channel.cpp.o.d"
+  "pilot_channel"
+  "pilot_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilot_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

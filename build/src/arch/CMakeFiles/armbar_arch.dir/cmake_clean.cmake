@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_arch.dir/barrier.cpp.o"
+  "CMakeFiles/armbar_arch.dir/barrier.cpp.o.d"
+  "libarmbar_arch.a"
+  "libarmbar_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_dedup.dir/dedup.cpp.o"
+  "CMakeFiles/armbar_dedup.dir/dedup.cpp.o.d"
+  "libarmbar_dedup.a"
+  "libarmbar_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

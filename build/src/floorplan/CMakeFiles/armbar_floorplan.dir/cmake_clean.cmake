@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/armbar_floorplan.dir/floorplan.cpp.o.d"
+  "libarmbar_floorplan.a"
+  "libarmbar_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

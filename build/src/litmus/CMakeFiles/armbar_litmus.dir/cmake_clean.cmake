@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_litmus.dir/litmus.cpp.o"
+  "CMakeFiles/armbar_litmus.dir/litmus.cpp.o.d"
+  "libarmbar_litmus.a"
+  "libarmbar_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

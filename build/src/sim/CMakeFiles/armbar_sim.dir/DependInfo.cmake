@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analysis.cpp" "src/sim/CMakeFiles/armbar_sim.dir/analysis.cpp.o" "gcc" "src/sim/CMakeFiles/armbar_sim.dir/analysis.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/armbar_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/armbar_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/isa.cpp" "src/sim/CMakeFiles/armbar_sim.dir/isa.cpp.o" "gcc" "src/sim/CMakeFiles/armbar_sim.dir/isa.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/armbar_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/armbar_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/mem.cpp" "src/sim/CMakeFiles/armbar_sim.dir/mem.cpp.o" "gcc" "src/sim/CMakeFiles/armbar_sim.dir/mem.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/armbar_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/armbar_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/sim/CMakeFiles/armbar_sim.dir/program.cpp.o" "gcc" "src/sim/CMakeFiles/armbar_sim.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

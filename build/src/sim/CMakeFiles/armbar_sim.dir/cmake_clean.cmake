@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_sim.dir/analysis.cpp.o"
+  "CMakeFiles/armbar_sim.dir/analysis.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/core.cpp.o"
+  "CMakeFiles/armbar_sim.dir/core.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/isa.cpp.o"
+  "CMakeFiles/armbar_sim.dir/isa.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/machine.cpp.o"
+  "CMakeFiles/armbar_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/mem.cpp.o"
+  "CMakeFiles/armbar_sim.dir/mem.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/platform.cpp.o"
+  "CMakeFiles/armbar_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/program.cpp.o"
+  "CMakeFiles/armbar_sim.dir/program.cpp.o.d"
+  "libarmbar_sim.a"
+  "libarmbar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

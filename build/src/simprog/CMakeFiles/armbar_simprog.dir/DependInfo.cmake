@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simprog/abstract_model.cpp" "src/simprog/CMakeFiles/armbar_simprog.dir/abstract_model.cpp.o" "gcc" "src/simprog/CMakeFiles/armbar_simprog.dir/abstract_model.cpp.o.d"
+  "/root/repo/src/simprog/locks_sim.cpp" "src/simprog/CMakeFiles/armbar_simprog.dir/locks_sim.cpp.o" "gcc" "src/simprog/CMakeFiles/armbar_simprog.dir/locks_sim.cpp.o.d"
+  "/root/repo/src/simprog/prodcons.cpp" "src/simprog/CMakeFiles/armbar_simprog.dir/prodcons.cpp.o" "gcc" "src/simprog/CMakeFiles/armbar_simprog.dir/prodcons.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/armbar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_simprog.dir/abstract_model.cpp.o"
+  "CMakeFiles/armbar_simprog.dir/abstract_model.cpp.o.d"
+  "CMakeFiles/armbar_simprog.dir/locks_sim.cpp.o"
+  "CMakeFiles/armbar_simprog.dir/locks_sim.cpp.o.d"
+  "CMakeFiles/armbar_simprog.dir/prodcons.cpp.o"
+  "CMakeFiles/armbar_simprog.dir/prodcons.cpp.o.d"
+  "libarmbar_simprog.a"
+  "libarmbar_simprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_simprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

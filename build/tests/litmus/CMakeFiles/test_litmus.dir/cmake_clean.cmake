@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus.dir/litmus_shapes_test.cpp.o"
+  "CMakeFiles/test_litmus.dir/litmus_shapes_test.cpp.o.d"
+  "CMakeFiles/test_litmus.dir/litmus_test.cpp.o"
+  "CMakeFiles/test_litmus.dir/litmus_test.cpp.o.d"
+  "test_litmus"
+  "test_litmus.pdb"
+  "test_litmus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

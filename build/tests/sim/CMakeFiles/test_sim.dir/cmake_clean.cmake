@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/analysis_test.cpp.o"
+  "CMakeFiles/test_sim.dir/analysis_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/asm_test.cpp.o"
+  "CMakeFiles/test_sim.dir/asm_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/barrier_test.cpp.o"
+  "CMakeFiles/test_sim.dir/barrier_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/exec_test.cpp.o"
+  "CMakeFiles/test_sim.dir/exec_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/machine_test.cpp.o"
+  "CMakeFiles/test_sim.dir/machine_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/mem_test.cpp.o"
+  "CMakeFiles/test_sim.dir/mem_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/storebuffer_test.cpp.o"
+  "CMakeFiles/test_sim.dir/storebuffer_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

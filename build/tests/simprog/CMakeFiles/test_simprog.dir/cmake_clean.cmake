@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simprog.dir/property_sweep_test.cpp.o"
+  "CMakeFiles/test_simprog.dir/property_sweep_test.cpp.o.d"
+  "CMakeFiles/test_simprog.dir/simprog_test.cpp.o"
+  "CMakeFiles/test_simprog.dir/simprog_test.cpp.o.d"
+  "test_simprog"
+  "test_simprog.pdb"
+  "test_simprog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
