@@ -17,8 +17,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Ablations", "MCA mode, RCpc LDAPR, store-buffer sizing");
+int main(int argc, char** argv) {
+  bench::BenchRun brun(argc, argv, "ablation_extensions", "Ablations", "MCA mode, RCpc LDAPR, store-buffer sizing");
 
   bool ok = true;
   constexpr std::uint32_t kIters = 1200;
@@ -102,5 +102,5 @@ int main() {
                        "STLR cost is capacity-insensitive (it chains)");
   }
 
-  return ok ? 0 : 1;
+  return brun.finish(ok);
 }

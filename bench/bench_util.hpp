@@ -1,11 +1,25 @@
 // Shared helpers for the figure/table benches.
+//
+// Every bench builds on BenchRun, which parses the common flags:
+//   --json[=path]    write an armbar.bench.report/v1 JSON document
+//                    (default path: <id>.report.json)
+//   --trace[=path]   write a Chrome trace_event JSON of the last traced run
+//                    (default path: <id>.trace.json; load in Perfetto)
+// Human-readable output is unchanged; the report/trace land in files so
+// stdout stays a terminal artifact and the JSON stays machine-clean.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/table.hpp"
+#include "sim/isa.hpp"
 #include "sim/platform.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/json_report.hpp"
+#include "trace/trace.hpp"
 
 namespace armbar::bench {
 
@@ -18,8 +32,128 @@ inline void banner(const std::string& id, const std::string& what) {
   std::printf("==============================================================\n\n");
 }
 
+/// Common command-line options every fig*/table* bench accepts.
+struct BenchOptions {
+  bool json = false;
+  std::string json_path;   ///< empty => "<id>.report.json"
+  bool trace = false;
+  std::string trace_path;  ///< empty => "<id>.trace.json"
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--json") == 0) {
+        o.json = true;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        o.json = true;
+        o.json_path = a + 7;
+      } else if (std::strcmp(a, "--trace") == 0) {
+        o.trace = true;
+      } else if (std::strncmp(a, "--trace=", 8) == 0) {
+        o.trace = true;
+        o.trace_path = a + 8;
+      } else {
+        std::fprintf(stderr,
+                     "unknown option '%s' (supported: --json[=path] "
+                     "--trace[=path])\n",
+                     a);
+      }
+    }
+    return o;
+  }
+};
+
+/// One bench execution: banner + check bookkeeping + optional JSON report
+/// and Chrome-trace emission. Construct it first thing in main(); the free
+/// check() below records into the live instance automatically.
+class BenchRun {
+ public:
+  BenchRun(int argc, char** argv, std::string id, const std::string& display,
+           const std::string& title)
+      : opt_(BenchOptions::parse(argc, argv)),
+        id_(std::move(id)),
+        report_(id_, title) {
+    banner(display, title);
+    if (opt_.json || opt_.trace) {
+      tracer_ = std::make_unique<trace::Tracer>();
+      tracer_->set_metrics(&metrics_);
+    }
+    active_ = this;
+  }
+
+  ~BenchRun() {
+    if (active_ == this) active_ = nullptr;
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  static BenchRun* active() { return active_; }
+
+  const BenchOptions& options() const { return opt_; }
+
+  /// Non-null only when --json/--trace asked for instrumentation; pass it
+  /// to Machine::set_tracer / run_single / run_pair. The default (null)
+  /// path runs exactly the pre-instrumentation simulator.
+  trace::Tracer* tracer() { return tracer_.get(); }
+  trace::MetricsRegistry& metrics() { return metrics_; }
+
+  /// PASS/FAIL line, recorded into the report.
+  bool check(bool ok, const std::string& claim) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+    report_.add_check(claim, ok);
+    return ok;
+  }
+
+  void param(const std::string& name, const std::string& value) {
+    report_.add_param(name, value);
+  }
+  void metric(const std::string& name, double value) {
+    report_.add_metric(name, value);
+  }
+
+  /// Emit the report/trace if requested. `ok` is the bench's own verdict;
+  /// the exit code also fails if any recorded check failed.
+  int finish(bool ok) {
+    if (tracer_) report_.add_registry(metrics_);
+    report_.set_ok(ok);
+    bool io_ok = true;
+    if (opt_.json) {
+      const std::string path =
+          opt_.json_path.empty() ? id_ + ".report.json" : opt_.json_path;
+      io_ok = report_.write(path) && io_ok;
+      std::printf("\nreport: %s\n", path.c_str());
+    }
+    if (opt_.trace && tracer_) {
+      const std::string path =
+          opt_.trace_path.empty() ? id_ + ".trace.json" : opt_.trace_path;
+      trace::ChromeTraceOptions copts;
+      copts.process_name = "armbar-" + id_;
+      copts.op_name = +[](std::uint8_t op) {
+        return sim::to_string(static_cast<sim::Op>(op));
+      };
+      io_ok = trace::write_chrome_trace(path, *tracer_, copts) && io_ok;
+      std::printf("trace:  %s (open in https://ui.perfetto.dev)\n", path.c_str());
+    }
+    return ok && io_ok ? 0 : 1;
+  }
+
+ private:
+  inline static BenchRun* active_ = nullptr;
+
+  BenchOptions opt_;
+  std::string id_;
+  trace::ReportBuilder report_;
+  trace::MetricsRegistry metrics_;
+  std::unique_ptr<trace::Tracer> tracer_;
+};
+
 /// A PASS/FAIL qualitative check line, e.g. the paper's claimed orderings.
+/// Records into the live BenchRun (when one exists) so --json reports carry
+/// every claim.
 inline bool check(bool ok, const std::string& claim) {
+  if (BenchRun::active()) return BenchRun::active()->check(ok, claim);
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
   return ok;
 }

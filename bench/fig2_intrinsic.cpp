@@ -8,8 +8,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Figure 2", "intrinsic overhead of barriers (no memory ops)");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig2_intrinsic", "Figure 2", "intrinsic overhead of barriers (no memory ops)");
 
   const std::vector<OrderChoice> kBarriers = {
       OrderChoice::kNone, OrderChoice::kDmbFull, OrderChoice::kDmbLd,
@@ -33,7 +33,7 @@ int main() {
       std::vector<std::string> row = {to_string(b)};
       for (std::size_t i = 0; i < nop_counts.size(); ++i) {
         Program p = make_intrinsic_model(b, nop_counts[i], kIters);
-        const double thr = run_single(spec, p, kIters) / 1e6;
+        const double thr = run_single(spec, p, kIters, run.tracer()) / 1e6;
         row.push_back(TextTable::num(thr, 2));
         if (i == 0) {
           if (b == OrderChoice::kNone) none10 = thr;
@@ -61,5 +61,5 @@ int main() {
         dsb_opts[1] > 0.9 * dsb_opts[0] && dsb_opts[2] > 0.9 * dsb_opts[0],
         spec.name + ": DSB options equivalent");
   }
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

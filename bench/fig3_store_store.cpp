@@ -46,8 +46,8 @@ struct Sweep {
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 3", "store-store model under different configurations");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig3_store_store", "Figure 3", "store-store model under different configurations");
 
   const std::vector<Sweep> sweeps = {
       {"(a) kunpeng916, same NUMA node", sim::kunpeng916(), 0, 1,
@@ -73,7 +73,7 @@ int main() {
       for (auto n : sw.nops) {
         Program p = make_store_store_model(kVariants[v].choice, kVariants[v].loc,
                                            n, kIters, kBufA, kBufB);
-        const double x = run_pair(sw.spec, p, kIters, sw.c0, sw.c1) / 1e6;
+        const double x = run_pair(sw.spec, p, kIters, sw.c0, sw.c1, run.tracer()) / 1e6;
         thr[v].push_back(x);
         row.push_back(TextTable::num(x, 2));
       }
@@ -107,9 +107,9 @@ int main() {
                                         tip, kIters, kBufA, kBufB);
     Program p2 = make_store_store_model(OrderChoice::kDmbFull, BarrierLoc::kLoc2,
                                         tip, kIters, kBufA, kBufB);
-    const double none = run_pair(spec, p0, kIters, 0, 1);
-    const double l1 = run_pair(spec, p1, kIters, 0, 1);
-    const double l2 = run_pair(spec, p2, kIters, 0, 1);
+    const double none = run_pair(spec, p0, kIters, 0, 1, run.tracer());
+    const double l1 = run_pair(spec, p1, kIters, 0, 1, run.tracer());
+    const double l2 = run_pair(spec, p2, kIters, 0, 1, run.tracer());
     std::printf("\nFigure 4 tipping point (%u nops, kunpeng916 same node):\n", tip);
     std::printf("  No Barrier %.2f, DMB full-2 %.2f, DMB full-1 %.2f (10^6 loops/s)\n",
                 none / 1e6, l2 / 1e6, l1 / 1e6);
@@ -121,5 +121,5 @@ int main() {
     ok &= bench::check(r > 0.40 && r < 0.62,
                        "tipping: DMB full-1 at ~half of DMB full-2 (Fig 4)");
   }
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

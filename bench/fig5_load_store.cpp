@@ -37,8 +37,8 @@ const std::vector<Variant> kVariants = {
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 5",
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig5_load_store", "Figure 5",
                 "load+store model, threads on different NUMA nodes (kunpeng916)");
 
   const auto spec = sim::kunpeng916();
@@ -56,7 +56,7 @@ int main() {
     for (auto n : kNops) {
       Program p = make_load_store_model(kVariants[v].choice, kVariants[v].loc, n,
                                         kIters, kBufA, kBufB);
-      const double x = run_pair(spec, p, kIters, 0, 32) / 1e6;
+      const double x = run_pair(spec, p, kIters, 0, 32, run.tracer()) / 1e6;
       thr[v].push_back(x);
       row.push_back(TextTable::num(x, 2));
     }
@@ -84,5 +84,5 @@ int main() {
   ok &= bench::check(stlr <= dmbfull1 * 1.1,
                      "STLR does not outperform stronger DMB full here (Obs 3)");
   ok &= bench::check(dsbld1 < dmbld1, "DSB ld far costlier than DMB ld (Obs 5)");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

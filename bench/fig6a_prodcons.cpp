@@ -18,8 +18,8 @@ struct Cfg {
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 6(a)", "producer-consumer barrier combinations");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig6a_prodcons", "Figure 6(a)", "producer-consumer barrier combinations");
 
   const std::vector<Cfg> cfgs = {
       {"kunpeng916 same node", sim::kunpeng916(), 0, 1},
@@ -96,5 +96,5 @@ int main() {
     ok &= bench::check(stlr.msgs_per_sec <= full.msgs_per_sec * 1.1,
                        "cross-node: STLR does not outperform DMB full (Obs 3)");
   }
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -20,8 +20,8 @@ struct Cfg {
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 6(b)", "Pilot in the producer-consumer model");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig6b_pilot", "Figure 6(b)", "Pilot in the producer-consumer model");
 
   const std::vector<Cfg> cfgs = {
       {"kunpeng916 same node", sim::kunpeng916(), 0, 1},
@@ -82,5 +82,5 @@ int main() {
     ok &= bench::check(g_cross > g_same,
                        "Pilot's gain is largest across NUMA nodes");
   }
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

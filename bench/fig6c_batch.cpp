@@ -8,8 +8,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Figure 6(c)", "Pilot speedup vs batched message size");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig6c_batch", "Figure 6(c)", "Pilot speedup vs batched message size");
 
   struct Cfg {
     std::string title;
@@ -62,5 +62,5 @@ int main() {
   }
   t.note("paper: improvement declines with batch size; cross-node stays significant");
   t.print();
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -49,8 +49,8 @@ SimPoint run_sim_channels(const sim::PlatformSpec& spec, CoreId prod,
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 6(d)", "dedup: Q vs RB vs RB-P across workloads");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig6d_dedup", "Figure 6(d)", "dedup: Q vs RB vs RB-P across workloads");
 
   bool ok = true;
 
@@ -108,5 +108,5 @@ int main() {
   h.note("round-trip verified (decompress + compare); see DESIGN.md for the");
   h.note("host-vs-sim split: barrier effects are measured on the simulator");
   h.print();
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -9,8 +9,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Figure 7(a)", "ticket lock unlock-barrier cost");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig7a_ticket", "Figure 7(a)", "ticket lock unlock-barrier cost");
 
   struct Cfg {
     std::string title;
@@ -80,5 +80,5 @@ int main() {
     ok &= bench::check(g2 > g0, "gain grows with visited global lines (Obs 2)");
     ok &= bench::check(g2 > m2, "server gain exceeds mobile gain (Obs 4)");
   }
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

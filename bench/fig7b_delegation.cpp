@@ -8,8 +8,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Figure 7(b)", "delegation-lock barrier combinations");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig7b_delegation", "Figure 7(b)", "delegation-lock barrier combinations");
 
   const auto spec = sim::kunpeng916();
   LockWorkload w;
@@ -57,5 +57,5 @@ int main() {
   ok &= bench::check(ldar_none > ldar_st,
                      "removing the line-7 barrier (after the RMR) wins (Obs 2)");
   ok &= bench::check(ldar_none > 0.85 * ideal, "LDAR - No Barrier close to Ideal");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -9,8 +9,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Figure 7(c)", "Pilot in delegation locks vs contention level");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig7c_pilot_locks", "Figure 7(c)", "Pilot in delegation locks vs contention level");
 
   const auto spec = sim::kunpeng916();
   // interval = 10^n * 128 nops, n = 0..3 (the paper sweeps to 10^5; larger
@@ -69,5 +69,5 @@ int main() {
   // do not model that batching, so the two gains are not ordered here.
   ok &= bench::check(ds_gain_low > 0.9 && ff_gain_low > 0.9,
                      "at low contention Pilot only falls back to par (no loss)");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

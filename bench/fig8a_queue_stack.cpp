@@ -44,8 +44,8 @@ Row run_structure(const sim::PlatformSpec& spec, std::uint32_t cs_lines,
 
 }  // namespace
 
-int main() {
-  bench::banner("Figure 8(a)", "queue and stack throughput under each lock");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig8a_queue_stack", "Figure 8(a)", "queue and stack throughput under each lock");
 
   const auto spec = sim::kunpeng916();
   TextTable t("Fig 8(a) — operations/s (10^6), kunpeng916, 24 threads");
@@ -73,5 +73,5 @@ int main() {
   }
   t.note("paper: +20%/+26% (queue), +30%/+16% (stack)");
   t.print();
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

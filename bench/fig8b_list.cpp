@@ -10,8 +10,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Figure 8(b)", "sorted linked list vs preloaded size");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig8b_list", "Figure 8(b)", "sorted linked list vs preloaded size");
 
   const auto spec = sim::kunpeng916();
   const std::vector<std::uint32_t> preload = {0, 50, 100, 200, 400};
@@ -56,5 +56,5 @@ int main() {
   ok &= bench::check(gain_mid > 1.05, "Pilot gains at medium list sizes");
   ok &= bench::check(best_gain >= gain_small,
                      "gain peaks at small-to-medium critical sections");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

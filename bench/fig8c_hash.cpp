@@ -13,8 +13,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Figure 8(c)", "hash table vs bucket count");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig8c_hash", "Figure 8(c)", "hash table vs bucket count");
 
   const auto spec = sim::kunpeng916();
   constexpr std::uint32_t kThreads = 24;
@@ -69,5 +69,5 @@ int main() {
                      "gain declines as bucket count grows (fewer threads per lock)");
   ok &= bench::check(gain_sparse >= 1.0,
                      "residual improvement remains at high bucket counts");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -12,8 +12,8 @@
 
 using namespace armbar;
 
-int main() {
-  bench::banner("Figure 8(d)", "floorplan execution time per lock kind");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "fig8d_floorplan", "Figure 8(d)", "floorplan execution time per lock kind");
 
   struct Input {
     const char* name;
@@ -60,5 +60,5 @@ int main() {
   t.note("the bottleneck, so parity within noise is the expected shape");
   t.note("(host wall-clock; on a 1-core host thread timing noise dominates)");
   t.print();
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

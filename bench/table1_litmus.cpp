@@ -19,8 +19,8 @@ LitmusConfig cfg(bool tso, CoreId c1 = 1) {
 
 }  // namespace
 
-int main() {
-  bench::banner("Table 1", "MP litmus under TSO vs WMM (+ supporting shapes)");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "table1_litmus", "Table 1", "MP litmus under TSO vs WMM (+ supporting shapes)");
 
   TextTable t("Table 1 — MP: T1 stores data=23 then flag; T2 polls flag, reads data");
   t.header({"model", "barrier", "outcome local!=23", "runs", "weak count"});
@@ -68,5 +68,5 @@ int main() {
   ok &= bench::check(!sb_full.saw({0, 0}), "DMB full forbids SB relaxed outcome");
   ok &= bench::check(co_ok, "coherence: same-location reads never regress");
   ok &= bench::check(at_ok, "single-copy atomicity (Pilot's foundation) holds");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -4,8 +4,8 @@
 
 using namespace armbar;
 
-int main() {
-  bench::banner("Table 2", "Target platforms (simulated presets)");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "table2_platforms", "Table 2", "Target platforms (simulated presets)");
 
   TextTable t("Table 2 — Target Platforms");
   t.header({"name", "architecture", "cores", "freq (GHz)", "interconnect"});
@@ -39,5 +39,5 @@ int main() {
                      "server barrier transactions far costlier than mobile (Obs 4)");
   ok &= bench::check(server.lat.inv_remote > 4 * server.lat.inv_local,
                      "crossing NUMA nodes is a killer (Obs 5)");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -10,8 +10,8 @@
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main() {
-  bench::banner("Table 3", "suggested order-preserving choices per scenario");
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "table3_suggestions", "Table 3", "suggested order-preserving choices per scenario");
 
   const auto spec = sim::kunpeng916();
   constexpr std::uint32_t kIters = 1200;
@@ -67,5 +67,5 @@ int main() {
                      "DMB st is the choice for store->stores");
   ok &= bench::check(ss["STLR"] <= ss["DMB st"] && ss["STLR"] >= ss["DSB full"] * 0.95,
                      "STLR between DMB st and DSB full (footnote 2 caveat)");
-  return ok ? 0 : 1;
+  return run.finish(ok);
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 CI: configure with warnings-as-errors on the trace target, build
+# everything, run the full test suite, then smoke the --json reporting
+# pipeline end to end (bench emits a report, report_check validates it,
+# trace_explorer's span-accounting self-check passes).
+#
+#   $ scripts/ci.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-ci}"
+
+echo "== configure (${BUILD}, ARMBAR_WERROR=ON) =="
+cmake -B "$BUILD" -S . -DARMBAR_WERROR=ON > /dev/null
+
+echo "== build =="
+cmake --build "$BUILD" -j"$(nproc)"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+echo "== bench --json smoke =="
+SMOKE_DIR="$BUILD/ci-reports"
+mkdir -p "$SMOKE_DIR"
+"$BUILD/bench/fig3_store_store" \
+    --json="$SMOKE_DIR/fig3_store_store.report.json" \
+    --trace="$SMOKE_DIR/fig3_store_store.trace.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/fig3_store_store.report.json"
+
+# The report must actually carry latency distributions, not just checks.
+HISTS=$(python3 - "$SMOKE_DIR/fig3_store_store.report.json" <<'EOF'
+import json, sys
+print(len(json.load(open(sys.argv[1]))["histograms"]))
+EOF
+)
+if [ "$HISTS" -lt 3 ]; then
+    echo "FAIL: expected >= 3 histogram metrics in the report, got $HISTS"
+    exit 1
+fi
+echo "report carries $HISTS histogram metrics"
+
+echo "== trace_explorer self-check =="
+"$BUILD/examples/trace_explorer" > /dev/null
+
+echo "CI OK"

@@ -9,7 +9,34 @@ namespace armbar::sim {
 namespace {
 constexpr Cycle cyc_min(Cycle a, Cycle b) { return a < b ? a : b; }
 constexpr Cycle cyc_max(Cycle a, Cycle b) { return a > b ? a : b; }
+
+constexpr std::uint8_t code(StallCause c) { return static_cast<std::uint8_t>(c); }
+constexpr std::uint8_t code(Op op) { return static_cast<std::uint8_t>(op); }
 }  // namespace
+
+const char* to_string(StallCause c) {
+  switch (c) {
+    case StallCause::kNone: return "none";
+    case StallCause::kOperand: return "operand";
+    case StallCause::kBarrier: return "barrier";
+    case StallCause::kStoreGate: return "store_gate";
+    case StallCause::kMemGate: return "mem_gate";
+    case StallCause::kSbFull: return "sb_full";
+    case StallCause::kLqFull: return "lq_full";
+    case StallCause::kSpec: return "spec";
+    case StallCause::kSquash: return "squash";
+    case StallCause::kParked: return "parked";
+    case StallCause::kCount: break;
+  }
+  return "?";
+}
+
+std::vector<std::string> stall_cause_names() {
+  std::vector<std::string> names;
+  for (int c = 0; c < static_cast<int>(StallCause::kCount); ++c)
+    names.emplace_back(to_string(static_cast<StallCause>(c)));
+  return names;
+}
 
 Core::Core(CoreId id, const PlatformSpec& spec, MemorySystem& mem)
     : id_(id), spec_(spec), lat_(spec.lat), mem_(mem) {}
@@ -35,7 +62,13 @@ void Core::write(Reg r, std::uint64_t v, Cycle ready_at) {
 }
 
 void Core::stall(Cycle now, Cycle until, StallCause cause) {
-  if (until > now) stats_.stall_cycles[static_cast<int>(cause)] += until - now;
+  if (until > now) {
+    stats_.stall_cycles[static_cast<int>(cause)] += until - now;
+    // The trace mirrors the accounting exactly: summing a core's kBarrier
+    // stall spans reproduces stats().stall_cycles[kBarrier] (the
+    // trace_explorer acceptance check relies on this).
+    ARMBAR_TRACE(tracer_, stall(id_, pc_, code(cause), now, until));
+  }
   stall_until_ = cyc_max(stall_until_, until);
   stall_cause_ = cause;
 }
@@ -85,6 +118,8 @@ void Core::pump_store_buffer(Cycle now) {
   for (auto it = sb_.begin(); it != sb_.end();) {
     if (it->draining && it->drain_done <= now) {
       retire_drain(*it);
+      ARMBAR_TRACE(tracer_,
+                   sb_drain_retire(id_, it->seq, it->enqueued_at, it->drain_done));
       it = sb_.erase(it);
     } else {
       ++it;
@@ -116,6 +151,7 @@ void Core::pump_store_buffer(Cycle now) {
     e.draining = true;
     e.drain_done = done;
     e.remote_snoop = remote;
+    ARMBAR_TRACE(tracer_, sb_drain_start(id_, e.seq, e.addr, now, done));
     ++inflight;
   }
 
@@ -127,6 +163,9 @@ void Core::pump_store_buffer(Cycle now) {
           spec_.mca ? lat_.barrier_base
                     : (w.remote ? lat_.bus_mem_cross : lat_.bus_mem_local);
       store_gate_ready_ = w.max_done + txn;
+      ARMBAR_TRACE(tracer_,
+                   barrier_txn(id_, code(Op::kDmbSt), w.max_done, store_gate_ready_));
+      ARMBAR_TRACE(tracer_, store_gate_open(id_, store_gate_ready_));
       w.active = false;
       store_gate_watch_ = -1;
     }
@@ -161,6 +200,7 @@ void Core::squash(const PendingBranch& br, Cycle now) {
   committed_branch_ = br.idx;
   pc_ = br.actual_pc;
   ++stats_.squashes;
+  ARMBAR_TRACE(tracer_, squash(id_, pc_, now));
   stall(now, now + lat_.pipeline_flush, StallCause::kSquash);
 }
 
@@ -209,8 +249,20 @@ bool Core::check_blocking_barrier(Cycle now) {
     default:
       ARMBAR_CHECK(false);
   }
+  const Cycle complete = done_at + extra;
+  // The cycles spent waiting for the watched drains ([block_from, now))
+  // were not chargeable anywhere while the watch was pending; attribute
+  // them to the barrier now. stall() below covers [now, complete).
+  if (now > b.block_from) {
+    stats_.stall_cycles[static_cast<int>(StallCause::kBarrier)] += now - b.block_from;
+    ARMBAR_TRACE(tracer_,
+                 stall(id_, b.pc, code(StallCause::kBarrier), b.block_from, now));
+  }
+  ARMBAR_TRACE(tracer_, barrier_txn(id_, code(b.kind), done_at, complete));
+  ARMBAR_TRACE(tracer_, barrier_complete(id_, b.pc, code(b.kind),
+                                         cyc_min(b.block_from, now), complete));
   barrier_.reset();
-  stall(now, done_at + extra, StallCause::kBarrier);
+  stall(now, complete, StallCause::kBarrier);
   return true;
 }
 
@@ -278,6 +330,7 @@ bool Core::sources_ready(const Instr& ins, Cycle now) {
 
 void Core::issue(Cycle now) {
   ARMBAR_CHECK(prog_ != nullptr && pc_ < prog_->size());
+  const std::uint32_t ins_pc = pc_;
   const Instr& ins = prog_->at(pc_);
 
   // Barriers, exclusives, WFE and HALT never execute speculatively.
@@ -468,9 +521,11 @@ void Core::issue(Cycle now) {
       e.value = read(ins.rd);
       e.value_ready = cyc_max(now + lat_.sb_insert, reg_ready(ins.rd));
       e.drain_at = cyc_max(now + lat_.sb_drain_delay, drain_floor_);
+      e.enqueued_at = now;
       e.gate_branch = youngest_branch_id();
       e.release = ins.op == Op::kStlr;
       e.release_loads = loads_done_at_;
+      ARMBAR_TRACE(tracer_, sb_enqueue(id_, e.seq, e.addr, now));
       sb_.push_back(e);
       ++stats_.stores;
       ++pc_;
@@ -518,7 +573,10 @@ void Core::issue(Cycle now) {
     case Op::kIsb:
       // Context synchronization: prior branches already resolved
       // (non-speculative issue); pay the pipeline refill.
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
       stall(now, now + lat_.pipeline_flush, StallCause::kBarrier);
+      ARMBAR_TRACE(tracer_, barrier_complete(id_, ins_pc, code(ins.op), now,
+                                             now + lat_.pipeline_flush));
       ++stats_.barriers;
       ++pc_;
       break;
@@ -530,7 +588,10 @@ void Core::issue(Cycle now) {
       b.loads_done = loads_done_at_;
       b.issue = now + lat_.barrier_base;
       b.had_stores = false;
+      b.block_from = now + 1;
+      b.pc = ins_pc;
       barrier_ = b;
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
       ++stats_.barriers;
       ++pc_;
       break;
@@ -543,7 +604,10 @@ void Core::issue(Cycle now) {
       b.watch = sb_.empty() ? -1 : alloc_watch(now);
       b.loads_done = loads_done_at_;
       b.issue = now + 1;
+      b.block_from = now + 1;
+      b.pc = ins_pc;
       barrier_ = b;
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
       ++stats_.barriers;
       ++pc_;
       break;
@@ -559,9 +623,12 @@ void Core::issue(Cycle now) {
         return;
       }
       store_gate_armed_ = true;
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
+      ARMBAR_TRACE(tracer_, store_gate_arm(id_, ins_pc, now));
       if (sb_.empty()) {
         store_gate_watch_ = -1;
         store_gate_ready_ = now + lat_.barrier_base;
+        ARMBAR_TRACE(tracer_, store_gate_open(id_, store_gate_ready_));
       } else {
         store_gate_watch_ = alloc_watch(now);
         store_gate_ready_ = 0;
@@ -572,6 +639,7 @@ void Core::issue(Cycle now) {
     }
   }
 
+  ARMBAR_TRACE(tracer_, instr_issue(id_, ins_pc, code(ins.op), now));
   ++stats_.instructions;
 }
 
@@ -599,6 +667,8 @@ void Core::step(Cycle now) {
     } else {
       stats_.stall_cycles[static_cast<int>(StallCause::kParked)] +=
           park_wake_ - now;
+      ARMBAR_TRACE(tracer_,
+                   stall(id_, pc_, code(StallCause::kParked), now, park_wake_));
       finish(park_wake_);
       return;
     }

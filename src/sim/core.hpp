@@ -51,6 +51,7 @@
 #include "sim/isa.hpp"
 #include "sim/mem.hpp"
 #include "sim/program.hpp"
+#include "trace/trace.hpp"
 
 namespace armbar::sim {
 
@@ -69,6 +70,11 @@ enum class StallCause : std::uint8_t {
   kCount,
 };
 
+const char* to_string(StallCause c);
+/// All cause names in code order — installed on tracers so metric keys and
+/// Chrome-trace lanes carry names instead of codes.
+std::vector<std::string> stall_cause_names();
+
 struct CoreStats {
   std::uint64_t instructions = 0;
   std::uint64_t loads = 0;
@@ -86,6 +92,10 @@ struct CoreStats {
     for (auto v : stall_cycles) s += v;
     return s;
   }
+
+  /// Zero every counter (parity with MemStats::reset_stats) so benches can
+  /// warm up, reset, then measure a clean window.
+  void reset() { *this = CoreStats{}; }
 };
 
 class Core {
@@ -99,6 +109,13 @@ class Core {
   std::uint64_t reg(Reg r) const { return r == XZR ? 0 : regs_[r]; }
 
   void set_tso(bool tso) { tso_ = tso; }
+
+  /// Attach (or detach with nullptr) an event tracer. Recording only: the
+  /// simulated timing is bit-identical with or without a tracer.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
+  /// Zero the per-core counters without touching architectural state.
+  void reset_stats() { stats_.reset(); }
 
   CoreId id() const { return id_; }
   bool halted() const { return halted_; }
@@ -124,6 +141,7 @@ class Core {
     std::uint64_t seq = 0;
     Addr addr = 0;
     std::uint64_t value = 0;
+    Cycle enqueued_at = 0;     ///< issue cycle (trace: buffer residency)
     Cycle value_ready = 0;     ///< data-dependency: value usable from here
     Cycle drain_at = 0;        ///< earliest drain request (sb_drain_delay)
     std::uint64_t gate_branch = 0;  ///< control-dependency: youngest branch id
@@ -165,6 +183,8 @@ class Core {
     Cycle loads_done = 0;       ///< prior-load completion snapshot
     Cycle issue = 0;
     bool had_stores = false;
+    Cycle block_from = 0;       ///< first cycle the pipe is blocked
+    std::uint32_t pc = 0;       ///< barrier's own pc (trace span anchor)
   };
 
   // ---- helpers ----
@@ -240,6 +260,7 @@ class Core {
   bool tso_ = false;
   Cycle tso_last_load_done_ = 0;
 
+  trace::Tracer* tracer_ = nullptr;
   CoreStats stats_;
 };
 

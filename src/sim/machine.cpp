@@ -28,6 +28,17 @@ void Machine::set_tso(bool tso) {
   for (auto& c : cores_) c->set_tso(tso);
 }
 
+void Machine::set_tracer(trace::Tracer* t) {
+  if (t != nullptr) t->set_stall_cause_names(stall_cause_names());
+  for (auto& c : cores_) c->set_tracer(t);
+  mem_->set_tracer(t);
+}
+
+void Machine::reset_stats() {
+  for (auto& c : cores_) c->reset_stats();
+  mem_->reset_stats();
+}
+
 RunResult Machine::run(Cycle max_cycles) {
   ARMBAR_CHECK_MSG(!ran_, "Machine::run() may only be called once");
   ran_ = true;

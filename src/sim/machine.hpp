@@ -53,6 +53,16 @@ class Machine {
   /// Used by the litmus harness to contrast WMM and TSO (paper Table 1).
   void set_tso(bool tso);
 
+  /// Attach (or detach with nullptr) one tracer to every core and the
+  /// memory system. Also installs the stall-cause display names so metric
+  /// keys and exports read "stall_cycles.barrier" instead of a code.
+  void set_tracer(trace::Tracer* t);
+
+  /// Zero every per-core counter and the coherence-traffic counters.
+  /// Architectural and timing state is untouched, so a bench can warm up,
+  /// reset, and measure a clean window.
+  void reset_stats();
+
   /// Run until every program-bearing core halts or `max_cycles` elapses.
   RunResult run(Cycle max_cycles = 500'000'000);
 

@@ -115,11 +115,15 @@ Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_ou
 
   const NodeId me = spec_.node_of(core);
   std::uint32_t latency;
+  trace::CohKind coh_kind;
+  trace::LineCode from_code;
   if (ls.owner != kNoOwner) {
     const NodeId on = spec_.node_of(static_cast<CoreId>(ls.owner));
     const bool cross = on != me;
     latency = cross ? spec_.lat.c2c_remote : spec_.lat.c2c_local;
     cross ? ++stats_.gets_remote : ++stats_.gets_local;
+    coh_kind = cross ? trace::CohKind::kGetSRemote : trace::CohKind::kGetSLocal;
+    from_code = trace::LineCode::kOwned;
     // Owner downgrades M/E -> S; both now share.
     ls.sharers |= (1ULL << static_cast<CoreId>(ls.owner));
     ls.owner = kNoOwner;
@@ -137,13 +141,21 @@ Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_ou
     }();
     latency = local_sharer ? spec_.lat.c2c_local : spec_.lat.c2c_remote;
     local_sharer ? ++stats_.gets_local : ++stats_.gets_remote;
+    coh_kind =
+        local_sharer ? trace::CohKind::kGetSLocal : trace::CohKind::kGetSRemote;
+    from_code = trace::LineCode::kShared;
   } else {
     const bool local_home = home_of(a) == me;
     latency = local_home ? spec_.lat.mem_local : spec_.lat.mem_remote;
     ++stats_.mem_fills;
+    coh_kind = trace::CohKind::kMemFill;
+    from_code = trace::LineCode::kInvalid;
   }
   ls.sharers |= (1ULL << core);
   const Cycle done = start + latency;
+  ARMBAR_TRACE(tracer_, coh_transfer(core, line, coh_kind, start, done));
+  ARMBAR_TRACE(tracer_, line_transition(core, line, from_code,
+                                        trace::LineCode::kShared, done));
   // Read transfers pipeline: the line's service port frees after the
   // occupancy window even though this requester waits the full latency.
   ls.busy_until = start + std::min<Cycle>(latency, spec_.lat.read_occupancy);
@@ -193,6 +205,9 @@ Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
   const NodeId me = spec_.node_of(core);
   std::uint32_t latency;
   bool cross = false;
+  bool transfer = false;
+  trace::CohKind coh_kind = trace::CohKind::kMemFill;
+  trace::LineCode from_code = trace::LineCode::kInvalid;
   if (ls.owner == self) {
     // Chained drain behind our own in-flight store on the same line.
     latency = spec_.lat.owned_drain;
@@ -215,18 +230,34 @@ Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
       latency = cross ? spec_.lat.inv_remote : spec_.lat.inv_local;
       cross ? ++stats_.getm_remote : ++stats_.getm_local;
       if ((ls.sharers >> core) & 1) ++stats_.upgrades;
+      coh_kind =
+          cross ? trace::CohKind::kGetMRemote : trace::CohKind::kGetMLocal;
+      from_code = ls.owner != kNoOwner ? trace::LineCode::kOwned
+                                       : trace::LineCode::kShared;
+      transfer = true;
     } else if ((ls.sharers >> core) & 1) {
       // Sole sharer upgrading S -> M.
       latency = spec_.lat.owned_drain;
       ++stats_.upgrades;
+      coh_kind = trace::CohKind::kUpgrade;
+      from_code = trace::LineCode::kShared;
+      transfer = true;
     } else {
       const bool local_home = home_of(a) == me;
       latency = local_home ? spec_.lat.mem_local : spec_.lat.mem_remote;
       ++stats_.mem_fills;
+      coh_kind = trace::CohKind::kMemFill;
+      from_code = trace::LineCode::kInvalid;
+      transfer = true;
     }
   }
 
   const Cycle done = start + latency;
+  if (transfer) {
+    ARMBAR_TRACE(tracer_, coh_transfer(core, line, coh_kind, start, done));
+    ARMBAR_TRACE(tracer_, line_transition(core, line, from_code,
+                                          trace::LineCode::kOwned, done));
+  }
   // Victims learn about the invalidation now but it lands at `done`;
   // until then their stale S copies keep satisfying loads.
   notify_holders(ls, line, core, done);

@@ -27,6 +27,7 @@
 
 #include "common/types.hpp"
 #include "sim/platform.hpp"
+#include "trace/trace.hpp"
 
 namespace armbar::sim {
 
@@ -69,6 +70,10 @@ class MemorySystem {
   MemorySystem(const PlatformSpec& spec, std::size_t mem_bytes);
 
   void set_invalidate_hook(InvalidateHook hook) { inv_hook_ = std::move(hook); }
+
+  /// Attach (or detach with nullptr) an event tracer; records coherence
+  /// transfers and line-state transitions. Timing is unaffected.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
   /// Assign a home NUMA node to [base, base+bytes). Defaults to node 0.
   void set_home(Addr base, std::size_t bytes, NodeId node);
@@ -130,6 +135,7 @@ class MemorySystem {
   std::vector<LineState> lines_;
   std::vector<NodeId> home_;  ///< per home-granule node id
   InvalidateHook inv_hook_;
+  trace::Tracer* tracer_ = nullptr;
   MemStats stats_;
 
   static constexpr std::size_t kHomeGranule = 4096;  ///< home map granularity

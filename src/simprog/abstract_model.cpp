@@ -162,8 +162,9 @@ Program make_load_store_model(OrderChoice choice, BarrierLoc loc,
 }
 
 double run_single(const PlatformSpec& spec, const Program& prog,
-                  std::uint32_t iters) {
+                  std::uint32_t iters, trace::Tracer* tracer) {
   sim::Machine m(spec, 64u << 20);
+  m.set_tracer(tracer);
   m.load_program(0, &prog);
   auto r = m.run(2'000'000'000ULL);
   ARMBAR_CHECK_MSG(r.completed, "abstract model run timed out");
@@ -171,8 +172,10 @@ double run_single(const PlatformSpec& spec, const Program& prog,
 }
 
 double run_pair(const PlatformSpec& spec, const Program& prog,
-                std::uint32_t iters, CoreId c0, CoreId c1) {
+                std::uint32_t iters, CoreId c0, CoreId c1,
+                trace::Tracer* tracer) {
   sim::Machine m(spec, 64u << 20);
+  m.set_tracer(tracer);
   m.load_program(c0, &prog);
   m.load_program(c1, &prog);
   auto r = m.run(2'000'000'000ULL);

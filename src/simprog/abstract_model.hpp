@@ -55,14 +55,16 @@ Program make_load_store_model(OrderChoice choice, BarrierLoc loc,
                               Addr buf_a, Addr buf_b);
 
 /// Throughput of a single-core run, in loops per second at the platform
-/// frequency.
+/// frequency. A non-null `tracer` is attached to the machine for the run
+/// (recording only; throughput is bit-identical either way).
 double run_single(const PlatformSpec& spec, const Program& prog,
-                  std::uint32_t iters);
+                  std::uint32_t iters, trace::Tracer* tracer = nullptr);
 
 /// Throughput with two cores executing `prog` over the same buffers, in
 /// loops per second per core.
 double run_pair(const PlatformSpec& spec, const Program& prog,
-                std::uint32_t iters, CoreId c0, CoreId c1);
+                std::uint32_t iters, CoreId c0, CoreId c1,
+                trace::Tracer* tracer = nullptr);
 
 /// Buffer placement used by the models (shared; both threads walk it).
 inline constexpr Addr kBufA = 0x100000;

@@ -1,0 +1,144 @@
+#include "trace/json_report.hpp"
+
+#include <cstdio>
+
+namespace armbar::trace {
+
+ReportBuilder::ReportBuilder(std::string bench_id, std::string title)
+    : bench_id_(std::move(bench_id)), title_(std::move(title)) {}
+
+void ReportBuilder::add_check(const std::string& claim, bool pass) {
+  Json c = Json::object();
+  c.set("claim", claim);
+  c.set("pass", pass);
+  checks_.push(std::move(c));
+  ok_ = ok_ && pass;
+}
+
+void ReportBuilder::add_param(const std::string& name, const std::string& value) {
+  params_.set(name, value);
+}
+
+void ReportBuilder::add_metric(const std::string& name, double value) {
+  metrics_.set(name, value);
+}
+
+void ReportBuilder::add_histogram(const std::string& name,
+                                  const HistogramSummary& s) {
+  Json h = Json::object();
+  h.set("count", s.count);
+  h.set("sum", s.sum);
+  h.set("min", s.min);
+  h.set("max", s.max);
+  h.set("mean", s.mean);
+  h.set("p50", s.p50);
+  h.set("p95", s.p95);
+  h.set("p99", s.p99);
+  histograms_.set(name, std::move(h));
+}
+
+void ReportBuilder::add_registry(const MetricsRegistry& reg) {
+  for (const auto& name : reg.counter_names())
+    add_metric(name, static_cast<double>(reg.counter(name)));
+  for (const auto& name : reg.histogram_names())
+    add_histogram(name, summarize(reg.histogram(name)));
+}
+
+Json ReportBuilder::build() const {
+  Json doc = Json::object();
+  doc.set("schema", kReportSchema);
+  doc.set("bench", bench_id_);
+  doc.set("title", title_);
+  doc.set("ok", ok_);
+  doc.set("checks", checks_);
+  doc.set("params", params_);
+  doc.set("metrics", metrics_);
+  doc.set("histograms", histograms_);
+  return doc;
+}
+
+bool ReportBuilder::write(const std::string& path) const {
+  const std::string text = str();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = n == text.size() && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+namespace {
+
+bool violation(std::string* err, const std::string& what) {
+  if (err) *err = what;
+  return false;
+}
+
+}  // namespace
+
+bool validate_bench_report(const Json& doc, std::string* err) {
+  if (!doc.is_object()) return violation(err, "report is not a JSON object");
+
+  const Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string())
+    return violation(err, "missing string field 'schema'");
+  if (schema->str() != kReportSchema)
+    return violation(err, "unknown schema '" + schema->str() + "'");
+
+  for (const char* field : {"bench", "title"}) {
+    const Json* v = doc.find(field);
+    if (!v || !v->is_string() || v->str().empty())
+      return violation(err, std::string("missing non-empty string field '") + field + "'");
+  }
+
+  const Json* ok = doc.find("ok");
+  if (!ok || !ok->is_bool()) return violation(err, "missing bool field 'ok'");
+
+  const Json* checks = doc.find("checks");
+  if (!checks || !checks->is_array())
+    return violation(err, "missing array field 'checks'");
+  bool all_pass = true;
+  for (const Json& c : checks->items()) {
+    const Json* claim = c.find("claim");
+    const Json* pass = c.find("pass");
+    if (!c.is_object() || !claim || !claim->is_string() || !pass || !pass->is_bool())
+      return violation(err, "check entries need string 'claim' and bool 'pass'");
+    all_pass = all_pass && pass->boolean();
+  }
+  if (ok->boolean() && !all_pass)
+    return violation(err, "'ok' is true but a check failed");
+
+  const Json* metrics = doc.find("metrics");
+  if (!metrics || !metrics->is_object())
+    return violation(err, "missing object field 'metrics'");
+  for (const auto& [name, v] : metrics->members())
+    if (!v.is_number())
+      return violation(err, "metric '" + name + "' is not a number");
+
+  const Json* hists = doc.find("histograms");
+  if (!hists || !hists->is_object())
+    return violation(err, "missing object field 'histograms'");
+  for (const auto& [name, h] : hists->members()) {
+    if (!h.is_object())
+      return violation(err, "histogram '" + name + "' is not an object");
+    for (const char* field : {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}) {
+      const Json* v = h.find(field);
+      if (!v || !v->is_number())
+        return violation(err, "histogram '" + name + "' missing number '" + field + "'");
+    }
+    const Json* count = h.find("count");
+    const Json* mn = h.find("min");
+    const Json* mx = h.find("max");
+    const Json* p50 = h.find("p50");
+    const Json* p99 = h.find("p99");
+    if (count->number() > 0) {
+      if (mn->number() > mx->number())
+        return violation(err, "histogram '" + name + "': min > max");
+      if (p50->number() > p99->number())
+        return violation(err, "histogram '" + name + "': p50 > p99");
+    }
+  }
+  if (err) err->clear();
+  return true;
+}
+
+}  // namespace armbar::trace

@@ -1,0 +1,61 @@
+// Machine-readable bench reports: the compact JSON document every fig*/
+// table* bench emits under --json, suitable for trajectory tracking
+// (BENCH_*.json) and CI schema checks.
+//
+// Schema (armbar.bench.report/v1):
+//   {
+//     "schema":  "armbar.bench.report/v1",
+//     "bench":   "<binary id, e.g. fig3_store_store>",
+//     "title":   "<human banner>",
+//     "ok":      true,                       // all qualitative checks passed
+//     "checks":  [{"claim": "...", "pass": true}, ...],
+//     "params":  {"name": "value", ...},     // optional run parameters
+//     "metrics": {"name": <number>, ...},    // scalar results (throughputs…)
+//     "histograms": {                        // latency distributions
+//       "<name>": {"count":N,"sum":S,"min":m,"max":M,
+//                   "mean":x,"p50":x,"p95":x,"p99":x}, ...
+//     }
+//   }
+#pragma once
+
+#include <string>
+
+#include "trace/json.hpp"
+#include "trace/metrics.hpp"
+
+namespace armbar::trace {
+
+inline constexpr const char* kReportSchema = "armbar.bench.report/v1";
+
+class ReportBuilder {
+ public:
+  ReportBuilder(std::string bench_id, std::string title);
+
+  void set_ok(bool ok) { ok_ = ok; }
+  void add_check(const std::string& claim, bool pass);
+  void add_param(const std::string& name, const std::string& value);
+  void add_metric(const std::string& name, double value);
+  void add_histogram(const std::string& name, const HistogramSummary& s);
+  /// Pull every histogram (machine-wide merge) and counter out of a
+  /// registry. Counters land in metrics as "<name>".
+  void add_registry(const MetricsRegistry& reg);
+
+  Json build() const;
+  std::string str(int indent = 1) const { return build().dump(indent); }
+  bool write(const std::string& path) const;
+
+ private:
+  std::string bench_id_;
+  std::string title_;
+  bool ok_ = true;
+  Json checks_ = Json::array();
+  Json params_ = Json::object();
+  Json metrics_ = Json::object();
+  Json histograms_ = Json::object();
+};
+
+/// Validate a parsed document against armbar.bench.report/v1. On failure
+/// returns false and describes the first violation in *err.
+bool validate_bench_report(const Json& doc, std::string* err = nullptr);
+
+}  // namespace armbar::trace

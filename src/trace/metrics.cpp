@@ -1,0 +1,110 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+
+namespace armbar::trace {
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lo = static_cast<double>(std::max(bucket_lo(i), min_));
+      const std::uint64_t hi_bound = i >= 64 ? max_ : (bucket_lo(i + 1) - 1);
+      const double hi = static_cast<double>(std::min(hi_bound, max_));
+      if (buckets_[i] == 1 || hi <= lo) return std::max(lo, hi);
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+HistogramSummary summarize(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.mean = h.mean();
+  s.p50 = h.percentile(50.0);
+  s.p95 = h.percentile(95.0);
+  s.p99 = h.percentile(99.0);
+  return s;
+}
+
+namespace {
+
+template <typename Map, typename Value>
+Value& slot(Map& m, std::string_view name, CoreId core) {
+  auto it = m.find(name);
+  if (it == m.end()) it = m.emplace(std::string(name), typename Map::mapped_type{}).first;
+  auto& per_core = it->second;
+  if (per_core.size() <= core) per_core.resize(core + 1);
+  return per_core[core];
+}
+
+}  // namespace
+
+void MetricsRegistry::inc(std::string_view name, CoreId core, std::uint64_t delta) {
+  slot<decltype(counters_), std::uint64_t>(counters_, name, core) += delta;
+}
+
+void MetricsRegistry::observe(std::string_view name, CoreId core, std::uint64_t value) {
+  slot<decltype(histograms_), Histogram>(histograms_, name, core).add(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  std::uint64_t total = 0;
+  for (auto v : it->second) total += v;
+  return total;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name, CoreId core) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end() || it->second.size() <= core) return 0;
+  return it->second[core];
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) const {
+  Histogram total;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return total;
+  for (const auto& h : it->second) total.merge(h);
+  return total;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name, CoreId core) const {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second.size() <= core) return nullptr;
+  return it->second[core].count() ? &it->second[core] : nullptr;
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [k, v] : counters_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [k, v] : histograms_) out.push_back(k);
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace armbar::trace

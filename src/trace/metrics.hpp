@@ -1,0 +1,120 @@
+// Metrics registry: named counters and log-scale latency histograms,
+// kept per core and aggregated machine-wide.
+//
+// The registry is the quantitative side of the tracing subsystem: where the
+// ring-buffer tracer answers "what happened around cycle X", the registry
+// answers "what is the p99 barrier completion latency over the whole run".
+// Histograms are log2-bucketed (64 buckets cover the full Cycle range) so a
+// histogram is a fixed 600-byte object no matter how many samples land in
+// it — cheap enough to keep one per (metric, core).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace armbar::trace {
+
+/// Log2-bucketed histogram of non-negative integer samples (cycle counts).
+/// Bucket 0 holds the value 0; bucket i (i >= 1) holds [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const Histogram& o) {
+    if (o.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  /// Approximate percentile (p in [0,100]): finds the bucket holding the
+  /// rank and interpolates linearly inside it. Exact for single-valued
+  /// buckets (0 and 1), within 2x for the rest — the right trade for a
+  /// fixed-size accumulator on a simulator hot path.
+  double percentile(double p) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    return v == 0 ? 0 : static_cast<std::size_t>(64 - __builtin_clzll(v));
+  }
+  /// Inclusive lower bound of bucket i.
+  static std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : (1ULL << (i - 1));
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Flat summary of a histogram, the shape exported into JSON reports.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+HistogramSummary summarize(const Histogram& h);
+
+/// Named counters + histograms, each kept per core with a machine-wide
+/// aggregate view. Core ids are dense and small (<= kMaxCores), so per-core
+/// storage is a vector indexed by core, grown on first touch.
+class MetricsRegistry {
+ public:
+  void inc(std::string_view name, CoreId core, std::uint64_t delta = 1);
+  void observe(std::string_view name, CoreId core, std::uint64_t value);
+
+  /// Machine-wide counter total (0 when the name was never incremented).
+  std::uint64_t counter(std::string_view name) const;
+  std::uint64_t counter(std::string_view name, CoreId core) const;
+
+  /// Machine-wide histogram (all cores merged); empty when never observed.
+  Histogram histogram(std::string_view name) const;
+  /// Per-core histogram; nullptr when the (name, core) pair has no samples.
+  const Histogram* histogram(std::string_view name, CoreId core) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  void clear();
+
+ private:
+  // std::map: stable iteration order (deterministic exports), heterogeneous
+  // string_view lookup via std::less<>.
+  std::map<std::string, std::vector<std::uint64_t>, std::less<>> counters_;
+  std::map<std::string, std::vector<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace armbar::trace

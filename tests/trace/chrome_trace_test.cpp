@@ -1,0 +1,140 @@
+// Chrome trace_event exporter: structural checks plus a byte-for-byte
+// golden-file diff of a deterministic hand-built event sequence.
+//
+// Regenerate the golden after an intentional format change:
+//   ARMBAR_REGEN_GOLDEN=1 ./trace_chrome_trace_test
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
+
+namespace armbar::trace {
+namespace {
+
+#ifndef ARMBAR_TEST_SOURCE_DIR
+#error "ARMBAR_TEST_SOURCE_DIR must be defined by the build"
+#endif
+
+std::string golden_path() {
+  return std::string(ARMBAR_TEST_SOURCE_DIR) + "/golden/chrome_basic.trace.json";
+}
+
+std::string op_name(std::uint8_t op) {
+  return op == 7 ? "dmb ish" : "op" + std::to_string(op);
+}
+
+// A miniature barrier lifetime on core 0 plus a coherence transfer on
+// core 1 — every event kind class the exporter maps (metadata, X span,
+// i instant) shows up.
+Tracer make_fixture() {
+  Tracer t(64);
+  t.set_stall_cause_names({"none", "operand", "barrier"});
+  t.instr_issue(0, 1, 3, 10);
+  t.sb_enqueue(0, 1, 0x1000, 11);
+  t.barrier_issue(0, 2, 7, 12);
+  t.sb_drain_start(0, 1, 0x1000, 13, 40);
+  t.coh_transfer(1, 0x1000, CohKind::kGetMRemote, 13, 40);
+  t.line_transition(1, 0x1000, LineCode::kShared, LineCode::kOwned, 40);
+  t.sb_drain_retire(0, 1, 11, 40);
+  t.stall(0, 2, 2, 13, 45);
+  t.barrier_txn(0, 7, 40, 45);
+  t.barrier_complete(0, 2, 7, 13, 45);
+  t.squash(1, 9, 50);
+  t.store_gate_arm(0, 6, 52);
+  t.store_gate_open(0, 60);
+  return t;
+}
+
+std::string render() {
+  ChromeTraceOptions opts;
+  opts.process_name = "armbar-test";
+  opts.op_name = &op_name;
+  const Tracer t = make_fixture();
+  return to_chrome_trace(t, opts).dump(1) + "\n";
+}
+
+TEST(ChromeTrace, StructurallySound) {
+  const Tracer t = make_fixture();
+  ChromeTraceOptions opts;
+  opts.op_name = &op_name;
+  const Json doc = to_chrome_trace(t, opts);
+
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int spans = 0, instants = 0, meta = 0;
+  for (const Json& e : events->items()) {
+    const Json* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("name"), nullptr);
+    if (ph->str() == "X") {
+      ++spans;
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GT(e.find("dur")->number(), 0.0);
+      ASSERT_NE(e.find("ts"), nullptr);
+    } else if (ph->str() == "i") {
+      ++instants;
+    } else if (ph->str() == "M") {
+      ++meta;
+    }
+  }
+  // The fixture's span-shaped events: sb_drain_start, coh_transfer, stall,
+  // barrier_txn, barrier_complete.
+  EXPECT_EQ(spans, 5);
+  EXPECT_GT(instants, 0);
+  EXPECT_GE(meta, 3);  // process_name + one thread_name per core
+}
+
+TEST(ChromeTrace, StallAndBarrierNamesAreHumanReadable) {
+  const Tracer t = make_fixture();
+  ChromeTraceOptions opts;
+  opts.op_name = &op_name;
+  const std::string text = to_chrome_trace(t, opts).dump();
+  EXPECT_NE(text.find("stall:barrier"), std::string::npos);
+  EXPECT_NE(text.find("dmb ish"), std::string::npos);
+  EXPECT_NE(text.find("GetM(remote)"), std::string::npos);
+}
+
+TEST(ChromeTrace, DeterministicOutput) {
+  EXPECT_EQ(render(), render());
+}
+
+TEST(ChromeTrace, MatchesGoldenFile) {
+  const std::string actual = render();
+  if (std::getenv("ARMBAR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " — regenerate with ARMBAR_REGEN_GOLDEN=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  if (actual != expected) {
+    // Locate the first divergence for a useful failure message.
+    std::size_t i = 0;
+    while (i < actual.size() && i < expected.size() && actual[i] == expected[i])
+      ++i;
+    FAIL() << "exporter output diverged from golden at byte " << i << ":\n"
+           << "  golden: ..." << expected.substr(i, 60) << "\n"
+           << "  actual: ..." << actual.substr(i, 60) << "\n"
+           << "If the format change is intentional, regenerate with "
+              "ARMBAR_REGEN_GOLDEN=1";
+  }
+}
+
+}  // namespace
+}  // namespace armbar::trace

@@ -1,0 +1,135 @@
+// Histogram bucketing/percentiles and the per-core metrics registry.
+#include <gtest/gtest.h>
+
+#include "trace/metrics.hpp"
+
+namespace armbar::trace {
+namespace {
+
+TEST(Histogram, BucketOf) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~0ULL), 64u);
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i)
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(i)), i);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  for (std::uint64_t v : {5ULL, 10ULL, 15ULL}) h.add(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 30u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(Histogram, PercentilesExactForSingleValuedBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(0);
+  for (int i = 0; i < 10; ++i) h.add(1);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(89), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 1.0);
+}
+
+TEST(Histogram, PercentileMonotoneAndBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  double prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double x = h.percentile(p);
+    EXPECT_GE(x, prev) << "p" << p;
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 1024.0);  // within the top bucket's range
+    prev = x;
+  }
+}
+
+TEST(Histogram, MergeMatchesCombinedAdds) {
+  Histogram a, b, both;
+  for (std::uint64_t v = 1; v < 100; v += 2) { a.add(v); both.add(v); }
+  for (std::uint64_t v = 100; v < 300; v += 3) { b.add(v); both.add(v); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_EQ(a.buckets(), both.buckets());
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a, b;
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7u);
+  a.merge(Histogram{});  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Summarize, FlattensHistogram) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 64; ++v) h.add(v);
+  const HistogramSummary s = summarize(h);
+  EXPECT_EQ(s.count, 64u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 64u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(MetricsRegistry, CountersPerCoreAndMachineWide) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("never"), 0u);
+
+  reg.inc("instrs", 0, 5);
+  reg.inc("instrs", 3, 7);
+  reg.inc("instrs", 0);
+  EXPECT_EQ(reg.counter("instrs"), 13u);
+  EXPECT_EQ(reg.counter("instrs", 0), 6u);
+  EXPECT_EQ(reg.counter("instrs", 3), 7u);
+  EXPECT_EQ(reg.counter("instrs", 1), 0u);
+}
+
+TEST(MetricsRegistry, HistogramsPerCoreAndMerged) {
+  MetricsRegistry reg;
+  reg.observe("lat", 0, 10);
+  reg.observe("lat", 2, 1000);
+
+  ASSERT_NE(reg.histogram("lat", 0), nullptr);
+  EXPECT_EQ(reg.histogram("lat", 0)->count(), 1u);
+  EXPECT_EQ(reg.histogram("lat", 1), nullptr);
+
+  const Histogram all = reg.histogram("lat");
+  EXPECT_EQ(all.count(), 2u);
+  EXPECT_EQ(all.min(), 10u);
+  EXPECT_EQ(all.max(), 1000u);
+  EXPECT_EQ(reg.histogram("other").count(), 0u);
+}
+
+TEST(MetricsRegistry, NamesAreSortedAndClearable) {
+  MetricsRegistry reg;
+  reg.inc("b", 0);
+  reg.inc("a", 0);
+  reg.observe("z", 0, 1);
+  reg.observe("y", 0, 1);
+  EXPECT_EQ(reg.counter_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(reg.histogram_names(), (std::vector<std::string>{"y", "z"}));
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+}  // namespace
+}  // namespace armbar::trace

@@ -1,0 +1,56 @@
+// report_check — validate bench JSON reports against armbar.bench.report/v1.
+//
+//   $ report_check report.json [more.json ...]
+//
+// Exit 0 when every file parses and conforms (and its checks passed),
+// nonzero otherwise. Used by scripts/ci.sh to gate the --json pipeline.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/json.hpp"
+#include "trace/json_report.hpp"
+
+namespace {
+
+bool check_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string err;
+  const armbar::trace::Json doc = armbar::trace::Json::parse(buf.str(), &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path, err.c_str());
+    return false;
+  }
+  if (!armbar::trace::validate_bench_report(doc, &err)) {
+    std::fprintf(stderr, "%s: schema violation: %s\n", path, err.c_str());
+    return false;
+  }
+  const bool ok = doc.find("ok")->boolean();
+  std::printf("%s: valid %s report — bench '%s', %zu checks, %zu metrics, "
+              "%zu histograms%s\n",
+              path, armbar::trace::kReportSchema,
+              doc.find("bench")->str().c_str(), doc.find("checks")->size(),
+              doc.find("metrics")->size(), doc.find("histograms")->size(),
+              ok ? "" : " [bench checks FAILED]");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <report.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = check_file(argv[i]) && ok;
+  return ok ? 0 : 1;
+}
