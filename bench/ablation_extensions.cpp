@@ -11,40 +11,36 @@
 //     function of buffer capacity.
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/abstract_model.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun brun(argc, argv, "ablation_extensions", "Ablations", "MCA mode, RCpc LDAPR, store-buffer sizing");
-
-  bool ok = true;
+ARMBAR_EXPERIMENT(ablation_extensions, "Ablations",
+                  "MCA mode, RCpc LDAPR, store-buffer sizing") {
   constexpr std::uint32_t kIters = 1200;
 
   // ---- 1. MCA: DMB full transaction cost collapses ----
   {
+    // Grid: (same node, cross nodes) x (non-MCA, MCA).
+    const std::vector<double> res = ctx.map(4, [&](std::size_t i) {
+      const bool cross = i / 2 != 0;
+      const bool mca = i % 2 != 0;
+      sim::PlatformSpec spec = sim::kunpeng916();
+      spec.mca = mca;
+      const Program p = make_store_store_model(
+          OrderChoice::kDmbFull, BarrierLoc::kLoc1, 10, kIters, kBufA, kBufB);
+      return bench::cached_run_pair(ctx, spec, p, kIters, 0, cross ? 32 : 1);
+    });
     TextTable t("MCA ablation — store-store model, DMB full-1 (10^6 loops/s)");
     t.header({"configuration", "non-MCA", "MCA", "speedup"});
     for (const bool cross : {false, true}) {
-      const CoreId peer = cross ? 32 : 1;
-      const std::uint32_t nops = 10;
-      auto run = [&](bool mca) {
-        sim::PlatformSpec spec = sim::kunpeng916();
-        spec.mca = mca;
-        Program p = make_store_store_model(OrderChoice::kDmbFull,
-                                           BarrierLoc::kLoc1, nops, kIters,
-                                           kBufA, kBufB);
-        return run_pair(spec, p, kIters, 0, peer);
-      };
-      const double plain = run(false), mca = run(true);
+      const double plain = res[cross ? 2 : 0], mca = res[cross ? 3 : 1];
       t.row({cross ? "kunpeng916 cross nodes" : "kunpeng916 same node",
              TextTable::num(plain / 1e6, 2), TextTable::num(mca / 1e6, 2),
              TextTable::num(mca / plain, 2) + "x"});
-      ok &= bench::check(mca > plain,
-                         std::string(cross ? "cross" : "same") +
-                             "-node: MCA removes the barrier transaction cost");
+      ctx.check(mca > plain, std::string(cross ? "cross" : "same") +
+                                 "-node: MCA removes the barrier transaction cost");
     }
     t.note("the drain wait itself remains: MCA does not make DMB free, it");
     t.note("removes the bus round trip — matching the paper's §6 reading");
@@ -53,17 +49,23 @@ int main(int argc, char** argv) {
 
   // ---- 2. LDAPR vs LDAR vs DMB ld (load -> store ordering) ----
   {
+    const std::uint32_t nops = 60;  // short: exposes the acquire gate
+    struct Opt {
+      OrderChoice c;
+      BarrierLoc l;
+    };
+    const std::vector<Opt> opts = {{OrderChoice::kNone, BarrierLoc::kNone},
+                                   {OrderChoice::kLdapr, BarrierLoc::kNone},
+                                   {OrderChoice::kLdar, BarrierLoc::kNone},
+                                   {OrderChoice::kDmbLd, BarrierLoc::kLoc1}};
+    const std::vector<double> res = ctx.map(opts.size(), [&](std::size_t i) {
+      const Program p = make_load_store_model(opts[i].c, opts[i].l, nops,
+                                              kIters, kBufA, kBufB);
+      return bench::cached_run_pair(ctx, sim::kunpeng916(), p, kIters, 0, 32);
+    });
+    const double none = res[0], ldapr = res[1], ldar = res[2], dmbld = res[3];
     TextTable t("RCpc ablation — load+store model, cross-node kunpeng916");
     t.header({"approach", "10^6 loops/s"});
-    const std::uint32_t nops = 60;  // short: exposes the acquire gate
-    auto run = [&](OrderChoice c, BarrierLoc l) {
-      Program p = make_load_store_model(c, l, nops, kIters, kBufA, kBufB);
-      return run_pair(sim::kunpeng916(), p, kIters, 0, 32);
-    };
-    const double none = run(OrderChoice::kNone, BarrierLoc::kNone);
-    const double ldapr = run(OrderChoice::kLdapr, BarrierLoc::kNone);
-    const double ldar = run(OrderChoice::kLdar, BarrierLoc::kNone);
-    const double dmbld = run(OrderChoice::kDmbLd, BarrierLoc::kLoc1);
     t.row({"No Barrier", TextTable::num(none / 1e6, 2)});
     t.row({"LDAPR (RCpc)", TextTable::num(ldapr / 1e6, 2)});
     t.row({"LDAR (RCsc)", TextTable::num(ldar / 1e6, 2)});
@@ -71,36 +73,38 @@ int main(int argc, char** argv) {
     t.note("Table 3 footnote 1: LDAPR 'may provide better parallelism than");
     t.note("LDAR here' — unsupported by kunpeng916, modelled as an extension");
     t.print();
-    ok &= bench::check(ldapr >= ldar, "LDAPR is at least as fast as LDAR");
-    ok &= bench::check(ldapr >= dmbld, "LDAPR is at least as fast as DMB ld");
-    ok &= bench::check(ldapr <= none * 1.01, "LDAPR still costs something vs none");
+    ctx.check(ldapr >= ldar, "LDAPR is at least as fast as LDAR");
+    ctx.check(ldapr >= dmbld, "LDAPR is at least as fast as DMB ld");
+    ctx.check(ldapr <= none * 1.01, "LDAPR still costs something vs none");
   }
 
   // ---- 3. STLR chaining vs store-buffer capacity ----
   {
+    const std::vector<std::uint32_t> entries = {8, 16, 32};
+    // Per capacity: STLR chain and the DMB st reference.
+    const std::vector<double> res = ctx.map(entries.size() * 2, [&](std::size_t i) {
+      sim::PlatformSpec spec = sim::kunpeng916();
+      spec.lat.sb_entries = entries[i / 2];
+      const Program p =
+          (i % 2) == 0
+              ? make_store_store_model(OrderChoice::kStlr, BarrierLoc::kNone,
+                                       60, kIters, kBufA, kBufB)
+              : make_store_store_model(OrderChoice::kDmbSt, BarrierLoc::kLoc1,
+                                       60, kIters, kBufA, kBufB);
+      return bench::cached_run_pair(ctx, spec, p, kIters, 0, 1);
+    });
     TextTable t("Store-buffer sizing — STLR chain (same-node kunpeng916)");
     t.header({"sb entries", "STLR 10^6 loops/s", "DMB st 10^6 loops/s"});
-    double first_stlr = 0, last_stlr = 0;
-    for (std::uint32_t entries : {8u, 16u, 32u}) {
-      sim::PlatformSpec spec = sim::kunpeng916();
-      spec.lat.sb_entries = entries;
-      Program ps = make_store_store_model(OrderChoice::kStlr, BarrierLoc::kNone,
-                                          60, kIters, kBufA, kBufB);
-      Program pd = make_store_store_model(OrderChoice::kDmbSt, BarrierLoc::kLoc1,
-                                          60, kIters, kBufA, kBufB);
-      const double stlr = run_pair(spec, ps, kIters, 0, 1);
-      const double dmbst = run_pair(spec, pd, kIters, 0, 1);
-      t.row({std::to_string(entries), TextTable::num(stlr / 1e6, 2),
-             TextTable::num(dmbst / 1e6, 2)});
-      if (entries == 8) first_stlr = stlr;
-      last_stlr = stlr;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      t.row({std::to_string(entries[i]), TextTable::num(res[i * 2] / 1e6, 2),
+             TextTable::num(res[i * 2 + 1] / 1e6, 2)});
     }
     t.note("successive STLRs chain through the buffer (Obs 3): capacity");
     t.note("cannot buy the cost back, unlike for plain stores");
     t.print();
-    ok &= bench::check(last_stlr < first_stlr * 1.25,
-                       "STLR cost is capacity-insensitive (it chains)");
+    const double first_stlr = res[0];
+    const double last_stlr = res[(entries.size() - 1) * 2];
+    ctx.check(last_stlr < first_stlr * 1.25,
+              "STLR cost is capacity-insensitive (it chains)");
   }
-
-  return brun.finish(ok);
 }

@@ -1,0 +1,9 @@
+// armbar-bench — the unified experiment multiplexer. Every fig*/table*
+// experiment registers itself via ARMBAR_EXPERIMENT; this main just hands
+// the command line to the runner CLI (--list / --filter / --jobs / --repeat
+// / --json / --trace / cache controls).
+#include "runner/cli.hpp"
+
+int main(int argc, char** argv) {
+  return armbar::runner::cli_main(argc, argv);
+}

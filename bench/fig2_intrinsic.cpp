@@ -2,26 +2,44 @@
 // critical path), one sub-table per platform, throughput in 10^6 loops/s.
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/abstract_model.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig2_intrinsic", "Figure 2", "intrinsic overhead of barriers (no memory ops)");
-
+ARMBAR_EXPERIMENT(fig2_intrinsic, "Figure 2",
+                  "intrinsic overhead of barriers (no memory ops)") {
   const std::vector<OrderChoice> kBarriers = {
       OrderChoice::kNone, OrderChoice::kDmbFull, OrderChoice::kDmbLd,
       OrderChoice::kDmbSt, OrderChoice::kDsbFull, OrderChoice::kDsbLd,
       OrderChoice::kDsbSt, OrderChoice::kIsb};
   constexpr std::uint32_t kIters = 2000;
 
-  bool ok = true;
+  const auto nop_counts_of = [](const sim::PlatformSpec& spec) {
+    return spec.name == "kunpeng916" ? std::vector<std::uint32_t>{10, 30, 50}
+                                     : std::vector<std::uint32_t>{10, 30, 50, 100};
+  };
+
+  // Flatten (platform, barrier, nops) into one sweep for the pool; results
+  // come back in construction order, so printing just walks a cursor.
+  struct Point {
+    sim::PlatformSpec spec;
+    OrderChoice b;
+    std::uint32_t nops;
+  };
+  std::vector<Point> pts;
+  for (const auto& spec : sim::all_platforms())
+    for (auto b : kBarriers)
+      for (auto n : nop_counts_of(spec)) pts.push_back({spec, b, n});
+
+  const std::vector<double> thr = ctx.map(pts.size(), [&](std::size_t i) {
+    Program p = make_intrinsic_model(pts[i].b, pts[i].nops, kIters);
+    return bench::cached_run_single(ctx, pts[i].spec, p, kIters) / 1e6;
+  });
+
+  std::size_t cursor = 0;
   for (const auto& spec : sim::all_platforms()) {
-    const std::vector<std::uint32_t> nop_counts =
-        spec.name == "kunpeng916" ? std::vector<std::uint32_t>{10, 30, 50}
-                                  : std::vector<std::uint32_t>{10, 30, 50, 100};
+    const auto nop_counts = nop_counts_of(spec);
     TextTable t("Fig 2 (" + spec.name + ") — throughput, 10^6 loops/s");
     std::vector<std::string> hdr = {"barrier"};
     for (auto n : nop_counts) hdr.push_back(std::to_string(n) + " nops");
@@ -32,34 +50,32 @@ int main(int argc, char** argv) {
     for (auto b : kBarriers) {
       std::vector<std::string> row = {to_string(b)};
       for (std::size_t i = 0; i < nop_counts.size(); ++i) {
-        Program p = make_intrinsic_model(b, nop_counts[i], kIters);
-        const double thr = run_single(spec, p, kIters, run.tracer()) / 1e6;
-        row.push_back(TextTable::num(thr, 2));
+        const double x = thr[cursor++];
+        row.push_back(TextTable::num(x, 2));
         if (i == 0) {
-          if (b == OrderChoice::kNone) none10 = thr;
-          if (b == OrderChoice::kDmbFull) { dmb10 = thr; dmb_opts[0] = thr; }
-          if (b == OrderChoice::kDmbLd) dmb_opts[1] = thr;
-          if (b == OrderChoice::kDmbSt) dmb_opts[2] = thr;
-          if (b == OrderChoice::kDsbFull) { dsb10 = thr; dsb_opts[0] = thr; }
-          if (b == OrderChoice::kDsbLd) dsb_opts[1] = thr;
-          if (b == OrderChoice::kDsbSt) dsb_opts[2] = thr;
-          if (b == OrderChoice::kIsb) isb10 = thr;
+          if (b == OrderChoice::kNone) none10 = x;
+          if (b == OrderChoice::kDmbFull) { dmb10 = x; dmb_opts[0] = x; }
+          if (b == OrderChoice::kDmbLd) dmb_opts[1] = x;
+          if (b == OrderChoice::kDmbSt) dmb_opts[2] = x;
+          if (b == OrderChoice::kDsbFull) { dsb10 = x; dsb_opts[0] = x; }
+          if (b == OrderChoice::kDsbLd) dsb_opts[1] = x;
+          if (b == OrderChoice::kDsbSt) dsb_opts[2] = x;
+          if (b == OrderChoice::kIsb) isb10 = x;
         }
       }
       t.row(row);
     }
     t.print();
 
-    ok &= bench::check(dmb10 > 0.85 * none10,
-                       spec.name + ": DMB nearly free without memory ops (Obs 1)");
-    ok &= bench::check(dmb10 > isb10 && isb10 > dsb10,
-                       spec.name + ": DMB > ISB > DSB ordering (Obs 1)");
-    ok &= bench::check(
+    ctx.check(dmb10 > 0.85 * none10,
+              spec.name + ": DMB nearly free without memory ops (Obs 1)");
+    ctx.check(dmb10 > isb10 && isb10 > dsb10,
+              spec.name + ": DMB > ISB > DSB ordering (Obs 1)");
+    ctx.check(
         dmb_opts[1] > 0.9 * dmb_opts[0] && dmb_opts[2] > 0.9 * dmb_opts[0],
         spec.name + ": DMB options equivalent without memory ops");
-    ok &= bench::check(
+    ctx.check(
         dsb_opts[1] > 0.9 * dsb_opts[0] && dsb_opts[2] > 0.9 * dsb_opts[0],
         spec.name + ": DSB options equivalent");
   }
-  return run.finish(ok);
 }

@@ -4,10 +4,10 @@
 //   (c) kirin960               (d) kirin970             (e) rpi4
 // Also prints the Figure 4 tipping-point check (DMB full-1 at half the
 // throughput of DMB full-2 when nops just cover the drain).
+#include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/abstract_model.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
@@ -46,9 +46,8 @@ struct Sweep {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig3_store_store", "Figure 3", "store-store model under different configurations");
-
+ARMBAR_EXPERIMENT(fig3_store_store, "Figure 3",
+                  "store-store model under different configurations") {
   const std::vector<Sweep> sweeps = {
       {"(a) kunpeng916, same NUMA node", sim::kunpeng916(), 0, 1,
        {10, 150, 500, 700}, 1, 1},
@@ -59,7 +58,36 @@ int main(int argc, char** argv) {
       {"(e) rpi4", sim::rpi4(), 0, 1, {10, 30, 60, 100}, 1, 3},
   };
 
-  bool ok = true;
+  // One flat sweep: (configuration, variant, nop count), plus the three
+  // Figure 4 tipping-point runs appended at the end.
+  struct Point {
+    const Sweep* sw;
+    OrderChoice choice;
+    BarrierLoc loc;
+    std::uint32_t nops;
+  };
+  std::vector<Point> pts;
+  for (const auto& sw : sweeps)
+    for (const auto& v : kVariants)
+      for (auto n : sw.nops) pts.push_back({&sw, v.choice, v.loc, n});
+
+  const auto tip_spec = sim::kunpeng916();
+  const std::uint32_t tip =
+      tip_spec.lat.inv_local + tip_spec.lat.sb_drain_delay + 20;
+  const Sweep tip_sweep = {"tipping", tip_spec, 0, 1, {}, 0, 0};
+  pts.push_back({&tip_sweep, OrderChoice::kNone, BarrierLoc::kNone, tip});
+  pts.push_back({&tip_sweep, OrderChoice::kDmbFull, BarrierLoc::kLoc1, tip});
+  pts.push_back({&tip_sweep, OrderChoice::kDmbFull, BarrierLoc::kLoc2, tip});
+
+  const std::vector<double> res = ctx.map(pts.size(), [&](std::size_t i) {
+    const Point& pt = pts[i];
+    Program p = make_store_store_model(pt.choice, pt.loc, pt.nops, kIters,
+                                       kBufA, kBufB);
+    return bench::cached_run_pair(ctx, pt.sw->spec, p, kIters, pt.sw->c0,
+                                  pt.sw->c1);
+  });
+
+  std::size_t cursor = 0;
   for (const auto& sw : sweeps) {
     TextTable t("Fig 3 " + sw.title + " — throughput, 10^6 loops/s");
     std::vector<std::string> hdr = {"variant"};
@@ -70,10 +98,8 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> thr(kVariants.size());
     for (std::size_t v = 0; v < kVariants.size(); ++v) {
       std::vector<std::string> row = {kVariants[v].label};
-      for (auto n : sw.nops) {
-        Program p = make_store_store_model(kVariants[v].choice, kVariants[v].loc,
-                                           n, kIters, kBufA, kBufB);
-        const double x = run_pair(sw.spec, p, kIters, sw.c0, sw.c1, run.tracer()) / 1e6;
+      for (std::size_t n = 0; n < sw.nops.size(); ++n) {
+        const double x = res[cursor++] / 1e6;
         thr[v].push_back(x);
         row.push_back(TextTable::num(x, 2));
       }
@@ -88,38 +114,29 @@ int main(int argc, char** argv) {
     const double dmbfull1 = thr[1][sw.gap_idx], dmbfull2 = thr[2][sw.gap_idx];
     const double dmbst1 = thr[3][sw.hide_idx];
     const double dsbfull1 = thr[5][sw.gap_idx];
-    ok &= bench::check(dmbfull1 < 0.8 * dmbfull2,
-                       sw.title + ": barrier after the RMR costs more (Obs 2)");
-    ok &= bench::check(dmbst1 > 0.8 * none,
-                       sw.title + ": DMB st hides behind enough nops");
-    ok &= bench::check(dsbfull1 < dmbfull1 * 1.02,
-                       sw.title + ": DSB is the most expensive");
+    ctx.check(dmbfull1 < 0.8 * dmbfull2,
+              sw.title + ": barrier after the RMR costs more (Obs 2)");
+    ctx.check(dmbst1 > 0.8 * none,
+              sw.title + ": DMB st hides behind enough nops");
+    ctx.check(dsbfull1 < dmbfull1 * 1.02,
+              sw.title + ": DSB is the most expensive");
   }
 
   // Figure 4 check: at the tipping point DMB full-2 ~ No Barrier and
   // DMB full-1 ~ half of DMB full-2 (same-node kunpeng916).
   {
-    const auto spec = sim::kunpeng916();
-    const std::uint32_t tip = spec.lat.inv_local + spec.lat.sb_drain_delay + 20;
-    Program p0 = make_store_store_model(OrderChoice::kNone, BarrierLoc::kNone,
-                                        tip, kIters, kBufA, kBufB);
-    Program p1 = make_store_store_model(OrderChoice::kDmbFull, BarrierLoc::kLoc1,
-                                        tip, kIters, kBufA, kBufB);
-    Program p2 = make_store_store_model(OrderChoice::kDmbFull, BarrierLoc::kLoc2,
-                                        tip, kIters, kBufA, kBufB);
-    const double none = run_pair(spec, p0, kIters, 0, 1, run.tracer());
-    const double l1 = run_pair(spec, p1, kIters, 0, 1, run.tracer());
-    const double l2 = run_pair(spec, p2, kIters, 0, 1, run.tracer());
+    const double none = res[cursor++];
+    const double l1 = res[cursor++];
+    const double l2 = res[cursor++];
     std::printf("\nFigure 4 tipping point (%u nops, kunpeng916 same node):\n", tip);
     std::printf("  No Barrier %.2f, DMB full-2 %.2f, DMB full-1 %.2f (10^6 loops/s)\n",
                 none / 1e6, l2 / 1e6, l1 / 1e6);
     std::printf("  DMB full-1 / DMB full-2 = %.3f (paper: ~1/2)\n",
                 bench::ratio(l1, l2));
-    ok &= bench::check(l2 > 0.85 * none,
-                       "tipping: nops fully hide DMB full at location 2");
+    ctx.check(l2 > 0.85 * none,
+              "tipping: nops fully hide DMB full at location 2");
     const double r = bench::ratio(l1, l2);
-    ok &= bench::check(r > 0.40 && r < 0.62,
-                       "tipping: DMB full-1 at ~half of DMB full-2 (Fig 4)");
+    ctx.check(r > 0.40 && r < 0.62,
+              "tipping: DMB full-1 at ~half of DMB full-2 (Fig 4)");
   }
-  return run.finish(ok);
 }

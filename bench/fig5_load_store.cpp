@@ -3,8 +3,7 @@
 // the dependency idioms (Observation 6).
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/abstract_model.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
@@ -37,13 +36,20 @@ const std::vector<Variant> kVariants = {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig5_load_store", "Figure 5",
-                "load+store model, threads on different NUMA nodes (kunpeng916)");
-
+ARMBAR_EXPERIMENT(fig5_load_store, "Figure 5",
+                  "load+store model, threads on different NUMA nodes (kunpeng916)") {
   const auto spec = sim::kunpeng916();
   constexpr std::uint32_t kIters = 1500;
   const std::vector<std::uint32_t> kNops = {300, 500};
+
+  const std::size_t cols = kNops.size();
+  const std::vector<double> res =
+      ctx.map(kVariants.size() * cols, [&](std::size_t i) {
+        const Variant& v = kVariants[i / cols];
+        Program p = make_load_store_model(v.choice, v.loc, kNops[i % cols],
+                                          kIters, kBufA, kBufB);
+        return bench::cached_run_pair(ctx, spec, p, kIters, 0, 32) / 1e6;
+      });
 
   TextTable t("Fig 5 — throughput, 10^6 loops/s (cross-node kunpeng916)");
   std::vector<std::string> hdr = {"variant"};
@@ -53,10 +59,8 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> thr(kVariants.size());
   for (std::size_t v = 0; v < kVariants.size(); ++v) {
     std::vector<std::string> row = {kVariants[v].label};
-    for (auto n : kNops) {
-      Program p = make_load_store_model(kVariants[v].choice, kVariants[v].loc, n,
-                                        kIters, kBufA, kBufB);
-      const double x = run_pair(spec, p, kIters, 0, 32, run.tracer()) / 1e6;
+    for (std::size_t n = 0; n < cols; ++n) {
+      const double x = res[v * cols + n];
       thr[v].push_back(x);
       row.push_back(TextTable::num(x, 2));
     }
@@ -73,16 +77,14 @@ int main(int argc, char** argv) {
   const double ctrlisb = thr[11][0], ctrl = thr[12][0];
   const double data = thr[13][0], addr = thr[14][0];
 
-  bool ok = true;
-  ok &= bench::check(data > 0.9 * none && addr > 0.9 * none && ctrl > 0.9 * none,
-                     "bogus dependencies nearly free (Obs 6)");
-  ok &= bench::check(dmbld2 > dmbld1 * 0.98 && dmbld1 > dmbfull1,
-                     "DMB ld cheaper than DMB full; X-1 exposed (Obs 2/6)");
-  ok &= bench::check(ldar > dmbfull1, "LDAR outperforms DMB full (Obs 6)");
-  ok &= bench::check(ctrlisb < ctrl && ctrlisb > dsbfull1,
-                     "CTRL+ISB pays the flush; still beats DSB");
-  ok &= bench::check(stlr <= dmbfull1 * 1.1,
-                     "STLR does not outperform stronger DMB full here (Obs 3)");
-  ok &= bench::check(dsbld1 < dmbld1, "DSB ld far costlier than DMB ld (Obs 5)");
-  return run.finish(ok);
+  ctx.check(data > 0.9 * none && addr > 0.9 * none && ctrl > 0.9 * none,
+            "bogus dependencies nearly free (Obs 6)");
+  ctx.check(dmbld2 > dmbld1 * 0.98 && dmbld1 > dmbfull1,
+            "DMB ld cheaper than DMB full; X-1 exposed (Obs 2/6)");
+  ctx.check(ldar > dmbfull1, "LDAR outperforms DMB full (Obs 6)");
+  ctx.check(ctrlisb < ctrl && ctrlisb > dsbfull1,
+            "CTRL+ISB pays the flush; still beats DSB");
+  ctx.check(stlr <= dmbfull1 * 1.1,
+            "STLR does not outperform stronger DMB full here (Obs 3)");
+  ctx.check(dsbld1 < dmbld1, "DSB ld far costlier than DMB ld (Obs 5)");
 }

@@ -1,9 +1,9 @@
 // Figure 6(a) — producer-consumer barrier combinations, normalized to the
 // DMB full - DMB full baseline, under five configurations.
+#include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/prodcons.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
@@ -18,9 +18,8 @@ struct Cfg {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig6a_prodcons", "Figure 6(a)", "producer-consumer barrier combinations");
-
+ARMBAR_EXPERIMENT(fig6a_prodcons, "Figure 6(a)",
+                  "producer-consumer barrier combinations") {
   const std::vector<Cfg> cfgs = {
       {"kunpeng916 same node", sim::kunpeng916(), 0, 1},
       {"kunpeng916 cross nodes", sim::kunpeng916(), 0, 32},
@@ -50,19 +49,33 @@ int main(int argc, char** argv) {
   constexpr std::uint32_t kMsgs = 1500;
   constexpr std::uint32_t kWork = 40;  // nops in produceMsg()
 
-  bool ok = true;
-  for (const auto& cfg : cfgs) {
+  // (cfg, combo) grid; the Obs-3 cross-node comparison reuses grid points.
+  const std::size_t cols = combos.size();
+  struct Point {
+    const Cfg* cfg;
+    ProdConsCombo combo;
+  };
+  std::vector<Point> pts;
+  for (const auto& cfg : cfgs)
+    for (const auto& c : combos) pts.push_back({&cfg, c.combo});
+
+  const std::vector<ProdConsResult> res =
+      ctx.map(pts.size(), [&](std::size_t i) {
+        return bench::cached_prodcons(ctx, pts[i].cfg->spec, pts[i].combo,
+                                      kMsgs, kWork, pts[i].cfg->prod,
+                                      pts[i].cfg->cons);
+      });
+
+  for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+    const Cfg& cfg = cfgs[ci];
     TextTable t("Fig 6(a) " + cfg.title + " — normalized throughput");
     t.header({"combo (line3 - line5)", "msgs/s (10^6)", "normalized", "correct"});
     std::vector<double> thr;
     std::vector<bool> correct;
-    for (const auto& c : combos) {
-      auto r = run_prodcons(cfg.spec, c.combo, kMsgs, kWork, cfg.prod, cfg.cons);
-      if (c.must_be_correct && !r.checksum_ok) {
-        std::printf("CHECKSUM FAILURE in %s / %s\n", cfg.title.c_str(),
-                    c.label.c_str());
-        return 1;
-      }
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+      const ProdConsResult& r = res[ci * cols + i];
+      if (combos[i].must_be_correct && !r.checksum_ok)
+        ctx.fatal("CHECKSUM FAILURE in " + cfg.title + " / " + combos[i].label);
       thr.push_back(r.msgs_per_sec);
       correct.push_back(r.checksum_ok);
     }
@@ -77,24 +90,20 @@ int main(int argc, char** argv) {
 
     const double full_full = thr[0], ld_st = thr[2], ldar_st = thr[3];
     const double ld_none = thr[5], ideal = thr[6];
-    ok &= bench::check(ld_st >= full_full && ldar_st >= full_full * 0.97,
-                       cfg.title + ": ld/LDAR-based combos win (Obs 6)");
-    ok &= bench::check(ld_none > ld_st * 0.99,
-                       cfg.title + ": removing the line-5 barrier helps most (Obs 2)");
-    ok &= bench::check(ld_none > 0.8 * ideal,
-                       cfg.title + ": DMB ld - No Barrier close to Ideal");
+    ctx.check(ld_st >= full_full && ldar_st >= full_full * 0.97,
+              cfg.title + ": ld/LDAR-based combos win (Obs 6)");
+    ctx.check(ld_none > ld_st * 0.99,
+              cfg.title + ": removing the line-5 barrier helps most (Obs 2)");
+    ctx.check(ld_none > 0.8 * ideal,
+              cfg.title + ": DMB ld - No Barrier close to Ideal");
   }
 
-  // Cross-node STLR does not beat DMB full (Obs 3).
+  // Cross-node STLR does not beat DMB full (Obs 3). Rows 0 and 4 of the
+  // cross-node configuration (grid index 1) are exactly these runs.
   {
-    auto stlr = run_prodcons(sim::kunpeng916(),
-                             {OrderChoice::kDmbFull, OrderChoice::kStlr, true},
-                             kMsgs, kWork, 0, 32);
-    auto full = run_prodcons(sim::kunpeng916(),
-                             {OrderChoice::kDmbFull, OrderChoice::kDmbFull, true},
-                             kMsgs, kWork, 0, 32);
-    ok &= bench::check(stlr.msgs_per_sec <= full.msgs_per_sec * 1.1,
-                       "cross-node: STLR does not outperform DMB full (Obs 3)");
+    const ProdConsResult& stlr = res[1 * cols + 4];
+    const ProdConsResult& full = res[1 * cols + 0];
+    ctx.check(stlr.msgs_per_sec <= full.msgs_per_sec * 1.1,
+              "cross-node: STLR does not outperform DMB full (Obs 3)");
   }
-  return run.finish(ok);
 }

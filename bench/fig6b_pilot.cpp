@@ -2,10 +2,10 @@
 // against the best barrier combination (DMB ld - DMB st), the Theoretical
 // variant (barriers Pilot removes, removed) and the Ideal (all barriers
 // removed).
+#include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/prodcons.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
@@ -20,9 +20,8 @@ struct Cfg {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig6b_pilot", "Figure 6(b)", "Pilot in the producer-consumer model");
-
+ARMBAR_EXPERIMENT(fig6b_pilot, "Figure 6(b)",
+                  "Pilot in the producer-consumer model") {
   const std::vector<Cfg> cfgs = {
       {"kunpeng916 same node", sim::kunpeng916(), 0, 1},
       {"kunpeng916 cross nodes", sim::kunpeng916(), 0, 32},
@@ -34,53 +33,63 @@ int main(int argc, char** argv) {
   constexpr std::uint32_t kMsgs = 1500;
   constexpr std::uint32_t kWork = 40;
 
+  // Four runs per configuration: base, theoretical, pilot, ideal.
+  const std::size_t cols = 4;
+  const std::vector<ProdConsResult> res =
+      ctx.map(cfgs.size() * cols, [&](std::size_t i) {
+        const Cfg& cfg = cfgs[i / cols];
+        switch (i % cols) {
+          case 0:
+            return bench::cached_prodcons(
+                ctx, cfg.spec, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
+                kMsgs, kWork, cfg.prod, cfg.cons);
+          case 1:
+            // Theoretical: exactly the barriers Pilot removes, removed (line
+            // 5 + the consumer's matching load barrier); data path unchanged.
+            return bench::cached_prodcons(
+                ctx, cfg.spec, {OrderChoice::kDmbLd, OrderChoice::kNone, false},
+                kMsgs, kWork, cfg.prod, cfg.cons);
+          case 2:
+            return bench::cached_prodcons_pilot(ctx, cfg.spec, kMsgs, kWork,
+                                                cfg.prod, cfg.cons);
+          default:
+            return bench::cached_prodcons(
+                ctx, cfg.spec, {OrderChoice::kNone, OrderChoice::kNone, false},
+                kMsgs, kWork, cfg.prod, cfg.cons);
+        }
+      });
+
   TextTable t("Fig 6(b) — throughput, 10^6 msgs/s");
   t.header({"configuration", "DMB ld - DMB st", "Theoretical", "Pilot", "Ideal",
             "Pilot gain"});
-  bool ok = true;
-  for (const auto& cfg : cfgs) {
-    auto base = run_prodcons(cfg.spec, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
-                             kMsgs, kWork, cfg.prod, cfg.cons);
-    // Theoretical: exactly the barriers Pilot removes, removed (line 5 +
-    // the consumer's matching load barrier); data path unchanged.
-    auto theo = run_prodcons(cfg.spec, {OrderChoice::kDmbLd, OrderChoice::kNone, false},
-                             kMsgs, kWork, cfg.prod, cfg.cons);
-    auto pilot = run_prodcons_pilot(cfg.spec, kMsgs, kWork, cfg.prod, cfg.cons);
-    auto ideal = run_prodcons(cfg.spec, {OrderChoice::kNone, OrderChoice::kNone, false},
-                              kMsgs, kWork, cfg.prod, cfg.cons);
-    if (!base.checksum_ok || !pilot.checksum_ok) {
-      std::printf("CHECKSUM FAILURE in %s\n", cfg.title.c_str());
-      return 1;
-    }
+  for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+    const Cfg& cfg = cfgs[ci];
+    const ProdConsResult& base = res[ci * cols + 0];
+    const ProdConsResult& theo = res[ci * cols + 1];
+    const ProdConsResult& pilot = res[ci * cols + 2];
+    const ProdConsResult& ideal = res[ci * cols + 3];
+    if (!base.checksum_ok || !pilot.checksum_ok)
+      ctx.fatal("CHECKSUM FAILURE in " + cfg.title);
     t.row({cfg.title, TextTable::num(base.msgs_per_sec / 1e6, 2),
            TextTable::num(theo.msgs_per_sec / 1e6, 2),
            TextTable::num(pilot.msgs_per_sec / 1e6, 2),
            TextTable::num(ideal.msgs_per_sec / 1e6, 2),
            "+" + TextTable::num(100.0 * (pilot.msgs_per_sec / base.msgs_per_sec - 1.0), 0) + "%"});
 
-    ok &= bench::check(pilot.msgs_per_sec > base.msgs_per_sec,
-                       cfg.title + ": Pilot beats the best barrier combo");
-    ok &= bench::check(pilot.msgs_per_sec > 0.75 * ideal.msgs_per_sec,
-                       cfg.title + ": Pilot close to Ideal");
+    ctx.check(pilot.msgs_per_sec > base.msgs_per_sec,
+              cfg.title + ": Pilot beats the best barrier combo");
+    ctx.check(pilot.msgs_per_sec > 0.75 * ideal.msgs_per_sec,
+              cfg.title + ": Pilot close to Ideal");
   }
   t.note("paper: +62%/+363%/+75%/+74%/+24% across these configurations");
   t.print();
 
   // The cross-node gain must dwarf the same-node gain (paper: 363% vs 62%).
+  // Configurations 0 (same node) and 1 (cross nodes) already hold the runs.
   {
-    auto same_b = run_prodcons(sim::kunpeng916(),
-                               {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
-                               kMsgs, kWork, 0, 1);
-    auto same_p = run_prodcons_pilot(sim::kunpeng916(), kMsgs, kWork, 0, 1);
-    auto cross_b = run_prodcons(sim::kunpeng916(),
-                                {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
-                                kMsgs, kWork, 0, 32);
-    auto cross_p = run_prodcons_pilot(sim::kunpeng916(), kMsgs, kWork, 0, 32);
-    const double g_same = same_p.msgs_per_sec / same_b.msgs_per_sec;
-    const double g_cross = cross_p.msgs_per_sec / cross_b.msgs_per_sec;
+    const double g_same = res[0 * cols + 2].msgs_per_sec / res[0 * cols + 0].msgs_per_sec;
+    const double g_cross = res[1 * cols + 2].msgs_per_sec / res[1 * cols + 0].msgs_per_sec;
     std::printf("\n  gain same node: %.2fx, cross nodes: %.2fx\n", g_same, g_cross);
-    ok &= bench::check(g_cross > g_same,
-                       "Pilot's gain is largest across NUMA nodes");
+    ctx.check(g_cross > g_same, "Pilot's gain is largest across NUMA nodes");
   }
-  return run.finish(ok);
 }

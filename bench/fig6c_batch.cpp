@@ -1,16 +1,15 @@
 // Figure 6(c) — Pilot speedup when messages are batched (n x 8 bytes,
 // n in 1..32). The gain declines as slices share the one removed barrier.
+#include <algorithm>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/prodcons.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig6c_batch", "Figure 6(c)", "Pilot speedup vs batched message size");
-
+ARMBAR_EXPERIMENT(fig6c_batch, "Figure 6(c)",
+                  "Pilot speedup vs batched message size") {
   struct Cfg {
     std::string title;
     sim::PlatformSpec spec;
@@ -26,27 +25,34 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> kBatch = {1, 2, 4, 8, 16, 32};
   constexpr std::uint32_t kMsgs = 800;
 
+  const std::size_t cols = kBatch.size();
+  const std::vector<BatchResult> res =
+      ctx.map(cfgs.size() * cols, [&](std::size_t i) {
+        const Cfg& cfg = cfgs[i / cols];
+        return bench::cached_batch(ctx, cfg.spec, kBatch[i % cols], kMsgs,
+                                   cfg.prod, cfg.cons);
+      });
+
   TextTable t("Fig 6(c) — Pilot speedup over DMB ld - DMB st (x)");
   std::vector<std::string> hdr = {"configuration"};
   for (auto b : kBatch) hdr.push_back(std::to_string(b) + "x8B");
   t.header(hdr);
 
-  bool ok = true;
-  for (const auto& cfg : cfgs) {
+  for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+    const Cfg& cfg = cfgs[ci];
     std::vector<std::string> row = {cfg.title};
     std::vector<double> speedups;
-    for (auto b : kBatch) {
-      auto r = run_batch(cfg.spec, b, kMsgs, cfg.prod, cfg.cons);
+    for (std::size_t bi = 0; bi < cols; ++bi) {
+      const BatchResult& r = res[ci * cols + bi];
       const double s = bench::ratio(r.pilot, r.baseline);
       speedups.push_back(s);
       row.push_back(TextTable::num(s, 2));
     }
     t.row(row);
 
-    ok &= bench::check(speedups.front() > 1.0,
-                       cfg.title + ": Pilot wins at 1x8B");
-    ok &= bench::check(speedups.front() > speedups.back(),
-                       cfg.title + ": the gain declines as the batch grows");
+    ctx.check(speedups.front() > 1.0, cfg.title + ": Pilot wins at 1x8B");
+    ctx.check(speedups.front() > speedups.back(),
+              cfg.title + ": the gain declines as the batch grows");
     // Worst case must not be a real regression. The paper reports < 5%
     // overhead; our in-order width-1 core model cannot hide Pilot's
     // per-slice bookkeeping the way a real out-of-order core does, so on
@@ -56,11 +62,10 @@ int main(int argc, char** argv) {
     const std::size_t upto = cheap_bus ? 3 : kBatch.size();
     double worst = speedups.front();
     for (std::size_t s = 0; s < upto; ++s) worst = std::min(worst, speedups[s]);
-    ok &= bench::check(worst > 0.9,
-                       cfg.title + ": no regression " +
-                           (cheap_bus ? "(batches <= 4x8B; see notes)" : "(all batches)"));
+    ctx.check(worst > 0.9,
+              cfg.title + ": no regression " +
+                  (cheap_bus ? "(batches <= 4x8B; see notes)" : "(all batches)"));
   }
   t.note("paper: improvement declines with batch size; cross-node stays significant");
   t.print();
-  return run.finish(ok);
 }

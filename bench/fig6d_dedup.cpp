@@ -8,12 +8,13 @@
 //     contention) must hold;
 //  2. the real host pipeline (src/dedup) as an end-to-end correctness and
 //     throughput exercise (host is x86 and possibly single-core: those
-//     numbers validate the plumbing, not the ARM barrier effects).
+//     numbers validate the plumbing, not the ARM barrier effects). Host
+//     wall-clock results are never cached.
+#include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
 #include "dedup/dedup.hpp"
-#include "simprog/prodcons.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
@@ -30,62 +31,71 @@ struct SimPoint {
   double q, rb, rbp;
 };
 
-SimPoint run_sim_channels(const sim::PlatformSpec& spec, CoreId prod,
-                          CoreId cons, std::uint32_t stage_work) {
-  constexpr std::uint32_t kMsgs = 1200;
-  SimPoint p{};
-  // Q: every push/pop does lock()+unlock() -> two more full barriers on
-  // the critical path than the ring.
-  auto q = run_prodcons(spec, {OrderChoice::kDmbFull, OrderChoice::kDmbFull, true},
-                        kMsgs, stage_work, prod, cons);
-  auto rb = run_prodcons(spec, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
-                         kMsgs, stage_work, prod, cons);
-  auto rbp = run_prodcons_pilot(spec, kMsgs, stage_work, prod, cons);
-  p.q = q.msgs_per_sec;
-  p.rb = rb.msgs_per_sec;
-  p.rbp = rbp.msgs_per_sec;
-  return p;
-}
+struct ChannelCfg {
+  CoreId prod, cons;
+  std::uint32_t stage_work;
+};
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig6d_dedup", "Figure 6(d)", "dedup: Q vs RB vs RB-P across workloads");
+ARMBAR_EXPERIMENT(fig6d_dedup, "Figure 6(d)",
+                  "dedup: Q vs RB vs RB-P across workloads") {
+  constexpr std::uint32_t kMsgs = 1200;
 
-  bool ok = true;
+  // Larger inputs -> more per-chunk work between channel operations. The
+  // last two rows are the zero-work ring microbenchmarks (same/cross node).
+  const std::vector<ChannelCfg> channel_cfgs = {
+      {0, 1, 60}, {0, 1, 120}, {0, 1, 240},  // Small / Middle / Large
+      {0, 1, 0},  {0, 32, 0},                // ring microbench
+  };
+  const std::vector<SimPoint> sim_points =
+      ctx.map(channel_cfgs.size(), [&](std::size_t i) {
+        const ChannelCfg& c = channel_cfgs[i];
+        const auto spec = sim::kunpeng916();
+        SimPoint p{};
+        // Q: every push/pop does lock()+unlock() -> two more full barriers
+        // on the critical path than the ring.
+        p.q = bench::cached_prodcons(
+                   ctx, spec, {OrderChoice::kDmbFull, OrderChoice::kDmbFull, true},
+                   kMsgs, c.stage_work, c.prod, c.cons)
+                  .msgs_per_sec;
+        p.rb = bench::cached_prodcons(
+                    ctx, spec, {OrderChoice::kDmbLd, OrderChoice::kDmbSt, true},
+                    kMsgs, c.stage_work, c.prod, c.cons)
+                   .msgs_per_sec;
+        p.rbp = bench::cached_prodcons_pilot(ctx, spec, kMsgs, c.stage_work,
+                                             c.prod, c.cons)
+                    .msgs_per_sec;
+        return p;
+      });
 
   // ---- simulated channel comparison (the reproduction target) ----
   TextTable t("Fig 6(d) sim — normalized compress-stage throughput (Q = 1.00)");
   t.header({"workload", "Q", "RB", "RB-P"});
-  struct W {
-    const char* name;
-    std::uint32_t stage_work;
-  };
-  // Larger inputs -> more per-chunk work between channel operations.
-  const std::vector<W> workloads = {{"Small", 60}, {"Middle", 120}, {"Large", 240}};
-  for (const auto& w : workloads) {
-    auto p = run_sim_channels(sim::kunpeng916(), 0, 1, w.stage_work);
-    t.row({w.name, "1.00", TextTable::num(p.rb / p.q, 2),
+  const std::vector<const char*> workloads = {"Small", "Middle", "Large"};
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const SimPoint& p = sim_points[i];
+    t.row({workloads[i], "1.00", TextTable::num(p.rb / p.q, 2),
            TextTable::num(p.rbp / p.q, 2)});
-    ok &= bench::check(p.rbp > p.q,
-                       std::string(w.name) + ": RB-P beats the lock-based queue");
-    ok &= bench::check(p.rbp >= p.rb,
-                       std::string(w.name) + ": Pilot does not lose to plain RB");
+    ctx.check(p.rbp > p.q,
+              std::string(workloads[i]) + ": RB-P beats the lock-based queue");
+    ctx.check(p.rbp >= p.rb,
+              std::string(workloads[i]) + ": Pilot does not lose to plain RB");
   }
   t.note("paper: RB sometimes under Q; RB-P ~ +10% over Q");
   t.print();
 
   // Pilot ring microbenchmark speedups (paper: 1.8x same node, 2.2x cross).
   {
-    auto same = run_sim_channels(sim::kunpeng916(), 0, 1, 0);
-    auto cross = run_sim_channels(sim::kunpeng916(), 0, 32, 0);
+    const SimPoint& same = sim_points[3];
+    const SimPoint& cross = sim_points[4];
     const double g_same = bench::ratio(same.rbp, same.rb);
     const double g_cross = bench::ratio(cross.rbp, cross.rb);
     std::printf("  ring microbench: RB-P/RB same node %.2fx, cross nodes %.2fx\n",
                 g_same, g_cross);
     std::printf("  (paper: 1.8x same node, 2.2x cross nodes)\n\n");
-    ok &= bench::check(g_same > 1.5 && g_cross > 1.5,
-                       "ring microbench: Pilot speedup large in both placements");
+    ctx.check(g_same > 1.5 && g_cross > 1.5,
+              "ring microbench: Pilot speedup large in both placements");
   }
 
   // ---- host pipeline (correctness + end-to-end exercise) ----
@@ -108,5 +118,4 @@ int main(int argc, char** argv) {
   h.note("round-trip verified (decompress + compare); see DESIGN.md for the");
   h.note("host-vs-sim split: barrier effects are measured on the simulator");
   h.print();
-  return run.finish(ok);
 }

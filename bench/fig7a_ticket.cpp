@@ -1,17 +1,16 @@
 // Figure 7(a) — ticket lock: normalized throughput with the unlock barrier
 // kept (Normal) vs removed (Remove barrier after RMR), for 0/1/2 global
 // cache lines visited in the critical section, on all four platforms.
+#include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/locks_sim.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig7a_ticket", "Figure 7(a)", "ticket lock unlock-barrier cost");
-
+ARMBAR_EXPERIMENT(fig7a_ticket, "Figure 7(a)",
+                  "ticket lock unlock-barrier cost") {
   struct Cfg {
     std::string title;
     sim::PlatformSpec spec;
@@ -26,30 +25,47 @@ int main(int argc, char** argv) {
       {"kirin970", sim::kirin970(), 4},
       {"rpi4", sim::rpi4(), 4},
   };
+  const std::vector<std::uint32_t> kLines = {0, 1, 2};
 
-  bool ok = true;
-  for (const auto& cfg : cfgs) {
+  // Two runs (normal / removed) per (platform, lines) cell.
+  const std::size_t cols = kLines.size() * 2;
+  struct Pair {
+    LockResult normal, removed;
+  };
+  const std::vector<LockResult> res =
+      ctx.map(cfgs.size() * cols, [&](std::size_t i) {
+        const Cfg& cfg = cfgs[i / cols];
+        LockWorkload w;
+        w.threads = cfg.threads;
+        w.iters = 60;
+        w.cs_lines = kLines[(i % cols) / 2];
+        const OrderChoice rel =
+            (i % 2) == 0 ? OrderChoice::kDmbFull : OrderChoice::kNone;
+        return bench::cached_ticket(ctx, cfg.spec, w, rel);
+      });
+
+  auto cell = [&](std::size_t cfg_idx, std::size_t line_idx) {
+    return Pair{res[cfg_idx * cols + line_idx * 2],
+                res[cfg_idx * cols + line_idx * 2 + 1]};
+  };
+
+  for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+    const Cfg& cfg = cfgs[ci];
     TextTable t("Fig 7(a) " + cfg.title + " — normalized lock throughput");
     t.header({"global lines in CS", "Normal (DMB full)", "Barrier removed",
               "gain"});
-    for (std::uint32_t lines : {0u, 1u, 2u}) {
-      LockWorkload w;
-      w.threads = cfg.threads;
-      w.iters = 60;
-      w.cs_lines = lines;
-      auto normal = run_ticket(cfg.spec, w, OrderChoice::kDmbFull);
-      auto removed = run_ticket(cfg.spec, w, OrderChoice::kNone);
-      if (!normal.correct || !removed.correct) {
-        std::printf("COUNTER MISMATCH in %s lines=%u\n", cfg.title.c_str(), lines);
-        return 1;
-      }
-      const double gain = bench::ratio(removed.acq_per_sec, normal.acq_per_sec);
-      t.row({std::to_string(lines), "1.00", TextTable::num(gain, 2),
+    for (std::size_t li = 0; li < kLines.size(); ++li) {
+      const Pair p = cell(ci, li);
+      if (!p.normal.correct || !p.removed.correct)
+        ctx.fatal("COUNTER MISMATCH in " + cfg.title +
+                  " lines=" + std::to_string(kLines[li]));
+      const double gain = bench::ratio(p.removed.acq_per_sec, p.normal.acq_per_sec);
+      t.row({std::to_string(kLines[li]), "1.00", TextTable::num(gain, 2),
              "+" + TextTable::num(100 * (gain - 1.0), 0) + "%"});
-      if (cfg.title == "kunpeng916" && lines == 2) {
-        ok &= bench::check(gain > 1.10,
-                           "kunpeng916, 2 global lines: removing the unlock "
-                           "barrier gives a significant gain (paper: ~23%)");
+      if (cfg.title == "kunpeng916" && kLines[li] == 2) {
+        ctx.check(gain > 1.10,
+                  "kunpeng916, 2 global lines: removing the unlock "
+                  "barrier gives a significant gain (paper: ~23%)");
       }
     }
     t.note("paper: overhead becomes evident once the CS visits global lines");
@@ -60,25 +76,19 @@ int main(int argc, char** argv) {
   // more RMRs) on the server platform, and exceeds the mobile gain at the
   // same CS shape (Observation 4). Note the simulated critical path is
   // leaner than real applications', which inflates all relative gains; the
-  // comparative shape is the reproduction target.
+  // comparative shape is the reproduction target. The grid already holds
+  // every run this comparison needs.
   {
-    auto gain = [](const sim::PlatformSpec& spec, std::uint32_t threads,
-                   std::uint32_t lines) {
-      LockWorkload w;
-      w.threads = threads;
-      w.iters = 60;
-      w.cs_lines = lines;
-      auto n = run_ticket(spec, w, OrderChoice::kDmbFull);
-      auto r = run_ticket(spec, w, OrderChoice::kNone);
-      return bench::ratio(r.acq_per_sec, n.acq_per_sec);
+    auto gain_of = [&](std::size_t cfg_idx, std::size_t line_idx) {
+      const Pair p = cell(cfg_idx, line_idx);
+      return bench::ratio(p.removed.acq_per_sec, p.normal.acq_per_sec);
     };
-    const double g0 = gain(sim::kunpeng916(), 32, 0);
-    const double g2 = gain(sim::kunpeng916(), 32, 2);
-    const double m2 = gain(sim::kirin960(), 4, 2);
+    const double g0 = gain_of(0, 0);  // kunpeng916, 0 lines
+    const double g2 = gain_of(0, 2);  // kunpeng916, 2 lines
+    const double m2 = gain_of(1, 2);  // kirin960, 2 lines
     std::printf("  kunpeng916 gain at 0 lines: %.2fx, at 2 lines: %.2fx; "
                 "kirin960 at 2 lines: %.2fx\n", g0, g2, m2);
-    ok &= bench::check(g2 > g0, "gain grows with visited global lines (Obs 2)");
-    ok &= bench::check(g2 > m2, "server gain exceeds mobile gain (Obs 4)");
+    ctx.check(g2 > g0, "gain grows with visited global lines (Obs 2)");
+    ctx.check(g2 > m2, "server gain exceeds mobile gain (Obs 4)");
   }
-  return run.finish(ok);
 }

@@ -2,15 +2,13 @@
 // combinations at line 4 (request read) and line 7 (response publish).
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/locks_sim.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig7b_delegation", "Figure 7(b)", "delegation-lock barrier combinations");
-
+ARMBAR_EXPERIMENT(fig7b_delegation, "Figure 7(b)",
+                  "delegation-lock barrier combinations") {
   const auto spec = sim::kunpeng916();
   LockWorkload w;
   w.threads = 31;  // server core + 31 clients (paper: 63 on 64 cores)
@@ -30,16 +28,18 @@ int main(int argc, char** argv) {
       {{OrderChoice::kNone, OrderChoice::kNone, false}, "Ideal"},
   };
 
+  const std::vector<LockResult> res =
+      ctx.map(combos.size(), [&](std::size_t i) {
+        return bench::cached_ffwd(ctx, spec, w, combos[i].choice);
+      });
+
   TextTable t("Fig 7(b) — throughput, 10^6 ops/s (kunpeng916, 31 clients)");
   t.header({"combo (line4 - line7)", "ops/s (10^6)", "normalized"});
   std::vector<double> thr;
-  for (const auto& c : combos) {
-    auto r = run_ffwd(spec, w, c.choice);
-    if (!r.correct) {
-      std::printf("COUNTER MISMATCH in %s\n", c.label.c_str());
-      return 1;
-    }
-    thr.push_back(r.acq_per_sec);
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    if (!res[i].correct)
+      ctx.fatal("COUNTER MISMATCH in " + combos[i].label);
+    thr.push_back(res[i].acq_per_sec);
   }
   for (std::size_t i = 0; i < combos.size(); ++i)
     t.row({combos[i].label, TextTable::num(thr[i] / 1e6, 2),
@@ -47,15 +47,13 @@ int main(int argc, char** argv) {
   t.note("paper: LDAR-No Barrier ~ +22% over LDAR-DMB st, close to Ideal");
   t.print();
 
-  bool ok = true;
   const double full_st = thr[0], ld_st = thr[1], ldar_st = thr[2];
   const double addr_st = thr[4], ldar_none = thr[5], ideal = thr[6];
-  ok &= bench::check(ld_st >= full_st && ldar_st >= full_st * 0.98,
-                     "DMB ld / LDAR beat DMB full at line 4 (Obs 6)");
-  ok &= bench::check(addr_st >= ldar_st * 0.95,
-                     "address dependency competitive at line 4 (Obs 6)");
-  ok &= bench::check(ldar_none > ldar_st,
-                     "removing the line-7 barrier (after the RMR) wins (Obs 2)");
-  ok &= bench::check(ldar_none > 0.85 * ideal, "LDAR - No Barrier close to Ideal");
-  return run.finish(ok);
+  ctx.check(ld_st >= full_st && ldar_st >= full_st * 0.98,
+            "DMB ld / LDAR beat DMB full at line 4 (Obs 6)");
+  ctx.check(addr_st >= ldar_st * 0.95,
+            "address dependency competitive at line 4 (Obs 6)");
+  ctx.check(ldar_none > ldar_st,
+            "removing the line-7 barrier (after the RMR) wins (Obs 2)");
+  ctx.check(ldar_none > 0.85 * ideal, "LDAR - No Barrier close to Ideal");
 }

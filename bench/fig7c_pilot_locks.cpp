@@ -1,42 +1,55 @@
 // Figure 7(c) — applying Pilot to delegation locks: Ticket vs
 // DSynch(-P) vs FFWD(-P) as contention decreases (interval = 10^n x 128
 // nops between acquisitions).
+#include <cstdio>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/locks_sim.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig7c_pilot_locks", "Figure 7(c)", "Pilot in delegation locks vs contention level");
-
+ARMBAR_EXPERIMENT(fig7c_pilot_locks, "Figure 7(c)",
+                  "Pilot in delegation locks vs contention level") {
   const auto spec = sim::kunpeng916();
   // interval = 10^n * 128 nops, n = 0..3 (the paper sweeps to 10^5; larger
   // intervals only dilute further and cost simulated cycles).
   const std::vector<std::uint32_t> intervals = {128, 1280, 12800, 128000};
 
-  TextTable t("Fig 7(c) — throughput, 10^6 ops/s (kunpeng916, 24 threads)");
-  t.header({"interval (nops)", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"});
-
-  bool ok = true;
-  double ds_gain_high = 0, ff_gain_high = 0, ds_gain_low = 0, ff_gain_low = 0;
-  for (std::size_t i = 0; i < intervals.size(); ++i) {
+  auto workload_at = [&](std::size_t i) {
     LockWorkload w;
     w.threads = 24;
     w.iters = intervals[i] >= 12800 ? 12 : 40;
     w.interval_nops = intervals[i];
+    return w;
+  };
 
-    auto ticket = run_ticket(spec, w, OrderChoice::kDmbFull);
-    auto ds = run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, 64});
-    auto dsp = run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, 64});
-    auto ff = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
-    auto ffp = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
-    if (!(ticket.correct && ds.correct && dsp.correct && ff.correct && ffp.correct)) {
-      std::printf("COUNTER MISMATCH at interval %u\n", intervals[i]);
-      return 1;
-    }
+  // Five lock variants per interval: ticket, DSynch, DSynch-P, FFWD, FFWD-P.
+  const std::size_t cols = 5;
+  const std::vector<LockResult> res =
+      ctx.map(intervals.size() * cols, [&](std::size_t i) {
+        const LockWorkload w = workload_at(i / cols);
+        switch (i % cols) {
+          case 0: return bench::cached_ticket(ctx, spec, w, OrderChoice::kDmbFull);
+          case 1: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, false, 64});
+          case 2: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, true, 64});
+          case 3: return bench::cached_ffwd(ctx, spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
+          default: return bench::cached_ffwd(ctx, spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
+        }
+      });
+
+  TextTable t("Fig 7(c) — throughput, 10^6 ops/s (kunpeng916, 24 threads)");
+  t.header({"interval (nops)", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P"});
+
+  double ds_gain_high = 0, ff_gain_high = 0, ds_gain_low = 0, ff_gain_low = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const LockResult& ticket = res[i * cols + 0];
+    const LockResult& ds = res[i * cols + 1];
+    const LockResult& dsp = res[i * cols + 2];
+    const LockResult& ff = res[i * cols + 3];
+    const LockResult& ffp = res[i * cols + 4];
+    if (!(ticket.correct && ds.correct && dsp.correct && ff.correct && ffp.correct))
+      ctx.fatal("COUNTER MISMATCH at interval " + std::to_string(intervals[i]));
     t.row({std::to_string(intervals[i]), TextTable::num(ticket.acq_per_sec / 1e6, 2),
            TextTable::num(ds.acq_per_sec / 1e6, 2),
            TextTable::num(dsp.acq_per_sec / 1e6, 2),
@@ -59,15 +72,14 @@ int main(int argc, char** argv) {
               ds_gain_high, ff_gain_high);
   std::printf("  low  contention gains: DSynch-P %.2fx, FFWD-P %.2fx\n",
               ds_gain_low, ff_gain_low);
-  ok &= bench::check(ds_gain_high > 1.15,
-                     "DSynch-P gains significantly at high contention (paper: +56%)");
-  ok &= bench::check(ff_gain_high > 1.10,
-                     "FFWD-P gains significantly at high contention (paper: +32%)");
+  ctx.check(ds_gain_high > 1.15,
+            "DSynch-P gains significantly at high contention (paper: +56%)");
+  ctx.check(ff_gain_high > 1.10,
+            "FFWD-P gains significantly at high contention (paper: +32%)");
   // Paper caveat not asserted: real FFWD batches responses into shared
   // per-group response lines, which amortizes the line-7 barrier and caps
   // FFWD-P's relative gain below DSynch-P's. Our per-client response slots
   // do not model that batching, so the two gains are not ordered here.
-  ok &= bench::check(ds_gain_low > 0.9 && ff_gain_low > 0.9,
-                     "at low contention Pilot only falls back to par (no loss)");
-  return run.finish(ok);
+  ctx.check(ds_gain_low > 0.9 && ff_gain_low > 0.9,
+            "at low contention Pilot only falls back to par (no loss)");
 }

@@ -8,70 +8,65 @@
 // tests/ds and exercised in examples/.
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/locks_sim.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-namespace {
-
-struct Row {
-  double ticket, ds, dsp, ff, ffp;
-};
-
-Row run_structure(const sim::PlatformSpec& spec, std::uint32_t cs_lines,
-                  std::uint32_t cs_ro) {
-  LockWorkload w;
-  w.threads = 24;
-  w.iters = 40;
-  w.cs_lines = cs_lines;
-  w.cs_ro_lines = cs_ro;
-  Row r{};
-  auto t = run_ticket(spec, w, OrderChoice::kDmbFull);
-  auto ds = run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, 64});
-  auto dsp = run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, 64});
-  auto ff = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
-  auto ffp = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
-  ARMBAR_CHECK(t.correct && ds.correct && dsp.correct && ff.correct && ffp.correct);
-  r.ticket = t.acq_per_sec;
-  r.ds = ds.acq_per_sec;
-  r.dsp = dsp.acq_per_sec;
-  r.ff = ff.acq_per_sec;
-  r.ffp = ffp.acq_per_sec;
-  return r;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig8a_queue_stack", "Figure 8(a)", "queue and stack throughput under each lock");
-
+ARMBAR_EXPERIMENT(fig8a_queue_stack, "Figure 8(a)",
+                  "queue and stack throughput under each lock") {
   const auto spec = sim::kunpeng916();
-  TextTable t("Fig 8(a) — operations/s (10^6), kunpeng916, 24 threads");
-  t.header({"structure", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P",
-            "DSynch-P gain", "FFWD-P gain"});
 
-  bool ok = true;
   // Queue: enqueue+dequeue touch head, tail and a node line.
   // Stack: push+pop touch top and a node line.
   const std::vector<std::pair<const char*, std::uint32_t>> shapes = {
       {"Queue", 3}, {"Stack", 2}};
-  for (const auto& [name, lines] : shapes) {
-    auto r = run_structure(spec, lines, 0);
-    const double dg = bench::ratio(r.dsp, r.ds);
-    const double fg = bench::ratio(r.ffp, r.ff);
-    t.row({name, TextTable::num(r.ticket / 1e6, 2), TextTable::num(r.ds / 1e6, 2),
-           TextTable::num(r.dsp / 1e6, 2), TextTable::num(r.ff / 1e6, 2),
-           TextTable::num(r.ffp / 1e6, 2),
+
+  // Five lock variants per structure: ticket, DSynch, DSynch-P, FFWD, FFWD-P.
+  const std::size_t cols = 5;
+  const std::vector<LockResult> res =
+      ctx.map(shapes.size() * cols, [&](std::size_t i) {
+        LockWorkload w;
+        w.threads = 24;
+        w.iters = 40;
+        w.cs_lines = shapes[i / cols].second;
+        w.cs_ro_lines = 0;
+        switch (i % cols) {
+          case 0: return bench::cached_ticket(ctx, spec, w, OrderChoice::kDmbFull);
+          case 1: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, false, 64});
+          case 2: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, true, 64});
+          case 3: return bench::cached_ffwd(ctx, spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
+          default: return bench::cached_ffwd(ctx, spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
+        }
+      });
+
+  TextTable t("Fig 8(a) — operations/s (10^6), kunpeng916, 24 threads");
+  t.header({"structure", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P",
+            "DSynch-P gain", "FFWD-P gain"});
+
+  for (std::size_t si = 0; si < shapes.size(); ++si) {
+    const char* name = shapes[si].first;
+    const LockResult& ticket = res[si * cols + 0];
+    const LockResult& ds = res[si * cols + 1];
+    const LockResult& dsp = res[si * cols + 2];
+    const LockResult& ff = res[si * cols + 3];
+    const LockResult& ffp = res[si * cols + 4];
+    if (!(ticket.correct && ds.correct && dsp.correct && ff.correct && ffp.correct))
+      ctx.fatal(std::string("COUNTER MISMATCH in ") + name);
+    const double dg = bench::ratio(dsp.acq_per_sec, ds.acq_per_sec);
+    const double fg = bench::ratio(ffp.acq_per_sec, ff.acq_per_sec);
+    t.row({name, TextTable::num(ticket.acq_per_sec / 1e6, 2),
+           TextTable::num(ds.acq_per_sec / 1e6, 2),
+           TextTable::num(dsp.acq_per_sec / 1e6, 2),
+           TextTable::num(ff.acq_per_sec / 1e6, 2),
+           TextTable::num(ffp.acq_per_sec / 1e6, 2),
            "+" + TextTable::num(100 * (dg - 1), 0) + "%",
            "+" + TextTable::num(100 * (fg - 1), 0) + "%"});
-    ok &= bench::check(dg > 1.05, std::string(name) + ": DSynch-P gains (paper: 20-30%)");
-    ok &= bench::check(fg > 1.05, std::string(name) + ": FFWD-P gains (paper: 16-26%)");
-    ok &= bench::check(r.ds > r.ticket,
-                       std::string(name) + ": delegation beats ticket at high contention");
+    ctx.check(dg > 1.05, std::string(name) + ": DSynch-P gains (paper: 20-30%)");
+    ctx.check(fg > 1.05, std::string(name) + ": FFWD-P gains (paper: 16-26%)");
+    ctx.check(ds.acq_per_sec > ticket.acq_per_sec,
+              std::string(name) + ": delegation beats ticket at high contention");
   }
   t.note("paper: +20%/+26% (queue), +30%/+16% (stack)");
   t.print();
-  return run.finish(ok);
 }

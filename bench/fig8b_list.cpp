@@ -2,41 +2,56 @@
 // length growing with the number of preloaded members. On the simulator
 // the traversal is modelled as a read-only walk over preload/2 shared
 // lines (the average search depth) plus the insert/remove writes.
+#include <algorithm>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/locks_sim.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig8b_list", "Figure 8(b)", "sorted linked list vs preloaded size");
-
+ARMBAR_EXPERIMENT(fig8b_list, "Figure 8(b)",
+                  "sorted linked list vs preloaded size") {
   const auto spec = sim::kunpeng916();
   const std::vector<std::uint32_t> preload = {0, 50, 100, 200, 400};
 
-  TextTable t("Fig 8(b) — operations/s (10^6), kunpeng916, 24 threads");
-  t.header({"preloaded", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P",
-            "DSynch-P gain"});
-
-  bool ok = true;
-  double gain_small = 0, gain_mid = 0, best_gain = 0;
-  for (auto n : preload) {
+  auto workload_at = [&](std::size_t i) {
+    const std::uint32_t n = preload[i];
     LockWorkload w;
     w.threads = 24;
     w.iters = n >= 200 ? 20 : 40;
     w.cs_lines = 2;              // insert + remove touch two lines
     w.cs_ro_lines = n / 2 > 60 ? 60 : n / 2;  // avg traversal depth (capped)
-    auto ticket = run_ticket(spec, w, OrderChoice::kDmbFull);
-    auto ds = run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, 64});
-    auto dsp = run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, 64});
-    auto ff = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
-    auto ffp = run_ffwd(spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
-    if (!(ticket.correct && ds.correct && dsp.correct && ff.correct && ffp.correct)) {
-      std::printf("COUNTER MISMATCH at preload %u\n", n);
-      return 1;
-    }
+    return w;
+  };
+
+  const std::size_t cols = 5;
+  const std::vector<LockResult> res =
+      ctx.map(preload.size() * cols, [&](std::size_t i) {
+        const LockWorkload w = workload_at(i / cols);
+        switch (i % cols) {
+          case 0: return bench::cached_ticket(ctx, spec, w, OrderChoice::kDmbFull);
+          case 1: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, false, 64});
+          case 2: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, true, 64});
+          case 3: return bench::cached_ffwd(ctx, spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false});
+          default: return bench::cached_ffwd(ctx, spec, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, true});
+        }
+      });
+
+  TextTable t("Fig 8(b) — operations/s (10^6), kunpeng916, 24 threads");
+  t.header({"preloaded", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P",
+            "DSynch-P gain"});
+
+  double gain_small = 0, gain_mid = 0, best_gain = 0;
+  for (std::size_t i = 0; i < preload.size(); ++i) {
+    const std::uint32_t n = preload[i];
+    const LockResult& ticket = res[i * cols + 0];
+    const LockResult& ds = res[i * cols + 1];
+    const LockResult& dsp = res[i * cols + 2];
+    const LockResult& ff = res[i * cols + 3];
+    const LockResult& ffp = res[i * cols + 4];
+    if (!(ticket.correct && ds.correct && dsp.correct && ff.correct && ffp.correct))
+      ctx.fatal("COUNTER MISMATCH at preload " + std::to_string(n));
     const double dg = bench::ratio(dsp.acq_per_sec, ds.acq_per_sec);
     t.row({std::to_string(n), TextTable::num(ticket.acq_per_sec / 1e6, 2),
            TextTable::num(ds.acq_per_sec / 1e6, 2),
@@ -47,14 +62,13 @@ int main(int argc, char** argv) {
     if (n == 0) gain_small = dg;
     if (n == 50) gain_mid = dg;
     best_gain = std::max(best_gain, dg);
-    ok &= bench::check(dg > 0.95,
-                       "preload " + std::to_string(n) + ": Pilot never a real loss");
+    ctx.check(dg > 0.95,
+              "preload " + std::to_string(n) + ": Pilot never a real loss");
   }
   t.note("paper: max +55% (DSynch) at 50 preloaded members; no overhead in worst cases");
   t.print();
 
-  ok &= bench::check(gain_mid > 1.05, "Pilot gains at medium list sizes");
-  ok &= bench::check(best_gain >= gain_small,
-                     "gain peaks at small-to-medium critical sections");
-  return run.finish(ok);
+  ctx.check(gain_mid > 1.05, "Pilot gains at medium list sizes");
+  ctx.check(best_gain >= gain_small,
+            "gain peaks at small-to-medium critical sections");
 }

@@ -7,55 +7,64 @@
 #include <algorithm>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/locks_sim.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig8c_hash", "Figure 8(c)", "hash table vs bucket count");
-
+ARMBAR_EXPERIMENT(fig8c_hash, "Figure 8(c)", "hash table vs bucket count") {
   const auto spec = sim::kunpeng916();
   constexpr std::uint32_t kThreads = 24;
   constexpr std::uint32_t kPreloaded = 512;
   const std::vector<std::uint32_t> buckets = {2, 8, 32, 128, 512};
 
+  auto workload_at = [&](std::size_t i) {
+    const std::uint32_t b = buckets[i];
+    LockWorkload w;
+    w.threads = std::max(1u, std::min(kThreads, kThreads / std::min(b, kThreads)));
+    w.iters = 40;
+    w.cs_lines = 2;
+    w.cs_ro_lines = std::min(60u, kPreloaded / b / 2);
+    return w;
+  };
+
+  // Three lock variants per bucket count: ticket, DSynch, DSynch-P.
+  const std::size_t cols = 3;
+  const std::vector<LockResult> res =
+      ctx.map(buckets.size() * cols, [&](std::size_t i) {
+        const LockWorkload w = workload_at(i / cols);
+        switch (i % cols) {
+          case 0: return bench::cached_ticket(ctx, spec, w, OrderChoice::kDmbFull);
+          case 1: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, false, 64});
+          default: return bench::cached_ccsynch(ctx, spec, w, {OrderChoice::kDmbSt, true, 64});
+        }
+      });
+
   TextTable t("Fig 8(c) — aggregate operations/s (10^6), kunpeng916");
   t.header({"buckets", "threads/bucket", "Ticket", "DSynch", "DSynch-P",
             "DSynch-P gain"});
 
-  bool ok = true;
   double gain_contended = 0, gain_sparse = 0;
-  for (auto b : buckets) {
-    const std::uint32_t per_bucket_threads =
-        std::max(1u, std::min(kThreads, kThreads / std::min(b, kThreads)));
-    const std::uint32_t depth = std::min(60u, kPreloaded / b / 2);
-    LockWorkload w;
-    w.threads = per_bucket_threads;
-    w.iters = 40;
-    w.cs_lines = 2;
-    w.cs_ro_lines = depth;
-    auto ticket = run_ticket(spec, w, OrderChoice::kDmbFull);
-    auto ds = run_ccsynch(spec, w, {OrderChoice::kDmbSt, false, 64});
-    auto dsp = run_ccsynch(spec, w, {OrderChoice::kDmbSt, true, 64});
-    if (!(ticket.correct && ds.correct && dsp.correct)) {
-      std::printf("COUNTER MISMATCH at %u buckets\n", b);
-      return 1;
-    }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint32_t b = buckets[i];
+    const LockResult& ticket = res[i * cols + 0];
+    const LockResult& ds = res[i * cols + 1];
+    const LockResult& dsp = res[i * cols + 2];
+    if (!(ticket.correct && ds.correct && dsp.correct))
+      ctx.fatal("COUNTER MISMATCH at " + std::to_string(b) + " buckets");
     // Aggregate scaling: with more buckets than threads the throughput is
     // thread-bound, otherwise bucket-parallel.
     const double scale = std::min(b, kThreads);
     const double dg = bench::ratio(dsp.acq_per_sec, ds.acq_per_sec);
-    t.row({std::to_string(b), std::to_string(per_bucket_threads),
+    t.row({std::to_string(b), std::to_string(workload_at(i).threads),
            TextTable::num(scale * ticket.acq_per_sec / 1e6, 2),
            TextTable::num(scale * ds.acq_per_sec / 1e6, 2),
            TextTable::num(scale * dsp.acq_per_sec / 1e6, 2),
            "+" + TextTable::num(100 * (dg - 1), 0) + "%"});
     if (b == 8) gain_contended = dg;
     if (b == 512) gain_sparse = dg;
-    ok &= bench::check(dg > 0.95,
-                       std::to_string(b) + " buckets: no significant regression");
+    ctx.check(dg > 0.95,
+              std::to_string(b) + " buckets: no significant regression");
   }
   t.note("paper: max +61% at 32 buckets (63 threads); with 24 simulated");
   t.note("threads the contention knee sits at ~8 buckets — same shape,");
@@ -63,11 +72,10 @@ int main(int argc, char** argv) {
   t.note("but a ~+5-10% improvement remains at high bucket counts.");
   t.print();
 
-  ok &= bench::check(gain_contended > 1.1,
-                     "contended bucket counts: Pilot gains significantly");
-  ok &= bench::check(gain_contended > gain_sparse,
-                     "gain declines as bucket count grows (fewer threads per lock)");
-  ok &= bench::check(gain_sparse >= 1.0,
-                     "residual improvement remains at high bucket counts");
-  return run.finish(ok);
+  ctx.check(gain_contended > 1.1,
+            "contended bucket counts: Pilot gains significantly");
+  ctx.check(gain_contended > gain_sparse,
+            "gain declines as bucket count grows (fewer threads per lock)");
+  ctx.check(gain_sparse >= 1.0,
+            "residual improvement remains at high bucket counts");
 }

@@ -3,18 +3,21 @@
 // is off the hot path, so gains are expected to be small (the paper
 // reports <= 4%); the reproduction target is "correct everywhere, no
 // regression, tiny improvement at most".
+//
+// Host wall-clock numbers are never cached (they are not deterministic) and
+// the solves spawn their own threads, so this experiment runs serially in
+// the body rather than through ctx.map.
 #include <vector>
 
-#include "bench_util.hpp"
+#include "experiment_util.hpp"
 #include "floorplan/floorplan.hpp"
 #include "locks/ccsynch.hpp"
 #include "locks/ticket_lock.hpp"
 
 using namespace armbar;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "fig8d_floorplan", "Figure 8(d)", "floorplan execution time per lock kind");
-
+ARMBAR_EXPERIMENT(fig8d_floorplan, "Figure 8(d)",
+                  "floorplan execution time per lock kind") {
   struct Input {
     const char* name;
     std::size_t cells;
@@ -29,7 +32,6 @@ int main(int argc, char** argv) {
   TextTable t("Fig 8(d) — normalized execution time (Ticket = 1.000)");
   t.header({"input", "best area", "nodes", "Ticket", "DSynch", "DSynch-P"});
 
-  bool ok = true;
   for (const auto& in : inputs) {
     auto cells = floorplan::make_cells(in.cells, in.seed);
     const auto ref = floorplan::solve_sequential(cells);
@@ -46,19 +48,16 @@ int main(int argc, char** argv) {
     auto rp = floorplan::solve(cells, dsp, kThreads);
 
     if (rt.best_area != ref.best_area || rd.best_area != ref.best_area ||
-        rp.best_area != ref.best_area) {
-      std::printf("AREA MISMATCH on %s\n", in.name);
-      return 1;
-    }
+        rp.best_area != ref.best_area)
+      ctx.fatal(std::string("AREA MISMATCH on ") + in.name);
     t.row({in.name, std::to_string(ref.best_area),
            std::to_string(rt.nodes_explored), "1.000",
            TextTable::num(rd.seconds / rt.seconds, 3),
            TextTable::num(rp.seconds / rt.seconds, 3)});
-    ok &= bench::check(true, std::string(in.name) + ": identical optimal area under every lock");
+    ctx.check(true, std::string(in.name) + ": identical optimal area under every lock");
   }
   t.note("paper: DSynch-P reduces execution time by <= 4%; the lock is not");
   t.note("the bottleneck, so parity within noise is the expected shape");
   t.note("(host wall-clock; on a 1-core host thread timing noise dominates)");
   t.print();
-  return run.finish(ok);
 }

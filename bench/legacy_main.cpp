@@ -1,0 +1,15 @@
+// Thin wrapper keeping the historical one-binary-per-figure targets alive:
+// each legacy target compiles this file with ARMBAR_LEGACY_EXPERIMENT set
+// to its experiment name and links the full experiment registry. The
+// wrapper pins the CLI to that one experiment, so `./fig3_store_store
+// --json` behaves exactly as before while sharing the runner engine,
+// cache and report machinery.
+#include "runner/cli.hpp"
+
+#ifndef ARMBAR_LEGACY_EXPERIMENT
+#error "compile with -DARMBAR_LEGACY_EXPERIMENT=\"<experiment name>\""
+#endif
+
+int main(int argc, char** argv) {
+  return armbar::runner::cli_main(argc, argv, ARMBAR_LEGACY_EXPERIMENT);
+}

@@ -1,7 +1,10 @@
 // Table 1 — message-passing litmus: TSO forbids local != 23, WMM allows it.
 // Also prints the wider litmus suite (SB, coherence, atomicity) as the
-// supporting evidence for §2.
-#include "bench_util.hpp"
+// supporting evidence for §2. Litmus reports carry full outcome
+// histograms, so the runs stay uncached; they still fan out via ctx.map.
+#include <vector>
+
+#include "experiment_util.hpp"
 #include "litmus/litmus.hpp"
 
 using namespace armbar;
@@ -17,56 +20,81 @@ LitmusConfig cfg(bool tso, CoreId c1 = 1) {
   return c;
 }
 
+// The slice of a litmus report each check below needs.
+struct LitSummary {
+  bool weak = false;           // the shape's relaxed outcome was observed
+  std::uint64_t runs = 0;
+  std::uint64_t weak_count = 0;
+  bool invariant_ok = true;    // coherence / atomicity: no forbidden outcome
+};
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "table1_litmus", "Table 1", "MP litmus under TSO vs WMM (+ supporting shapes)");
+ARMBAR_EXPERIMENT(table1_litmus, "Table 1",
+                  "MP litmus under TSO vs WMM (+ supporting shapes)") {
+  // Points 0-4: the MP rows. Points 5-8: SB, SB+DMB full, CoRR, tearing.
+  const std::vector<LitSummary> res = ctx.map(9, [&](std::size_t i) {
+    LitSummary s;
+    auto mp = [&](sim::Op b, bool tso) {
+      auto rep = run_litmus(make_mp(b), cfg(tso));
+      s.weak = rep.saw({0});
+      s.runs = rep.runs;
+      s.weak_count = rep.count({0});
+    };
+    switch (i) {
+      case 0: mp(sim::Op::kNop, false); break;
+      case 1: mp(sim::Op::kNop, true); break;
+      case 2: mp(sim::Op::kDmbSt, false); break;
+      case 3: mp(sim::Op::kDmbFull, false); break;
+      case 4: mp(sim::Op::kDmbLd, false); break;
+      case 5: s.weak = run_litmus(make_sb(sim::Op::kNop), cfg(false)).saw({0, 0}); break;
+      case 6: s.weak = run_litmus(make_sb(sim::Op::kDmbFull), cfg(false)).saw({0, 0}); break;
+      case 7: {
+        auto rep = run_litmus(make_coherence(), cfg(false));
+        for (auto& [o, n] : rep.histogram) s.invariant_ok = s.invariant_ok && o[0] == 0;
+        break;
+      }
+      default: {
+        auto rep = run_litmus(make_atomicity(), cfg(false, 32));
+        for (auto& [o, n] : rep.histogram) s.invariant_ok = s.invariant_ok && o[0] == 0;
+        break;
+      }
+    }
+    return s;
+  });
 
   TextTable t("Table 1 — MP: T1 stores data=23 then flag; T2 polls flag, reads data");
   t.header({"model", "barrier", "outcome local!=23", "runs", "weak count"});
-
-  auto row = [&](const char* model, sim::Op b, const char* bn, bool tso) {
-    auto rep = run_litmus(make_mp(b), cfg(tso));
-    const bool weak_seen = rep.saw({0});
-    t.row({model, bn, weak_seen ? "OBSERVED (allowed)" : "never (forbidden)",
-           std::to_string(rep.runs), std::to_string(rep.count({0}))});
-    return weak_seen;
-  };
-
-  const bool wmm_weak = row("WMM", sim::Op::kNop, "none", false);
-  const bool tso_weak = row("TSO", sim::Op::kNop, "none", true);
-  const bool wmm_dmbst = row("WMM", sim::Op::kDmbSt, "DMB st", false);
-  const bool wmm_dmbfull = row("WMM", sim::Op::kDmbFull, "DMB full", false);
-  const bool wmm_dmbld = row("WMM", sim::Op::kDmbLd, "DMB ld", false);
+  const std::vector<std::pair<const char*, const char*>> mp_rows = {
+      {"WMM", "none"}, {"TSO", "none"}, {"WMM", "DMB st"},
+      {"WMM", "DMB full"}, {"WMM", "DMB ld"}};
+  for (std::size_t i = 0; i < mp_rows.size(); ++i) {
+    t.row({mp_rows[i].first, mp_rows[i].second,
+           res[i].weak ? "OBSERVED (allowed)" : "never (forbidden)",
+           std::to_string(res[i].runs), std::to_string(res[i].weak_count)});
+  }
   t.note("paper Table 1: TSO forbids local != 23; WMM allows it");
   t.print();
 
   TextTable s("Supporting litmus shapes (kunpeng916 model)");
   s.header({"shape", "relaxed outcome", "status"});
-  auto sb = run_litmus(make_sb(sim::Op::kNop), cfg(false));
-  auto sb_full = run_litmus(make_sb(sim::Op::kDmbFull), cfg(false));
-  auto co = run_litmus(make_coherence(), cfg(false));
-  auto at = run_litmus(make_atomicity(), cfg(false, 32));
-  bool co_ok = true, at_ok = true;
-  for (auto& [o, n] : co.histogram) co_ok = co_ok && o[0] == 0;
-  for (auto& [o, n] : at.histogram) at_ok = at_ok && o[0] == 0;
   s.row({"SB (store buffering)", "(0,0)",
-         sb.saw({0, 0}) ? "OBSERVED (allowed)" : "never"});
+         res[5].weak ? "OBSERVED (allowed)" : "never"});
   s.row({"SB + DMB full", "(0,0)",
-         sb_full.saw({0, 0}) ? "OBSERVED" : "never (forbidden)"});
-  s.row({"CoRR (coherence)", "value regression", co_ok ? "never (forbidden)" : "OBSERVED"});
-  s.row({"64-bit tearing", "torn read", at_ok ? "never (single-copy atomic)" : "OBSERVED"});
+         res[6].weak ? "OBSERVED" : "never (forbidden)"});
+  s.row({"CoRR (coherence)", "value regression",
+         res[7].invariant_ok ? "never (forbidden)" : "OBSERVED"});
+  s.row({"64-bit tearing", "torn read",
+         res[8].invariant_ok ? "never (single-copy atomic)" : "OBSERVED"});
   s.print();
 
-  bool ok = true;
-  ok &= bench::check(wmm_weak, "WMM allows local != 23 (Table 1)");
-  ok &= bench::check(!tso_weak, "TSO forbids local != 23 (Table 1)");
-  ok &= bench::check(!wmm_dmbst, "DMB st between the stores forbids the weak outcome");
-  ok &= bench::check(!wmm_dmbfull, "DMB full forbids the weak outcome");
-  ok &= bench::check(wmm_dmbld, "DMB ld does NOT order store->store (Table 3)");
-  ok &= bench::check(sb.saw({0, 0}), "SB relaxed outcome observable");
-  ok &= bench::check(!sb_full.saw({0, 0}), "DMB full forbids SB relaxed outcome");
-  ok &= bench::check(co_ok, "coherence: same-location reads never regress");
-  ok &= bench::check(at_ok, "single-copy atomicity (Pilot's foundation) holds");
-  return run.finish(ok);
+  ctx.check(res[0].weak, "WMM allows local != 23 (Table 1)");
+  ctx.check(!res[1].weak, "TSO forbids local != 23 (Table 1)");
+  ctx.check(!res[2].weak, "DMB st between the stores forbids the weak outcome");
+  ctx.check(!res[3].weak, "DMB full forbids the weak outcome");
+  ctx.check(res[4].weak, "DMB ld does NOT order store->store (Table 3)");
+  ctx.check(res[5].weak, "SB relaxed outcome observable");
+  ctx.check(!res[6].weak, "DMB full forbids SB relaxed outcome");
+  ctx.check(res[7].invariant_ok, "coherence: same-location reads never regress");
+  ctx.check(res[8].invariant_ok, "single-copy atomicity (Pilot's foundation) holds");
 }

@@ -1,12 +1,11 @@
 // Table 2 — target platforms: the four simulated machine presets and the
 // latency model behind each (our "implementation" of each platform).
-#include "bench_util.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "table2_platforms", "Table 2", "Target platforms (simulated presets)");
-
+ARMBAR_EXPERIMENT(table2_platforms, "Table 2",
+                  "Target platforms (simulated presets)") {
   TextTable t("Table 2 — Target Platforms");
   t.header({"name", "architecture", "cores", "freq (GHz)", "interconnect"});
   for (const auto& p : sim::all_platforms()) {
@@ -31,13 +30,11 @@ int main(int argc, char** argv) {
   lat.note("calibrated so the paper's tipping points & orderings reproduce");
   lat.print();
 
-  bool ok = true;
   const auto server = sim::kunpeng916();
   const auto mobile = sim::kirin960();
-  ok &= bench::check(server.total_cores() == 64, "kunpeng916 has 2x32 cores");
-  ok &= bench::check(server.lat.bus_sync > 5 * mobile.lat.bus_sync,
-                     "server barrier transactions far costlier than mobile (Obs 4)");
-  ok &= bench::check(server.lat.inv_remote > 4 * server.lat.inv_local,
-                     "crossing NUMA nodes is a killer (Obs 5)");
-  return run.finish(ok);
+  ctx.check(server.total_cores() == 64, "kunpeng916 has 2x32 cores");
+  ctx.check(server.lat.bus_sync > 5 * mobile.lat.bus_sync,
+            "server barrier transactions far costlier than mobile (Obs 4)");
+  ctx.check(server.lat.inv_remote > 4 * server.lat.inv_local,
+            "crossing NUMA nodes is a killer (Obs 5)");
 }

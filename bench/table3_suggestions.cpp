@@ -4,42 +4,49 @@
 #include <map>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "simprog/abstract_model.hpp"
+#include "experiment_util.hpp"
 
 using namespace armbar;
 using namespace armbar::simprog;
 
-int main(int argc, char** argv) {
-  bench::BenchRun run(argc, argv, "table3_suggestions", "Table 3", "suggested order-preserving choices per scenario");
-
+ARMBAR_EXPERIMENT(table3_suggestions, "Table 3",
+                  "suggested order-preserving choices per scenario") {
   const auto spec = sim::kunpeng916();
   constexpr std::uint32_t kIters = 1200;
   constexpr std::uint32_t kNops = 300;
 
-  // Measure the load->store scenario options (Fig 5 machinery).
-  std::map<std::string, double> ls;
-  auto measure_ls = [&](OrderChoice c, BarrierLoc l, const std::string& name) {
-    Program p = make_load_store_model(c, l, kNops, kIters, kBufA, kBufB);
-    ls[name] = run_pair(spec, p, kIters, 0, 32);
+  struct Option {
+    bool load_store;  // true: Fig 5 machinery; false: Fig 3 machinery
+    OrderChoice choice;
+    BarrierLoc loc;
+    const char* name;
   };
-  measure_ls(OrderChoice::kDataDep, BarrierLoc::kNone, "DATA dep");
-  measure_ls(OrderChoice::kAddrDep, BarrierLoc::kNone, "ADDR dep");
-  measure_ls(OrderChoice::kCtrl, BarrierLoc::kNone, "CTRL");
-  measure_ls(OrderChoice::kLdar, BarrierLoc::kNone, "LDAR");
-  measure_ls(OrderChoice::kDmbLd, BarrierLoc::kLoc1, "DMB ld");
-  measure_ls(OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full");
+  const std::vector<Option> options = {
+      {true, OrderChoice::kDataDep, BarrierLoc::kNone, "DATA dep"},
+      {true, OrderChoice::kAddrDep, BarrierLoc::kNone, "ADDR dep"},
+      {true, OrderChoice::kCtrl, BarrierLoc::kNone, "CTRL"},
+      {true, OrderChoice::kLdar, BarrierLoc::kNone, "LDAR"},
+      {true, OrderChoice::kDmbLd, BarrierLoc::kLoc1, "DMB ld"},
+      {true, OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full"},
+      {false, OrderChoice::kDmbSt, BarrierLoc::kLoc1, "DMB st"},
+      {false, OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full"},
+      {false, OrderChoice::kStlr, BarrierLoc::kNone, "STLR"},
+      {false, OrderChoice::kDsbFull, BarrierLoc::kLoc1, "DSB full"},
+  };
 
-  // Measure the store->store scenario options (Fig 3 machinery).
-  std::map<std::string, double> ss;
-  auto measure_ss = [&](OrderChoice c, BarrierLoc l, const std::string& name) {
-    Program p = make_store_store_model(c, l, kNops, kIters, kBufA, kBufB);
-    ss[name] = run_pair(spec, p, kIters, 0, 32);
-  };
-  measure_ss(OrderChoice::kDmbSt, BarrierLoc::kLoc1, "DMB st");
-  measure_ss(OrderChoice::kDmbFull, BarrierLoc::kLoc1, "DMB full");
-  measure_ss(OrderChoice::kStlr, BarrierLoc::kNone, "STLR");
-  measure_ss(OrderChoice::kDsbFull, BarrierLoc::kLoc1, "DSB full");
+  const std::vector<double> thr = ctx.map(options.size(), [&](std::size_t i) {
+    const Option& o = options[i];
+    const Program p = o.load_store
+                          ? make_load_store_model(o.choice, o.loc, kNops, kIters,
+                                                  kBufA, kBufB)
+                          : make_store_store_model(o.choice, o.loc, kNops,
+                                                   kIters, kBufA, kBufB);
+    return bench::cached_run_pair(ctx, spec, p, kIters, 0, 32);
+  });
+
+  std::map<std::string, double> ls, ss;
+  for (std::size_t i = 0; i < options.size(); ++i)
+    (options[i].load_store ? ls : ss)[options[i].name] = thr[i];
 
   TextTable m("Measured option ranking (cross-node kunpeng916, 10^6 loops/s)");
   m.header({"scenario", "option", "throughput"});
@@ -57,15 +64,13 @@ int main(int argc, char** argv) {
   t.note("STLR needs a measurement against DMB full before use (Obs 3)");
   t.print();
 
-  bool ok = true;
-  ok &= bench::check(ls["DATA dep"] >= ls["LDAR"] * 0.97 &&
-                         ls["ADDR dep"] >= ls["LDAR"] * 0.97,
-                     "dependencies >= LDAR for load->* (Table 3 row 1)");
-  ok &= bench::check(ls["LDAR"] > ls["DMB full"] && ls["DMB ld"] > ls["DMB full"],
-                     "LDAR/DMB ld beat DMB full for load->*");
-  ok &= bench::check(ss["DMB st"] > ss["DMB full"],
-                     "DMB st is the choice for store->stores");
-  ok &= bench::check(ss["STLR"] <= ss["DMB st"] && ss["STLR"] >= ss["DSB full"] * 0.95,
-                     "STLR between DMB st and DSB full (footnote 2 caveat)");
-  return run.finish(ok);
+  ctx.check(ls["DATA dep"] >= ls["LDAR"] * 0.97 &&
+                ls["ADDR dep"] >= ls["LDAR"] * 0.97,
+            "dependencies >= LDAR for load->* (Table 3 row 1)");
+  ctx.check(ls["LDAR"] > ls["DMB full"] && ls["DMB ld"] > ls["DMB full"],
+            "LDAR/DMB ld beat DMB full for load->*");
+  ctx.check(ss["DMB st"] > ss["DMB full"],
+            "DMB st is the choice for store->stores");
+  ctx.check(ss["STLR"] <= ss["DMB st"] && ss["STLR"] >= ss["DSB full"] * 0.95,
+            "STLR between DMB st and DSB full (footnote 2 caveat)");
 }

@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 CI: configure with warnings-as-errors on the trace target, build
-# everything, run the full test suite, then smoke the --json reporting
-# pipeline end to end (bench emits a report, report_check validates it,
-# trace_explorer's span-accounting self-check passes).
+# everything, run the full test suite, then exercise the experiment runner
+# end to end:
+#   * a cold-vs-warm armbar-bench pair against a fresh cache dir, asserting
+#     the warm (fully memoized) re-run finishes in < 20% of the cold wall
+#     time;
+#   * a consolidated multi-experiment --json report validated by
+#     report_check;
+#   * the legacy per-figure wrapper path (fig3 --json --trace) including
+#     the >= 3 latency-histogram gate;
+#   * trace_explorer's span-accounting self-check.
 #
 #   $ scripts/ci.sh [build-dir]
 set -euo pipefail
@@ -19,10 +26,45 @@ cmake --build "$BUILD" -j"$(nproc)"
 echo "== tests =="
 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
-echo "== bench --json smoke =="
+BENCH="$BUILD/bench/armbar-bench"
 SMOKE_DIR="$BUILD/ci-reports"
+CACHE_DIR="$BUILD/ci-armbar-cache"
 mkdir -p "$SMOKE_DIR"
+rm -rf "$CACHE_DIR"
+
+# Simulator-only experiments for the timing gate (no host wall-clock parts,
+# so the cold run is all cacheable simulation).
+GATE_FILTER='fig5*,fig7a*'
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+echo "== armbar-bench cold run (--filter '$GATE_FILTER', --jobs $(nproc)) =="
+T0=$(now_ms)
+"$BENCH" --filter "$GATE_FILTER" --jobs "$(nproc)" \
+    --cache-dir "$CACHE_DIR" > /dev/null
+COLD_MS=$(( $(now_ms) - T0 ))
+
+echo "== armbar-bench warm run (same filter, memoized) =="
+T0=$(now_ms)
+"$BENCH" --filter "$GATE_FILTER" --jobs "$(nproc)" \
+    --cache-dir "$CACHE_DIR" > /dev/null
+WARM_MS=$(( $(now_ms) - T0 ))
+
+echo "cold ${COLD_MS} ms, warm ${WARM_MS} ms"
+if [ $(( WARM_MS * 5 )) -ge "$COLD_MS" ]; then
+    echo "FAIL: warm re-run (${WARM_MS} ms) not under 20% of cold (${COLD_MS} ms)"
+    exit 1
+fi
+echo "warm-cache gate OK (warm < 20% of cold)"
+
+echo "== consolidated report (--filter 'table*' --json) =="
+"$BENCH" --filter 'table*' --jobs "$(nproc)" --cache-dir "$CACHE_DIR" \
+    --json="$SMOKE_DIR/armbar-bench.report.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/armbar-bench.report.json"
+
+echo "== legacy wrapper smoke (fig3 --json --trace) =="
 "$BUILD/bench/fig3_store_store" \
+    --cache-dir "$CACHE_DIR" \
     --json="$SMOKE_DIR/fig3_store_store.report.json" \
     --trace="$SMOKE_DIR/fig3_store_store.trace.json" > /dev/null
 "$BUILD/tools/report_check" "$SMOKE_DIR/fig3_store_store.report.json"

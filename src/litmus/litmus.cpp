@@ -44,7 +44,7 @@ LitmusReport run_litmus(const Litmus& test, const LitmusConfig& cfg) {
     for (std::size_t t = 0; t < nthreads; ++t)
       m.load_program(cfg.binding[t], &progs[t]);
 
-    auto r = m.run(cfg.max_cycles);
+    auto r = m.run(RunConfig{.max_cycles = cfg.max_cycles});
     ARMBAR_CHECK_MSG(r.completed, "litmus run timed out");
 
     Outcome o;

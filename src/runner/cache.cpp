@@ -1,0 +1,88 @@
+#include "runner/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace armbar::runner {
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    // An unwritable directory degrades to a miss-only cache; store() will
+    // simply fail to persist and the run still completes.
+  }
+}
+
+std::string ResultCache::path_of(const std::string& key_hex) const {
+  return dir_ + "/" + key_hex + ".json";
+}
+
+std::optional<trace::Json> ResultCache::lookup(const std::string& key_hex) {
+  if (!enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = mem_.find(key_hex); it != mem_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  std::ifstream in(path_of(key_hex), std::ios::binary);
+  if (!in.good()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const trace::Json doc = trace::Json::parse(buf.str(), &err);
+  const trace::Json* schema = doc.find("schema");
+  const trace::Json* epoch = doc.find("epoch");
+  const trace::Json* value = doc.find("value");
+  if (!err.empty() || schema == nullptr || !schema->is_string() ||
+      schema->str() != kCacheEntrySchema || epoch == nullptr ||
+      !epoch->is_string() || epoch->str() != kCacheEpoch || value == nullptr) {
+    // Corrupt or stale-schema entry: treat as a miss; the fresh result will
+    // overwrite it.
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  mem_[key_hex] = *value;
+  ++stats_.hits;
+  return *value;
+}
+
+void ResultCache::store(const std::string& key_hex, const std::string& desc,
+                        const trace::Json& value) {
+  if (!enabled()) return;
+  trace::Json doc = trace::Json::object();
+  doc.set("schema", kCacheEntrySchema);
+  doc.set("epoch", kCacheEpoch);
+  doc.set("key", key_hex);
+  doc.set("desc", desc);
+  doc.set("value", value);
+  const std::string text = doc.dump(1) + "\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_[key_hex] = value;
+  ++stats_.stores;
+  const std::string path = path_of(key_hex);
+  const std::string tmp = path + ".tmp";
+  if (std::FILE* f = std::fopen(tmp.c_str(), "wb")) {
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (ok) {
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);
+      if (!ec) return;
+    }
+    std::remove(tmp.c_str());
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace armbar::runner

@@ -1,0 +1,72 @@
+// Content-addressed result cache for simulator runs (ISSUE 2).
+//
+// Each independent sweep point is deterministic: (platform fingerprint,
+// program hash, run config) fully determines the result. The cache maps
+// that 128-bit key to the result's JSON value, one file per entry under
+// `.armbar-cache/` (schema armbar.cache.entry/v1):
+//
+//   { "schema": "armbar.cache.entry/v1",
+//     "epoch":  "<kCacheEpoch>",
+//     "key":    "<32 hex chars>",
+//     "desc":   "pair platform=kunpeng916 prog=store-store/DMB full ...",
+//     "value":  <arbitrary JSON> }
+//
+// Keys content-address the *inputs*, not the simulator build, so
+// kCacheEpoch is mixed into every key and must be bumped whenever the
+// timing model itself changes behaviour (the Latencies static_assert in
+// fingerprint.cpp points here when the latency table grows).
+//
+// Thread-safe: workers of the experiment pool hit it concurrently. An
+// in-memory map fronts the directory, and writes go through a temp file +
+// rename so a crashed run never leaves a torn entry behind.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace armbar::runner {
+
+inline constexpr const char* kCacheEntrySchema = "armbar.cache.entry/v1";
+
+/// Bump when the simulator's timing behaviour changes (new latency fields,
+/// scheduler fixes, ...) — every existing entry is invalidated at once.
+inline constexpr const char* kCacheEpoch = "armbar-sim/2";
+
+class ResultCache {
+ public:
+  /// `dir` empty => caching disabled (lookup always misses, store drops).
+  explicit ResultCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Hit: the cached value. Miss (or disabled/corrupt entry): nullopt.
+  std::optional<trace::Json> lookup(const std::string& key_hex);
+
+  /// Persist `value` under `key_hex`. `desc` is a human-readable rendering
+  /// of the key's inputs, stored for cache debugging only.
+  void store(const std::string& key_hex, const std::string& desc,
+             const trace::Json& value);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+  };
+  Stats stats() const;
+
+ private:
+  std::string path_of(const std::string& key_hex) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, trace::Json> mem_;
+  Stats stats_;
+};
+
+}  // namespace armbar::runner

@@ -1,0 +1,104 @@
+#include "runner/cli.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "runner/arg_parser.hpp"
+#include "runner/engine.hpp"
+#include "runner/experiment.hpp"
+
+namespace armbar::runner {
+namespace {
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int cli_main(int argc, char** argv, const char* forced_experiment) {
+  const bool forced = forced_experiment != nullptr;
+  const std::string prog =
+      forced ? std::string(forced_experiment) : std::string("armbar-bench");
+  ArgParser args(prog,
+                 forced
+                     ? "Legacy wrapper for the '" + prog +
+                           "' experiment (same engine as armbar-bench)."
+                     : "Unified runner for every registered fig*/table* "
+                       "experiment of the ARM-barrier study.");
+  if (!forced) {
+    args.add_flag("list", "list registered experiments and exit");
+    args.add_value("filter", "GLOB",
+                   "comma-separated glob list over experiment names", "*");
+  }
+  args.add_value("jobs", "N",
+                 "max parallel sweep points (0 = hardware threads)", "0");
+  args.add_value("repeat", "N",
+                 "run each experiment N times and check determinism", "1");
+  args.add_optional_value("json", "PATH",
+                          "write an armbar.bench.report/v1 document "
+                          "(default path: <bench>.report.json)");
+  args.add_optional_value("trace", "PATH",
+                          "write a Chrome trace_event JSON; forces --jobs 1 "
+                          "(default path: <experiment>.trace.json)");
+  args.add_flag("no-cache", "disable the content-addressed result cache");
+  args.add_value("cache-dir", "DIR", "result cache location", ".armbar-cache");
+
+  std::string err;
+  if (!args.parse(argc, argv, &err)) {
+    std::fprintf(stderr, "%s: %s\n", prog.c_str(), err.c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  if (!args.positionals().empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s' (see --help)\n",
+                 prog.c_str(), args.positionals().front().c_str());
+    return 2;
+  }
+
+  const Registry& registry = Registry::global();
+  if (!forced && args.given("list")) {
+    for (const ExperimentSpec* s : registry.sorted())
+      std::printf("%-26s %-10s %s\n", s->name.c_str(), s->figure.c_str(),
+                  s->title.c_str());
+    return 0;
+  }
+
+  EngineOptions opts;
+  opts.filter = forced ? std::string(forced_experiment) : args.str("filter");
+  opts.jobs = static_cast<std::size_t>(args.integer("jobs", 0));
+  opts.repeat = static_cast<std::uint32_t>(args.integer("repeat", 1));
+  opts.cache_enabled = !args.given("no-cache");
+  opts.cache_dir = args.str("cache-dir");
+  opts.collect_metrics = args.given("json") || args.given("trace");
+  opts.trace = args.given("trace");
+  opts.trace_path = args.str("trace");
+
+  Engine engine(registry, opts);
+  EngineResult result = engine.run();
+
+  bool io_ok = true;
+  if (args.given("json") && !result.report.is_null()) {
+    std::string path = args.str("json");
+    if (path.empty()) {
+      const trace::Json* bench = result.report.find("bench");
+      path = (bench != nullptr && bench->is_string() ? bench->str() : prog) +
+             ".report.json";
+    }
+    io_ok = write_text(path, result.report.dump(1) + "\n");
+    if (io_ok)
+      std::printf("\nreport: %s\n", path.c_str());
+    else
+      std::fprintf(stderr, "%s: failed to write report '%s'\n", prog.c_str(),
+                   path.c_str());
+  }
+  return result.ok && io_ok ? 0 : 1;
+}
+
+}  // namespace armbar::runner

@@ -1,0 +1,20 @@
+// Shared entry point for armbar-bench and the legacy per-figure wrappers.
+//
+//   armbar-bench --list
+//   armbar-bench --filter 'fig3*' --jobs 8 --json
+//   fig3_store_store --json=out.json --trace        (forced_experiment set)
+//
+// A legacy wrapper is the same engine pinned to one experiment: the old
+// --json[=path] / --trace[=path] flags keep working, plus the new common
+// flags (--jobs, --repeat, --no-cache, --cache-dir).
+#pragma once
+
+namespace armbar::runner {
+
+/// Parse flags, run the engine, write the report. Returns the process exit
+/// code (0 iff every matched experiment passed and all I/O succeeded).
+/// `forced_experiment` non-null pins the run to that one experiment and
+/// hides --list/--filter (legacy wrapper mode).
+int cli_main(int argc, char** argv, const char* forced_experiment = nullptr);
+
+}  // namespace armbar::runner

@@ -1,0 +1,206 @@
+#include "runner/engine.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "sim/isa.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/json_report.hpp"
+#include "trace/trace.hpp"
+
+namespace armbar::runner {
+namespace {
+
+// Same banner the standalone benches printed, so migrated experiments keep
+// their stdout shape.
+void banner(const std::string& display, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", display.c_str(), title.c_str());
+  std::printf("metric: simulated cycles at the platform clock; shapes (who\n");
+  std::printf("wins, crossovers) are the reproduction target, not absolutes.\n");
+  std::printf("==============================================================\n\n");
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Engine::Engine(const Registry& registry, EngineOptions opts)
+    : registry_(registry), opts_(std::move(opts)) {}
+
+EngineResult Engine::run() {
+  EngineResult result;
+  const std::vector<const ExperimentSpec*> matched =
+      registry_.match(opts_.filter);
+  if (matched.empty()) {
+    std::fprintf(stderr,
+                 "armbar-bench: no experiment matches filter '%s' "
+                 "(see --list)\n",
+                 opts_.filter.c_str());
+    return result;  // ok == false: a typoed filter must not pass CI
+  }
+
+  std::size_t jobs = opts_.jobs != 0 ? opts_.jobs : ThreadPool::hardware_jobs();
+  if (opts_.trace && jobs != 1) {
+    // The tracer ring is single-writer; traced runs are serial by contract.
+    std::printf("(--trace forces --jobs 1; tracing needs a serial schedule)\n");
+    jobs = 1;
+  }
+  result.jobs = jobs;
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs - 1);  // caller works
+
+  ResultCache cache(opts_.cache_enabled ? opts_.cache_dir : "");
+
+  const bool single = matched.size() == 1;
+  trace::ReportBuilder report(
+      single ? matched[0]->name : "armbar-bench",
+      single ? matched[0]->title
+             : "consolidated experiment report (filter '" + opts_.filter + "')");
+  if (!single) {
+    report.add_param("filter", opts_.filter);
+    report.add_param("jobs", std::to_string(jobs));
+    report.add_param("repeat", std::to_string(opts_.repeat));
+    report.add_param("cache", cache.enabled() ? opts_.cache_dir : "off");
+  }
+
+  bool all_ok = true;
+  bool io_ok = true;
+  for (const ExperimentSpec* spec : matched) {
+    banner(spec->figure, spec->title);
+
+    std::unique_ptr<trace::MetricsRegistry> metrics;
+    std::unique_ptr<trace::Tracer> tracer;
+    std::unique_ptr<ExperimentContext> ctx;
+    std::uint64_t first_digest = 0;
+    bool deterministic = true;
+    bool aborted = false;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint32_t reps = opts_.repeat == 0 ? 1 : opts_.repeat;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      metrics = std::make_unique<trace::MetricsRegistry>();
+      if (opts_.trace) {
+        tracer = std::make_unique<trace::Tracer>();
+        tracer->set_metrics(metrics.get());
+      }
+      ExperimentContext::Hooks hooks;
+      hooks.pool = pool.get();
+      hooks.cache = &cache;
+      hooks.tracer = tracer.get();
+      hooks.metrics = metrics.get();
+      hooks.jobs = jobs;
+      hooks.collect_metrics = opts_.collect_metrics;
+      ctx = std::make_unique<ExperimentContext>(*spec, hooks);
+
+      if (rep > 0)
+        std::printf("\n-- repetition %u/%u: %s --\n", rep + 1, reps,
+                    spec->name.c_str());
+      try {
+        spec->body(*ctx);
+      } catch (const ExperimentAbort&) {
+        aborted = true;  // ctx.fatal() already recorded the failed check
+      }
+      if (rep == 0)
+        first_digest = ctx->points_digest();
+      else if (ctx->points_digest() != first_digest)
+        deterministic = false;
+      if (aborted) break;
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (reps > 1 && !aborted)
+      ctx->check(deterministic,
+                 "repetitions deterministic (points digest stable across " +
+                     std::to_string(reps) + " runs)");
+
+    ExperimentOutcome out;
+    out.name = spec->name;
+    out.aborted = aborted;
+    out.ok = !aborted && ctx->all_checks_passed();
+    out.points = ctx->points();
+    out.cache_hits = ctx->point_hits();
+    out.points_digest = ctx->points_digest();
+    out.wall_ms = wall_ms;
+    all_ok = all_ok && out.ok;
+
+    // Fold this experiment into the consolidated report. Single-match runs
+    // keep the old unprefixed keys for byte-compatibility with the legacy
+    // per-figure reports.
+    const std::string cp = single ? "" : spec->name + ": ";
+    const std::string kp = single ? "" : spec->name + "/";
+    for (const auto& c : ctx->checks()) report.add_check(cp + c.claim, c.pass);
+    for (const auto& [name, value] : ctx->params())
+      report.add_param(kp + name, value);
+    for (const auto& [name, value] : ctx->metrics_recorded())
+      report.add_metric(kp + name, value);
+    report.add_param(kp + "points_digest", hex16(ctx->points_digest()));
+    report.add_metric(kp + "wall_ms", wall_ms);
+    report.add_metric(kp + "sim_points", static_cast<double>(out.points));
+    report.add_metric(kp + "cache_point_hits",
+                      static_cast<double>(out.cache_hits));
+    if (tracer != nullptr || opts_.collect_metrics) {
+      if (single) {
+        report.add_registry(*metrics);
+      } else {
+        for (const auto& name : metrics->histogram_names())
+          report.add_histogram(kp + name,
+                               trace::summarize(metrics->histogram(name)));
+        for (const auto& name : metrics->counter_names())
+          report.add_metric(kp + name,
+                            static_cast<double>(metrics->counter(name)));
+      }
+    }
+
+    if (opts_.trace && tracer != nullptr) {
+      std::string path;
+      if (opts_.trace_path.empty())
+        path = spec->name + ".trace.json";
+      else
+        path = single ? opts_.trace_path : spec->name + "." + opts_.trace_path;
+      trace::ChromeTraceOptions copts;
+      copts.process_name = "armbar-" + spec->name;
+      copts.op_name = +[](std::uint8_t op) {
+        return sim::to_string(static_cast<sim::Op>(op));
+      };
+      io_ok = trace::write_chrome_trace(path, *tracer, copts) && io_ok;
+      std::printf("trace:  %s (open in https://ui.perfetto.dev)\n",
+                  path.c_str());
+    }
+
+    result.outcomes.push_back(out);
+  }
+
+  if (!single) {
+    std::printf("\n===================== armbar-bench summary ====================\n");
+    for (const auto& out : result.outcomes)
+      std::printf("  %-26s %-4s  points %5llu (hits %5llu)  %8.1f ms\n",
+                  out.name.c_str(), out.ok ? "ok" : "FAIL",
+                  static_cast<unsigned long long>(out.points),
+                  static_cast<unsigned long long>(out.cache_hits),
+                  out.wall_ms);
+  }
+  result.cache_stats = cache.stats();
+  if (cache.enabled())
+    std::printf("\ncache: %llu hits / %llu misses / %llu stores (%s)\n",
+                static_cast<unsigned long long>(result.cache_stats.hits),
+                static_cast<unsigned long long>(result.cache_stats.misses),
+                static_cast<unsigned long long>(result.cache_stats.stores),
+                opts_.cache_dir.c_str());
+
+  report.set_ok(all_ok);
+  result.report = report.build();
+  result.ok = all_ok && io_ok;
+  return result;
+}
+
+}  // namespace armbar::runner

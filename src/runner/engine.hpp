@@ -1,0 +1,68 @@
+// Experiment engine: resolves a filter against the registry, runs each
+// matched experiment with shared infrastructure (work-stealing pool,
+// content-addressed result cache, optional tracer), and assembles one
+// consolidated armbar.bench.report/v1 document.
+//
+// Experiments execute serially in name order — parallelism lives *inside*
+// an experiment (ctx.map over sweep points) so stdout stays readable and
+// the report order is deterministic. A single-match run reports under the
+// experiment's own name with unprefixed check/metric keys, byte-compatible
+// with the old one-binary-per-figure reports; a multi-match run reports as
+// "armbar-bench" with "<experiment>: " / "<experiment>/" prefixes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/cache.hpp"
+#include "runner/experiment.hpp"
+#include "trace/json.hpp"
+
+namespace armbar::runner {
+
+struct EngineOptions {
+  std::string filter = "*";  ///< comma-separated glob list over names
+  std::size_t jobs = 0;      ///< 0 => hardware_jobs(); tracing forces 1
+  std::uint32_t repeat = 1;  ///< run each experiment N times (determinism)
+  bool cache_enabled = true;
+  std::string cache_dir = ".armbar-cache";
+  bool collect_metrics = false;  ///< --json: instrument runs for histograms
+  bool trace = false;            ///< --trace: shared tracer, serial
+  std::string trace_path;        ///< empty => "<name>.trace.json" per match
+};
+
+/// Per-experiment outcome, in run (= name) order.
+struct ExperimentOutcome {
+  std::string name;
+  bool ok = false;            ///< all checks passed, no abort
+  bool aborted = false;       ///< body called ctx.fatal()
+  std::uint64_t points = 0;   ///< cached() sweep points executed or hit
+  std::uint64_t cache_hits = 0;
+  std::uint64_t points_digest = 0;  ///< order-independent sweep fingerprint
+  double wall_ms = 0.0;       ///< across all repetitions
+};
+
+struct EngineResult {
+  bool ok = false;                ///< every experiment ok (and >=1 matched)
+  std::vector<ExperimentOutcome> outcomes;
+  trace::Json report;             ///< consolidated armbar.bench.report/v1
+  ResultCache::Stats cache_stats;
+  std::size_t jobs = 1;           ///< effective job count used
+};
+
+class Engine {
+ public:
+  Engine(const Registry& registry, EngineOptions opts);
+
+  /// Run everything the filter matches. Prints the familiar banners and
+  /// tables to stdout; returns the consolidated report for the caller to
+  /// write. An empty match is a failure (a typoed --filter must not pass).
+  EngineResult run();
+
+ private:
+  const Registry& registry_;
+  EngineOptions opts_;
+};
+
+}  // namespace armbar::runner

@@ -1,0 +1,137 @@
+#include "runner/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "runner/glob.hpp"
+
+namespace armbar::runner {
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+bool Registry::add(ExperimentSpec spec) {
+  ARMBAR_CHECK_MSG(spec.body != nullptr, "experiment without a body");
+  for (const auto& s : specs_)
+    ARMBAR_CHECK_MSG(s.name != spec.name, "duplicate experiment name");
+  specs_.push_back(std::move(spec));
+  return true;
+}
+
+std::vector<const ExperimentSpec*> Registry::sorted() const {
+  std::vector<const ExperimentSpec*> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const ExperimentSpec* a, const ExperimentSpec* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<const ExperimentSpec*> Registry::match(
+    const std::string& filter) const {
+  std::vector<const ExperimentSpec*> out;
+  for (const ExperimentSpec* s : sorted())
+    if (glob_match_any(filter, s->name)) out.push_back(s);
+  return out;
+}
+
+const ExperimentSpec* Registry::find(const std::string& name) const {
+  for (const auto& s : specs_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+bool ExperimentContext::check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  checks_.push_back({claim, ok});
+  if (!ok) ++failed_checks_;
+  return ok;
+}
+
+void ExperimentContext::param(const std::string& name,
+                              const std::string& value) {
+  params_.emplace_back(name, value);
+}
+
+void ExperimentContext::metric(const std::string& name, double value) {
+  metrics_recorded_.emplace_back(name, value);
+}
+
+void ExperimentContext::fatal(const std::string& reason) {
+  check(false, reason);
+  throw ExperimentAbort{reason};
+}
+
+Fingerprint ExperimentContext::key() {
+  Fingerprint fp;
+  fp.mix(kCacheEpoch);
+  return fp;
+}
+
+trace::Json ExperimentContext::cached(
+    const Fingerprint& key, const std::string& desc,
+    const std::function<trace::Json()>& compute) {
+  return cached_impl(key, desc, /*instrumentable=*/false,
+                     [&](trace::Tracer*) { return compute(); });
+}
+
+trace::Json ExperimentContext::cached_instrumented(
+    const Fingerprint& key, const std::string& desc,
+    const std::function<trace::Json(trace::Tracer*)>& compute) {
+  return cached_impl(key, desc, /*instrumentable=*/true, compute);
+}
+
+trace::Json ExperimentContext::cached_impl(
+    const Fingerprint& key, const std::string& desc, bool instrumentable,
+    const std::function<trace::Json(trace::Tracer*)>& fn) {
+  // Instrumented points skip cache lookups: the point must actually run for
+  // its events/histograms to exist. Timing is tracer-independent, so the
+  // value (and the digest) is the same either way, and the fresh result is
+  // still stored for future uninstrumented runs.
+  const bool instrumented =
+      instrumentable && (hooks_.tracer != nullptr || hooks_.collect_metrics);
+  const std::string hex = key.hex();
+  bool hit = false;
+  trace::Json value;
+  if (hooks_.cache != nullptr && !instrumented) {
+    if (auto v = hooks_.cache->lookup(hex)) {
+      hit = true;
+      value = std::move(*v);
+    }
+  }
+  if (!hit) {
+    if (hooks_.tracer != nullptr && instrumentable) {
+      // --trace: the engine forced jobs=1, so the shared ring is safe.
+      value = fn(hooks_.tracer);
+    } else if (instrumented) {
+      // --json at any job count: per-point tracer feeding a local registry,
+      // merged under the lock below. The ring contents are discarded — only
+      // the metrics matter here.
+      trace::MetricsRegistry local;
+      trace::Tracer t(/*capacity=*/1024);
+      t.set_metrics(&local);
+      value = fn(&t);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (hooks_.metrics != nullptr) hooks_.metrics->merge(local);
+    } else {
+      value = fn(nullptr);
+    }
+    if (hooks_.cache != nullptr) hooks_.cache->store(hex, desc, value);
+  }
+  Fingerprint pd = key;
+  pd.mix(value.dump());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points_digest_ ^= pd.lo();
+    ++points_;
+    if (hit) ++point_hits_;
+  }
+  return value;
+}
+
+}  // namespace armbar::runner

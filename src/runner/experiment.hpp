@@ -1,0 +1,208 @@
+// Declarative experiment API (ISSUE 2): every fig*/table* artifact is a
+// registered experiment instead of a main()-driven loop.
+//
+//   ARMBAR_EXPERIMENT(fig3_store_store, "Figure 3",
+//                     "store-store model under different configurations") {
+//     auto thr = ctx.map(points.size(), [&](std::size_t i) {
+//       return cached_run_pair(ctx, spec, progs[i], iters, c0, c1);
+//     });
+//     ... print tables, ctx.check(...) the paper's claims ...
+//   }
+//
+// The body receives an ExperimentContext wired to the engine's shared
+// work-stealing pool and result cache:
+//   * ctx.map(n, fn)  — run fn(0..n-1) host-parallel, results returned in
+//     index order regardless of scheduling (deterministic sweep order);
+//   * ctx.cached(...) — content-addressed memoization of one sweep point;
+//   * ctx.check/param/metric — the report surface the old BenchRun had.
+//
+// Registration is static-init into Registry::global(); the experiment
+// translation units are linked as an OBJECT library so no registrar is
+// dropped by static-library pruning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/cache.hpp"
+#include "runner/fingerprint.hpp"
+#include "runner/thread_pool.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace armbar::runner {
+
+class ExperimentContext;
+
+/// One registered experiment: identity + body.
+struct ExperimentSpec {
+  std::string name;    ///< registry key, e.g. "fig3_store_store"
+  std::string figure;  ///< paper artifact, e.g. "Figure 3" (banner display)
+  std::string title;   ///< one-line description
+  void (*body)(ExperimentContext&) = nullptr;
+};
+
+/// Thrown by ExperimentContext::fatal(); the engine records the experiment
+/// as failed and moves on to the next one.
+struct ExperimentAbort {
+  std::string reason;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry the ARMBAR_EXPERIMENT macro adds to.
+  static Registry& global();
+
+  /// Static-init registrar; aborts on duplicate names. Returns true so it
+  /// can initialize a bool.
+  bool add(ExperimentSpec spec);
+
+  /// All experiments, sorted by name (deterministic run & report order).
+  std::vector<const ExperimentSpec*> sorted() const;
+
+  /// Experiments whose name matches the comma-separated glob list, sorted
+  /// by name.
+  std::vector<const ExperimentSpec*> match(const std::string& filter) const;
+
+  const ExperimentSpec* find(const std::string& name) const;
+  std::size_t size() const { return specs_.size(); }
+
+ private:
+  std::vector<ExperimentSpec> specs_;
+};
+
+/// Everything an experiment body may touch. Owned by the engine; one fresh
+/// instance per experiment execution.
+class ExperimentContext {
+ public:
+  struct Hooks {
+    ThreadPool* pool = nullptr;            // null => serial
+    ResultCache* cache = nullptr;          // null => uncached
+    trace::Tracer* tracer = nullptr;       // non-null only under --trace
+    trace::MetricsRegistry* metrics = nullptr;
+    std::size_t jobs = 1;
+    /// --json: instrumentable points run with a per-point tracer feeding a
+    /// local registry that is merged into `metrics` (parallel-safe), and
+    /// skip cache lookups so the histograms always reflect a real run.
+    bool collect_metrics = false;
+  };
+
+  ExperimentContext(const ExperimentSpec& spec, Hooks hooks)
+      : spec_(spec), hooks_(hooks) {}
+
+  const ExperimentSpec& spec() const { return spec_; }
+  std::size_t jobs() const { return hooks_.jobs; }
+
+  /// Non-null only when the engine traces (which forces serial execution —
+  /// the tracer's ring is single-writer). Pass to Machine runs.
+  trace::Tracer* tracer() { return hooks_.tracer; }
+  trace::MetricsRegistry& metrics() { return *hooks_.metrics; }
+
+  // ---- report surface (the old BenchRun API) ----
+
+  /// PASS/FAIL line, printed and recorded into the consolidated report.
+  bool check(bool ok, const std::string& claim);
+  void param(const std::string& name, const std::string& value);
+  void metric(const std::string& name, double value);
+
+  /// Unrecoverable inconsistency (e.g. a checksum failure): records a
+  /// failed check and aborts this experiment only.
+  [[noreturn]] void fatal(const std::string& reason);
+
+  // ---- parallel sweep ----
+
+  /// Run fn(0..n-1) on the engine pool and return the results in index
+  /// order. fn must be thread-safe at --jobs > 1: compute only, no
+  /// printing; each call builds its own Machine. With jobs == 1 (or no
+  /// pool) the calls happen inline, in order, on this thread.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) -> std::vector<decltype(fn(std::size_t{}))> {
+    using R = decltype(fn(std::size_t{}));
+    std::vector<R> out(n);
+    if (hooks_.pool == nullptr || hooks_.jobs <= 1) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    } else {
+      hooks_.pool->parallel_for(
+          n, [&](std::size_t i) { out[i] = fn(i); });
+    }
+    return out;
+  }
+
+  // ---- content-addressed memoization ----
+
+  /// Memoize one sweep point. `key` must digest every input that can
+  /// change the value (key() seeds it with kCacheEpoch); `desc` is a
+  /// human-readable rendering stored with the entry. On a hit, compute is
+  /// skipped entirely. Thread-safe. Every call (hit or miss) folds
+  /// (key, value) into this experiment's order-independent points digest,
+  /// so reports expose a single fingerprint of the whole sweep.
+  trace::Json cached(const Fingerprint& key, const std::string& desc,
+                     const std::function<trace::Json()>& compute);
+
+  /// Variant for points whose simulation accepts a tracer (run_single /
+  /// run_pair). Under --trace the shared serial tracer is passed; under
+  /// --json a fresh per-point tracer records into a local registry merged
+  /// into the experiment's (so latency histograms survive --jobs > 1);
+  /// otherwise compute(nullptr). Instrumented points skip cache lookups.
+  trace::Json cached_instrumented(
+      const Fingerprint& key, const std::string& desc,
+      const std::function<trace::Json(trace::Tracer*)>& compute);
+
+  /// Seed a fingerprint with the cache epoch (every key must start here).
+  static Fingerprint key();
+
+  // ---- engine-side accessors ----
+
+  struct CheckLine {
+    std::string claim;
+    bool pass;
+  };
+  const std::vector<CheckLine>& checks() const { return checks_; }
+  const std::vector<std::pair<std::string, std::string>>& params() const {
+    return params_;
+  }
+  const std::vector<std::pair<std::string, double>>& metrics_recorded() const {
+    return metrics_recorded_;
+  }
+  /// XOR-fold over all cached() points of fnv(key || value). Commutative,
+  /// so identical across schedules; changes if any point's value changes.
+  std::uint64_t points_digest() const { return points_digest_; }
+  std::uint64_t points() const { return points_; }
+  std::uint64_t point_hits() const { return point_hits_; }
+  bool all_checks_passed() const { return failed_checks_ == 0; }
+
+ private:
+  trace::Json cached_impl(const Fingerprint& key, const std::string& desc,
+                          bool instrumentable,
+                          const std::function<trace::Json(trace::Tracer*)>& fn);
+
+  const ExperimentSpec& spec_;
+  Hooks hooks_;
+  std::vector<CheckLine> checks_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, double>> metrics_recorded_;
+  std::size_t failed_checks_ = 0;
+  std::mutex mu_;  // guards the digest fields (cached() runs on workers)
+  std::uint64_t points_digest_ = 0;
+  std::uint64_t points_ = 0;
+  std::uint64_t point_hits_ = 0;
+};
+
+}  // namespace armbar::runner
+
+/// Define and register an experiment. Usage:
+///   ARMBAR_EXPERIMENT(fig2_intrinsic, "Figure 2", "intrinsic overhead...") {
+///     ... body using `ctx` ...
+///   }
+#define ARMBAR_EXPERIMENT(ident, figure, title)                               \
+  static void armbar_experiment_body_##ident(                                 \
+      ::armbar::runner::ExperimentContext& ctx);                              \
+  [[maybe_unused]] static const bool armbar_experiment_reg_##ident =          \
+      ::armbar::runner::Registry::global().add(                               \
+          {#ident, figure, title, &armbar_experiment_body_##ident});          \
+  static void armbar_experiment_body_##ident(                                 \
+      ::armbar::runner::ExperimentContext& ctx)

@@ -1,0 +1,40 @@
+#include "runner/glob.hpp"
+
+namespace armbar::runner {
+
+bool glob_match(std::string_view pattern, std::string_view name) {
+  // Iterative matcher with single-star backtracking: on mismatch past a
+  // '*', rewind to the star and let it swallow one more character.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool glob_match_any(std::string_view patterns, std::string_view name) {
+  while (!patterns.empty()) {
+    const std::size_t comma = patterns.find(',');
+    const std::string_view head = patterns.substr(0, comma);
+    if (!head.empty() && glob_match(head, name)) return true;
+    if (comma == std::string_view::npos) break;
+    patterns.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+}  // namespace armbar::runner

@@ -1,0 +1,17 @@
+// Shell-style glob matching for experiment filters (`--filter 'fig3*'`).
+// Supports `*` (any run, including empty) and `?` (any single character);
+// a pattern list separated by commas matches when any element matches.
+#pragma once
+
+#include <string_view>
+
+namespace armbar::runner {
+
+/// True when `name` matches the single glob `pattern`.
+bool glob_match(std::string_view pattern, std::string_view name);
+
+/// True when `name` matches any comma-separated element of `patterns`
+/// (e.g. "fig3*,fig5*,table?_*"). An empty list matches nothing.
+bool glob_match_any(std::string_view patterns, std::string_view name);
+
+}  // namespace armbar::runner

@@ -1,0 +1,135 @@
+#include "runner/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace armbar::runner {
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> done{0};
+  std::size_t total = 0;
+  std::mutex err_mu;
+  std::exception_ptr err;
+  std::condition_variable done_cv;
+  std::mutex done_mu;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool ThreadPool::pop_local(std::size_t worker, Task* out) {
+  WorkerQueue& q = *queues_[worker];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *out = q.tasks.back();  // LIFO on the owner's side
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(std::size_t thief, Task* out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t d = 1; d <= n; ++d) {
+    WorkerQueue& q = *queues_[(thief + d) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *out = q.tasks.front();  // FIFO from the victim's cold end
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(const Task& t) {
+  Job& job = *t.job;
+  try {
+    (*job.fn)(t.index);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job.err_mu);
+    if (!job.err) job.err = std::current_exception();
+  }
+  if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.total) {
+    std::lock_guard<std::mutex> lock(job.done_mu);
+    job.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  for (;;) {
+    Task t{};
+    if (pop_local(id, &t) || steal(id, &t)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        if (pending_ > 0) --pending_;
+      }
+      run_task(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] { return shutdown_ || pending_ > 0; });
+    if (shutdown_) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  Job job;
+  job.fn = &fn;
+  job.total = n;
+
+  // Round-robin the tasks across worker deques so stealing starts from an
+  // already-balanced distribution.
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerQueue& q = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back({&job, i});
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_ += n;
+  }
+  wake_cv_.notify_all();
+
+  // The caller works too: steal from any queue until nothing is left, then
+  // wait for in-flight tasks to drain.
+  Task t{};
+  while (steal(0, &t)) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      if (pending_ > 0) --pending_;
+    }
+    run_task(t);
+  }
+  {
+    std::unique_lock<std::mutex> lock(job.done_mu);
+    job.done_cv.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == job.total;
+    });
+  }
+  if (job.err) std::rethrow_exception(job.err);
+}
+
+}  // namespace armbar::runner

@@ -110,10 +110,6 @@ class Core {
 
   void set_tso(bool tso) { tso_ = tso; }
 
-  /// Attach (or detach with nullptr) an event tracer. Recording only: the
-  /// simulated timing is bit-identical with or without a tracer.
-  void set_tracer(trace::Tracer* t) { tracer_ = t; }
-
   /// Zero the per-core counters without touching architectural state.
   void reset_stats() { stats_.reset(); }
 
@@ -136,6 +132,12 @@ class Core {
   std::uint32_t pc() const { return pc_; }
 
  private:
+  // Tracer attachment goes through Machine::set_tracer() — the single
+  // attach point — so a core can never trace with stale stall-cause names
+  // or diverge from the rest of the machine.
+  friend class Machine;
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
   // ---- store buffer ----
   struct SbEntry {
     std::uint64_t seq = 0;

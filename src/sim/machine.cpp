@@ -39,9 +39,14 @@ void Machine::reset_stats() {
   mem_->reset_stats();
 }
 
-RunResult Machine::run(Cycle max_cycles) {
+RunResult Machine::run(const RunConfig& cfg) {
   ARMBAR_CHECK_MSG(!ran_, "Machine::run() may only be called once");
   ran_ = true;
+
+  const Cycle max_cycles = cfg.max_cycles;
+  const bool attach = cfg.tracer != nullptr;
+  if (attach) set_tracer(cfg.tracer);
+  if (cfg.stats == RunConfig::Stats::kResetBeforeRun) reset_stats();
 
   RunResult res;
   std::vector<Core*> live;

@@ -23,13 +23,29 @@ struct RunResult {
 
   /// Convert a per-core event count into the paper's throughput unit
   /// (events per second at the platform frequency), given the events and
-  /// the cycles they took.
+  /// the cycles they took. Scales the count by the clock before dividing:
+  /// events/cycles first would round a sub-ulp quotient and lose the low
+  /// digits once multiplied back up by ~1e9.
   static double throughput_per_sec(std::uint64_t events, Cycle cycles_taken,
                                    double freq_ghz) {
     if (cycles_taken == 0) return 0.0;
-    return static_cast<double>(events) / static_cast<double>(cycles_taken) *
-           freq_ghz * 1e9;
+    return static_cast<double>(events) * (freq_ghz * 1e9) /
+           static_cast<double>(cycles_taken);
   }
+};
+
+/// Declarative run parameters for Machine::run(const RunConfig&); replaces
+/// the grow-a-positional-argument pattern (max_cycles was already one).
+struct RunConfig {
+  Cycle max_cycles = 500'000'000;
+  /// When non-null, attached via Machine::set_tracer() — the single attach
+  /// point — before the run starts. Recording only; timing is unaffected.
+  trace::Tracer* tracer = nullptr;
+  enum class Stats : std::uint8_t {
+    kKeep,            ///< counters keep accumulating (default)
+    kResetBeforeRun,  ///< reset_stats() first: measure a clean window
+  };
+  Stats stats = Stats::kKeep;
 };
 
 /// A whole simulated machine. Construct, load programs onto cores, poke
@@ -53,9 +69,10 @@ class Machine {
   /// Used by the litmus harness to contrast WMM and TSO (paper Table 1).
   void set_tso(bool tso);
 
-  /// Attach (or detach with nullptr) one tracer to every core and the
-  /// memory system. Also installs the stall-cause display names so metric
-  /// keys and exports read "stall_cycles.barrier" instead of a code.
+  /// THE tracer attach point: fans one tracer out to every core and the
+  /// memory system (their setters are private — this is the only way in).
+  /// Also installs the stall-cause display names so metric keys and exports
+  /// read "stall_cycles.barrier" instead of a code. Detach with nullptr.
   void set_tracer(trace::Tracer* t);
 
   /// Zero every per-core counter and the coherence-traffic counters.
@@ -63,8 +80,19 @@ class Machine {
   /// reset, and measure a clean window.
   void reset_stats();
 
-  /// Run until every program-bearing core halts or `max_cycles` elapses.
-  RunResult run(Cycle max_cycles = 500'000'000);
+  /// Run until every program-bearing core halts or cfg.max_cycles elapses.
+  /// A machine runs once; construct a fresh one per experiment point.
+  RunResult run(const RunConfig& cfg);
+
+  /// Pre-RunConfig spelling, kept so existing callers (and the many tests
+  /// exercising them) build unchanged. Deprecated: new code should pass a
+  /// RunConfig. (No [[deprecated]] attribute — the migration is tracked in
+  /// ROADMAP and warning-spamming ~40 call sites under -Werror helps no one.)
+  RunResult run(Cycle max_cycles = 500'000'000) {
+    RunConfig cfg;
+    cfg.max_cycles = max_cycles;
+    return run(cfg);
+  }
 
  private:
   PlatformSpec spec_;

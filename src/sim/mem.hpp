@@ -71,10 +71,6 @@ class MemorySystem {
 
   void set_invalidate_hook(InvalidateHook hook) { inv_hook_ = std::move(hook); }
 
-  /// Attach (or detach with nullptr) an event tracer; records coherence
-  /// transfers and line-state transitions. Timing is unaffected.
-  void set_tracer(trace::Tracer* t) { tracer_ = t; }
-
   /// Assign a home NUMA node to [base, base+bytes). Defaults to node 0.
   void set_home(Addr base, std::size_t bytes, NodeId node);
   NodeId home_of(Addr a) const;
@@ -124,6 +120,11 @@ class MemorySystem {
   const LineState& line_state(Addr a) const { return lines_[line_index(a)]; }
 
  private:
+  // Tracer attachment goes through Machine::set_tracer() (single attach
+  // point); see the note on Core::set_tracer.
+  friend class Machine;
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
   std::size_t word_index(Addr a) const;
   std::size_t line_index(Addr a) const;
   LineState& line_mut(Addr a) { return lines_[line_index(a)]; }

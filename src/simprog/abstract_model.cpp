@@ -164,9 +164,11 @@ Program make_load_store_model(OrderChoice choice, BarrierLoc loc,
 double run_single(const PlatformSpec& spec, const Program& prog,
                   std::uint32_t iters, trace::Tracer* tracer) {
   sim::Machine m(spec, 64u << 20);
-  m.set_tracer(tracer);
   m.load_program(0, &prog);
-  auto r = m.run(2'000'000'000ULL);
+  sim::RunConfig cfg;
+  cfg.max_cycles = 2'000'000'000ULL;
+  cfg.tracer = tracer;
+  auto r = m.run(cfg);
   ARMBAR_CHECK_MSG(r.completed, "abstract model run timed out");
   return sim::RunResult::throughput_per_sec(iters, r.cycles, spec.freq_ghz);
 }
@@ -175,10 +177,12 @@ double run_pair(const PlatformSpec& spec, const Program& prog,
                 std::uint32_t iters, CoreId c0, CoreId c1,
                 trace::Tracer* tracer) {
   sim::Machine m(spec, 64u << 20);
-  m.set_tracer(tracer);
   m.load_program(c0, &prog);
   m.load_program(c1, &prog);
-  auto r = m.run(2'000'000'000ULL);
+  sim::RunConfig cfg;
+  cfg.max_cycles = 2'000'000'000ULL;
+  cfg.tracer = tracer;
+  auto r = m.run(cfg);
   ARMBAR_CHECK_MSG(r.completed, "abstract model run timed out");
   return sim::RunResult::throughput_per_sec(iters, r.cycles, spec.freq_ghz);
 }

@@ -422,7 +422,7 @@ LockResult run_ticket(const sim::PlatformSpec& spec, const LockWorkload& w,
     m.load_program(c, &p);
     m.core(c).set_reg(X3, kPrivBase + c * 64);
   }
-  auto r = m.run(4'000'000'000ULL);
+  auto r = m.run(sim::RunConfig{.max_cycles = 4'000'000'000ULL});
   return finish(spec, m, r, w);
 }
 
@@ -441,7 +441,7 @@ LockResult run_ffwd(const sim::PlatformSpec& spec, const LockWorkload& w,
     m.core(c).set_reg(X1, kRespBase + i * 128);
     m.core(c).set_reg(X5, kRxState + i * 32);
   }
-  auto r = m.run(4'000'000'000ULL);
+  auto r = m.run(sim::RunConfig{.max_cycles = 4'000'000'000ULL});
   return finish(spec, m, r, w);
 }
 
@@ -461,7 +461,7 @@ LockResult run_ccsynch(const sim::PlatformSpec& spec, const LockWorkload& w,
     m.load_program(c, &p);
     m.core(c).set_reg(X1, kNodes + (c + 1) * 192);  // node 0 is the dummy
   }
-  auto r = m.run(4'000'000'000ULL);
+  auto r = m.run(sim::RunConfig{.max_cycles = 4'000'000'000ULL});
   return finish(spec, m, r, w);
 }
 

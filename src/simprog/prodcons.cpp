@@ -390,7 +390,7 @@ ProdConsResult run_prodcons(const sim::PlatformSpec& spec, ProdConsCombo combo,
   Program pc = make_consumer(combo.consumer_barriers, msgs);
   m.load_program(prod, &pp);
   m.load_program(cons, &pc);
-  auto r = m.run(2'000'000'000ULL);
+  auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
   const std::uint64_t expect =
       static_cast<std::uint64_t>(msgs) * (msgs - 1) / 2;
   return finish(spec, m, r, msgs, cons, expect);
@@ -405,7 +405,7 @@ ProdConsResult run_prodcons_pilot(const sim::PlatformSpec& spec,
   Program pc = make_pilot_consumer(msgs);
   m.load_program(prod, &pp);
   m.load_program(cons, &pc);
-  auto r = m.run(2'000'000'000ULL);
+  auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
   const std::uint64_t expect =
       static_cast<std::uint64_t>(msgs) * (msgs - 1) / 2;
   return finish(spec, m, r, msgs, cons, expect);
@@ -431,7 +431,7 @@ BatchResult run_batch(const sim::PlatformSpec& spec, std::uint32_t batch_words,
     Program pc = make_batch_consumer(false, batch_words, msgs, stride);
     m.load_program(prod, &pp);
     m.load_program(cons, &pc);
-    auto r = m.run(2'000'000'000ULL);
+    auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
     auto res = finish(spec, m, r, msgs, cons, expect);
     ARMBAR_CHECK_MSG(res.checksum_ok, "batch baseline checksum mismatch");
     out.baseline = res.msgs_per_sec;
@@ -443,7 +443,7 @@ BatchResult run_batch(const sim::PlatformSpec& spec, std::uint32_t batch_words,
     Program pc = make_batch_consumer(true, batch_words, msgs, stride);
     m.load_program(prod, &pp);
     m.load_program(cons, &pc);
-    auto r = m.run(2'000'000'000ULL);
+    auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
     auto res = finish(spec, m, r, msgs, cons, expect);
     ARMBAR_CHECK_MSG(res.checksum_ok, "batch pilot checksum mismatch");
     out.pilot = res.msgs_per_sec;

@@ -107,4 +107,17 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, per_core] : other.counters_) {
+    auto& dst = counters_[name];
+    if (dst.size() < per_core.size()) dst.resize(per_core.size(), 0);
+    for (std::size_t i = 0; i < per_core.size(); ++i) dst[i] += per_core[i];
+  }
+  for (const auto& [name, per_core] : other.histograms_) {
+    auto& dst = histograms_[name];
+    if (dst.size() < per_core.size()) dst.resize(per_core.size());
+    for (std::size_t i = 0; i < per_core.size(); ++i) dst[i].merge(per_core[i]);
+  }
+}
+
 }  // namespace armbar::trace

@@ -110,6 +110,11 @@ class MetricsRegistry {
   bool empty() const { return counters_.empty() && histograms_.empty(); }
   void clear();
 
+  /// Fold another registry into this one: counters add and histograms merge,
+  /// core by core. Lets parallel sweeps record into per-worker registries and
+  /// combine them afterwards without sharing mutable state during the run.
+  void merge(const MetricsRegistry& other);
+
  private:
   // std::map: stable iteration order (deterministic exports), heterogeneous
   // string_view lookup via std::less<>.

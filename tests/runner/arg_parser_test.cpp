@@ -1,0 +1,128 @@
+// ArgParser: the one CLI front door every armbar binary shares.
+#include <gtest/gtest.h>
+
+#include "runner/arg_parser.hpp"
+
+namespace armbar::runner {
+namespace {
+
+// argv helper: gtest-owned storage, mutable char* as main() would get.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> words) : words_(std::move(words)) {
+    for (auto& w : words_) ptrs_.push_back(w.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<char*> ptrs_;
+};
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test parser");
+  p.add_flag("list", "list things");
+  p.add_value("jobs", "N", "parallel jobs", "0");
+  p.add_optional_value("json", "PATH", "write a report");
+  return p;
+}
+
+TEST(ArgParser, FlagsDefaultAbsent) {
+  ArgParser p = make_parser();
+  Args a({"prog"});
+  std::string err;
+  ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err)) << err;
+  EXPECT_FALSE(p.given("list"));
+  EXPECT_FALSE(p.given("jobs"));
+  EXPECT_EQ(p.str("jobs"), "0");  // the registered default
+  EXPECT_EQ(p.integer("jobs", 7), 7);
+}
+
+TEST(ArgParser, ValueBothSpellings) {
+  for (const auto& words : {std::vector<std::string>{"prog", "--jobs", "8"},
+                            std::vector<std::string>{"prog", "--jobs=8"}}) {
+    ArgParser p = make_parser();
+    Args a(words);
+    std::string err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err)) << err;
+    EXPECT_TRUE(p.given("jobs"));
+    EXPECT_EQ(p.integer("jobs", 0), 8);
+  }
+}
+
+TEST(ArgParser, OptionalValueWithAndWithout) {
+  ArgParser p = make_parser();
+  Args a({"prog", "--json"});
+  std::string err;
+  ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err));
+  EXPECT_TRUE(p.given("json"));
+  EXPECT_EQ(p.str("json"), "");
+
+  ArgParser q = make_parser();
+  Args b({"prog", "--json=out.json"});
+  ASSERT_TRUE(q.parse(b.argc(), b.argv(), &err));
+  EXPECT_EQ(q.str("json"), "out.json");
+}
+
+TEST(ArgParser, OptionalValueNeverSwallowsPositional) {
+  ArgParser p = make_parser();
+  Args a({"prog", "--json", "leftover"});
+  std::string err;
+  ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err));
+  EXPECT_EQ(p.str("json"), "");
+  ASSERT_EQ(p.positionals().size(), 1u);
+  EXPECT_EQ(p.positionals()[0], "leftover");
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser p = make_parser();
+  Args a({"prog", "--bogus"});
+  std::string err;
+  EXPECT_FALSE(p.parse(a.argc(), a.argv(), &err));
+  EXPECT_NE(err.find("--bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingRequiredValueFails) {
+  ArgParser p = make_parser();
+  Args a({"prog", "--jobs"});
+  std::string err;
+  EXPECT_FALSE(p.parse(a.argc(), a.argv(), &err));
+  EXPECT_NE(err.find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagRejectsValue) {
+  ArgParser p = make_parser();
+  Args a({"prog", "--list=yes"});
+  std::string err;
+  EXPECT_FALSE(p.parse(a.argc(), a.argv(), &err));
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser p = make_parser();
+  Args a({"prog", "--help", "--bogus"});
+  std::string err;
+  EXPECT_TRUE(p.parse(a.argc(), a.argv(), &err));
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(ArgParser, HelpTextListsEveryOption) {
+  ArgParser p = make_parser();
+  const std::string h = p.help();
+  EXPECT_NE(h.find("--list"), std::string::npos);
+  EXPECT_NE(h.find("--jobs <N>"), std::string::npos);
+  EXPECT_NE(h.find("--json[=PATH]"), std::string::npos);
+  EXPECT_NE(h.find("--help"), std::string::npos);
+  EXPECT_NE(h.find("(default: 0)"), std::string::npos);
+}
+
+TEST(ArgParser, MalformedIntegerDies) {
+  ArgParser p = make_parser();
+  Args a({"prog", "--jobs", "eight"});
+  std::string err;
+  ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err));
+  EXPECT_DEATH(p.integer("jobs", 0), "malformed integer");
+}
+
+}  // namespace
+}  // namespace armbar::runner

@@ -1,0 +1,132 @@
+// ResultCache: content-addressed memoization with on-disk persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "runner/cache.hpp"
+#include "runner/fingerprint.hpp"
+#include "sim/platform.hpp"
+
+namespace armbar::runner {
+namespace {
+
+// Fresh (empty) per-test directory: prior ctest invocations leave their
+// entries in TempDir, and a stale entry would turn a miss test into a hit.
+std::string temp_cache_dir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "armbar_cache_test_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+trace::Json value_of(double d) { return trace::Json(d); }
+
+TEST(ResultCache, DisabledWhenDirEmpty) {
+  ResultCache c("");
+  EXPECT_FALSE(c.enabled());
+  c.store("00", "desc", value_of(1));
+  EXPECT_FALSE(c.lookup("00").has_value());
+  EXPECT_EQ(c.stats().stores, 0u);
+}
+
+TEST(ResultCache, MissThenStoreThenHit) {
+  ResultCache c(temp_cache_dir("hit"));
+  const std::string key = "a3b1c2d3a3b1c2d3a3b1c2d3a3b1c2d3";
+  EXPECT_FALSE(c.lookup(key).has_value());
+  c.store(key, "the answer", value_of(42));
+  auto v = c.lookup(key);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->number(), 42);
+  const auto s = c.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(ResultCache, PersistsAcrossInstances) {
+  const std::string dir = temp_cache_dir("persist");
+  const std::string key = "00112233445566770011223344556677";
+  {
+    ResultCache c(dir);
+    c.store(key, "persisted", value_of(7.5));
+  }
+  ResultCache fresh(dir);
+  auto v = fresh.lookup(key);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->number(), 7.5);
+}
+
+TEST(ResultCache, CorruptEntryDegradesToMiss) {
+  const std::string dir = temp_cache_dir("corrupt");
+  const std::string key = "ffeeddccbbaa0099ffeeddccbbaa0099";
+  {
+    ResultCache c(dir);
+    c.store(key, "will be clobbered", value_of(1));
+  }
+  {
+    // Clobber the entry file with junk.
+    ResultCache locate(dir);
+    std::ofstream f(dir + "/" + key + ".json", std::ios::trunc);
+    f << "{not json";
+  }
+  ResultCache fresh(dir);
+  EXPECT_FALSE(fresh.lookup(key).has_value());
+}
+
+TEST(ResultCache, StaleEpochDegradesToMiss) {
+  const std::string dir = temp_cache_dir("epoch");
+  const std::string key = "12341234123412341234123412341234";
+  {
+    ResultCache c(dir);
+    c.store(key, "old epoch", value_of(9));
+  }
+  {
+    // Rewrite the entry claiming a pre-bump simulator epoch.
+    std::ofstream f(dir + "/" + key + ".json", std::ios::trunc);
+    f << "{\"schema\": \"" << kCacheEntrySchema
+      << "\", \"epoch\": \"armbar-sim/0-stale\", \"key\": \"" << key
+      << "\", \"desc\": \"stale\", \"value\": 9}\n";
+  }
+  ResultCache fresh(dir);
+  EXPECT_FALSE(fresh.lookup(key).has_value());
+}
+
+TEST(ResultCache, PlatformSpecChangeChangesTheKey) {
+  // The invalidation story end to end: a latency tweak produces a
+  // different content address, so the old entry is simply never found.
+  ResultCache c(temp_cache_dir("invalidate"));
+
+  const sim::PlatformSpec base = sim::kunpeng916();
+  Fingerprint k1;
+  k1.mix("point").mix(base);
+  c.store(k1.hex(), "base platform", value_of(100));
+
+  sim::PlatformSpec tweaked = base;
+  tweaked.lat.bus_sync += 50;
+  Fingerprint k2;
+  k2.mix("point").mix(tweaked);
+  ASSERT_NE(k1.hex(), k2.hex());
+  EXPECT_TRUE(c.lookup(k1.hex()).has_value());
+  EXPECT_FALSE(c.lookup(k2.hex()).has_value());
+}
+
+TEST(ResultCache, StructuredValuesRoundTrip) {
+  ResultCache c(temp_cache_dir("roundtrip"));
+  trace::Json v = trace::Json::object();
+  v.set("mps", 123.5);
+  v.set("ok", true);
+  const std::string key = "aaaabbbbccccddddaaaabbbbccccdddd";
+  c.store(key, "structured", v);
+
+  ResultCache fresh(c.dir());
+  auto got = fresh.lookup(key);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_NE(got->find("mps"), nullptr);
+  EXPECT_DOUBLE_EQ(got->find("mps")->number(), 123.5);
+  ASSERT_NE(got->find("ok"), nullptr);
+  EXPECT_TRUE(got->find("ok")->boolean());
+}
+
+}  // namespace
+}  // namespace armbar::runner

@@ -1,0 +1,237 @@
+// Engine: filter resolution, deterministic sweeps at any job count, cache
+// warm-up, repeat determinism, abort isolation, report assembly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include "runner/engine.hpp"
+#include "runner/experiment.hpp"
+
+namespace armbar::runner {
+namespace {
+
+// ---- bodies for the local registry (function pointers, no captures) ----
+
+std::atomic<int> g_beta_runs{0};
+
+void body_alpha_squares(ExperimentContext& ctx) {
+  // 16 cached points; sum of squares 0..15 = 1240.
+  auto vals = ctx.map(16, [&](std::size_t i) {
+    Fingerprint k = ExperimentContext::key();
+    k.mix("engine_test/alpha").mix(static_cast<std::uint64_t>(i));
+    return ctx
+        .cached(k, "square " + std::to_string(i),
+                [&] { return trace::Json(static_cast<double>(i * i)); })
+        .number();
+  });
+  double total = 0;
+  for (double v : vals) total += v;
+  ctx.metric("total", total);
+  ctx.param("points", "16");
+  ctx.check(total == 1240.0, "sum of squares is 1240");
+}
+
+void body_alpha_cubes(ExperimentContext& ctx) {
+  auto vals = ctx.map(8, [&](std::size_t i) {
+    Fingerprint k = ExperimentContext::key();
+    k.mix("engine_test/cubes").mix(static_cast<std::uint64_t>(i));
+    return ctx
+        .cached(k, "cube " + std::to_string(i),
+                [&] { return trace::Json(static_cast<double>(i * i * i)); })
+        .number();
+  });
+  ctx.check(vals[2] == 8.0, "2^3 == 8");
+}
+
+void body_beta_counts(ExperimentContext& ctx) {
+  g_beta_runs.fetch_add(1);
+  ctx.check(true, "beta ran");
+}
+
+void body_gamma_aborts(ExperimentContext& ctx) {
+  ctx.fatal("CHECKSUM FAILURE injected");
+}
+
+void body_delta_fails(ExperimentContext& ctx) {
+  ctx.check(false, "this claim is false");
+}
+
+Registry make_registry() {
+  Registry r;
+  r.add({"alpha_squares", "Test A1", "sums squares", &body_alpha_squares});
+  r.add({"alpha_cubes", "Test A2", "sums cubes", &body_alpha_cubes});
+  r.add({"beta_counts", "Test B", "counts runs", &body_beta_counts});
+  r.add({"gamma_aborts", "Test C", "always aborts", &body_gamma_aborts});
+  r.add({"delta_fails", "Test D", "fails a check", &body_delta_fails});
+  return r;
+}
+
+EngineOptions base_opts() {
+  EngineOptions o;
+  o.cache_enabled = false;  // most tests want pure recompute
+  o.jobs = 1;
+  return o;
+}
+
+TEST(Engine, FilterGlobSelectsAndSorts) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "alpha*";
+  auto res = Engine(r, o).run();
+  EXPECT_TRUE(res.ok);
+  ASSERT_EQ(res.outcomes.size(), 2u);
+  EXPECT_EQ(res.outcomes[0].name, "alpha_cubes");  // name order
+  EXPECT_EQ(res.outcomes[1].name, "alpha_squares");
+}
+
+TEST(Engine, CommaSeparatedFilter) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "beta*,alpha_squares";
+  auto res = Engine(r, o).run();
+  EXPECT_TRUE(res.ok);
+  ASSERT_EQ(res.outcomes.size(), 2u);
+  EXPECT_EQ(res.outcomes[0].name, "alpha_squares");
+  EXPECT_EQ(res.outcomes[1].name, "beta_counts");
+}
+
+TEST(Engine, EmptyMatchIsAFailure) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "nonexistent*";
+  auto res = Engine(r, o).run();
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.outcomes.empty());
+}
+
+TEST(Engine, ParallelAndSerialAreBitIdentical) {
+  // The determinism claim at the heart of the runner: jobs=1 and jobs=8
+  // produce the same per-experiment points digests and verdicts.
+  Registry r = make_registry();
+
+  EngineOptions serial = base_opts();
+  serial.filter = "alpha*";
+  auto res1 = Engine(r, serial).run();
+
+  EngineOptions parallel = base_opts();
+  parallel.filter = "alpha*";
+  parallel.jobs = 8;
+  auto res8 = Engine(r, parallel).run();
+
+  EXPECT_EQ(res8.jobs, 8u);
+  ASSERT_EQ(res1.outcomes.size(), res8.outcomes.size());
+  for (std::size_t i = 0; i < res1.outcomes.size(); ++i) {
+    EXPECT_EQ(res1.outcomes[i].name, res8.outcomes[i].name);
+    EXPECT_EQ(res1.outcomes[i].ok, res8.outcomes[i].ok);
+    EXPECT_EQ(res1.outcomes[i].points, res8.outcomes[i].points);
+    EXPECT_EQ(res1.outcomes[i].points_digest, res8.outcomes[i].points_digest)
+        << res1.outcomes[i].name;
+  }
+}
+
+TEST(Engine, RunTwiceDigestsStable) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "alpha_squares";
+  auto a = Engine(r, o).run();
+  auto b = Engine(r, o).run();
+  ASSERT_EQ(a.outcomes.size(), 1u);
+  ASSERT_EQ(b.outcomes.size(), 1u);
+  EXPECT_EQ(a.outcomes[0].points_digest, b.outcomes[0].points_digest);
+  EXPECT_NE(a.outcomes[0].points_digest, 0u);
+}
+
+TEST(Engine, RepeatRunsBodyNTimesAndStaysDeterministic) {
+  Registry r = make_registry();
+  g_beta_runs.store(0);
+  EngineOptions o = base_opts();
+  o.filter = "beta_counts";
+  o.repeat = 3;
+  auto res = Engine(r, o).run();
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(g_beta_runs.load(), 3);
+}
+
+TEST(Engine, ColdThenWarmCacheServesEveryPoint) {
+  Registry r = make_registry();
+  const std::string dir = ::testing::TempDir() + "armbar_engine_cache_squares";
+  std::filesystem::remove_all(dir);  // prior ctest runs leave entries behind
+
+  EngineOptions cold = base_opts();
+  cold.filter = "alpha_squares";
+  cold.cache_enabled = true;
+  cold.cache_dir = dir;
+  auto first = Engine(r, cold).run();
+  ASSERT_EQ(first.outcomes.size(), 1u);
+  EXPECT_EQ(first.outcomes[0].cache_hits, 0u);
+  EXPECT_EQ(first.cache_stats.stores, 16u);
+
+  auto second = Engine(r, cold).run();
+  ASSERT_EQ(second.outcomes.size(), 1u);
+  EXPECT_EQ(second.outcomes[0].cache_hits, 16u);
+  EXPECT_EQ(second.cache_stats.misses, 0u);
+  // Cached and recomputed sweeps digest identically.
+  EXPECT_EQ(first.outcomes[0].points_digest, second.outcomes[0].points_digest);
+}
+
+TEST(Engine, AbortIsolatesToOneExperiment) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "beta*,gamma*";
+  auto res = Engine(r, o).run();
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.outcomes.size(), 2u);
+  EXPECT_TRUE(res.outcomes[0].ok);  // beta_counts unaffected
+  EXPECT_FALSE(res.outcomes[1].ok);
+  EXPECT_TRUE(res.outcomes[1].aborted);
+}
+
+TEST(Engine, FailedCheckFailsTheRun) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "delta_fails";
+  auto res = Engine(r, o).run();
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.outcomes.size(), 1u);
+  EXPECT_FALSE(res.outcomes[0].ok);
+  EXPECT_FALSE(res.outcomes[0].aborted);
+}
+
+TEST(Engine, SingleMatchReportUsesExperimentName) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "alpha_squares";
+  auto res = Engine(r, o).run();
+  const trace::Json* bench = res.report.find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str(), "alpha_squares");
+}
+
+TEST(Engine, MultiMatchReportIsConsolidated) {
+  Registry r = make_registry();
+  EngineOptions o = base_opts();
+  o.filter = "alpha*";
+  auto res = Engine(r, o).run();
+  const trace::Json* bench = res.report.find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str(), "armbar-bench");
+  // Metric keys are prefixed by experiment name.
+  const std::string dump = res.report.dump(0);
+  EXPECT_NE(dump.find("alpha_squares/total"), std::string::npos);
+  EXPECT_NE(dump.find("alpha_squares: sum of squares is 1240"),
+            std::string::npos);
+}
+
+TEST(GlobalRegistry, MacroRegistrationIsVisible) {
+  // This test binary links armbar_runner but not the experiment objects;
+  // the global registry exists and is usable either way.
+  Registry& g = Registry::global();
+  auto all = g.sorted();
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+}  // namespace
+}  // namespace armbar::runner

@@ -1,0 +1,107 @@
+// Fingerprint: 128-bit content addressing of sweep-point inputs.
+#include <gtest/gtest.h>
+
+#include "runner/fingerprint.hpp"
+#include "sim/platform.hpp"
+#include "sim/program.hpp"
+
+namespace armbar::runner {
+namespace {
+
+TEST(Fingerprint, HexIs32CharsAndStable) {
+  Fingerprint a, b;
+  a.mix(std::uint64_t{42}).mix("hello");
+  b.mix(std::uint64_t{42}).mix("hello");
+  EXPECT_EQ(a.hex().size(), 32u);
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(Fingerprint, DifferentInputsDiffer) {
+  Fingerprint a, b, c;
+  a.mix(std::uint64_t{1});
+  b.mix(std::uint64_t{2});
+  c.mix(1.0);
+  EXPECT_NE(a.hex(), b.hex());
+  EXPECT_NE(a.hex(), c.hex());
+}
+
+TEST(Fingerprint, StringBoundariesMatter) {
+  // Length-prefixing keeps {"ab","c"} and {"a","bc"} apart.
+  Fingerprint a, b;
+  a.mix("ab").mix("c");
+  b.mix("a").mix("bc");
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(Fingerprint, OrderMatters) {
+  Fingerprint a, b;
+  a.mix(std::uint64_t{1}).mix(std::uint64_t{2});
+  b.mix(std::uint64_t{2}).mix(std::uint64_t{1});
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(Fingerprint, PlatformSpecCoversLatencyKnobs) {
+  const sim::PlatformSpec base = sim::kunpeng916();
+
+  Fingerprint fp_base;
+  fp_base.mix(base);
+
+  // Any latency knob change must change the key (cache invalidation on
+  // platform edits).
+  sim::PlatformSpec tweaked = base;
+  tweaked.lat.bus_sync += 1;
+  Fingerprint fp_lat;
+  fp_lat.mix(tweaked);
+  EXPECT_NE(fp_base.hex(), fp_lat.hex());
+
+  sim::PlatformSpec mca = base;
+  mca.mca = !mca.mca;
+  Fingerprint fp_mca;
+  fp_mca.mix(mca);
+  EXPECT_NE(fp_base.hex(), fp_mca.hex());
+
+  sim::PlatformSpec sb = base;
+  sb.lat.sb_entries += 8;
+  Fingerprint fp_sb;
+  fp_sb.mix(sb);
+  EXPECT_NE(fp_base.hex(), fp_sb.hex());
+
+  // And a same-valued copy keys identically.
+  Fingerprint fp_copy;
+  fp_copy.mix(sim::kunpeng916());
+  EXPECT_EQ(fp_base.hex(), fp_copy.hex());
+}
+
+TEST(Fingerprint, ProgramCodeCoversInstructionFields) {
+  auto build = [](std::uint32_t imm) {
+    sim::Asm a;
+    a.movi(sim::X0, imm);
+    a.halt();
+    return a.take("t");
+  };
+  const sim::Program p1 = build(1), p2 = build(2), p1b = build(1);
+  Fingerprint f1, f2, f1b;
+  f1.mix(p1);
+  f2.mix(p2);
+  f1b.mix(p1b);
+  EXPECT_NE(f1.hex(), f2.hex());
+  EXPECT_EQ(f1.hex(), f1b.hex());
+}
+
+TEST(Fingerprint, ProgramNameIsNotPartOfTheKey) {
+  // Two identical instruction streams with different display names must
+  // cache-hit each other: the name is presentation, not an input.
+  auto build = [](const char* name) {
+    sim::Asm a;
+    a.movi(sim::X0, 7);
+    a.halt();
+    return a.take(name);
+  };
+  Fingerprint f1, f2;
+  f1.mix(build("alpha"));
+  f2.mix(build("beta"));
+  EXPECT_EQ(f1.hex(), f2.hex());
+}
+
+}  // namespace
+}  // namespace armbar::runner

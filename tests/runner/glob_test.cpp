@@ -1,0 +1,54 @@
+// Shell-style glob matching behind --filter.
+#include <gtest/gtest.h>
+
+#include "runner/glob.hpp"
+
+namespace armbar::runner {
+namespace {
+
+TEST(Glob, LiteralAndEmpty) {
+  EXPECT_TRUE(glob_match("fig3_store_store", "fig3_store_store"));
+  EXPECT_FALSE(glob_match("fig3_store_store", "fig3_store"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Glob, Star) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("fig3*", "fig3_store_store"));
+  EXPECT_FALSE(glob_match("fig3*", "fig5_load_store"));
+  EXPECT_TRUE(glob_match("*store", "fig3_store_store"));
+  EXPECT_TRUE(glob_match("fig*store*", "fig3_store_store"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXcYYb"));
+}
+
+TEST(Glob, QuestionMark) {
+  EXPECT_TRUE(glob_match("fig?_ticket", "fig7_ticket"));
+  EXPECT_FALSE(glob_match("fig?_ticket", "fig70_ticket"));
+  EXPECT_TRUE(glob_match("table?_*", "table1_litmus"));
+  EXPECT_FALSE(glob_match("?", ""));
+}
+
+TEST(Glob, BacktrackingStar) {
+  // The iterative matcher must retry the star when a later literal fails.
+  EXPECT_TRUE(glob_match("*ab", "aab"));
+  EXPECT_TRUE(glob_match("*aab", "aaab"));
+  EXPECT_FALSE(glob_match("*aab", "aba"));
+}
+
+TEST(GlobAny, CommaSeparatedList) {
+  EXPECT_TRUE(glob_match_any("fig3*,fig5*", "fig5_load_store"));
+  EXPECT_TRUE(glob_match_any("fig3*,fig5*", "fig3_store_store"));
+  EXPECT_FALSE(glob_match_any("fig3*,fig5*", "fig7a_ticket"));
+  EXPECT_TRUE(glob_match_any("table?_*,abl*", "ablation_extensions"));
+}
+
+TEST(GlobAny, EmptyListMatchesNothing) {
+  EXPECT_FALSE(glob_match_any("", "anything"));
+  EXPECT_FALSE(glob_match_any("", ""));
+}
+
+}  // namespace
+}  // namespace armbar::runner

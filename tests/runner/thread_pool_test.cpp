@@ -1,0 +1,79 @@
+// Work-stealing pool: results land in index order, exceptions propagate,
+// nothing is lost or run twice.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+
+namespace armbar::runner {
+namespace {
+
+TEST(ThreadPool, HardwareJobsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+TEST(ThreadPool, SpawnsAtLeastOneWorker) {
+  ThreadPool p(0);
+  EXPECT_GE(p.size(), 1u);
+}
+
+TEST(ThreadPool, ResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const std::size_t n = 500;
+  std::vector<std::size_t> out(n, 0);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = i * 2 + 1; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * 2 + 1);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> counts(n);
+  pool.parallel_for(n, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 5; ++round)
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> ran{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 17) throw std::runtime_error("boom at 17");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  // Remaining tasks still complete (the pool drains before rethrowing).
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ThreadPool, LargeFanOutSumsCorrectly) {
+  ThreadPool pool(4);
+  const std::size_t n = 2048;
+  std::vector<std::uint64_t> out(n);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = i; });
+  const std::uint64_t sum = std::accumulate(out.begin(), out.end(), 0ull);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace armbar::runner

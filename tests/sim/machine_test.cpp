@@ -126,6 +126,119 @@ TEST(Machine, ThroughputHelper) {
   EXPECT_DOUBLE_EQ(RunResult::throughput_per_sec(100, 0, 2.0), 0.0);
 }
 
+TEST(Machine, ThroughputScalesBeforeDividing) {
+  // Pinned against the scale-then-divide formula: dividing events/cycles
+  // first rounds the quotient to a double ULP and the low digits never
+  // come back once multiplied by ~1e9.
+  EXPECT_DOUBLE_EQ(RunResult::throughput_per_sec(7, 3, 2.4),
+                   7.0 * 2.4e9 / 3.0);
+  EXPECT_DOUBLE_EQ(RunResult::throughput_per_sec(1, 3, 1.0), 1e9 / 3.0);
+  // A case where the two orderings genuinely differ in the last bits.
+  const std::uint64_t events = 999'999'937;  // prime
+  const Cycle cycles = 1'000'003;
+  const double scaled_first =
+      static_cast<double>(events) * 2.4e9 / static_cast<double>(cycles);
+  EXPECT_DOUBLE_EQ(RunResult::throughput_per_sec(events, cycles, 2.4),
+                   scaled_first);
+}
+
+TEST(Machine, RunConfigMatchesLegacyOverload) {
+  auto build = [] {
+    Asm a;
+    a.movi(X0, 0x2000).movi(X2, 0);
+    a.label("loop");
+    a.str(X2, X0, 0);
+    a.dmb_full();
+    a.addi(X2, X2, 1);
+    a.cmpi(X2, 50);
+    a.blt("loop");
+    a.halt();
+    return a.take("t");
+  };
+  Program p1 = build(), p2 = build();
+
+  Machine legacy(kunpeng916(), 1u << 20);
+  legacy.load_program(0, &p1);
+  auto r_legacy = legacy.run(10'000'000);
+
+  Machine cfgd(kunpeng916(), 1u << 20);
+  cfgd.load_program(0, &p2);
+  RunConfig cfg;
+  cfg.max_cycles = 10'000'000;
+  auto r_cfg = cfgd.run(cfg);
+
+  ASSERT_TRUE(r_legacy.completed);
+  ASSERT_TRUE(r_cfg.completed);
+  EXPECT_EQ(r_legacy.cycles, r_cfg.cycles);
+  EXPECT_EQ(r_legacy.cores[0].instructions, r_cfg.cores[0].instructions);
+  EXPECT_EQ(r_legacy.cores[0].barriers, r_cfg.cores[0].barriers);
+}
+
+TEST(Machine, RunConfigMaxCyclesTruncates) {
+  Asm a;
+  a.movi(X0, 0);
+  a.label("forever");
+  a.addi(X0, X0, 1);
+  a.b("forever");
+  Program p = a.take("spin");
+  Machine m(rpi4(), 1u << 20);
+  m.load_program(0, &p);
+  RunConfig cfg;
+  cfg.max_cycles = 5000;
+  auto r = m.run(cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LE(r.cycles, cfg.max_cycles);
+}
+
+TEST(Machine, RunConfigAttachesTracer) {
+  // RunConfig.tracer routes through Machine::set_tracer (the single attach
+  // point — Core/MemorySystem setters are private); timing is unaffected.
+  auto build = [] {
+    Asm a;
+    a.movi(X0, 0x3000);
+    a.str(X0, X0, 0);
+    a.dmb_full();
+    a.halt();
+    return a.take("t");
+  };
+  Program p1 = build(), p2 = build();
+
+  Machine plain(kunpeng916(), 1u << 20);
+  plain.load_program(0, &p1);
+  auto r_plain = plain.run();
+
+  trace::Tracer tracer(4096);
+  Machine traced(kunpeng916(), 1u << 20);
+  traced.load_program(0, &p2);
+  RunConfig cfg;
+  cfg.tracer = &tracer;
+  auto r_traced = traced.run(cfg);
+
+  ASSERT_TRUE(r_traced.completed);
+  EXPECT_GT(tracer.emitted(), 0u);
+  EXPECT_EQ(r_plain.cycles, r_traced.cycles);  // recording, not perturbing
+}
+
+TEST(Machine, RunConfigStatsResetBeforeRun) {
+  // kResetBeforeRun zeroes the counters at run start, so pre-run stats
+  // poking (warm-up accounting) does not leak into the measured window.
+  Asm a;
+  a.movi(X0, 0x4000);
+  a.str(X0, X0, 0);
+  a.halt();
+  Program p = a.take("t");
+
+  Machine m(rpi4(), 1u << 20);
+  m.load_program(0, &p);
+  m.mem().poke(0x4000, 1);  // generates no stats, but exercise the path
+  RunConfig cfg;
+  cfg.stats = RunConfig::Stats::kResetBeforeRun;
+  auto r = m.run(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.cores[0].stores, 1u);
+  EXPECT_GE(r.cores[0].instructions, 3u);
+}
+
 TEST(Machine, SixtyFourCoresAllRun) {
   Machine m(kunpeng916(), 16u << 20);
   Asm a;
