@@ -9,7 +9,12 @@
 #     report_check;
 #   * the legacy per-figure wrapper path (fig3 --json --trace) including
 #     the >= 3 latency-histogram gate;
-#   * trace_explorer's span-accounting self-check.
+#   * trace_explorer's span-accounting self-check;
+#   * a fault-injected consolidated run (--fault-seed) whose report must
+#     still validate, carry per-experiment status params and an (empty)
+#     quarantine array;
+#   * an ASan+UBSan build running the full test suite — including the
+#     fault-injected litmus sweep — plus a faulted armbar-bench smoke.
 #
 #   $ scripts/ci.sh [build-dir]
 set -euo pipefail
@@ -83,5 +88,37 @@ echo "report carries $HISTS histogram metrics"
 
 echo "== trace_explorer self-check =="
 "$BUILD/examples/trace_explorer" > /dev/null
+
+echo "== fault-injected run (--fault-seed 7, schema gate) =="
+# Fault plans perturb timing inside the architectural envelope, so every
+# check still passes; the report must validate under the v1 schema with the
+# robustness fields present (per-experiment status, empty quarantine).
+"$BENCH" --filter 'table1*' --jobs "$(nproc)" --no-cache \
+    --fault-seed 7 --verify-every 4096 \
+    --json="$SMOKE_DIR/armbar-bench.fault.report.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/armbar-bench.fault.report.json"
+python3 - "$SMOKE_DIR/armbar-bench.fault.report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "quarantine" in doc, "report missing quarantine array"
+assert doc["quarantine"] == [], "healthy faulted run quarantined something"
+statuses = {k: v for k, v in doc["params"].items() if k.endswith("status")}
+assert statuses, "report missing per-experiment status params"
+assert all(v == "ok" for v in statuses.values()), statuses
+print(f"fault-injected report OK ({len(statuses)} experiments, all ok)")
+EOF
+
+echo "== ASan+UBSan build (${BUILD}-asan) =="
+ASAN_BUILD="${BUILD}-asan"
+cmake -B "$ASAN_BUILD" -S . -DARMBAR_SANITIZE=ON > /dev/null
+
+cmake --build "$ASAN_BUILD" -j"$(nproc)"
+
+echo "== ASan+UBSan tests (tier-1 + fault-injected litmus sweep) =="
+ctest --test-dir "$ASAN_BUILD" --output-on-failure -j"$(nproc)"
+
+echo "== ASan+UBSan armbar-bench fault smoke =="
+"$ASAN_BUILD/bench/armbar-bench" --filter 'table1*' --jobs "$(nproc)" \
+    --no-cache --fault-seed 3 > /dev/null
 
 echo "CI OK"

@@ -1,19 +1,84 @@
 // Internal invariant checking. ARMBAR_CHECK stays on in release builds:
 // the simulator's correctness is the product, so we never silently continue
 // past a broken invariant.
+//
+// Failure routing is pluggable: by default a failed check prints and
+// aborts (a broken invariant in a standalone tool has nowhere to go), but a
+// harness that wants to survive one bad experiment — the runner engine —
+// can install a handler that converts the failure into a C++ exception
+// (CheckFailure) captured per experiment. The handler is process-global and
+// a plain function pointer, so installation is async-signal-trivial and the
+// header-only armbar_common library stays header-only (C++17 inline
+// variable). If a handler returns instead of throwing, abort() still runs:
+// a failed check can never fall through into the code it guards.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
-namespace armbar::detail {
+namespace armbar {
+
+/// Thrown by throw_check_failure() (the handler the runner installs).
+/// what() carries the full "cond at file:line — msg" rendering.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A check-failure handler: called after the diagnostic is printed, before
+/// the abort() backstop. May throw to take over unwinding; returning means
+/// "decline" and the process aborts as if no handler were installed.
+using CheckFailHandler = void (*)(const char* cond, const char* file, int line,
+                                  const char* msg);
+
+namespace detail {
+inline std::atomic<CheckFailHandler> g_check_fail_handler{nullptr};
+
+inline std::string check_fail_message(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::string s = "ARMBAR_CHECK failed: ";
+  s += cond;
+  s += " at ";
+  s += file;
+  s += ":";
+  s += std::to_string(line);
+  if (msg[0] != '\0') {
+    s += " — ";
+    s += msg;
+  }
+  return s;
+}
+
 [[noreturn]] inline void check_fail(const char* cond, const char* file, int line,
                                     const char* msg) {
   std::fprintf(stderr, "ARMBAR_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
                msg[0] ? " — " : "", msg);
+  if (CheckFailHandler h = g_check_fail_handler.load(std::memory_order_acquire);
+      h != nullptr)
+    h(cond, file, line, msg);  // may throw; returning falls through to abort
   std::abort();
 }
-}  // namespace armbar::detail
+}  // namespace detail
+
+/// Install `h` as the process-wide check-failure handler (nullptr restores
+/// the default abort). Returns the previously installed handler so scoped
+/// users can restore it.
+inline CheckFailHandler set_check_fail_handler(CheckFailHandler h) {
+  return detail::g_check_fail_handler.exchange(h, std::memory_order_acq_rel);
+}
+
+/// Ready-made handler: converts the failure into a CheckFailure exception.
+/// The runner installs this for the duration of an experiment sweep so one
+/// tripped invariant fails that experiment instead of the whole process.
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const char* msg) {
+  throw CheckFailure(detail::check_fail_message(cond, file, line, msg));
+}
+
+}  // namespace armbar
 
 #define ARMBAR_CHECK(cond)                                                     \
   do {                                                                         \

@@ -44,7 +44,11 @@ LitmusReport run_litmus(const Litmus& test, const LitmusConfig& cfg) {
     for (std::size_t t = 0; t < nthreads; ++t)
       m.load_program(cfg.binding[t], &progs[t]);
 
-    auto r = m.run(RunConfig{.max_cycles = cfg.max_cycles});
+    RunConfig rc;
+    rc.max_cycles = cfg.max_cycles;
+    if (cfg.fault.enabled()) rc.fault = &cfg.fault;
+    rc.verify_every = cfg.verify_every;
+    auto r = m.run(rc);
     ARMBAR_CHECK_MSG(r.completed, "litmus run timed out");
 
     Outcome o;

@@ -75,6 +75,12 @@ struct LitmusConfig {
   std::uint32_t skew_step = 16;
   bool tso = false;
   Cycle max_cycles = 10'000'000;
+  /// Fault-injection plan applied to every run of the sweep (disabled by
+  /// default). Faults perturb timing only, so the set of *allowed* outcomes
+  /// is unchanged — the fault suite asserts exactly that.
+  sim::fault::FaultPlan fault{};
+  /// Run the MachineVerifier every N cycles of every run (0 = off).
+  Cycle verify_every = 0;
 };
 
 /// Run the litmus test over the full skew sweep; aborts on timeout.

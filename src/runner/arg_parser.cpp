@@ -1,6 +1,7 @@
 #include "runner/arg_parser.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -28,6 +29,16 @@ void ArgParser::add_optional_value(const std::string& name,
                                    const std::string& def) {
   ARMBAR_CHECK_MSG(find(name) == nullptr, "duplicate option");
   opts_.push_back({name, value_name, help, def, Kind::kOptionalValue, false, def});
+}
+
+void ArgParser::add_int(const std::string& name, const std::string& value_name,
+                        const std::string& help, std::int64_t def,
+                        std::int64_t min, std::int64_t max) {
+  ARMBAR_CHECK_MSG(find(name) == nullptr, "duplicate option");
+  ARMBAR_CHECK_MSG(min <= def && def <= max, "default outside [min, max]");
+  Opt o{name, value_name, help, std::to_string(def), Kind::kInt, false, "",
+        def, min, max};
+  opts_.push_back(std::move(o));
 }
 
 ArgParser::Opt* ArgParser::find(const std::string& name) {
@@ -78,6 +89,7 @@ bool ArgParser::parse(int argc, char** argv, std::string* err) {
         o->value = "";  // present without a value
         break;
       case Kind::kValue:
+      case Kind::kInt:
         if (i + 1 >= argc) {
           if (err) *err = "option '--" + name + "' requires a value";
           return false;
@@ -85,6 +97,28 @@ bool ArgParser::parse(int argc, char** argv, std::string* err) {
         o->value = argv[++i];
         break;
     }
+  }
+  // Validate every integer option up front so `--jobs=abc` or an overflow
+  // is a clean parse error, not an abort (or garbage) at first access.
+  for (Opt& o : opts_) {
+    if (o.kind != Kind::kInt || !o.given) continue;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(o.value.c_str(), &end, 10);
+    if (o.value.empty() || end == o.value.c_str() || *end != '\0') {
+      if (err)
+        *err = "option '--" + o.name + "' expects an integer, got '" +
+               o.value + "'";
+      return false;
+    }
+    if (errno == ERANGE || v < o.imin || v > o.imax) {
+      if (err)
+        *err = "option '--" + o.name + "' value " + o.value +
+               " out of range [" + std::to_string(o.imin) + ", " +
+               std::to_string(o.imax) + "]";
+      return false;
+    }
+    o.ival = v;
   }
   return true;
 }
@@ -104,6 +138,7 @@ const std::string& ArgParser::str(const std::string& name) const {
 std::int64_t ArgParser::integer(const std::string& name, std::int64_t def) const {
   const Opt* o = find(name);
   ARMBAR_CHECK_MSG(o != nullptr, "querying unregistered option");
+  if (o->kind == Kind::kInt) return o->ival;  // validated by parse()
   if (!o->given || o->value.empty()) return def;
   char* end = nullptr;
   const long long v = std::strtoll(o->value.c_str(), &end, 10);
@@ -121,7 +156,8 @@ std::string ArgParser::help() const {
   auto lhs = [](const Opt& o) {
     switch (o.kind) {
       case Kind::kFlag: return "--" + o.name;
-      case Kind::kValue: return "--" + o.name + " <" + o.value_name + ">";
+      case Kind::kValue:
+      case Kind::kInt: return "--" + o.name + " <" + o.value_name + ">";
       case Kind::kOptionalValue: return "--" + o.name + "[=" + o.value_name + "]";
     }
     return std::string{};

@@ -1,11 +1,13 @@
 #include "runner/cli.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "runner/arg_parser.hpp"
 #include "runner/engine.hpp"
 #include "runner/experiment.hpp"
+#include "sim/fault/fault.hpp"
 
 namespace armbar::runner {
 namespace {
@@ -34,10 +36,27 @@ int cli_main(int argc, char** argv, const char* forced_experiment) {
     args.add_value("filter", "GLOB",
                    "comma-separated glob list over experiment names", "*");
   }
-  args.add_value("jobs", "N",
-                 "max parallel sweep points (0 = hardware threads)", "0");
-  args.add_value("repeat", "N",
-                 "run each experiment N times and check determinism", "1");
+  args.add_int("jobs", "N", "max parallel sweep points (0 = hardware threads)",
+               0, 0, 4096);
+  args.add_int("repeat", "N",
+               "run each experiment N times and check determinism", 1, 1,
+               1000000);
+  args.add_int("timeout-ms", "MS",
+               "per-experiment wall-clock budget; a run past it is recorded "
+               "as failed/timeout (0 = unlimited)",
+               0, 0, std::numeric_limits<std::int64_t>::max() / 2);
+  args.add_int("retries", "N",
+               "re-run a timed-out or errored experiment up to N times with "
+               "exponential backoff",
+               0, 0, 16);
+  args.add_int("fault-seed", "SEED",
+               "inject seeded timing faults (chaos plan) into every "
+               "simulation; 0 = off",
+               0, 0, std::numeric_limits<std::int64_t>::max());
+  args.add_int("verify-every", "CYCLES",
+               "run the machine invariant verifier every N simulated cycles "
+               "(0 = off)",
+               0, 0, std::numeric_limits<std::int64_t>::max());
   args.add_optional_value("json", "PATH",
                           "write an armbar.bench.report/v1 document "
                           "(default path: <bench>.report.json)");
@@ -74,6 +93,12 @@ int cli_main(int argc, char** argv, const char* forced_experiment) {
   opts.filter = forced ? std::string(forced_experiment) : args.str("filter");
   opts.jobs = static_cast<std::size_t>(args.integer("jobs", 0));
   opts.repeat = static_cast<std::uint32_t>(args.integer("repeat", 1));
+  opts.timeout_ms = args.integer("timeout-ms");
+  opts.retries = static_cast<std::uint32_t>(args.integer("retries"));
+  if (const std::int64_t seed = args.integer("fault-seed"); seed != 0)
+    opts.fault = sim::fault::FaultPlan::chaos(static_cast<std::uint64_t>(seed));
+  opts.verify_every =
+      static_cast<std::uint64_t>(args.integer("verify-every"));
   opts.cache_enabled = !args.given("no-cache");
   opts.cache_dir = args.str("cache-dir");
   opts.collect_metrics = args.given("json") || args.given("trace");
@@ -98,6 +123,7 @@ int cli_main(int argc, char** argv, const char* forced_experiment) {
       std::fprintf(stderr, "%s: failed to write report '%s'\n", prog.c_str(),
                    path.c_str());
   }
+  if (result.interrupted) return 130;  // conventional SIGINT exit status
   return result.ok && io_ok ? 0 : 1;
 }
 

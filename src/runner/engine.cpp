@@ -1,16 +1,68 @@
 #include "runner/engine.hpp"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
+#include "common/check.hpp"
 #include "sim/isa.hpp"
+#include "sim/verify.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/json_report.hpp"
 #include "trace/trace.hpp"
 
 namespace armbar::runner {
 namespace {
+
+// SIGINT latch: the handler may only touch a sig_atomic_t. Experiments poll
+// it at every cached() point, so one ^C stops new work quickly while the
+// engine still assembles and flushes a partial report.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void engine_sigint_handler(int) { g_interrupted = 1; }
+
+/// Scoped installation of the engine's process-global degradation hooks:
+/// ARMBAR_CHECK failures throw (instead of aborting the whole sweep), the
+/// fault plan and verifier cadence reach every Machine::run, and SIGINT is
+/// latched. Everything is restored on scope exit so tests can nest runs.
+class DegradationScope {
+ public:
+  DegradationScope(const EngineOptions& opts)
+      : prev_handler_(set_check_fail_handler(&throw_check_failure)),
+        prev_verify_(sim::global_verify_every()),
+        fault_installed_(opts.fault.enabled()),
+        sigint_installed_(opts.handle_sigint) {
+    sim::set_global_verify_every(opts.verify_every);
+    if (fault_installed_) sim::fault::set_global_fault_plan(opts.fault);
+    if (sigint_installed_) {
+      g_interrupted = 0;
+      prev_sigint_ = std::signal(SIGINT, &engine_sigint_handler);
+    }
+  }
+  ~DegradationScope() {
+    if (sigint_installed_ && prev_sigint_ != SIG_ERR)
+      std::signal(SIGINT, prev_sigint_);
+    if (fault_installed_) sim::fault::clear_global_fault_plan();
+    sim::set_global_verify_every(prev_verify_);
+    set_check_fail_handler(prev_handler_);
+  }
+
+ private:
+  CheckFailHandler prev_handler_;
+  std::uint64_t prev_verify_;
+  bool fault_installed_;
+  bool sigint_installed_;
+  void (*prev_sigint_)(int) = SIG_ERR;
+};
+
+/// One attempt's abnormal-termination record (empty kind = clean).
+struct Failure {
+  std::string kind;
+  std::string reason;
+  trace::Json diagnostic;
+};
 
 // Same banner the standalone benches printed, so migrated experiments keep
 // their stdout shape.
@@ -70,55 +122,124 @@ EngineResult Engine::run() {
     report.add_param("cache", cache.enabled() ? opts_.cache_dir : "off");
   }
 
+  DegradationScope degradation(opts_);
+  if (opts_.fault.enabled())
+    std::printf("fault injection: %s\n\n", opts_.fault.describe().c_str());
+
   bool all_ok = true;
   bool io_ok = true;
   for (const ExperimentSpec* spec : matched) {
+    if (g_interrupted != 0) {
+      // SIGINT already observed: don't start more work, but keep the
+      // experiment visible in the report as explicitly skipped.
+      ExperimentOutcome out;
+      out.name = spec->name;
+      out.ok = false;
+      out.status = "skipped";
+      out.kind = "skipped";
+      out.reason = "not started: run interrupted";
+      out.attempts = 0;
+      all_ok = false;
+      const std::string kp = single ? "" : spec->name + "/";
+      report.add_param(kp + "status", out.status);
+      report.add_quarantine(out.name, out.status, out.kind, out.reason);
+      result.outcomes.push_back(std::move(out));
+      continue;
+    }
     banner(spec->figure, spec->title);
 
     std::unique_ptr<trace::MetricsRegistry> metrics;
     std::unique_ptr<trace::Tracer> tracer;
     std::unique_ptr<ExperimentContext> ctx;
-    std::uint64_t first_digest = 0;
     bool deterministic = true;
     bool aborted = false;
+    Failure failure;
+    std::uint32_t attempts = 0;
 
     const auto t0 = std::chrono::steady_clock::now();
     const std::uint32_t reps = opts_.repeat == 0 ? 1 : opts_.repeat;
-    for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      metrics = std::make_unique<trace::MetricsRegistry>();
-      if (opts_.trace) {
-        tracer = std::make_unique<trace::Tracer>();
-        tracer->set_metrics(metrics.get());
+    for (std::uint32_t attempt = 0; attempt <= opts_.retries; ++attempt) {
+      if (attempt > 0) {
+        // Exponential backoff: 50ms, 100ms, 200ms, ... Lets transient host
+        // pressure (the usual cause of a timeout) clear before retrying.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50)
+                                    * (1u << (attempt - 1)));
+        std::printf("\n-- retry %u/%u: %s (%s) --\n", attempt, opts_.retries,
+                    spec->name.c_str(), failure.kind.c_str());
       }
-      ExperimentContext::Hooks hooks;
-      hooks.pool = pool.get();
-      hooks.cache = &cache;
-      hooks.tracer = tracer.get();
-      hooks.metrics = metrics.get();
-      hooks.jobs = jobs;
-      hooks.collect_metrics = opts_.collect_metrics;
-      ctx = std::make_unique<ExperimentContext>(*spec, hooks);
+      ++attempts;
+      failure = Failure{};
+      aborted = false;
+      deterministic = true;
+      std::uint64_t first_digest = 0;
 
-      if (rep > 0)
-        std::printf("\n-- repetition %u/%u: %s --\n", rep + 1, reps,
-                    spec->name.c_str());
-      try {
-        spec->body(*ctx);
-      } catch (const ExperimentAbort&) {
-        aborted = true;  // ctx.fatal() already recorded the failed check
+      for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        metrics = std::make_unique<trace::MetricsRegistry>();
+        if (opts_.trace) {
+          tracer = std::make_unique<trace::Tracer>();
+          tracer->set_metrics(metrics.get());
+        }
+        ExperimentContext::Hooks hooks;
+        hooks.pool = pool.get();
+        hooks.cache = &cache;
+        hooks.tracer = tracer.get();
+        hooks.metrics = metrics.get();
+        hooks.jobs = jobs;
+        hooks.collect_metrics = opts_.collect_metrics;
+        if (opts_.timeout_ms > 0) {
+          hooks.has_deadline = true;
+          hooks.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(opts_.timeout_ms);
+        }
+        hooks.interrupted = &g_interrupted;
+        ctx = std::make_unique<ExperimentContext>(*spec, hooks);
+
+        if (rep > 0)
+          std::printf("\n-- repetition %u/%u: %s --\n", rep + 1, reps,
+                      spec->name.c_str());
+        try {
+          spec->body(*ctx);
+        } catch (const ExperimentAbort&) {
+          aborted = true;  // ctx.fatal() already recorded the failed check
+        } catch (const ExperimentTimeout& e) {
+          failure = {"timeout", e.reason, trace::Json()};
+        } catch (const ExperimentInterrupted&) {
+          failure = {"interrupted", "run interrupted (SIGINT)", trace::Json()};
+        } catch (const sim::SimError& e) {
+          // SimHang / InvariantViolation: kind travels in the diagnostic.
+          failure = {e.diagnostic().kind, e.diagnostic().summary,
+                     e.diagnostic().to_json()};
+          std::printf("%s\n", e.diagnostic().str().c_str());
+        } catch (const CheckFailure& e) {
+          failure = {"check_failed", e.what(), trace::Json()};
+        } catch (const std::exception& e) {
+          failure = {"error", e.what(), trace::Json()};
+        } catch (...) {
+          failure = {"error", "unknown exception", trace::Json()};
+        }
+        if (aborted || !failure.kind.empty()) break;
+        if (rep == 0)
+          first_digest = ctx->points_digest();
+        else if (ctx->points_digest() != first_digest)
+          deterministic = false;
       }
-      if (rep == 0)
-        first_digest = ctx->points_digest();
-      else if (ctx->points_digest() != first_digest)
-        deterministic = false;
-      if (aborted) break;
+
+      // Only a timeout or a generic error is plausibly transient. A hang,
+      // an invariant violation, a tripped check or an interrupt is
+      // deterministic (or deliberate) — retrying would just repeat it.
+      const bool retryable =
+          failure.kind == "timeout" || failure.kind == "error";
+      if (failure.kind.empty() || !retryable) break;
+      if (failure.kind != "interrupted")
+        std::printf("  experiment %s: %s (%s)\n", spec->name.c_str(),
+                    failure.kind.c_str(), failure.reason.c_str());
     }
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
 
-    if (reps > 1 && !aborted)
+    if (reps > 1 && !aborted && failure.kind.empty())
       ctx->check(deterministic,
                  "repetitions deterministic (points digest stable across " +
                      std::to_string(reps) + " runs)");
@@ -126,12 +247,21 @@ EngineResult Engine::run() {
     ExperimentOutcome out;
     out.name = spec->name;
     out.aborted = aborted;
-    out.ok = !aborted && ctx->all_checks_passed();
+    out.ok = !aborted && failure.kind.empty() && ctx->all_checks_passed();
     out.points = ctx->points();
     out.cache_hits = ctx->point_hits();
     out.points_digest = ctx->points_digest();
     out.wall_ms = wall_ms;
+    out.status = out.ok ? "ok" : "failed";
+    out.kind = failure.kind;
+    out.reason = failure.reason;
+    out.diagnostic = failure.diagnostic;
+    out.attempts = attempts;
     all_ok = all_ok && out.ok;
+    if (!failure.kind.empty())
+      std::printf("\n  experiment %s FAILED: %s (%s, %u attempt%s)\n",
+                  spec->name.c_str(), failure.kind.c_str(),
+                  failure.reason.c_str(), attempts, attempts == 1 ? "" : "s");
 
     // Fold this experiment into the consolidated report. Single-match runs
     // keep the old unprefixed keys for byte-compatibility with the legacy
@@ -144,6 +274,10 @@ EngineResult Engine::run() {
     for (const auto& [name, value] : ctx->metrics_recorded())
       report.add_metric(kp + name, value);
     report.add_param(kp + "points_digest", hex16(ctx->points_digest()));
+    report.add_param(kp + "status", out.status);
+    if (!out.kind.empty())
+      report.add_quarantine(out.name, out.status, out.kind, out.reason,
+                            out.diagnostic);
     report.add_metric(kp + "wall_ms", wall_ms);
     report.add_metric(kp + "sim_points", static_cast<double>(out.points));
     report.add_metric(kp + "cache_point_hits",
@@ -183,11 +317,13 @@ EngineResult Engine::run() {
   if (!single) {
     std::printf("\n===================== armbar-bench summary ====================\n");
     for (const auto& out : result.outcomes)
-      std::printf("  %-26s %-4s  points %5llu (hits %5llu)  %8.1f ms\n",
-                  out.name.c_str(), out.ok ? "ok" : "FAIL",
+      std::printf("  %-26s %-8s  points %5llu (hits %5llu)  %8.1f ms%s%s\n",
+                  out.name.c_str(),
+                  out.ok ? "ok" : out.status == "skipped" ? "SKIPPED" : "FAIL",
                   static_cast<unsigned long long>(out.points),
                   static_cast<unsigned long long>(out.cache_hits),
-                  out.wall_ms);
+                  out.wall_ms, out.kind.empty() ? "" : "  ",
+                  out.kind.c_str());
   }
   result.cache_stats = cache.stats();
   if (cache.enabled())
@@ -197,6 +333,10 @@ EngineResult Engine::run() {
                 static_cast<unsigned long long>(result.cache_stats.stores),
                 opts_.cache_dir.c_str());
 
+  result.interrupted = g_interrupted != 0;
+  if (result.interrupted)
+    std::printf("\ninterrupted: partial report (remaining experiments "
+                "skipped)\n");
   report.set_ok(all_ok);
   result.report = report.build();
   result.ok = all_ok && io_ok;

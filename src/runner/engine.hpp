@@ -17,6 +17,7 @@
 
 #include "runner/cache.hpp"
 #include "runner/experiment.hpp"
+#include "sim/fault/fault.hpp"
 #include "trace/json.hpp"
 
 namespace armbar::runner {
@@ -30,21 +31,48 @@ struct EngineOptions {
   bool collect_metrics = false;  ///< --json: instrument runs for histograms
   bool trace = false;            ///< --trace: shared tracer, serial
   std::string trace_path;        ///< empty => "<name>.trace.json" per match
+
+  // ---- graceful degradation (ISSUE 3) ----
+  /// Per-experiment wall-clock budget in ms; 0 = unlimited. Enforced at
+  /// sweep-point granularity (a point mid-simulation finishes; the watchdog
+  /// bounds that).
+  std::int64_t timeout_ms = 0;
+  /// Re-run an experiment that timed out or threw up to N extra times with
+  /// exponential backoff before quarantining it.
+  std::uint32_t retries = 0;
+  /// Fault-injection plan applied to every Machine::run in the process
+  /// (--fault-seed installs FaultPlan::chaos). Disabled plan => clean run.
+  sim::fault::FaultPlan fault{};
+  /// Run the MachineVerifier every N simulated cycles (0 = off).
+  std::uint64_t verify_every = 0;
+  /// Install a SIGINT handler for the duration of run() so an interrupt
+  /// still flushes a partial report. Tests that raise() set this too.
+  bool handle_sigint = true;
 };
 
 /// Per-experiment outcome, in run (= name) order.
 struct ExperimentOutcome {
   std::string name;
-  bool ok = false;            ///< all checks passed, no abort
+  bool ok = false;            ///< all checks passed, no abnormal termination
   bool aborted = false;       ///< body called ctx.fatal()
   std::uint64_t points = 0;   ///< cached() sweep points executed or hit
   std::uint64_t cache_hits = 0;
   std::uint64_t points_digest = 0;  ///< order-independent sweep fingerprint
-  double wall_ms = 0.0;       ///< across all repetitions
+  double wall_ms = 0.0;       ///< across all repetitions and attempts
+  /// "ok", "failed", or "skipped" (never started: SIGINT arrived first).
+  std::string status = "ok";
+  /// Abnormal-termination class when status != "ok": "timeout", "hang",
+  /// "invariant_violation", "check_failed", "interrupted", "error",
+  /// "skipped"; empty for a clean run that merely failed its checks.
+  std::string kind;
+  std::string reason;         ///< human-readable failure description
+  trace::Json diagnostic;     ///< SimDiagnostic bundle (null if none)
+  std::uint32_t attempts = 1; ///< executions including retries
 };
 
 struct EngineResult {
   bool ok = false;                ///< every experiment ok (and >=1 matched)
+  bool interrupted = false;       ///< SIGINT observed; report is partial
   std::vector<ExperimentOutcome> outcomes;
   trace::Json report;             ///< consolidated armbar.bench.report/v1
   ResultCache::Stats cache_stats;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include <chrono>
+
 #include "common/check.hpp"
 #include "runner/glob.hpp"
+#include "sim/fault/fault.hpp"
 
 namespace armbar::runner {
 
@@ -70,6 +73,19 @@ void ExperimentContext::fatal(const std::string& reason) {
 Fingerprint ExperimentContext::key() {
   Fingerprint fp;
   fp.mix(kCacheEpoch);
+  if (const sim::fault::FaultPlan* plan = sim::fault::global_fault_plan();
+      plan != nullptr && plan->enabled()) {
+    fp.mix("fault-plan");
+    fp.mix(plan->seed);
+    fp.mix(plan->barrier_spike_pm);
+    fp.mix(plan->barrier_spike_cycles);
+    fp.mix(plan->coh_delay_pm);
+    fp.mix(plan->coh_delay_cycles);
+    fp.mix(plan->coh_duplicate_pm);
+    fp.mix(plan->evict_pm);
+    fp.mix(plan->sb_stall_pm);
+    fp.mix(plan->sb_stall_cycles);
+  }
   return fp;
 }
 
@@ -89,6 +105,12 @@ trace::Json ExperimentContext::cached_instrumented(
 trace::Json ExperimentContext::cached_impl(
     const Fingerprint& key, const std::string& desc, bool instrumentable,
     const std::function<trace::Json(trace::Tracer*)>& fn) {
+  // Graceful degradation gates, checked before any simulation is built.
+  // Both throws travel through the pool back to the experiment's caller.
+  if (hooks_.interrupted != nullptr && *hooks_.interrupted != 0)
+    throw ExperimentInterrupted{};
+  if (hooks_.has_deadline && std::chrono::steady_clock::now() > hooks_.deadline)
+    throw ExperimentTimeout{"experiment exceeded its wall-clock budget"};
   // Instrumented points skip cache lookups: the point must actually run for
   // its events/histograms to exist. Timing is tracer-independent, so the
   // value (and the digest) is the same either way, and the fresh result is

@@ -21,6 +21,8 @@
 // dropped by static-library pruning.
 #pragma once
 
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -51,6 +53,17 @@ struct ExperimentSpec {
 struct ExperimentAbort {
   std::string reason;
 };
+
+/// Thrown from cached() when the experiment ran past its wall-clock budget
+/// (--timeout-ms). The engine records status "failed" / kind "timeout" and
+/// may retry.
+struct ExperimentTimeout {
+  std::string reason;
+};
+
+/// Thrown from cached() when the run was interrupted (SIGINT). The engine
+/// stops starting new work and still flushes a partial report.
+struct ExperimentInterrupted {};
 
 class Registry {
  public:
@@ -89,6 +102,15 @@ class ExperimentContext {
     /// local registry that is merged into `metrics` (parallel-safe), and
     /// skip cache lookups so the histograms always reflect a real run.
     bool collect_metrics = false;
+    /// --timeout-ms: sweep points starting after this instant throw
+    /// ExperimentTimeout. Checked at point granularity — a point already
+    /// simulating is never torn down mid-machine (the watchdog bounds its
+    /// runtime instead), so the sweep degrades at a clean boundary.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    /// SIGINT flag owned by the engine: when it goes nonzero, points throw
+    /// ExperimentInterrupted instead of starting more simulations.
+    const volatile std::sig_atomic_t* interrupted = nullptr;
   };
 
   ExperimentContext(const ExperimentSpec& spec, Hooks hooks)
@@ -153,6 +175,9 @@ class ExperimentContext {
       const std::function<trace::Json(trace::Tracer*)>& compute);
 
   /// Seed a fingerprint with the cache epoch (every key must start here).
+  /// A process-global fault plan (runner chaos mode) is mixed in too, so
+  /// fault-perturbed results live in their own cache namespace and can
+  /// never contaminate clean baselines.
   static Fingerprint key();
 
   // ---- engine-side accessors ----

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <stdexcept>
 
 namespace armbar::runner {
 
@@ -10,7 +11,8 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> done{0};
   std::size_t total = 0;
   std::mutex err_mu;
-  std::exception_ptr err;
+  std::exception_ptr err;     // first *task* exception (guarded by err_mu)
+  bool cancelled = false;     // some tasks never ran (guarded by err_mu)
   std::condition_variable done_cv;
   std::mutex done_mu;
 };
@@ -25,13 +27,34 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     shutdown_ = true;
   }
   wake_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  // With every worker gone, anything still queued will never run. A waiter
+  // blocked in parallel_for counts completions — cancel the orphans so it
+  // wakes (with an error) instead of hanging forever. Queue locks make the
+  // handoff race-free: each task is either run by a thread that popped it
+  // or cancelled here, never both.
+  for (auto& qp : queues_) {
+    std::deque<Task> orphans;
+    {
+      std::lock_guard<std::mutex> lock(qp->mu);
+      orphans.swap(qp->tasks);
+    }
+    for (const Task& t : orphans) cancel_task(t);
+  }
+}
+
+bool ThreadPool::is_shutdown() {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  return shutdown_;
 }
 
 std::size_t ThreadPool::hardware_jobs() {
@@ -76,8 +99,23 @@ void ThreadPool::run_task(const Task& t) {
   }
 }
 
+void ThreadPool::cancel_task(const Task& t) {
+  Job& job = *t.job;
+  {
+    std::lock_guard<std::mutex> lock(job.err_mu);
+    job.cancelled = true;
+  }
+  if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.total) {
+    std::lock_guard<std::mutex> lock(job.done_mu);
+    job.done_cv.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop(std::size_t id) {
   for (;;) {
+    // Once shutdown begins nobody takes new tasks; leftovers are cancelled
+    // by shutdown() after the join.
+    if (is_shutdown()) return;
     Task t{};
     if (pop_local(id, &t) || steal(id, &t)) {
       {
@@ -96,6 +134,8 @@ void ThreadPool::worker_loop(std::size_t id) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (is_shutdown())
+    throw std::runtime_error("parallel_for on a shut-down ThreadPool");
   Job job;
   job.fn = &fn;
   job.total = n;
@@ -114,7 +154,10 @@ void ThreadPool::parallel_for(std::size_t n,
   wake_cv_.notify_all();
 
   // The caller works too: steal from any queue until nothing is left, then
-  // wait for in-flight tasks to drain.
+  // wait for in-flight tasks to drain. Deliberately NOT gated on shutdown:
+  // the caller draining its own job is what guarantees the wait terminates
+  // even when shutdown raced with the pushes above and the cancel sweep ran
+  // before they landed.
   Task t{};
   while (steal(0, &t)) {
     {
@@ -129,7 +172,18 @@ void ThreadPool::parallel_for(std::size_t n,
       return job.done.load(std::memory_order_acquire) == job.total;
     });
   }
-  if (job.err) std::rethrow_exception(job.err);
+  // A real task exception outranks the cancellation error: if a task threw
+  // while the pool was shutting down, that failure must reach the waiter.
+  std::exception_ptr err;
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(job.err_mu);
+    err = job.err;
+    cancelled = job.cancelled;
+  }
+  if (err) std::rethrow_exception(err);
+  if (cancelled)
+    throw std::runtime_error("ThreadPool shut down with queued tasks");
 }
 
 }  // namespace armbar::runner

@@ -39,8 +39,16 @@ class ThreadPool {
   /// participates (steals work) instead of idling, so a pool of size J uses
   /// J+1 threads of compute but never oversubscribes a J-sized --jobs
   /// budget by more than the caller itself. Exceptions from fn propagate
-  /// (the first one thrown; remaining tasks still complete).
+  /// (the first one thrown; remaining tasks still complete). If the pool is
+  /// shut down mid-call, queued-but-unstarted tasks are cancelled and the
+  /// call throws — a task exception always wins over the cancellation
+  /// error, and the waiter can never hang on never-to-run tasks.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Stop taking new tasks, join every worker, then cancel any tasks still
+  /// queued (waking their parallel_for waiters with an error instead of
+  /// leaving them blocked forever). Idempotent; the destructor calls it.
+  void shutdown();
 
   /// Default worker count: every hardware thread.
   static std::size_t hardware_jobs();
@@ -60,7 +68,9 @@ class ThreadPool {
 
   bool pop_local(std::size_t worker, Task* out);
   bool steal(std::size_t thief, Task* out);
+  bool is_shutdown();
   static void run_task(const Task& t);
+  static void cancel_task(const Task& t);
   void worker_loop(std::size_t id);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;

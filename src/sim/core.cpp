@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/fault/fault.hpp"
 
 namespace armbar::sim {
 
@@ -121,6 +122,7 @@ void Core::pump_store_buffer(Cycle now) {
       ARMBAR_TRACE(tracer_,
                    sb_drain_retire(id_, it->seq, it->enqueued_at, it->drain_done));
       it = sb_.erase(it);
+      ++stats_.sb_retired;
     } else {
       ++it;
     }
@@ -145,6 +147,13 @@ void Core::pump_store_buffer(Cycle now) {
       if (&e != &sb_.front()) continue;
       if (e.release_loads > now) continue;
     }
+    // Fault hook: a drain that was about to start may be postponed (the
+    // entry sits in the buffer longer — always architecturally legal).
+    if (const Cycle stall_f = ARMBAR_FAULT_CYCLES(fault_, sb_stall(id_));
+        stall_f != 0) {
+      e.drain_at = now + stall_f;
+      continue;
+    }
     bool remote = false;
     Cycle done = mem_.store(id_, e.addr, e.value, now, remote);
     if (e.release) done += lat_.stlr_extra;
@@ -162,7 +171,8 @@ void Core::pump_store_buffer(Cycle now) {
       const std::uint32_t txn =
           spec_.mca ? lat_.barrier_base
                     : (w.remote ? lat_.bus_mem_cross : lat_.bus_mem_local);
-      store_gate_ready_ = w.max_done + txn;
+      store_gate_ready_ =
+          w.max_done + txn + ARMBAR_FAULT_CYCLES(fault_, barrier_spike(id_));
       ARMBAR_TRACE(tracer_,
                    barrier_txn(id_, code(Op::kDmbSt), w.max_done, store_gate_ready_));
       ARMBAR_TRACE(tracer_, store_gate_open(id_, store_gate_ready_));
@@ -249,7 +259,9 @@ bool Core::check_blocking_barrier(Cycle now) {
     default:
       ARMBAR_CHECK(false);
   }
-  const Cycle complete = done_at + extra;
+  // Fault hook: the ACE barrier transaction's round trip may be spiked.
+  const Cycle complete =
+      done_at + extra + ARMBAR_FAULT_CYCLES(fault_, barrier_spike(id_));
   // The cycles spent waiting for the watched drains ([block_from, now))
   // were not chargeable anywhere while the watch was pending; attribute
   // them to the barrier now. stall() below covers [now, complete).

@@ -55,6 +55,10 @@
 
 namespace armbar::sim {
 
+namespace fault {
+class FaultEngine;
+}  // namespace fault
+
 /// Why a core did not issue this cycle (for the stall breakdown).
 enum class StallCause : std::uint8_t {
   kNone = 0,
@@ -84,6 +88,7 @@ struct CoreStats {
   std::uint64_t squashes = 0;
   std::uint64_t wfe_parks = 0;
   std::uint64_t stxr_failures = 0;
+  std::uint64_t sb_retired = 0;  ///< store-buffer drains retired (watchdog)
   std::uint64_t stall_cycles[static_cast<int>(StallCause::kCount)] = {};
   Cycle halted_at = 0;
 
@@ -134,9 +139,13 @@ class Core {
  private:
   // Tracer attachment goes through Machine::set_tracer() — the single
   // attach point — so a core can never trace with stale stall-cause names
-  // or diverge from the rest of the machine.
+  // or diverge from the rest of the machine. Fault engines follow the same
+  // pattern (Machine::run is the only installer), and MachineVerifier reads
+  // the private order state to check invariants.
   friend class Machine;
+  friend class MachineVerifier;
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  void set_fault_engine(fault::FaultEngine* f) { fault_ = f; }
 
   // ---- store buffer ----
   struct SbEntry {
@@ -263,6 +272,7 @@ class Core {
   Cycle tso_last_load_done_ = 0;
 
   trace::Tracer* tracer_ = nullptr;
+  fault::FaultEngine* fault_ = nullptr;
   CoreStats stats_;
 };
 

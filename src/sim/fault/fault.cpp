@@ -1,0 +1,98 @@
+#include "sim/fault/fault.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace armbar::sim::fault {
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed) {
+  // Intensities chosen so every fault class fires often enough to reshuffle
+  // schedules (a few percent of eligible events) while forward progress is
+  // never starved: the longest single perturbation (a spiked sync-barrier
+  // txn) stays well under the default 1M-cycle watchdog window.
+  FaultPlan p;
+  p.seed = seed;
+  p.barrier_spike_pm = 60;
+  p.barrier_spike_cycles = 400;
+  p.coh_delay_pm = 50;
+  p.coh_delay_cycles = 200;
+  p.coh_duplicate_pm = 40;
+  p.evict_pm = 30;
+  p.sb_stall_pm = 40;
+  p.sb_stall_cycles = 64;
+  return p;
+}
+
+std::string FaultPlan::describe() const {
+  if (!enabled()) return "no faults";
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (barrier_spike_pm != 0)
+    os << " barrier_spike=" << barrier_spike_pm << "‰/+"
+       << barrier_spike_cycles << "c";
+  if (coh_delay_pm != 0)
+    os << " coh_delay=" << coh_delay_pm << "‰/+" << coh_delay_cycles << "c";
+  if (coh_duplicate_pm != 0) os << " coh_duplicate=" << coh_duplicate_pm << "‰";
+  if (evict_pm != 0) os << " evict=" << evict_pm << "‰";
+  if (sb_stall_pm != 0)
+    os << " sb_stall=" << sb_stall_pm << "‰/+" << sb_stall_cycles << "c";
+  return os.str();
+}
+
+FaultEngine::FaultEngine(const FaultPlan& plan, std::uint32_t cores)
+    : plan_(plan) {
+  ARMBAR_CHECK_MSG(plan.barrier_spike_pm <= 1000 && plan.coh_delay_pm <= 1000 &&
+                       plan.coh_duplicate_pm <= 1000 && plan.evict_pm <= 1000 &&
+                       plan.sb_stall_pm <= 1000,
+                   "fault probabilities are per-mille (0..1000)");
+  rngs_.reserve(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    // Decorrelate the per-core streams from one seed via splitmix.
+    std::uint64_t s = plan.seed ^ (0x9e3779b97f4a7c15ULL * (c + 1));
+    rngs_.emplace_back(splitmix64(s));
+  }
+}
+
+bool FaultEngine::roll(CoreId core, std::uint32_t pm) {
+  if (pm == 0) return false;
+  const bool hit = rngs_[core].chance(pm, 1000);
+  if (hit) ++injected_;
+  return hit;
+}
+
+Cycle FaultEngine::barrier_spike(CoreId core) {
+  return roll(core, plan_.barrier_spike_pm) ? plan_.barrier_spike_cycles : 0;
+}
+
+Cycle FaultEngine::coh_delay(CoreId core) {
+  return roll(core, plan_.coh_delay_pm) ? plan_.coh_delay_cycles : 0;
+}
+
+Cycle FaultEngine::sb_stall(CoreId core) {
+  return roll(core, plan_.sb_stall_pm) ? plan_.sb_stall_cycles : 0;
+}
+
+bool FaultEngine::evict(CoreId core) { return roll(core, plan_.evict_pm); }
+
+bool FaultEngine::duplicate_invalidate(CoreId core) {
+  return roll(core, plan_.coh_duplicate_pm);
+}
+
+namespace {
+FaultPlan g_global_plan;
+bool g_global_plan_set = false;
+}  // namespace
+
+void set_global_fault_plan(const FaultPlan& plan) {
+  g_global_plan = plan;
+  g_global_plan_set = true;
+}
+
+void clear_global_fault_plan() { g_global_plan_set = false; }
+
+const FaultPlan* global_fault_plan() {
+  return g_global_plan_set ? &g_global_plan : nullptr;
+}
+
+}  // namespace armbar::sim::fault

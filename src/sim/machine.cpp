@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/verify.hpp"
 
 namespace armbar::sim {
 
@@ -32,6 +33,7 @@ void Machine::set_tracer(trace::Tracer* t) {
   if (t != nullptr) t->set_stall_cause_names(stall_cause_names());
   for (auto& c : cores_) c->set_tracer(t);
   mem_->set_tracer(t);
+  tracer_ = t;
 }
 
 void Machine::reset_stats() {
@@ -48,10 +50,45 @@ RunResult Machine::run(const RunConfig& cfg) {
   if (attach) set_tracer(cfg.tracer);
   if (cfg.stats == RunConfig::Stats::kResetBeforeRun) reset_stats();
 
+#if !defined(ARMBAR_FAULT_DISABLED)
+  // Fault injection: an explicit plan wins; otherwise fall back to the
+  // process-global plan the runner installs for chaos sweeps. The engine is
+  // fanned out the same way a tracer is — private setters, one attach point.
+  const fault::FaultPlan* plan =
+      cfg.fault != nullptr ? cfg.fault : fault::global_fault_plan();
+  if (plan != nullptr && plan->enabled()) {
+    fault_engine_ = std::make_unique<fault::FaultEngine>(*plan, num_cores());
+    for (auto& c : cores_) c->set_fault_engine(fault_engine_.get());
+    mem_->set_fault_engine(fault_engine_.get());
+  }
+#endif
+
   RunResult res;
   std::vector<Core*> live;
   for (CoreId c = 0; c < num_cores(); ++c)
     if (active_[c]) live.push_back(cores_[c].get());
+
+  const Cycle verify_every =
+      cfg.verify_every != 0 ? cfg.verify_every : global_verify_every();
+  const MachineVerifier verifier(*this);
+  Cycle next_verify = verify_every != 0 ? verify_every : kNeverCycle;
+
+  // Watchdog: progress = anything retiring anywhere. Instructions alone
+  // would flag a legitimate polling loop's *partner* core... except the
+  // poller itself retires instructions, so the sum only freezes when every
+  // live core is truly stuck (e.g. a barrier waiting on a drain that never
+  // starts). Sampled once per window, not per event.
+  const auto progress_signature = [&live] {
+    std::uint64_t sig = 0;
+    for (const Core* core : live) {
+      const CoreStats& s = core->stats();
+      sig += s.instructions + s.sb_retired + s.squashes;
+    }
+    return sig;
+  };
+  const Cycle watchdog = cfg.watchdog_cycles;
+  std::uint64_t progress_sig = progress_signature();
+  Cycle progress_cycle = 0;
 
   Cycle now = 0;
   while (true) {
@@ -75,6 +112,30 @@ RunResult Machine::run(const RunConfig& cfg) {
     for (Core* core : live) {
       if (!core->idle() && core->next_attention() <= now) core->step(now);
     }
+    if (now >= next_verify) {
+      if (std::string v = verifier.check(); !v.empty())
+        throw InvariantViolation(
+            verifier.diagnose("invariant_violation", v, now));
+      next_verify = now + verify_every;
+    }
+    if (watchdog != 0 && now - progress_cycle >= watchdog) {
+      const std::uint64_t sig = progress_signature();
+      if (sig == progress_sig)
+        throw SimHang(verifier.diagnose(
+            "hang", "no instruction retired, store drained or branch "
+                    "squashed in " +
+                        std::to_string(now - progress_cycle) + " cycles",
+            now));
+      progress_sig = sig;
+      progress_cycle = now;
+    }
+  }
+
+  // One closing sweep so a corruption introduced after the last cadence
+  // tick (or a run shorter than the cadence) is still caught.
+  if (verify_every != 0) {
+    if (std::string v = verifier.check(); !v.empty())
+      throw InvariantViolation(verifier.diagnose("invariant_violation", v, now));
   }
 
   Cycle end = 0;

@@ -8,6 +8,7 @@
 
 #include "common/types.hpp"
 #include "sim/core.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/mem.hpp"
 #include "sim/platform.hpp"
 #include "sim/program.hpp"
@@ -46,6 +47,24 @@ struct RunConfig {
     kResetBeforeRun,  ///< reset_stats() first: measure a clean window
   };
   Stats stats = Stats::kKeep;
+
+  /// Fault-injection plan for this run. When null, Machine::run() falls
+  /// back to the process-global plan (fault::set_global_fault_plan) — the
+  /// runner's chaos mode. A null/disabled plan costs one pointer check per
+  /// hook site; under ARMBAR_FAULT_DISABLED the hooks compile out entirely.
+  const fault::FaultPlan* fault = nullptr;
+
+  /// Invariant-check cadence in cycles: every `verify_every` cycles a
+  /// MachineVerifier sweeps the whole machine and a violation throws
+  /// InvariantViolation (with a SimDiagnostic). 0 falls back to the global
+  /// cadence (set_global_verify_every), which defaults to off.
+  Cycle verify_every = 0;
+
+  /// Forward-progress watchdog: if no core retires an instruction, drains
+  /// a store or squashes for this many cycles while the machine is still
+  /// schedulable, the run throws SimHang instead of burning silently to
+  /// max_cycles. 0 disables.
+  Cycle watchdog_cycles = 1'000'000;
 };
 
 /// A whole simulated machine. Construct, load programs onto cores, poke
@@ -95,10 +114,14 @@ class Machine {
   }
 
  private:
+  friend class MachineVerifier;
+
   PlatformSpec spec_;
   std::unique_ptr<MemorySystem> mem_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<bool> active_;
+  std::unique_ptr<fault::FaultEngine> fault_engine_;
+  trace::Tracer* tracer_ = nullptr;  ///< last attached (diagnostic ring tail)
   bool ran_ = false;
 };
 

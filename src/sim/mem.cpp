@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/fault/fault.hpp"
 
 namespace armbar::sim {
 
@@ -78,14 +79,20 @@ bool MemorySystem::any_remote_holder(CoreId core, Addr a) const {
 void MemorySystem::notify_holders(const LineState& ls, Addr line, CoreId except,
                                   Cycle at) {
   if (!inv_hook_) return;
-  std::uint64_t mask = ls.sharers & ~(1ULL << except);
-  while (mask) {
-    const auto victim = static_cast<CoreId>(__builtin_ctzll(mask));
-    mask &= mask - 1;
-    inv_hook_(victim, line, at);
-  }
-  if (ls.owner != kNoOwner && ls.owner != static_cast<std::int16_t>(except))
-    inv_hook_(static_cast<CoreId>(ls.owner), line, at);
+  const auto deliver = [&] {
+    std::uint64_t mask = ls.sharers & ~(1ULL << except);
+    while (mask) {
+      const auto victim = static_cast<CoreId>(__builtin_ctzll(mask));
+      mask &= mask - 1;
+      inv_hook_(victim, line, at);
+    }
+    if (ls.owner != kNoOwner && ls.owner != static_cast<std::int16_t>(except))
+      inv_hook_(static_cast<CoreId>(ls.owner), line, at);
+  };
+  deliver();
+  // Fault hook: real fabrics may echo a snoop; receivers must treat
+  // invalidation delivery as idempotent (Core::on_invalidate is).
+  if (ARMBAR_FAULT_HIT(fault_, duplicate_invalidate(except))) deliver();
 }
 
 Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_out,
@@ -99,8 +106,19 @@ Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_ou
   // flight (the weakly-ordered window; invalidation lands at pending_at).
   // Exclusive loads may not use the stale window.
   const bool may_hit = !(exclusive && ls.pending);
-  if (may_hit &&
-      (ls.owner == static_cast<std::int16_t>(core) || (ls.sharers >> core) & 1)) {
+  const bool owner_hit = ls.owner == static_cast<std::int16_t>(core);
+  bool sharer_hit = (ls.sharers >> core) & 1;
+  // Fault hook: force-evict a clean shared copy (a capacity eviction the
+  // infinite-cache model otherwise never has); the access refetches below.
+  // Owned (M/E) lines are never evicted — that would lose dirty data.
+  if (may_hit && sharer_hit && !owner_hit &&
+      ARMBAR_FAULT_HIT(fault_, evict(core))) {
+    ls.sharers &= ~(1ULL << core);
+    // An in-flight store must not resurrect the evicted copy when it lands.
+    ls.pending_keep_sharers &= ~(1ULL << core);
+    sharer_hit = false;
+  }
+  if (may_hit && (owner_hit || sharer_hit)) {
     ++stats_.hits;
     value_out = words_[word_index(a)];
     return now + spec_.lat.cache_hit;
@@ -152,7 +170,10 @@ Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_ou
     from_code = trace::LineCode::kInvalid;
   }
   ls.sharers |= (1ULL << core);
-  const Cycle done = start + latency;
+  // Fault hook: the transfer's response may arrive late. The occupancy
+  // window below stays latency-based — the port frees on schedule, only
+  // this requester waits longer.
+  const Cycle done = start + latency + ARMBAR_FAULT_CYCLES(fault_, coh_delay(core));
   ARMBAR_TRACE(tracer_, coh_transfer(core, line, coh_kind, start, done));
   ARMBAR_TRACE(tracer_, line_transition(core, line, from_code,
                                         trace::LineCode::kShared, done));
@@ -252,7 +273,10 @@ Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
     }
   }
 
-  const Cycle done = start + latency;
+  Cycle done = start + latency;
+  // Fault hook: only real transfers can be delayed; chained owned drains
+  // never leave the core's cache.
+  if (transfer) done += ARMBAR_FAULT_CYCLES(fault_, coh_delay(core));
   if (transfer) {
     ARMBAR_TRACE(tracer_, coh_transfer(core, line, coh_kind, start, done));
     ARMBAR_TRACE(tracer_, line_transition(core, line, from_code,

@@ -31,6 +31,10 @@
 
 namespace armbar::sim {
 
+namespace fault {
+class FaultEngine;
+}  // namespace fault
+
 inline constexpr std::uint32_t kMaxCores = 64;
 inline constexpr std::int16_t kNoOwner = -1;
 
@@ -119,11 +123,22 @@ class MemorySystem {
 
   const LineState& line_state(Addr a) const { return lines_[line_index(a)]; }
 
+  /// Test seam for the invariant checker: overwrite a line's coherence
+  /// metadata wholesale. Exists so tests can construct states the simulator
+  /// itself can never reach (e.g. an owner plus a foreign sharer) and prove
+  /// the MachineVerifier catches them. Never called by the simulator.
+  void debug_set_line_state(Addr a, const LineState& ls) {
+    lines_[line_index(a)] = ls;
+  }
+
  private:
   // Tracer attachment goes through Machine::set_tracer() (single attach
-  // point); see the note on Core::set_tracer.
+  // point); see the note on Core::set_tracer. Fault engines follow the
+  // same pattern, and MachineVerifier scans the line table.
   friend class Machine;
+  friend class MachineVerifier;
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  void set_fault_engine(fault::FaultEngine* f) { fault_ = f; }
 
   std::size_t word_index(Addr a) const;
   std::size_t line_index(Addr a) const;
@@ -137,6 +152,7 @@ class MemorySystem {
   std::vector<NodeId> home_;  ///< per home-granule node id
   InvalidateHook inv_hook_;
   trace::Tracer* tracer_ = nullptr;
+  fault::FaultEngine* fault_ = nullptr;
   MemStats stats_;
 
   static constexpr std::size_t kHomeGranule = 4096;  ///< home map granularity

@@ -1,0 +1,187 @@
+#include "sim/verify.hpp"
+
+#include <sstream>
+
+#include "sim/machine.hpp"
+
+namespace armbar::sim {
+
+namespace {
+Cycle g_verify_every = 0;
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+}  // namespace
+
+void set_global_verify_every(Cycle every) { g_verify_every = every; }
+Cycle global_verify_every() { return g_verify_every; }
+
+SimError::SimError(SimDiagnostic d)
+    : std::runtime_error(d.kind + ": " + d.summary), diag_(std::move(d)) {}
+
+std::string SimDiagnostic::str() const {
+  std::ostringstream os;
+  os << kind << " at cycle " << cycle << ": " << summary << "\n";
+  for (const auto& c : cores) os << "  " << c << "\n";
+  if (!recent_events.empty()) {
+    os << "  recent events (oldest first):\n";
+    for (const auto& e : recent_events) os << "    " << e << "\n";
+  }
+  return os.str();
+}
+
+trace::Json SimDiagnostic::to_json() const {
+  auto j = trace::Json::object();
+  j.set("kind", kind);
+  j.set("summary", summary);
+  j.set("cycle", static_cast<std::uint64_t>(cycle));
+  auto cs = trace::Json::array();
+  for (const auto& c : cores) cs.push(c);
+  j.set("cores", std::move(cs));
+  auto ev = trace::Json::array();
+  for (const auto& e : recent_events) ev.push(e);
+  j.set("recent_events", std::move(ev));
+  return j;
+}
+
+std::string MachineVerifier::check_lines() const {
+  const MemorySystem& mem = *m_.mem_;
+  const std::uint32_t total = m_.spec_.total_cores();
+  const std::uint64_t core_mask =
+      total >= 64 ? ~0ULL : ((1ULL << total) - 1);
+  for (std::size_t i = 0; i < mem.lines_.size(); ++i) {
+    const LineState& ls = mem.lines_[i];
+    // The overwhelming majority of lines are untouched; skip them fast.
+    if (ls.owner == kNoOwner && ls.sharers == 0 && !ls.pending) continue;
+    const std::string where = "line " + hex(i * kCacheLineBytes) + ": ";
+    if ((ls.sharers & ~core_mask) != 0)
+      return where + "sharer mask " + hex(ls.sharers) + " names cores >= " +
+             std::to_string(total);
+    if (ls.owner != kNoOwner) {
+      if (ls.owner < 0 || static_cast<std::uint32_t>(ls.owner) >= total)
+        return where + "owner " + std::to_string(ls.owner) + " out of range";
+      // Single-writer: an owned (M/E) line may not coexist with foreign
+      // shared copies (the owner's own bit is tolerated).
+      if ((ls.sharers & ~(1ULL << ls.owner)) != 0)
+        return where + "owner " + std::to_string(ls.owner) +
+               " coexists with foreign sharers (mask " + hex(ls.sharers) + ")";
+    }
+    if (ls.pending) {
+      if (ls.pending_owner < 0 ||
+          static_cast<std::uint32_t>(ls.pending_owner) >= total)
+        return where + "pending store with invalid writer " +
+               std::to_string(ls.pending_owner);
+      if (ls.busy_until < ls.pending_at)
+        return where + "pending store lands at " +
+               std::to_string(ls.pending_at) + " after busy_until " +
+               std::to_string(ls.busy_until);
+      if ((ls.pending_keep_sharers & ~ls.sharers) != 0)
+        return where + "pending keep-sharers " + hex(ls.pending_keep_sharers) +
+               " not a subset of sharers " + hex(ls.sharers);
+    }
+  }
+  return {};
+}
+
+std::string MachineVerifier::check_core(const Core& core) const {
+  const std::string where = "core " + std::to_string(core.id_) + ": ";
+
+  // Store-buffer order: seqs strictly increase in buffer order, and a drain
+  // never overtakes an older same-word entry (per-address program order).
+  std::uint64_t prev_seq = 0;
+  for (const auto& e : core.sb_) {
+    if (e.seq <= prev_seq && prev_seq != 0)
+      return where + "store buffer seq out of order (" + std::to_string(e.seq) +
+             " after " + std::to_string(prev_seq) + ")";
+    prev_seq = e.seq;
+    if (!e.draining) continue;
+    for (const auto& o : core.sb_) {
+      if (o.seq >= e.seq) break;
+      if (!o.draining && word_of(o.addr) == word_of(e.addr))
+        return where + "entry seq " + std::to_string(e.seq) +
+               " draining past older same-word entry seq " +
+               std::to_string(o.seq) + " (addr " + hex(e.addr) + ")";
+    }
+  }
+
+  // Speculation order: branch ids strictly increase and every pending
+  // branch is younger than the committed watermark.
+  std::uint64_t prev_idx = 0;
+  for (const auto& br : core.branches_) {
+    if (br.idx <= prev_idx && prev_idx != 0)
+      return where + "branch ids out of order (" + std::to_string(br.idx) +
+             " after " + std::to_string(prev_idx) + ")";
+    prev_idx = br.idx;
+    if (br.idx <= core.committed_branch_)
+      return where + "pending branch " + std::to_string(br.idx) +
+             " not younger than committed watermark " +
+             std::to_string(core.committed_branch_);
+  }
+
+  // Barrier-response accounting: an active watch expects exactly the drains
+  // still buffered below its epoch.
+  for (const auto& w : core.watches_) {
+    if (!w.active) continue;
+    std::uint32_t below = 0;
+    for (const auto& e : core.sb_)
+      if (e.seq < w.epoch) ++below;
+    if (below != w.pending)
+      return where + "barrier watch (epoch " + std::to_string(w.epoch) +
+             ") expects " + std::to_string(w.pending) +
+             " pending drains, buffer holds " + std::to_string(below);
+  }
+  return {};
+}
+
+std::string MachineVerifier::check() const {
+  if (std::string v = check_lines(); !v.empty()) return v;
+  for (const auto& core : m_.cores_)
+    if (std::string v = check_core(*core); !v.empty()) return v;
+  return {};
+}
+
+SimDiagnostic MachineVerifier::diagnose(std::string kind, std::string summary,
+                                        Cycle now) const {
+  SimDiagnostic d;
+  d.kind = std::move(kind);
+  d.summary = std::move(summary);
+  d.cycle = now;
+  for (CoreId c = 0; c < m_.num_cores(); ++c) {
+    if (!m_.active_[c]) continue;
+    const Core& core = *m_.cores_[c];
+    std::size_t draining = 0;
+    for (const auto& e : core.sb_)
+      if (e.draining) ++draining;
+    std::ostringstream os;
+    os << "core " << c << ": pc=" << core.pc_
+       << (core.halted_ ? " halted" : "") << (core.parked_ ? " parked" : "")
+       << " sb=" << core.sb_.size() << "(draining " << draining << ")"
+       << " branches=" << core.branches_.size()
+       << " stall=" << to_string(core.stall_cause_)
+       << " until=" << core.stall_until_
+       << (core.barrier_ ? " barrier_pending" : "")
+       << " instrs=" << core.stats_.instructions
+       << " sb_retired=" << core.stats_.sb_retired
+       << " next_attention=" << core.next_attention_;
+    d.cores.push_back(os.str());
+  }
+  if (m_.tracer_ != nullptr) {
+    constexpr std::size_t kTail = 32;
+    const auto events = m_.tracer_->snapshot();
+    const std::size_t first = events.size() > kTail ? events.size() - kTail : 0;
+    for (std::size_t i = first; i < events.size(); ++i) {
+      const trace::Event& e = events[i];
+      std::ostringstream os;
+      os << "[" << e.begin << "," << e.end << ") core " << e.core << " "
+         << trace::to_string(e.kind) << " pc=" << e.pc << " a=" << hex(e.a)
+         << " b=" << hex(e.b) << " detail=" << static_cast<int>(e.detail);
+      d.recent_events.push_back(os.str());
+    }
+  }
+  return d;
+}
+
+}  // namespace armbar::sim

@@ -37,6 +37,21 @@ void ReportBuilder::add_histogram(const std::string& name,
   histograms_.set(name, std::move(h));
 }
 
+void ReportBuilder::add_quarantine(const std::string& name,
+                                   const std::string& status,
+                                   const std::string& kind,
+                                   const std::string& reason,
+                                   const Json& diagnostic) {
+  Json q = Json::object();
+  q.set("name", name);
+  q.set("status", status);
+  q.set("kind", kind);
+  q.set("reason", reason);
+  if (!diagnostic.is_null()) q.set("diagnostic", diagnostic);
+  quarantine_.push(std::move(q));
+  ok_ = false;
+}
+
 void ReportBuilder::add_registry(const MetricsRegistry& reg) {
   for (const auto& name : reg.counter_names())
     add_metric(name, static_cast<double>(reg.counter(name)));
@@ -54,6 +69,7 @@ Json ReportBuilder::build() const {
   doc.set("params", params_);
   doc.set("metrics", metrics_);
   doc.set("histograms", histograms_);
+  doc.set("quarantine", quarantine_);
   return doc;
 }
 
@@ -137,6 +153,21 @@ bool validate_bench_report(const Json& doc, std::string* err) {
         return violation(err, "histogram '" + name + "': p50 > p99");
     }
   }
+
+  const Json* quarantine = doc.find("quarantine");
+  if (!quarantine || !quarantine->is_array())
+    return violation(err, "missing array field 'quarantine'");
+  for (const Json& q : quarantine->items()) {
+    const Json* name = q.find("name");
+    const Json* status = q.find("status");
+    if (!q.is_object() || !name || !name->is_string() || name->str().empty() ||
+        !status || !status->is_string() || status->str().empty())
+      return violation(
+          err, "quarantine entries need non-empty string 'name' and 'status'");
+  }
+  if (ok->boolean() && quarantine->size() > 0)
+    return violation(err, "'ok' is true but experiments are quarantined");
+
   if (err) err->clear();
   return true;
 }

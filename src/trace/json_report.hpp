@@ -14,7 +14,13 @@
 //     "histograms": {                        // latency distributions
 //       "<name>": {"count":N,"sum":S,"min":m,"max":M,
 //                   "mean":x,"p50":x,"p95":x,"p99":x}, ...
-//     }
+//     },
+//     "quarantine": [                        // abnormally-terminated runs
+//       {"name": "<experiment>", "status": "failed",
+//        "kind": "timeout|hang|invariant_violation|check_failed|error|...",
+//        "reason": "...", "diagnostic": {...}},  // diagnostic optional
+//       ...
+//     ]
 //   }
 #pragma once
 
@@ -36,6 +42,12 @@ class ReportBuilder {
   void add_param(const std::string& name, const std::string& value);
   void add_metric(const std::string& name, double value);
   void add_histogram(const std::string& name, const HistogramSummary& s);
+  /// Record an abnormally-terminated experiment (timeout, hang, invariant
+  /// violation, tripped ARMBAR_CHECK, interrupt). `diagnostic` may be a
+  /// null Json when no structured bundle exists. Forces ok to false.
+  void add_quarantine(const std::string& name, const std::string& status,
+                      const std::string& kind, const std::string& reason,
+                      const Json& diagnostic = Json());
   /// Pull every histogram (machine-wide merge) and counter out of a
   /// registry. Counters land in metrics as "<name>".
   void add_registry(const MetricsRegistry& reg);
@@ -52,6 +64,7 @@ class ReportBuilder {
   Json params_ = Json::object();
   Json metrics_ = Json::object();
   Json histograms_ = Json::object();
+  Json quarantine_ = Json::array();
 };
 
 /// Validate a parsed document against armbar.bench.report/v1. On failure

@@ -1,0 +1,63 @@
+// Pluggable ARMBAR_CHECK failure routing: the default aborts, an installed
+// throw_check_failure handler converts the failure into CheckFailure, and a
+// handler that declines (returns) still hits the abort backstop.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace armbar {
+namespace {
+
+void guarded(int v) { ARMBAR_CHECK_MSG(v == 42, "v must be 42"); }
+
+TEST(CheckHandler, ThrowHandlerConvertsFailureToException) {
+  CheckFailHandler prev = set_check_fail_handler(&throw_check_failure);
+  try {
+    guarded(7);
+    FAIL() << "failed check did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v == 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("v must be 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+  EXPECT_EQ(set_check_fail_handler(prev), &throw_check_failure);
+}
+
+TEST(CheckHandler, PassingChecksNeverConsultTheHandler) {
+  // A handler that would fail the test if called.
+  CheckFailHandler prev = set_check_fail_handler(
+      +[](const char*, const char*, int, const char*) {
+        FAIL() << "handler called for a passing check";
+      });
+  guarded(42);
+  ARMBAR_CHECK(2 + 2 == 4);
+  set_check_fail_handler(prev);
+}
+
+TEST(CheckHandler, SetReturnsPreviousHandler) {
+  CheckFailHandler prev = set_check_fail_handler(&throw_check_failure);
+  EXPECT_EQ(set_check_fail_handler(nullptr), &throw_check_failure);
+  EXPECT_EQ(set_check_fail_handler(prev), nullptr);
+}
+
+TEST(CheckHandlerDeathTest, DefaultAborts) {
+  EXPECT_DEATH(guarded(7), "ARMBAR_CHECK failed");
+}
+
+TEST(CheckHandlerDeathTest, DecliningHandlerStillAborts) {
+  // A failed check may never fall through into the code it guards: if the
+  // handler returns instead of throwing, the abort backstop fires.
+  EXPECT_DEATH(
+      {
+        set_check_fail_handler(
+            +[](const char*, const char*, int, const char*) {});
+        guarded(7);
+      },
+      "ARMBAR_CHECK failed");
+}
+
+}  // namespace
+}  // namespace armbar

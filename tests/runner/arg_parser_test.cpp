@@ -116,6 +116,85 @@ TEST(ArgParser, HelpTextListsEveryOption) {
   EXPECT_NE(h.find("(default: 0)"), std::string::npos);
 }
 
+// --- add_int: typed options validated at parse() time -----------------
+
+ArgParser make_int_parser() {
+  ArgParser p("prog", "typed parser");
+  p.add_int("jobs", "N", "parallel jobs", 0, 0, 4096);
+  p.add_int("skew", "C", "cycle skew", -8, -64, 64);
+  return p;
+}
+
+TEST(ArgParserInt, ValidValueRoundTrips) {
+  for (const auto& words : {std::vector<std::string>{"prog", "--jobs", "8"},
+                            std::vector<std::string>{"prog", "--jobs=8"}}) {
+    ArgParser p = make_int_parser();
+    Args a(words);
+    std::string err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err)) << err;
+    EXPECT_EQ(p.integer("jobs"), 8);
+  }
+}
+
+TEST(ArgParserInt, AbsentOptionYieldsRegisteredDefault) {
+  ArgParser p = make_int_parser();
+  Args a({"prog"});
+  std::string err;
+  ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err)) << err;
+  EXPECT_EQ(p.integer("jobs"), 0);
+  EXPECT_EQ(p.integer("skew"), -8);
+}
+
+TEST(ArgParserInt, MalformedTextIsAParseErrorNotAnAbort) {
+  for (const char* bad : {"abc", "8x", "", "--", "1.5"}) {
+    ArgParser p = make_int_parser();
+    Args a({"prog", std::string("--jobs=") + bad});
+    std::string err;
+    EXPECT_FALSE(p.parse(a.argc(), a.argv(), &err)) << "'" << bad << "'";
+    EXPECT_NE(err.find("expects an integer"), std::string::npos) << err;
+    EXPECT_NE(err.find("--jobs"), std::string::npos) << err;
+  }
+}
+
+TEST(ArgParserInt, OverflowIsAParseError) {
+  ArgParser p = make_int_parser();
+  Args a({"prog", "--jobs", "99999999999999999999"});  // > INT64_MAX
+  std::string err;
+  EXPECT_FALSE(p.parse(a.argc(), a.argv(), &err));
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(ArgParserInt, RangeIsEnforcedBothEnds) {
+  {
+    ArgParser p = make_int_parser();
+    Args a({"prog", "--jobs", "4097"});
+    std::string err;
+    EXPECT_FALSE(p.parse(a.argc(), a.argv(), &err));
+    EXPECT_NE(err.find("[0, 4096]"), std::string::npos) << err;
+  }
+  {
+    ArgParser p = make_int_parser();
+    Args a({"prog", "--skew=-65"});
+    std::string err;
+    EXPECT_FALSE(p.parse(a.argc(), a.argv(), &err));
+    EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+  }
+  {
+    ArgParser p = make_int_parser();
+    Args a({"prog", "--skew=-64"});  // boundary value is accepted
+    std::string err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), &err)) << err;
+    EXPECT_EQ(p.integer("skew"), -64);
+  }
+}
+
+TEST(ArgParserInt, HelpRendersLikeAValueOption) {
+  ArgParser p = make_int_parser();
+  const std::string h = p.help();
+  EXPECT_NE(h.find("--jobs <N>"), std::string::npos);
+  EXPECT_NE(h.find("(default: 0)"), std::string::npos);
+}
+
 TEST(ArgParser, MalformedIntegerDies) {
   ArgParser p = make_parser();
   Args a({"prog", "--jobs", "eight"});

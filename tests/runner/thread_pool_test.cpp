@@ -1,10 +1,13 @@
 // Work-stealing pool: results land in index order, exceptions propagate,
-// nothing is lost or run twice.
+// nothing is lost or run twice — including when shutdown races a job.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "runner/thread_pool.hpp"
@@ -64,6 +67,80 @@ TEST(ThreadPool, FirstExceptionPropagates) {
   }
   // Remaining tasks still complete (the pool drains before rethrowing).
   EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ThreadPoolShutdown, ParallelForOnShutDownPoolThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.parallel_for(8, [](std::size_t) {}), std::runtime_error);
+}
+
+TEST(ThreadPoolShutdown, ShutdownTwiceIsSafe) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // destructor will make it a third time
+}
+
+TEST(ThreadPoolShutdown, ExceptionAfterShutdownBeginsReachesTheWaiter) {
+  // The regression this guards: a task that throws after shutdown() has
+  // been called must still deliver its exception to the parallel_for
+  // waiter — not vanish, not hang the wait.
+  ThreadPool pool(2);
+  std::atomic<bool> task_started{false};
+  std::atomic<bool> shutdown_begun{false};
+
+  std::thread closer([&] {
+    while (!task_started.load()) std::this_thread::yield();
+    shutdown_begun.store(true);
+    pool.shutdown();
+  });
+
+  try {
+    pool.parallel_for(32, [&](std::size_t i) {
+      if (i == 0) {
+        task_started.store(true);
+        while (!shutdown_begun.load()) std::this_thread::yield();
+        throw std::runtime_error("boom after shutdown began");
+      }
+    });
+    FAIL() << "task exception was lost";
+  } catch (const std::runtime_error& e) {
+    // The task's own exception outranks the queued-tasks-cancelled error.
+    EXPECT_NE(std::string(e.what()).find("boom after shutdown"),
+              std::string::npos)
+        << e.what();
+  }
+  closer.join();
+}
+
+TEST(ThreadPoolShutdown, ShutdownRacingAJobNeverHangsOrDoublesWork) {
+  // Whatever the interleaving, parallel_for must return (value or error)
+  // and no index may execute twice. Repeat to cover several interleavings.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    const std::size_t n = 64;
+    std::vector<std::atomic<int>> counts(n);
+    std::atomic<bool> returned{false};
+
+    std::thread runner([&] {
+      try {
+        pool.parallel_for(n, [&](std::size_t i) {
+          counts[i].fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        });
+      } catch (const std::runtime_error&) {
+        // cancellation error is an acceptable outcome of the race
+      }
+      returned.store(true);
+    });
+
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    pool.shutdown();
+    runner.join();
+    EXPECT_TRUE(returned.load());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_LE(counts[i].load(), 1) << "index " << i << " ran twice";
+  }
 }
 
 TEST(ThreadPool, LargeFanOutSumsCorrectly) {

@@ -34,12 +34,18 @@ bool check_file(const char* path) {
     return false;
   }
   const bool ok = doc.find("ok")->boolean();
+  const std::size_t quarantined = doc.find("quarantine")->size();
   std::printf("%s: valid %s report — bench '%s', %zu checks, %zu metrics, "
-              "%zu histograms%s\n",
+              "%zu histograms, %zu quarantined%s\n",
               path, armbar::trace::kReportSchema,
               doc.find("bench")->str().c_str(), doc.find("checks")->size(),
               doc.find("metrics")->size(), doc.find("histograms")->size(),
-              ok ? "" : " [bench checks FAILED]");
+              quarantined, ok ? "" : " [bench checks FAILED]");
+  for (const armbar::trace::Json& q : doc.find("quarantine")->items())
+    std::fprintf(stderr, "%s: quarantined '%s': %s (%s)\n", path,
+                 q.find("name")->str().c_str(),
+                 q.find("kind") ? q.find("kind")->str().c_str() : "?",
+                 q.find("reason") ? q.find("reason")->str().c_str() : "");
   return ok;
 }
 
