@@ -13,6 +13,10 @@
 #   * a fault-injected consolidated run (--fault-seed) whose report must
 #     still validate, carry per-experiment status params and an (empty)
 #     quarantine array;
+#   * a bounded differential-fuzz smoke (armbar-fuzz, fixed seeds) that
+#     must find zero model/simulator mismatches, followed by a planted-bug
+#     stage: a dropped-fence mutation must be caught, minimized, bundled,
+#     and the bundle must replay bit-exactly through armbar-repro;
 #   * an ASan+UBSan build running the full test suite — including the
 #     fault-injected litmus sweep — plus a faulted armbar-bench smoke.
 #
@@ -107,6 +111,33 @@ assert statuses, "report missing per-experiment status params"
 assert all(v == "ok" for v in statuses.values()), statuses
 print(f"fault-injected report OK ({len(statuses)} experiments, all ok)")
 EOF
+
+echo "== differential fuzz smoke (fixed seeds, zero mismatches) =="
+FUZZ_DIR="$SMOKE_DIR/fuzz"
+rm -rf "$FUZZ_DIR" && mkdir -p "$FUZZ_DIR"
+# ~30 s: 48 fixed seeds across the full platform set with two chaos plans.
+"$BUILD/tools/armbar-fuzz" --seed-start 1 --seed-count 48 --chaos-seeds 2 \
+    --jobs "$(nproc)" --out-dir "$FUZZ_DIR"
+if compgen -G "$FUZZ_DIR/*.repro.json" > /dev/null; then
+    echo "FAIL: clean fuzz smoke produced repro bundles"
+    exit 1
+fi
+
+echo "== planted-bug stage (drop-dmb-full must be caught and replay) =="
+# Seed 29 emits a fenced program whose mutated (fence-dropped) twin shows an
+# outcome outside the model's allowed set; the campaign must fail (rc 1),
+# minimize it, and write a bundle armbar-repro replays bit-exactly.
+set +e
+"$BUILD/tools/armbar-fuzz" --seed-start 29 --seed-count 1 --chaos-seeds 2 \
+    --jobs 1 --mutation drop-dmb-full --out-dir "$FUZZ_DIR"
+FUZZ_RC=$?
+set -e
+if [ "$FUZZ_RC" -ne 1 ]; then
+    echo "FAIL: planted-bug campaign exited $FUZZ_RC (want 1 = caught)"
+    exit 1
+fi
+"$BUILD/tools/armbar-repro" "$FUZZ_DIR/fuzz-29.repro.json"
+echo "planted-bug pipeline OK (caught, minimized, replayed)"
 
 echo "== ASan+UBSan build (${BUILD}-asan) =="
 ASAN_BUILD="${BUILD}-asan"

@@ -1,0 +1,57 @@
+// Self-contained repro bundles (ISSUE 4): everything needed to replay a
+// differential failure bit-exactly, in one JSON document.
+//
+// Schema "armbar.repro/v1". A bundle carries the program text for every
+// thread (sim::Program::serialize round-trip), the init/observe lists, the
+// full DiffOptions grid (platform names, explicit fault plans, skews,
+// mutation, model budgets) and the expected behaviour: failure kind,
+// allowed/observed outcome sets and the DiffResult digest. Replay
+// (tools/armbar-repro) re-runs run_diff() on the parsed bundle and checks
+// the fresh digest against `expect_digest` — equality means the failure
+// reproduced bit-exactly.
+//
+// 64-bit integers (seeds, addresses, values, digests) are serialized as
+// decimal strings: the JSON layer stores numbers as double and would
+// silently round above 2^53.
+#pragma once
+
+#include <string>
+
+#include "fuzz/diff.hpp"
+#include "trace/json.hpp"
+
+namespace armbar::fuzz {
+
+inline constexpr const char* kBundleSchema = "armbar.repro/v1";
+
+struct ReproBundle {
+  model::ConcurrentProgram prog;
+  DiffOptions opts;
+  std::uint64_t gen_seed = 0;     ///< generator seed; 0 = hand-written case
+  std::string failure_kind;       ///< kind of the first recorded failure
+  std::string detail;             ///< one-line human summary
+  std::uint64_t expect_digest = 0;  ///< DiffResult::digest() at capture time
+  std::set<model::Outcome> expected_allowed;
+  std::set<model::Outcome> observed;
+  sim::SimDiagnostic diagnostic;  ///< when the failure carried one
+  bool has_diagnostic = false;
+};
+
+/// Capture a bundle from a completed (failing) diff run. Takes the first
+/// failure's kind/diagnostic as the bundle identity.
+ReproBundle make_bundle(const model::ConcurrentProgram& prog,
+                        const DiffOptions& opts, std::uint64_t gen_seed,
+                        const DiffResult& result);
+
+trace::Json bundle_to_json(const ReproBundle& b);
+/// Strict parse: schema tag, program text, options and outcome sets must
+/// all round-trip. Returns false and sets *err on any malformed field.
+bool bundle_from_json(const trace::Json& j, ReproBundle* out,
+                      std::string* err);
+
+/// File convenience wrappers (pretty-printed JSON on disk).
+bool write_bundle(const std::string& path, const ReproBundle& b,
+                  std::string* err);
+bool load_bundle(const std::string& path, ReproBundle* out, std::string* err);
+
+}  // namespace armbar::fuzz

@@ -1,0 +1,41 @@
+// Seeded random litmus-program generator (ISSUE 4).
+//
+// Draws small multi-threaded micro-ISA programs from a deterministic
+// xoshiro stream, biased toward the shapes where ARM ordering bugs hide:
+// message-passing (write/write vs read/read), store-buffering (write/read
+// vs write/read) and IRIW (independent writers, disagreeing readers)
+// skeletons, each perturbed with random barrier placement/removal, extra
+// accesses, and the three dependency idioms (eor-self address dependency,
+// data dependency through the stored value, forward-branch control
+// dependency).
+//
+// Invariants the rest of the pipeline relies on:
+//   * same seed (and options) -> byte-identical program;
+//   * straight-line control flow: only forward branches, every thread ends
+//     in halt, so both the reference model's path enumeration and the
+//     simulator terminate;
+//   * only model-supported ops (no WFE/LDXR/STXR/SWP);
+//   * every store carries a distinct value, so reads-from is unambiguous
+//     when debugging a mismatch;
+//   * every loaded register is observed, and every touched address is in
+//     observe_mem — maximum discrimination between executions.
+#pragma once
+
+#include <cstdint>
+
+#include "model/model.hpp"
+
+namespace armbar::fuzz {
+
+struct GenOptions {
+  std::uint32_t max_threads = 4;         ///< >= 2; 4 enables IRIW shapes
+  std::uint32_t max_ops_per_thread = 6;  ///< memory/barrier ops in the body
+  std::uint32_t num_addrs = 3;           ///< 1..4 shared locations
+};
+
+/// Generate the program for `seed`. Deterministic; the returned program's
+/// name embeds the seed ("fuzz-<seed>").
+model::ConcurrentProgram generate(std::uint64_t seed,
+                                  const GenOptions& opts = {});
+
+}  // namespace armbar::fuzz

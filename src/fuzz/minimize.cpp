@@ -1,0 +1,303 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+
+namespace armbar::fuzz {
+namespace {
+
+/// Rebuild a program without the masked instructions: branch targets are
+/// remapped past the removed range and a trailing halt is guaranteed (the
+/// simulator checks pc < size, so a program may never fall off the end).
+sim::Program drop_instrs(const sim::Program& p, const std::vector<bool>& drop) {
+  sim::Program out;
+  out.name = p.name;
+  std::vector<std::uint32_t> removed_before(p.code.size() + 1, 0);
+  for (std::size_t i = 0; i < p.code.size(); ++i)
+    removed_before[i + 1] =
+        removed_before[i] + (drop[i] ? 1u : 0u);
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    if (drop[i]) continue;
+    sim::Instr ins = p.code[i];
+    if (sim::is_branch(ins.op)) {
+      const std::uint32_t t =
+          std::min<std::uint32_t>(ins.target,
+                                  static_cast<std::uint32_t>(p.code.size()));
+      ins.target = t - removed_before[t];
+    }
+    out.code.push_back(ins);
+  }
+  if (out.code.empty() || out.code.back().op != sim::Op::kHalt)
+    out.code.push_back({sim::Op::kHalt});
+  for (sim::Instr& ins : out.code)
+    if (sim::is_branch(ins.op))
+      ins.target = std::min<std::uint32_t>(
+          ins.target, static_cast<std::uint32_t>(out.code.size()) - 1);
+  return out;
+}
+
+struct Minimizer {
+  model::ConcurrentProgram* prog;
+  DiffOptions* opts;
+  const FailurePredicate& pred;
+  MinimizeStats stats;
+
+  bool probe(const model::ConcurrentProgram& p, const DiffOptions& o) {
+    ++stats.probes;
+    return pred(p, o);
+  }
+
+  bool try_drop_thread(std::uint32_t t) {
+    if (prog->threads.size() <= 1) return false;
+    model::ConcurrentProgram cand = *prog;
+    cand.threads.erase(cand.threads.begin() + t);
+    std::vector<std::pair<std::uint32_t, sim::Reg>> obs;
+    for (auto [ot, reg] : cand.observe_regs) {
+      if (ot == t) continue;
+      obs.emplace_back(ot > t ? ot - 1 : ot, reg);
+    }
+    cand.observe_regs = std::move(obs);
+    if (!probe(cand, *opts)) return false;
+    *prog = std::move(cand);
+    return true;
+  }
+
+  void drop_threads() {
+    for (std::uint32_t t = 0; t < prog->threads.size();)
+      if (!try_drop_thread(t)) ++t;
+  }
+
+  bool try_drop_mask(std::uint32_t t, const std::vector<bool>& mask) {
+    model::ConcurrentProgram cand = *prog;
+    cand.threads[t] = drop_instrs(cand.threads[t], mask);
+    if (cand.threads[t].code.size() >= prog->threads[t].code.size())
+      return false;  // nothing actually removed (halt re-appended)
+    if (!probe(cand, *opts)) return false;
+    *prog = std::move(cand);
+    return true;
+  }
+
+  /// Classic ddmin over one thread's instruction list: try removing chunks
+  /// at increasing granularity; on success restart coarse.
+  void ddmin_thread(std::uint32_t t) {
+    std::size_t k = 2;
+    while (true) {
+      const std::size_t n = prog->threads[t].code.size();
+      if (n < 2) return;
+      if (k > n) k = n;
+      const std::size_t chunk = (n + k - 1) / k;
+      bool reduced = false;
+      for (std::size_t c = 0; c * chunk < n; ++c) {
+        std::vector<bool> mask(n, false);
+        for (std::size_t i = c * chunk; i < std::min(n, (c + 1) * chunk); ++i)
+          mask[i] = true;
+        if (try_drop_mask(t, mask)) {
+          reduced = true;
+          k = std::max<std::size_t>(k - 1, 2);
+          break;
+        }
+      }
+      if (!reduced) {
+        if (k >= n) return;
+        k = std::min(n, k * 2);
+      }
+    }
+  }
+
+  /// Fold away movi instructions by rerouting their consumers to another
+  /// live register (often an address register already holding a non-zero
+  /// value): rewrite every later *source* use of the movi's target, delete
+  /// the movi, and keep the candidate only if the failure survives. The
+  /// predicate is the sole semantic authority, so an unsound rewrite simply
+  /// fails re-validation and is discarded.
+  void fold_movis(std::uint32_t t) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      const sim::Program& cur = prog->threads[t];
+      for (std::size_t i = 0; i < cur.code.size(); ++i) {
+        if (cur.code[i].op != sim::Op::kMovImm) continue;
+        const sim::Reg r = cur.code[i].rd;
+        if (r == sim::XZR) continue;
+        // Candidate replacements: registers defined by earlier movis,
+        // nearest first — the most recent definition is typically the
+        // address register that must survive anyway, which keeps the
+        // earlier (often address-zero-foldable) movis free to die in
+        // drop_movi_groups().
+        std::vector<sim::Reg> cands;
+        for (std::size_t j = i; j-- > 0;)
+          if (cur.code[j].op == sim::Op::kMovImm &&
+              cur.code[j].rd != r)
+            cands.push_back(cur.code[j].rd);
+        for (sim::Reg s : cands) {
+          model::ConcurrentProgram cand = *prog;
+          sim::Program& tp = cand.threads[t];
+          for (std::size_t j = i + 1; j < tp.code.size(); ++j)
+            subst_sources(&tp.code[j], r, s);
+          std::vector<bool> mask(tp.code.size(), false);
+          mask[i] = true;
+          tp = drop_instrs(tp, mask);
+          if (tp.code.size() >= cur.code.size()) continue;
+          if (!probe(cand, *opts)) continue;
+          *prog = std::move(cand);
+          progress = true;
+          break;
+        }
+        if (progress) break;
+      }
+    }
+  }
+
+  /// Drop every movi with the same (rd, imm) across *all* threads in one
+  /// candidate. Shared-address setup comes in matched per-thread pairs
+  /// (each thread materializes location X into the same register); deleting
+  /// one side alone breaks the address agreement and always fails the
+  /// predicate, so the single-thread passes can never remove them.
+  /// Afterwards the register reads as zero, i.e. the location collapses to
+  /// address 0 — the predicate decides whether the shape survives that.
+  void drop_movi_groups() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::set<std::pair<int, std::int64_t>> keys;
+      for (const auto& t : prog->threads)
+        for (const sim::Instr& ins : t.code)
+          if (ins.op == sim::Op::kMovImm && ins.rd != sim::XZR)
+            keys.insert({ins.rd, ins.imm});
+      for (const auto& [rd, imm] : keys) {
+        model::ConcurrentProgram cand = *prog;
+        bool any = false;
+        for (auto& t : cand.threads) {
+          std::vector<bool> mask(t.code.size(), false);
+          bool hit = false;
+          for (std::size_t i = 0; i < t.code.size(); ++i)
+            if (t.code[i].op == sim::Op::kMovImm && t.code[i].rd == rd &&
+                t.code[i].imm == imm)
+              mask[i] = hit = true;
+          if (!hit) continue;
+          t = drop_instrs(t, mask);
+          any = true;
+        }
+        if (!any || total_instructions(cand) >= total_instructions(*prog))
+          continue;
+        if (!probe(cand, *opts)) continue;
+        *prog = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  /// Rewrite register *sources* of `ins` from `from` to `to`. rd is a
+  /// source only for stores; everywhere else it is a destination.
+  static void subst_sources(sim::Instr* ins, sim::Reg from, sim::Reg to) {
+    if (ins->rn == from) ins->rn = to;
+    if (ins->rm == from) ins->rm = to;
+    if (ins->rd == from && sim::is_store(ins->op)) ins->rd = to;
+  }
+
+  /// Greedy one-at-a-time list shrink for the configuration vectors.
+  template <typename T, typename Apply>
+  void shrink_list(std::vector<T>* list, Apply&& apply) {
+    bool progress = true;
+    while (progress && list->size() > 1) {
+      progress = false;
+      for (std::size_t i = 0; i < list->size(); ++i) {
+        std::vector<T> cand = *list;
+        cand.erase(cand.begin() + i);
+        DiffOptions copts = *opts;
+        apply(&copts, cand);
+        if (probe(*prog, copts)) {
+          *opts = std::move(copts);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Zero each fault class of each surviving plan independently (the
+  /// "fault-plan entries" ddmin axis).
+  void shrink_fault_plans() {
+    // Index-based: try_zero reassigns *opts, so references into
+    // opts->plans must not be held across probes.
+    for (std::size_t i = 0; i < opts->plans.size(); ++i) {
+      if (!opts->plans[i].enabled()) continue;
+      auto try_zero = [&](auto zero) {
+        DiffOptions copts = *opts;
+        zero(&copts.plans[i]);
+        if (copts.plans[i] == opts->plans[i]) return;  // already zero
+        if (probe(*prog, copts)) *opts = std::move(copts);
+      };
+      using FP = sim::fault::FaultPlan;
+      try_zero([](FP* p) { p->barrier_spike_pm = 0; p->barrier_spike_cycles = 0; });
+      try_zero([](FP* p) { p->coh_delay_pm = 0; p->coh_delay_cycles = 0; });
+      try_zero([](FP* p) { p->coh_duplicate_pm = 0; });
+      try_zero([](FP* p) { p->evict_pm = 0; });
+      try_zero([](FP* p) { p->sb_stall_pm = 0; p->sb_stall_cycles = 0; });
+    }
+  }
+
+  std::string signature() const {
+    std::string s;
+    for (const auto& t : prog->threads) s += t.serialize();
+    s += '|' + std::to_string(opts->platforms.size()) + ',' +
+         std::to_string(opts->plans.size()) + ',' +
+         std::to_string(opts->skews.size());
+    for (const auto& p : opts->plans) s += p.describe();
+    return s;
+  }
+
+  void run() {
+    stats.instructions_before = total_instructions(*prog);
+    std::string before = signature();
+    for (stats.rounds = 1; stats.rounds <= 8; ++stats.rounds) {
+      drop_threads();
+      for (std::uint32_t t = 0; t < prog->threads.size(); ++t) {
+        ddmin_thread(t);
+        fold_movis(t);
+      }
+      drop_movi_groups();
+      shrink_list(&opts->platforms, [](DiffOptions* o, auto v) {
+        o->platforms = std::move(v);
+      });
+      shrink_list(&opts->plans, [](DiffOptions* o, auto v) {
+        o->plans = std::move(v);
+      });
+      shrink_list(&opts->skews, [](DiffOptions* o, auto v) {
+        o->skews = std::move(v);
+      });
+      shrink_fault_plans();
+      std::string after = signature();
+      if (after == before) break;
+      before = std::move(after);
+    }
+    stats.instructions_after = total_instructions(*prog);
+  }
+};
+
+}  // namespace
+
+std::uint32_t total_instructions(const model::ConcurrentProgram& p) {
+  std::uint32_t n = 0;
+  for (const auto& t : p.threads) n += t.size();
+  return n;
+}
+
+FailurePredicate same_kind_predicate(std::string kind) {
+  return [kind = std::move(kind)](const model::ConcurrentProgram& p,
+                                  const DiffOptions& o) {
+    const DiffResult r = run_diff(p, o);
+    for (const DiffFailure& f : r.failures)
+      if (f.kind == kind) return true;
+    return false;
+  };
+}
+
+MinimizeStats minimize(model::ConcurrentProgram* prog, DiffOptions* opts,
+                       const FailurePredicate& pred) {
+  Minimizer m{prog, opts, pred, {}};
+  m.run();
+  return m.stats;
+}
+
+}  // namespace armbar::fuzz

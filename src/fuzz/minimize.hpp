@@ -1,0 +1,47 @@
+// Delta-debugging minimizer (ISSUE 4): shrink a failing differential case
+// while re-validating the failure predicate at every step.
+//
+// Reduction passes, iterated to a fixpoint:
+//   1. whole threads (observe lists re-indexed),
+//   2. instructions per thread — classic ddmin chunk removal with branch
+//      targets remapped and the trailing halt preserved,
+//   3. configuration: platform list, fault-plan list, skew list, then
+//      individual fault classes inside each surviving plan zeroed.
+//
+// The predicate is arbitrary ("this diff still fails the same way" in the
+// pipeline; anything in tests), so the minimizer never needs to understand
+// why a candidate fails — only that it still does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/diff.hpp"
+#include "model/model.hpp"
+
+namespace armbar::fuzz {
+
+/// Returns true when the candidate (program, options) still fails the way
+/// the original did.
+using FailurePredicate =
+    std::function<bool(const model::ConcurrentProgram&, const DiffOptions&)>;
+
+struct MinimizeStats {
+  std::uint32_t rounds = 0;   ///< fixpoint iterations
+  std::uint64_t probes = 0;   ///< predicate evaluations
+  std::uint32_t instructions_before = 0;
+  std::uint32_t instructions_after = 0;
+};
+
+/// Standard predicate: run_diff() reports at least one failure of `kind`.
+FailurePredicate same_kind_predicate(std::string kind);
+
+/// Shrink (*prog, *opts) in place; both always satisfy `pred` on return.
+/// The caller must ensure pred(*prog, *opts) holds on entry.
+MinimizeStats minimize(model::ConcurrentProgram* prog, DiffOptions* opts,
+                       const FailurePredicate& pred);
+
+/// Instruction count across all threads (minimization metric).
+std::uint32_t total_instructions(const model::ConcurrentProgram& p);
+
+}  // namespace armbar::fuzz

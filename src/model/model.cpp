@@ -1,0 +1,777 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "sim/isa.hpp"
+
+namespace armbar::model {
+namespace {
+
+using sim::Instr;
+using sim::Op;
+using sim::Reg;
+
+// ---------------------------------------------------------------------------
+// Events and candidate thread executions
+// ---------------------------------------------------------------------------
+
+struct Event {
+  enum Kind : std::uint8_t { kRead, kWrite, kFence };
+  Kind kind = kRead;
+  int thread = -1;       ///< -1 = initial-state write (external to all)
+  std::uint32_t po = 0;  ///< index within the owning thread's event list
+  Op op = Op::kNop;
+  Addr addr = 0;
+  std::uint64_t value = 0;
+  bool acq = false;     ///< LDAR  (RCsc acquire, A)
+  bool acq_pc = false;  ///< LDAPR (RCpc acquire, Q)
+  bool rel = false;     ///< STLR  (release, L)
+  // Dependency sources, as bitmasks over the owning thread's read ordinals.
+  std::uint64_t addr_dep = 0;
+  std::uint64_t data_dep = 0;
+  std::uint64_t ctrl_dep = 0;
+  int read_ord = -1;  ///< reads: ordinal among this thread's reads
+};
+
+constexpr bool is_full_fence(Op op) {
+  return op == Op::kDmbFull || op == Op::kDsbFull;
+}
+constexpr bool is_st_fence(Op op) {
+  return op == Op::kDmbSt || op == Op::kDsbSt;
+}
+constexpr bool is_ld_fence(Op op) {
+  return op == Op::kDmbLd || op == Op::kDsbLd;
+}
+
+struct ThreadExec {
+  std::vector<Event> events;
+  std::array<std::uint64_t, sim::kNumRegs> regs{};
+};
+
+// ---------------------------------------------------------------------------
+// Phase B: per-thread symbolic execution with a load-value oracle
+// ---------------------------------------------------------------------------
+
+/// A register value plus the set of thread-local reads it (syntactically)
+/// depends on — the taint that becomes addr/data/ctrl dependencies.
+struct RV {
+  std::uint64_t v = 0;
+  std::uint64_t dep = 0;
+};
+
+std::uint64_t alu(Op op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case Op::kAdd: case Op::kAddImm: return a + b;
+    case Op::kSub: case Op::kSubImm: return a - b;
+    case Op::kAnd: case Op::kAndImm: return a & b;
+    case Op::kOrr: case Op::kOrrImm: return a | b;
+    case Op::kEor: case Op::kEorImm: return a ^ b;
+    case Op::kLsl: case Op::kLslImm: return a << (b & 63);
+    case Op::kLsr: case Op::kLsrImm: return a >> (b & 63);
+    case Op::kMul: return a * b;
+    default: return 0;
+  }
+}
+
+struct PathState {
+  std::uint32_t pc = 0;
+  std::array<RV, sim::kNumRegs> regs{};
+  int flags = 0;  ///< unsigned three-way compare, matching the simulator
+  std::uint64_t flags_dep = 0;
+  std::uint64_t ctrl = 0;  ///< reads any executed conditional branch saw
+  std::vector<Event> events;
+  std::uint32_t executed = 0;
+  int nreads = 0;
+};
+
+class ThreadInterp {
+ public:
+  ThreadInterp(const sim::Program& prog,
+               const std::map<Addr, std::set<std::uint64_t>>& dom,
+               const std::map<Addr, std::uint64_t>& init,
+               const ModelOptions& opts, OutcomeSet* status)
+      : prog_(prog), dom_(dom), init_(init), opts_(opts), status_(status) {}
+
+  std::vector<ThreadExec> run() {
+    step(PathState{});
+    return std::move(execs_);
+  }
+
+ private:
+  std::uint64_t init_of(Addr a) const {
+    auto it = init_.find(a);
+    return it == init_.end() ? 0 : it->second;
+  }
+
+  /// Values a load of `a` may observe: the initial value plus everything any
+  /// thread path can store there (Phase A fixpoint).
+  std::vector<std::uint64_t> load_candidates(Addr a) const {
+    std::vector<std::uint64_t> vals{init_of(a)};
+    if (auto it = dom_.find(a); it != dom_.end())
+      for (std::uint64_t v : it->second)
+        if (v != vals.front()) vals.push_back(v);
+    return vals;
+  }
+
+  RV rv(const PathState& st, Reg r) const {
+    return r == sim::XZR ? RV{} : st.regs[r];
+  }
+  static void setreg(PathState& st, Reg r, RV v) {
+    if (r != sim::XZR) st.regs[r] = v;
+  }
+
+  void finish(PathState&& st) {
+    ThreadExec e;
+    e.events = std::move(st.events);
+    for (std::size_t i = 0; i < sim::kNumRegs; ++i) e.regs[i] = st.regs[i].v;
+    // Distinct load-value choices can converge on identical behaviour
+    // (e.g. both branch arms rejoining); dedupe to shrink the Phase C
+    // product.
+    std::ostringstream key;
+    for (const Event& ev : e.events)
+      key << static_cast<int>(ev.kind) << ',' << static_cast<int>(ev.op) << ','
+          << ev.addr << ',' << ev.value << ',' << ev.addr_dep << ','
+          << ev.data_dep << ',' << ev.ctrl_dep << ',' << ev.read_ord << ';';
+    key << '|';
+    for (std::uint64_t r : e.regs) key << r << ',';
+    if (seen_.insert(key.str()).second) execs_.push_back(std::move(e));
+  }
+
+  void step(PathState st) {
+    while (true) {
+      if (!status_->ok()) return;
+      if (execs_.size() >= opts_.max_execs_per_thread) {
+        status_->complete = false;
+        return;
+      }
+      if (++st.executed > opts_.max_path_instructions) {
+        status_->complete = false;  // unbounded loop under this load valuation
+        return;
+      }
+      if (st.pc >= prog_.size()) {  // fell off the end: implicit halt
+        finish(std::move(st));
+        return;
+      }
+      const Instr& ins = prog_.at(st.pc);
+      switch (ins.op) {
+        case Op::kHalt:
+          finish(std::move(st));
+          return;
+        case Op::kNop:
+          ++st.pc;
+          break;
+
+        case Op::kMovImm:
+          setreg(st, ins.rd, {static_cast<std::uint64_t>(ins.imm), 0});
+          ++st.pc;
+          break;
+        case Op::kMov:
+          setreg(st, ins.rd, rv(st, ins.rn));
+          ++st.pc;
+          break;
+        case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOrr:
+        case Op::kEor: case Op::kLsl: case Op::kLsr: case Op::kMul: {
+          const RV a = rv(st, ins.rn), b = rv(st, ins.rm);
+          setreg(st, ins.rd, {alu(ins.op, a.v, b.v), a.dep | b.dep});
+          ++st.pc;
+          break;
+        }
+        case Op::kAddImm: case Op::kSubImm: case Op::kAndImm:
+        case Op::kOrrImm: case Op::kEorImm: case Op::kLslImm:
+        case Op::kLsrImm: {
+          const RV a = rv(st, ins.rn);
+          setreg(st, ins.rd,
+                 {alu(ins.op, a.v, static_cast<std::uint64_t>(ins.imm)),
+                  a.dep});
+          ++st.pc;
+          break;
+        }
+
+        case Op::kCmp: {
+          const RV a = rv(st, ins.rn), b = rv(st, ins.rm);
+          st.flags = a.v < b.v ? -1 : (a.v == b.v ? 0 : 1);
+          st.flags_dep = a.dep | b.dep;
+          ++st.pc;
+          break;
+        }
+        case Op::kCmpImm: {
+          const RV a = rv(st, ins.rn);
+          const auto rhs = static_cast<std::uint64_t>(ins.imm);
+          st.flags = a.v < rhs ? -1 : (a.v == rhs ? 0 : 1);
+          st.flags_dep = a.dep;
+          ++st.pc;
+          break;
+        }
+
+        case Op::kB:
+          st.pc = ins.target;
+          break;
+        case Op::kBeq: case Op::kBne: case Op::kBlt:
+        case Op::kBle: case Op::kBgt: case Op::kBge: {
+          bool taken = false;
+          switch (ins.op) {
+            case Op::kBeq: taken = st.flags == 0; break;
+            case Op::kBne: taken = st.flags != 0; break;
+            case Op::kBlt: taken = st.flags < 0; break;
+            case Op::kBle: taken = st.flags <= 0; break;
+            case Op::kBgt: taken = st.flags > 0; break;
+            default: taken = st.flags >= 0; break;  // kBge
+          }
+          // A ctrl dependency exists from every read feeding the condition
+          // to every po-later access, on both arms of the branch.
+          st.ctrl |= st.flags_dep;
+          st.pc = taken ? ins.target : st.pc + 1;
+          break;
+        }
+        case Op::kCbz: case Op::kCbnz: {
+          const RV a = rv(st, ins.rn);
+          const bool taken = (ins.op == Op::kCbz) == (a.v == 0);
+          st.ctrl |= a.dep;
+          st.pc = taken ? ins.target : st.pc + 1;
+          break;
+        }
+
+        case Op::kLdr: case Op::kLdrIdx: case Op::kLdar: case Op::kLdapr: {
+          const RV base = rv(st, ins.rn);
+          const RV off = ins.op == Op::kLdrIdx
+                             ? rv(st, ins.rm)
+                             : RV{static_cast<std::uint64_t>(ins.imm), 0};
+          if (st.nreads >=
+              static_cast<int>(std::min<std::uint32_t>(
+                  opts_.max_reads_per_thread, 64))) {
+            status_->complete = false;
+            return;
+          }
+          Event e;
+          e.kind = Event::kRead;
+          e.op = ins.op;
+          e.addr = base.v + off.v;
+          e.acq = ins.op == Op::kLdar;
+          e.acq_pc = ins.op == Op::kLdapr;
+          e.addr_dep = base.dep | off.dep;
+          e.ctrl_dep = st.ctrl;
+          e.read_ord = st.nreads;
+          ++st.pc;
+          ++st.nreads;
+          const auto vals = load_candidates(e.addr);
+          for (std::size_t i = 0; i < vals.size(); ++i) {
+            PathState next = (i + 1 == vals.size()) ? std::move(st) : st;
+            Event ev = e;
+            ev.value = vals[i];
+            ev.po = static_cast<std::uint32_t>(next.events.size());
+            next.events.push_back(ev);
+            setreg(next, ins.rd, {vals[i], 1ULL << e.read_ord});
+            step(std::move(next));
+            if (!status_->ok()) return;
+          }
+          return;
+        }
+
+        case Op::kStr: case Op::kStrIdx: case Op::kStlr: {
+          // The source register lives in the rd field (see Asm::str).
+          const RV base = rv(st, ins.rn);
+          const RV off = ins.op == Op::kStrIdx
+                             ? rv(st, ins.rm)
+                             : RV{static_cast<std::uint64_t>(ins.imm), 0};
+          const RV data = rv(st, ins.rd);
+          Event e;
+          e.kind = Event::kWrite;
+          e.op = ins.op;
+          e.addr = base.v + off.v;
+          e.value = data.v;
+          e.rel = ins.op == Op::kStlr;
+          e.addr_dep = base.dep | off.dep;
+          e.data_dep = data.dep;
+          e.ctrl_dep = st.ctrl;
+          e.po = static_cast<std::uint32_t>(st.events.size());
+          st.events.push_back(e);
+          ++st.pc;
+          break;
+        }
+
+        case Op::kDmbFull: case Op::kDmbSt: case Op::kDmbLd:
+        case Op::kDsbFull: case Op::kDsbSt: case Op::kDsbLd:
+        case Op::kIsb: {
+          Event e;
+          e.kind = Event::kFence;
+          e.op = ins.op;
+          e.ctrl_dep = st.ctrl;  // feeds the (ctrl);[ISB];po;[R] clause
+          e.po = static_cast<std::uint32_t>(st.events.size());
+          st.events.push_back(e);
+          ++st.pc;
+          break;
+        }
+
+        case Op::kWfe: case Op::kLdxr: case Op::kStxr: case Op::kSwp:
+          status_->error =
+              "unsupported op in reference model: " + sim::to_string(ins.op);
+          return;
+      }
+    }
+  }
+
+  const sim::Program& prog_;
+  const std::map<Addr, std::set<std::uint64_t>>& dom_;
+  const std::map<Addr, std::uint64_t>& init_;
+  const ModelOptions& opts_;
+  OutcomeSet* status_;
+  std::vector<ThreadExec> execs_;
+  std::set<std::string> seen_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase C: combine thread executions, enumerate rf/co, check the axioms
+// ---------------------------------------------------------------------------
+
+bool acyclic(std::size_t n, const std::vector<std::vector<int>>& adj) {
+  // Iterative three-colour DFS.
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<std::uint8_t> color(n, kWhite);
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    stack.emplace_back(static_cast<int>(root), 0);
+    color[root] = kGrey;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj[u].size()) {
+        const int v = adj[u][next++];
+        if (color[v] == kGrey) return false;
+        if (color[v] == kWhite) {
+          color[v] = kGrey;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+/// One candidate execution being checked: the flattened event list plus the
+/// relation machinery. Events keep their Phase-B thread/po identity; the
+/// initial write of every touched address is prepended as a virtual event on
+/// thread -1 (external to every real thread, co-first at its address).
+class ComboChecker {
+ public:
+  ComboChecker(const ConcurrentProgram& p, const ModelOptions& opts,
+               const std::vector<const ThreadExec*>& combo,
+               const std::set<Addr>& addrs,
+               const std::map<Addr, std::uint64_t>& init, OutcomeSet* out)
+      : p_(p), opts_(opts), combo_(combo), out_(out) {
+    for (Addr a : addrs) {
+      Event e;
+      e.kind = Event::kWrite;
+      e.thread = -1;
+      e.addr = a;
+      if (auto it = init.find(a); it != init.end()) e.value = it->second;
+      init_id_[a] = static_cast<int>(ev_.size());
+      ev_.push_back(e);
+    }
+    rdmap_.resize(combo.size());
+    for (std::size_t t = 0; t < combo.size(); ++t) {
+      for (const Event& src : combo[t]->events) {
+        Event e = src;
+        e.thread = static_cast<int>(t);
+        const int id = static_cast<int>(ev_.size());
+        if (e.kind == Event::kRead) {
+          if (rdmap_[t].size() <= static_cast<std::size_t>(e.read_ord))
+            rdmap_[t].resize(e.read_ord + 1, -1);
+          rdmap_[t][e.read_ord] = id;
+          reads_.push_back(id);
+        } else if (e.kind == Event::kWrite) {
+          writes_by_addr_[e.addr].push_back(id);
+        }
+        thread_events_[t].push_back(id);
+        ev_.push_back(e);
+      }
+    }
+  }
+
+  /// Enumerate every (rf, co) choice for this combo and record the outcomes
+  /// of consistent candidates. Returns false when the candidate budget is
+  /// exhausted.
+  bool check() {
+    build_static_edges();
+    // rf candidates per read: writes at the same address carrying the same
+    // value (the init write qualifying when the value matches). A read with
+    // no candidate makes the whole combo infeasible.
+    rf_cand_.resize(reads_.size());
+    for (std::size_t i = 0; i < reads_.size(); ++i) {
+      const Event& r = ev_[reads_[i]];
+      auto& cand = rf_cand_[i];
+      if (ev_[init_id_[r.addr]].value == r.value)
+        cand.push_back(init_id_[r.addr]);
+      if (auto it = writes_by_addr_.find(r.addr);
+          it != writes_by_addr_.end())
+        for (int w : it->second)
+          if (ev_[w].value == r.value) cand.push_back(w);
+      if (cand.empty()) return true;  // infeasible, not over budget
+    }
+    rf_.assign(reads_.size(), -1);
+    return assign_rf(0);
+  }
+
+ private:
+  void add_edge(std::vector<std::pair<int, int>>& edges, int from, int to) {
+    if (from != to) edges.emplace_back(from, to);
+  }
+
+  template <typename Fn>
+  void for_deps(int thread, std::uint64_t mask, Fn&& fn) {
+    while (mask != 0) {
+      const int ord = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      if (static_cast<std::size_t>(ord) < rdmap_[thread].size() &&
+          rdmap_[thread][ord] >= 0)
+        fn(rdmap_[thread][ord]);
+    }
+  }
+
+  /// dob/bob edges that do not depend on the rf/co choice.
+  void build_static_edges() {
+    for (std::size_t t = 0; t < combo_.size(); ++t) {
+      const auto& tev = thread_events_[t];
+      const int ti = static_cast<int>(t);
+
+      // Direct dependency clauses: addr, data, ctrl;[W].
+      for (int id : tev) {
+        const Event& e = ev_[id];
+        if (e.kind == Event::kFence) continue;
+        for_deps(ti, e.addr_dep,
+                 [&](int r) { add_edge(static_, r, id); });
+        if (e.kind == Event::kWrite) {
+          for_deps(ti, e.data_dep,
+                   [&](int r) { add_edge(static_, r, id); });
+          for_deps(ti, e.ctrl_dep,
+                   [&](int r) { add_edge(static_, r, id); });
+        }
+      }
+
+      // Prefix-accumulating po scan for the remaining clauses.
+      std::uint64_t addr_prefix = 0;  // addr;po;[W] and (addr;po);[ISB]
+      std::uint64_t isb_srcs = 0;     // (ctrl|(addr;po));[ISB];po;[R]
+      std::vector<int> all_before, rel_before;
+      std::vector<int> any_srcs;  // ordered before every later access
+      std::vector<int> st_srcs;   // ordered before every later write
+      for (int id : tev) {
+        const Event& e = ev_[id];
+        if (e.kind == Event::kFence) {
+          if (is_full_fence(e.op)) {
+            any_srcs.insert(any_srcs.end(), all_before.begin(),
+                            all_before.end());
+          } else if (is_ld_fence(e.op)) {
+            for (int b : all_before)
+              if (ev_[b].kind == Event::kRead) any_srcs.push_back(b);
+          } else if (is_st_fence(e.op)) {
+            for (int b : all_before)
+              if (ev_[b].kind == Event::kWrite) st_srcs.push_back(b);
+          } else {  // ISB
+            isb_srcs |= e.ctrl_dep | addr_prefix;
+          }
+          continue;
+        }
+        // Incoming barrier-ordered edges.
+        for (int s : any_srcs) add_edge(static_, s, id);
+        if (e.kind == Event::kWrite)
+          for (int s : st_srcs) add_edge(static_, s, id);
+        if (e.kind == Event::kRead)
+          for_deps(ti, isb_srcs, [&](int r) { add_edge(static_, r, id); });
+        // addr;po;[W]: reads feeding any earlier access's address order
+        // before every later write.
+        if (e.kind == Event::kWrite)
+          for_deps(ti, addr_prefix,
+                   [&](int r) { add_edge(static_, r, id); });
+        // po;[L] and [L];po;[A].
+        if (e.kind == Event::kWrite && e.rel) {
+          for (int b : all_before) add_edge(static_, b, id);
+          rel_before.push_back(id);
+        }
+        if (e.kind == Event::kRead && e.acq)
+          for (int l : rel_before) add_edge(static_, l, id);
+        // [A|Q];po.
+        if (e.kind == Event::kRead && (e.acq || e.acq_pc))
+          any_srcs.push_back(id);
+        addr_prefix |= e.addr_dep;
+        all_before.push_back(id);
+      }
+    }
+  }
+
+  bool assign_rf(std::size_t i) {
+    if (i == reads_.size()) return enumerate_co();
+    for (int w : rf_cand_[i]) {
+      rf_[i] = w;
+      if (!assign_rf(i + 1)) return false;
+    }
+    return true;
+  }
+
+  bool enumerate_co() {
+    // One permutation vector per address that has competing real writes;
+    // the init write is always co-first.
+    co_addrs_.clear();
+    co_perm_.clear();
+    for (auto& [a, ws] : writes_by_addr_) {
+      co_addrs_.push_back(a);
+      co_perm_.push_back(ws);  // start from Phase-B order, sorted below
+      std::sort(co_perm_.back().begin(), co_perm_.back().end());
+    }
+    return perm_addr(0);
+  }
+
+  bool perm_addr(std::size_t k) {
+    if (k == co_addrs_.size()) return check_candidate();
+    auto& perm = co_perm_[k];
+    std::sort(perm.begin(), perm.end());
+    do {
+      if (!perm_addr(k + 1)) return false;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return true;
+  }
+
+  /// Axiom check for the now fully chosen (rf, co). Returns false when the
+  /// global candidate budget is exhausted.
+  bool check_candidate() {
+    if (++out_->candidates > opts_.max_candidates) {
+      out_->complete = false;
+      return false;
+    }
+    const std::size_t n = ev_.size();
+
+    // co position of every write: (addr, index); init is position 0.
+    std::vector<int> co_pos(n, -1);
+    for (int id = 0; id < static_cast<int>(n); ++id)
+      if (ev_[id].thread == -1) co_pos[id] = 0;
+    for (std::size_t k = 0; k < co_addrs_.size(); ++k)
+      for (std::size_t i = 0; i < co_perm_[k].size(); ++i)
+        co_pos[co_perm_[k][i]] = static_cast<int>(i) + 1;
+
+    auto co_before = [&](int w1, int w2) {
+      return ev_[w1].addr == ev_[w2].addr && co_pos[w1] < co_pos[w2];
+    };
+
+    // ---- internal: acyclic(po-loc ∪ rf ∪ co ∪ fr) --------------------
+    std::vector<std::vector<int>> internal(n), external(n);
+    for (const auto& [from, to] : static_) external[from].push_back(to);
+
+    // po-loc chains per thread.
+    for (const auto& [t, tev] : thread_events_) {
+      (void)t;
+      std::map<Addr, int> last;
+      for (int id : tev) {
+        const Event& e = ev_[id];
+        if (e.kind == Event::kFence) continue;
+        if (auto it = last.find(e.addr); it != last.end())
+          internal[it->second].push_back(id);
+        last[e.addr] = id;
+      }
+    }
+    // co (full pairs, both graphs where external).
+    std::vector<std::pair<int, int>> co_pairs;
+    for (std::size_t k = 0; k < co_addrs_.size(); ++k) {
+      const int init_w = init_id_[co_addrs_[k]];
+      const auto& perm = co_perm_[k];
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        co_pairs.emplace_back(init_w, perm[i]);
+        for (std::size_t j = i + 1; j < perm.size(); ++j)
+          co_pairs.emplace_back(perm[i], perm[j]);
+      }
+    }
+    for (const auto& [w1, w2] : co_pairs) {
+      internal[w1].push_back(w2);
+      if (ev_[w1].thread != ev_[w2].thread) external[w1].push_back(w2);
+    }
+    // rf, fr; plus the rf/co-dependent dob and bob clauses.
+    for (std::size_t i = 0; i < reads_.size(); ++i) {
+      const int r = reads_[i];
+      const int src = rf_[i];
+      internal[src].push_back(r);
+      if (ev_[src].thread != ev_[r].thread) {
+        external[src].push_back(r);  // rfe ∈ obs
+      } else {
+        // (addr|data);rfi: reads feeding the source write's address or data
+        // are ordered before the read that observes it.
+        for_deps(ev_[src].thread, ev_[src].addr_dep | ev_[src].data_dep,
+                 [&](int d) {
+                   if (d != r) external[d].push_back(r);
+                 });
+      }
+      // fr = rf⁻¹;co.
+      for (int w : writes_of(ev_[r].addr))
+        if (w != src && co_before(src, w)) {
+          internal[r].push_back(w);
+          if (ev_[r].thread != ev_[w].thread)
+            external[r].push_back(w);  // fre ∈ obs
+        }
+    }
+    // (ctrl|data);coi and po;[L];coi.
+    for (const auto& [w1, w2] : co_pairs) {
+      if (ev_[w1].thread < 0 || ev_[w1].thread != ev_[w2].thread) continue;
+      for_deps(ev_[w1].thread, ev_[w1].ctrl_dep | ev_[w1].data_dep,
+               [&](int r) { external[r].push_back(w2); });
+      if (ev_[w1].rel)
+        for (int b : thread_events_[ev_[w1].thread]) {
+          if (b == w1) break;
+          if (ev_[b].kind != Event::kFence) external[b].push_back(w2);
+        }
+    }
+
+    if (!acyclic(n, internal)) return true;   // sc-per-location violated
+    if (!acyclic(n, external)) return true;   // ob cycle: forbidden
+    ++out_->consistent;
+
+    // ---- consistent: record the outcome ------------------------------
+    Outcome o;
+    o.reserve(p_.observe_regs.size() + p_.observe_mem.size());
+    for (const auto& [t, reg] : p_.observe_regs)
+      o.push_back(reg == sim::XZR ? 0 : combo_[t]->regs[reg]);
+    for (Addr a : p_.observe_mem) {
+      std::uint64_t final_v = ev_[init_id_[a]].value;
+      int best = 0;
+      for (int w : writes_of(a))
+        if (co_pos[w] >= best) {
+          best = co_pos[w];
+          final_v = ev_[w].value;
+        }
+      o.push_back(final_v);
+    }
+    out_->allowed.insert(std::move(o));
+    return true;
+  }
+
+  std::vector<int> writes_of(Addr a) const {
+    auto it = writes_by_addr_.find(a);
+    return it == writes_by_addr_.end() ? std::vector<int>{} : it->second;
+  }
+
+  const ConcurrentProgram& p_;
+  const ModelOptions& opts_;
+  const std::vector<const ThreadExec*>& combo_;
+  OutcomeSet* out_;
+
+  std::vector<Event> ev_;
+  std::map<Addr, int> init_id_;
+  std::map<Addr, std::vector<int>> writes_by_addr_;
+  std::map<int, std::vector<int>> thread_events_;
+  std::vector<std::vector<int>> rdmap_;
+  std::vector<int> reads_;
+  std::vector<std::pair<int, int>> static_;
+  std::vector<std::vector<int>> rf_cand_;
+  std::vector<int> rf_;
+  std::vector<Addr> co_addrs_;
+  std::vector<std::vector<int>> co_perm_;
+};
+
+}  // namespace
+
+OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
+                              const ModelOptions& opts) {
+  OutcomeSet out;
+  if (p.threads.empty() || p.threads.size() > 8) {
+    out.error = "reference model supports 1..8 threads";
+    return out;
+  }
+  for (const auto& [t, reg] : p.observe_regs) {
+    (void)reg;
+    if (t >= p.threads.size()) {
+      out.error = "observe_regs names thread " + std::to_string(t) +
+                  " but the program has " + std::to_string(p.threads.size());
+      return out;
+    }
+  }
+  std::map<Addr, std::uint64_t> init;
+  for (const auto& [a, v] : p.init) init[a] = v;
+
+  // Phase A: per-address value-domain fixpoint. The domain only ever grows,
+  // so this terminates; the round cap guards pathological feedback loops.
+  std::map<Addr, std::set<std::uint64_t>> dom;
+  std::vector<std::vector<ThreadExec>> execs;
+  for (int round = 0;; ++round) {
+    execs.clear();
+    for (const sim::Program& prog : p.threads) {
+      ThreadInterp interp(prog, dom, init, opts, &out);
+      execs.push_back(interp.run());
+      if (!out.ok()) return out;
+    }
+    bool grew = false;
+    for (const auto& texecs : execs)
+      for (const ThreadExec& ex : texecs)
+        for (const Event& e : ex.events)
+          if (e.kind == Event::kWrite && dom[e.addr].insert(e.value).second)
+            grew = true;
+    for (const auto& [a, vs] : dom) {
+      (void)a;
+      if (vs.size() > opts.max_value_domain) {
+        out.complete = false;
+        return out;
+      }
+    }
+    if (!grew) break;
+    if (round >= 16) {
+      out.complete = false;
+      return out;
+    }
+  }
+
+  // Every address any event touches gets a virtual initial write.
+  std::set<Addr> addrs;
+  for (const auto& [a, v] : p.init) {
+    (void)v;
+    addrs.insert(a);
+  }
+  for (Addr a : p.observe_mem) addrs.insert(a);
+  for (const auto& texecs : execs)
+    for (const ThreadExec& ex : texecs)
+      for (const Event& e : ex.events)
+        if (e.kind != Event::kFence) addrs.insert(e.addr);
+
+  // Phase C: odometer over one candidate execution per thread.
+  const std::size_t T = execs.size();
+  for (const auto& texecs : execs)
+    if (texecs.empty()) return out;  // no completed path (complete=false set)
+  std::vector<std::size_t> pick(T, 0);
+  std::vector<const ThreadExec*> combo(T);
+  for (;;) {
+    for (std::size_t t = 0; t < T; ++t) combo[t] = &execs[t][pick[t]];
+    ComboChecker checker(p, opts, combo, addrs, init, &out);
+    if (!checker.check()) return out;  // budget exhausted
+    std::size_t t = 0;
+    for (; t < T; ++t) {
+      if (++pick[t] < execs[t].size()) break;
+      pick[t] = 0;
+    }
+    if (t == T) break;
+  }
+  return out;
+}
+
+std::string to_string(const Outcome& o) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < o.size(); ++i)
+    os << (i ? "," : "") << o[i];
+  os << ')';
+  return os.str();
+}
+
+std::string to_string(const OutcomeSet& s) {
+  std::ostringstream os;
+  if (!s.ok()) return "error: " + s.error;
+  os << '{';
+  bool first = true;
+  for (const Outcome& o : s.allowed) {
+    os << (first ? "" : " ") << to_string(o);
+    first = false;
+  }
+  os << '}';
+  if (!s.complete) os << " (incomplete)";
+  return os.str();
+}
+
+}  // namespace armbar::model

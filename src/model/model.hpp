@@ -1,0 +1,107 @@
+// Axiomatic ARMv8 reference model (ISSUE 4 tentpole).
+//
+// Given a small multi-threaded micro-ISA program, exhaustively enumerate the
+// set of final states the ARMv8 memory model allows, independently of the
+// timing simulator. The construction follows the herd7 aarch64.cat model
+// (Alglave et al., "Herding Cats", TOPLAS 2014; Pulte et al., POPL 2018
+// for the simplified multi-copy-atomic formulation):
+//
+//   * Each candidate execution is a set of events — reads R, writes W (with
+//     acquire A / acquire-PC Q / release L flags) and fences — related by
+//     program order (po), reads-from (rf), coherence (co) and from-reads
+//     (fr = rf⁻¹;co).
+//   * sc-per-location ("internal"):  acyclic(po-loc ∪ rf ∪ co ∪ fr).
+//   * external visibility:           acyclic(obs ∪ dob ∪ bob), where
+//       obs = rfe ∪ coe ∪ fre                       (observed-by)
+//       dob = addr | data | ctrl;[W] | addr;po;[W]
+//           | (ctrl|(addr;po));[ISB];po;[R]
+//           | (ctrl|data);coi | (addr|data);rfi     (dependency-ordered)
+//       bob = [R];po;[dmb.ld];po | [W];po;[dmb.st];po;[W]
+//           | po;[dmb.full];po | [L];po;[A] | [A|Q];po
+//           | po;[L] | po;[L];coi                    (barrier-ordered)
+//   * DSB variants impose at least the ordering of the matching DMB, so the
+//     model treats dsb.{ish,ishst,ishld} as dmb.{ish,ishst,ishld}.
+//
+// The simulator was measured to be multi-copy-atomic (see
+// tests/litmus/litmus_shapes_test.cpp, WRC probe), so the MCA formulation is
+// a sound oracle: every outcome the simulator can produce must fall inside
+// the set this model enumerates. The converse need not hold — the simulator
+// is documented to be *stronger* than the architecture on some shapes (LB /
+// S / 2+2W relaxed outcomes are unobservable because loads sample at issue).
+//
+// Enumeration is exact, not sampled:
+//   Phase A  computes a per-address value domain as a fixpoint (initial
+//            values plus every value any thread path can store);
+//   Phase B  symbolically executes each thread, forking on every load over
+//            the domain, while tracking register taint for address / data /
+//            control dependencies;
+//   Phase C  combines one candidate execution per thread, enumerates every
+//            rf assignment and every co (coherence) permutation, and keeps
+//            the final states of the candidates that satisfy the axioms.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/program.hpp"
+
+namespace armbar::model {
+
+/// A final state: the observed registers (in observe_regs order) followed by
+/// the final memory words (in observe_mem order).
+using Outcome = std::vector<std::uint64_t>;
+
+/// A small concurrent program in model form: one straight-line (or
+/// forward-branching) micro-ISA program per thread, shared initial memory,
+/// and the observation list that defines the outcome tuple.
+///
+/// The same sim::Program objects run unchanged on the timing simulator —
+/// that is the whole point of the differential harness.
+struct ConcurrentProgram {
+  std::string name;
+  std::vector<sim::Program> threads;
+  std::vector<std::pair<Addr, std::uint64_t>> init;
+  /// Observed (thread index, register) slots, in outcome order.
+  std::vector<std::pair<std::uint32_t, sim::Reg>> observe_regs;
+  /// Observed final memory words, appended after the registers.
+  std::vector<Addr> observe_mem;
+};
+
+/// Enumeration budgets. The defaults comfortably cover every litmus shape
+/// and everything the fuzz generator emits; hitting any cap clears
+/// OutcomeSet::complete instead of silently truncating.
+struct ModelOptions {
+  std::uint32_t max_path_instructions = 512;  ///< executed instrs per path
+  std::uint32_t max_execs_per_thread = 4096;  ///< candidate paths per thread
+  std::uint32_t max_reads_per_thread = 48;    ///< taint masks are 64-bit
+  std::uint32_t max_value_domain = 32;        ///< load-value forks per addr
+  std::uint64_t max_candidates = 4'000'000;   ///< (exec, rf, co) checks
+};
+
+/// Result of enumerate_outcomes().
+struct OutcomeSet {
+  std::set<Outcome> allowed;
+  /// False when any ModelOptions cap was hit: `allowed` is then a lower
+  /// bound and must not be used to flag simulator outcomes as illegal.
+  bool complete = true;
+  /// Non-empty when the program uses an op the model does not cover
+  /// (WFE/LDXR/STXR/SWP) or is otherwise malformed; `allowed` is invalid.
+  std::string error;
+  std::uint64_t candidates = 0;  ///< axiom checks performed
+  std::uint64_t consistent = 0;  ///< candidates that satisfied the axioms
+
+  bool ok() const { return error.empty(); }
+  bool allows(const Outcome& o) const { return allowed.count(o) != 0; }
+};
+
+OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
+                              const ModelOptions& opts = {});
+
+std::string to_string(const Outcome& o);
+std::string to_string(const OutcomeSet& s);
+
+}  // namespace armbar::model

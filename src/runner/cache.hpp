@@ -35,7 +35,7 @@ inline constexpr const char* kCacheEntrySchema = "armbar.cache.entry/v1";
 
 /// Bump when the simulator's timing behaviour changes (new latency fields,
 /// scheduler fixes, ...) — every existing entry is invalidated at once.
-inline constexpr const char* kCacheEpoch = "armbar-sim/2";
+inline constexpr const char* kCacheEpoch = "armbar-sim/4";
 
 class ResultCache {
  public:

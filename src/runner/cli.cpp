@@ -123,7 +123,8 @@ int cli_main(int argc, char** argv, const char* forced_experiment) {
       std::fprintf(stderr, "%s: failed to write report '%s'\n", prog.c_str(),
                    path.c_str());
   }
-  if (result.interrupted) return 130;  // conventional SIGINT exit status
+  // Conventional 128+signal exit status: 130 for SIGINT, 143 for SIGTERM.
+  if (result.interrupted) return 128 + (result.signal != 0 ? result.signal : 2);
   return result.ok && io_ok ? 0 : 1;
 }
 

@@ -16,12 +16,18 @@
 namespace armbar::runner {
 namespace {
 
-// SIGINT latch: the handler may only touch a sig_atomic_t. Experiments poll
-// it at every cached() point, so one ^C stops new work quickly while the
-// engine still assembles and flushes a partial report.
+// Interrupt latch: the handler may only touch a sig_atomic_t. It stores the
+// signal number (SIGINT from ^C, SIGTERM from a CI timeout / kill) so the
+// CLI can exit with the conventional 128+signal status. Experiments poll it
+// at every cached() point, so either signal stops new work quickly while
+// the engine still assembles and flushes a partial report.
 volatile std::sig_atomic_t g_interrupted = 0;
 
-void engine_sigint_handler(int) { g_interrupted = 1; }
+void engine_signal_handler(int sig) { g_interrupted = sig; }
+
+const char* interrupt_name(int sig) {
+  return sig == SIGTERM ? "SIGTERM" : "SIGINT";
+}
 
 /// Scoped installation of the engine's process-global degradation hooks:
 /// ARMBAR_CHECK failures throw (instead of aborting the whole sweep), the
@@ -38,10 +44,13 @@ class DegradationScope {
     if (fault_installed_) sim::fault::set_global_fault_plan(opts.fault);
     if (sigint_installed_) {
       g_interrupted = 0;
-      prev_sigint_ = std::signal(SIGINT, &engine_sigint_handler);
+      prev_sigint_ = std::signal(SIGINT, &engine_signal_handler);
+      prev_sigterm_ = std::signal(SIGTERM, &engine_signal_handler);
     }
   }
   ~DegradationScope() {
+    if (sigint_installed_ && prev_sigterm_ != SIG_ERR)
+      std::signal(SIGTERM, prev_sigterm_);
     if (sigint_installed_ && prev_sigint_ != SIG_ERR)
       std::signal(SIGINT, prev_sigint_);
     if (fault_installed_) sim::fault::clear_global_fault_plan();
@@ -55,6 +64,7 @@ class DegradationScope {
   bool fault_installed_;
   bool sigint_installed_;
   void (*prev_sigint_)(int) = SIG_ERR;
+  void (*prev_sigterm_)(int) = SIG_ERR;
 };
 
 /// One attempt's abnormal-termination record (empty kind = clean).
@@ -204,7 +214,10 @@ EngineResult Engine::run() {
         } catch (const ExperimentTimeout& e) {
           failure = {"timeout", e.reason, trace::Json()};
         } catch (const ExperimentInterrupted&) {
-          failure = {"interrupted", "run interrupted (SIGINT)", trace::Json()};
+          failure = {"interrupted",
+                     std::string("run interrupted (") +
+                         interrupt_name(g_interrupted) + ")",
+                     trace::Json()};
         } catch (const sim::SimError& e) {
           // SimHang / InvariantViolation: kind travels in the diagnostic.
           failure = {e.diagnostic().kind, e.diagnostic().summary,
@@ -256,6 +269,7 @@ EngineResult Engine::run() {
     out.kind = failure.kind;
     out.reason = failure.reason;
     out.diagnostic = failure.diagnostic;
+    out.repro_bundle = ctx->repro_bundle();
     out.attempts = attempts;
     all_ok = all_ok && out.ok;
     if (!failure.kind.empty())
@@ -277,7 +291,7 @@ EngineResult Engine::run() {
     report.add_param(kp + "status", out.status);
     if (!out.kind.empty())
       report.add_quarantine(out.name, out.status, out.kind, out.reason,
-                            out.diagnostic);
+                            out.diagnostic, out.repro_bundle);
     report.add_metric(kp + "wall_ms", wall_ms);
     report.add_metric(kp + "sim_points", static_cast<double>(out.points));
     report.add_metric(kp + "cache_point_hits",
@@ -334,9 +348,12 @@ EngineResult Engine::run() {
                 opts_.cache_dir.c_str());
 
   result.interrupted = g_interrupted != 0;
-  if (result.interrupted)
-    std::printf("\ninterrupted: partial report (remaining experiments "
-                "skipped)\n");
+  if (result.interrupted) {
+    result.signal = static_cast<int>(g_interrupted);
+    std::printf("\ninterrupted by %s: partial report (remaining experiments "
+                "skipped)\n",
+                interrupt_name(result.signal));
+  }
   report.set_ok(all_ok);
   result.report = report.build();
   result.ok = all_ok && io_ok;

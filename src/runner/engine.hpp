@@ -45,8 +45,10 @@ struct EngineOptions {
   sim::fault::FaultPlan fault{};
   /// Run the MachineVerifier every N simulated cycles (0 = off).
   std::uint64_t verify_every = 0;
-  /// Install a SIGINT handler for the duration of run() so an interrupt
-  /// still flushes a partial report. Tests that raise() set this too.
+  /// Install SIGINT *and* SIGTERM handlers for the duration of run() so an
+  /// interactive ^C and a CI timeout's kill both flush a partial report
+  /// (with quarantine entries) instead of dying silently. Tests that
+  /// raise() set this too.
   bool handle_sigint = true;
 };
 
@@ -67,12 +69,14 @@ struct ExperimentOutcome {
   std::string kind;
   std::string reason;         ///< human-readable failure description
   trace::Json diagnostic;     ///< SimDiagnostic bundle (null if none)
+  std::string repro_bundle;   ///< armbar.repro/v1 path (empty if none)
   std::uint32_t attempts = 1; ///< executions including retries
 };
 
 struct EngineResult {
   bool ok = false;                ///< every experiment ok (and >=1 matched)
-  bool interrupted = false;       ///< SIGINT observed; report is partial
+  bool interrupted = false;       ///< SIGINT/SIGTERM observed; partial report
+  int signal = 0;                 ///< the interrupting signal number (0 = none)
   std::vector<ExperimentOutcome> outcomes;
   trace::Json report;             ///< consolidated armbar.bench.report/v1
   ResultCache::Stats cache_stats;

@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "runner/glob.hpp"
 #include "sim/fault/fault.hpp"
+#include "sim/verify.hpp"
 
 namespace armbar::runner {
 
@@ -70,22 +71,29 @@ void ExperimentContext::fatal(const std::string& reason) {
   throw ExperimentAbort{reason};
 }
 
+void ExperimentContext::note_repro_bundle(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  repro_bundle_ = path;
+}
+
+std::string ExperimentContext::repro_bundle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repro_bundle_;
+}
+
 Fingerprint ExperimentContext::key() {
   Fingerprint fp;
   fp.mix(kCacheEpoch);
+  // Every process-global knob that can change a simulated result must land
+  // in the base key (ISSUE 4 audit): the chaos fault plan (seed and all
+  // rates) and the invariant-check cadence — a verify-enabled run can
+  // throw (and quarantine) where an unverified one completes.
   if (const sim::fault::FaultPlan* plan = sim::fault::global_fault_plan();
       plan != nullptr && plan->enabled()) {
-    fp.mix("fault-plan");
-    fp.mix(plan->seed);
-    fp.mix(plan->barrier_spike_pm);
-    fp.mix(plan->barrier_spike_cycles);
-    fp.mix(plan->coh_delay_pm);
-    fp.mix(plan->coh_delay_cycles);
-    fp.mix(plan->coh_duplicate_pm);
-    fp.mix(plan->evict_pm);
-    fp.mix(plan->sb_stall_pm);
-    fp.mix(plan->sb_stall_cycles);
+    fp.mix(*plan);
   }
+  if (const Cycle every = sim::global_verify_every(); every != 0)
+    fp.mix("verify-every").mix(static_cast<std::uint64_t>(every));
   return fp;
 }
 

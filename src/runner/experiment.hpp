@@ -135,6 +135,14 @@ class ExperimentContext {
   /// failed check and aborts this experiment only.
   [[noreturn]] void fatal(const std::string& reason);
 
+  /// Attach the path of an armbar.repro/v1 bundle (written by the fuzz
+  /// harness) to this run. If the experiment is later quarantined the path
+  /// lands on its quarantine entry as "repro_bundle", giving the report a
+  /// one-command replay handle (tools/armbar-repro). Last writer wins;
+  /// thread-safe (sweep workers may call it).
+  void note_repro_bundle(const std::string& path);
+  std::string repro_bundle() const;
+
   // ---- parallel sweep ----
 
   /// Run fn(0..n-1) on the engine pool and return the results in index
@@ -211,7 +219,9 @@ class ExperimentContext {
   std::vector<std::pair<std::string, std::string>> params_;
   std::vector<std::pair<std::string, double>> metrics_recorded_;
   std::size_t failed_checks_ = 0;
-  std::mutex mu_;  // guards the digest fields (cached() runs on workers)
+  std::string repro_bundle_;
+  mutable std::mutex mu_;  // guards digest fields and repro_bundle_
+                           // (cached() and note_repro_bundle run on workers)
   std::uint64_t points_digest_ = 0;
   std::uint64_t points_ = 0;
   std::uint64_t point_hits_ = 0;

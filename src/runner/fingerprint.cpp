@@ -72,6 +72,23 @@ Fingerprint& Fingerprint::mix(const sim::Program& prog) {
   return *this;
 }
 
+Fingerprint& Fingerprint::mix(const sim::fault::FaultPlan& plan) {
+  // Field-by-field, like PlatformSpec: a new fault class must show up here
+  // (and trip the static_assert) the day it is added.
+  static_assert(sizeof(sim::fault::FaultPlan) ==
+                    sizeof(std::uint64_t) + 8 * sizeof(std::uint32_t),
+                "FaultPlan gained/lost a field: update Fingerprint::mix and "
+                "bump kCacheEpoch in runner/cache.hpp");
+  mix("fault-plan");
+  mix(plan.seed);
+  mix(plan.barrier_spike_pm).mix(plan.barrier_spike_cycles);
+  mix(plan.coh_delay_pm).mix(plan.coh_delay_cycles);
+  mix(plan.coh_duplicate_pm);
+  mix(plan.evict_pm);
+  mix(plan.sb_stall_pm).mix(plan.sb_stall_cycles);
+  return *this;
+}
+
 std::string Fingerprint::hex() const {
   char buf[33];
   std::snprintf(buf, sizeof buf, "%016llx%016llx",

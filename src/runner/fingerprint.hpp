@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "sim/fault/fault.hpp"
 #include "sim/platform.hpp"
 #include "sim/program.hpp"
 
@@ -33,6 +34,9 @@ class Fingerprint {
   Fingerprint& mix(const sim::PlatformSpec& spec);
   /// Every field of every instruction (the name is cosmetic and skipped).
   Fingerprint& mix(const sim::Program& prog);
+  /// Every fault-plan field, seed included — a warm cache must never hand
+  /// back fault-free results for a faulted run (ISSUE 4 audit).
+  Fingerprint& mix(const sim::fault::FaultPlan& plan);
 
   std::uint64_t lo() const { return lo_; }
   std::uint64_t hi() const { return hi_; }

@@ -474,6 +474,22 @@ void Core::issue(Cycle now) {
         stall(now, load_gate_, StallCause::kMemGate);
         return;
       }
+      if (ins.op == Op::kLdar) {
+        // RCsc: [L]; po; [A] is barrier-ordered — an LDAR must not be
+        // satisfied while an earlier STLR is still awaiting global
+        // visibility (found by the differential fuzzer: unfenced SB with
+        // STLR/LDAR must not show the (0,0) outcome). Plain STRs are
+        // deliberately not waited on ([W]; po; [A] is unordered).
+        bool release_pending = false;
+        for (const auto& e : sb_)
+          if (e.release) { release_pending = true; break; }
+        if (release_pending) {
+          const Cycle ev = earliest_sb_event(now);
+          stall(now, ev > now && ev != kNeverCycle ? ev : now + 1,
+                StallCause::kMemGate);
+          return;
+        }
+      }
       std::erase_if(load_queue_, [now](Cycle c) { return c <= now; });
       if (load_queue_.size() >= lat_.lq_entries) {
         stall(now, *std::min_element(load_queue_.begin(), load_queue_.end()),

@@ -58,6 +58,73 @@ std::string to_string(Op op) {
   return "?";
 }
 
+const char* op_token(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kHalt: return "halt";
+    case Op::kWfe: return "wfe";
+    case Op::kMovImm: return "movi";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kAddImm: return "addi";
+    case Op::kSub: return "sub";
+    case Op::kSubImm: return "subi";
+    case Op::kAnd: return "and";
+    case Op::kAndImm: return "andi";
+    case Op::kOrr: return "orr";
+    case Op::kOrrImm: return "orri";
+    case Op::kEor: return "eor";
+    case Op::kEorImm: return "eori";
+    case Op::kLsl: return "lsl";
+    case Op::kLslImm: return "lsli";
+    case Op::kLsr: return "lsr";
+    case Op::kLsrImm: return "lsri";
+    case Op::kMul: return "mul";
+    case Op::kLdr: return "ldr";
+    case Op::kLdrIdx: return "ldr.idx";
+    case Op::kStr: return "str";
+    case Op::kStrIdx: return "str.idx";
+    case Op::kLdar: return "ldar";
+    case Op::kLdapr: return "ldapr";
+    case Op::kStlr: return "stlr";
+    case Op::kLdxr: return "ldxr";
+    case Op::kStxr: return "stxr";
+    case Op::kSwp: return "swp";
+    case Op::kCmp: return "cmp";
+    case Op::kCmpImm: return "cmpi";
+    case Op::kB: return "b";
+    case Op::kBeq: return "b.eq";
+    case Op::kBne: return "b.ne";
+    case Op::kBlt: return "b.lt";
+    case Op::kBle: return "b.le";
+    case Op::kBgt: return "b.gt";
+    case Op::kBge: return "b.ge";
+    case Op::kCbz: return "cbz";
+    case Op::kCbnz: return "cbnz";
+    case Op::kDmbFull: return "dmb.ish";
+    case Op::kDmbSt: return "dmb.ishst";
+    case Op::kDmbLd: return "dmb.ishld";
+    case Op::kDsbFull: return "dsb.ish";
+    case Op::kDsbSt: return "dsb.ishst";
+    case Op::kDsbLd: return "dsb.ishld";
+    case Op::kIsb: return "isb";
+  }
+  return "?";
+}
+
+bool op_from_token(const std::string& token, Op* out) {
+  // The op space is tiny and this only runs when parsing repro bundles, so a
+  // linear scan over the enum keeps the table single-sourced in op_token().
+  for (int i = 0; i <= static_cast<int>(Op::kIsb); ++i) {
+    const Op op = static_cast<Op>(i);
+    if (token == op_token(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string to_string(const Instr& ins) {
   std::ostringstream os;
   os << to_string(ins.op);

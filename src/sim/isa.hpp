@@ -113,4 +113,13 @@ struct Instr {
 std::string to_string(Op op);
 std::string to_string(const Instr& ins);
 
+/// Stable single-token opcode name for text serialization (no spaces or
+/// parentheses, unlike the display mnemonics: "dmb.ish", "ldr.idx", ...).
+/// These names are part of the armbar.repro/v1 bundle format — do not
+/// rename existing tokens.
+const char* op_token(Op op);
+
+/// Inverse of op_token(); returns false on an unknown token.
+bool op_from_token(const std::string& token, Op* out);
+
 }  // namespace armbar::sim

@@ -41,6 +41,19 @@ void Machine::reset_stats() {
   mem_->reset_stats();
 }
 
+std::vector<std::uint64_t> Machine::extract_state(
+    const std::vector<std::pair<CoreId, Reg>>& regs,
+    const std::vector<Addr>& addrs) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(regs.size() + addrs.size());
+  for (const auto& [c, r] : regs) {
+    ARMBAR_CHECK_MSG(c < cores_.size(), "extract_state: core out of range");
+    out.push_back(core(c).reg(r));
+  }
+  for (Addr a : addrs) out.push_back(mem_->peek(a));
+  return out;
+}
+
 RunResult Machine::run(const RunConfig& cfg) {
   ARMBAR_CHECK_MSG(!ran_, "Machine::run() may only be called once");
   ran_ = true;

@@ -103,6 +103,14 @@ class Machine {
   /// A machine runs once; construct a fresh one per experiment point.
   RunResult run(const RunConfig& cfg);
 
+  /// Final-state extraction (differential fuzzing, ISSUE 4): read the listed
+  /// (core, register) slots followed by the 8-byte words at the listed
+  /// addresses, in order, after a run. Memory words go through peek(), so
+  /// they reflect the coherent architectural value, not a stale copy.
+  std::vector<std::uint64_t> extract_state(
+      const std::vector<std::pair<CoreId, Reg>>& regs,
+      const std::vector<Addr>& addrs) const;
+
   /// Pre-RunConfig spelling, kept so existing callers (and the many tests
   /// exercising them) build unchanged. Deprecated: new code should pass a
   /// RunConfig. (No [[deprecated]] attribute — the migration is tracked in

@@ -12,6 +12,55 @@ std::string Program::disassemble() const {
   return os.str();
 }
 
+std::string Program::serialize() const {
+  std::ostringstream os;
+  os << ".name " << name << "\n";
+  for (const Instr& ins : code) {
+    os << op_token(ins.op) << " " << static_cast<int>(ins.rd) << " "
+       << static_cast<int>(ins.rn) << " " << static_cast<int>(ins.rm) << " "
+       << ins.imm << " " << ins.target << "\n";
+  }
+  return os.str();
+}
+
+bool parse_program(const std::string& text, Program* out, std::string* err) {
+  auto fail = [&](const std::string& why, const std::string& line) {
+    if (err) *err = why + ": '" + line + "'";
+    return false;
+  };
+  Program p;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind(".name ", 0) == 0) {
+      p.name = line.substr(6);
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tok;
+    Instr ins;
+    long long rd = 0, rn = 0, rm = 0;
+    if (!(ls >> tok >> rd >> rn >> rm >> ins.imm >> ins.target))
+      return fail("malformed instruction line", line);
+    if (!op_from_token(tok, &ins.op)) return fail("unknown opcode", line);
+    if (rd < 0 || rd >= kNumRegs || rn < 0 || rn >= kNumRegs || rm < 0 ||
+        rm >= kNumRegs)
+      return fail("register out of range", line);
+    ins.rd = static_cast<Reg>(rd);
+    ins.rn = static_cast<Reg>(rn);
+    ins.rm = static_cast<Reg>(rm);
+    std::string rest;
+    if (ls >> rest) return fail("trailing tokens", line);
+    p.code.push_back(ins);
+  }
+  for (std::uint32_t i = 0; i < p.code.size(); ++i)
+    if (is_branch(p.code[i].op) && p.code[i].target > p.code.size())
+      return fail("branch target out of range", std::to_string(i));
+  *out = std::move(p);
+  return true;
+}
+
 Program Asm::take(std::string name) {
   for (const auto& [idx, label] : fixups_) {
     auto it = labels_.find(label);

@@ -34,7 +34,17 @@ struct Program {
   std::uint32_t size() const { return static_cast<std::uint32_t>(code.size()); }
   const Instr& at(std::uint32_t pc) const { return code[pc]; }
   std::string disassemble() const;
+
+  /// Round-trippable text form (armbar.simprog/v1): a `.name` line followed
+  /// by one `<op-token> <rd> <rn> <rm> <imm> <target>` line per instruction.
+  /// This — not disassemble(), whose mnemonics contain spaces/brackets — is
+  /// the format embedded in repro bundles.
+  std::string serialize() const;
 };
+
+/// Parse Program::serialize() output. Returns false (and sets *err) on any
+/// malformed line; on success *out holds the program.
+bool parse_program(const std::string& text, Program* out, std::string* err);
 
 /// Fluent assembler with forward-reference label resolution.
 class Asm {

@@ -47,6 +47,33 @@ trace::Json SimDiagnostic::to_json() const {
   return j;
 }
 
+bool SimDiagnostic::from_json(const trace::Json& j, SimDiagnostic* out) {
+  if (!j.is_object()) return false;
+  const trace::Json* kind = j.find("kind");
+  const trace::Json* summary = j.find("summary");
+  const trace::Json* cycle = j.find("cycle");
+  const trace::Json* cores = j.find("cores");
+  const trace::Json* events = j.find("recent_events");
+  if (!kind || !kind->is_string() || !summary || !summary->is_string() ||
+      !cycle || !cycle->is_number() || !cores || !cores->is_array() ||
+      !events || !events->is_array())
+    return false;
+  SimDiagnostic d;
+  d.kind = kind->str();
+  d.summary = summary->str();
+  d.cycle = static_cast<Cycle>(cycle->number());
+  for (const trace::Json& c : cores->items()) {
+    if (!c.is_string()) return false;
+    d.cores.push_back(c.str());
+  }
+  for (const trace::Json& e : events->items()) {
+    if (!e.is_string()) return false;
+    d.recent_events.push_back(e.str());
+  }
+  *out = std::move(d);
+  return true;
+}
+
 std::string MachineVerifier::check_lines() const {
   const MemorySystem& mem = *m_.mem_;
   const std::uint32_t total = m_.spec_.total_cores();

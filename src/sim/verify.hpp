@@ -55,6 +55,9 @@ struct SimDiagnostic {
   std::string str() const;
   /// JSON rendering (what lands in the bench report's quarantine entry).
   trace::Json to_json() const;
+  /// Inverse of to_json() — used when replaying repro bundles. Returns false
+  /// when `j` is not an object of the shape to_json() emits.
+  static bool from_json(const trace::Json& j, SimDiagnostic* out);
 };
 
 /// Base of all typed simulator failures; what() is "<kind>: <summary>".

@@ -41,13 +41,15 @@ void ReportBuilder::add_quarantine(const std::string& name,
                                    const std::string& status,
                                    const std::string& kind,
                                    const std::string& reason,
-                                   const Json& diagnostic) {
+                                   const Json& diagnostic,
+                                   const std::string& repro_bundle) {
   Json q = Json::object();
   q.set("name", name);
   q.set("status", status);
   q.set("kind", kind);
   q.set("reason", reason);
   if (!diagnostic.is_null()) q.set("diagnostic", diagnostic);
+  if (!repro_bundle.empty()) q.set("repro_bundle", repro_bundle);
   quarantine_.push(std::move(q));
   ok_ = false;
 }
@@ -164,6 +166,10 @@ bool validate_bench_report(const Json& doc, std::string* err) {
         !status || !status->is_string() || status->str().empty())
       return violation(
           err, "quarantine entries need non-empty string 'name' and 'status'");
+    if (const Json* bundle = q.find("repro_bundle");
+        bundle && (!bundle->is_string() || bundle->str().empty()))
+      return violation(err, "quarantine entry '" + name->str() +
+                                "': 'repro_bundle' must be a non-empty string");
   }
   if (ok->boolean() && quarantine->size() > 0)
     return violation(err, "'ok' is true but experiments are quarantined");

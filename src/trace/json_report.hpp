@@ -18,8 +18,9 @@
 //     "quarantine": [                        // abnormally-terminated runs
 //       {"name": "<experiment>", "status": "failed",
 //        "kind": "timeout|hang|invariant_violation|check_failed|error|...",
-//        "reason": "...", "diagnostic": {...}},  // diagnostic optional
-//       ...
+//        "reason": "...", "diagnostic": {...},    // diagnostic optional
+//        "repro_bundle": "path/to/x.repro.json"}, // optional: replay with
+//       ...                                       //   tools/armbar-repro
 //     ]
 //   }
 #pragma once
@@ -44,10 +45,13 @@ class ReportBuilder {
   void add_histogram(const std::string& name, const HistogramSummary& s);
   /// Record an abnormally-terminated experiment (timeout, hang, invariant
   /// violation, tripped ARMBAR_CHECK, interrupt). `diagnostic` may be a
-  /// null Json when no structured bundle exists. Forces ok to false.
+  /// null Json when no structured bundle exists; `repro_bundle` is the path
+  /// of a self-contained armbar.repro/v1 bundle replayable with
+  /// tools/armbar-repro (empty = none). Forces ok to false.
   void add_quarantine(const std::string& name, const std::string& status,
                       const std::string& kind, const std::string& reason,
-                      const Json& diagnostic = Json());
+                      const Json& diagnostic = Json(),
+                      const std::string& repro_bundle = "");
   /// Pull every histogram (machine-wide merge) and counter out of a
   /// registry. Counters land in metrics as "<name>".
   void add_registry(const MetricsRegistry& reg);

@@ -1,0 +1,155 @@
+// Repro-bundle format (armbar.repro/v1): serialize -> parse -> replay must
+// yield the identical DiffResult digest (ISSUE 4 satellite).
+#include "fuzz/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/platform.hpp"
+
+namespace f = armbar::fuzz;
+namespace m = armbar::model;
+using armbar::Addr;
+using armbar::sim::Asm;
+
+namespace {
+
+constexpr Addr kX = 0x1000;
+constexpr Addr kY = 0x2000;
+
+m::ConcurrentProgram fenced_sb() {
+  m::ConcurrentProgram p;
+  p.name = "sb+dmb";
+  auto side = [&](Addr mine, Addr other) {
+    Asm a;
+    a.movi(armbar::sim::X0, static_cast<std::int64_t>(mine));
+    a.movi(armbar::sim::X1, static_cast<std::int64_t>(other));
+    a.movi(armbar::sim::X5, 1);
+    a.str(armbar::sim::X5, armbar::sim::X0);
+    a.dmb_full();
+    a.ldr(armbar::sim::X6, armbar::sim::X1);
+    a.halt();
+    return a.take(p.name);
+  };
+  p.threads = {side(kX, kY), side(kY, kX)};
+  p.observe_regs = {{0, armbar::sim::X6}, {1, armbar::sim::X6}};
+  p.init = {{kX, 0}, {kY, 0}};
+  p.observe_mem = {kX, kY};
+  return p;
+}
+
+f::DiffOptions planted_opts() {
+  f::DiffOptions o;
+  o.platforms = {armbar::sim::all_platforms().front().name};
+  o.plans.push_back({});
+  o.plans.push_back(armbar::sim::fault::FaultPlan::chaos(3));
+  o.skews = {0, 7};
+  o.mutation = f::SimMutation::kDropDmbFull;
+  return o;
+}
+
+TEST(FuzzBundle, RoundTripReplaysBitExactly) {
+  const m::ConcurrentProgram prog = fenced_sb();
+  const f::DiffOptions opts = planted_opts();
+  const f::DiffResult result = f::run_diff(prog, opts);
+  ASSERT_FALSE(result.ok());
+
+  const f::ReproBundle b = f::make_bundle(prog, opts, /*gen_seed=*/1234, result);
+  EXPECT_EQ(b.failure_kind, "mismatch");
+  EXPECT_EQ(b.expect_digest, result.digest());
+
+  // serialize -> parse
+  const std::string text = f::bundle_to_json(b).dump(2);
+  std::string jerr;
+  const armbar::trace::Json j = armbar::trace::Json::parse(text, &jerr);
+  ASSERT_TRUE(jerr.empty()) << jerr;
+  f::ReproBundle back;
+  std::string err;
+  ASSERT_TRUE(f::bundle_from_json(j, &back, &err)) << err;
+
+  EXPECT_EQ(back.gen_seed, 1234u);
+  EXPECT_EQ(back.failure_kind, b.failure_kind);
+  EXPECT_EQ(back.expect_digest, b.expect_digest);
+  EXPECT_EQ(back.expected_allowed, b.expected_allowed);
+  EXPECT_EQ(back.observed, b.observed);
+  ASSERT_EQ(back.prog.threads.size(), prog.threads.size());
+  for (std::size_t t = 0; t < prog.threads.size(); ++t)
+    EXPECT_EQ(back.prog.threads[t].serialize(), prog.threads[t].serialize());
+
+  // replay: the parsed bundle reproduces the identical digest.
+  const f::DiffResult replay = f::run_diff(back.prog, back.opts);
+  EXPECT_EQ(replay.digest(), back.expect_digest);
+}
+
+TEST(FuzzBundle, FileRoundTrip) {
+  const m::ConcurrentProgram prog = fenced_sb();
+  const f::DiffOptions opts = planted_opts();
+  const f::ReproBundle b =
+      f::make_bundle(prog, opts, 7, f::run_diff(prog, opts));
+
+  const std::string path = ::testing::TempDir() + "bundle_test.repro.json";
+  std::string err;
+  ASSERT_TRUE(f::write_bundle(path, b, &err)) << err;
+  f::ReproBundle back;
+  ASSERT_TRUE(f::load_bundle(path, &back, &err)) << err;
+  EXPECT_EQ(back.expect_digest, b.expect_digest);
+  EXPECT_EQ(f::bundle_to_json(back).dump(2), f::bundle_to_json(b).dump(2));
+  std::remove(path.c_str());
+}
+
+TEST(FuzzBundle, Uint64FieldsSurviveRoundTrip) {
+  // Values above 2^53 would be rounded by the double-backed JSON layer if
+  // they were stored as numbers; the bundle stores them as strings.
+  m::ConcurrentProgram prog = fenced_sb();
+  prog.init[0].second = 0xdeadbeefcafef00dULL;
+  f::DiffOptions opts = planted_opts();
+  opts.plans[1].seed = 0xffffffffffffff17ULL;
+  f::ReproBundle b;
+  b.prog = prog;
+  b.opts = opts;
+  b.expect_digest = 0x8000000000000001ULL;
+
+  f::ReproBundle back;
+  std::string err;
+  ASSERT_TRUE(f::bundle_from_json(f::bundle_to_json(b), &back, &err)) << err;
+  EXPECT_EQ(back.prog.init[0].second, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(back.opts.plans[1].seed, 0xffffffffffffff17ULL);
+  EXPECT_EQ(back.expect_digest, 0x8000000000000001ULL);
+}
+
+TEST(FuzzBundle, RejectsMalformedDocuments) {
+  const m::ConcurrentProgram prog = fenced_sb();
+  const f::DiffOptions opts = planted_opts();
+  const f::ReproBundle b =
+      f::make_bundle(prog, opts, 7, f::run_diff(prog, opts));
+  f::ReproBundle out;
+  std::string err;
+
+  armbar::trace::Json j = f::bundle_to_json(b);
+  j.set("schema", "armbar.repro/v0");
+  EXPECT_FALSE(f::bundle_from_json(j, &out, &err));
+  EXPECT_NE(err.find("schema"), std::string::npos);
+
+  j = f::bundle_to_json(b);
+  j.find_mut("program")->set("threads", armbar::trace::Json::array());
+  EXPECT_FALSE(f::bundle_from_json(j, &out, &err));
+
+  j = f::bundle_to_json(b);
+  j.find_mut("program")->set("threads",
+                             [] {
+                               auto a = armbar::trace::Json::array();
+                               a.push("bogus-op 0 0 0 0 0\n");
+                               return a;
+                             }());
+  EXPECT_FALSE(f::bundle_from_json(j, &out, &err));
+
+  j = f::bundle_to_json(b);
+  j.set("expect_digest", "not-a-number");
+  EXPECT_FALSE(f::bundle_from_json(j, &out, &err));
+
+  EXPECT_FALSE(f::load_bundle("/nonexistent/path.json", &out, &err));
+}
+
+}  // namespace

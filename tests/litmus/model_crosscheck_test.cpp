@@ -1,0 +1,97 @@
+// ISSUE 4 litmus hygiene: the allowed-outcome tables are now derived from
+// the axiomatic reference model (src/litmus/shapes.hpp). This suite is the
+// cross-check that the legacy hand-maintained expectations and the model
+// agree on every Table 1 shape — and that the timing simulator's observed
+// outcomes all fall inside the model's allowed sets.
+#include "litmus/shapes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+
+namespace armbar::litmus {
+namespace {
+
+LitmusConfig sweep_cfg(std::size_t nthreads) {
+  LitmusConfig cfg;
+  cfg.platform = sim::kunpeng916();
+  for (std::size_t t = 0; t < nthreads; ++t)
+    cfg.binding.push_back(static_cast<CoreId>(t));
+  return cfg;
+}
+
+class Table1Crosscheck : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Table1Crosscheck, ModelAgreesWithLegacyTable) {
+  const Table1Shape& s = table1_shape(GetParam());
+  const model::OutcomeSet set = derive_allowed(s);
+  EXPECT_EQ(set.allows(s.weak), s.weak_allowed)
+      << s.name << ": model says " << (set.allows(s.weak) ? "allowed" : "forbidden")
+      << " but the legacy table says " << (s.weak_allowed ? "allowed" : "forbidden")
+      << "\nmodel set: " << model::to_string(set);
+}
+
+TEST_P(Table1Crosscheck, SimulatorOutcomesAreAllModelAllowed) {
+  const Table1Shape& s = table1_shape(GetParam());
+  if (!s.sim_make) GTEST_SKIP() << s.name << " is model-only";
+  const model::OutcomeSet set = derive_allowed(s);
+  const Litmus lit = s.sim_make();
+  const LitmusReport rep = run_litmus(lit, sweep_cfg(lit.threads.size()));
+
+  // Soundness: every outcome the simulator produced must be model-allowed.
+  for (const auto& [o, n] : rep.histogram) {
+    EXPECT_TRUE(set.allows(s.project(o)))
+        << s.name << ": simulator outcome " << model::to_string(s.project(o))
+        << " (x" << n << ") is outside the model's allowed set\n"
+        << model::to_string(set);
+  }
+
+  // The legacy "does the simulator exhibit the weak outcome" column.
+  EXPECT_EQ(rep.saw(s.sim_weak), s.sim_shows_weak) << s.name << "\n" << rep.str();
+
+  // A simulator-weak shape must be model-weak (the converse is the
+  // documented strengthening set: LB, S, 2+2W).
+  if (s.sim_shows_weak) {
+    EXPECT_TRUE(s.weak_allowed) << s.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Table1Crosscheck,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& s : table1_shapes()) names.push_back(s.name);
+      return names;
+    }()),
+    [](const auto& pinfo) {
+      std::string id = pinfo.param;
+      for (char& c : id)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return id;
+    });
+
+TEST(Table1Registry, CoversTheTable1Rows) {
+  // The registry must keep covering at least the Table 1 MP rows and the
+  // supporting shapes bench/table1_litmus.cpp prints.
+  for (const char* name :
+       {"MP", "MP+dmb.st", "MP+dmb.full", "MP+dmb.ld", "MP+dsb.full", "SB",
+        "SB+dmb.full", "CoRR"})
+    EXPECT_NO_FATAL_FAILURE((void)table1_shape(name)) << name;
+  EXPECT_GE(table1_shapes().size(), 8u);
+}
+
+TEST(Table1Registry, DerivedSetsAreExactAndSane) {
+  for (const auto& s : table1_shapes()) {
+    const model::OutcomeSet set = derive_allowed(s);
+    EXPECT_TRUE(set.complete) << s.name;
+    EXPECT_FALSE(set.allowed.empty()) << s.name;
+    // Outcome arity matches the observation lists.
+    const std::size_t arity =
+        s.model_prog.observe_regs.size() + s.model_prog.observe_mem.size();
+    for (const auto& o : set.allowed) EXPECT_EQ(o.size(), arity) << s.name;
+    EXPECT_EQ(s.weak.size(), arity) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace armbar::litmus

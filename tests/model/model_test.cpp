@@ -1,0 +1,380 @@
+// Validates the axiomatic reference model (src/model) against the canonical
+// ARMv8 litmus truths: the textbook allowed/forbidden outcomes of MP, SB,
+// LB, S, 2+2W, CoRR, WRC and IRIW under every barrier/dependency variant
+// the paper's Table 1 exercises. These expectations are the published herd7
+// results for the aarch64.cat model, not simulator-derived — the whole
+// point is an oracle independent of src/sim.
+#include "model/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/program.hpp"
+
+namespace m = armbar::model;
+using armbar::Addr;
+using armbar::sim::Asm;
+using armbar::sim::Program;
+using armbar::sim::Reg;
+
+namespace {
+
+constexpr Addr kX = 0x1000;
+constexpr Addr kY = 0x2000;
+
+// Every thread gets the address map in registers: X0 = kX, X1 = kY.
+Asm prologue() {
+  Asm a;
+  a.movi(armbar::sim::X0, kX);
+  a.movi(armbar::sim::X1, kY);
+  return a;
+}
+
+m::ConcurrentProgram make(std::vector<Program> threads,
+                          std::vector<std::pair<std::uint32_t, Reg>> obs,
+                          std::vector<Addr> obs_mem = {}) {
+  m::ConcurrentProgram p;
+  p.name = "test";
+  p.threads = std::move(threads);
+  p.observe_regs = std::move(obs);
+  p.observe_mem = std::move(obs_mem);
+  return p;
+}
+
+enum class Producer { kNone, kDmbSt, kDmbFull, kStlr, kDsbSt };
+enum class Consumer { kNone, kDmbLd, kDmbFull, kLdar, kAddrDep, kCtrlDep,
+                      kCtrlIsb };
+
+m::ConcurrentProgram mp(Producer prod, Consumer cons) {
+  Asm p = prologue();
+  p.movi(armbar::sim::X5, 23);
+  p.str(armbar::sim::X5, armbar::sim::X0);  // data = 23
+  switch (prod) {
+    case Producer::kNone: break;
+    case Producer::kDmbSt: p.dmb_st(); break;
+    case Producer::kDmbFull: p.dmb_full(); break;
+    case Producer::kDsbSt: p.dsb_st(); break;
+    case Producer::kStlr: break;  // handled below
+  }
+  p.movi(armbar::sim::X6, 1);
+  if (prod == Producer::kStlr)
+    p.stlr(armbar::sim::X6, armbar::sim::X1);  // flag = 1 (release)
+  else
+    p.str(armbar::sim::X6, armbar::sim::X1);  // flag = 1
+  p.halt();
+
+  Asm c = prologue();
+  if (cons == Consumer::kLdar)
+    c.ldar(armbar::sim::X3, armbar::sim::X1);  // r3 = flag (acquire)
+  else
+    c.ldr(armbar::sim::X3, armbar::sim::X1);  // r3 = flag
+  switch (cons) {
+    case Consumer::kNone:
+    case Consumer::kLdar:
+      c.ldr(armbar::sim::X10, armbar::sim::X0);
+      break;
+    case Consumer::kDmbLd:
+      c.dmb_ld();
+      c.ldr(armbar::sim::X10, armbar::sim::X0);
+      break;
+    case Consumer::kDmbFull:
+      c.dmb_full();
+      c.ldr(armbar::sim::X10, armbar::sim::X0);
+      break;
+    case Consumer::kAddrDep:
+      // r4 = r3 ^ r3 (always 0, but syntactically carries the load);
+      // data address = X0 + r4.
+      c.eor(armbar::sim::X4, armbar::sim::X3, armbar::sim::X3);
+      c.ldr_idx(armbar::sim::X10, armbar::sim::X0, armbar::sim::X4);
+      break;
+    case Consumer::kCtrlDep:
+    case Consumer::kCtrlIsb:
+      // Forward branch on the flag value; both arms fall through to the
+      // data load, so the only ordering is the control dependency (plus
+      // ISB in the kCtrlIsb variant).
+      c.cbnz(armbar::sim::X3, "join");
+      c.label("join");
+      if (cons == Consumer::kCtrlIsb) c.isb();
+      c.ldr(armbar::sim::X10, armbar::sim::X0);
+      break;
+  }
+  c.halt();
+  return make({p.take("mp-producer"), c.take("mp-consumer")},
+              {{1, armbar::sim::X3}, {1, armbar::sim::X10}});
+}
+
+const m::Outcome kMpWeak{1, 0};  // saw the flag, missed the data
+
+}  // namespace
+
+TEST(Model, MpNoBarriersAllowsEverything) {
+  auto set = m::enumerate_outcomes(mp(Producer::kNone, Consumer::kNone));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_TRUE(set.complete);
+  EXPECT_TRUE(set.allows({0, 0}));
+  EXPECT_TRUE(set.allows({0, 23}));
+  EXPECT_TRUE(set.allows({1, 23}));
+  EXPECT_TRUE(set.allows(kMpWeak));
+  EXPECT_EQ(set.allowed.size(), 4u);
+}
+
+TEST(Model, MpProducerDmbStAloneDoesNotForbidWeak) {
+  // The classic one-sided-barrier trap: dmb ishst orders the writes, but
+  // nothing orders the consumer's reads.
+  auto set = m::enumerate_outcomes(mp(Producer::kDmbSt, Consumer::kNone));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_TRUE(set.allows(kMpWeak));
+}
+
+TEST(Model, MpDmbStPlusDmbLdForbidsWeak) {
+  auto set = m::enumerate_outcomes(mp(Producer::kDmbSt, Consumer::kDmbLd));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows(kMpWeak));
+  EXPECT_TRUE(set.allows({1, 23}));
+  EXPECT_TRUE(set.allows({0, 0}));
+}
+
+TEST(Model, MpFullBarriersForbidWeak) {
+  auto set =
+      m::enumerate_outcomes(mp(Producer::kDmbFull, Consumer::kDmbFull));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows(kMpWeak));
+}
+
+TEST(Model, MpDsbOrdersLikeDmb) {
+  auto set = m::enumerate_outcomes(mp(Producer::kDsbSt, Consumer::kDmbLd));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows(kMpWeak));
+}
+
+TEST(Model, MpReleaseAcquireForbidsWeak) {
+  auto set = m::enumerate_outcomes(mp(Producer::kStlr, Consumer::kLdar));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows(kMpWeak));
+}
+
+TEST(Model, MpAddressDependencyForbidsWeak) {
+  auto set = m::enumerate_outcomes(mp(Producer::kDmbSt, Consumer::kAddrDep));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows(kMpWeak));
+}
+
+TEST(Model, MpControlDependencyDoesNotOrderReads) {
+  // ctrl alone never orders read->read on ARMv8 (dob has ctrl;[W] only).
+  auto set = m::enumerate_outcomes(mp(Producer::kDmbSt, Consumer::kCtrlDep));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_TRUE(set.allows(kMpWeak));
+}
+
+TEST(Model, MpControlPlusIsbOrdersReads) {
+  auto set = m::enumerate_outcomes(mp(Producer::kDmbSt, Consumer::kCtrlIsb));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows(kMpWeak));
+}
+
+namespace {
+
+m::ConcurrentProgram sb(bool fences) {
+  auto side = [&](Reg waddr, Reg raddr, const char* nm) {
+    Asm a = prologue();
+    a.movi(armbar::sim::X5, 1);
+    a.str(armbar::sim::X5, waddr);
+    if (fences) a.dmb_full();
+    a.ldr(armbar::sim::X3, raddr);
+    a.halt();
+    return a.take(nm);
+  };
+  return make({side(armbar::sim::X0, armbar::sim::X1, "sb0"),
+               side(armbar::sim::X1, armbar::sim::X0, "sb1")},
+              {{0, armbar::sim::X3}, {1, armbar::sim::X3}});
+}
+
+}  // namespace
+
+TEST(Model, SbAllowsBothZeroWithoutFences) {
+  auto set = m::enumerate_outcomes(sb(false));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_TRUE(set.allows({0, 0}));
+  EXPECT_TRUE(set.allows({1, 1}));
+  EXPECT_EQ(set.allowed.size(), 4u);
+}
+
+TEST(Model, SbFullFencesForbidBothZero) {
+  auto set = m::enumerate_outcomes(sb(true));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows({0, 0}));
+  EXPECT_EQ(set.allowed.size(), 3u);
+}
+
+namespace {
+
+m::ConcurrentProgram lb(bool data_deps) {
+  auto side = [&](Reg raddr, Reg waddr, const char* nm) {
+    Asm a = prologue();
+    a.ldr(armbar::sim::X3, raddr);
+    if (data_deps) {
+      // Write value = 1 + (r3 ^ r3): data-dependent on the load, value 1.
+      a.eor(armbar::sim::X4, armbar::sim::X3, armbar::sim::X3);
+      a.addi(armbar::sim::X5, armbar::sim::X4, 1);
+    } else {
+      a.movi(armbar::sim::X5, 1);
+    }
+    a.str(armbar::sim::X5, waddr);
+    a.halt();
+    return a.take(nm);
+  };
+  return make({side(armbar::sim::X0, armbar::sim::X1, "lb0"),
+               side(armbar::sim::X1, armbar::sim::X0, "lb1")},
+              {{0, armbar::sim::X3}, {1, armbar::sim::X3}});
+}
+
+}  // namespace
+
+TEST(Model, LbAllowsBothOneWithoutDeps) {
+  auto set = m::enumerate_outcomes(lb(false));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_TRUE(set.allows({1, 1}));
+  EXPECT_TRUE(set.allows({0, 0}));
+}
+
+TEST(Model, LbDataDepsForbidBothOne) {
+  auto set = m::enumerate_outcomes(lb(true));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows({1, 1}));
+  EXPECT_TRUE(set.allows({0, 0}));
+}
+
+TEST(Model, CoherenceCoRR) {
+  // T0: x=1; x=2.  T1: r1=x; r2=x.  Reads of the same location must agree
+  // with some coherence order: r1=2,r2=1 and r1=2,r2=0 and r1=1,r2=0 are
+  // all forbidden; the monotone outcomes are allowed.
+  Asm w = prologue();
+  w.movi(armbar::sim::X5, 1).str(armbar::sim::X5, armbar::sim::X0);
+  w.movi(armbar::sim::X6, 2).str(armbar::sim::X6, armbar::sim::X0);
+  w.halt();
+  Asm r = prologue();
+  r.ldr(armbar::sim::X3, armbar::sim::X0);
+  r.ldr(armbar::sim::X4, armbar::sim::X0);
+  r.halt();
+  auto set = m::enumerate_outcomes(
+      make({w.take("corr-w"), r.take("corr-r")},
+           {{1, armbar::sim::X3}, {1, armbar::sim::X4}}));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_TRUE(set.allows({0, 0}));
+  EXPECT_TRUE(set.allows({0, 1}));
+  EXPECT_TRUE(set.allows({0, 2}));
+  EXPECT_TRUE(set.allows({1, 1}));
+  EXPECT_TRUE(set.allows({1, 2}));
+  EXPECT_TRUE(set.allows({2, 2}));
+  EXPECT_FALSE(set.allows({2, 1}));
+  EXPECT_FALSE(set.allows({2, 0}));
+  EXPECT_FALSE(set.allows({1, 0}));
+}
+
+TEST(Model, TwoPlusTwoW) {
+  // 2+2W: T0: x=1; y=2.  T1: y=1; x=2.  Final (x,y)=(1,1) needs both
+  // coherence orders to contradict po; allowed relaxed, forbidden with
+  // dmb ishst on both sides.
+  auto prog = [&](bool fence) {
+    auto side = [&](Reg a1, Reg a2, const char* nm) {
+      Asm a = prologue();
+      a.movi(armbar::sim::X5, 1).str(armbar::sim::X5, a1);
+      if (fence) a.dmb_st();
+      a.movi(armbar::sim::X6, 2).str(armbar::sim::X6, a2);
+      a.halt();
+      return a.take(nm);
+    };
+    return make({side(armbar::sim::X0, armbar::sim::X1, "w0"),
+                 side(armbar::sim::X1, armbar::sim::X0, "w1")},
+                {}, {kX, kY});
+  };
+  auto relaxed = m::enumerate_outcomes(prog(false));
+  ASSERT_TRUE(relaxed.ok()) << relaxed.error;
+  EXPECT_TRUE(relaxed.allows({1, 1}));
+  auto fenced = m::enumerate_outcomes(prog(true));
+  ASSERT_TRUE(fenced.ok()) << fenced.error;
+  EXPECT_FALSE(fenced.allows({1, 1}));
+}
+
+TEST(Model, WrcDataPlusAddrDepForbidden) {
+  // WRC: T0: x=1.  T1: r1=x; y=r1 (data dep).  T2: r2=y; addr-dep r3=x.
+  // Multi-copy atomicity + dependencies forbid (r1,r2,r3)=(1,1,0).
+  Asm t0 = prologue();
+  t0.movi(armbar::sim::X5, 1).str(armbar::sim::X5, armbar::sim::X0).halt();
+  Asm t1 = prologue();
+  t1.ldr(armbar::sim::X3, armbar::sim::X0);
+  t1.str(armbar::sim::X3, armbar::sim::X1);  // y = r1: data dependency
+  t1.halt();
+  Asm t2 = prologue();
+  t2.ldr(armbar::sim::X4, armbar::sim::X1);
+  t2.eor(armbar::sim::X6, armbar::sim::X4, armbar::sim::X4);
+  t2.ldr_idx(armbar::sim::X7, armbar::sim::X0, armbar::sim::X6);
+  t2.halt();
+  auto set = m::enumerate_outcomes(
+      make({t0.take("wrc0"), t1.take("wrc1"), t2.take("wrc2")},
+           {{1, armbar::sim::X3}, {2, armbar::sim::X4}, {2, armbar::sim::X7}}));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_FALSE(set.allows({1, 1, 0}));
+  EXPECT_TRUE(set.allows({1, 1, 1}));
+  EXPECT_TRUE(set.allows({1, 0, 0}));
+}
+
+TEST(Model, IriwRequiresFullFences) {
+  // IRIW: writers to x and y; two readers observing in opposite orders.
+  auto prog = [&](bool fences) {
+    Asm w0 = prologue();
+    w0.movi(armbar::sim::X5, 1).str(armbar::sim::X5, armbar::sim::X0).halt();
+    Asm w1 = prologue();
+    w1.movi(armbar::sim::X5, 1).str(armbar::sim::X5, armbar::sim::X1).halt();
+    auto reader = [&](Reg first, Reg second, const char* nm) {
+      Asm a = prologue();
+      a.ldr(armbar::sim::X3, first);
+      if (fences) a.dmb_full();
+      a.ldr(armbar::sim::X4, second);
+      a.halt();
+      return a.take(nm);
+    };
+    return make({w0.take("iriw-w0"), w1.take("iriw-w1"),
+                 reader(armbar::sim::X0, armbar::sim::X1, "iriw-r0"),
+                 reader(armbar::sim::X1, armbar::sim::X0, "iriw-r1")},
+                {{2, armbar::sim::X3}, {2, armbar::sim::X4},
+                 {3, armbar::sim::X3}, {3, armbar::sim::X4}});
+  };
+  auto relaxed = m::enumerate_outcomes(prog(false));
+  ASSERT_TRUE(relaxed.ok()) << relaxed.error;
+  EXPECT_TRUE(relaxed.allows({1, 0, 1, 0}));
+  auto fenced = m::enumerate_outcomes(prog(true));
+  ASSERT_TRUE(fenced.ok()) << fenced.error;
+  // Multi-copy atomicity + full fences forbid the readers disagreeing on
+  // the order of the two independent writes.
+  EXPECT_FALSE(fenced.allows({1, 0, 1, 0}));
+  EXPECT_TRUE(fenced.allows({1, 1, 1, 1}));
+}
+
+TEST(Model, UnsupportedOpsReportError) {
+  Asm a = prologue();
+  a.ldxr(armbar::sim::X3, armbar::sim::X0);
+  a.halt();
+  auto set = m::enumerate_outcomes(make({a.take("rmw")}, {}));
+  EXPECT_FALSE(set.ok());
+  EXPECT_NE(set.error.find("ldxr"), std::string::npos);
+}
+
+TEST(Model, FinalMemoryRespectsCoherenceLast) {
+  // Single thread: x=1 then x=2 — final memory must be 2, never 1.
+  Asm a = prologue();
+  a.movi(armbar::sim::X5, 1).str(armbar::sim::X5, armbar::sim::X0);
+  a.movi(armbar::sim::X6, 2).str(armbar::sim::X6, armbar::sim::X0);
+  a.halt();
+  auto set = m::enumerate_outcomes(make({a.take("wx")}, {}, {kX}));
+  ASSERT_TRUE(set.ok()) << set.error;
+  EXPECT_EQ(set.allowed.size(), 1u);
+  EXPECT_TRUE(set.allows({2}));
+}
+
+TEST(Model, DeterministicAcrossCalls) {
+  auto a = m::enumerate_outcomes(mp(Producer::kDmbSt, Consumer::kDmbLd));
+  auto b = m::enumerate_outcomes(mp(Producer::kDmbSt, Consumer::kDmbLd));
+  EXPECT_EQ(a.allowed, b.allowed);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.consistent, b.consistent);
+}

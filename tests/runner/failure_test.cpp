@@ -99,11 +99,12 @@ void body_hang(ExperimentContext& ctx) {
   ctx.check(false, "unreachable");
 }
 
-void body_raises_sigint(ExperimentContext& ctx) {
+template <int kSignal>
+void body_raises_signal(ExperimentContext& ctx) {
   Fingerprint k = ExperimentContext::key();
   k.mix("failure_test/pre-interrupt");
   ctx.cached(k, "pre-interrupt point", [] { return trace::Json(1.0); });
-  std::raise(SIGINT);
+  std::raise(kSignal);
   for (int i = 0; i < 10; ++i) {
     Fingerprint k2 = ExperimentContext::key();
     k2.mix("failure_test/post-interrupt").mix(static_cast<std::uint64_t>(i));
@@ -111,6 +112,8 @@ void body_raises_sigint(ExperimentContext& ctx) {
   }
   ctx.check(false, "interrupted experiment kept running");
 }
+constexpr auto body_raises_sigint = &body_raises_signal<SIGINT>;
+constexpr auto body_raises_sigterm = &body_raises_signal<SIGTERM>;
 
 void body_sim_sweep(ExperimentContext& ctx) {
   auto cycles = ctx.map(4, [&](std::size_t i) {
@@ -138,6 +141,13 @@ void body_sim_sweep(ExperimentContext& ctx) {
         .number();
   });
   ctx.check(cycles[3] > cycles[0], "longer sweeps take longer");
+}
+
+void body_mismatch_with_bundle(ExperimentContext& ctx) {
+  // The shape the fuzz harness uses: write a repro bundle, attach its path,
+  // then throw so the engine quarantines the run with the replay handle.
+  ctx.note_repro_bundle("out/fuzz/seed42.repro.json");
+  throw std::runtime_error("differential mismatch: sim outcome not allowed");
 }
 
 EngineOptions base_opts() {
@@ -184,6 +194,30 @@ TEST(EngineFailure, ThrowIsQuarantinedOthersComplete) {
   EXPECT_EQ(q->items()[0].find("name")->str(), "a_throws");
   EXPECT_EQ(q->items()[0].find("kind")->str(), "error");
   EXPECT_FALSE(res.report.find("ok")->boolean());
+}
+
+TEST(EngineFailure, QuarantineEntryCarriesReproBundlePath) {
+  Registry r;
+  r.add({"a_fuzz", "F1", "mismatch with bundle", &body_mismatch_with_bundle});
+  r.add({"z_good", "F2", "healthy", &body_good});
+  auto res = Engine(r, base_opts()).run();
+  EXPECT_FALSE(res.ok);
+  const ExperimentOutcome* bad = find_outcome(res, "a_fuzz");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->status, "failed");
+  EXPECT_EQ(bad->repro_bundle, "out/fuzz/seed42.repro.json");
+  const ExperimentOutcome* good = find_outcome(res, "z_good");
+  ASSERT_NE(good, nullptr);
+  EXPECT_TRUE(good->repro_bundle.empty());
+
+  std::string err;
+  EXPECT_TRUE(trace::validate_bench_report(res.report, &err)) << err;
+  const trace::Json* q = res.report.find("quarantine");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->size(), 1u);
+  const trace::Json* bundle = q->items()[0].find("repro_bundle");
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_EQ(bundle->str(), "out/fuzz/seed42.repro.json");
 }
 
 TEST(EngineFailure, TrippedCheckBecomesCheckFailedNotAbort) {
@@ -283,7 +317,7 @@ TEST(EngineFailure, NoRetryForDeterministicFailures) {
 
 TEST(EngineFailure, SigintFlushesPartialReportAndSkipsRest) {
   Registry r;
-  r.add({"m_interrupts", "F1", "raises SIGINT mid-body", &body_raises_sigint});
+  r.add({"m_interrupts", "F1", "raises SIGINT mid-body", body_raises_sigint});
   r.add({"z_good", "F2", "healthy", &body_good});
   g_good_runs.store(0);
   auto res = Engine(r, base_opts()).run();
@@ -313,6 +347,43 @@ TEST(EngineFailure, SigintFlushesPartialReportAndSkipsRest) {
   EXPECT_TRUE(res2.ok);
   EXPECT_FALSE(res2.interrupted);
   EXPECT_EQ(g_good_runs.load(), 1);
+}
+
+TEST(EngineFailure, SigtermBehavesLikeSigint) {
+  // ISSUE 4: a CI timeout delivers SIGTERM, which must flush the same
+  // partial report as ^C — and record the signal for the 128+N exit code.
+  Registry r;
+  r.add({"m_interrupts", "F1", "raises SIGTERM mid-body",
+         body_raises_sigterm});
+  r.add({"z_good", "F2", "healthy", &body_good});
+  g_good_runs.store(0);
+  auto res = Engine(r, base_opts()).run();
+
+  EXPECT_TRUE(res.interrupted);
+  EXPECT_EQ(res.signal, SIGTERM);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(g_good_runs.load(), 0) << "experiment started after SIGTERM";
+  const ExperimentOutcome* hit = find_outcome(res, "m_interrupts");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->status, "failed");
+  EXPECT_EQ(hit->kind, "interrupted");
+  EXPECT_NE(hit->reason.find("SIGTERM"), std::string::npos) << hit->reason;
+  const ExperimentOutcome* skipped = find_outcome(res, "z_good");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_EQ(skipped->status, "skipped");
+
+  std::string err;
+  EXPECT_TRUE(trace::validate_bench_report(res.report, &err)) << err;
+  EXPECT_EQ(res.report.find("quarantine")->size(), 2u);
+
+  // The previous SIGTERM disposition is restored on scope exit and the
+  // next run starts clean.
+  Registry r2;
+  r2.add({"z_good", "F2", "healthy", &body_good});
+  auto res2 = Engine(r2, base_opts()).run();
+  EXPECT_TRUE(res2.ok);
+  EXPECT_FALSE(res2.interrupted);
+  EXPECT_EQ(res2.signal, 0);
 }
 
 TEST(EngineFailure, FaultedSweepIsBitIdenticalAcrossJobCounts) {

@@ -1,9 +1,13 @@
 // Fingerprint: 128-bit content addressing of sweep-point inputs.
 #include <gtest/gtest.h>
 
+#include "runner/cache.hpp"
+#include "runner/experiment.hpp"
 #include "runner/fingerprint.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/platform.hpp"
 #include "sim/program.hpp"
+#include "sim/verify.hpp"
 
 namespace armbar::runner {
 namespace {
@@ -101,6 +105,66 @@ TEST(Fingerprint, ProgramNameIsNotPartOfTheKey) {
   f1.mix(build("alpha"));
   f2.mix(build("beta"));
   EXPECT_EQ(f1.hex(), f2.hex());
+}
+
+TEST(Fingerprint, FaultPlanCoversEveryField) {
+  // ISSUE 4 regression: a warm cache must never return fault-free results
+  // for a faulted run — every FaultPlan field must perturb the key.
+  const sim::fault::FaultPlan base = sim::fault::FaultPlan::chaos(1);
+  Fingerprint fp_base;
+  fp_base.mix(base);
+
+  const auto differs = [&](auto tweak) {
+    sim::fault::FaultPlan p = base;
+    tweak(&p);
+    Fingerprint fp;
+    fp.mix(p);
+    return fp.hex() != fp_base.hex();
+  };
+  using FP = sim::fault::FaultPlan;
+  EXPECT_TRUE(differs([](FP* p) { p->seed ^= 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->barrier_spike_pm += 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->barrier_spike_cycles += 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->coh_delay_pm += 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->coh_delay_cycles += 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->coh_duplicate_pm += 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->evict_pm += 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->sb_stall_pm += 1; }));
+  EXPECT_TRUE(differs([](FP* p) { p->sb_stall_cycles += 1; }));
+
+  // Same-valued plans key identically.
+  Fingerprint fp_copy;
+  fp_copy.mix(sim::fault::FaultPlan::chaos(1));
+  EXPECT_EQ(fp_base.hex(), fp_copy.hex());
+}
+
+TEST(Fingerprint, ContextKeyCoversGlobalFaultPlanAndVerifyCadence) {
+  // The PR 3 RunConfig additions (global chaos plan, fault_seed, global
+  // verify cadence) must all land in the experiment base key.
+  const std::string clean = ExperimentContext::key().hex();
+
+  sim::fault::set_global_fault_plan(sim::fault::FaultPlan::chaos(7));
+  const std::string faulted7 = ExperimentContext::key().hex();
+  sim::fault::set_global_fault_plan(sim::fault::FaultPlan::chaos(8));
+  const std::string faulted8 = ExperimentContext::key().hex();
+  sim::fault::clear_global_fault_plan();
+
+  sim::set_global_verify_every(4096);
+  const std::string verified = ExperimentContext::key().hex();
+  sim::set_global_verify_every(8192);
+  const std::string verified2 = ExperimentContext::key().hex();
+  sim::set_global_verify_every(0);
+
+  EXPECT_NE(clean, faulted7);
+  EXPECT_NE(faulted7, faulted8);  // fault_seed alone changes the key
+  EXPECT_NE(clean, verified);
+  EXPECT_NE(verified, verified2);
+  EXPECT_EQ(clean, ExperimentContext::key().hex());  // restored
+}
+
+TEST(Fingerprint, CacheEpochIsCurrent) {
+  // The ISSUE 4 key-coverage change invalidates all armbar-sim/2 entries.
+  EXPECT_STREQ(kCacheEpoch, "armbar-sim/4");
 }
 
 }  // namespace

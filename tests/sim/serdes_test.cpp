@@ -1,0 +1,171 @@
+// Round-trip tests for the two text/JSON serialization layers that repro
+// bundles are built from: Program::serialize()/parse_program() and
+// SimDiagnostic::to_json()/from_json() (ISSUE 4 satellite).
+#include <gtest/gtest.h>
+
+#include "sim/program.hpp"
+#include "sim/verify.hpp"
+#include "trace/json.hpp"
+
+namespace armbar::sim {
+namespace {
+
+Program sample_program() {
+  Asm a;
+  a.movi(X0, 0x1000);
+  a.movi(X2, 0);
+  a.label("loop");
+  a.ldr(X3, X0, 8);
+  a.dmb_full();
+  a.stlr(X3, X0);
+  a.ldar(X4, X0);
+  a.addi(X2, X2, 1);
+  a.cmpi(X2, 3);
+  a.ble("loop");
+  a.eor(X5, X3, X4);
+  a.cbnz(X5, "loop");
+  a.isb();
+  a.halt();
+  return a.take("serdes-kernel");
+}
+
+TEST(ProgramSerde, RoundTripIsExact) {
+  const Program p = sample_program();
+  const std::string text = p.serialize();
+  Program back;
+  std::string err;
+  ASSERT_TRUE(parse_program(text, &back, &err)) << err;
+  EXPECT_EQ(back.name, p.name);
+  ASSERT_EQ(back.code.size(), p.code.size());
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    EXPECT_EQ(back.code[i].op, p.code[i].op) << "instr " << i;
+    EXPECT_EQ(back.code[i].rd, p.code[i].rd) << "instr " << i;
+    EXPECT_EQ(back.code[i].rn, p.code[i].rn) << "instr " << i;
+    EXPECT_EQ(back.code[i].rm, p.code[i].rm) << "instr " << i;
+    EXPECT_EQ(back.code[i].imm, p.code[i].imm) << "instr " << i;
+    EXPECT_EQ(back.code[i].target, p.code[i].target) << "instr " << i;
+  }
+  // Fixpoint: re-serializing the parsed program yields the same text.
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(ProgramSerde, NegativeImmediatesSurvive) {
+  Asm a;
+  a.movi(X1, -42);
+  a.addi(X2, X1, -7);
+  a.halt();
+  const Program p = a.take("neg");
+  Program back;
+  std::string err;
+  ASSERT_TRUE(parse_program(p.serialize(), &back, &err)) << err;
+  EXPECT_EQ(back.code[0].imm, -42);
+  EXPECT_EQ(back.code[1].imm, -7);
+}
+
+TEST(ProgramSerde, EveryOpTokenRoundTrips) {
+  // op_token()/op_from_token() must be exact inverses for every opcode, or
+  // some generated program would fail to replay from its bundle.
+  for (int o = 0; o <= static_cast<int>(Op::kIsb); ++o) {
+    const Op op = static_cast<Op>(o);
+    Op back;
+    ASSERT_TRUE(op_from_token(op_token(op), &back)) << op_token(op);
+    EXPECT_EQ(back, op) << op_token(op);
+  }
+}
+
+TEST(ProgramSerde, RejectsMalformedText) {
+  Program out;
+  std::string err;
+
+  EXPECT_FALSE(parse_program("movi 1 31 31\n", &out, &err));  // short line
+  EXPECT_NE(err.find("malformed"), std::string::npos) << err;
+
+  EXPECT_FALSE(parse_program("frobnicate 0 0 0 0 0\n", &out, &err));
+  EXPECT_NE(err.find("unknown opcode"), std::string::npos) << err;
+
+  EXPECT_FALSE(parse_program("movi 99 31 31 0 0\n", &out, &err));
+  EXPECT_NE(err.find("register out of range"), std::string::npos) << err;
+
+  EXPECT_FALSE(parse_program("movi -1 31 31 0 0\n", &out, &err));
+  EXPECT_NE(err.find("register out of range"), std::string::npos) << err;
+
+  EXPECT_FALSE(parse_program("movi 1 31 31 0 0 extra\n", &out, &err));
+  EXPECT_NE(err.find("trailing tokens"), std::string::npos) << err;
+
+  EXPECT_FALSE(parse_program("cbz 31 5 31 0 99\n", &out, &err));
+  EXPECT_NE(err.find("branch target out of range"), std::string::npos) << err;
+}
+
+TEST(ProgramSerde, EmptyAndNameOnlyTextsParse) {
+  Program out;
+  std::string err;
+  ASSERT_TRUE(parse_program("", &out, &err)) << err;
+  EXPECT_TRUE(out.code.empty());
+  ASSERT_TRUE(parse_program(".name just-a-name\n\n", &out, &err)) << err;
+  EXPECT_EQ(out.name, "just-a-name");
+  EXPECT_TRUE(out.code.empty());
+}
+
+SimDiagnostic sample_diag() {
+  SimDiagnostic d;
+  d.kind = "hang";
+  d.summary = "no core retired an instruction for 20000 cycles";
+  d.cycle = 123456;
+  d.cores = {"core 0: pc=4 sb=2/8 stalled", "core 1: pc=9 sb=0/8 halted"};
+  d.recent_events = {"cycle 123400: core 0 dmb.full begin",
+                     "cycle 123410: core 1 halt"};
+  return d;
+}
+
+TEST(DiagnosticSerde, JsonRoundTripIsExact) {
+  const SimDiagnostic d = sample_diag();
+  // Through a real dump/parse cycle, as the bundle writer does.
+  std::string jerr;
+  const trace::Json j = trace::Json::parse(d.to_json().dump(2), &jerr);
+  ASSERT_TRUE(jerr.empty()) << jerr;
+  SimDiagnostic back;
+  ASSERT_TRUE(SimDiagnostic::from_json(j, &back));
+  EXPECT_EQ(back.kind, d.kind);
+  EXPECT_EQ(back.summary, d.summary);
+  EXPECT_EQ(back.cycle, d.cycle);
+  EXPECT_EQ(back.cores, d.cores);
+  EXPECT_EQ(back.recent_events, d.recent_events);
+  EXPECT_EQ(back.to_json().dump(2), d.to_json().dump(2));
+}
+
+TEST(DiagnosticSerde, EmptyListsRoundTrip) {
+  SimDiagnostic d;
+  d.kind = "invariant_violation";
+  d.summary = "x";
+  SimDiagnostic back;
+  ASSERT_TRUE(SimDiagnostic::from_json(d.to_json(), &back));
+  EXPECT_TRUE(back.cores.empty());
+  EXPECT_TRUE(back.recent_events.empty());
+}
+
+TEST(DiagnosticSerde, RejectsWrongShapes) {
+  SimDiagnostic out;
+  EXPECT_FALSE(SimDiagnostic::from_json(trace::Json::array(), &out));
+  EXPECT_FALSE(SimDiagnostic::from_json(trace::Json("plain string"), &out));
+
+  trace::Json j = sample_diag().to_json();
+  j.set("cycle", "not-a-number");
+  EXPECT_FALSE(SimDiagnostic::from_json(j, &out));
+
+  j = sample_diag().to_json();
+  j.set("cores", trace::Json("not-an-array"));
+  EXPECT_FALSE(SimDiagnostic::from_json(j, &out));
+
+  j = sample_diag().to_json();
+  auto mixed = trace::Json::array();
+  mixed.push(3.0);
+  j.set("recent_events", std::move(mixed));
+  EXPECT_FALSE(SimDiagnostic::from_json(j, &out));
+
+  j = trace::Json::object();
+  j.set("kind", "hang");  // missing everything else
+  EXPECT_FALSE(SimDiagnostic::from_json(j, &out));
+}
+
+}  // namespace
+}  // namespace armbar::sim

@@ -158,5 +158,39 @@ TEST(Report, ValidatorRejectsBadDocuments) {
   EXPECT_FALSE(validate_bench_report(doc, &err));
 }
 
+TEST(Report, QuarantineCarriesReproBundle) {
+  ReportBuilder rb("fuzz", "differential fuzz");
+  rb.add_quarantine("fuzz_differential", "failed", "check_failed",
+                    "model/sim mismatch", Json(),
+                    "out/fuzz/seed42.repro.json");
+  const Json doc = rb.build();
+  EXPECT_FALSE(doc.find("ok")->boolean());
+  std::string err;
+  EXPECT_TRUE(validate_bench_report(doc, &err)) << err;
+  const Json& q = doc.find("quarantine")->items().front();
+  ASSERT_NE(q.find("repro_bundle"), nullptr);
+  EXPECT_EQ(q.find("repro_bundle")->str(), "out/fuzz/seed42.repro.json");
+
+  // An empty path is omitted entirely rather than emitted as "".
+  ReportBuilder rb2("fuzz", "differential fuzz");
+  rb2.add_quarantine("fuzz_differential", "failed", "timeout", "slow");
+  const Json doc2 = rb2.build();
+  EXPECT_EQ(doc2.find("quarantine")->items().front().find("repro_bundle"),
+            nullptr);
+  EXPECT_TRUE(validate_bench_report(doc2, &err)) << err;
+
+  // The validator rejects a present-but-empty or non-string bundle path.
+  for (Json bad_path : {Json(""), Json(3.0)}) {
+    Json entry = Json::object();
+    entry.set("name", "fuzz_differential");
+    entry.set("status", "failed");
+    entry.set("repro_bundle", std::move(bad_path));
+    Json doc3 = doc;
+    doc3.set("quarantine", Json::array().push(std::move(entry)));
+    EXPECT_FALSE(validate_bench_report(doc3, &err));
+    EXPECT_NE(err.find("repro_bundle"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace armbar::trace

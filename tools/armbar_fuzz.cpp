@@ -1,0 +1,228 @@
+// armbar-fuzz: differential fuzzing campaign driver (ISSUE 4).
+//
+// Generates seeded random litmus programs, enumerates each one's allowed
+// final-state set on the axiomatic reference model, runs the same programs
+// on the timing simulator across a platform × fault-plan × skew grid, and
+// flags any simulator outcome outside the model's set (plus invariant
+// violations, hangs and timeouts). Every failing seed is delta-debugged to
+// a minimal case (--minimize, on by default) and written as a
+// self-contained armbar.repro/v1 bundle that `armbar-repro <path>` replays
+// bit-exactly.
+//
+//   armbar-fuzz --seed-start 1 --seed-count 1000            # campaign
+//   armbar-fuzz --seed-count 50 --mutation drop-rel-acq     # planted bug
+//
+// Exit status: 0 zero failures, 1 failures found (bundles written), 2 bad
+// usage or unwritable --out-dir.
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/bundle.hpp"
+#include "fuzz/diff.hpp"
+#include "fuzz/gen.hpp"
+#include "fuzz/minimize.hpp"
+#include "runner/arg_parser.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/platform.hpp"
+
+namespace {
+
+using armbar::fuzz::DiffOptions;
+using armbar::fuzz::DiffResult;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// One fuzzed seed's outcome, filled by a pool worker.
+struct SeedResult {
+  std::uint64_t seed = 0;
+  bool failed = false;
+  std::string kind;          ///< first failure kind
+  std::string summary;
+  std::string bundle_path;   ///< written only for failures
+  std::uint64_t runs = 0;
+  std::uint32_t instructions_before = 0;
+  std::uint32_t instructions_after = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  armbar::runner::ArgParser args(
+      "armbar-fuzz",
+      "Differential fuzzing of the timing simulator against the axiomatic "
+      "ARMv8 reference model. Failing seeds are minimized and written as "
+      "armbar.repro/v1 bundles (replay: armbar-repro <path>).");
+  args.add_int("seed-start", "N", "first generator seed", 1, 1,
+               std::numeric_limits<std::int64_t>::max() / 2);
+  args.add_int("seed-count", "N", "number of consecutive seeds to fuzz", 100,
+               1, 10'000'000);
+  args.add_int("jobs", "N", "parallel seeds (0 = hardware threads)", 0, 0,
+               4096);
+  args.add_int("chaos-seeds", "N",
+               "chaos fault plans per program (plus one clean plan)", 8, 0,
+               64);
+  args.add_value("platforms", "A,B",
+                 "comma-separated platform presets (default: all)");
+  args.add_value("skews", "N,M", "comma-separated start skews", "0,7");
+  args.add_value("mutation", "M",
+                 "plant a simulator-side bug: none|drop-dmb-st|drop-dmb-ld|"
+                 "drop-dmb-full|drop-rel-acq",
+                 "none");
+  args.add_flag("no-minimize", "skip delta-debugging of failing cases");
+  args.add_value("out-dir", "DIR", "where repro bundles are written", ".");
+  args.add_int("max-threads", "N", "generator: threads per program", 4, 2, 8);
+  args.add_int("max-ops", "N", "generator: memory/barrier ops per thread", 6,
+               1, 32);
+
+  std::string err;
+  if (!args.parse(argc, argv, &err)) {
+    std::fprintf(stderr, "armbar-fuzz: %s\n", err.c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  if (!args.positionals().empty()) {
+    std::fprintf(stderr, "armbar-fuzz: unexpected argument '%s'\n",
+                 args.positionals().front().c_str());
+    return 2;
+  }
+
+  DiffOptions base = DiffOptions::defaults(
+      static_cast<std::uint32_t>(args.integer("chaos-seeds")));
+  if (args.given("platforms")) {
+    base.platforms = split_csv(args.str("platforms"));
+    if (base.platforms.empty()) {
+      std::fprintf(stderr, "armbar-fuzz: --platforms list is empty\n");
+      return 2;
+    }
+    for (const std::string& p : base.platforms) {
+      bool known = false;
+      for (const auto& spec : armbar::sim::all_platforms())
+        known |= spec.name == p;
+      if (!known) {
+        std::fprintf(stderr, "armbar-fuzz: unknown platform '%s' (have:",
+                     p.c_str());
+        for (const auto& spec : armbar::sim::all_platforms())
+          std::fprintf(stderr, " %s", spec.name.c_str());
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    }
+  }
+  if (args.given("skews")) {
+    base.skews.clear();
+    for (const std::string& s : split_csv(args.str("skews")))
+      base.skews.push_back(
+          static_cast<std::uint32_t>(std::strtoul(s.c_str(), nullptr, 10)));
+    if (base.skews.empty()) {
+      std::fprintf(stderr, "armbar-fuzz: --skews list is empty\n");
+      return 2;
+    }
+  }
+  if (!armbar::fuzz::mutation_from_string(args.str("mutation"),
+                                          &base.mutation)) {
+    std::fprintf(stderr, "armbar-fuzz: unknown mutation '%s'\n",
+                 args.str("mutation").c_str());
+    return 2;
+  }
+
+  armbar::fuzz::GenOptions gen;
+  gen.max_threads = static_cast<std::uint32_t>(args.integer("max-threads"));
+  gen.max_ops_per_thread = static_cast<std::uint32_t>(args.integer("max-ops"));
+
+  const std::uint64_t seed_start =
+      static_cast<std::uint64_t>(args.integer("seed-start"));
+  const std::uint64_t seed_count =
+      static_cast<std::uint64_t>(args.integer("seed-count"));
+  const bool do_minimize = !args.given("no-minimize");
+  const std::string out_dir = args.str("out-dir");
+
+  std::size_t jobs = static_cast<std::size_t>(args.integer("jobs"));
+  if (jobs == 0) jobs = armbar::runner::ThreadPool::hardware_jobs();
+
+  std::printf("armbar-fuzz: seeds [%" PRIu64 ", %" PRIu64 ") across %zu "
+              "platforms x %zu plans x %zu skews, mutation %s, %zu jobs\n",
+              seed_start, seed_start + seed_count, base.platforms.size(),
+              base.plans.size(), base.skews.size(),
+              armbar::fuzz::to_string(base.mutation), jobs);
+
+  std::vector<SeedResult> results(seed_count);
+  std::mutex io_mu;
+  std::string io_err;  // first bundle-write failure, reported at the end
+
+  const auto fuzz_one = [&](std::size_t i) {
+    SeedResult& r = results[i];
+    r.seed = seed_start + i;
+    armbar::model::ConcurrentProgram prog =
+        armbar::fuzz::generate(r.seed, gen);
+    DiffOptions opts = base;
+    DiffResult diff = armbar::fuzz::run_diff(prog, opts);
+    r.runs = diff.runs;
+    if (diff.ok()) return;
+
+    r.failed = true;
+    r.kind = diff.failures.front().kind;
+    r.instructions_before = armbar::fuzz::total_instructions(prog);
+    if (do_minimize) {
+      const auto stats = armbar::fuzz::minimize(
+          &prog, &opts, armbar::fuzz::same_kind_predicate(r.kind));
+      r.instructions_after = stats.instructions_after;
+      diff = armbar::fuzz::run_diff(prog, opts);  // bundle the minimal case
+    } else {
+      r.instructions_after = r.instructions_before;
+    }
+    const armbar::fuzz::ReproBundle bundle =
+        armbar::fuzz::make_bundle(prog, opts, r.seed, diff);
+    r.summary = diff.summary();
+    r.bundle_path =
+        out_dir + "/fuzz-" + std::to_string(r.seed) + ".repro.json";
+    std::string werr;
+    if (!armbar::fuzz::write_bundle(r.bundle_path, bundle, &werr)) {
+      std::lock_guard<std::mutex> lock(io_mu);
+      if (io_err.empty()) io_err = r.bundle_path + ": " + werr;
+    }
+  };
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < results.size(); ++i) fuzz_one(i);
+  } else {
+    armbar::runner::ThreadPool pool(jobs);
+    pool.parallel_for(results.size(), fuzz_one);
+  }
+
+  std::uint64_t total_runs = 0;
+  std::uint64_t failures = 0;
+  for (const SeedResult& r : results) {
+    total_runs += r.runs;
+    if (!r.failed) continue;
+    ++failures;
+    std::printf("seed %" PRIu64 ": %s (%u -> %u instructions)\n", r.seed,
+                r.kind.c_str(), r.instructions_before, r.instructions_after);
+    std::printf("  %s\n", r.summary.c_str());
+    std::printf("  bundle: %s  (replay: armbar-repro %s)\n",
+                r.bundle_path.c_str(), r.bundle_path.c_str());
+  }
+  std::printf("armbar-fuzz: %" PRIu64 " seeds, %" PRIu64 " simulator runs, "
+              "%" PRIu64 " failing seed%s\n",
+              seed_count, total_runs, failures, failures == 1 ? "" : "s");
+  if (!io_err.empty()) {
+    std::fprintf(stderr, "armbar-fuzz: failed to write bundle: %s\n",
+                 io_err.c_str());
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// armbar-repro: one-command replay of a differential-fuzzing failure.
+//
+//   armbar-repro bundle.repro.json [more.repro.json ...]
+//
+// Each argument is an armbar.repro/v1 bundle (written by armbar-fuzz or the
+// fuzz_differential experiment). The tool re-runs the exact differential
+// grid the bundle captured — same program text, platform presets, fault
+// plans, skews, mutation and model budgets — and compares the fresh
+// DiffResult digest against the bundle's `expect_digest`. Equality means
+// the failure reproduced bit-exactly: same allowed set, same observed set,
+// same failure records.
+//
+// Exit status: 0 every bundle reproduced, 1 at least one did not (or was a
+// false capture that no longer fails), 2 usage / unreadable bundle.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fuzz/bundle.hpp"
+#include "fuzz/diff.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: armbar-repro [--quiet] BUNDLE.repro.json [...]\n"
+      "\n"
+      "Replay armbar.repro/v1 differential-failure bundles bit-exactly.\n"
+      "  --quiet   only print the per-bundle verdict lines\n",
+      to);
+}
+
+/// 0 reproduced, 1 diverged, 2 unreadable.
+int replay(const char* path, bool quiet) {
+  armbar::fuzz::ReproBundle b;
+  std::string err;
+  if (!armbar::fuzz::load_bundle(path, &b, &err)) {
+    std::fprintf(stderr, "%s: cannot load bundle: %s\n", path, err.c_str());
+    return 2;
+  }
+  if (!quiet) {
+    std::printf("%s: program '%s' (%zu threads), kind '%s'\n", path,
+                b.prog.name.c_str(), b.prog.threads.size(),
+                b.failure_kind.c_str());
+    if (!b.detail.empty()) std::printf("%s:   %s\n", path, b.detail.c_str());
+  }
+  const armbar::fuzz::DiffResult fresh =
+      armbar::fuzz::run_diff(b.prog, b.opts);
+  const std::uint64_t digest = fresh.digest();
+  const bool same_digest = digest == b.expect_digest;
+  bool same_kind = false;
+  for (const auto& f : fresh.failures) same_kind |= f.kind == b.failure_kind;
+  if (!quiet) std::printf("%s:   %s\n", path, fresh.summary().c_str());
+  if (same_digest && same_kind) {
+    std::printf("%s: REPRODUCED (digest %016" PRIx64 ", %" PRIu64 " runs)\n",
+                path, digest, fresh.runs);
+    return 0;
+  }
+  std::printf("%s: NOT REPRODUCED — %s (expected digest %016" PRIx64
+              ", got %016" PRIx64 ")\n",
+              path,
+              same_kind ? "digest diverged"
+                        : "expected failure kind did not occur",
+              b.expect_digest, digest);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  int first = 1;
+  for (; first < argc && argv[first][0] == '-'; ++first) {
+    if (std::strcmp(argv[first], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[first], "--help") == 0 ||
+               std::strcmp(argv[first], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "armbar-repro: unknown option '%s'\n", argv[first]);
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (first >= argc) {
+    usage(stderr);
+    return 2;
+  }
+  int worst = 0;
+  for (int i = first; i < argc; ++i) {
+    const int rc = replay(argv[i], quiet);
+    if (rc > worst) worst = rc;
+  }
+  return worst;
+}

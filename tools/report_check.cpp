@@ -41,11 +41,15 @@ bool check_file(const char* path) {
               doc.find("bench")->str().c_str(), doc.find("checks")->size(),
               doc.find("metrics")->size(), doc.find("histograms")->size(),
               quarantined, ok ? "" : " [bench checks FAILED]");
-  for (const armbar::trace::Json& q : doc.find("quarantine")->items())
+  for (const armbar::trace::Json& q : doc.find("quarantine")->items()) {
     std::fprintf(stderr, "%s: quarantined '%s': %s (%s)\n", path,
                  q.find("name")->str().c_str(),
                  q.find("kind") ? q.find("kind")->str().c_str() : "?",
                  q.find("reason") ? q.find("reason")->str().c_str() : "");
+    if (const armbar::trace::Json* bundle = q.find("repro_bundle"))
+      std::fprintf(stderr, "%s:   replay: armbar-repro %s\n", path,
+                   bundle->str().c_str());
+  }
   return ok;
 }
 
