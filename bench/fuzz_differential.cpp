@@ -14,6 +14,7 @@
 // The acceptance-grade campaign (1,000 seeds, 8 chaos plans) runs through
 // the standalone armbar-fuzz CLI; this slice keeps the same shape but small
 // enough for the "run all benches" loop.
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -55,10 +56,22 @@ ARMBAR_EXPERIMENT(fuzz_differential, "Fuzz",
                         std::to_string(grid.plans.size()) + " plans x " +
                         std::to_string(grid.skews.size()) + " skews");
 
+  // Checker/campaign throughput (ISSUE 5). Wall-clock must never enter a
+  // cached row (it would poison the order-independent points digest), so
+  // the timings accumulate in side atomics that only fresh computations
+  // touch — on a fully warm cache the throughput metrics are simply
+  // omitted from the report.
+  std::atomic<std::uint64_t> fresh_model_ns{0};
+  std::atomic<std::uint64_t> fresh_sim_ns{0};
+  std::atomic<std::uint64_t> fresh_candidates{0};
+  std::atomic<std::uint64_t> fresh_runs{0};
+
   const auto rows = ctx.map(kSeedCount, [&](std::size_t i) {
     const std::uint64_t seed = kSeedStart + i;
     Fingerprint key = ExperimentContext::key();
-    key.mix("fuzz-differential/v1")
+    // v2: ISSUE 5 raised the generator defaults (every seed maps to a new
+    // program) and made the POR engine the default checker.
+    key.mix("fuzz-differential/v2")
         .mix(seed)
         .mix(kChaosSeeds)
         .mix(static_cast<std::uint32_t>(grid.skews.size()));
@@ -67,6 +80,11 @@ ARMBAR_EXPERIMENT(fuzz_differential, "Fuzz",
       model::ConcurrentProgram prog = fuzz::generate(seed, gen);
       fuzz::DiffOptions opts = grid;
       fuzz::DiffResult diff = fuzz::run_diff(prog, opts);
+      fresh_model_ns.fetch_add(diff.model_ns, std::memory_order_relaxed);
+      fresh_sim_ns.fetch_add(diff.sim_ns, std::memory_order_relaxed);
+      fresh_candidates.fetch_add(diff.model_candidates,
+                                 std::memory_order_relaxed);
+      fresh_runs.fetch_add(diff.runs, std::memory_order_relaxed);
 
       trace::Json row = trace::Json::object();
       row.set("seed", std::to_string(seed));
@@ -124,6 +142,16 @@ ARMBAR_EXPERIMENT(fuzz_differential, "Fuzz",
   ctx.metric("fuzz_seeds", static_cast<double>(kSeedCount));
   ctx.metric("sim_runs", static_cast<double>(total_runs));
   ctx.metric("failing_seeds", static_cast<double>(failing));
+  if (const std::uint64_t mns = fresh_model_ns.load(); mns > 0) {
+    ctx.metric("model_check_ms", static_cast<double>(mns) * 1e-6);
+    ctx.metric("model_execs_per_sec",
+               static_cast<double>(fresh_candidates.load()) /
+                   (static_cast<double>(mns) * 1e-9));
+  }
+  if (const std::uint64_t sns = fresh_sim_ns.load(); sns > 0)
+    ctx.metric("campaign_runs_per_sec",
+               static_cast<double>(fresh_runs.load()) /
+                   (static_cast<double>(sns) * 1e-9));
   ctx.check(failing == 0,
             "every simulator outcome lies inside the model's allowed set");
   if (failing != 0)

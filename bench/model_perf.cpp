@@ -1,0 +1,157 @@
+// Model-checker throughput experiment (ISSUE 5): POR engine vs the naive
+// exhaustive enumerator on the paper's MP+dmb shape, plus a co-heavy
+// "deep MP" variant that isolates the partial-order reduction win.
+//
+// Two workloads, both checked by both Phase-C engines:
+//   * MP+dmb.full — the plain Table 1 row. Tiny state space, so the shared
+//     Phases A/B dominate and the ratio is informational only.
+//   * deep MP+dmb — the producer stores the same location K times before
+//     the fence+flag publish. The naive engine enumerates every coherence
+//     permutation of those K writes (K! per rf choice); the POR engine's
+//     po-loc seeding forces the order up front, so its search is ~linear
+//     in K. This is the shape the ci.sh >=5x gate runs on.
+//
+// Timing uses OutcomeSet::enum_ns (Phase C only, stamped inside
+// enumerate_outcomes), summed over repeats. Nothing here goes through
+// ctx.cached(): wall-clock must never enter a cached value, and the whole
+// point of the experiment is to re-measure. Correctness still gates: both
+// engines must agree on the allowed set and the consistent count.
+#include <cstdint>
+#include <string>
+
+#include "common/table.hpp"
+#include "experiment_util.hpp"
+#include "litmus/shapes.hpp"
+#include "model/model.hpp"
+
+using namespace armbar;
+using runner::ExperimentContext;
+
+namespace {
+
+constexpr Addr kData = 0x1000;
+constexpr Addr kFlag = 0x2000;
+
+// MP with a K-deep same-location store burst before the publish. Every
+// store carries a distinct value so rf choices stay distinguishable.
+model::ConcurrentProgram deep_mp(std::uint32_t k) {
+  using namespace sim;  // registers X0..X30
+  model::ConcurrentProgram p;
+  p.name = "deepMP+dmb.full/k" + std::to_string(k);
+  {
+    Asm a;
+    a.movi(X0, kData).movi(X2, kFlag).movi(X4, 1);
+    for (std::uint32_t i = 1; i <= k; ++i) {
+      a.movi(X3, i);
+      a.str(X3, X0, 0);
+    }
+    a.dmb_full();
+    a.str(X4, X2, 0);
+    a.halt();
+    p.threads.push_back(a.take("deep-mp-producer"));
+  }
+  {
+    Asm a;
+    a.movi(X0, kData).movi(X2, kFlag);
+    a.ldr(X3, X2, 0);
+    a.dmb_ld();
+    a.ldr(X10, X0, 0);
+    a.halt();
+    p.threads.push_back(a.take("deep-mp-consumer"));
+  }
+  p.observe_regs = {{1, X3}, {1, X10}};
+  p.init = {{kData, 0}, {kFlag, 0}};
+  return p;
+}
+
+struct EngineRun {
+  model::OutcomeSet set;
+  std::uint64_t enum_ns = 0;  ///< summed Phase-C ns over all repeats
+};
+
+EngineRun run_engine(ExperimentContext& ctx,
+                     const model::ConcurrentProgram& prog, bool naive,
+                     std::uint32_t repeats) {
+  model::ModelOptions opts;
+  opts.naive = naive;
+  EngineRun r;
+  for (std::uint32_t i = 0; i < repeats; ++i) {
+    r.set = model::enumerate_outcomes(prog, opts);
+    r.enum_ns += r.set.enum_ns;
+    if (!r.set.ok() || !r.set.complete) break;
+  }
+  ctx.check(r.set.ok() && r.set.complete,
+            std::string(naive ? "naive" : "por") +
+                " enumeration complete on " + prog.name);
+  return r;
+}
+
+double per_sec(std::uint64_t count, std::uint64_t ns) {
+  return ns == 0 ? 0.0 : static_cast<double>(count) /
+                             (static_cast<double>(ns) * 1e-9);
+}
+
+}  // namespace
+
+ARMBAR_EXPERIMENT(model_perf, "Model",
+                  "axiomatic checker throughput: POR engine vs naive oracle") {
+  constexpr std::uint32_t kDeepStores = 8;
+  constexpr std::uint32_t kDeepRepeats = 3;
+  constexpr std::uint32_t kPlainRepeats = 200;
+  ctx.param("deep_stores", std::to_string(kDeepStores));
+  ctx.param("repeats", std::to_string(kPlainRepeats) + " plain / " +
+                           std::to_string(kDeepRepeats) + " deep");
+
+  struct Workload {
+    std::string label;
+    model::ConcurrentProgram prog;
+    std::uint32_t repeats;
+    bool gated;  ///< the >=5x ci gate runs on this row
+  };
+  const Workload workloads[] = {
+      {"MP+dmb.full", litmus::table1_shape("MP+dmb.full").model_prog,
+       kPlainRepeats, false},
+      {"deep MP+dmb", deep_mp(kDeepStores), kDeepRepeats, true},
+  };
+
+  TextTable t("Model checker Phase C throughput — POR vs naive oracle");
+  t.header({"workload", "consistent", "naive exec/s", "por exec/s",
+            "speedup"});
+  for (const Workload& w : workloads) {
+    const EngineRun naive = run_engine(ctx, w.prog, /*naive=*/true, w.repeats);
+    const EngineRun por = run_engine(ctx, w.prog, /*naive=*/false, w.repeats);
+
+    ctx.check(naive.set.allowed == por.set.allowed,
+              "POR allowed set matches naive oracle on " + w.label);
+    ctx.check(naive.set.consistent == por.set.consistent,
+              "POR consistent count matches naive oracle on " + w.label);
+
+    const double naive_eps = per_sec(naive.set.candidates * w.repeats,
+                                     naive.enum_ns);
+    const double por_eps = per_sec(por.set.candidates * w.repeats,
+                                   por.enum_ns);
+    const double speedup = por.enum_ns == 0
+                               ? 0.0
+                               : static_cast<double>(naive.enum_ns) /
+                                     static_cast<double>(por.enum_ns);
+    t.row({w.label, TextTable::num(static_cast<double>(por.set.consistent), 0),
+           TextTable::num(naive_eps, 0), TextTable::num(por_eps, 0),
+           TextTable::num(speedup, 1) + "x"});
+
+    const std::string tag = w.gated ? "deep" : "mp";
+    ctx.metric(tag + "_naive_execs_per_sec", naive_eps);
+    ctx.metric(tag + "_por_execs_per_sec", por_eps);
+    ctx.metric(tag + "_naive_enum_ms",
+               static_cast<double>(naive.enum_ns) * 1e-6);
+    ctx.metric(tag + "_por_enum_ms", static_cast<double>(por.enum_ns) * 1e-6);
+    ctx.metric(tag + "_speedup", speedup);
+    if (w.gated)
+      ctx.check(speedup >= 5.0,
+                "POR engine >=5x faster than naive on " + w.label +
+                    " (measured " + TextTable::num(speedup, 1) + "x)");
+  }
+  t.note("speedup = summed naive Phase-C ns / summed POR Phase-C ns;");
+  t.note("exec/s counts engine search nodes, so the two columns are not");
+  t.note("directly comparable — the speedup column is the honest ratio");
+  t.print();
+}

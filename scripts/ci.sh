@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 CI: configure with warnings-as-errors on the trace target, build
-# everything, run the full test suite, then exercise the experiment runner
-# end to end:
+# everything, run the tiered test suite, then exercise the experiment
+# runner end to end:
+#   * the tier1 ctest label (fast tests, every suite) right after the
+#     build, then one dedicated full-suite stage that adds the slow tier
+#     (the 200-seed POR/naive equivalence sweep, the fault-matrix litmus
+#     sweep);
 #   * a cold-vs-warm armbar-bench pair against a fresh cache dir, asserting
 #     the warm (fully memoized) re-run finishes in < 20% of the cold wall
 #     time;
 #   * a consolidated multi-experiment --json report validated by
 #     report_check;
+#   * the model_perf experiment gating the POR checker >= 5x faster than
+#     the naive oracle on the co-heavy deep-MP shape (report-validated,
+#     speedup read back out of the JSON);
 #   * the legacy per-figure wrapper path (fig3 --json --trace) including
 #     the >= 3 latency-histogram gate;
 #   * trace_explorer's span-accounting self-check;
@@ -14,11 +21,14 @@
 #     still validate, carry per-experiment status params and an (empty)
 #     quarantine array;
 #   * a bounded differential-fuzz smoke (armbar-fuzz, fixed seeds) that
-#     must find zero model/simulator mismatches, followed by a planted-bug
-#     stage: a dropped-fence mutation must be caught, minimized, bundled,
-#     and the bundle must replay bit-exactly through armbar-repro;
+#     must find zero model/simulator mismatches and emit a valid
+#     armbar.bench.report/v1 with campaign/model throughput metrics,
+#     followed by a planted-bug stage: a dropped-fence mutation must be
+#     caught, minimized, bundled, and the bundle must replay bit-exactly
+#     through armbar-repro;
 #   * an ASan+UBSan build running the full test suite — including the
-#     fault-injected litmus sweep — plus a faulted armbar-bench smoke.
+#     slow tier, so the equivalence sweep runs sanitized — plus a faulted
+#     armbar-bench smoke.
 #
 #   $ scripts/ci.sh [build-dir]
 set -euo pipefail
@@ -32,7 +42,10 @@ cmake -B "$BUILD" -S . -DARMBAR_WERROR=ON > /dev/null
 echo "== build =="
 cmake --build "$BUILD" -j"$(nproc)"
 
-echo "== tests =="
+echo "== tests (tier1 label) =="
+ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j"$(nproc)"
+
+echo "== tests (full suite incl. slow tier) =="
 ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 
 BENCH="$BUILD/bench/armbar-bench"
@@ -70,6 +83,22 @@ echo "== consolidated report (--filter 'table*' --json) =="
 "$BENCH" --filter 'table*' --jobs "$(nproc)" --cache-dir "$CACHE_DIR" \
     --json="$SMOKE_DIR/armbar-bench.report.json" > /dev/null
 "$BUILD/tools/report_check" "$SMOKE_DIR/armbar-bench.report.json"
+
+echo "== model_perf gate (POR >= 5x naive on deep MP+dmb) =="
+"$BENCH" --filter model_perf --no-cache \
+    --json="$SMOKE_DIR/model_perf.report.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/model_perf.report.json"
+python3 - "$SMOKE_DIR/model_perf.report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], "model_perf experiment failed"
+speedup = doc["metrics"]["deep_speedup"]
+assert speedup >= 5.0, f"POR speedup {speedup:.1f}x below the 5x gate"
+gate = [c for c in doc["checks"] if ">=5x" in c["claim"]]
+assert gate and all(c["pass"] for c in gate), "speedup check missing/failed"
+print(f"model_perf gate OK (POR {speedup:.1f}x naive, "
+      f"{doc['metrics']['deep_por_execs_per_sec']:.0f} POR execs/sec)")
+EOF
 
 echo "== legacy wrapper smoke (fig3 --json --trace) =="
 "$BUILD/bench/fig3_store_store" \
@@ -115,13 +144,26 @@ EOF
 echo "== differential fuzz smoke (fixed seeds, zero mismatches) =="
 FUZZ_DIR="$SMOKE_DIR/fuzz"
 rm -rf "$FUZZ_DIR" && mkdir -p "$FUZZ_DIR"
-# ~30 s: 48 fixed seeds across the full platform set with two chaos plans.
+# ~10 s: 48 fixed seeds across the full platform set with two chaos plans.
 "$BUILD/tools/armbar-fuzz" --seed-start 1 --seed-count 48 --chaos-seeds 2 \
-    --jobs "$(nproc)" --out-dir "$FUZZ_DIR"
+    --jobs "$(nproc)" --out-dir "$FUZZ_DIR" \
+    --json "$FUZZ_DIR/armbar-fuzz.report.json"
 if compgen -G "$FUZZ_DIR/*.repro.json" > /dev/null; then
     echo "FAIL: clean fuzz smoke produced repro bundles"
     exit 1
 fi
+"$BUILD/tools/report_check" "$FUZZ_DIR/armbar-fuzz.report.json"
+python3 - "$FUZZ_DIR/armbar-fuzz.report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], "clean fuzz campaign report not ok"
+m = doc["metrics"]
+assert m["failing_seeds"] == 0, m
+for k in ("campaign_runs_per_sec", "model_execs_per_sec", "model_check_ms"):
+    assert m.get(k, 0) > 0, f"missing/zero throughput metric {k}"
+print(f"fuzz report OK ({m['campaign_runs_per_sec']:.0f} runs/sec, "
+      f"{m['model_execs_per_sec']:.0f} model execs/sec)")
+EOF
 
 echo "== planted-bug stage (drop-dmb-full must be caught and replay) =="
 # Seed 29 emits a fenced program whose mutated (fence-dropped) twin shows an
@@ -145,7 +187,8 @@ cmake -B "$ASAN_BUILD" -S . -DARMBAR_SANITIZE=ON > /dev/null
 
 cmake --build "$ASAN_BUILD" -j"$(nproc)"
 
-echo "== ASan+UBSan tests (tier-1 + fault-injected litmus sweep) =="
+echo "== ASan+UBSan tests (full suite: tier1 + slow, incl. the 200-seed =="
+echo "== POR/naive equivalence sweep and fault-injected litmus sweep)   =="
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j"$(nproc)"
 
 echo "== ASan+UBSan armbar-bench fault smoke =="

@@ -209,6 +209,7 @@ Json opts_to_json(const DiffOptions& o) {
   m.set("max_reads_per_thread", num(o.model.max_reads_per_thread));
   m.set("max_value_domain", num(o.model.max_value_domain));
   m.set("max_candidates", u64s(o.model.max_candidates));
+  m.set("naive", o.model.naive);
   j.set("model", std::move(m));
   return j;
 }
@@ -279,6 +280,16 @@ bool opts_from_json(const Json* j, DiffOptions* o, std::string* err) {
       !parse_u64(m->find("max_candidates"), &o->model.max_candidates)) {
     *err = "options.model: malformed";
     return false;
+  }
+  // Optional (absent in pre-ISSUE-5 bundles, which all used the then-only
+  // naive engine semantics — outcome sets are engine-independent, so
+  // replaying them on the POR default is still bit-exact).
+  if (const Json* naive = m->find("naive"); naive != nullptr) {
+    if (!naive->is_bool()) {
+      *err = "options.model.naive: not a bool";
+      return false;
+    }
+    o->model.naive = naive->boolean();
   }
   return true;
 }

@@ -1,5 +1,6 @@
 #include "fuzz/diff.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "sim/machine.hpp"
@@ -128,12 +129,19 @@ DiffResult run_diff(const model::ConcurrentProgram& prog,
                     const DiffOptions& opts) {
   DiffResult res;
 
+  const auto model_start = std::chrono::steady_clock::now();
   const model::OutcomeSet set = model::enumerate_outcomes(prog, opts.model);
+  res.model_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - model_start)
+          .count());
+  res.model_candidates = set.candidates;
   if (!set.ok() || !set.complete) {
     res.model_valid = false;
     res.model_error = set.ok() ? "enumeration budget exhausted" : set.error;
   }
   res.allowed = set.allowed;
+  const auto sim_start = std::chrono::steady_clock::now();
 
   // Deduplicate failures on (kind, platform, observed) so one systematic
   // divergence doesn't flood the record across plans and skews.
@@ -208,6 +216,10 @@ DiffResult run_diff(const model::ConcurrentProgram& prog,
       }
     }
   }
+  res.sim_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - sim_start)
+          .count());
   return res;
 }
 

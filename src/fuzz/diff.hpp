@@ -86,6 +86,12 @@ struct DiffResult {
   std::set<model::Outcome> observed;  ///< every outcome the simulator hit
   std::vector<DiffFailure> failures;  ///< deduplicated, bounded
 
+  // Throughput accounting (ISSUE 5). Wall-clock, hence EXCLUDED from
+  // digest(): a repro replay matches on behaviour, never on timing.
+  std::uint64_t model_ns = 0;          ///< enumerate_outcomes wall time
+  std::uint64_t sim_ns = 0;            ///< simulator grid wall time
+  std::uint64_t model_candidates = 0;  ///< executions the checker examined
+
   bool ok() const { return failures.empty(); }
   /// Order-independent identity of the differential behaviour: covers the
   /// allowed set, the observed set and every failure record. A repro bundle

@@ -28,9 +28,13 @@
 namespace armbar::fuzz {
 
 struct GenOptions {
-  std::uint32_t max_threads = 4;         ///< >= 2; 4 enables IRIW shapes
-  std::uint32_t max_ops_per_thread = 6;  ///< memory/barrier ops in the body
-  std::uint32_t num_addrs = 3;           ///< 1..4 shared locations
+  // Defaults raised in ISSUE 5: the POR engine makes deeper/wider programs
+  // affordable, so campaigns now default to the generator's full range.
+  // Raising them changes the program every seed maps to — re-pin any seed
+  // ci.sh or a repro bundle depends on when touching these.
+  std::uint32_t max_threads = 5;         ///< >= 2; 4+ enables IRIW shapes
+  std::uint32_t max_ops_per_thread = 8;  ///< memory/barrier ops in the body
+  std::uint32_t num_addrs = 4;           ///< 1..4 shared locations
 };
 
 /// Generate the program for `seed`. Deterministic; the returned program's

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <map>
 #include <sstream>
 
@@ -129,15 +130,23 @@ class ThreadInterp {
     for (std::size_t i = 0; i < sim::kNumRegs; ++i) e.regs[i] = st.regs[i].v;
     // Distinct load-value choices can converge on identical behaviour
     // (e.g. both branch arms rejoining); dedupe to shrink the Phase C
-    // product.
-    std::ostringstream key;
-    for (const Event& ev : e.events)
-      key << static_cast<int>(ev.kind) << ',' << static_cast<int>(ev.op) << ','
-          << ev.addr << ',' << ev.value << ',' << ev.addr_dep << ','
-          << ev.data_dep << ',' << ev.ctrl_dep << ',' << ev.read_ord << ';';
-    key << '|';
-    for (std::uint64_t r : e.regs) key << r << ',';
-    if (seen_.insert(key.str()).second) execs_.push_back(std::move(e));
+    // product. The key is a byte-exact fixed-width field dump — every
+    // event block has the same width and the register block has a fixed
+    // size, so equal keys imply equal executions.
+    std::string key;
+    key.reserve(e.events.size() * 48 + sizeof(e.regs));
+    for (const Event& ev : e.events) {
+      const std::uint64_t fields[6] = {
+          static_cast<std::uint64_t>(ev.kind) |
+              (static_cast<std::uint64_t>(ev.op) << 8) |
+              (static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(ev.read_ord))
+               << 16),
+          ev.addr, ev.value, ev.addr_dep, ev.data_dep, ev.ctrl_dep};
+      key.append(reinterpret_cast<const char*>(fields), sizeof(fields));
+    }
+    key.append(reinterpret_cast<const char*>(e.regs.data()), sizeof(e.regs));
+    if (seen_.insert(std::move(key)).second) execs_.push_back(std::move(e));
   }
 
   void step(PathState st) {
@@ -326,6 +335,147 @@ class ThreadInterp {
 // Phase C: combine thread executions, enumerate rf/co, check the axioms
 // ---------------------------------------------------------------------------
 
+/// The flattened event universe of one per-thread execution combination,
+/// shared by both Phase C engines. Events keep their Phase-B thread/po
+/// identity; the initial write of every touched address is prepended as a
+/// virtual event on thread -1 (external to every real thread, co-first at
+/// its address).
+struct ComboEvents {
+  std::vector<Event> ev;
+  std::map<Addr, int> init_id;
+  std::map<Addr, std::vector<int>> writes_by_addr;
+  std::map<int, std::vector<int>> thread_events;
+  std::vector<std::vector<int>> rdmap;
+  std::vector<int> reads;
+
+  ComboEvents(const std::vector<const ThreadExec*>& combo,
+              const std::set<Addr>& addrs,
+              const std::map<Addr, std::uint64_t>& init) {
+    for (Addr a : addrs) {
+      Event e;
+      e.kind = Event::kWrite;
+      e.thread = -1;
+      e.addr = a;
+      if (auto it = init.find(a); it != init.end()) e.value = it->second;
+      init_id[a] = static_cast<int>(ev.size());
+      ev.push_back(e);
+    }
+    rdmap.resize(combo.size());
+    for (std::size_t t = 0; t < combo.size(); ++t) {
+      for (const Event& src : combo[t]->events) {
+        Event e = src;
+        e.thread = static_cast<int>(t);
+        const int id = static_cast<int>(ev.size());
+        if (e.kind == Event::kRead) {
+          if (rdmap[t].size() <= static_cast<std::size_t>(e.read_ord))
+            rdmap[t].resize(e.read_ord + 1, -1);
+          rdmap[t][e.read_ord] = id;
+          reads.push_back(id);
+        } else if (e.kind == Event::kWrite) {
+          writes_by_addr[e.addr].push_back(id);
+        }
+        thread_events[t].push_back(id);
+        ev.push_back(e);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void for_deps(int thread, std::uint64_t mask, Fn&& fn) const {
+    while (mask != 0) {
+      const int ord = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      if (static_cast<std::size_t>(ord) < rdmap[thread].size() &&
+          rdmap[thread][ord] >= 0)
+        fn(rdmap[thread][ord]);
+    }
+  }
+
+  /// Real writes at `a` (never includes the virtual init write). Null when
+  /// there are none.
+  const std::vector<int>* writes_at(Addr a) const {
+    auto it = writes_by_addr.find(a);
+    return it == writes_by_addr.end() ? nullptr : &it->second;
+  }
+};
+
+/// dob/bob edges that do not depend on the rf/co choice. Shared verbatim by
+/// both engines so the naive oracle and the POR engine see the same static
+/// relation.
+std::vector<std::pair<int, int>> build_static_edges(const ComboEvents& ce) {
+  std::vector<std::pair<int, int>> out;
+  auto add_edge = [&out](int from, int to) {
+    if (from != to) out.emplace_back(from, to);
+  };
+  for (const auto& [t, tev] : ce.thread_events) {
+    const int ti = t;
+
+    // Direct dependency clauses: addr, data, ctrl;[W].
+    for (int id : tev) {
+      const Event& e = ce.ev[id];
+      if (e.kind == Event::kFence) continue;
+      ce.for_deps(ti, e.addr_dep, [&](int r) { add_edge(r, id); });
+      if (e.kind == Event::kWrite) {
+        ce.for_deps(ti, e.data_dep, [&](int r) { add_edge(r, id); });
+        ce.for_deps(ti, e.ctrl_dep, [&](int r) { add_edge(r, id); });
+      }
+    }
+
+    // Prefix-accumulating po scan for the remaining clauses.
+    std::uint64_t addr_prefix = 0;  // addr;po;[W] and (addr;po);[ISB]
+    std::uint64_t isb_srcs = 0;     // (ctrl|(addr;po));[ISB];po;[R]
+    std::vector<int> all_before, rel_before;
+    std::vector<int> any_srcs;  // ordered before every later access
+    std::vector<int> st_srcs;   // ordered before every later write
+    for (int id : tev) {
+      const Event& e = ce.ev[id];
+      if (e.kind == Event::kFence) {
+        if (is_full_fence(e.op)) {
+          any_srcs.insert(any_srcs.end(), all_before.begin(),
+                          all_before.end());
+        } else if (is_ld_fence(e.op)) {
+          for (int b : all_before)
+            if (ce.ev[b].kind == Event::kRead) any_srcs.push_back(b);
+        } else if (is_st_fence(e.op)) {
+          for (int b : all_before)
+            if (ce.ev[b].kind == Event::kWrite) st_srcs.push_back(b);
+        } else {  // ISB
+          isb_srcs |= e.ctrl_dep | addr_prefix;
+        }
+        continue;
+      }
+      // Incoming barrier-ordered edges.
+      for (int s : any_srcs) add_edge(s, id);
+      if (e.kind == Event::kWrite)
+        for (int s : st_srcs) add_edge(s, id);
+      if (e.kind == Event::kRead)
+        ce.for_deps(ti, isb_srcs, [&](int r) { add_edge(r, id); });
+      // addr;po;[W]: reads feeding any earlier access's address order
+      // before every later write.
+      if (e.kind == Event::kWrite)
+        ce.for_deps(ti, addr_prefix, [&](int r) { add_edge(r, id); });
+      // po;[L] and [L];po;[A].
+      if (e.kind == Event::kWrite && e.rel) {
+        for (int b : all_before) add_edge(b, id);
+        rel_before.push_back(id);
+      }
+      if (e.kind == Event::kRead && e.acq)
+        for (int l : rel_before) add_edge(l, id);
+      // [A|Q];po.
+      if (e.kind == Event::kRead && (e.acq || e.acq_pc))
+        any_srcs.push_back(id);
+      addr_prefix |= e.addr_dep;
+      all_before.push_back(id);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Naive engine (ModelOptions::naive): full rf product x co permutations,
+// per-candidate graph rebuild + DFS acyclicity. Kept as the oracle.
+// ---------------------------------------------------------------------------
+
 bool acyclic(std::size_t n, const std::vector<std::vector<int>>& adj) {
   // Iterative three-colour DFS.
   enum : std::uint8_t { kWhite, kGrey, kBlack };
@@ -353,158 +503,39 @@ bool acyclic(std::size_t n, const std::vector<std::vector<int>>& adj) {
   return true;
 }
 
-/// One candidate execution being checked: the flattened event list plus the
-/// relation machinery. Events keep their Phase-B thread/po identity; the
-/// initial write of every touched address is prepended as a virtual event on
-/// thread -1 (external to every real thread, co-first at its address).
 class ComboChecker {
  public:
   ComboChecker(const ConcurrentProgram& p, const ModelOptions& opts,
                const std::vector<const ThreadExec*>& combo,
-               const std::set<Addr>& addrs,
-               const std::map<Addr, std::uint64_t>& init, OutcomeSet* out)
-      : p_(p), opts_(opts), combo_(combo), out_(out) {
-    for (Addr a : addrs) {
-      Event e;
-      e.kind = Event::kWrite;
-      e.thread = -1;
-      e.addr = a;
-      if (auto it = init.find(a); it != init.end()) e.value = it->second;
-      init_id_[a] = static_cast<int>(ev_.size());
-      ev_.push_back(e);
-    }
-    rdmap_.resize(combo.size());
-    for (std::size_t t = 0; t < combo.size(); ++t) {
-      for (const Event& src : combo[t]->events) {
-        Event e = src;
-        e.thread = static_cast<int>(t);
-        const int id = static_cast<int>(ev_.size());
-        if (e.kind == Event::kRead) {
-          if (rdmap_[t].size() <= static_cast<std::size_t>(e.read_ord))
-            rdmap_[t].resize(e.read_ord + 1, -1);
-          rdmap_[t][e.read_ord] = id;
-          reads_.push_back(id);
-        } else if (e.kind == Event::kWrite) {
-          writes_by_addr_[e.addr].push_back(id);
-        }
-        thread_events_[t].push_back(id);
-        ev_.push_back(e);
-      }
-    }
-  }
+               const ComboEvents& ce, OutcomeSet* out)
+      : p_(p), opts_(opts), combo_(combo), ce_(ce), out_(out) {}
 
   /// Enumerate every (rf, co) choice for this combo and record the outcomes
   /// of consistent candidates. Returns false when the candidate budget is
   /// exhausted.
   bool check() {
-    build_static_edges();
+    static_ = build_static_edges(ce_);
     // rf candidates per read: writes at the same address carrying the same
     // value (the init write qualifying when the value matches). A read with
     // no candidate makes the whole combo infeasible.
-    rf_cand_.resize(reads_.size());
-    for (std::size_t i = 0; i < reads_.size(); ++i) {
-      const Event& r = ev_[reads_[i]];
+    rf_cand_.resize(ce_.reads.size());
+    for (std::size_t i = 0; i < ce_.reads.size(); ++i) {
+      const Event& r = ce_.ev[ce_.reads[i]];
       auto& cand = rf_cand_[i];
-      if (ev_[init_id_[r.addr]].value == r.value)
-        cand.push_back(init_id_[r.addr]);
-      if (auto it = writes_by_addr_.find(r.addr);
-          it != writes_by_addr_.end())
-        for (int w : it->second)
-          if (ev_[w].value == r.value) cand.push_back(w);
+      if (ce_.ev[ce_.init_id.at(r.addr)].value == r.value)
+        cand.push_back(ce_.init_id.at(r.addr));
+      if (const auto* ws = ce_.writes_at(r.addr))
+        for (int w : *ws)
+          if (ce_.ev[w].value == r.value) cand.push_back(w);
       if (cand.empty()) return true;  // infeasible, not over budget
     }
-    rf_.assign(reads_.size(), -1);
+    rf_.assign(ce_.reads.size(), -1);
     return assign_rf(0);
   }
 
  private:
-  void add_edge(std::vector<std::pair<int, int>>& edges, int from, int to) {
-    if (from != to) edges.emplace_back(from, to);
-  }
-
-  template <typename Fn>
-  void for_deps(int thread, std::uint64_t mask, Fn&& fn) {
-    while (mask != 0) {
-      const int ord = __builtin_ctzll(mask);
-      mask &= mask - 1;
-      if (static_cast<std::size_t>(ord) < rdmap_[thread].size() &&
-          rdmap_[thread][ord] >= 0)
-        fn(rdmap_[thread][ord]);
-    }
-  }
-
-  /// dob/bob edges that do not depend on the rf/co choice.
-  void build_static_edges() {
-    for (std::size_t t = 0; t < combo_.size(); ++t) {
-      const auto& tev = thread_events_[t];
-      const int ti = static_cast<int>(t);
-
-      // Direct dependency clauses: addr, data, ctrl;[W].
-      for (int id : tev) {
-        const Event& e = ev_[id];
-        if (e.kind == Event::kFence) continue;
-        for_deps(ti, e.addr_dep,
-                 [&](int r) { add_edge(static_, r, id); });
-        if (e.kind == Event::kWrite) {
-          for_deps(ti, e.data_dep,
-                   [&](int r) { add_edge(static_, r, id); });
-          for_deps(ti, e.ctrl_dep,
-                   [&](int r) { add_edge(static_, r, id); });
-        }
-      }
-
-      // Prefix-accumulating po scan for the remaining clauses.
-      std::uint64_t addr_prefix = 0;  // addr;po;[W] and (addr;po);[ISB]
-      std::uint64_t isb_srcs = 0;     // (ctrl|(addr;po));[ISB];po;[R]
-      std::vector<int> all_before, rel_before;
-      std::vector<int> any_srcs;  // ordered before every later access
-      std::vector<int> st_srcs;   // ordered before every later write
-      for (int id : tev) {
-        const Event& e = ev_[id];
-        if (e.kind == Event::kFence) {
-          if (is_full_fence(e.op)) {
-            any_srcs.insert(any_srcs.end(), all_before.begin(),
-                            all_before.end());
-          } else if (is_ld_fence(e.op)) {
-            for (int b : all_before)
-              if (ev_[b].kind == Event::kRead) any_srcs.push_back(b);
-          } else if (is_st_fence(e.op)) {
-            for (int b : all_before)
-              if (ev_[b].kind == Event::kWrite) st_srcs.push_back(b);
-          } else {  // ISB
-            isb_srcs |= e.ctrl_dep | addr_prefix;
-          }
-          continue;
-        }
-        // Incoming barrier-ordered edges.
-        for (int s : any_srcs) add_edge(static_, s, id);
-        if (e.kind == Event::kWrite)
-          for (int s : st_srcs) add_edge(static_, s, id);
-        if (e.kind == Event::kRead)
-          for_deps(ti, isb_srcs, [&](int r) { add_edge(static_, r, id); });
-        // addr;po;[W]: reads feeding any earlier access's address order
-        // before every later write.
-        if (e.kind == Event::kWrite)
-          for_deps(ti, addr_prefix,
-                   [&](int r) { add_edge(static_, r, id); });
-        // po;[L] and [L];po;[A].
-        if (e.kind == Event::kWrite && e.rel) {
-          for (int b : all_before) add_edge(static_, b, id);
-          rel_before.push_back(id);
-        }
-        if (e.kind == Event::kRead && e.acq)
-          for (int l : rel_before) add_edge(static_, l, id);
-        // [A|Q];po.
-        if (e.kind == Event::kRead && (e.acq || e.acq_pc))
-          any_srcs.push_back(id);
-        addr_prefix |= e.addr_dep;
-        all_before.push_back(id);
-      }
-    }
-  }
-
   bool assign_rf(std::size_t i) {
-    if (i == reads_.size()) return enumerate_co();
+    if (i == ce_.reads.size()) return enumerate_co();
     for (int w : rf_cand_[i]) {
       rf_[i] = w;
       if (!assign_rf(i + 1)) return false;
@@ -517,7 +548,7 @@ class ComboChecker {
     // the init write is always co-first.
     co_addrs_.clear();
     co_perm_.clear();
-    for (auto& [a, ws] : writes_by_addr_) {
+    for (const auto& [a, ws] : ce_.writes_by_addr) {
       co_addrs_.push_back(a);
       co_perm_.push_back(ws);  // start from Phase-B order, sorted below
       std::sort(co_perm_.back().begin(), co_perm_.back().end());
@@ -542,18 +573,18 @@ class ComboChecker {
       out_->complete = false;
       return false;
     }
-    const std::size_t n = ev_.size();
+    const std::size_t n = ce_.ev.size();
 
     // co position of every write: (addr, index); init is position 0.
     std::vector<int> co_pos(n, -1);
     for (int id = 0; id < static_cast<int>(n); ++id)
-      if (ev_[id].thread == -1) co_pos[id] = 0;
+      if (ce_.ev[id].thread == -1) co_pos[id] = 0;
     for (std::size_t k = 0; k < co_addrs_.size(); ++k)
       for (std::size_t i = 0; i < co_perm_[k].size(); ++i)
         co_pos[co_perm_[k][i]] = static_cast<int>(i) + 1;
 
     auto co_before = [&](int w1, int w2) {
-      return ev_[w1].addr == ev_[w2].addr && co_pos[w1] < co_pos[w2];
+      return ce_.ev[w1].addr == ce_.ev[w2].addr && co_pos[w1] < co_pos[w2];
     };
 
     // ---- internal: acyclic(po-loc ∪ rf ∪ co ∪ fr) --------------------
@@ -561,11 +592,11 @@ class ComboChecker {
     for (const auto& [from, to] : static_) external[from].push_back(to);
 
     // po-loc chains per thread.
-    for (const auto& [t, tev] : thread_events_) {
+    for (const auto& [t, tev] : ce_.thread_events) {
       (void)t;
       std::map<Addr, int> last;
       for (int id : tev) {
-        const Event& e = ev_[id];
+        const Event& e = ce_.ev[id];
         if (e.kind == Event::kFence) continue;
         if (auto it = last.find(e.addr); it != last.end())
           internal[it->second].push_back(id);
@@ -575,7 +606,7 @@ class ComboChecker {
     // co (full pairs, both graphs where external).
     std::vector<std::pair<int, int>> co_pairs;
     for (std::size_t k = 0; k < co_addrs_.size(); ++k) {
-      const int init_w = init_id_[co_addrs_[k]];
+      const int init_w = ce_.init_id.at(co_addrs_[k]);
       const auto& perm = co_perm_[k];
       for (std::size_t i = 0; i < perm.size(); ++i) {
         co_pairs.emplace_back(init_w, perm[i]);
@@ -585,40 +616,43 @@ class ComboChecker {
     }
     for (const auto& [w1, w2] : co_pairs) {
       internal[w1].push_back(w2);
-      if (ev_[w1].thread != ev_[w2].thread) external[w1].push_back(w2);
+      if (ce_.ev[w1].thread != ce_.ev[w2].thread) external[w1].push_back(w2);
     }
     // rf, fr; plus the rf/co-dependent dob and bob clauses.
-    for (std::size_t i = 0; i < reads_.size(); ++i) {
-      const int r = reads_[i];
+    for (std::size_t i = 0; i < ce_.reads.size(); ++i) {
+      const int r = ce_.reads[i];
       const int src = rf_[i];
       internal[src].push_back(r);
-      if (ev_[src].thread != ev_[r].thread) {
+      if (ce_.ev[src].thread != ce_.ev[r].thread) {
         external[src].push_back(r);  // rfe ∈ obs
       } else {
         // (addr|data);rfi: reads feeding the source write's address or data
         // are ordered before the read that observes it.
-        for_deps(ev_[src].thread, ev_[src].addr_dep | ev_[src].data_dep,
-                 [&](int d) {
-                   if (d != r) external[d].push_back(r);
-                 });
+        ce_.for_deps(ce_.ev[src].thread,
+                     ce_.ev[src].addr_dep | ce_.ev[src].data_dep, [&](int d) {
+                       if (d != r) external[d].push_back(r);
+                     });
       }
       // fr = rf⁻¹;co.
-      for (int w : writes_of(ev_[r].addr))
-        if (w != src && co_before(src, w)) {
-          internal[r].push_back(w);
-          if (ev_[r].thread != ev_[w].thread)
-            external[r].push_back(w);  // fre ∈ obs
-        }
+      if (const auto* ws = ce_.writes_at(ce_.ev[r].addr))
+        for (int w : *ws)
+          if (w != src && co_before(src, w)) {
+            internal[r].push_back(w);
+            if (ce_.ev[r].thread != ce_.ev[w].thread)
+              external[r].push_back(w);  // fre ∈ obs
+          }
     }
     // (ctrl|data);coi and po;[L];coi.
     for (const auto& [w1, w2] : co_pairs) {
-      if (ev_[w1].thread < 0 || ev_[w1].thread != ev_[w2].thread) continue;
-      for_deps(ev_[w1].thread, ev_[w1].ctrl_dep | ev_[w1].data_dep,
-               [&](int r) { external[r].push_back(w2); });
-      if (ev_[w1].rel)
-        for (int b : thread_events_[ev_[w1].thread]) {
+      if (ce_.ev[w1].thread < 0 || ce_.ev[w1].thread != ce_.ev[w2].thread)
+        continue;
+      ce_.for_deps(ce_.ev[w1].thread,
+                   ce_.ev[w1].ctrl_dep | ce_.ev[w1].data_dep,
+                   [&](int r) { external[r].push_back(w2); });
+      if (ce_.ev[w1].rel)
+        for (int b : ce_.thread_events.at(ce_.ev[w1].thread)) {
           if (b == w1) break;
-          if (ev_[b].kind != Event::kFence) external[b].push_back(w2);
+          if (ce_.ev[b].kind != Event::kFence) external[b].push_back(w2);
         }
     }
 
@@ -632,40 +666,338 @@ class ComboChecker {
     for (const auto& [t, reg] : p_.observe_regs)
       o.push_back(reg == sim::XZR ? 0 : combo_[t]->regs[reg]);
     for (Addr a : p_.observe_mem) {
-      std::uint64_t final_v = ev_[init_id_[a]].value;
+      std::uint64_t final_v = ce_.ev[ce_.init_id.at(a)].value;
       int best = 0;
-      for (int w : writes_of(a))
-        if (co_pos[w] >= best) {
-          best = co_pos[w];
-          final_v = ev_[w].value;
-        }
+      if (const auto* ws = ce_.writes_at(a))
+        for (int w : *ws)
+          if (co_pos[w] >= best) {
+            best = co_pos[w];
+            final_v = ce_.ev[w].value;
+          }
       o.push_back(final_v);
     }
     out_->allowed.insert(std::move(o));
     return true;
   }
 
-  std::vector<int> writes_of(Addr a) const {
-    auto it = writes_by_addr_.find(a);
-    return it == writes_by_addr_.end() ? std::vector<int>{} : it->second;
-  }
-
   const ConcurrentProgram& p_;
   const ModelOptions& opts_;
   const std::vector<const ThreadExec*>& combo_;
+  const ComboEvents& ce_;
   OutcomeSet* out_;
 
-  std::vector<Event> ev_;
-  std::map<Addr, int> init_id_;
-  std::map<Addr, std::vector<int>> writes_by_addr_;
-  std::map<int, std::vector<int>> thread_events_;
-  std::vector<std::vector<int>> rdmap_;
-  std::vector<int> reads_;
   std::vector<std::pair<int, int>> static_;
   std::vector<std::vector<int>> rf_cand_;
   std::vector<int> rf_;
   std::vector<Addr> co_addrs_;
   std::vector<std::vector<int>> co_perm_;
+};
+
+// ---------------------------------------------------------------------------
+// POR engine (default): incremental DFS over rf choices and per-address
+// coherence placements, with a memoized transitive closure of both
+// ordered-before relations.
+// ---------------------------------------------------------------------------
+
+/// Dense incremental transitive closure over event ids: one bitset row per
+/// event holding its reachable set. This is the memoized relation frontier —
+/// instead of rebuilding a graph and running a DFS per candidate, each DFS
+/// level copies its parent's closure and extends it edge-by-edge.
+class Reach {
+ public:
+  void init(std::size_t n) {
+    n_ = n;
+    words_ = (n + 63) / 64;
+    bits_.assign(n_ * words_, 0);
+  }
+
+  bool reach(int u, int v) const {
+    return (bits_[static_cast<std::size_t>(u) * words_ + (v >> 6)] >>
+            (v & 63)) &
+           1;
+  }
+
+  /// Add edge u->v and re-close. Returns false iff the edge closes a cycle
+  /// (including u == v); the closure must then be discarded. Acyclicity is
+  /// monotone-decreasing under edge addition, so a false here condemns every
+  /// extension of the current choice prefix — that is the pruning theorem
+  /// the whole engine rests on (DESIGN.md §12).
+  bool add(int u, int v) {
+    if (u == v || reach(v, u)) return false;
+    if (reach(u, v)) return true;  // already implied, closure unchanged
+    const std::uint64_t* src = &bits_[static_cast<std::size_t>(v) * words_];
+    for (std::size_t w = 0; w < n_; ++w) {
+      if (static_cast<int>(w) != u && !reach(static_cast<int>(w), u))
+        continue;
+      std::uint64_t* dst = &bits_[w * words_];
+      for (std::size_t k = 0; k < words_; ++k) dst[k] |= src[k];
+      dst[v >> 6] |= 1ULL << (v & 63);
+    }
+    return true;
+  }
+
+ private:
+  std::size_t n_ = 0, words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+class PorChecker {
+ public:
+  PorChecker(const ConcurrentProgram& p, const ModelOptions& opts,
+             const std::vector<const ThreadExec*>& combo,
+             const ComboEvents& ce, OutcomeSet* out)
+      : p_(p), opts_(opts), combo_(combo), ce_(ce), out_(out) {}
+
+  /// Search every (rf, co) choice for this combo, recording the outcome of
+  /// each consistent leaf. Returns false when the candidate budget is
+  /// exhausted.
+  bool check() {
+    const std::size_t n = ce_.ev.size();
+    State base;
+    base.ic.init(n);
+    base.ec.init(n);
+
+    // Choice-independent relation: static dob/bob edges seed the external
+    // closure; po-loc chains and the init write's co edges (init is
+    // co-first at its address, external to every thread) are static too.
+    // None of these can cycle — po is a total per-thread order and init
+    // writes have no incoming edges — but prune defensively if they do.
+    for (const auto& [from, to] : build_static_edges(ce_))
+      if (!base.ec.add(from, to)) return true;
+    for (const auto& [t, tev] : ce_.thread_events) {
+      (void)t;
+      std::map<Addr, int> last;
+      for (int id : tev) {
+        const Event& e = ce_.ev[id];
+        if (e.kind == Event::kFence) continue;
+        if (auto it = last.find(e.addr); it != last.end())
+          if (!base.ic.add(it->second, id)) return true;
+        last[e.addr] = id;
+      }
+    }
+    for (const auto& [a, ws] : ce_.writes_by_addr) {
+      const int iw = ce_.init_id.at(a);
+      for (int w : ws)
+        if (!base.ic.add(iw, w) || !base.ec.add(iw, w)) return true;
+    }
+
+    // rf candidates, with the early-infeasibility cut: beyond the value
+    // match the naive engine uses, a write the read already reaches in the
+    // relation its rf edge would land in can never be the source without
+    // closing a cycle — drop it before the search starts.
+    rf_cand_.resize(ce_.reads.size());
+    for (std::size_t i = 0; i < ce_.reads.size(); ++i) {
+      const int r = ce_.reads[i];
+      const Event& re = ce_.ev[r];
+      auto& cand = rf_cand_[i];
+      cand.clear();
+      auto feasible = [&](int w) {
+        if (ce_.ev[w].value != re.value) return false;
+        if (base.ic.reach(r, w)) return false;
+        if (ce_.ev[w].thread != re.thread && base.ec.reach(r, w))
+          return false;
+        return true;
+      };
+      const int iw = ce_.init_id.at(re.addr);
+      if (feasible(iw)) cand.push_back(iw);
+      if (const auto* ws = ce_.writes_at(re.addr))
+        for (int w : *ws)
+          if (feasible(w)) cand.push_back(w);
+      if (cand.empty()) return true;  // combo infeasible, not over budget
+    }
+
+    // Coherence groups: per-address write sets whose total order the co
+    // phase decides. The per-group placement mask is 32 bits wide; more
+    // competing writes than that is far beyond any budget anyway.
+    groups_.clear();
+    std::size_t co_slots = 0;
+    for (const auto& [a, ws] : ce_.writes_by_addr) {
+      if (ws.size() > 32) {
+        out_->complete = false;
+        return true;
+      }
+      Group g;
+      g.addr = a;
+      g.ws = ws;
+      std::sort(g.ws.begin(), g.ws.end());
+      co_slots += g.ws.size();
+      groups_.push_back(std::move(g));
+    }
+    group_last_.assign(groups_.size(), -1);
+
+    stack_.resize(ce_.reads.size() + co_slots + 2);
+    stack_[0] = std::move(base);
+    rf_.assign(ce_.reads.size(), -1);
+    return assign_rf(0, 0);
+  }
+
+ private:
+  struct State {
+    Reach ic;  ///< internal: po-loc ∪ rf ∪ co ∪ fr
+    Reach ec;  ///< external: obs ∪ dob ∪ bob
+  };
+  struct Group {
+    Addr addr = 0;
+    std::vector<int> ws;
+  };
+
+  bool charge() {
+    if (++out_->candidates > opts_.max_candidates) {
+      out_->complete = false;
+      return false;
+    }
+    return true;
+  }
+
+  bool assign_rf(std::size_t i, std::size_t depth) {
+    if (i == ce_.reads.size()) return place_groups(0, depth);
+    const int r = ce_.reads[i];
+    for (int w : rf_cand_[i]) {
+      State& cur = stack_[depth];
+      // Sleep-set-style skip: if the reverse direction is already forced by
+      // earlier choices, the rf edge closes a cycle — prune the entire
+      // subtree without even copying the closure.
+      if (cur.ic.reach(r, w)) continue;
+      if (ce_.ev[w].thread != ce_.ev[r].thread && cur.ec.reach(r, w))
+        continue;
+      if (!charge()) return false;
+      State& nxt = stack_[depth + 1];
+      nxt = cur;
+      if (!add_rf(r, w, nxt)) continue;
+      rf_[i] = w;
+      if (!assign_rf(i + 1, depth + 1)) return false;
+    }
+    return true;
+  }
+
+  /// Edges forced by choosing rf source `w` for read `r` — exactly the
+  /// per-candidate edges the naive engine derives from rf: the rf edge
+  /// itself (rfe in external when cross-thread, (addr|data);rfi otherwise)
+  /// plus, for an init-write source, the fr edges to every real write at
+  /// the address (init is co-first, so they are known before co is chosen).
+  bool add_rf(int r, int w, State& st) {
+    if (!st.ic.add(w, r)) return false;
+    const Event& we = ce_.ev[w];
+    const Event& re = ce_.ev[r];
+    if (we.thread != re.thread) {
+      if (!st.ec.add(w, r)) return false;  // rfe ∈ obs
+    } else {
+      bool ok = true;
+      ce_.for_deps(we.thread, we.addr_dep | we.data_dep, [&](int d) {
+        if (ok && d != r) ok = st.ec.add(d, r);
+      });
+      if (!ok) return false;
+    }
+    if (we.thread == -1) {
+      if (const auto* ws = ce_.writes_at(re.addr))
+        for (int w2 : *ws) {
+          if (!st.ic.add(r, w2)) return false;
+          if (ce_.ev[w2].thread != re.thread && !st.ec.add(r, w2))
+            return false;
+        }
+    }
+    return true;
+  }
+
+  bool place_groups(std::size_t g, std::size_t depth) {
+    if (g == groups_.size()) return record_outcome();
+    const std::size_t sz = groups_[g].ws.size();
+    const std::uint32_t full =
+        sz >= 32 ? 0xffffffffu : ((1u << sz) - 1u);
+    return place_co(g, full, depth);
+  }
+
+  /// Choose the co-next write of group `g` among the writes still in
+  /// `mask`. Placing `w` decides the pairs (w, u) for every other remaining
+  /// u — each ordered pair at the address is decided exactly once across
+  /// the placement sequence, mirroring the naive engine's full pair list.
+  bool place_co(std::size_t g, std::uint32_t mask, std::size_t depth) {
+    const auto& ws = groups_[g].ws;
+    if ((mask & (mask - 1)) == 0) {  // at most one left: it is co-last
+      group_last_[g] = mask ? ws[__builtin_ctz(mask)] : -1;
+      return place_groups(g + 1, depth);
+    }
+    for (std::uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+      const int idx = __builtin_ctz(bits);
+      const int w1 = ws[idx];
+      if (!charge()) return false;
+      State& cur = stack_[depth];
+      State& nxt = stack_[depth + 1];
+      nxt = cur;
+      bool ok = true;
+      for (std::uint32_t rest = mask & ~(1u << idx); ok && rest != 0;
+           rest &= rest - 1)
+        ok = add_co_pair(w1, ws[__builtin_ctz(rest)], nxt);
+      if (ok && !place_co(g, mask & ~(1u << idx), depth + 1)) return false;
+    }
+    return true;
+  }
+
+  /// Edges forced by deciding co(w1, w2) — exactly the naive engine's
+  /// per-pair edges: the co edge (coe in external when cross-thread, the
+  /// (ctrl|data);coi and po;[L];coi clauses otherwise) plus fr edges from
+  /// every read that takes its value from w1.
+  bool add_co_pair(int w1, int w2, State& st) {
+    if (!st.ic.add(w1, w2)) return false;
+    const Event& e1 = ce_.ev[w1];
+    const Event& e2 = ce_.ev[w2];
+    if (e1.thread != e2.thread) {
+      if (!st.ec.add(w1, w2)) return false;  // coe ∈ obs
+    } else {
+      bool ok = true;
+      ce_.for_deps(e1.thread, e1.ctrl_dep | e1.data_dep,
+                   [&](int r) { ok = ok && st.ec.add(r, w2); });
+      if (!ok) return false;
+      if (e1.rel)
+        for (int b : ce_.thread_events.at(e1.thread)) {
+          if (b == w1) break;
+          if (ce_.ev[b].kind != Event::kFence && !st.ec.add(b, w2))
+            return false;
+        }
+    }
+    // fr = rf⁻¹;co. All rf choices precede the co phase, so rf_ is final.
+    for (std::size_t i = 0; i < ce_.reads.size(); ++i) {
+      if (rf_[i] != w1) continue;
+      const int r = ce_.reads[i];
+      if (!st.ic.add(r, w2)) return false;
+      if (ce_.ev[r].thread != e2.thread && !st.ec.add(r, w2)) return false;
+    }
+    return true;
+  }
+
+  /// A leaf: every rf chosen, every group totally ordered, no cycle ever
+  /// formed — this (rf, co) candidate is consistent by construction, no
+  /// final check needed.
+  bool record_outcome() {
+    ++out_->consistent;
+    Outcome o;
+    o.reserve(p_.observe_regs.size() + p_.observe_mem.size());
+    for (const auto& [t, reg] : p_.observe_regs)
+      o.push_back(reg == sim::XZR ? 0 : combo_[t]->regs[reg]);
+    for (Addr a : p_.observe_mem) {
+      std::uint64_t v = ce_.ev[ce_.init_id.at(a)].value;
+      for (std::size_t g = 0; g < groups_.size(); ++g)
+        if (groups_[g].addr == a && group_last_[g] >= 0)
+          v = ce_.ev[group_last_[g]].value;
+      o.push_back(v);
+    }
+    out_->allowed.insert(std::move(o));
+    return true;
+  }
+
+  const ConcurrentProgram& p_;
+  const ModelOptions& opts_;
+  const std::vector<const ThreadExec*>& combo_;
+  const ComboEvents& ce_;
+  OutcomeSet* out_;
+
+  std::vector<std::vector<int>> rf_cand_;
+  std::vector<int> rf_;
+  std::vector<Group> groups_;
+  std::vector<int> group_last_;
+  /// One closure pair per DFS depth, reused across siblings so steady-state
+  /// search does no allocation — copies land in already-sized buffers.
+  std::vector<State> stack_;
 };
 
 }  // namespace
@@ -731,7 +1063,16 @@ OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
       for (const Event& e : ex.events)
         if (e.kind != Event::kFence) addrs.insert(e.addr);
 
-  // Phase C: odometer over one candidate execution per thread.
+  // Phase C: odometer over one candidate execution per thread; each combo
+  // goes to the selected engine. enum_ns covers the whole phase on every
+  // exit path.
+  const auto enum_start = std::chrono::steady_clock::now();
+  const auto stamp = [&] {
+    out.enum_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - enum_start)
+            .count());
+  };
   const std::size_t T = execs.size();
   for (const auto& texecs : execs)
     if (texecs.empty()) return out;  // no completed path (complete=false set)
@@ -739,8 +1080,20 @@ OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
   std::vector<const ThreadExec*> combo(T);
   for (;;) {
     for (std::size_t t = 0; t < T; ++t) combo[t] = &execs[t][pick[t]];
-    ComboChecker checker(p, opts, combo, addrs, init, &out);
-    if (!checker.check()) return out;  // budget exhausted
+    ++out.combos;
+    ComboEvents ce(combo, addrs, init);
+    bool in_budget;
+    if (opts.naive) {
+      ComboChecker checker(p, opts, combo, ce, &out);
+      in_budget = checker.check();
+    } else {
+      PorChecker checker(p, opts, combo, ce, &out);
+      in_budget = checker.check();
+    }
+    if (!in_budget) {
+      stamp();
+      return out;  // budget exhausted
+    }
     std::size_t t = 0;
     for (; t < T; ++t) {
       if (++pick[t] < execs[t].size()) break;
@@ -748,6 +1101,7 @@ OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
     }
     if (t == T) break;
   }
+  stamp();
   return out;
 }
 

@@ -35,9 +35,24 @@
 //   Phase B  symbolically executes each thread, forking on every load over
 //            the domain, while tracking register taint for address / data /
 //            control dependencies;
-//   Phase C  combines one candidate execution per thread, enumerates every
-//            rf assignment and every co (coherence) permutation, and keeps
-//            the final states of the candidates that satisfy the axioms.
+//   Phase C  combines one candidate execution per thread and searches the
+//            (rf, co) choice space for candidates that satisfy the axioms.
+//
+// Phase C has two interchangeable engines (ISSUE 5 tentpole):
+//   * The default partial-order-reduction (POR) engine walks rf choices and
+//     per-address coherence placements as an incremental DFS over a memoized
+//     transitive-closure of the ordered-before relations. Because acyclicity
+//     is monotone (adding an edge never repairs a cycle), any prefix whose
+//     edges already close a cycle prunes the whole subtree — a sleep-set
+//     style cut over the existing dob/bob/obs machinery — and rf candidates
+//     that are already reachable *from* their read can be rejected before
+//     the search starts (early infeasibility). The engine enumerates exactly
+//     the consistent candidates the naive engine accepts; see DESIGN.md §12
+//     for the equivalence argument.
+//   * ModelOptions::naive re-enables the original enumerator (full rf
+//     product x co permutations, per-candidate graph rebuild + DFS
+//     acyclicity). It is kept compiled-in as the oracle for the golden
+//     corpus and the POR equivalence sweep (`armbar-fuzz --model-naive`).
 #pragma once
 
 #include <cstdint>
@@ -80,6 +95,10 @@ struct ModelOptions {
   std::uint32_t max_reads_per_thread = 48;    ///< taint masks are 64-bit
   std::uint32_t max_value_domain = 32;        ///< load-value forks per addr
   std::uint64_t max_candidates = 4'000'000;   ///< (exec, rf, co) checks
+  /// Use the original exhaustive enumerator instead of the POR engine.
+  /// Same outcome sets, same `consistent` count, no pruning — the oracle
+  /// the POR engine is differentially tested against.
+  bool naive = false;
 };
 
 /// Result of enumerate_outcomes().
@@ -91,8 +110,16 @@ struct OutcomeSet {
   /// Non-empty when the program uses an op the model does not cover
   /// (WFE/LDXR/STXR/SWP) or is otherwise malformed; `allowed` is invalid.
   std::string error;
-  std::uint64_t candidates = 0;  ///< axiom checks performed
-  std::uint64_t consistent = 0;  ///< candidates that satisfied the axioms
+  /// Executions examined. Naive engine: complete (rf, co) candidates
+  /// checked. POR engine: search nodes visited (each a distinct partial
+  /// execution); both are bounded by ModelOptions::max_candidates.
+  std::uint64_t candidates = 0;
+  /// Candidates that satisfied the axioms. Engine-independent: the POR
+  /// engine reaches a leaf exactly once per consistent (rf, co) choice, so
+  /// this matches the naive engine bit-for-bit (asserted by tests).
+  std::uint64_t consistent = 0;
+  std::uint64_t combos = 0;    ///< per-thread execution combinations tried
+  std::uint64_t enum_ns = 0;   ///< wall-clock ns spent in Phase C
 
   bool ok() const { return error.empty(); }
   bool allows(const Outcome& o) const { return allowed.count(o) != 0; }

@@ -33,9 +33,12 @@ namespace armbar::runner {
 
 inline constexpr const char* kCacheEntrySchema = "armbar.cache.entry/v1";
 
-/// Bump when the simulator's timing behaviour changes (new latency fields,
-/// scheduler fixes, ...) — every existing entry is invalidated at once.
-inline constexpr const char* kCacheEpoch = "armbar-sim/4";
+/// Bump when the behaviour baked into cached values changes — the
+/// simulator's timing model (new latency fields, scheduler fixes, ...),
+/// the reference model's enumeration semantics, or the fuzz generator's
+/// seed->program mapping. armbar-sim/5: ISSUE 5 POR checker + raised
+/// generator defaults.
+inline constexpr const char* kCacheEpoch = "armbar-sim/5";
 
 class ResultCache {
  public:

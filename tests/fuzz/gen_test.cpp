@@ -55,7 +55,8 @@ TEST(FuzzGen, ProgramsAreWellFormed) {
   for (std::uint64_t seed = 0; seed < kSweep; ++seed) {
     const m::ConcurrentProgram p = f::generate(seed);
     ASSERT_GE(p.threads.size(), 2u) << "seed " << seed;
-    ASSERT_LE(p.threads.size(), 4u) << "seed " << seed;
+    ASSERT_LE(p.threads.size(), f::GenOptions{}.max_threads) << "seed "
+                                                             << seed;
     for (const auto& t : p.threads) {
       ASSERT_FALSE(t.code.empty());
       EXPECT_EQ(t.code.back().op, Op::kHalt) << "seed " << seed;

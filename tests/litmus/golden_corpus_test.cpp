@@ -1,0 +1,150 @@
+// Golden litmus-outcome corpus test (ISSUE 5 satellite).
+//
+// Each Table 1 shape has a checked-in golden file pinning (a) the model's
+// allowed-outcome set and (b) the simulator's observed outcome set on every
+// platform preset. The suite diffs three ways per shape:
+//
+//   POR engine  ==  golden file        (the default checker didn't drift)
+//   POR engine  ==  naive oracle       (the tentpole equivalence, exactly)
+//   sim observed == golden, ⊆ model    (the simulator stayed sound and
+//                                       didn't silently change behaviour)
+//
+// Regenerate after an intentional model/simulator change:
+//   ARMBAR_REGEN_GOLDEN=1 ./test_litmus_golden
+// and review the diff like any other code change.
+#include "litmus/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "litmus/shapes.hpp"
+#include "sim/platform.hpp"
+
+#ifndef ARMBAR_TEST_SOURCE_DIR
+#error "ARMBAR_TEST_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace armbar::litmus {
+namespace {
+
+std::string golden_path(const std::string& shape) {
+  return std::string(ARMBAR_TEST_SOURCE_DIR) + "/golden/" +
+         golden_filename(shape);
+}
+
+class GoldenCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenCorpus, PorMatchesGoldenMatchesNaive) {
+  const Table1Shape& s = table1_shape(GetParam());
+  const GoldenEntry fresh = collect_golden(s);  // POR engine + sim sweep
+
+  if (std::getenv("ARMBAR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(s.name), std::ios::binary);
+    ASSERT_TRUE(out.good()) << golden_path(s.name);
+    out << render_golden(fresh);
+    GTEST_SKIP() << "regenerated " << golden_path(s.name);
+  }
+
+  // POR == naive oracle: identical sets and identical consistent-candidate
+  // counts (the engines must agree execution-by-execution, DESIGN.md §12).
+  model::ModelOptions naive_opts;
+  naive_opts.naive = true;
+  const model::OutcomeSet naive =
+      model::enumerate_outcomes(s.model_prog, naive_opts);
+  const model::OutcomeSet por = model::enumerate_outcomes(s.model_prog);
+  ASSERT_TRUE(naive.ok() && naive.complete) << s.name;
+  ASSERT_TRUE(por.ok() && por.complete) << s.name;
+  EXPECT_EQ(por.allowed, naive.allowed)
+      << s.name << "\n  por:   " << model::to_string(por)
+      << "\n  naive: " << model::to_string(naive);
+  EXPECT_EQ(por.consistent, naive.consistent) << s.name;
+  EXPECT_EQ(fresh.model_allowed, naive.allowed) << s.name;
+
+  // Fresh result == checked-in golden.
+  std::ifstream in(golden_path(s.name), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing " << golden_path(s.name)
+                         << " — regenerate with ARMBAR_REGEN_GOLDEN=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  GoldenEntry pinned;
+  std::string err;
+  ASSERT_TRUE(parse_golden(buf.str(), &pinned, &err))
+      << golden_path(s.name) << ": " << err;
+
+  EXPECT_EQ(pinned.shape, fresh.shape);
+  EXPECT_EQ(pinned.weak, fresh.weak) << s.name;
+  EXPECT_EQ(pinned.weak_allowed, fresh.weak_allowed) << s.name;
+  EXPECT_EQ(pinned.model_allowed, fresh.model_allowed)
+      << s.name << ": model set drifted from the reviewed golden — "
+      << "regenerate with ARMBAR_REGEN_GOLDEN=1 if intentional";
+  EXPECT_EQ(pinned.sim_observed, fresh.sim_observed)
+      << s.name << ": simulator behaviour drifted from the reviewed golden";
+
+  // Soundness: observed ⊆ allowed, on every platform, per the golden.
+  for (const auto& [platform, observed] : fresh.sim_observed)
+    for (const model::Outcome& o : observed)
+      EXPECT_TRUE(fresh.model_allowed.count(o))
+          << s.name << " on " << platform << ": simulator outcome "
+          << model::to_string(o) << " is outside the model set";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GoldenCorpus,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& s : table1_shapes()) names.push_back(s.name);
+      return names;
+    }()),
+    [](const auto& pinfo) {
+      std::string id = pinfo.param;
+      for (char& c : id)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return id;
+    });
+
+TEST(GoldenCorpusFormat, RoundTrips) {
+  GoldenEntry e;
+  e.shape = "X";
+  e.weak = {1, 0};
+  e.weak_allowed = true;
+  e.model_allowed = {{0, 0}, {1, 23}};
+  e.sim_observed["kunpeng916"] = {{0, 0}};
+  e.sim_observed["rpi4"] = {{0, 0}, {1, 23}};
+  GoldenEntry back;
+  std::string err;
+  ASSERT_TRUE(parse_golden(render_golden(e), &back, &err)) << err;
+  EXPECT_EQ(back.shape, e.shape);
+  EXPECT_EQ(back.weak, e.weak);
+  EXPECT_EQ(back.weak_allowed, e.weak_allowed);
+  EXPECT_EQ(back.model_allowed, e.model_allowed);
+  EXPECT_EQ(back.sim_observed, e.sim_observed);
+}
+
+TEST(GoldenCorpusFormat, RejectsMalformedInput) {
+  GoldenEntry e;
+  std::string err;
+  EXPECT_FALSE(parse_golden("shape X\n", &e, &err));          // incomplete
+  EXPECT_FALSE(parse_golden("bogus-key 1\n", &e, &err));      // unknown key
+  EXPECT_FALSE(parse_golden(
+      "shape X\nweak (1,0)\nweak-allowed 2\nmodel (0,0)\n", &e, &err));
+  EXPECT_FALSE(parse_golden(
+      "shape X\nweak (1,x)\nweak-allowed 1\nmodel (0,0)\n", &e, &err));
+}
+
+/// The corpus directory must cover every registered shape — a new Table 1
+/// row without a reviewed golden is an error, not a silent gap.
+TEST(GoldenCorpusFormat, EveryShapeHasAGoldenFile) {
+  if (std::getenv("ARMBAR_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regen run";
+  for (const auto& s : table1_shapes()) {
+    std::ifstream in(golden_path(s.name));
+    EXPECT_TRUE(in.good()) << "missing golden for " << s.name
+                           << " — regenerate with ARMBAR_REGEN_GOLDEN=1";
+  }
+}
+
+}  // namespace
+}  // namespace armbar::litmus

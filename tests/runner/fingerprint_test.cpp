@@ -163,8 +163,9 @@ TEST(Fingerprint, ContextKeyCoversGlobalFaultPlanAndVerifyCadence) {
 }
 
 TEST(Fingerprint, CacheEpochIsCurrent) {
-  // The ISSUE 4 key-coverage change invalidates all armbar-sim/2 entries.
-  EXPECT_STREQ(kCacheEpoch, "armbar-sim/4");
+  // The ISSUE 5 POR checker + raised generator defaults invalidate all
+  // armbar-sim/4 entries (the ISSUE 4 key-coverage change killed /2).
+  EXPECT_STREQ(kCacheEpoch, "armbar-sim/5");
 }
 
 }  // namespace

@@ -11,9 +11,17 @@
 //
 //   armbar-fuzz --seed-start 1 --seed-count 1000            # campaign
 //   armbar-fuzz --seed-count 50 --mutation drop-rel-acq     # planted bug
+//   armbar-fuzz --seed-count 200 --json FUZZ.json           # perf trajectory
+//
+// The summary reports campaign throughput (runs/sec) and the total time
+// spent in the reference model, and --json emits the same numbers as an
+// armbar.bench.report/v1 document so BENCH_*.json trajectories cover the
+// checker (ISSUE 5). --model-naive switches the model to the pre-POR
+// enumerator — the oracle baseline the speedup is measured against.
 //
 // Exit status: 0 zero failures, 1 failures found (bundles written), 2 bad
-// usage or unwritable --out-dir.
+// usage or unwritable --out-dir/--json.
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <limits>
@@ -29,6 +37,7 @@
 #include "runner/arg_parser.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/platform.hpp"
+#include "trace/json_report.hpp"
 
 namespace {
 
@@ -52,6 +61,8 @@ struct SeedResult {
   std::string summary;
   std::string bundle_path;   ///< written only for failures
   std::uint64_t runs = 0;
+  std::uint64_t model_ns = 0;          ///< reference-model wall time
+  std::uint64_t model_candidates = 0;  ///< executions the checker examined
   std::uint32_t instructions_before = 0;
   std::uint32_t instructions_after = 0;
 };
@@ -81,10 +92,16 @@ int main(int argc, char** argv) {
                  "drop-dmb-full|drop-rel-acq",
                  "none");
   args.add_flag("no-minimize", "skip delta-debugging of failing cases");
+  args.add_flag("model-naive",
+                "use the pre-POR exhaustive model enumerator (the oracle "
+                "baseline; slower, identical outcome sets)");
   args.add_value("out-dir", "DIR", "where repro bundles are written", ".");
-  args.add_int("max-threads", "N", "generator: threads per program", 4, 2, 8);
-  args.add_int("max-ops", "N", "generator: memory/barrier ops per thread", 6,
-               1, 32);
+  args.add_value("json", "PATH",
+                 "write the campaign summary as armbar.bench.report/v1", "");
+  args.add_int("max-threads", "N", "generator: threads per program",
+               armbar::fuzz::GenOptions{}.max_threads, 2, 8);
+  args.add_int("max-ops", "N", "generator: memory/barrier ops per thread",
+               armbar::fuzz::GenOptions{}.max_ops_per_thread, 1, 32);
 
   std::string err;
   if (!args.parse(argc, argv, &err)) {
@@ -139,6 +156,7 @@ int main(int argc, char** argv) {
                  args.str("mutation").c_str());
     return 2;
   }
+  base.model.naive = args.given("model-naive");
 
   armbar::fuzz::GenOptions gen;
   gen.max_threads = static_cast<std::uint32_t>(args.integer("max-threads"));
@@ -155,10 +173,12 @@ int main(int argc, char** argv) {
   if (jobs == 0) jobs = armbar::runner::ThreadPool::hardware_jobs();
 
   std::printf("armbar-fuzz: seeds [%" PRIu64 ", %" PRIu64 ") across %zu "
-              "platforms x %zu plans x %zu skews, mutation %s, %zu jobs\n",
+              "platforms x %zu plans x %zu skews, mutation %s, model %s, "
+              "%zu jobs\n",
               seed_start, seed_start + seed_count, base.platforms.size(),
               base.plans.size(), base.skews.size(),
-              armbar::fuzz::to_string(base.mutation), jobs);
+              armbar::fuzz::to_string(base.mutation),
+              base.model.naive ? "naive" : "por", jobs);
 
   std::vector<SeedResult> results(seed_count);
   std::mutex io_mu;
@@ -172,6 +192,8 @@ int main(int argc, char** argv) {
     DiffOptions opts = base;
     DiffResult diff = armbar::fuzz::run_diff(prog, opts);
     r.runs = diff.runs;
+    r.model_ns = diff.model_ns;
+    r.model_candidates = diff.model_candidates;
     if (diff.ok()) return;
 
     r.failed = true;
@@ -197,17 +219,26 @@ int main(int argc, char** argv) {
     }
   };
 
+  const auto campaign_start = std::chrono::steady_clock::now();
   if (jobs <= 1) {
     for (std::size_t i = 0; i < results.size(); ++i) fuzz_one(i);
   } else {
     armbar::runner::ThreadPool pool(jobs);
     pool.parallel_for(results.size(), fuzz_one);
   }
+  const double campaign_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    campaign_start)
+          .count();
 
   std::uint64_t total_runs = 0;
   std::uint64_t failures = 0;
+  std::uint64_t model_ns = 0;
+  std::uint64_t model_candidates = 0;
   for (const SeedResult& r : results) {
     total_runs += r.runs;
+    model_ns += r.model_ns;
+    model_candidates += r.model_candidates;
     if (!r.failed) continue;
     ++failures;
     std::printf("seed %" PRIu64 ": %s (%u -> %u instructions)\n", r.seed,
@@ -216,9 +247,50 @@ int main(int argc, char** argv) {
     std::printf("  bundle: %s  (replay: armbar-repro %s)\n",
                 r.bundle_path.c_str(), r.bundle_path.c_str());
   }
+  const double model_s = static_cast<double>(model_ns) * 1e-9;
+  const double runs_per_sec =
+      campaign_s > 0 ? static_cast<double>(total_runs) / campaign_s : 0;
+  const double execs_per_sec =
+      model_s > 0 ? static_cast<double>(model_candidates) / model_s : 0;
   std::printf("armbar-fuzz: %" PRIu64 " seeds, %" PRIu64 " simulator runs, "
               "%" PRIu64 " failing seed%s\n",
               seed_count, total_runs, failures, failures == 1 ? "" : "s");
+  std::printf("armbar-fuzz: %.1f s wall (%.0f runs/sec), model-check "
+              "%.3f s total (%" PRIu64 " executions, %.0f/sec, engine %s)\n",
+              campaign_s, runs_per_sec, model_s, model_candidates,
+              execs_per_sec, base.model.naive ? "naive" : "por");
+
+  if (args.given("json") && !args.str("json").empty()) {
+    armbar::trace::ReportBuilder report(
+        "armbar_fuzz", "Differential fuzz campaign: simulator vs model");
+    report.add_param("seed_start", std::to_string(seed_start));
+    report.add_param("seed_count", std::to_string(seed_count));
+    report.add_param("mutation", armbar::fuzz::to_string(base.mutation));
+    report.add_param("model_engine", base.model.naive ? "naive" : "por");
+    report.add_param("jobs", std::to_string(jobs));
+    report.add_metric("fuzz_seeds", static_cast<double>(seed_count));
+    report.add_metric("sim_runs", static_cast<double>(total_runs));
+    report.add_metric("failing_seeds", static_cast<double>(failures));
+    report.add_metric("campaign_runs_per_sec", runs_per_sec);
+    report.add_metric("model_check_ms", model_s * 1e3);
+    report.add_metric("model_candidates",
+                      static_cast<double>(model_candidates));
+    report.add_metric("model_execs_per_sec", execs_per_sec);
+    report.add_check("campaign found no differential failures",
+                     failures == 0);
+    for (const SeedResult& r : results) {
+      if (!r.failed) continue;
+      report.add_quarantine("fuzz-" + std::to_string(r.seed), "failed",
+                            r.kind, r.summary, armbar::trace::Json(),
+                            r.bundle_path);
+    }
+    if (!report.write(args.str("json"))) {
+      std::fprintf(stderr, "armbar-fuzz: cannot write --json %s\n",
+                   args.str("json").c_str());
+      return 2;
+    }
+  }
+
   if (!io_err.empty()) {
     std::fprintf(stderr, "armbar-fuzz: failed to write bundle: %s\n",
                  io_err.c_str());
