@@ -11,6 +11,14 @@
 #     time;
 #   * a consolidated multi-experiment --json report validated by
 #     report_check;
+#   * the sim_perf budget experiment: host_prof per-phase timings plus
+#     per-preset throughput metrics must be present, and the self-relative
+#     ips_vs_null gate (sim instr/s over an in-process null-interpreter
+#     baseline, so host speed cancels) must hold; armbar-perf then diffs
+#     the fresh report against the committed baseline;
+#   * a --profile smoke: the profiled report validates and carries
+#     host_prof, and every points digest is bit-identical to the
+#     unprofiled run (profiling never perturbs results);
 #   * the model_perf experiment gating the POR checker >= 5x faster than
 #     the naive oracle on the co-heavy deep-MP shape (report-validated,
 #     speedup read back out of the JSON);
@@ -26,6 +34,9 @@
 #     followed by a planted-bug stage: a dropped-fence mutation must be
 #     caught, minimized, bundled, and the bundle must replay bit-exactly
 #     through armbar-repro;
+#   * an ARMBAR_PROF_DISABLED build proving the profiler compiles out to
+#     zero cost: tier1 must pass and sim_perf must still clear its gate
+#     with no host_prof section;
 #   * an ASan+UBSan build running the full test suite — including the
 #     slow tier, so the equivalence sweep runs sanitized — plus a faulted
 #     armbar-bench smoke.
@@ -83,6 +94,49 @@ echo "== consolidated report (--filter 'table*' --json) =="
 "$BENCH" --filter 'table*' --jobs "$(nproc)" --cache-dir "$CACHE_DIR" \
     --json="$SMOKE_DIR/armbar-bench.report.json" > /dev/null
 "$BUILD/tools/report_check" "$SMOKE_DIR/armbar-bench.report.json"
+
+echo "== sim_perf budget experiment (host_prof + self-relative ips gate) =="
+"$BENCH" --filter 'sim_perf*' --no-cache \
+    --json="$SMOKE_DIR/BENCH_sim_perf.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/BENCH_sim_perf.json"
+python3 - "$SMOKE_DIR/BENCH_sim_perf.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], "sim_perf experiment failed"
+hp = doc.get("host_prof")
+assert hp and hp.get("phases"), "sim_perf report missing host_prof phases"
+m = doc["metrics"]
+for preset in ("rpi4", "kirin960", "kirin970", "kunpeng916"):
+    assert m.get(f"{preset}_mp_ips", 0) > 0, f"missing {preset}_mp_ips"
+    assert m.get(f"{preset}_deep_ips", 0) > 0, f"missing {preset}_deep_ips"
+assert m["ips_vs_null"] > 0, "self-relative throughput ratio missing"
+print(f"sim_perf OK ({m['sim_ips'] / 1e6:.2f} M sim instr/s, "
+      f"ips_vs_null {m['ips_vs_null']:.4f})")
+EOF
+
+echo "== perf trend gate (armbar-perf vs committed baseline) =="
+"$BUILD/tools/armbar-perf" bench/baselines/BENCH_sim_perf.json \
+    "$SMOKE_DIR/BENCH_sim_perf.json"
+
+echo "== --profile smoke (host_prof attached, digests unperturbed) =="
+"$BENCH" --filter "$GATE_FILTER" --jobs "$(nproc)" --cache-dir "$CACHE_DIR" \
+    --json="$SMOKE_DIR/profile-off.report.json" > /dev/null
+"$BENCH" --filter "$GATE_FILTER" --jobs "$(nproc)" --cache-dir "$CACHE_DIR" \
+    --profile --json="$SMOKE_DIR/profile-on.report.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/profile-on.report.json"
+python3 - "$SMOKE_DIR/profile-off.report.json" \
+    "$SMOKE_DIR/profile-on.report.json" <<'EOF'
+import json, sys
+off = json.load(open(sys.argv[1]))
+on = json.load(open(sys.argv[2]))
+assert "host_prof" not in off, "unprofiled run grew a host_prof section"
+assert "host_prof" in on, "--profile run missing host_prof"
+dig = lambda d: {k: v for k, v in d["params"].items()
+                 if k.endswith("points_digest")}
+assert dig(off), "report carries no points digests"
+assert dig(off) == dig(on), "profiling perturbed points digests"
+print(f"profile smoke OK ({len(dig(on))} points digests identical on/off)")
+EOF
 
 echo "== model_perf gate (POR >= 5x naive on deep MP+dmb) =="
 "$BENCH" --filter model_perf --no-cache \
@@ -180,6 +234,27 @@ if [ "$FUZZ_RC" -ne 1 ]; then
 fi
 "$BUILD/tools/armbar-repro" "$FUZZ_DIR/fuzz-29.repro.json"
 echo "planted-bug pipeline OK (caught, minimized, replayed)"
+
+echo "== ARMBAR_PROF_DISABLED build (${BUILD}-profdis) =="
+# The zero-cost claim: with the profiler compiled out the whole suite must
+# still build and pass tier1, and sim_perf must still clear its own gate
+# (it just reports without the per-phase breakdown).
+PROFDIS_BUILD="${BUILD}-profdis"
+cmake -B "$PROFDIS_BUILD" -S . -DARMBAR_PROF_DISABLED=ON > /dev/null
+cmake --build "$PROFDIS_BUILD" -j"$(nproc)"
+
+echo "== ARMBAR_PROF_DISABLED tests (tier1) + sim_perf smoke =="
+ctest --test-dir "$PROFDIS_BUILD" -L tier1 --output-on-failure -j"$(nproc)"
+"$PROFDIS_BUILD/bench/armbar-bench" --filter 'sim_perf*' --no-cache \
+    --json="$SMOKE_DIR/BENCH_sim_perf.profdis.json" > /dev/null
+"$PROFDIS_BUILD/tools/report_check" "$SMOKE_DIR/BENCH_sim_perf.profdis.json"
+python3 - "$SMOKE_DIR/BENCH_sim_perf.profdis.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], "sim_perf failed under ARMBAR_PROF_DISABLED"
+assert "host_prof" not in doc, "compiled-out build still emitted host_prof"
+print("compiled-out sim_perf OK (no host_prof, gate still passes)")
+EOF
 
 echo "== ASan+UBSan build (${BUILD}-asan) =="
 ASAN_BUILD="${BUILD}-asan"

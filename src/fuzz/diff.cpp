@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "prof/prof.hpp"
 #include "sim/machine.hpp"
 #include "sim/platform.hpp"
 
@@ -127,6 +128,7 @@ std::string DiffResult::summary() const {
 
 DiffResult run_diff(const model::ConcurrentProgram& prog,
                     const DiffOptions& opts) {
+  ARMBAR_PROF_SCOPE(kFuzzDiff);
   DiffResult res;
 
   const auto model_start = std::chrono::steady_clock::now();

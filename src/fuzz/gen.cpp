@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "prof/prof.hpp"
 #include "sim/program.hpp"
 
 namespace armbar::fuzz {
@@ -276,6 +277,7 @@ class CaseBuilder {
 }  // namespace
 
 model::ConcurrentProgram generate(std::uint64_t seed, const GenOptions& opts) {
+  ARMBAR_PROF_SCOPE(kFuzzGenerate);
   return CaseBuilder(seed, opts).build();
 }
 

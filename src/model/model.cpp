@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "prof/prof.hpp"
 #include "sim/isa.hpp"
 
 namespace armbar::model {
@@ -1004,7 +1005,14 @@ class PorChecker {
 
 OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
                               const ModelOptions& opts) {
+  ARMBAR_PROF_SCOPE(kModelEnumerate);
   OutcomeSet out;
+  // Candidate count lands in the profiler on every exit path (like the
+  // enum_ns stamp, which also stays host-only and out of all digests).
+  struct CandidateCount {
+    const OutcomeSet& o;
+    ~CandidateCount() { ARMBAR_PROF_COUNT(kModelExecutions, o.candidates); }
+  } candidate_count{out};
   if (p.threads.empty() || p.threads.size() > 8) {
     out.error = "reference model supports 1..8 threads";
     return out;

@@ -1,0 +1,136 @@
+#include "prof/perfdiff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace armbar::prof {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// `ips_vs_null` from the metrics object: unprefixed in a single-experiment
+/// report, "<experiment>/ips_vs_null" in a consolidated one.
+double find_rel(const trace::Json& doc) {
+  const trace::Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return 0.0;
+  for (const auto& [name, v] : metrics->members())
+    if ((name == "ips_vs_null" || ends_with(name, "/ips_vs_null")) &&
+        v.is_number())
+      return v.number();
+  return 0.0;
+}
+
+double find_ips(const trace::Json& doc) {
+  const trace::Json* hp = doc.find("host_prof");
+  if (hp == nullptr) return 0.0;
+  const trace::Json* ips = hp->find("sim_instructions_per_sec");
+  return ips != nullptr && ips->is_number() ? ips->number() : 0.0;
+}
+
+/// phase name -> share of total self time, in percent.
+std::map<std::string, double> phase_shares(const trace::Json& doc) {
+  std::map<std::string, double> out;
+  const trace::Json* hp = doc.find("host_prof");
+  if (hp == nullptr) return out;
+  const trace::Json* phases = hp->find("phases");
+  if (phases == nullptr || !phases->is_object()) return out;
+  double total = 0.0;
+  for (const auto& [name, p] : phases->members()) {
+    const trace::Json* self = p.find("self_ns");
+    if (self != nullptr && self->is_number()) {
+      out[name] = self->number();
+      total += self->number();
+    }
+  }
+  if (total > 0.0)
+    for (auto& [name, v] : out) v = v * 100.0 / total;
+  return out;
+}
+
+}  // namespace
+
+PerfDiff diff_reports(const trace::Json& base, const trace::Json& cur,
+                      const PerfDiffOptions& opts) {
+  PerfDiff d;
+  d.base_ips = find_ips(base);
+  d.cur_ips = find_ips(cur);
+  d.base_rel = find_rel(base);
+  d.cur_rel = find_rel(cur);
+
+  if (base.find("host_prof") == nullptr || cur.find("host_prof") == nullptr) {
+    d.error = "a report is missing its host_prof section";
+    return d;
+  }
+  if (d.base_rel <= 0.0 || d.cur_rel <= 0.0) {
+    d.error = "a report is missing the ips_vs_null metric "
+              "(run the sim_perf experiment with --json)";
+    return d;
+  }
+  d.comparable = true;
+  d.rel_ratio = d.cur_rel / d.base_rel;
+
+  const std::map<std::string, double> bs = phase_shares(base);
+  const std::map<std::string, double> cs = phase_shares(cur);
+  bool phase_regressed = false;
+  for (const auto& [name, share] : bs) {
+    PhaseVerdict v;
+    v.phase = name;
+    v.base_share_pct = share;
+    if (auto it = cs.find(name); it != cs.end()) {
+      v.cur_share_pct = it->second;
+      v.drift_pp = v.cur_share_pct - v.base_share_pct;
+      v.verdict = v.drift_pp > opts.phase_drift_pp ? "regressed" : "ok";
+    } else {
+      v.verdict = "gone";
+    }
+    phase_regressed = phase_regressed || v.verdict == "regressed";
+    d.phases.push_back(std::move(v));
+  }
+  for (const auto& [name, share] : cs) {
+    if (bs.count(name) != 0) continue;
+    PhaseVerdict v;
+    v.phase = name;
+    v.cur_share_pct = share;
+    v.drift_pp = share;
+    v.verdict = "new";
+    d.phases.push_back(std::move(v));
+  }
+
+  d.ok = d.rel_ratio >= opts.min_rel_ratio &&
+         (!opts.gate_phases || !phase_regressed);
+  return d;
+}
+
+std::string render(const PerfDiff& d, const PerfDiffOptions& opts) {
+  char buf[256];
+  std::string out;
+  if (!d.comparable) {
+    out = "armbar-perf: reports not comparable: " + d.error + "\n";
+    return out;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "sim ips          baseline %12.0f   current %12.0f  "
+                "(host-dependent, informational)\n",
+                d.base_ips, d.cur_ips);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "ips_vs_null      baseline %12.6f   current %12.6f   "
+                "ratio %.2fx  [gate >= %.2fx]\n",
+                d.base_rel, d.cur_rel, d.rel_ratio, opts.min_rel_ratio);
+  out += buf;
+  out += "\nphase            base%   cur%   drift   verdict\n";
+  for (const PhaseVerdict& v : d.phases) {
+    std::snprintf(buf, sizeof(buf), "%-16s %5.1f  %5.1f  %+6.1f   %s\n",
+                  v.phase.c_str(), v.base_share_pct, v.cur_share_pct,
+                  v.drift_pp, v.verdict.c_str());
+    out += buf;
+  }
+  out += d.ok ? "\nperf gate OK\n" : "\nperf gate FAILED\n";
+  return out;
+}
+
+}  // namespace armbar::prof

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "prof/prof.hpp"
+
 namespace armbar::runner {
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
@@ -25,11 +27,13 @@ std::optional<trace::Json> ResultCache::lookup(const std::string& key_hex) {
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = mem_.find(key_hex); it != mem_.end()) {
     ++stats_.hits;
+    ARMBAR_PROF_COUNT(kCacheHits, 1);
     return it->second;
   }
   std::ifstream in(path_of(key_hex), std::ios::binary);
   if (!in.good()) {
     ++stats_.misses;
+    ARMBAR_PROF_COUNT(kCacheMisses, 1);
     return std::nullopt;
   }
   std::stringstream buf;
@@ -42,13 +46,17 @@ std::optional<trace::Json> ResultCache::lookup(const std::string& key_hex) {
   if (!err.empty() || schema == nullptr || !schema->is_string() ||
       schema->str() != kCacheEntrySchema || epoch == nullptr ||
       !epoch->is_string() || epoch->str() != kCacheEpoch || value == nullptr) {
-    // Corrupt or stale-schema entry: treat as a miss; the fresh result will
-    // overwrite it.
+    // Corrupt or stale-schema entry: treat as a miss (and count the
+    // eviction); the fresh result will overwrite it.
     ++stats_.misses;
+    ++stats_.evictions;
+    ARMBAR_PROF_COUNT(kCacheMisses, 1);
+    ARMBAR_PROF_COUNT(kCacheEvictions, 1);
     return std::nullopt;
   }
   mem_[key_hex] = *value;
   ++stats_.hits;
+  ARMBAR_PROF_COUNT(kCacheHits, 1);
   return *value;
 }
 
@@ -66,6 +74,7 @@ void ResultCache::store(const std::string& key_hex, const std::string& desc,
   std::lock_guard<std::mutex> lock(mu_);
   mem_[key_hex] = value;
   ++stats_.stores;
+  ARMBAR_PROF_COUNT(kCacheStores, 1);
   const std::string path = path_of(key_hex);
   const std::string tmp = path + ".tmp";
   if (std::FILE* f = std::fopen(tmp.c_str(), "wb")) {

@@ -37,8 +37,10 @@ inline constexpr const char* kCacheEntrySchema = "armbar.cache.entry/v1";
 /// simulator's timing model (new latency fields, scheduler fixes, ...),
 /// the reference model's enumeration semantics, or the fuzz generator's
 /// seed->program mapping. armbar-sim/5: ISSUE 5 POR checker + raised
-/// generator defaults.
-inline constexpr const char* kCacheEpoch = "armbar-sim/5";
+/// generator defaults. armbar-sim/6: ISSUE 6 host-profiling release —
+/// simulated values are unchanged, but the epoch bump retires any entry a
+/// pre-audit build could have written with host-time contamination.
+inline constexpr const char* kCacheEpoch = "armbar-sim/6";
 
 class ResultCache {
  public:
@@ -60,6 +62,9 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t stores = 0;
+    /// Corrupt or stale-epoch entries dropped at lookup (each also counts
+    /// as a miss; the fresh result overwrites the entry).
+    std::uint64_t evictions = 0;
   };
   Stats stats() const;
 

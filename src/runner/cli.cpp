@@ -58,13 +58,26 @@ int cli_main(int argc, char** argv, const char* forced_experiment) {
                "(0 = off)",
                0, 0, std::numeric_limits<std::int64_t>::max());
   args.add_optional_value("json", "PATH",
-                          "write an armbar.bench.report/v1 document "
+                          "write an armbar.bench.report/v2 document "
                           "(default path: <bench>.report.json)");
   args.add_optional_value("trace", "PATH",
                           "write a Chrome trace_event JSON; forces --jobs 1 "
                           "(default path: <experiment>.trace.json)");
   args.add_flag("no-cache", "disable the content-addressed result cache");
   args.add_value("cache-dir", "DIR", "result cache location", ".armbar-cache");
+  args.add_flag("profile",
+                "enable the host-side self-profiler; adds a host_prof "
+                "section to --json reports (report-only: simulated results "
+                "and digests are unchanged)");
+  args.add_flag("no-profile",
+                "force host profiling off (default; rejects --profile)");
+  args.add_optional_value("profile-folded", "PATH",
+                          "with --profile: write collapsed stacks for "
+                          "flamegraph.pl (default path: <bench>.prof.folded)");
+  args.add_optional_value("profile-chrome", "PATH",
+                          "with --profile: write a Chrome trace_event JSON "
+                          "of the merged profile (default path: "
+                          "<bench>.prof.trace.json)");
 
   std::string err;
   if (!args.parse(argc, argv, &err)) {
@@ -78,6 +91,21 @@ int cli_main(int argc, char** argv, const char* forced_experiment) {
   if (!args.positionals().empty()) {
     std::fprintf(stderr, "%s: unexpected argument '%s' (see --help)\n",
                  prog.c_str(), args.positionals().front().c_str());
+    return 2;
+  }
+  // Parse-time profile validation: the pair is mutually exclusive, and the
+  // export paths make no sense without the profiler on.
+  if (args.given("profile") && args.given("no-profile")) {
+    std::fprintf(stderr,
+                 "%s: --profile and --no-profile are mutually exclusive\n",
+                 prog.c_str());
+    return 2;
+  }
+  if (!args.given("profile") &&
+      (args.given("profile-folded") || args.given("profile-chrome"))) {
+    std::fprintf(stderr,
+                 "%s: --profile-folded/--profile-chrome require --profile\n",
+                 prog.c_str());
     return 2;
   }
 
@@ -104,6 +132,16 @@ int cli_main(int argc, char** argv, const char* forced_experiment) {
   opts.collect_metrics = args.given("json") || args.given("trace");
   opts.trace = args.given("trace");
   opts.trace_path = args.str("trace");
+  opts.profile = args.given("profile");
+  if (args.given("profile-folded")) {
+    opts.profile_folded = args.str("profile-folded");
+    if (opts.profile_folded.empty()) opts.profile_folded = prog + ".prof.folded";
+  }
+  if (args.given("profile-chrome")) {
+    opts.profile_chrome = args.str("profile-chrome");
+    if (opts.profile_chrome.empty())
+      opts.profile_chrome = prog + ".prof.trace.json";
+  }
 
   Engine engine(registry, opts);
   EngineResult result = engine.run();

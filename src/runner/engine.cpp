@@ -1,5 +1,6 @@
 #include "runner/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -7,6 +8,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "prof/export.hpp"
+#include "prof/prof.hpp"
 #include "sim/isa.hpp"
 #include "sim/verify.hpp"
 #include "trace/chrome_trace.hpp"
@@ -91,6 +94,42 @@ std::string hex16(std::uint64_t v) {
   return buf;
 }
 
+/// Human summary of the host profile: per-phase flat totals sorted by self
+/// time, then the derived simulator throughput. Mirrors the host_prof
+/// report section so a terminal run surfaces the same numbers.
+void print_host_profile(const prof::Snapshot& snap) {
+  std::printf("\n------------------ host profile (report-only) -----------------\n");
+  std::printf("wall %.1f ms, %u thread%s\n",
+              static_cast<double>(snap.wall_ns) / 1e6, snap.threads,
+              snap.threads == 1 ? "" : "s");
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < prof::kNumPhases; ++i)
+    if (snap.phases[i].count > 0) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return snap.phases[a].self_ns > snap.phases[b].self_ns;
+  });
+  std::printf("  %-16s %12s %12s %12s\n", "phase", "count", "total ms",
+              "self ms");
+  for (std::size_t i : order)
+    std::printf("  %-16s %12llu %12.3f %12.3f\n",
+                prof::phase_name(static_cast<prof::Phase>(i)),
+                static_cast<unsigned long long>(snap.phases[i].count),
+                static_cast<double>(snap.phases[i].total_ns) / 1e6,
+                static_cast<double>(snap.phases[i].self_ns) / 1e6);
+  for (std::size_t i = 0; i < prof::kNumCounters; ++i)
+    if (snap.counters[i] != 0)
+      std::printf("  %-16s %12llu\n",
+                  prof::counter_name(static_cast<prof::Counter>(i)),
+                  static_cast<unsigned long long>(snap.counters[i]));
+  const std::uint64_t instrs = snap.counter(prof::Counter::kSimInstructions);
+  std::uint64_t sim_ns = snap.phase(prof::Phase::kSimRun).total_ns;
+  if (sim_ns == 0) sim_ns = snap.wall_ns;
+  if (instrs > 0 && sim_ns > 0)
+    std::printf("  sim throughput   %.2f M instr/s (host-side)\n",
+                static_cast<double>(instrs) * 1e3 /
+                    static_cast<double>(sim_ns));
+}
+
 }  // namespace
 
 Engine::Engine(const Registry& registry, EngineOptions opts)
@@ -135,6 +174,17 @@ EngineResult Engine::run() {
   DegradationScope degradation(opts_);
   if (opts_.fault.enabled())
     std::printf("fault injection: %s\n\n", opts_.fault.describe().c_str());
+
+  // Host profiling: always reset at run start so a previous in-process run
+  // (tests nest engine runs) can't bleed stale samples into this report's
+  // host_prof section. The engine only *disables* what it enabled — an
+  // experiment's own prof::Session (sim_perf) or an outer caller wins.
+  if (prof::compiled_in()) prof::reset();
+  if (opts_.profile && !prof::compiled_in())
+    std::printf("(--profile requested but profiling is compiled out via "
+                "ARMBAR_PROF_DISABLED; host_prof will be absent)\n");
+  const bool prof_owned = opts_.profile && !prof::enabled();
+  if (prof_owned) prof::set_enabled(true);
 
   bool all_ok = true;
   bool io_ok = true;
@@ -256,6 +306,10 @@ EngineResult Engine::run() {
       ctx->check(deterministic,
                  "repetitions deterministic (points digest stable across " +
                      std::to_string(reps) + " runs)");
+    if (ctx->prof_digest_leak())
+      ctx->check(false,
+                 "cached point values free of host-profiling fields "
+                 "(digest hygiene)");
 
     ExperimentOutcome out;
     out.name = spec->name;
@@ -289,6 +343,10 @@ EngineResult Engine::run() {
       report.add_metric(kp + name, value);
     report.add_param(kp + "points_digest", hex16(ctx->points_digest()));
     report.add_param(kp + "status", out.status);
+    // Emitted only on contamination so clean reports stay byte-identical
+    // to pre-profiling ones; report_check rejects any report carrying it.
+    if (ctx->prof_digest_leak())
+      report.add_param(kp + "prof_digest_leak", "true");
     if (!out.kind.empty())
       report.add_quarantine(out.name, out.status, out.kind, out.reason,
                             out.diagnostic, out.repro_bundle);
@@ -341,11 +399,36 @@ EngineResult Engine::run() {
   }
   result.cache_stats = cache.stats();
   if (cache.enabled())
-    std::printf("\ncache: %llu hits / %llu misses / %llu stores (%s)\n",
+    std::printf("\ncache: %llu hits / %llu misses / %llu stores / "
+                "%llu evictions (%s)\n",
                 static_cast<unsigned long long>(result.cache_stats.hits),
                 static_cast<unsigned long long>(result.cache_stats.misses),
                 static_cast<unsigned long long>(result.cache_stats.stores),
+                static_cast<unsigned long long>(result.cache_stats.evictions),
                 opts_.cache_dir.c_str());
+
+  // Host-profile export: the engine disables only what it enabled, then
+  // snapshots whatever recorded — an experiment-owned prof::Session
+  // (sim_perf) produces a host_prof section even without --profile.
+  if (prof_owned) prof::set_enabled(false);
+  if (prof::compiled_in()) {
+    const prof::Snapshot snap = prof::snapshot();
+    if (snap.has_data()) {
+      report.set_host_prof(prof::host_prof_json(snap));
+      print_host_profile(snap);
+      if (!opts_.profile_folded.empty()) {
+        io_ok = prof::write_collapsed(opts_.profile_folded, snap) && io_ok;
+        std::printf("profile: %s (flamegraph.pl-compatible collapsed "
+                    "stacks)\n",
+                    opts_.profile_folded.c_str());
+      }
+      if (!opts_.profile_chrome.empty()) {
+        io_ok = prof::write_chrome(opts_.profile_chrome, snap) && io_ok;
+        std::printf("profile: %s (open in https://ui.perfetto.dev)\n",
+                    opts_.profile_chrome.c_str());
+      }
+    }
+  }
 
   result.interrupted = g_interrupted != 0;
   if (result.interrupted) {

@@ -1,7 +1,7 @@
 // Experiment engine: resolves a filter against the registry, runs each
 // matched experiment with shared infrastructure (work-stealing pool,
 // content-addressed result cache, optional tracer), and assembles one
-// consolidated armbar.bench.report/v1 document.
+// consolidated armbar.bench.report/v2 document.
 //
 // Experiments execute serially in name order — parallelism lives *inside*
 // an experiment (ctx.map over sweep points) so stdout stays readable and
@@ -50,6 +50,15 @@ struct EngineOptions {
   /// (with quarantine entries) instead of dying silently. Tests that
   /// raise() set this too.
   bool handle_sigint = true;
+
+  // ---- host-side profiling (ISSUE 6) ----
+  /// --profile: enable the prof:: scoped timers for the whole run and
+  /// attach an armbar.host_prof/v1 section to the report. Host timing never
+  /// reaches cache keys or points digests — simulated results are
+  /// bit-identical with profiling on or off.
+  bool profile = false;
+  std::string profile_folded;  ///< collapsed-stack (flamegraph) output path
+  std::string profile_chrome;  ///< chrome-trace output path (empty = none)
 };
 
 /// Per-experiment outcome, in run (= name) order.

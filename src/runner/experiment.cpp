@@ -110,6 +110,28 @@ trace::Json ExperimentContext::cached_instrumented(
   return cached_impl(key, desc, /*instrumentable=*/true, compute);
 }
 
+namespace {
+
+/// Reserved host-profiling field names: any of these inside a cached point
+/// value means wall-clock leaked into digest material.
+bool has_prof_field(const trace::Json& v) {
+  if (v.is_object()) {
+    for (const auto& [name, member] : v.members()) {
+      for (const char* reserved :
+           {"host_prof", "host_ns", "prof_ns", "wall_ns", "self_ns",
+            "sim_instructions_per_sec"})
+        if (name == reserved) return true;
+      if (has_prof_field(member)) return true;
+    }
+  } else if (v.is_array()) {
+    for (const trace::Json& item : v.items())
+      if (has_prof_field(item)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 trace::Json ExperimentContext::cached_impl(
     const Fingerprint& key, const std::string& desc, bool instrumentable,
     const std::function<trace::Json(trace::Tracer*)>& fn) {
@@ -155,11 +177,13 @@ trace::Json ExperimentContext::cached_impl(
   }
   Fingerprint pd = key;
   pd.mix(value.dump());
+  const bool leaked = has_prof_field(value);
   {
     std::lock_guard<std::mutex> lock(mu_);
     points_digest_ ^= pd.lo();
     ++points_;
     if (hit) ++point_hits_;
+    if (leaked) prof_digest_leak_ = true;
   }
   return value;
 }

@@ -207,6 +207,13 @@ class ExperimentContext {
   std::uint64_t points() const { return points_; }
   std::uint64_t point_hits() const { return point_hits_; }
   bool all_checks_passed() const { return failed_checks_ == 0; }
+  /// True when any cached() point value carried a reserved host-profiling
+  /// key ("host_prof", "self_ns", "sim_instructions_per_sec", ...). Host
+  /// time in a cached value poisons the points digest — it changes on
+  /// every run — so the engine fails the experiment and flags the report
+  /// (report_check rejects it). Mirrors the enum_ns rule: host timing is
+  /// report-only, never digest material.
+  bool prof_digest_leak() const { return prof_digest_leak_; }
 
  private:
   trace::Json cached_impl(const Fingerprint& key, const std::string& desc,
@@ -225,6 +232,7 @@ class ExperimentContext {
   std::uint64_t points_digest_ = 0;
   std::uint64_t points_ = 0;
   std::uint64_t point_hits_ = 0;
+  bool prof_digest_leak_ = false;
 };
 
 }  // namespace armbar::runner

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "prof/prof.hpp"
 #include "sim/fault/fault.hpp"
 
 namespace armbar::sim {
@@ -673,7 +674,14 @@ void Core::issue(Cycle now) {
 
 void Core::step(Cycle now) {
   last_step_ = now;
-  pump_store_buffer(now);
+  {
+    ARMBAR_PROF_SCOPE(kSimSbDrain);
+    pump_store_buffer(now);
+  }
+  // Everything below — branch resolution, the issue switch, stall
+  // bookkeeping — is the decode/issue phase; memory-system calls it makes
+  // nest their own kSimCoherence scope.
+  ARMBAR_PROF_SCOPE(kSimIssue);
   resolve_branches(now);
 
   auto finish = [&](Cycle candidate) {

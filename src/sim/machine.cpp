@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "prof/prof.hpp"
 #include "sim/verify.hpp"
 
 namespace armbar::sim {
@@ -55,6 +56,7 @@ std::vector<std::uint64_t> Machine::extract_state(
 }
 
 RunResult Machine::run(const RunConfig& cfg) {
+  ARMBAR_PROF_SCOPE(kSimRun);
   ARMBAR_CHECK_MSG(!ran_, "Machine::run() may only be called once");
   ran_ = true;
 
@@ -107,10 +109,13 @@ RunResult Machine::run(const RunConfig& cfg) {
   while (true) {
     Cycle next = kNeverCycle;
     bool all_idle = true;
-    for (Core* core : live) {
-      if (core->idle()) continue;
-      all_idle = false;
-      next = std::min(next, core->next_attention());
+    {
+      ARMBAR_PROF_SCOPE(kSimSchedule);
+      for (Core* core : live) {
+        if (core->idle()) continue;
+        all_idle = false;
+        next = std::min(next, core->next_attention());
+      }
     }
     if (all_idle) {
       res.completed = true;
@@ -126,6 +131,7 @@ RunResult Machine::run(const RunConfig& cfg) {
       if (!core->idle() && core->next_attention() <= now) core->step(now);
     }
     if (now >= next_verify) {
+      ARMBAR_PROF_SCOPE(kSimVerify);
       if (std::string v = verifier.check(); !v.empty())
         throw InvariantViolation(
             verifier.diagnose("invariant_violation", v, now));
@@ -147,6 +153,7 @@ RunResult Machine::run(const RunConfig& cfg) {
   // One closing sweep so a corruption introduced after the last cadence
   // tick (or a run shorter than the cadence) is still caught.
   if (verify_every != 0) {
+    ARMBAR_PROF_SCOPE(kSimVerify);
     if (std::string v = verifier.check(); !v.empty())
       throw InvariantViolation(verifier.diagnose("invariant_violation", v, now));
   }
@@ -159,6 +166,13 @@ RunResult Machine::run(const RunConfig& cfg) {
   }
   res.cycles = res.completed ? end : max_cycles;
   res.mem = mem_->stats();
+  if (prof::enabled()) {
+    std::uint64_t instrs = 0;
+    for (const CoreStats& s : res.cores) instrs += s.instructions;
+    ARMBAR_PROF_COUNT(kSimInstructions, instrs);
+    ARMBAR_PROF_COUNT(kSimCycles, res.cycles);
+    ARMBAR_PROF_COUNT(kSimRuns, 1);
+  }
   return res;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "prof/prof.hpp"
 #include "sim/fault/fault.hpp"
 
 namespace armbar::sim {
@@ -97,6 +98,7 @@ void MemorySystem::notify_holders(const LineState& ls, Addr line, CoreId except,
 
 Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_out,
                          bool exclusive) {
+  ARMBAR_PROF_SCOPE(kSimCoherence);
   const Addr line = line_of(a);
   LineState& ls = line_mut(line);
 
@@ -195,6 +197,7 @@ Cycle MemorySystem::exchange(CoreId core, Addr a, std::uint64_t v, Cycle now,
 
 Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
                           bool& remote_snoop_out) {
+  ARMBAR_PROF_SCOPE(kSimCoherence);
   const Addr line = line_of(a);
   LineState& ls = line_mut(line);
   const auto self = static_cast<std::int16_t>(core);

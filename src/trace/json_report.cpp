@@ -72,6 +72,7 @@ Json ReportBuilder::build() const {
   doc.set("metrics", metrics_);
   doc.set("histograms", histograms_);
   doc.set("quarantine", quarantine_);
+  if (!host_prof_.is_null()) doc.set("host_prof", host_prof_);
   return doc;
 }
 
@@ -91,6 +92,80 @@ bool violation(std::string* err, const std::string& what) {
   return false;
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// armbar.host_prof/v1 section gate: phase names non-empty, per-phase ns
+/// monotone-summable (self <= total per phase; summed self bounded by
+/// wall * threads, with slack for timer calibration error), throughput
+/// positive when present, and the section explicitly marked as excluded
+/// from digest material.
+bool validate_host_prof(const Json& hp, std::string* err) {
+  if (!hp.is_object())
+    return violation(err, "host_prof is not a JSON object");
+
+  const Json* excluded = hp.find("excluded_from_digests");
+  if (excluded == nullptr || !excluded->is_bool() || !excluded->boolean())
+    return violation(err,
+                     "host_prof must set excluded_from_digests=true (host "
+                     "timing is report-only, never digest material)");
+
+  const Json* wall = hp.find("wall_ns");
+  if (wall == nullptr || !wall->is_number() || wall->number() < 0)
+    return violation(err, "host_prof missing non-negative number 'wall_ns'");
+  const Json* threads = hp.find("threads");
+  if (threads == nullptr || !threads->is_number() || threads->number() < 1)
+    return violation(err, "host_prof missing number 'threads' >= 1");
+
+  const Json* phases = hp.find("phases");
+  if (phases == nullptr || !phases->is_object() || phases->size() == 0)
+    return violation(err, "host_prof missing non-empty object 'phases'");
+  double self_sum = 0.0;
+  for (const auto& [name, p] : phases->members()) {
+    if (name.empty())
+      return violation(err, "host_prof phase with an empty name");
+    if (!p.is_object())
+      return violation(err, "host_prof phase '" + name + "' is not an object");
+    for (const char* field : {"count", "total_ns", "self_ns"}) {
+      const Json* v = p.find(field);
+      if (v == nullptr || !v->is_number() || v->number() < 0)
+        return violation(err, "host_prof phase '" + name +
+                                  "' missing non-negative number '" + field +
+                                  "'");
+    }
+    const double total = p.find("total_ns")->number();
+    const double self = p.find("self_ns")->number();
+    if (self > total * 1.000001)
+      return violation(err,
+                       "host_prof phase '" + name + "': self_ns > total_ns");
+    self_sum += self;
+  }
+  // Monotone-summable: phase self times partition measured time, so their
+  // sum cannot exceed the available cpu-time envelope. 10% slack covers
+  // tick-to-ns calibration error.
+  if (self_sum > wall->number() * threads->number() * 1.1)
+    return violation(err,
+                     "host_prof phase self_ns sum exceeds wall_ns * threads");
+
+  if (const Json* counters = hp.find("counters")) {
+    if (!counters->is_object())
+      return violation(err, "host_prof 'counters' is not an object");
+    for (const auto& [name, v] : counters->members())
+      if (name.empty() || !v.is_number() || v.number() < 0)
+        return violation(err, "host_prof counter '" + name +
+                                  "' is not a non-negative number");
+  }
+  if (const Json* ips = hp.find("sim_instructions_per_sec"))
+    if (!ips->is_number() || ips->number() <= 0)
+      return violation(err,
+                       "host_prof sim_instructions_per_sec must be > 0 "
+                       "when present");
+  if (err) err->clear();
+  return true;
+}
+
 }  // namespace
 
 bool validate_bench_report(const Json& doc, std::string* err) {
@@ -99,7 +174,7 @@ bool validate_bench_report(const Json& doc, std::string* err) {
   const Json* schema = doc.find("schema");
   if (!schema || !schema->is_string())
     return violation(err, "missing string field 'schema'");
-  if (schema->str() != kReportSchema)
+  if (schema->str() != kReportSchema && schema->str() != kReportSchemaV1)
     return violation(err, "unknown schema '" + schema->str() + "'");
 
   for (const char* field : {"bench", "title"}) {
@@ -173,6 +248,22 @@ bool validate_bench_report(const Json& doc, std::string* err) {
   }
   if (ok->boolean() && quarantine->size() > 0)
     return violation(err, "'ok' is true but experiments are quarantined");
+
+  // Digest-hygiene gate: the engine stamps prof_digest_leak=true (per
+  // experiment in consolidated reports) when a cached point value carried
+  // host-profiling fields. Such a report is rejected outright — its points
+  // digests are wall-clock-contaminated and worthless for comparison.
+  if (const Json* params = doc.find("params"); params && params->is_object())
+    for (const auto& [name, v] : params->members())
+      if ((name == "prof_digest_leak" ||
+           ends_with(name, "/prof_digest_leak")) &&
+          v.is_string() && v.str() == "true")
+        return violation(err,
+                         "profiling fields leaked into point digests ('" +
+                             name + "' is true)");
+
+  if (const Json* hp = doc.find("host_prof"))
+    if (!validate_host_prof(*hp, err)) return false;
 
   if (err) err->clear();
   return true;

@@ -2,9 +2,10 @@
 // table* bench emits under --json, suitable for trajectory tracking
 // (BENCH_*.json) and CI schema checks.
 //
-// Schema (armbar.bench.report/v1):
+// Schema (armbar.bench.report/v2; v1 documents still validate — v2 only
+// adds the optional "host_prof" section):
 //   {
-//     "schema":  "armbar.bench.report/v1",
+//     "schema":  "armbar.bench.report/v2",
 //     "bench":   "<binary id, e.g. fig3_store_store>",
 //     "title":   "<human banner>",
 //     "ok":      true,                       // all qualitative checks passed
@@ -21,8 +22,11 @@
 //        "reason": "...", "diagnostic": {...},    // diagnostic optional
 //        "repro_bundle": "path/to/x.repro.json"}, // optional: replay with
 //       ...                                       //   tools/armbar-repro
-//     ]
-//   }
+//     ],
+//     "host_prof": { ... }                   // optional (v2): host-side
+//   }                                        //   profile, armbar.host_prof/v1
+//                                            //   (see src/prof/export.hpp);
+//                                            //   excluded from all digests
 #pragma once
 
 #include <string>
@@ -32,7 +36,10 @@
 
 namespace armbar::trace {
 
-inline constexpr const char* kReportSchema = "armbar.bench.report/v1";
+inline constexpr const char* kReportSchema = "armbar.bench.report/v2";
+/// Prior schema revision; validate_bench_report accepts both (v2 is a
+/// strict superset: it only adds the optional "host_prof" section).
+inline constexpr const char* kReportSchemaV1 = "armbar.bench.report/v1";
 
 class ReportBuilder {
  public:
@@ -55,6 +62,10 @@ class ReportBuilder {
   /// Pull every histogram (machine-wide merge) and counter out of a
   /// registry. Counters land in metrics as "<name>".
   void add_registry(const MetricsRegistry& reg);
+  /// Attach an armbar.host_prof/v1 section (prof::host_prof_json). Host
+  /// timing is report-only: it never participates in points digests or
+  /// cache keys. A null value removes the section.
+  void set_host_prof(Json hp) { host_prof_ = std::move(hp); }
 
   Json build() const;
   std::string str(int indent = 1) const { return build().dump(indent); }
@@ -69,10 +80,15 @@ class ReportBuilder {
   Json metrics_ = Json::object();
   Json histograms_ = Json::object();
   Json quarantine_ = Json::array();
+  Json host_prof_;
 };
 
-/// Validate a parsed document against armbar.bench.report/v1. On failure
-/// returns false and describes the first violation in *err.
+/// Validate a parsed document against armbar.bench.report/v2 (or v1). On
+/// failure returns false and describes the first violation in *err.
+/// Beyond the structural checks, rejects reports where host profiling
+/// contaminated digest material: a "prof_digest_leak" param set to "true"
+/// (the engine emits it when a cached point value carried profiling
+/// fields) fails validation outright.
 bool validate_bench_report(const Json& doc, std::string* err = nullptr);
 
 }  // namespace armbar::trace

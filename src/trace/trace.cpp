@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "prof/prof.hpp"
 
 namespace armbar::trace {
 
@@ -76,6 +77,9 @@ void Tracer::clear() {
 
 void Tracer::emit(const Event& e) {
   if (!enabled_) return;
+  // The observer observing itself: how much host time the guest-side
+  // tracer costs. After the enabled_ check so untraced runs pay nothing.
+  ARMBAR_PROF_SCOPE(kTraceEmit);
   ring_[head_] = e;
   head_ = (head_ + 1) % ring_.size();
   ++emitted_;

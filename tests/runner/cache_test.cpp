@@ -72,6 +72,9 @@ TEST(ResultCache, CorruptEntryDegradesToMiss) {
   }
   ResultCache fresh(dir);
   EXPECT_FALSE(fresh.lookup(key).has_value());
+  const auto s = fresh.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 1u);  // corrupt entry counted as evicted
 }
 
 TEST(ResultCache, StaleEpochDegradesToMiss) {
@@ -90,6 +93,7 @@ TEST(ResultCache, StaleEpochDegradesToMiss) {
   }
   ResultCache fresh(dir);
   EXPECT_FALSE(fresh.lookup(key).has_value());
+  EXPECT_EQ(fresh.stats().evictions, 1u);  // stale epoch evicts too
 }
 
 TEST(ResultCache, PlatformSpecChangeChangesTheKey) {

@@ -163,9 +163,11 @@ TEST(Fingerprint, ContextKeyCoversGlobalFaultPlanAndVerifyCadence) {
 }
 
 TEST(Fingerprint, CacheEpochIsCurrent) {
-  // The ISSUE 5 POR checker + raised generator defaults invalidate all
-  // armbar-sim/4 entries (the ISSUE 4 key-coverage change killed /2).
-  EXPECT_STREQ(kCacheEpoch, "armbar-sim/5");
+  // The ISSUE 6 host-profiling release bumps to /6: simulated values are
+  // unchanged, but the bump retires any entry a pre-audit build could have
+  // written with host-time contamination (the ISSUE 5 POR checker killed
+  // /4, the ISSUE 4 key-coverage change killed /2).
+  EXPECT_STREQ(kCacheEpoch, "armbar-sim/6");
 }
 
 }  // namespace

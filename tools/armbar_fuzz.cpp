@@ -15,7 +15,7 @@
 //
 // The summary reports campaign throughput (runs/sec) and the total time
 // spent in the reference model, and --json emits the same numbers as an
-// armbar.bench.report/v1 document so BENCH_*.json trajectories cover the
+// armbar.bench.report/v2 document so BENCH_*.json trajectories cover the
 // checker (ISSUE 5). --model-naive switches the model to the pre-POR
 // enumerator — the oracle baseline the speedup is measured against.
 //
@@ -34,6 +34,8 @@
 #include "fuzz/diff.hpp"
 #include "fuzz/gen.hpp"
 #include "fuzz/minimize.hpp"
+#include "prof/export.hpp"
+#include "prof/prof.hpp"
 #include "runner/arg_parser.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/platform.hpp"
@@ -97,11 +99,16 @@ int main(int argc, char** argv) {
                 "baseline; slower, identical outcome sets)");
   args.add_value("out-dir", "DIR", "where repro bundles are written", ".");
   args.add_value("json", "PATH",
-                 "write the campaign summary as armbar.bench.report/v1", "");
+                 "write the campaign summary as armbar.bench.report/v2", "");
   args.add_int("max-threads", "N", "generator: threads per program",
                armbar::fuzz::GenOptions{}.max_threads, 2, 8);
   args.add_int("max-ops", "N", "generator: memory/barrier ops per thread",
                armbar::fuzz::GenOptions{}.max_ops_per_thread, 1, 32);
+  args.add_flag("profile",
+                "enable the host-side self-profiler for the campaign; adds "
+                "a host_prof section to --json (report-only)");
+  args.add_flag("no-profile",
+                "force host profiling off (default; rejects --profile)");
 
   std::string err;
   if (!args.parse(argc, argv, &err)) {
@@ -117,6 +124,17 @@ int main(int argc, char** argv) {
                  args.positionals().front().c_str());
     return 2;
   }
+  if (args.given("profile") && args.given("no-profile")) {
+    std::fprintf(stderr,
+                 "armbar-fuzz: --profile and --no-profile are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  const bool profile = args.given("profile");
+  if (profile && !armbar::prof::compiled_in())
+    std::fprintf(stderr,
+                 "armbar-fuzz: --profile requested but profiling is compiled "
+                 "out via ARMBAR_PROF_DISABLED; host_prof will be absent\n");
 
   DiffOptions base = DiffOptions::defaults(
       static_cast<std::uint32_t>(args.integer("chaos-seeds")));
@@ -219,6 +237,10 @@ int main(int argc, char** argv) {
     }
   };
 
+  if (profile) {
+    armbar::prof::reset();
+    armbar::prof::set_enabled(true);
+  }
   const auto campaign_start = std::chrono::steady_clock::now();
   if (jobs <= 1) {
     for (std::size_t i = 0; i < results.size(); ++i) fuzz_one(i);
@@ -230,6 +252,11 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     campaign_start)
           .count();
+  armbar::prof::Snapshot prof_snap;
+  if (profile) {
+    armbar::prof::set_enabled(false);
+    prof_snap = armbar::prof::snapshot();  // pool joined: threads quiescent
+  }
 
   std::uint64_t total_runs = 0;
   std::uint64_t failures = 0;
@@ -259,6 +286,20 @@ int main(int argc, char** argv) {
               "%.3f s total (%" PRIu64 " executions, %.0f/sec, engine %s)\n",
               campaign_s, runs_per_sec, model_s, model_candidates,
               execs_per_sec, base.model.naive ? "naive" : "por");
+  if (prof_snap.has_data()) {
+    const armbar::prof::PhaseStats& ph_gen =
+        prof_snap.phase(armbar::prof::Phase::kFuzzGenerate);
+    const armbar::prof::PhaseStats& ph_diff =
+        prof_snap.phase(armbar::prof::Phase::kFuzzDiff);
+    const armbar::prof::PhaseStats& ph_model =
+        prof_snap.phase(armbar::prof::Phase::kModelEnumerate);
+    std::printf("armbar-fuzz: host profile (report-only): generate %.1f ms, "
+                "diff %.1f ms (model %.1f ms), %u thread%s\n",
+                static_cast<double>(ph_gen.total_ns) / 1e6,
+                static_cast<double>(ph_diff.total_ns) / 1e6,
+                static_cast<double>(ph_model.total_ns) / 1e6,
+                prof_snap.threads, prof_snap.threads == 1 ? "" : "s");
+  }
 
   if (args.given("json") && !args.str("json").empty()) {
     armbar::trace::ReportBuilder report(
@@ -278,6 +319,8 @@ int main(int argc, char** argv) {
     report.add_metric("model_execs_per_sec", execs_per_sec);
     report.add_check("campaign found no differential failures",
                      failures == 0);
+    if (prof_snap.has_data())
+      report.set_host_prof(armbar::prof::host_prof_json(prof_snap));
     for (const SeedResult& r : results) {
       if (!r.failed) continue;
       report.add_quarantine("fuzz-" + std::to_string(r.seed), "failed",

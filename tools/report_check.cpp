@@ -1,4 +1,5 @@
-// report_check — validate bench JSON reports against armbar.bench.report/v1.
+// report_check — validate bench JSON reports against armbar.bench.report/v2
+// (v1 documents still validate).
 //
 //   $ report_check report.json [more.json ...]
 //
@@ -37,10 +38,23 @@ bool check_file(const char* path) {
   const std::size_t quarantined = doc.find("quarantine")->size();
   std::printf("%s: valid %s report — bench '%s', %zu checks, %zu metrics, "
               "%zu histograms, %zu quarantined%s\n",
-              path, armbar::trace::kReportSchema,
+              path, doc.find("schema")->str().c_str(),
               doc.find("bench")->str().c_str(), doc.find("checks")->size(),
               doc.find("metrics")->size(), doc.find("histograms")->size(),
               quarantined, ok ? "" : " [bench checks FAILED]");
+  if (const armbar::trace::Json* hp = doc.find("host_prof")) {
+    // Validation already ran inside validate_bench_report; this is the
+    // human summary of the (report-only) host profile.
+    const armbar::trace::Json* ips = hp->find("sim_instructions_per_sec");
+    std::printf("%s:   host_prof: %zu phases, wall %.1f ms, %u threads%s\n",
+                path, hp->find("phases")->size(),
+                hp->find("wall_ns")->number() / 1e6,
+                static_cast<unsigned>(hp->find("threads")->number()),
+                ips != nullptr ? "" : " (no sim throughput)");
+    if (ips != nullptr)
+      std::printf("%s:   host_prof: %.2f M sim instr/s\n", path,
+                  ips->number() / 1e6);
+  }
   for (const armbar::trace::Json& q : doc.find("quarantine")->items()) {
     std::fprintf(stderr, "%s: quarantined '%s': %s (%s)\n", path,
                  q.find("name")->str().c_str(),
