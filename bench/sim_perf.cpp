@@ -24,6 +24,8 @@
 // section (per-phase ns + derived sim_instructions_per_sec) even without
 // --profile; with --profile the engine's outer session wins and this one
 // is a no-op.
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -45,10 +47,12 @@ constexpr Addr kFlagAddr = 0x2000;
 constexpr Addr kSharedAddr = 0x3000;
 
 /// Gate floor for ips_vs_null (simulated instr/s over null-loop ops/s).
-/// Calibrated: RelWithDebInfo measures ~3.7e-3 aggregate; ~18x headroom so
-/// host scheduling noise and sanitizer builds cannot trip it, while an
-/// order-of-magnitude interpreter regression still fails.
-constexpr double kMinIpsVsNull = 2e-4;
+/// Calibrated for the ISSUE 7 fast-path interpreter: ~2.3e-2 aggregate
+/// measured (best-of reps), ~3x headroom for host noise. Deliberately set
+/// above the whole pre-fast-path build's ~3.7e-3, so losing the predecoded
+/// dispatch or the event-driven scheduler fails the experiment itself, not
+/// just the cross-report trend gate.
+constexpr double kMinIpsVsNull = 8e-3;
 
 /// MP producer: K publish rounds of data-store / dmb.st / flag-store.
 sim::Program mp_producer(std::uint32_t k) {
@@ -173,12 +177,15 @@ ARMBAR_EXPERIMENT(sim_perf, "Perf",
   ctx.param("profiling",
             prof::compiled_in() ? "enabled" : "compiled out (ARMBAR_PROF_DISABLED)");
 
-  // ---- null-interpreter baseline (best of 3 passes) ----
+  // ---- null-interpreter baseline (best of 5 passes) ----
+  // Best-of, not mean: on a contended CI host the minimum is the real
+  // dispatch cost, and every simulator measurement below uses the same
+  // best-of policy so numerator and denominator share the bias.
   const sim::Program null_prog = mp_producer(kMpRounds);
   constexpr std::uint64_t kNullPasses = 20'000;
   double null_ops_per_sec = 0.0;
   std::uint64_t null_sink = 0;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < 5; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     {
       ARMBAR_PROF_SCOPE(kBenchNullLoop);
@@ -206,14 +213,17 @@ ARMBAR_EXPERIMENT(sim_perf, "Perf",
   std::uint64_t total_ns = 0;
   for (const sim::PlatformSpec& spec : sim::all_platforms()) {
     // MP on the two most distant cores: cross-node on kunpeng916.
+    // Best-of-5: long enough to average cache effects, but a CI-host
+    // preemption mid-run still distorts a single shot.
     const sim::Program prod = mp_producer(kMpRounds);
     const sim::Program cons = mp_consumer(kMpRounds);
     Measured mp;
-    {
+    for (int rep = 0; rep < 5; ++rep) {
       sim::Machine m(spec, 8u << 20);
-      m.load_program(0, &prod);
-      m.load_program(spec.total_cores() - 1, &cons);
-      mp = time_run(m);
+      m.load_program(0, prod);
+      m.load_program(spec.total_cores() - 1, cons);
+      const Measured r = time_run(m);
+      if (rep == 0 || r.host_ns < mp.host_ns) mp = r;
     }
     ctx.check(mp.completed, "MP workload completed on " + spec.name);
     ctx.metric(spec.name + "_mp_ips", mp.ips());
@@ -223,16 +233,32 @@ ARMBAR_EXPERIMENT(sim_perf, "Perf",
            TextTable::num(mp.ips() / 1e6, 2)});
 
     // Co-heavy: every core, one line; iteration count scaled so total
-    // contention work stays comparable across 4..64 cores.
+    // contention work stays comparable across 4..64 cores. Predecode once
+    // and share the handle across all cores (the intended pattern for
+    // homogeneous workloads).
     const std::uint32_t iters = 768 / spec.total_cores();
-    const sim::Program heavy = co_heavy(iters);
-    Measured deep;
-    {
+    const sim::ProgramHandle heavy = sim::decode_program(co_heavy(iters));
+    // The co-heavy run finishes in well under a millisecond, so a single
+    // timing is mostly scheduler jitter and cold caches: repeat it on fresh
+    // machines (the simulated result is identical every time) and keep the
+    // fastest rep — best-of-N, like the null loop above, so numerator and
+    // denominator carry the same preemption bias. It gets more draws than
+    // the null loop because its working set (64 cores of machine state on
+    // kunpeng916) refills cold after every preemption, so a clean CFS slice
+    // is rarer for it than for the cache-resident null sweep; each extra
+    // draw costs well under a millisecond.
+    constexpr int kDeepReps = 11;
+    std::array<Measured, kDeepReps> reps;
+    for (Measured& rep : reps) {
       sim::Machine m(spec, 8u << 20);
       for (std::uint32_t c = 0; c < spec.total_cores(); ++c)
-        m.load_program(c, &heavy);
-      deep = time_run(m);
+        m.load_program(c, heavy);
+      rep = time_run(m);
     }
+    const Measured deep = *std::min_element(
+        reps.begin(), reps.end(), [](const Measured& a, const Measured& b) {
+          return a.host_ns < b.host_ns;
+        });
     ctx.check(deep.completed, "co-heavy workload completed on " + spec.name);
     ctx.metric(spec.name + "_deep_ips", deep.ips());
     t.row({spec.name, TextTable::num(spec.total_cores(), 0), "co-heavy",

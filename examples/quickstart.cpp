@@ -52,9 +52,9 @@ std::uint64_t run_pair(Op barrier, unsigned skew, Cycle& cycles_out) {
   Machine m(kunpeng916(), 1u << 20);
   Program prod = make_producer(barrier, skew);
   Program cons = make_consumer();
-  m.load_program(0, &prod);
-  m.load_program(32, &cons);  // other NUMA node
-  auto r = m.run();
+  m.load_program(0, prod);
+  m.load_program(32, cons);  // other NUMA node
+  auto r = m.run({});
   cycles_out = r.cycles;
   return m.core(32).reg(X10);
 }

@@ -91,9 +91,9 @@ int main(int argc, char** argv) {
 
   const sim::Program prod = make_producer();
   const sim::Program cons = make_consumer();
-  m.load_program(producer, &prod);
-  m.load_program(consumer, &cons);
-  auto res = m.run();
+  m.load_program(producer, prod);
+  m.load_program(consumer, cons);
+  auto res = m.run({});
 
   std::printf("MP barrier-lifecycle timeline — %s, producer core %u, "
               "consumer core %u (cross-node)\n",

@@ -174,7 +174,7 @@ DiffResult run_diff(const model::ConcurrentProgram& prog,
         sim::Machine m(spec, 1u << 20);
         for (const auto& [addr, v] : prog.init) m.mem().poke(addr, v);
         for (std::size_t t = 0; t < progs.size(); ++t)
-          m.load_program(static_cast<CoreId>(t), &progs[t]);
+          m.load_program(static_cast<CoreId>(t), progs[t]);
 
         sim::RunConfig rc;
         rc.max_cycles = opts.max_cycles;

@@ -42,7 +42,7 @@ LitmusReport run_litmus(const Litmus& test, const LitmusConfig& cfg) {
     for (std::size_t t = 0; t < nthreads; ++t)
       progs.push_back(test.threads[t].make(skews[t]));
     for (std::size_t t = 0; t < nthreads; ++t)
-      m.load_program(cfg.binding[t], &progs[t]);
+      m.load_program(cfg.binding[t], progs[t]);
 
     RunConfig rc;
     rc.max_cycles = cfg.max_cycles;

@@ -24,6 +24,33 @@ double find_rel(const trace::Json& doc) {
   return 0.0;
 }
 
+/// A named metric from the metrics object, tolerating the consolidated
+/// "<experiment>/<name>" prefix the runner adds. 0.0 when absent.
+double find_metric_suffix(const trace::Json& doc, const std::string& want) {
+  const trace::Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return 0.0;
+  for (const auto& [name, v] : metrics->members())
+    if ((name == want || ends_with(name, "/" + want)) && v.is_number())
+      return v.number();
+  return 0.0;
+}
+
+/// All per-preset throughput metric names ("..._mp_ips" / "..._deep_ips"),
+/// stripped of any consolidated-report experiment prefix, sorted by the
+/// metrics object's iteration order.
+std::vector<std::string> ips_metric_names(const trace::Json& doc) {
+  std::vector<std::string> out;
+  const trace::Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return out;
+  for (const auto& [name, v] : metrics->members()) {
+    if (!v.is_number()) continue;
+    if (!ends_with(name, "_mp_ips") && !ends_with(name, "_deep_ips")) continue;
+    const auto slash = name.rfind('/');
+    out.push_back(slash == std::string::npos ? name : name.substr(slash + 1));
+  }
+  return out;
+}
+
 double find_ips(const trace::Json& doc) {
   const trace::Json* hp = doc.find("host_prof");
   if (hp == nullptr) return 0.0;
@@ -83,7 +110,13 @@ PerfDiff diff_reports(const trace::Json& base, const trace::Json& cur,
     if (auto it = cs.find(name); it != cs.end()) {
       v.cur_share_pct = it->second;
       v.drift_pp = v.cur_share_pct - v.base_share_pct;
-      v.verdict = v.drift_pp > opts.phase_drift_pp ? "regressed" : "ok";
+      // Shares are relative: when the dominant phases get faster, every
+      // other phase's share inflates without its absolute cost moving. A
+      // phase still below the floor is noise, not a regression.
+      v.verdict = v.drift_pp > opts.phase_drift_pp &&
+                          v.cur_share_pct >= opts.min_phase_share_pct
+                      ? "regressed"
+                      : "ok";
     } else {
       v.verdict = "gone";
     }
@@ -100,7 +133,44 @@ PerfDiff diff_reports(const trace::Json& base, const trace::Json& cur,
     d.phases.push_back(std::move(v));
   }
 
-  d.ok = d.rel_ratio >= opts.min_rel_ratio &&
+  // Per-preset normalized throughput: each "<preset>_{mp,deep}_ips" metric
+  // divided by its own report's null-loop ops/s, so the cross-report ratio
+  // is machine-independent like ips_vs_null but resolved per platform
+  // preset and per workload (a regression confined to the 64-core preset
+  // cannot hide inside the blended aggregate).
+  bool presets_ok = true;
+  if (opts.min_preset_ratio > 0.0) {
+    const double base_null = find_metric_suffix(base, "null_loop_mops");
+    const double cur_null = find_metric_suffix(cur, "null_loop_mops");
+    if (base_null <= 0.0 || cur_null <= 0.0) {
+      d.comparable = false;
+      d.error = "a report is missing the null_loop_mops metric needed for "
+                "per-preset gating";
+      return d;
+    }
+    for (const std::string& name : ips_metric_names(base)) {
+      PresetRatio pr;
+      pr.metric = name;
+      pr.base_rel = find_metric_suffix(base, name) / (base_null * 1e6);
+      pr.cur_rel = find_metric_suffix(cur, name) / (cur_null * 1e6);
+      if (pr.base_rel <= 0.0 || pr.cur_rel <= 0.0) {
+        pr.ratio = 0.0;
+        pr.ok = false;
+      } else {
+        pr.ratio = pr.cur_rel / pr.base_rel;
+        pr.ok = pr.ratio >= opts.min_preset_ratio;
+      }
+      presets_ok = presets_ok && pr.ok;
+      d.presets.push_back(std::move(pr));
+    }
+    if (d.presets.empty()) {
+      d.comparable = false;
+      d.error = "baseline carries no per-preset *_ips metrics to gate";
+      return d;
+    }
+  }
+
+  d.ok = d.rel_ratio >= opts.min_rel_ratio && presets_ok &&
          (!opts.gate_phases || !phase_regressed);
   return d;
 }
@@ -127,6 +197,18 @@ std::string render(const PerfDiff& d, const PerfDiffOptions& opts) {
     std::snprintf(buf, sizeof(buf), "%-16s %5.1f  %5.1f  %+6.1f   %s\n",
                   v.phase.c_str(), v.base_share_pct, v.cur_share_pct,
                   v.drift_pp, v.verdict.c_str());
+    out += buf;
+  }
+  if (!d.presets.empty()) {
+    out += "\npreset metric            base rel      cur rel    ratio  verdict\n";
+    for (const PresetRatio& p : d.presets) {
+      std::snprintf(buf, sizeof(buf), "%-22s %10.6f  %10.6f  %6.2fx  %s\n",
+                    p.metric.c_str(), p.base_rel, p.cur_rel, p.ratio,
+                    p.ok ? "ok" : "REGRESSED");
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "[preset gate >= %.2fx]\n",
+                  opts.min_preset_ratio);
     out += buf;
   }
   out += d.ok ? "\nperf gate OK\n" : "\nperf gate FAILED\n";

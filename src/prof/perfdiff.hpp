@@ -28,7 +28,18 @@ struct PerfDiffOptions {
   /// percentage points gets a "regressed" verdict (advisory unless
   /// gate_phases).
   double phase_drift_pp = 15.0;
+  /// Floor below which a phase's drift never "regresses": when the hot
+  /// path shrinks dramatically (ISSUE 7), previously-negligible phases can
+  /// multiply their *share* while their absolute cost is still noise. A
+  /// phase whose current share is under this many percent of total self
+  /// time stays "ok" regardless of drift.
+  double min_phase_share_pct = 2.0;
   bool gate_phases = false;
+  /// When > 0, every per-preset "<preset>_{mp,deep}_ips" metric present in
+  /// the baseline is normalized by its report's null-loop throughput and
+  /// the current/baseline ratio must reach this value (machine-independent,
+  /// like ips_vs_null but per preset). 0 disables.
+  double min_preset_ratio = 0.0;
 };
 
 struct PhaseVerdict {
@@ -37,6 +48,15 @@ struct PhaseVerdict {
   double cur_share_pct = 0.0;
   double drift_pp = 0.0;        ///< cur - base, percentage points
   std::string verdict;          ///< "ok" | "regressed" | "new" | "gone"
+};
+
+/// One preset's normalized (null-relative) throughput comparison.
+struct PresetRatio {
+  std::string metric;           ///< e.g. "kunpeng916_deep_ips"
+  double base_rel = 0.0;        ///< baseline ips / baseline null ops-per-sec
+  double cur_rel = 0.0;
+  double ratio = 0.0;           ///< cur_rel / base_rel
+  bool ok = true;
 };
 
 struct PerfDiff {
@@ -48,6 +68,8 @@ struct PerfDiff {
   double cur_rel = 0.0;
   double rel_ratio = 0.0;   ///< cur_rel / base_rel
   std::vector<PhaseVerdict> phases;
+  /// Filled when min_preset_ratio > 0: one entry per baseline *_ips metric.
+  std::vector<PresetRatio> presets;
   bool ok = false;          ///< gate verdict
 };
 

@@ -40,7 +40,11 @@ inline constexpr const char* kCacheEntrySchema = "armbar.cache.entry/v1";
 /// generator defaults. armbar-sim/6: ISSUE 6 host-profiling release —
 /// simulated values are unchanged, but the epoch bump retires any entry a
 /// pre-audit build could have written with host-time contamination.
-inline constexpr const char* kCacheEpoch = "armbar-sim/6";
+/// armbar-sim/7: ISSUE 7 fast-path interpreter (predecoded micro-ops,
+/// scheduler/coherence fast paths) — timing is verified bit-identical, but
+/// the rewrite is broad enough that stale-looking entries from a mid-PR
+/// build are worth retiring.
+inline constexpr const char* kCacheEpoch = "armbar-sim/7";
 
 class ResultCache {
  public:

@@ -43,9 +43,11 @@ std::vector<std::string> stall_cause_names() {
 Core::Core(CoreId id, const PlatformSpec& spec, MemorySystem& mem)
     : id_(id), spec_(spec), lat_(spec.lat), mem_(mem) {}
 
-void Core::load_program(const Program* prog) {
-  ARMBAR_CHECK(prog != nullptr && !prog->code.empty());
-  prog_ = prog;
+void Core::load_program(ProgramHandle prog) {
+  ARMBAR_CHECK(prog != nullptr && prog->size() > 0);
+  prog_ = std::move(prog);
+  uops_ = prog_->uops();
+  prog_size_ = prog_->size();
   pc_ = 0;
   halted_ = false;
   next_attention_ = 0;
@@ -116,18 +118,21 @@ int Core::alloc_watch(Cycle now) {
 
 void Core::pump_store_buffer(Cycle now) {
   // Retire finished drains (completion order, not program order: the
-  // buffer is non-FIFO).
-  for (auto it = sb_.begin(); it != sb_.end();) {
-    if (it->draining && it->drain_done <= now) {
-      retire_drain(*it);
+  // buffer is non-FIFO). Single compaction pass, preserving buffer order.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < sb_.size(); ++i) {
+    SbEntry& e = sb_[i];
+    if (e.draining && e.drain_done <= now) {
+      retire_drain(e);
       ARMBAR_TRACE(tracer_,
-                   sb_drain_retire(id_, it->seq, it->enqueued_at, it->drain_done));
-      it = sb_.erase(it);
+                   sb_drain_retire(id_, e.seq, e.enqueued_at, e.drain_done));
       ++stats_.sb_retired;
     } else {
-      ++it;
+      if (kept != i) sb_[kept] = e;
+      ++kept;
     }
   }
+  sb_.resize(kept);
 
   std::uint32_t inflight = 0;
   for (const auto& e : sb_)
@@ -219,7 +224,7 @@ void Core::resolve_branches(Cycle now) {
   while (!branches_.empty() && branches_.front().resolve_at <= now) {
     PendingBranch br = branches_.front();
     if (br.actual_pc == br.predicted_pc) {
-      branches_.pop_front();
+      branches_.erase(branches_.begin());
       committed_branch_ = br.idx;
     } else {
       squash(br, now);
@@ -279,96 +284,59 @@ bool Core::check_blocking_barrier(Cycle now) {
   return true;
 }
 
-Cycle Core::do_load(const Instr& ins, Cycle now, Addr addr) {
+Cycle Core::do_load(const MicroOp& u, Cycle now, Addr addr) {
   // Store-buffer forwarding: youngest same-word entry wins.
   for (auto it = sb_.rbegin(); it != sb_.rend(); ++it) {
     if (word_of(it->addr) == word_of(addr)) {
       const Cycle done = cyc_max(now + lat_.sb_hit, it->value_ready);
-      write(ins.rd, it->value, done);
+      write(u.rd, it->value, done);
       return done;
     }
   }
   std::uint64_t value = 0;
-  Cycle done = mem_.load(id_, addr, now, value, /*exclusive=*/ins.op == Op::kLdxr);
+  Cycle done = mem_.load(id_, addr, now, value,
+                         /*exclusive=*/(u.flags & kUopExcl) != 0);
   if (done - now > lat_.cache_hit) ++stats_.load_misses;
   if (tso_) {
     // TSO: loads become visible in program order.
     done = cyc_max(done, tso_last_load_done_);
     tso_last_load_done_ = done;
   }
-  write(ins.rd, value, done);
+  write(u.rd, value, done);
   return done;
 }
 
-bool Core::sources_ready(const Instr& ins, Cycle now) {
-  Cycle need = 0;
-  switch (ins.op) {
-    case Op::kMov:
-      need = reg_ready(ins.rn);
-      break;
-    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOrr:
-    case Op::kEor: case Op::kLsl: case Op::kLsr: case Op::kMul:
-    case Op::kCmp:
-      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
-      break;
-    case Op::kAddImm: case Op::kSubImm: case Op::kAndImm: case Op::kOrrImm:
-    case Op::kEorImm: case Op::kLslImm: case Op::kLsrImm: case Op::kCmpImm:
-      need = reg_ready(ins.rn);
-      break;
-    case Op::kLdr: case Op::kLdar: case Op::kLdapr: case Op::kLdxr:
-      need = reg_ready(ins.rn);
-      break;
-    case Op::kLdrIdx:
-      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
-      break;
-    case Op::kStr: case Op::kStlr:
-      need = reg_ready(ins.rn);  // value reg may still be pending
-      break;
-    case Op::kStrIdx:
-      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
-      break;
-    case Op::kStxr:
-    case Op::kSwp:
-      need = cyc_max(reg_ready(ins.rn), reg_ready(ins.rm));
-      break;
-    default:
-      return true;
-  }
-  if (need > now) {
-    stall(now, need, StallCause::kOperand);
-    return false;
-  }
-  return true;
-}
-
 void Core::issue(Cycle now) {
-  ARMBAR_CHECK(prog_ != nullptr && pc_ < prog_->size());
+  ARMBAR_CHECK(uops_ != nullptr && pc_ < prog_size_);
   const std::uint32_t ins_pc = pc_;
-  const Instr& ins = prog_->at(pc_);
+  const MicroOp& u = uops_[pc_];
 
-  // Barriers, exclusives, WFE and HALT never execute speculatively.
-  const bool needs_nonspec = is_barrier(ins.op) || ins.op == Op::kStxr ||
-                             ins.op == Op::kLdar || ins.op == Op::kLdapr ||
-                             ins.op == Op::kLdxr || ins.op == Op::kStlr ||
-                             ins.op == Op::kWfe || ins.op == Op::kSwp ||
-                             ins.op == Op::kHalt;
-  if (needs_nonspec && !branches_.empty()) {
+  // Barriers, exclusives, WFE and HALT never execute speculatively
+  // (predecoded into kUopNonspec).
+  if ((u.flags & kUopNonspec) != 0 && !branches_.empty()) {
     stall(now, branches_.front().resolve_at, StallCause::kSpec);
     return;
   }
-  if (!sources_ready(ins, now)) return;
+  // Operand readiness: the gating registers were resolved at decode time,
+  // so one max over two ready-cycles replaces the per-op switch.
+  if (const Cycle need = cyc_max(reg_ready(static_cast<Reg>(u.src1)),
+                                 reg_ready(static_cast<Reg>(u.src2)));
+      need > now) {
+    stall(now, need, StallCause::kOperand);
+    return;
+  }
 
-  switch (ins.op) {
-    case Op::kNop:
+  switch (u.cls) {
+    case OpClass::kNop:
       ++pc_;
       break;
 
-    case Op::kHalt:
+    case OpClass::kHalt:
       halted_ = true;
       stats_.halted_at = now;
       break;
 
-    case Op::kWfe:
+    case OpClass::kWfe:
       if (event_pending_) {
         event_pending_ = false;
       } else {
@@ -379,66 +347,61 @@ void Core::issue(Cycle now) {
       ++pc_;
       break;
 
-    case Op::kMovImm:
-      write(ins.rd, static_cast<std::uint64_t>(ins.imm), now + lat_.alu);
-      ++pc_;
-      break;
-    case Op::kMov:
-      write(ins.rd, read(ins.rn), now + lat_.alu);
+    case OpClass::kAlu:
+      switch (u.op) {
+        case Op::kMovImm: write(u.rd, static_cast<std::uint64_t>(u.imm), now + lat_.alu); break;
+        case Op::kMov: write(u.rd, read(u.rn), now + lat_.alu); break;
+        case Op::kAdd: write(u.rd, read(u.rn) + read(u.rm), now + lat_.alu); break;
+        case Op::kAddImm: write(u.rd, read(u.rn) + static_cast<std::uint64_t>(u.imm), now + lat_.alu); break;
+        case Op::kSub: write(u.rd, read(u.rn) - read(u.rm), now + lat_.alu); break;
+        case Op::kSubImm: write(u.rd, read(u.rn) - static_cast<std::uint64_t>(u.imm), now + lat_.alu); break;
+        case Op::kAnd: write(u.rd, read(u.rn) & read(u.rm), now + lat_.alu); break;
+        case Op::kAndImm: write(u.rd, read(u.rn) & static_cast<std::uint64_t>(u.imm), now + lat_.alu); break;
+        case Op::kOrr: write(u.rd, read(u.rn) | read(u.rm), now + lat_.alu); break;
+        case Op::kOrrImm: write(u.rd, read(u.rn) | static_cast<std::uint64_t>(u.imm), now + lat_.alu); break;
+        case Op::kEor: write(u.rd, read(u.rn) ^ read(u.rm), now + lat_.alu); break;
+        case Op::kEorImm: write(u.rd, read(u.rn) ^ static_cast<std::uint64_t>(u.imm), now + lat_.alu); break;
+        case Op::kLsl: write(u.rd, read(u.rn) << (read(u.rm) & 63), now + lat_.alu); break;
+        case Op::kLslImm: write(u.rd, read(u.rn) << (u.imm & 63), now + lat_.alu); break;
+        case Op::kLsr: write(u.rd, read(u.rn) >> (read(u.rm) & 63), now + lat_.alu); break;
+        case Op::kLsrImm: write(u.rd, read(u.rn) >> (u.imm & 63), now + lat_.alu); break;
+        case Op::kMul: write(u.rd, read(u.rn) * read(u.rm), now + lat_.alu); break;
+        case Op::kCmp:
+          flags_ = (read(u.rn) < read(u.rm)) ? -1 : (read(u.rn) == read(u.rm) ? 0 : 1);
+          flags_ready_ = now + lat_.alu;
+          break;
+        case Op::kCmpImm: {
+          const auto rhs = static_cast<std::uint64_t>(u.imm);
+          flags_ = (read(u.rn) < rhs) ? -1 : (read(u.rn) == rhs ? 0 : 1);
+          flags_ready_ = now + lat_.alu;
+          break;
+        }
+        default:
+          ARMBAR_CHECK(false);  // not an ALU op
+      }
       ++pc_;
       break;
 
-    case Op::kAdd: write(ins.rd, read(ins.rn) + read(ins.rm), now + lat_.alu); ++pc_; break;
-    case Op::kAddImm: write(ins.rd, read(ins.rn) + static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
-    case Op::kSub: write(ins.rd, read(ins.rn) - read(ins.rm), now + lat_.alu); ++pc_; break;
-    case Op::kSubImm: write(ins.rd, read(ins.rn) - static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
-    case Op::kAnd: write(ins.rd, read(ins.rn) & read(ins.rm), now + lat_.alu); ++pc_; break;
-    case Op::kAndImm: write(ins.rd, read(ins.rn) & static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
-    case Op::kOrr: write(ins.rd, read(ins.rn) | read(ins.rm), now + lat_.alu); ++pc_; break;
-    case Op::kOrrImm: write(ins.rd, read(ins.rn) | static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
-    case Op::kEor: write(ins.rd, read(ins.rn) ^ read(ins.rm), now + lat_.alu); ++pc_; break;
-    case Op::kEorImm: write(ins.rd, read(ins.rn) ^ static_cast<std::uint64_t>(ins.imm), now + lat_.alu); ++pc_; break;
-    case Op::kLsl: write(ins.rd, read(ins.rn) << (read(ins.rm) & 63), now + lat_.alu); ++pc_; break;
-    case Op::kLslImm: write(ins.rd, read(ins.rn) << (ins.imm & 63), now + lat_.alu); ++pc_; break;
-    case Op::kLsr: write(ins.rd, read(ins.rn) >> (read(ins.rm) & 63), now + lat_.alu); ++pc_; break;
-    case Op::kLsrImm: write(ins.rd, read(ins.rn) >> (ins.imm & 63), now + lat_.alu); ++pc_; break;
-    case Op::kMul: write(ins.rd, read(ins.rn) * read(ins.rm), now + lat_.alu); ++pc_; break;
-
-    case Op::kCmp:
-      flags_ = (read(ins.rn) < read(ins.rm)) ? -1 : (read(ins.rn) == read(ins.rm) ? 0 : 1);
-      flags_ready_ = now + lat_.alu;
-      ++pc_;
-      break;
-    case Op::kCmpImm: {
-      const auto rhs = static_cast<std::uint64_t>(ins.imm);
-      flags_ = (read(ins.rn) < rhs) ? -1 : (read(ins.rn) == rhs ? 0 : 1);
-      flags_ready_ = now + lat_.alu;
-      ++pc_;
-      break;
-    }
-
-    case Op::kB:
-      pc_ = ins.target;
+    case OpClass::kJump:
+      pc_ = u.target;
       break;
 
-    case Op::kBeq: case Op::kBne: case Op::kBlt:
-    case Op::kBle: case Op::kBgt: case Op::kBge:
-    case Op::kCbz: case Op::kCbnz: {
-      const bool is_cb = ins.op == Op::kCbz || ins.op == Op::kCbnz;
-      const Cycle resolve_at = is_cb ? reg_ready(ins.rn) : flags_ready_;
+    case OpClass::kCondBranch: {
+      const bool is_cb = u.op == Op::kCbz || u.op == Op::kCbnz;
+      const Cycle resolve_at = is_cb ? reg_ready(u.rn) : flags_ready_;
       bool taken = false;
-      switch (ins.op) {
+      switch (u.op) {
         case Op::kBeq: taken = flags_ == 0; break;
         case Op::kBne: taken = flags_ != 0; break;
         case Op::kBlt: taken = flags_ < 0; break;
         case Op::kBle: taken = flags_ <= 0; break;
         case Op::kBgt: taken = flags_ > 0; break;
         case Op::kBge: taken = flags_ >= 0; break;
-        case Op::kCbz: taken = read(ins.rn) == 0; break;
-        case Op::kCbnz: taken = read(ins.rn) != 0; break;
+        case Op::kCbz: taken = read(u.rn) == 0; break;
+        case Op::kCbnz: taken = read(u.rn) != 0; break;
         default: break;
       }
-      const std::uint32_t actual = taken ? ins.target : pc_ + 1;
+      const std::uint32_t actual = taken ? u.target : pc_ + 1;
       if (resolve_at <= now) {
         pc_ = actual;
         break;
@@ -448,7 +411,7 @@ void Core::issue(Cycle now) {
         return;
       }
       // Static prediction: backward taken, forward not-taken.
-      const std::uint32_t predicted = ins.target <= pc_ ? ins.target : pc_ + 1;
+      const std::uint32_t predicted = u.target <= pc_ ? u.target : pc_ + 1;
       PendingBranch br;
       br.idx = next_branch_id_++;
       br.resolve_at = resolve_at;
@@ -465,8 +428,7 @@ void Core::issue(Cycle now) {
       break;
     }
 
-    case Op::kLdr: case Op::kLdrIdx: case Op::kLdar: case Op::kLdapr:
-    case Op::kLdxr: {
+    case OpClass::kLoad: {
       if (mem_gate_ > now) {
         stall(now, mem_gate_, StallCause::kMemGate);
         return;
@@ -475,7 +437,7 @@ void Core::issue(Cycle now) {
         stall(now, load_gate_, StallCause::kMemGate);
         return;
       }
-      if (ins.op == Op::kLdar) {
+      if ((u.flags & kUopAcqSc) != 0) {
         // RCsc: [L]; po; [A] is barrier-ordered — an LDAR must not be
         // satisfied while an earlier STLR is still awaiting global
         // visibility (found by the differential fuzzer: unfenced SB with
@@ -497,20 +459,20 @@ void Core::issue(Cycle now) {
               StallCause::kLqFull);
         return;
       }
-      const Addr addr = ins.op == Op::kLdrIdx
-                            ? read(ins.rn) + read(ins.rm)
-                            : read(ins.rn) + static_cast<std::uint64_t>(ins.imm);
-      const Cycle done = do_load(ins, now, addr);
+      const Addr addr = (u.flags & kUopIndexed) != 0
+                            ? read(u.rn) + read(u.rm)
+                            : read(u.rn) + static_cast<std::uint64_t>(u.imm);
+      const Cycle done = do_load(u, now, addr);
       load_queue_.push_back(done);
       loads_done_at_ = cyc_max(loads_done_at_, done);
-      if (ins.op == Op::kLdar) mem_gate_ = cyc_max(mem_gate_, done);
-      if (ins.op == Op::kLdapr) {
+      if ((u.flags & kUopAcqSc) != 0) mem_gate_ = cyc_max(mem_gate_, done);
+      if ((u.flags & kUopAcqPc) != 0) {
         // RCpc acquire: later loads wait; later stores only have their
         // visibility (drain) floored — the pipe keeps flowing.
         load_gate_ = cyc_max(load_gate_, done);
         drain_floor_ = cyc_max(drain_floor_, done);
       }
-      if (ins.op == Op::kLdxr) {
+      if ((u.flags & kUopExcl) != 0) {
         monitor_valid_ = true;
         monitor_line_ = line_of(addr);
       }
@@ -519,7 +481,7 @@ void Core::issue(Cycle now) {
       break;
     }
 
-    case Op::kStr: case Op::kStrIdx: case Op::kStlr: {
+    case OpClass::kStore: {
       if (mem_gate_ > now) {
         stall(now, mem_gate_, StallCause::kMemGate);
         return;
@@ -544,15 +506,15 @@ void Core::issue(Cycle now) {
       }
       SbEntry e;
       e.seq = sb_next_seq_++;
-      e.addr = ins.op == Op::kStrIdx
-                   ? read(ins.rn) + read(ins.rm)
-                   : read(ins.rn) + static_cast<std::uint64_t>(ins.imm);
-      e.value = read(ins.rd);
-      e.value_ready = cyc_max(now + lat_.sb_insert, reg_ready(ins.rd));
+      e.addr = (u.flags & kUopIndexed) != 0
+                   ? read(u.rn) + read(u.rm)
+                   : read(u.rn) + static_cast<std::uint64_t>(u.imm);
+      e.value = read(u.rd);
+      e.value_ready = cyc_max(now + lat_.sb_insert, reg_ready(u.rd));
       e.drain_at = cyc_max(now + lat_.sb_drain_delay, drain_floor_);
       e.enqueued_at = now;
       e.gate_branch = youngest_branch_id();
-      e.release = ins.op == Op::kStlr;
+      e.release = (u.flags & kUopRelease) != 0;
       e.release_loads = loads_done_at_;
       ARMBAR_TRACE(tracer_, sb_enqueue(id_, e.seq, e.addr, now));
       sb_.push_back(e);
@@ -561,16 +523,16 @@ void Core::issue(Cycle now) {
       break;
     }
 
-    case Op::kSwp: {
+    case OpClass::kSwp: {
       if (mem_gate_ > now) {
         stall(now, mem_gate_, StallCause::kMemGate);
         return;
       }
-      const Addr addr = read(ins.rn);
+      const Addr addr = read(u.rn);
       std::uint64_t old = 0;
       bool remote = false;
-      const Cycle done = mem_.exchange(id_, addr, read(ins.rm), now, old, remote);
-      write(ins.rd, old, done);
+      const Cycle done = mem_.exchange(id_, addr, read(u.rm), now, old, remote);
+      write(u.rd, old, done);
       monitor_valid_ = false;
       ++stats_.loads;
       ++stats_.stores;
@@ -578,20 +540,20 @@ void Core::issue(Cycle now) {
       break;
     }
 
-    case Op::kStxr: {
+    case OpClass::kStxr: {
       if (mem_gate_ > now) {
         stall(now, mem_gate_, StallCause::kMemGate);
         return;
       }
-      const Addr addr = read(ins.rn);
+      const Addr addr = read(u.rn);
       if (!monitor_valid_ || monitor_line_ != line_of(addr)) {
-        write(ins.rd, 1, now + lat_.alu);  // fail fast
+        write(u.rd, 1, now + lat_.alu);  // fail fast
         monitor_valid_ = false;
         ++stats_.stxr_failures;
       } else {
         bool remote = false;
-        const Cycle done = mem_.store(id_, addr, read(ins.rm), now, remote);
-        write(ins.rd, 0, done);
+        const Cycle done = mem_.store(id_, addr, read(u.rm), now, remote);
+        write(u.rd, 0, done);
         monitor_valid_ = false;
         ++stats_.stores;
       }
@@ -599,20 +561,20 @@ void Core::issue(Cycle now) {
       break;
     }
 
-    case Op::kIsb:
+    case OpClass::kIsb:
       // Context synchronization: prior branches already resolved
       // (non-speculative issue); pay the pipeline refill.
-      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(u.op), now));
       stall(now, now + lat_.pipeline_flush, StallCause::kBarrier);
-      ARMBAR_TRACE(tracer_, barrier_complete(id_, ins_pc, code(ins.op), now,
+      ARMBAR_TRACE(tracer_, barrier_complete(id_, ins_pc, code(u.op), now,
                                              now + lat_.pipeline_flush));
       ++stats_.barriers;
       ++pc_;
       break;
 
-    case Op::kDmbLd: {
+    case OpClass::kDmbLd: {
       BlockingBarrier b;
-      b.kind = ins.op;
+      b.kind = u.op;
       b.watch = -1;
       b.loads_done = loads_done_at_;
       b.issue = now + lat_.barrier_base;
@@ -620,15 +582,15 @@ void Core::issue(Cycle now) {
       b.block_from = now + 1;
       b.pc = ins_pc;
       barrier_ = b;
-      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(u.op), now));
       ++stats_.barriers;
       ++pc_;
       break;
     }
 
-    case Op::kDmbFull: case Op::kDsbFull: case Op::kDsbSt: case Op::kDsbLd: {
+    case OpClass::kBlockingBarrier: {
       BlockingBarrier b;
-      b.kind = ins.op;
+      b.kind = u.op;
       b.had_stores = !sb_.empty();
       b.watch = sb_.empty() ? -1 : alloc_watch(now);
       b.loads_done = loads_done_at_;
@@ -636,13 +598,13 @@ void Core::issue(Cycle now) {
       b.block_from = now + 1;
       b.pc = ins_pc;
       barrier_ = b;
-      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(u.op), now));
       ++stats_.barriers;
       ++pc_;
       break;
     }
 
-    case Op::kDmbSt: {
+    case OpClass::kDmbSt: {
       if (store_gate_armed_ && store_gate_watch_ < 0 && store_gate_ready_ <= now)
         store_gate_armed_ = false;  // gate already resolved and elapsed
       if (store_gate_armed_) {
@@ -652,7 +614,7 @@ void Core::issue(Cycle now) {
         return;
       }
       store_gate_armed_ = true;
-      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(ins.op), now));
+      ARMBAR_TRACE(tracer_, barrier_issue(id_, ins_pc, code(u.op), now));
       ARMBAR_TRACE(tracer_, store_gate_arm(id_, ins_pc, now));
       if (sb_.empty()) {
         store_gate_watch_ = -1;
@@ -668,21 +630,20 @@ void Core::issue(Cycle now) {
     }
   }
 
-  ARMBAR_TRACE(tracer_, instr_issue(id_, ins_pc, code(ins.op), now));
+  ARMBAR_TRACE(tracer_, instr_issue(id_, ins_pc, code(u.op), now));
   ++stats_.instructions;
 }
 
 void Core::step(Cycle now) {
   last_step_ = now;
-  {
-    ARMBAR_PROF_SCOPE(kSimSbDrain);
-    pump_store_buffer(now);
-  }
-  // Everything below — branch resolution, the issue switch, stall
-  // bookkeeping — is the decode/issue phase; memory-system calls it makes
-  // nest their own kSimCoherence scope.
-  ARMBAR_PROF_SCOPE(kSimIssue);
-  resolve_branches(now);
+  // Fast-path guard (ISSUE 7): pumping is a no-op unless drains or a DMB st
+  // gate are outstanding. `store_gate_watch_ >= 0` implies the buffer held
+  // watched (pre-barrier, non-speculative) entries; once the last of them
+  // retires the same pump resolves the gate, so an empty buffer with no
+  // watch means there is nothing to do — the guard is exact, and skips the
+  // call entirely for the millions of steps with an empty buffer.
+  if (!sb_.empty() || store_gate_watch_ >= 0) pump_store_buffer(now);
+  if (!branches_.empty()) resolve_branches(now);
 
   auto finish = [&](Cycle candidate) {
     Cycle na = candidate;
@@ -692,8 +653,15 @@ void Core::step(Cycle now) {
     next_attention_ = cyc_max(na, now + 1);
   };
 
+  // A halted core only drains: every transition its buffer can make —
+  // a drain completing, a delayed drain becoming startable, an MSHR
+  // freeing (itself a drain completion) — happens at a cycle that
+  // earliest_sb_event already reports, and the pump above starts anything
+  // startable *now*. So the wake comes purely from the SB event horizon
+  // instead of a step per cycle; once the buffer empties it is kNeverCycle,
+  // which is exactly the idle() <=> never-scheduled invariant.
   if (halted_) {
-    finish(sb_.empty() ? kNeverCycle : now + 1);
+    finish(kNeverCycle);
     return;
   }
 
@@ -717,8 +685,14 @@ void Core::step(Cycle now) {
 
   if (barrier_) {
     if (!check_blocking_barrier(now)) {
-      // Still waiting on store drains; wake at the next SB event.
-      finish(now + 1);
+      // Still waiting on watched store drains. Every milestone of that wait
+      // is an SB event (drain_done / value_ready / drain_at) or a branch
+      // resolve, both of which finish() folds in — and the steps this
+      // skips were exact no-ops (the pump touches memory only when a drain
+      // starts, which can only happen at one of those cycles). On the
+      // server preset a DMB full behind a contended SWP used to burn a
+      // step per cycle for the full c2c round trip.
+      finish(kNeverCycle);
       return;
     }
     if (stall_until_ > now) {
@@ -727,10 +701,17 @@ void Core::step(Cycle now) {
     }
   }
 
+  // Issue and store-buffer pumping are deliberately NOT wrapped in their
+  // own profiler scopes: at one instruction per call, two clock reads cost
+  // more than the interpreter work they would measure (the ISSUE 6 budget
+  // experiment showed the pair of per-call timers alone eating ~half the
+  // hot path). Their time reports under sim.schedule; only coarse-grained
+  // phases (run, schedule, verify) and the genuinely slow coherence miss
+  // path keep dedicated scopes.
   issue(now);
 
   if (halted_) {
-    finish(sb_.empty() ? kNeverCycle : now + 1);
+    finish(kNeverCycle);
   } else if (parked_) {
     finish(park_wake_);
   } else if (stall_until_ > now) {

@@ -43,7 +43,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -107,8 +106,9 @@ class Core {
  public:
   Core(CoreId id, const PlatformSpec& spec, MemorySystem& mem);
 
-  /// Bind a program. The program must outlive the run.
-  void load_program(const Program* prog);
+  /// Bind a predecoded program. The core shares ownership, so the handle
+  /// may be dropped (or reused on other cores) immediately.
+  void load_program(ProgramHandle prog);
 
   void set_reg(Reg r, std::uint64_t v);
   std::uint64_t reg(Reg r) const { return r == XZR ? 0 : regs_[r]; }
@@ -120,18 +120,6 @@ class Core {
 
   CoreId id() const { return id_; }
   bool halted() const { return halted_; }
-  bool idle() const { return halted_ && sb_.empty(); }
-
-  /// Earliest cycle at which this core needs to be stepped again.
-  Cycle next_attention() const { return next_attention_; }
-
-  /// Advance the core at cycle `now`. Issues at most one instruction and
-  /// pumps the store buffer. Updates next_attention().
-  void step(Cycle now);
-
-  /// Coherence callback: this core's copy of `line` was invalidated,
-  /// effective at cycle `at`.
-  void on_invalidate(Addr line, Cycle at);
 
   const CoreStats& stats() const { return stats_; }
   std::uint32_t pc() const { return pc_; }
@@ -146,6 +134,23 @@ class Core {
   friend class MachineVerifier;
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
   void set_fault_engine(fault::FaultEngine* f) { fault_ = f; }
+
+  // ---- the stepping interface (ISSUE 7) ----
+  // Machine's scheduler is the only driver of simulated time. Everything it
+  // calls per cycle lives here, and nothing else about a core's execution
+  // is reachable from outside: the contract is exactly step / attention /
+  // idle / invalidate.
+  /// Advance the core at cycle `now`. Issues at most one instruction and
+  /// pumps the store buffer. Updates next_attention().
+  void step(Cycle now);
+  /// Earliest cycle at which this core needs to be stepped again
+  /// (kNeverCycle exactly when idle()).
+  Cycle next_attention() const { return next_attention_; }
+  /// Halted with a drained store buffer: will never need attention again.
+  bool idle() const { return halted_ && sb_.empty(); }
+  /// Coherence callback: this core's copy of `line` was invalidated,
+  /// effective at cycle `at`. May pull next_attention() earlier (WFE wake).
+  void on_invalidate(Addr line, Cycle at);
 
   // ---- store buffer ----
   struct SbEntry {
@@ -204,13 +209,12 @@ class Core {
   bool check_blocking_barrier(Cycle now);
   void issue(Cycle now);
   void stall(Cycle now, Cycle until, StallCause cause);
-  bool sources_ready(const Instr& ins, Cycle now);
   std::uint64_t read(Reg r) const { return r == XZR ? 0 : regs_[r]; }
   void write(Reg r, std::uint64_t v, Cycle ready_at);
   Cycle reg_ready(Reg r) const { return r == XZR ? 0 : ready_[r]; }
   int alloc_watch(Cycle now);
   void retire_drain(const SbEntry& e);
-  Cycle do_load(const Instr& ins, Cycle now, Addr addr);
+  Cycle do_load(const MicroOp& u, Cycle now, Addr addr);
   bool sb_has_older_same_word(std::uint64_t seq, Addr word) const;
   Cycle earliest_sb_event(Cycle now) const;
   void squash(const PendingBranch& br, Cycle now);
@@ -218,40 +222,55 @@ class Core {
     return branches_.empty() ? 0 : branches_.back().idx;
   }
 
+  // Members are grouped hot-first: the scalars below `pc_` are the state
+  // every step/issue touches, packed together so one or two cache lines
+  // cover a stepping core's working set (the SoA half of the ISSUE 7 fast
+  // path; the machine-level half is AttentionQueue's dense cycle array).
+
   // ---- identity / wiring ----
   const CoreId id_;
   const PlatformSpec& spec_;
   const Latencies& lat_;
   MemorySystem& mem_;
-  const Program* prog_ = nullptr;
+  ProgramHandle prog_;                  ///< shared ownership of the program
+  const MicroOp* uops_ = nullptr;       ///< = prog_->uops(), hot-path cache
+  std::uint32_t prog_size_ = 0;
 
-  // ---- architectural state ----
-  std::uint64_t regs_[kNumRegs] = {};
-  Cycle ready_[kNumRegs] = {};
-  std::int64_t flags_ = 0;      ///< last CMP result (signed rn - rm)
-  Cycle flags_ready_ = 0;
+  // ---- per-cycle hot scalars ----
   std::uint32_t pc_ = 0;
   bool halted_ = false;
-
-  // ---- memory-order state ----
-  std::deque<SbEntry> sb_;
-  std::uint64_t sb_next_seq_ = 1;
-  std::uint64_t sb_resolved_branch_ = ~0ULL;  ///< see resolve_branches()
-  std::vector<SbWatch> watches_;
-  std::vector<Cycle> load_queue_;   ///< completion cycles of in-flight loads
-  Cycle loads_done_at_ = 0;         ///< max completion over all issued loads
-  Cycle mem_gate_ = 0;              ///< LDAR: memory ops blocked before this
+  bool parked_ = false;
+  bool store_gate_armed_ = false;
+  bool tso_ = false;
+  StallCause stall_cause_ = StallCause::kNone;
+  Cycle next_attention_ = 0;
+  Cycle stall_until_ = 0;
+  Cycle last_step_ = 0;
+  std::int64_t flags_ = 0;      ///< last CMP result (signed rn - rm)
+  Cycle flags_ready_ = 0;
+  Cycle loads_done_at_ = 0;     ///< max completion over all issued loads
+  Cycle mem_gate_ = 0;          ///< LDAR: memory ops blocked before this
   /// LDAPR (RCpc acquire): subsequent LOADS blocked before this; stores may
   /// enter the buffer but their drain is floored at the acquire completion.
   Cycle load_gate_ = 0;
   Cycle drain_floor_ = 0;
+
+  // ---- architectural registers ----
+  std::uint64_t regs_[kNumRegs] = {};
+  Cycle ready_[kNumRegs] = {};
+
+  // ---- memory-order state ----
+  std::vector<SbEntry> sb_;
+  std::uint64_t sb_next_seq_ = 1;
+  std::uint64_t sb_resolved_branch_ = ~0ULL;  ///< see resolve_branches()
+  std::vector<SbWatch> watches_;
+  std::vector<Cycle> load_queue_;   ///< completion cycles of in-flight loads
   std::optional<BlockingBarrier> barrier_;
   int store_gate_watch_ = -1;       ///< DMB st gate (index into watches_)
   Cycle store_gate_ready_ = 0;      ///< resolved gate cycle (0 = none/done)
-  bool store_gate_armed_ = false;
 
   // ---- speculation ----
-  std::deque<PendingBranch> branches_;
+  std::vector<PendingBranch> branches_;
   std::uint64_t next_branch_id_ = 1;
   std::uint64_t committed_branch_ = 0;  ///< all ids <= this are resolved-correct
 
@@ -259,16 +278,8 @@ class Core {
   Addr monitor_line_ = 0;
   bool monitor_valid_ = false;
   bool event_pending_ = false;
-  bool parked_ = false;
   Cycle park_wake_ = 0;
 
-  // ---- scheduling ----
-  Cycle next_attention_ = 0;
-  Cycle stall_until_ = 0;
-  StallCause stall_cause_ = StallCause::kNone;
-  Cycle last_step_ = 0;
-
-  bool tso_ = false;
   Cycle tso_last_load_done_ = 0;
 
   trace::Tracer* tracer_ = nullptr;

@@ -98,6 +98,67 @@ constexpr bool is_conditional_branch(Op op) {
   return is_branch(op) && op != Op::kB;
 }
 
+/// Number of opcodes (dense: Op values are 0..kNumOps-1). Lets the
+/// predecoder and its coverage test iterate the whole ISA.
+inline constexpr std::uint32_t kNumOps = static_cast<std::uint32_t>(Op::kIsb) + 1;
+
+/// Dispatch class of an opcode. The predecoder tags every instruction with
+/// one of these so Core::issue switches once on a dense ~dozen-way class
+/// instead of re-switching on the ~45-way Op at several sites per
+/// instruction. Flavour differences within a class (which ALU operation,
+/// which acquire semantics, which blocking-barrier transaction) ride along
+/// as the original Op plus predecoded flag bits.
+enum class OpClass : std::uint8_t {
+  kNop,
+  kHalt,
+  kWfe,
+  kAlu,              ///< MOV/MOVI, arithmetic/logic/shift, CMP/CMPI
+  kJump,             ///< unconditional B
+  kCondBranch,       ///< Beq..Bge, Cbz/Cbnz
+  kLoad,             ///< LDR/LDR-idx/LDAR/LDAPR/LDXR
+  kStore,            ///< STR/STR-idx/STLR (store-buffer entry)
+  kSwp,
+  kStxr,
+  kIsb,
+  kDmbLd,            ///< blocks until prior loads complete, no bus txn
+  kBlockingBarrier,  ///< DMB full + DSB family: watch prior stores, pay txn
+  kDmbSt,            ///< arms the store gate, pipe keeps flowing
+};
+
+/// Total Op -> OpClass map. No default case: adding an Op without
+/// classifying it is a compile error under -Werror=switch.
+constexpr OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kNop: return OpClass::kNop;
+    case Op::kHalt: return OpClass::kHalt;
+    case Op::kWfe: return OpClass::kWfe;
+    case Op::kMovImm: case Op::kMov:
+    case Op::kAdd: case Op::kAddImm: case Op::kSub: case Op::kSubImm:
+    case Op::kAnd: case Op::kAndImm: case Op::kOrr: case Op::kOrrImm:
+    case Op::kEor: case Op::kEorImm: case Op::kLsl: case Op::kLslImm:
+    case Op::kLsr: case Op::kLsrImm: case Op::kMul:
+    case Op::kCmp: case Op::kCmpImm:
+      return OpClass::kAlu;
+    case Op::kB: return OpClass::kJump;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBle:
+    case Op::kBgt: case Op::kBge: case Op::kCbz: case Op::kCbnz:
+      return OpClass::kCondBranch;
+    case Op::kLdr: case Op::kLdrIdx: case Op::kLdar: case Op::kLdapr:
+    case Op::kLdxr:
+      return OpClass::kLoad;
+    case Op::kStr: case Op::kStrIdx: case Op::kStlr:
+      return OpClass::kStore;
+    case Op::kSwp: return OpClass::kSwp;
+    case Op::kStxr: return OpClass::kStxr;
+    case Op::kIsb: return OpClass::kIsb;
+    case Op::kDmbLd: return OpClass::kDmbLd;
+    case Op::kDmbFull: case Op::kDsbFull: case Op::kDsbSt: case Op::kDsbLd:
+      return OpClass::kBlockingBarrier;
+    case Op::kDmbSt: return OpClass::kDmbSt;
+  }
+  return OpClass::kNop;  // unreachable: the switch is total
+}
+
 /// One decoded instruction. `target` holds the resolved instruction index
 /// for branches (filled in by the assembler when labels resolve).
 struct Instr {

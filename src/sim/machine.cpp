@@ -11,19 +11,37 @@ namespace armbar::sim {
 Machine::Machine(PlatformSpec spec, std::size_t mem_bytes)
     : spec_(std::move(spec)),
       mem_(std::make_unique<MemorySystem>(spec_, mem_bytes)),
-      active_(spec_.total_cores(), false) {
+      active_(spec_.total_cores(), false),
+      sched_(spec_.total_cores()) {
   cores_.reserve(spec_.total_cores());
   for (CoreId c = 0; c < spec_.total_cores(); ++c)
     cores_.push_back(std::make_unique<Core>(c, spec_, *mem_));
   mem_->set_invalidate_hook([this](CoreId victim, Addr line, Cycle at) {
-    cores_[victim]->on_invalidate(line, at);
+    Core& core = *cores_[victim];
+    core.on_invalidate(line, at);
+    // An invalidation can pull a parked core's wake earlier; mirror the new
+    // attention into the scheduler so the run loop's min() sees it.
+    // on_invalidate only ever *lowers* next_attention (and only for parked
+    // cores), so when it did not move the slot is still exact and the
+    // scheduler write — a heap push per delivered invalidation on a 64-way
+    // contended line — can be skipped entirely.
+    const Cycle na = core.next_attention();
+    if (na < sched_.at(victim) && active_[victim]) sched_.set(victim, na);
   });
 }
 
-void Machine::load_program(CoreId c, const Program* prog) {
+ProgramHandle Machine::load_program(CoreId c, Program prog) {
+  ProgramHandle h = decode_program(std::move(prog));
+  load_program(c, h);
+  return h;
+}
+
+void Machine::load_program(CoreId c, ProgramHandle prog) {
   ARMBAR_CHECK(c < num_cores());
-  cores_[c]->load_program(prog);
+  ARMBAR_CHECK_MSG(prog != nullptr, "load_program: null program handle");
+  cores_[c]->load_program(std::move(prog));
   active_[c] = true;
+  sched_.set(c, cores_[c]->next_attention());
 }
 
 void Machine::set_tso(bool tso) {
@@ -80,8 +98,14 @@ RunResult Machine::run(const RunConfig& cfg) {
 
   RunResult res;
   std::vector<Core*> live;
+  std::vector<std::uint32_t> live_ids;
+  live.reserve(num_cores());
+  live_ids.reserve(num_cores());
   for (CoreId c = 0; c < num_cores(); ++c)
-    if (active_[c]) live.push_back(cores_[c].get());
+    if (active_[c]) {
+      live.push_back(cores_[c].get());
+      live_ids.push_back(c);
+    }
 
   const Cycle verify_every =
       cfg.verify_every != 0 ? cfg.verify_every : global_verify_every();
@@ -106,47 +130,67 @@ RunResult Machine::run(const RunConfig& cfg) {
   Cycle progress_cycle = 0;
 
   Cycle now = 0;
-  while (true) {
-    Cycle next = kNeverCycle;
-    bool all_idle = true;
-    {
-      ARMBAR_PROF_SCOPE(kSimSchedule);
-      for (Core* core : live) {
-        if (core->idle()) continue;
-        all_idle = false;
-        next = std::min(next, core->next_attention());
+  {
+    // One kSimSchedule scope for the whole loop (the PR-6 build re-entered
+    // it every iteration — ~25% of sim wall time was the scope's own clock
+    // reads). Step-internal phases (kSimSbDrain/kSimIssue/kSimCoherence/
+    // kSimVerify) nest inside it and subtract out as children.
+    ARMBAR_PROF_SCOPE(kSimSchedule);
+    while (true) {
+      // Lazy-heap min over the per-core attention slots: O(log n) amortized
+      // instead of a full scan per iteration.
+      const Cycle next = sched_.min();
+      if (next == kNeverCycle) {
+        // idle() <=> next_attention()==kNeverCycle after a step, so an empty
+        // queue means completion — but keep the deadlock diagnostic exact.
+        for (Core* core : live)
+          ARMBAR_CHECK_MSG(core->idle(),
+                           "simulation deadlock: no core schedulable");
+        res.completed = true;
+        break;
       }
-    }
-    if (all_idle) {
-      res.completed = true;
-      break;
-    }
-    ARMBAR_CHECK_MSG(next != kNeverCycle, "simulation deadlock: no core schedulable");
-    now = std::max(now, next);
-    if (now > max_cycles) {
-      res.completed = false;
-      break;
-    }
-    for (Core* core : live) {
-      if (!core->idle() && core->next_attention() <= now) core->step(now);
-    }
-    if (now >= next_verify) {
-      ARMBAR_PROF_SCOPE(kSimVerify);
-      if (std::string v = verifier.check(); !v.empty())
-        throw InvariantViolation(
-            verifier.diagnose("invariant_violation", v, now));
-      next_verify = now + verify_every;
-    }
-    if (watchdog != 0 && now - progress_cycle >= watchdog) {
-      const std::uint64_t sig = progress_signature();
-      if (sig == progress_sig)
-        throw SimHang(verifier.diagnose(
-            "hang", "no instruction retired, store drained or branch "
-                    "squashed in " +
-                        std::to_string(now - progress_cycle) + " cycles",
-            now));
-      progress_sig = sig;
-      progress_cycle = now;
+      now = std::max(now, next);
+      if (now > max_cycles) {
+        res.completed = false;
+        break;
+      }
+      // Step pass: id-order forward sweep re-reading the live slots — NOT
+      // heap pop order. A step can lower a *later* core's attention to <= now
+      // (coherence invalidation waking a WFE parker) and that core must still
+      // be stepped this cycle; and MemorySystem mutation order (hence
+      // simulated timing) must stay exactly the id-order of the PR-6 loop.
+      // The sweep reads the scheduler's dense slot array, not the cores:
+      // slot == next_attention() by construction (kNeverCycle when idle),
+      // so the common not-due case costs one L1 load per live core instead
+      // of chasing each Core pointer for idle()/next_attention() — on the
+      // 64-core preset that chase dominated short contended runs.
+      const std::vector<Cycle>& due = sched_.slots();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const std::uint32_t c = live_ids[i];
+        if (due[c] <= now) {
+          Core* core = live[i];
+          core->step(now);
+          sched_.set(c, core->next_attention());
+        }
+      }
+      if (now >= next_verify) {
+        ARMBAR_PROF_SCOPE(kSimVerify);
+        if (std::string v = verifier.check(); !v.empty())
+          throw InvariantViolation(
+              verifier.diagnose("invariant_violation", v, now));
+        next_verify = now + verify_every;
+      }
+      if (watchdog != 0 && now - progress_cycle >= watchdog) {
+        const std::uint64_t sig = progress_signature();
+        if (sig == progress_sig)
+          throw SimHang(verifier.diagnose(
+              "hang", "no instruction retired, store drained or branch "
+                      "squashed in " +
+                          std::to_string(now - progress_cycle) + " cycles",
+              now));
+        progress_sig = sig;
+        progress_cycle = now;
+      }
     }
   }
 
@@ -159,6 +203,7 @@ RunResult Machine::run(const RunConfig& cfg) {
   }
 
   Cycle end = 0;
+  res.cores.reserve(live.size());
   for (CoreId c = 0; c < num_cores(); ++c) {
     if (!active_[c]) continue;
     res.cores.push_back(cores_[c]->stats());

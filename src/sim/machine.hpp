@@ -12,6 +12,7 @@
 #include "sim/mem.hpp"
 #include "sim/platform.hpp"
 #include "sim/program.hpp"
+#include "sim/sched.hpp"
 
 namespace armbar::sim {
 
@@ -81,8 +82,24 @@ class Machine {
   Core& core(CoreId c) { return *cores_[c]; }
   const Core& core(CoreId c) const { return *cores_[c]; }
 
-  /// Bind `prog` to core `c`. Cores without a program never run.
-  void load_program(CoreId c, const Program* prog);
+  /// Bind `prog` to core `c` (cores without a program never run).
+  /// Predecodes into an immutable DecodedProgram the machine co-owns and
+  /// returns the handle, so callers can rebind the same predecoded form
+  /// elsewhere (or drop it — the core keeps its own reference).
+  ProgramHandle load_program(CoreId c, Program prog);
+
+  /// Bind an already-predecoded program. One decode can serve any number of
+  /// cores and machines; the handle is immutable and lifetime-safe.
+  void load_program(CoreId c, ProgramHandle prog);
+
+  /// Transitional shim for the pre-ISSUE-7 pointer spelling: copies the
+  /// pointee (the old API required the caller to keep `*prog` alive for the
+  /// machine's lifetime — the footgun the handle API removes). One release
+  /// only.
+  [[deprecated("pass Program by value or a ProgramHandle")]]
+  void load_program(CoreId c, const Program* prog) {
+    load_program(c, Program(*prog));
+  }
 
   /// Switch the whole machine to TSO (total-store-order) memory ordering.
   /// Used by the litmus harness to contrast WMM and TSO (paper Table 1).
@@ -111,16 +128,6 @@ class Machine {
       const std::vector<std::pair<CoreId, Reg>>& regs,
       const std::vector<Addr>& addrs) const;
 
-  /// Pre-RunConfig spelling, kept so existing callers (and the many tests
-  /// exercising them) build unchanged. Deprecated: new code should pass a
-  /// RunConfig. (No [[deprecated]] attribute — the migration is tracked in
-  /// ROADMAP and warning-spamming ~40 call sites under -Werror helps no one.)
-  RunResult run(Cycle max_cycles = 500'000'000) {
-    RunConfig cfg;
-    cfg.max_cycles = max_cycles;
-    return run(cfg);
-  }
-
  private:
   friend class MachineVerifier;
 
@@ -128,6 +135,7 @@ class Machine {
   std::unique_ptr<MemorySystem> mem_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<bool> active_;
+  AttentionQueue sched_;  ///< per-core next-attention slots + lazy min-heap
   std::unique_ptr<fault::FaultEngine> fault_engine_;
   trace::Tracer* tracer_ = nullptr;  ///< last attached (diagnostic ring tail)
   bool ran_ = false;

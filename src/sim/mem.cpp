@@ -98,11 +98,28 @@ void MemorySystem::notify_holders(const LineState& ls, Addr line, CoreId except,
 
 Cycle MemorySystem::load(CoreId core, Addr a, Cycle now, std::uint64_t& value_out,
                          bool exclusive) {
-  ARMBAR_PROF_SCOPE(kSimCoherence);
   const Addr line = line_of(a);
   LineState& ls = line_mut(line);
 
   if (ls.pending && ls.pending_at <= now) apply_pending(ls);
+
+  // Clean-hit fast path (ISSUE 7): nothing in flight on the line and we hold
+  // a valid copy. Owner hits never consult the fault engine (evictions only
+  // target clean shared copies); a sharer hit would draw the evict RNG, so it
+  // only takes this path when no engine is installed — fault runs keep the
+  // exact draw sequence of the full path below. Bypasses the kSimCoherence
+  // scope: a hit's work is two loads and an add, smaller than the clock read.
+  if (!ls.pending) {
+    const bool fast_owner = ls.owner == static_cast<std::int16_t>(core);
+    if (fast_owner ||
+        (fault_ == nullptr && ((ls.sharers >> core) & 1) != 0)) {
+      ++stats_.hits;
+      value_out = words_[word_index(a)];
+      return now + spec_.lat.cache_hit;
+    }
+  }
+
+  ARMBAR_PROF_SCOPE(kSimCoherence);
 
   // Hit — possibly a *stale* hit while another core's store is still in
   // flight (the weakly-ordered window; invalidation lands at pending_at).
@@ -197,7 +214,6 @@ Cycle MemorySystem::exchange(CoreId core, Addr a, std::uint64_t v, Cycle now,
 
 Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
                           bool& remote_snoop_out) {
-  ARMBAR_PROF_SCOPE(kSimCoherence);
   const Addr line = line_of(a);
   LineState& ls = line_mut(line);
   const auto self = static_cast<std::int16_t>(core);
@@ -205,9 +221,11 @@ Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
 
   if (ls.pending && ls.pending_at <= now) apply_pending(ls);
 
+  // Owned-drain fast path (ISSUE 7), hoisted above the kSimCoherence scope:
+  // already own the line in M/E and nothing in flight — cheap drain, visible
+  // after owned_drain. No fault or trace hooks fire on this branch, so
+  // skipping the scope changes only host profiling, never simulated state.
   if (ls.owner == self && !ls.pending) {
-    // Already own the line in M/E and nothing in flight: cheap drain,
-    // visible after owned_drain.
     ++stats_.hits;
     const Cycle done = now + spec_.lat.owned_drain;
     ls.pending = true;
@@ -220,6 +238,7 @@ Cycle MemorySystem::store(CoreId core, Addr a, std::uint64_t v, Cycle now,
     return done;
   }
 
+  ARMBAR_PROF_SCOPE(kSimCoherence);
   const Cycle start = std::max(now, ls.busy_until);
   if (ls.pending) {
     ARMBAR_CHECK(ls.pending_at <= start);

@@ -61,6 +61,62 @@ bool parse_program(const std::string& text, Program* out, std::string* err) {
   return true;
 }
 
+MicroOp decode_instr(const Instr& ins) {
+  MicroOp u;
+  u.op = ins.op;
+  u.cls = op_class(ins.op);
+  u.rd = ins.rd;
+  u.rn = ins.rn;
+  u.rm = ins.rm;
+  u.imm = ins.imm;
+  u.target = ins.target;
+
+  // Issue-gating source registers, mirroring the per-op operand needs the
+  // interpreter used to re-derive every cycle. Stores deliberately gate only
+  // on the address register: the value may still be pending (the store
+  // buffer tracks its value_ready).
+  switch (ins.op) {
+    case Op::kMov:
+    case Op::kAddImm: case Op::kSubImm: case Op::kAndImm: case Op::kOrrImm:
+    case Op::kEorImm: case Op::kLslImm: case Op::kLsrImm: case Op::kCmpImm:
+    case Op::kLdr: case Op::kLdar: case Op::kLdapr: case Op::kLdxr:
+    case Op::kStr: case Op::kStlr:
+      u.src1 = ins.rn;
+      break;
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOrr:
+    case Op::kEor: case Op::kLsl: case Op::kLsr: case Op::kMul:
+    case Op::kCmp:
+    case Op::kLdrIdx: case Op::kStrIdx:
+    case Op::kStxr: case Op::kSwp:
+      u.src1 = ins.rn;
+      u.src2 = ins.rm;
+      break;
+    default:
+      break;  // no operand gates issue (XZR is always ready)
+  }
+
+  if (is_barrier(ins.op) || ins.op == Op::kStxr || ins.op == Op::kLdar ||
+      ins.op == Op::kLdapr || ins.op == Op::kLdxr || ins.op == Op::kStlr ||
+      ins.op == Op::kWfe || ins.op == Op::kSwp || ins.op == Op::kHalt)
+    u.flags |= kUopNonspec;
+  if (ins.op == Op::kLdrIdx || ins.op == Op::kStrIdx) u.flags |= kUopIndexed;
+  if (ins.op == Op::kStlr) u.flags |= kUopRelease;
+  if (ins.op == Op::kLdar) u.flags |= kUopAcqSc;
+  if (ins.op == Op::kLdapr) u.flags |= kUopAcqPc;
+  if (ins.op == Op::kLdxr) u.flags |= kUopExcl;
+  return u;
+}
+
+DecodedProgram::DecodedProgram(Program src) : src_(std::move(src)) {
+  ARMBAR_CHECK_MSG(!src_.code.empty(), "cannot decode an empty program");
+  uops_.reserve(src_.code.size());
+  for (const Instr& ins : src_.code) uops_.push_back(decode_instr(ins));
+}
+
+ProgramHandle decode_program(Program src) {
+  return std::make_shared<const DecodedProgram>(std::move(src));
+}
+
 Program Asm::take(std::string name) {
   for (const auto& [idx, label] : fixups_) {
     auto it = labels_.find(label);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,62 @@ struct Program {
 /// Parse Program::serialize() output. Returns false (and sets *err) on any
 /// malformed line; on success *out holds the program.
 bool parse_program(const std::string& text, Program* out, std::string* err);
+
+// ---- predecoded micro-op stream (ISSUE 7 fast path) ----------------------
+//
+// Everything Core::issue needs per instruction, resolved once at load time
+// into one cache-friendly array: the dispatch class, the registers whose
+// readiness gates issue, and the flavour bits the grouped load/store/barrier
+// cases test (instead of re-comparing Op at several sites per instruction).
+
+/// MicroOp::flags bits.
+inline constexpr std::uint8_t kUopNonspec = 1u << 0;  ///< never issues speculatively
+inline constexpr std::uint8_t kUopIndexed = 1u << 1;  ///< address = rn + rm (else rn + imm)
+inline constexpr std::uint8_t kUopRelease = 1u << 2;  ///< STLR store-release
+inline constexpr std::uint8_t kUopAcqSc = 1u << 3;    ///< LDAR acquire (RCsc)
+inline constexpr std::uint8_t kUopAcqPc = 1u << 4;    ///< LDAPR acquire (RCpc)
+inline constexpr std::uint8_t kUopExcl = 1u << 5;     ///< LDXR sets the monitor
+
+struct MicroOp {
+  Op op = Op::kNop;            ///< original opcode (traces, barrier kind, ALU)
+  OpClass cls = OpClass::kNop;
+  Reg rd = XZR;
+  Reg rn = XZR;
+  Reg rm = XZR;
+  std::uint8_t src1 = XZR;     ///< issue gates: registers whose ready-cycle
+  std::uint8_t src2 = XZR;     ///<   must have passed (XZR = no constraint)
+  std::uint8_t flags = 0;
+  std::int64_t imm = 0;
+  std::uint32_t target = 0;
+};
+
+/// Predecode one instruction at `pc`. Exposed for the coverage unit test;
+/// callers normally go through decode_program().
+MicroOp decode_instr(const Instr& ins);
+
+/// An immutable predecoded program: owns the source Program (no pointer
+/// lifetime to manage) plus the micro-op array the core executes from.
+class DecodedProgram {
+ public:
+  explicit DecodedProgram(Program src);
+
+  const Program& source() const { return src_; }
+  const std::string& name() const { return src_.name; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(uops_.size()); }
+  const MicroOp* uops() const { return uops_.data(); }
+
+ private:
+  Program src_;
+  std::vector<MicroOp> uops_;
+};
+
+/// The unit of program binding: Assembler::take() -> Program ->
+/// decode_program() -> handle -> Machine::load_program. Shared so one
+/// predecode serves any number of cores (and outlives the Machine if the
+/// caller keeps it).
+using ProgramHandle = std::shared_ptr<const DecodedProgram>;
+
+ProgramHandle decode_program(Program src);
 
 /// Fluent assembler with forward-reference label resolution.
 class Asm {

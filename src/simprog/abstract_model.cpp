@@ -164,7 +164,7 @@ Program make_load_store_model(OrderChoice choice, BarrierLoc loc,
 double run_single(const PlatformSpec& spec, const Program& prog,
                   std::uint32_t iters, trace::Tracer* tracer) {
   sim::Machine m(spec, 64u << 20);
-  m.load_program(0, &prog);
+  m.load_program(0, prog);
   sim::RunConfig cfg;
   cfg.max_cycles = 2'000'000'000ULL;
   cfg.tracer = tracer;
@@ -177,8 +177,8 @@ double run_pair(const PlatformSpec& spec, const Program& prog,
                 std::uint32_t iters, CoreId c0, CoreId c1,
                 trace::Tracer* tracer) {
   sim::Machine m(spec, 64u << 20);
-  m.load_program(c0, &prog);
-  m.load_program(c1, &prog);
+  m.load_program(c0, prog);
+  m.load_program(c1, prog);
   sim::RunConfig cfg;
   cfg.max_cycles = 2'000'000'000ULL;
   cfg.tracer = tracer;

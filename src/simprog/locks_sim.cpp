@@ -419,7 +419,7 @@ LockResult run_ticket(const sim::PlatformSpec& spec, const LockWorkload& w,
   Machine m(spec, 8u << 20);
   Program p = make_ticket_program(w, release_barrier);
   for (CoreId c = 0; c < w.threads; ++c) {
-    m.load_program(c, &p);
+    m.load_program(c, p);
     m.core(c).set_reg(X3, kPrivBase + c * 64);
   }
   auto r = m.run(sim::RunConfig{.max_cycles = 4'000'000'000ULL});
@@ -433,10 +433,10 @@ LockResult run_ffwd(const sim::PlatformSpec& spec, const LockWorkload& w,
   fill_pool(m);
   Program server = make_ffwd_server(w, choice);
   Program client = make_ffwd_client(w, choice);
-  m.load_program(0, &server);  // core 0 is the dedicated server
+  m.load_program(0, server);  // core 0 is the dedicated server
   for (CoreId i = 0; i < w.threads; ++i) {
     const CoreId c = i + 1;
-    m.load_program(c, &client);
+    m.load_program(c, client);
     m.core(c).set_reg(X0, kReqBase + i * 128);
     m.core(c).set_reg(X1, kRespBase + i * 128);
     m.core(c).set_reg(X5, kRxState + i * 32);
@@ -458,7 +458,7 @@ LockResult run_ccsynch(const sim::PlatformSpec& spec, const LockWorkload& w,
   }                                // plain: wait word already 0
   Program p = make_ccsynch_program(w, choice);
   for (CoreId c = 0; c < w.threads; ++c) {
-    m.load_program(c, &p);
+    m.load_program(c, p);
     m.core(c).set_reg(X1, kNodes + (c + 1) * 192);  // node 0 is the dummy
   }
   auto r = m.run(sim::RunConfig{.max_cycles = 4'000'000'000ULL});

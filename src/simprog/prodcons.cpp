@@ -388,8 +388,8 @@ ProdConsResult run_prodcons(const sim::PlatformSpec& spec, ProdConsCombo combo,
   setup_memory(m, spec, prod, cons);
   Program pp = make_producer(combo, msgs, produce_work);
   Program pc = make_consumer(combo.consumer_barriers, msgs);
-  m.load_program(prod, &pp);
-  m.load_program(cons, &pc);
+  m.load_program(prod, pp);
+  m.load_program(cons, pc);
   auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
   const std::uint64_t expect =
       static_cast<std::uint64_t>(msgs) * (msgs - 1) / 2;
@@ -403,8 +403,8 @@ ProdConsResult run_prodcons_pilot(const sim::PlatformSpec& spec,
   setup_memory(m, spec, prod, cons);
   Program pp = make_pilot_producer(msgs, produce_work);
   Program pc = make_pilot_consumer(msgs);
-  m.load_program(prod, &pp);
-  m.load_program(cons, &pc);
+  m.load_program(prod, pp);
+  m.load_program(cons, pc);
   auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
   const std::uint64_t expect =
       static_cast<std::uint64_t>(msgs) * (msgs - 1) / 2;
@@ -429,8 +429,8 @@ BatchResult run_batch(const sim::PlatformSpec& spec, std::uint32_t batch_words,
     setup_memory(m, spec, prod, cons);
     Program pp = make_batch_producer(false, batch_words, msgs, stride);
     Program pc = make_batch_consumer(false, batch_words, msgs, stride);
-    m.load_program(prod, &pp);
-    m.load_program(cons, &pc);
+    m.load_program(prod, pp);
+    m.load_program(cons, pc);
     auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
     auto res = finish(spec, m, r, msgs, cons, expect);
     ARMBAR_CHECK_MSG(res.checksum_ok, "batch baseline checksum mismatch");
@@ -441,8 +441,8 @@ BatchResult run_batch(const sim::PlatformSpec& spec, std::uint32_t batch_words,
     setup_memory(m, spec, prod, cons);
     Program pp = make_batch_producer(true, batch_words, msgs, stride);
     Program pc = make_batch_consumer(true, batch_words, msgs, stride);
-    m.load_program(prod, &pp);
-    m.load_program(cons, &pc);
+    m.load_program(prod, pp);
+    m.load_program(cons, pc);
     auto r = m.run(sim::RunConfig{.max_cycles = 2'000'000'000ULL});
     auto res = finish(spec, m, r, msgs, cons, expect);
     ARMBAR_CHECK_MSG(res.checksum_ok, "batch pilot checksum mismatch");

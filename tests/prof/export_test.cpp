@@ -181,6 +181,103 @@ TEST(PerfDiff, PhaseDriftVerdicts) {
   EXPECT_FALSE(flipped.ok);
 }
 
+TEST(PerfDiff, PhaseDriftFloorSuppressesTinyPhases) {
+  // Base: "sim.run" 99.9% + "sim.verify" 0.1%. Current: the hot path got
+  // ~20x faster so "sim.verify" inflates to 1.9% — a +1.8pp drift that
+  // would exceed a 1pp threshold, but its current share is still under the
+  // 2% floor: not a regression.
+  auto two_phase = [](double run_self, double verify_self) {
+    Json hp = hand_host_prof(run_self, run_self, 2e6);
+    Json verify = Json::object();
+    verify.set("count", 3);
+    verify.set("total_ns", verify_self);
+    verify.set("self_ns", verify_self);
+    Json phases = *hp.find("phases");
+    phases.set("sim.verify", verify);
+    hp.set("phases", phases);
+    return hp;
+  };
+  const Json base_hp = two_phase(9.99e8, 1e6);   // verify share 0.1%
+  const Json cur_hp = two_phase(5.2e7, 1e6);     // verify share ~1.9%
+
+  PerfDiffOptions opts;
+  opts.phase_drift_pp = 1.0;
+  opts.gate_phases = true;
+  opts.min_phase_share_pct = 2.0;
+  const PerfDiff d = diff_reports(report_with(base_hp, 0.004),
+                                  report_with(cur_hp, 0.012), opts);
+  ASSERT_TRUE(d.comparable);
+  for (const PhaseVerdict& v : d.phases)
+    if (v.phase == "sim.verify") {
+      EXPECT_GT(v.drift_pp, opts.phase_drift_pp);
+      EXPECT_EQ(v.verdict, "ok") << "sub-floor share must not regress";
+    }
+  EXPECT_TRUE(d.ok);
+
+  // Drop the floor to zero and the same drift regresses again.
+  opts.min_phase_share_pct = 0.0;
+  const PerfDiff strict = diff_reports(report_with(base_hp, 0.004),
+                                       report_with(cur_hp, 0.012), opts);
+  EXPECT_FALSE(strict.ok);
+}
+
+TEST(PerfDiff, PresetRatioGate) {
+  const Json hp = hand_host_prof(5e5, 4e5, 2e6);
+  auto report = [&](double null_mops, double rpi4_ips, double kp_ips) {
+    trace::ReportBuilder rb("sim_perf", "test report");
+    rb.add_check("measured", true);
+    rb.add_metric("ips_vs_null", 0.004);
+    rb.add_metric("null_loop_mops", null_mops);
+    rb.add_metric("rpi4_mp_ips", rpi4_ips);
+    rb.add_metric("kunpeng916_deep_ips", kp_ips);
+    rb.set_host_prof(hp);
+    return rb.build();
+  };
+  // Current host is 2x faster (null loop 600 -> 1200 Mops); raw preset ips
+  // doubled too, so the normalized per-preset ratio is exactly 1.0.
+  const Json base = report(600.0, 3e6, 8e6);
+  const Json same = report(1200.0, 6e6, 16e6);
+  PerfDiffOptions opts;
+  opts.min_preset_ratio = 0.9;
+  PerfDiff d = diff_reports(base, same, opts);
+  ASSERT_TRUE(d.comparable);
+  ASSERT_EQ(d.presets.size(), 2u);
+  for (const PresetRatio& p : d.presets) {
+    EXPECT_NEAR(p.ratio, 1.0, 1e-9) << p.metric;
+    EXPECT_TRUE(p.ok);
+  }
+  EXPECT_TRUE(d.ok);
+
+  // One preset regresses (same host speed, kunpeng916 at half): the
+  // aggregate ips_vs_null is untouched but the preset gate still fails.
+  const Json one_bad = report(600.0, 3e6, 4e6);
+  d = diff_reports(base, one_bad, opts);
+  ASSERT_TRUE(d.comparable);
+  EXPECT_FALSE(d.ok);
+  bool saw_bad = false;
+  for (const PresetRatio& p : d.presets)
+    if (p.metric == "kunpeng916_deep_ips") {
+      saw_bad = true;
+      EXPECT_NEAR(p.ratio, 0.5, 1e-9);
+      EXPECT_FALSE(p.ok);
+    }
+  EXPECT_TRUE(saw_bad);
+
+  // min_preset_ratio = 0 (default) ignores preset metrics entirely.
+  d = diff_reports(base, one_bad, {});
+  EXPECT_TRUE(d.ok);
+
+  // A baseline without preset metrics fails closed when gating is on.
+  trace::ReportBuilder rb("sim_perf", "no presets");
+  rb.add_check("measured", true);
+  rb.add_metric("ips_vs_null", 0.004);
+  rb.add_metric("null_loop_mops", 600.0);
+  rb.set_host_prof(hp);
+  d = diff_reports(rb.build(), same, opts);
+  EXPECT_FALSE(d.comparable);
+  EXPECT_FALSE(d.ok);
+}
+
 TEST(Validator, RejectsMalformedHostProf) {
   std::string err;
 

@@ -48,8 +48,8 @@ Program consumer(std::uint32_t k) {
 /// One timed MP run on the kirin960 preset; returns host ns.
 std::uint64_t timed_run(const Program& prod, const Program& cons) {
   Machine m(kirin960(), 8u << 20);
-  m.load_program(0, &prod);
-  m.load_program(m.num_cores() - 1, &cons);
+  m.load_program(0, prod);
+  m.load_program(m.num_cores() - 1, cons);
   const auto t0 = std::chrono::steady_clock::now();
   const RunResult res = m.run(RunConfig{});
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -66,7 +66,7 @@ void body_invariant_violation(ExperimentContext& ctx) {
   a.str(sim::X2, sim::X0, 0);
   a.halt();
   sim::Program p = a.take("t");
-  m.load_program(0, &p);
+  m.load_program(0, p);
   sim::LineState ls;
   ls.owner = 0;
   ls.sharers = 1ULL << 2;  // single-writer violated
@@ -91,7 +91,7 @@ void body_hang(ExperimentContext& ctx) {
   a.dsb_full();
   a.halt();
   sim::Program p = a.take("t");
-  m.load_program(0, &p);
+  m.load_program(0, p);
   sim::RunConfig cfg;
   cfg.watchdog_cycles = 20'000;
   cfg.fault = &plan;
@@ -134,8 +134,8 @@ void body_sim_sweep(ExperimentContext& ctx) {
                   a.dsb_full();
                   a.halt();
                   sim::Program p = a.take("t");
-                  m.load_program(0, &p);
-                  auto r = m.run();
+                  m.load_program(0, p);
+                  auto r = m.run({});
                   return trace::Json(static_cast<double>(r.cycles));
                 })
         .number();

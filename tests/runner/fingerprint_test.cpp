@@ -163,11 +163,11 @@ TEST(Fingerprint, ContextKeyCoversGlobalFaultPlanAndVerifyCadence) {
 }
 
 TEST(Fingerprint, CacheEpochIsCurrent) {
-  // The ISSUE 6 host-profiling release bumps to /6: simulated values are
-  // unchanged, but the bump retires any entry a pre-audit build could have
-  // written with host-time contamination (the ISSUE 5 POR checker killed
-  // /4, the ISSUE 4 key-coverage change killed /2).
-  EXPECT_STREQ(kCacheEpoch, "armbar-sim/6");
+  // The ISSUE 7 fast-path interpreter bumps to /7: timing is verified
+  // bit-identical, but the bump retires entries a mid-refactor build could
+  // have written (ISSUE 6 host-profiling killed /5, the ISSUE 5 POR
+  // checker killed /4, the ISSUE 4 key-coverage change killed /2).
+  EXPECT_STREQ(kCacheEpoch, "armbar-sim/7");
 }
 
 }  // namespace

@@ -37,7 +37,7 @@ void body_simulates(ExperimentContext& ctx) {
         a.halt();
         const Program p = a.take("profile-test-loop");
         Machine m(rpi4(), 1u << 20);
-        m.load_program(0, &p);
+        m.load_program(0, p);
         const RunResult res = m.run(RunConfig{});
         return trace::Json(static_cast<double>(res.cycles));
       });

@@ -11,8 +11,8 @@ namespace {
 // Runs a single-core program and returns total cycles.
 Cycle run_cycles(const PlatformSpec& spec, const Program& p) {
   Machine m(spec, 16u << 20);
-  m.load_program(0, &p);
-  auto r = m.run(100'000'000);
+  m.load_program(0, p);
+  auto r = m.run({.max_cycles = 100'000'000});
   EXPECT_TRUE(r.completed);
   return r.cycles;
 }
@@ -94,9 +94,9 @@ TEST(BarrierIntrinsic, DsbOptionsEquivalent) {
 // a shared buffer, so stores are remote memory references (RMRs).
 Cycle run_two_core(const PlatformSpec& spec, const Program& p, CoreId c0, CoreId c1) {
   Machine m(spec, 16u << 20);
-  m.load_program(c0, &p);
-  m.load_program(c1, &p);
-  auto r = m.run(500'000'000);
+  m.load_program(c0, p);
+  m.load_program(c1, p);
+  auto r = m.run({.max_cycles = 500'000'000});
   EXPECT_TRUE(r.completed);
   return r.cycles;
 }
@@ -217,7 +217,7 @@ TEST(BarrierGate, LdarGatesLaterMemoryOpsOnly) {
   Asm w;
   w.movi(X0, 0x3000).movi(X1, 1).str(X1, X0, 0).halt();
   Program pw = w.take("warm");
-  m.load_program(1, &pw);
+  m.load_program(1, pw);
 
   Asm a;
   a.nops(400);
@@ -226,8 +226,8 @@ TEST(BarrierGate, LdarGatesLaterMemoryOpsOnly) {
   a.str(X1, X2, 0);  // gated behind the LDAR completion
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run(10'000'000).completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({.max_cycles = 10'000'000}).completed);
   EXPECT_EQ(m.mem().peek(0x4000), 1u);
   EXPECT_GT(m.core(0).stats().stall_cycles[static_cast<int>(StallCause::kMemGate)], 0u);
 }

@@ -14,8 +14,8 @@ TEST(Exec, MoviAndHalt) {
   Asm a;
   a.movi(X0, 1234).halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  auto r = m.run();
+  m.load_program(0, p);
+  auto r = m.run({});
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(m.core(0).reg(X0), 1234u);
 }
@@ -34,8 +34,8 @@ TEST(Exec, AluOps) {
   a.mul(X9, X0, X1);    // 60
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X2), 17u);
   EXPECT_EQ(m.core(0).reg(X3), 7u);
   EXPECT_EQ(m.core(0).reg(X4), 4u);
@@ -51,8 +51,8 @@ TEST(Exec, XzrReadsZeroWritesDiscarded) {
   Asm a;
   a.movi(XZR, 99).add(X0, XZR, XZR).halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X0), 0u);
 }
 
@@ -66,8 +66,8 @@ TEST(Exec, CountedLoop) {
   a.blt("loop");
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X0), 10u);
 }
 
@@ -79,8 +79,8 @@ TEST(Exec, StoreThenLoadRoundTrips) {
   a.ldr(X2, X0, 0);
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X2), 0xdeadbeefu);
 }
 
@@ -89,8 +89,8 @@ TEST(Exec, StoreDrainsToMemoryAfterHalt) {
   Asm a;
   a.movi(X0, 0x2000).movi(X1, 77).str(X1, X0, 0).halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x2000), 77u);
 }
 
@@ -104,8 +104,8 @@ TEST(Exec, IndexedAddressing) {
   a.str_idx(X3, X0, X4);
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X2), 4242u);
   EXPECT_EQ(m.mem().peek(0x3020), 555u);
 }
@@ -135,8 +135,8 @@ TEST(Exec, ConditionalBranchesAllDirections) {
   a.halt();
   a.label("fail").movi(X1, 0).halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X1), 255u);
 }
 
@@ -149,8 +149,8 @@ TEST(Exec, LoadFeedsDependentAlu) {
   a.add(X2, X1, X1);  // depends on the load value
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X2), 42u);
 }
 
@@ -172,9 +172,9 @@ TEST(Exec, SpinOnFlagSetByOtherCore) {
   a1.halt();
   Program p1 = a1.take("producer");
 
-  m.load_program(0, &p0);
-  m.load_program(1, &p1);
-  ASSERT_TRUE(m.run(1'000'000).completed);
+  m.load_program(0, p0);
+  m.load_program(1, p1);
+  ASSERT_TRUE(m.run({.max_cycles = 1'000'000}).completed);
   EXPECT_EQ(m.core(0).reg(X1), 7u);
 }
 
@@ -197,9 +197,9 @@ TEST(Exec, WfeWakesOnInvalidation) {
   a1.halt();
   Program p1 = a1.take("setter");
 
-  m.load_program(0, &p0);
-  m.load_program(1, &p1);
-  auto r = m.run(1'000'000);
+  m.load_program(0, p0);
+  m.load_program(1, p1);
+  auto r = m.run({.max_cycles = 1'000'000});
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(m.core(0).reg(X1), 1u);
   EXPECT_GE(r.cores[0].wfe_parks, 1u);
@@ -217,8 +217,8 @@ TEST(Exec, LdxrStxrSucceedsUncontended) {
   a.cbnz(X2, "retry");
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x7000), 11u);
 }
 
@@ -238,8 +238,8 @@ TEST(Exec, AtomicIncrementFromManyCores) {
   a.blt("loop");
   a.halt();
   Program p = a.take("inc");
-  for (CoreId c = 0; c < 4; ++c) m.load_program(c, &p);
-  ASSERT_TRUE(m.run(10'000'000).completed);
+  for (CoreId c = 0; c < 4; ++c) m.load_program(c, p);
+  ASSERT_TRUE(m.run({.max_cycles = 10'000'000}).completed);
   EXPECT_EQ(m.mem().peek(0x8000), 400u);
 }
 
@@ -248,10 +248,10 @@ TEST(Exec, HaltedCoreDrainsItsStoreBuffer) {
   Asm a;
   a.movi(X0, 0x9000).movi(X1, 3).str(X1, X0, 0).halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
+  m.load_program(0, p);
   // Make the line remote-owned first so the drain is slow.
   m.mem().poke(0x9000, 0);
-  ASSERT_TRUE(m.run().completed);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x9000), 3u);
 }
 

@@ -28,7 +28,7 @@ Program store_loop(int iters) {
 Cycle run_with(const FaultPlan* plan, Program (*make)(int), int iters) {
   Machine m(rpi4(), 1u << 20);
   Program p = make(iters);
-  m.load_program(0, &p);
+  m.load_program(0, p);
   RunConfig cfg;
   cfg.fault = plan;
   auto r = m.run(cfg);
@@ -180,15 +180,15 @@ TEST(FaultMachine, ForcedEvictionsTurnHitsIntoMisses) {
   };
   Machine clean_m(rpi4(), 1u << 20);
   Program p1 = make(100);
-  clean_m.load_program(0, &p1);
-  auto clean = clean_m.run();
+  clean_m.load_program(0, p1);
+  auto clean = clean_m.run({});
   ASSERT_TRUE(clean.completed);
 
   FaultPlan plan;
   plan.evict_pm = 1000;
   Machine m(rpi4(), 1u << 20);
   Program p2 = make(100);
-  m.load_program(0, &p2);
+  m.load_program(0, p2);
   RunConfig cfg;
   cfg.fault = &plan;
   auto faulted = m.run(cfg);
@@ -223,8 +223,8 @@ TEST(FaultMachine, DuplicatedInvalidationsAreIdempotent) {
     ca.blt("poll");
     ca.halt();
     Program cons = ca.take("dup-cons");
-    m.load_program(0, &prod);
-    m.load_program(1, &cons);
+    m.load_program(0, prod);
+    m.load_program(1, cons);
     RunConfig cfg;
     cfg.fault = plan;
     auto r = m.run(cfg);

@@ -58,9 +58,9 @@ TEST(Machine, DeterministicCycleCounts) {
   for (int trial = 0; trial < 3; ++trial) {
     Machine m(kunpeng916(), 1u << 20);
     Program p = build();
-    m.load_program(0, &p);
-    m.load_program(1, &p);
-    auto r = m.run();
+    m.load_program(0, p);
+    m.load_program(1, p);
+    auto r = m.run({});
     ASSERT_TRUE(r.completed);
     if (trial == 0)
       first = r.cycles;
@@ -74,8 +74,8 @@ TEST(Machine, CoresWithoutProgramsStayIdle) {
   Asm a;
   a.movi(X0, 7).halt();
   Program p = a.take("t");
-  m.load_program(5, &p);
-  auto r = m.run();
+  m.load_program(5, p);
+  auto r = m.run({});
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(r.cores.size(), 1u);  // only the active core reports stats
   EXPECT_EQ(m.core(5).reg(X0), 7u);
@@ -86,8 +86,8 @@ TEST(Machine, TimeoutReportsIncomplete) {
   Asm a;
   a.label("forever").b("forever");
   Program p = a.take("t");
-  m.load_program(0, &p);
-  auto r = m.run(/*max_cycles=*/5000);
+  m.load_program(0, p);
+  auto r = m.run({.max_cycles = 5000});
   EXPECT_FALSE(r.completed);
   EXPECT_EQ(r.cycles, 5000u);
 }
@@ -97,9 +97,9 @@ TEST(Machine, RunTwiceAborts) {
   Asm a;
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  (void)m.run();
-  EXPECT_DEATH((void)m.run(), "only be called once");
+  m.load_program(0, p);
+  (void)m.run({});
+  EXPECT_DEATH((void)m.run({}), "only be called once");
 }
 
 TEST(Machine, StatsAccumulatePerCore) {
@@ -111,8 +111,8 @@ TEST(Machine, StatsAccumulatePerCore) {
   a.dmb_full();
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  auto r = m.run();
+  m.load_program(0, p);
+  auto r = m.run({});
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(r.cores[0].loads, 1u);
   EXPECT_EQ(r.cores[0].stores, 1u);
@@ -142,7 +142,11 @@ TEST(Machine, ThroughputScalesBeforeDividing) {
                    scaled_first);
 }
 
-TEST(Machine, RunConfigMatchesLegacyOverload) {
+TEST(Machine, ProgramHandleMatchesByValueLoad) {
+  // The two load_program spellings — pass a Program (machine predecodes and
+  // returns the handle) or pass a predecoded handle — must be
+  // indistinguishable in simulated timing, and one handle must be reusable
+  // across machines.
   auto build = [] {
     Asm a;
     a.movi(X0, 0x2000).movi(X2, 0);
@@ -155,23 +159,22 @@ TEST(Machine, RunConfigMatchesLegacyOverload) {
     a.halt();
     return a.take("t");
   };
-  Program p1 = build(), p2 = build();
 
-  Machine legacy(kunpeng916(), 1u << 20);
-  legacy.load_program(0, &p1);
-  auto r_legacy = legacy.run(10'000'000);
+  Machine by_value(kunpeng916(), 1u << 20);
+  ProgramHandle h = by_value.load_program(0, build());
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->size(), build().size());
+  auto r_value = by_value.run({.max_cycles = 10'000'000});
 
-  Machine cfgd(kunpeng916(), 1u << 20);
-  cfgd.load_program(0, &p2);
-  RunConfig cfg;
-  cfg.max_cycles = 10'000'000;
-  auto r_cfg = cfgd.run(cfg);
+  Machine by_handle(kunpeng916(), 1u << 20);
+  by_handle.load_program(0, h);  // same predecode, different machine
+  auto r_handle = by_handle.run({.max_cycles = 10'000'000});
 
-  ASSERT_TRUE(r_legacy.completed);
-  ASSERT_TRUE(r_cfg.completed);
-  EXPECT_EQ(r_legacy.cycles, r_cfg.cycles);
-  EXPECT_EQ(r_legacy.cores[0].instructions, r_cfg.cores[0].instructions);
-  EXPECT_EQ(r_legacy.cores[0].barriers, r_cfg.cores[0].barriers);
+  ASSERT_TRUE(r_value.completed);
+  ASSERT_TRUE(r_handle.completed);
+  EXPECT_EQ(r_value.cycles, r_handle.cycles);
+  EXPECT_EQ(r_value.cores[0].instructions, r_handle.cores[0].instructions);
+  EXPECT_EQ(r_value.cores[0].barriers, r_handle.cores[0].barriers);
 }
 
 TEST(Machine, RunConfigMaxCyclesTruncates) {
@@ -182,7 +185,7 @@ TEST(Machine, RunConfigMaxCyclesTruncates) {
   a.b("forever");
   Program p = a.take("spin");
   Machine m(rpi4(), 1u << 20);
-  m.load_program(0, &p);
+  m.load_program(0, p);
   RunConfig cfg;
   cfg.max_cycles = 5000;
   auto r = m.run(cfg);
@@ -204,12 +207,12 @@ TEST(Machine, RunConfigAttachesTracer) {
   Program p1 = build(), p2 = build();
 
   Machine plain(kunpeng916(), 1u << 20);
-  plain.load_program(0, &p1);
-  auto r_plain = plain.run();
+  plain.load_program(0, p1);
+  auto r_plain = plain.run({});
 
   trace::Tracer tracer(4096);
   Machine traced(kunpeng916(), 1u << 20);
-  traced.load_program(0, &p2);
+  traced.load_program(0, p2);
   RunConfig cfg;
   cfg.tracer = &tracer;
   auto r_traced = traced.run(cfg);
@@ -229,7 +232,7 @@ TEST(Machine, RunConfigStatsResetBeforeRun) {
   Program p = a.take("t");
 
   Machine m(rpi4(), 1u << 20);
-  m.load_program(0, &p);
+  m.load_program(0, p);
   m.mem().poke(0x4000, 1);  // generates no stats, but exercise the path
   RunConfig cfg;
   cfg.stats = RunConfig::Stats::kResetBeforeRun;
@@ -244,8 +247,8 @@ TEST(Machine, SixtyFourCoresAllRun) {
   Asm a;
   a.movi(X0, 1).halt();
   Program p = a.take("t");
-  for (CoreId c = 0; c < 64; ++c) m.load_program(c, &p);
-  auto r = m.run();
+  for (CoreId c = 0; c < 64; ++c) m.load_program(c, p);
+  auto r = m.run({});
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(r.cores.size(), 64u);
   for (CoreId c = 0; c < 64; ++c) EXPECT_EQ(m.core(c).reg(X0), 1u);
@@ -271,9 +274,9 @@ TEST(Machine, MessagePassingAcrossAllCorePairs) {
     a.halt();
     progs.push_back(a.take("relay" + std::to_string(c)));
   }
-  for (CoreId c = 0; c < spec.total_cores(); ++c) m.load_program(c, &progs[c]);
+  for (CoreId c = 0; c < spec.total_cores(); ++c) m.load_program(c, progs[c]);
   m.mem().poke(token, 1);
-  auto r = m.run(10'000'000);
+  auto r = m.run({.max_cycles = 10'000'000});
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(m.mem().peek(token), spec.total_cores() + 1);
 }

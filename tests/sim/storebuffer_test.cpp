@@ -15,8 +15,8 @@ TEST(StoreBuffer, ForwardsToOwnLoad) {
   a.ldr(X2, X0, 0);  // must observe 11 via forwarding, long before drain
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X2), 11u);
 }
 
@@ -29,8 +29,8 @@ TEST(StoreBuffer, YoungestEntryWinsForwarding) {
   a.ldr(X3, X0, 0);
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.core(0).reg(X3), 2u);
 }
 
@@ -42,8 +42,8 @@ TEST(StoreBuffer, SameWordStoresDrainInOrder) {
   a.str(X2, X0, 0);
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x1000), 2u);  // final value = program-order last
 }
 
@@ -57,7 +57,7 @@ TEST(StoreBuffer, NonFifoDrainAllowsYoungerFirst) {
   Asm warm;
   warm.movi(X0, 0x2000).movi(X1, 5).str(X1, X0, 0).halt();
   Program pw = warm.take("warm");
-  m.load_program(1, &pw);
+  m.load_program(1, pw);
 
   Asm a;
   a.nops(600);             // let core 1 take ownership first
@@ -69,8 +69,8 @@ TEST(StoreBuffer, NonFifoDrainAllowsYoungerFirst) {
   a.str(X4, X4, 0);        // younger independent store
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x3000), 5u);
   EXPECT_EQ(m.mem().peek(0x4000), 0x4000u);
 }
@@ -91,8 +91,8 @@ TEST(StoreBuffer, CapacityStallDoesNotDeadlock) {
   a.blt("loop");
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  auto r = m.run(10'000'000);
+  m.load_program(0, p);
+  auto r = m.run({.max_cycles = 10'000'000});
   ASSERT_TRUE(r.completed);
   EXPECT_GT(r.cores[0].stall_cycles[static_cast<int>(StallCause::kSbFull)], 0u);
   EXPECT_EQ(m.mem().peek(0x1000 + 63 * 64), 63u);
@@ -112,8 +112,8 @@ TEST(StoreBuffer, DataDependencyOrdersStoreAfterLoad) {
   a.str(X3, X2, 0);
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x6000), 132u);
 }
 
@@ -132,8 +132,8 @@ TEST(StoreBuffer, SpeculativeStoreSquashedLeavesNoTrace) {
   a.b("spin");
   a.label("out").halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x7100), 0u) << "speculative store leaked";
 }
 
@@ -158,9 +158,9 @@ TEST(StoreBuffer, StlrPublishesAfterPriorStore) {
   cons.halt();
   Program pc = cons.take("cons");
 
-  m.load_program(0, &pp);
-  m.load_program(32, &pc);  // other NUMA node
-  ASSERT_TRUE(m.run(10'000'000).completed);
+  m.load_program(0, pp);
+  m.load_program(32, pc);  // other NUMA node
+  ASSERT_TRUE(m.run({.max_cycles = 10'000'000}).completed);
   EXPECT_EQ(m.core(32).reg(X3), 99u);
 }
 
@@ -177,8 +177,8 @@ TEST(StoreBuffer, TsoDrainsFifo) {
   a.str(X2, X1, 0);
   a.halt();
   Program p = a.take("t");
-  m.load_program(0, &p);
-  ASSERT_TRUE(m.run().completed);
+  m.load_program(0, p);
+  ASSERT_TRUE(m.run({}).completed);
   EXPECT_EQ(m.mem().peek(0x9000), 1u);
   EXPECT_EQ(m.mem().peek(0x9040), 1u);
 }

@@ -26,7 +26,7 @@ Program counting_loop(int iters) {
 TEST(Verifier, CleanMachineVerifiesClean) {
   Machine m(rpi4(), 1u << 20);
   Program p = counting_loop(100);
-  m.load_program(0, &p);
+  m.load_program(0, p);
   const MachineVerifier v(m);
   EXPECT_EQ(v.check(), "");
   RunConfig cfg;
@@ -40,8 +40,8 @@ TEST(Verifier, CadencedRunMatchesUncheckedCycles) {
   auto run_one = [](Cycle verify_every) {
     Machine m(rpi4(), 1u << 20);
     Program p = counting_loop(100);
-    m.load_program(0, &p);
-    m.load_program(1, &p);
+    m.load_program(0, p);
+    m.load_program(1, p);
     RunConfig cfg;
     cfg.verify_every = verify_every;
     auto r = m.run(cfg);
@@ -87,7 +87,7 @@ TEST(Verifier, DetectsMalformedPendingStore) {
 TEST(Verifier, CorruptionDuringRunThrowsInvariantViolation) {
   Machine m(rpi4(), 1u << 20);
   Program p = counting_loop(100);
-  m.load_program(0, &p);
+  m.load_program(0, p);
   LineState ls;
   ls.owner = 0;
   ls.sharers = 1ULL << 2;
@@ -125,7 +125,7 @@ TEST(Watchdog, LivelockedRunThrowsSimHangBeforeMaxCycles) {
   a.dsb_full();
   a.halt();
   Program p = a.take("livelock");
-  m.load_program(0, &p);
+  m.load_program(0, p);
   RunConfig cfg;
   cfg.max_cycles = 10'000'000;
   cfg.watchdog_cycles = 20'000;
@@ -152,7 +152,7 @@ TEST(Watchdog, SpinLoopIsProgressNotAHang) {
   a.cbz(X1, "poll");
   a.halt();
   Program p = a.take("spin");
-  m.load_program(0, &p);
+  m.load_program(0, p);
   RunConfig cfg;
   cfg.max_cycles = 100'000;
   cfg.watchdog_cycles = 5'000;
@@ -168,12 +168,12 @@ TEST(Watchdog, GlobalVerifyCadenceFallsThrough) {
   set_global_verify_every(16);
   Machine m(rpi4(), 1u << 20);
   Program p = counting_loop(100);
-  m.load_program(0, &p);
+  m.load_program(0, p);
   LineState ls;
   ls.owner = 0;
   ls.sharers = 1ULL << 2;
   m.mem().debug_set_line_state(0x5000, ls);
-  EXPECT_THROW((void)m.run(), InvariantViolation);
+  EXPECT_THROW((void)m.run({}), InvariantViolation);
   set_global_verify_every(0);
 }
 

@@ -54,10 +54,10 @@ TracedRun run_mp(trace::Tracer* tracer, CoreId c0 = 0, CoreId c1 = 1) {
   if (tracer) m.set_tracer(tracer);
   const Program p = producer();
   const Program c = consumer();
-  m.load_program(c0, &p);
-  m.load_program(c1, &c);
+  m.load_program(c0, p);
+  m.load_program(c1, c);
   TracedRun out;
-  out.res = m.run();
+  out.res = m.run({});
   EXPECT_TRUE(out.res.completed);
   if (tracer) out.events = tracer->snapshot();
   out.barrier_stall[0] =
