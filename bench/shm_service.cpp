@@ -1,0 +1,144 @@
+// Shared-memory channel service benchmark (ISSUE 8): drive the three
+// cross-process channel variants — lock queue (Q), seq-slot ring (RB), and
+// pilot ring (RB-P) — through the real Fleet harness (forked producer and
+// consumer processes, futex waits, mmap'd segment) and compare throughput,
+// tail latency, and barrier counts.
+//
+// Nothing here goes through ctx.cached(): wall-clock throughput must never
+// enter a cached value, and the whole point is to re-measure. The checks
+// that gate CI are the host-independent ones: exact delivery accounting
+// (delivered == produced, zero duplicates, zero gaps on a clean run) and
+// the paper's barrier-cost ordering — the pilot ring retires ~1 ordering op
+// per record against the plain ring's 4, and the lock queue is the only
+// variant paying full barriers.
+//
+// The fleet forks real children, so the experiment registers the shmsvc
+// emergency cleanup with the engine's interrupt hook and polls
+// ctx.interrupted() from the supervision loop: ^C mid-bench kills + reaps
+// every worker and unlinks the segment before the partial report flushes.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/engine.hpp"
+#include "shmsvc/service.hpp"
+
+using namespace armbar;
+using runner::ExperimentContext;
+
+namespace {
+
+struct KindRun {
+  shmsvc::ChannelKind kind;
+  std::string name;
+  shmsvc::FleetResult res;
+  double barriers_per_op = 0.0;
+  double full_per_op = 0.0;
+};
+
+}  // namespace
+
+ARMBAR_EXPERIMENT(shm_service, "Service",
+                  "cross-process shm channel service: throughput, tail "
+                  "latency and barrier counts for Q / RB / RB-P") {
+  runner::register_interrupt_cleanup(&shmsvc::emergency_cleanup);
+
+  // Workers re-exec a tool binary (armbar-bench itself has no worker entry
+  // point). Any of the shmsvc tools works; armbar-load is the natural one.
+  const std::string worker = shmsvc::find_tool("armbar-load");
+  if (!ctx.check(!worker.empty(),
+                 "worker binary armbar-load found next to armbar-bench"))
+    ctx.fatal("cannot fork workers without tools/armbar-load");
+
+  constexpr std::uint64_t kRecords = 1u << 18;  // per variant
+  constexpr std::uint32_t kCapacity = 256;
+  constexpr std::uint32_t kConsumers = 2;
+  ctx.param("records", std::to_string(kRecords));
+  ctx.param("capacity", std::to_string(kCapacity));
+  ctx.param("consumers", std::to_string(kConsumers));
+  ctx.param("worker_bin", worker);
+
+  std::vector<KindRun> runs;
+  for (shmsvc::ChannelKind kind :
+       {shmsvc::ChannelKind::kLockQueue, shmsvc::ChannelKind::kRing,
+        shmsvc::ChannelKind::kPilotRing}) {
+    if (ctx.interrupted()) throw runner::ExperimentInterrupted{};
+
+    shmsvc::FleetConfig cfg;
+    cfg.seg.name = std::string("bench-") + shmsvc::to_string(kind);
+    cfg.seg.kind = kind;
+    cfg.seg.channels = 1;
+    cfg.seg.capacity = kCapacity;
+    cfg.seg.records = kRecords;
+    cfg.seg.seed = 0x5eedu + static_cast<std::uint64_t>(kind);
+    cfg.consumers_per_channel = kConsumers;
+    cfg.worker_bin = worker;
+    cfg.deadline_ms = 120000;
+
+    shmsvc::Fleet fleet(cfg);
+    KindRun run;
+    run.kind = kind;
+    run.name = shmsvc::to_string(kind);
+    run.res = fleet.run([&] { return ctx.interrupted(); });
+    if (run.res.interrupted) throw runner::ExperimentInterrupted{};
+
+    ctx.check(run.res.ok, run.name + ": fleet drained cleanly" +
+                              (run.res.error.empty() ? "" : " (" +
+                               run.res.error + ")"));
+    ctx.check(run.res.delivered == kRecords && run.res.gaps == 0,
+              run.name + ": all " + std::to_string(kRecords) +
+                  " records delivered, zero gaps (clean run)");
+    ctx.check(run.res.duplicates == 0,
+              run.name + ": zero duplicate deliveries");
+    ctx.check(run.res.segments_clean,
+              run.name + ": no shm segment left after teardown");
+
+    const double per_op =
+        run.res.delivered == 0 ? 0.0 : 1.0 / static_cast<double>(kRecords);
+    run.barriers_per_op = static_cast<double>(run.res.barriers) * per_op;
+    run.full_per_op = static_cast<double>(run.res.full_barriers) * per_op;
+
+    ctx.metric(run.name + "_mps", run.res.mps);
+    ctx.metric(run.name + "_p50_us", run.res.p50_us);
+    ctx.metric(run.name + "_p99_us", run.res.p99_us);
+    ctx.metric(run.name + "_p999_us", run.res.p999_us);
+    ctx.metric(run.name + "_barriers_per_op", run.barriers_per_op);
+    ctx.metric(run.name + "_full_barriers_per_op", run.full_per_op);
+    ctx.metric(run.name + "_futex_waits",
+               static_cast<double>(run.res.futex_waits));
+    runs.push_back(run);
+  }
+
+  // The paper's cost ordering, counted not timed (host-independent):
+  // RB-P's consumer-release dmb.ld is the only ordering op per record vs
+  // RB's 4; only Q pays full barriers (its lock acquire/release on both
+  // sides).
+  const KindRun& q = runs[0];
+  const KindRun& rb = runs[1];
+  const KindRun& rbp = runs[2];
+  ctx.check(rbp.barriers_per_op < rb.barriers_per_op,
+            "pilot ring retires fewer ordering ops per record than the "
+            "plain ring");
+  ctx.check(q.full_per_op > rb.full_per_op,
+            "only the lock queue pays full barriers per record");
+  ctx.check(rbp.full_per_op == 0.0,
+            "pilot ring retires zero full barriers");
+
+  TextTable t("Cross-process shm channel service (1 producer, " +
+              std::to_string(kConsumers) + " consumers, real processes)");
+  t.header({"variant", "M rec/s", "p50 us", "p99 us", "p99.9 us",
+            "barriers/op", "full/op", "futex waits"});
+  for (const KindRun& r : runs) {
+    t.row({r.name, TextTable::num(r.res.mps, 2),
+           TextTable::num(r.res.p50_us, 1), TextTable::num(r.res.p99_us, 1),
+           TextTable::num(r.res.p999_us, 1),
+           TextTable::num(r.barriers_per_op, 2),
+           TextTable::num(r.full_per_op, 2),
+           TextTable::num(static_cast<double>(r.res.futex_waits), 0)});
+  }
+  t.note("barriers/op counts order-preserving ops retired per delivered");
+  t.note("record (DESIGN.md §15); throughput and latency are host-");
+  t.note("dependent and report-only — the CI checks gate on the counts");
+  t.print();
+}

@@ -277,6 +277,43 @@ fi
 "$BUILD/tools/armbar-repro" "$FUZZ_DIR/fuzz-29.repro.json"
 echo "planted-bug pipeline OK (caught, minimized, replayed)"
 
+echo "== shm service smoke (serve + cross-process attach load) =="
+# The crash-tolerant channel service end to end: armbar-serve owns the
+# segment and produces; a *separate* armbar-load process discovers the shm
+# name via the name-file, attaches (layout-hash validated), consumes, and
+# writes a report that must validate. Both sides must exit clean and leave
+# zero segments behind (the GC pass is the witness).
+SHM_DIR="$SMOKE_DIR/shmsvc"
+rm -rf "$SHM_DIR" && mkdir -p "$SHM_DIR"
+"$BUILD/tools/armbar-serve" --kind rb --channels 2 --records 200000 \
+    --name svc-ci --name-file "$SHM_DIR/bus.name" > /dev/null &
+SERVE_PID=$!
+"$BUILD/tools/armbar-load" --attach-file "$SHM_DIR/bus.name" \
+    --attach-wait-ms 10000 --consumers 2 \
+    --json "$SHM_DIR/armbar-load.report.json" > /dev/null
+wait "$SERVE_PID"
+"$BUILD/tools/report_check" "$SHM_DIR/armbar-load.report.json"
+python3 - "$SHM_DIR/armbar-load.report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], "shm service smoke report not ok"
+m = doc["metrics"]
+assert m["delivered"] == 400000, m   # 2 channels x 200k records, no chaos
+assert m["duplicates"] == 0 and m["gaps"] == 0, m
+print(f"shm service smoke OK ({m['delivered']:.0f} records, "
+      f"{m['mps']:.2f} M/s, p99 {m['p99_us']:.1f} us)")
+EOF
+
+echo "== chaos soak (seeded SIGKILL/restart cycles, exact accounting) =="
+# Bounded by --seconds; must clear the ISSUE 8 floor of 50 kill/restart
+# cycles across the three channel kinds with zero duplicates, every gap
+# accounted, and no leftover segments. armbar-shm-gc then proves /dev/shm
+# holds nothing of ours.
+"$BUILD/tools/armbar-chaos" --seconds 18 --seed 7 --min-cycles 50 \
+    --json "$SHM_DIR/armbar-chaos.report.json"
+"$BUILD/tools/report_check" "$SHM_DIR/armbar-chaos.report.json"
+"$BUILD/tools/armbar-shm-gc" --quiet
+
 echo "== ARMBAR_PROF_DISABLED build (${BUILD}-profdis) =="
 # The zero-cost claim: with the profiler compiled out the whole suite must
 # still build and pass tier1, and sim_perf must still clear its own gate

@@ -35,7 +35,10 @@
 namespace armbar::pilot {
 
 /// Shared seed pool. Sender and receiver must construct it with the same
-/// seed and size.
+/// seed and size. The pool is derived purely from (seed, size) — no shared
+/// state — so it also works cross-process: the shmsvc channels stamp the
+/// seed into the segment header and every attaching process rebuilds an
+/// identical pool locally (the pool itself never lives in shared memory).
 class HashPool {
  public:
   explicit HashPool(std::uint64_t seed = 0x9e3779b97f4a7c15ULL,

@@ -5,7 +5,9 @@
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/check.hpp"
 #include "prof/export.hpp"
@@ -31,6 +33,13 @@ void engine_signal_handler(int sig) { g_interrupted = sig; }
 const char* interrupt_name(int sig) {
   return sig == SIGTERM ? "SIGTERM" : "SIGINT";
 }
+
+// Interrupt-cleanup registry (engine.hpp). A plain array: hooks are
+// registered from experiment bodies (main thread, before any fork) and run
+// after the latch is observed, outside the signal handler, so ordinary
+// synchronization is fine.
+std::mutex g_cleanup_mu;
+std::vector<void (*)()> g_cleanup_hooks;
 
 /// Scoped installation of the engine's process-global degradation hooks:
 /// ARMBAR_CHECK failures throw (instead of aborting the whole sweep), the
@@ -131,6 +140,23 @@ void print_host_profile(const prof::Snapshot& snap) {
 }
 
 }  // namespace
+
+void register_interrupt_cleanup(void (*fn)()) {
+  if (fn == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_cleanup_mu);
+  for (auto* existing : g_cleanup_hooks)
+    if (existing == fn) return;
+  g_cleanup_hooks.push_back(fn);
+}
+
+void run_interrupt_cleanups() {
+  std::vector<void (*)()> hooks;
+  {
+    std::lock_guard<std::mutex> lock(g_cleanup_mu);
+    hooks = g_cleanup_hooks;
+  }
+  for (auto* fn : hooks) fn();
+}
 
 Engine::Engine(const Registry& registry, EngineOptions opts)
     : registry_(registry), opts_(std::move(opts)) {}
@@ -433,6 +459,9 @@ EngineResult Engine::run() {
   result.interrupted = g_interrupted != 0;
   if (result.interrupted) {
     result.signal = static_cast<int>(g_interrupted);
+    // Reap forked helpers / unlink shm segments before the partial report
+    // is flushed, so an interrupted run leaves nothing behind.
+    run_interrupt_cleanups();
     std::printf("\ninterrupted by %s: partial report (remaining experiments "
                 "skipped)\n",
                 interrupt_name(result.signal));

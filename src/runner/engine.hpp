@@ -92,6 +92,15 @@ struct EngineResult {
   std::size_t jobs = 1;           ///< effective job count used
 };
 
+/// Process-global cleanup hooks run when an engine run is interrupted
+/// (SIGINT/SIGTERM), *before* the partial report is assembled. Experiments
+/// that fork helper processes or own kernel-persistent resources (the shm
+/// service fleets) register a killer/reaper here so a ^C mid-bench never
+/// leaks children or /dev/shm segments. Registration is idempotent per
+/// function pointer; hooks must themselves be idempotent.
+void register_interrupt_cleanup(void (*fn)());
+void run_interrupt_cleanups();
+
 class Engine {
  public:
   Engine(const Registry& registry, EngineOptions opts);

@@ -124,6 +124,14 @@ class ExperimentContext {
   trace::Tracer* tracer() { return hooks_.tracer; }
   trace::MetricsRegistry& metrics() { return *hooks_.metrics; }
 
+  /// True once the engine latched SIGINT/SIGTERM. Long-running bodies that
+  /// wait outside cached() — the shm service fleets supervise real child
+  /// processes for seconds — poll this and bail (throw
+  /// ExperimentInterrupted) so ^C stays responsive.
+  bool interrupted() const {
+    return hooks_.interrupted != nullptr && *hooks_.interrupted != 0;
+  }
+
   // ---- report surface (the old BenchRun API) ----
 
   /// PASS/FAIL line, printed and recorded into the consolidated report.

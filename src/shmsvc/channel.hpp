@@ -1,0 +1,215 @@
+// Crash-tolerant SPMC channel protocol over a mapped Segment
+// (DESIGN.md §15). Three variants share one seq-slot ring and differ only
+// in how publication is ordered — exactly the paper's Fig 6(d) trio, made
+// cross-process:
+//
+//   Q    — one futex-backed lock around both produce and consume critical
+//          sections; lock handoff provides ordering (full-barrier class).
+//   RB   — lock-free: DMB ld before reading the slot, DMB st between the
+//          record write and the seq publication (paper Algorithm 2).
+//   RB-P — Pilot: the record word is XOR-shuffled with a per-slot seed and
+//          carries the low 32 bits of (round + 1) as a tag; the tag IS the
+//          publication flag, so the producer needs no publish barrier
+//          (paper §4.3). The pool size equals the ring capacity, so a
+//          slot's stale tag from the previous round differs from the fresh
+//          tag deterministically — not probabilistically.
+//
+// Crash tolerance is structural, not bolted on:
+//   * produce keeps an intent journal (intent > prod ⇔ record mid-write);
+//     whoever finds a dead producer reconciles it — rescue the record if
+//     fully published, else tombstone-publish it as a counted gap.
+//   * every consumed ticket is marked in a per-ticket byte array with a
+//     fetch_add that doubles as the linearization point against recovery:
+//     old == 0 wins the ticket, the loser undoes its add. Final mark
+//     values outside {0, delivered, gap} are duplicate-delivery proof.
+//   * all blocking waits run Backoff leases; on expiry the waiter verifies
+//     peer liveness and runs the recovery state machine (generation bump,
+//     intent reconcile, unreleased-slot reclaim, seq-parity repair, dead
+//     lock-holder steal, registry cleanup) under a stealable recovery lock.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "pilot/pilot.hpp"
+#include "shmsvc/seg.hpp"
+
+namespace armbar::shmsvc {
+
+/// Deterministic in-op SIGKILL points for the chaos harness: the worker
+/// raises SIGKILL on itself when its op counter hits `at_op` at `point`,
+/// placing the death *inside* produce/consume critical windows.
+struct CrashPlan {
+  enum class Point : std::uint8_t {
+    kNone = 0,
+    kMidProduce,    ///< record written, seq/tag not yet published
+    kAfterPublish,  ///< published, prod counter not yet advanced
+    kAfterClaim,    ///< cons counter advanced, record not yet marked
+    kAfterMark,     ///< marked delivered, slot not yet released
+  };
+  Point point = Point::kNone;
+  std::uint64_t at_op = 0;
+};
+
+const char* to_string(CrashPlan::Point p);
+bool parse_crash_point(const std::string& s, CrashPlan::Point* out);
+
+/// Per-handle tuning. The op deadline bounds any single produce/consume:
+/// exceeding it throws StallError, which a worker surfaces as a distinct
+/// exit code — that is the harness's hang detector.
+struct ChannelTuning {
+  BackoffTuning backoff{};
+  std::uint64_t op_deadline_ns = 60ull * 1000 * 1000 * 1000;
+  std::uint32_t produce_work = 0;  ///< synthetic splitmix rounds per record
+};
+
+class StallError : public std::runtime_error {
+ public:
+  explicit StallError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Registry membership: claims a PeerSlot on construction, heartbeats while
+/// working, deregisters on clean destruction. A SIGKILLed peer leaves its
+/// pid behind; recovery reclaims the slot once the pid is dead.
+class Peer {
+ public:
+  Peer(Segment& seg, Role role);
+  ~Peer();
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  std::uint32_t index() const { return idx_; }
+  void heartbeat();
+
+  /// Keep the registration behind after destruction. Used when exiting
+  /// abnormally mid-op (StallError): the claimed-but-unfinished state must
+  /// stay attributed to our (soon dead) pid so recovery can see it.
+  void abandon() { abandoned_ = true; }
+
+ private:
+  Segment& seg_;
+  std::uint32_t idx_ = kNoPeer;
+  bool abandoned_ = false;
+};
+
+/// What one recovery pass did (all tallies also land in ChannelCtrl).
+struct RecoveryOutcome {
+  bool ran = false;  ///< lock acquired and a generation bump happened
+  std::uint32_t dead_peers = 0;
+  std::uint64_t gaps_tombstoned = 0;
+  std::uint64_t intents_rescued = 0;
+  std::uint64_t gaps_reclaimed = 0;
+  std::uint64_t slot_reclaims = 0;
+  std::uint64_t seq_repairs = 0;
+};
+
+/// Runs the recovery state machine for one channel. Safe to call from any
+/// peer at any time: single entry is enforced by the channel's stealable
+/// recovery lock, and a pass with no dead peers and no torn state is a
+/// no-op (no generation bump). `force` runs the scan even when every
+/// registered peer is alive (used by the producer-attach reconcile, where
+/// the dead predecessor may already be deregistered).
+RecoveryOutcome run_recovery(Segment& seg, std::uint32_t channel,
+                             std::uint32_t self_peer, bool force = false);
+
+/// Producer handle. Single producer per channel by contract: the
+/// constructor reconciles any predecessor's in-flight intent (under the
+/// recovery lock), then takes over producer_peer. Two live producers on
+/// one channel is a caller bug and trips a check.
+class Producer {
+ public:
+  Producer(Segment& seg, std::uint32_t channel, Peer& peer,
+           const ChannelTuning& tuning, CrashPlan crash = {});
+
+  /// Publish one payload (masked to kPayloadMask). Returns false when the
+  /// channel's stop flag is set or the record target is reached — in both
+  /// cases produce_done has been published.
+  bool produce(std::uint32_t payload);
+
+  /// Publish produce_done and wake consumers. Idempotent.
+  void finish();
+
+  std::uint64_t position() const { return pos_; }
+
+ private:
+  void crash_point(CrashPlan::Point p);
+  void flush_metrics();
+  Segment& seg_;
+  ChannelCtrl& c_;
+  Slot* slots_;
+  Peer& peer_;
+  const ChannelTuning& tuning_;
+  CrashPlan crash_;
+  pilot::HashPool pool_;
+  ChannelKind kind_;
+  std::uint64_t mask_;
+  std::uint32_t channel_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t barriers_l_ = 0;  ///< locally accumulated, flushed periodically
+  std::uint64_t full_l_ = 0;
+  bool done_ = false;
+};
+
+/// Consumer handle. Any number per channel; tickets are claimed by CAS on
+/// the shared cons counter.
+class Consumer {
+ public:
+  enum class Pop : std::uint8_t {
+    kOk,    ///< *payload/*ticket hold a delivered record
+    kGap,   ///< a counted gap (tombstone or reclaimed ticket) was consumed
+    kDone,  ///< produce_done and the ring is fully drained
+  };
+
+  Consumer(Segment& seg, std::uint32_t channel, Peer& peer,
+           const ChannelTuning& tuning, CrashPlan crash = {});
+  ~Consumer();
+
+  Pop pop(std::uint32_t* payload, std::uint64_t* ticket);
+
+ private:
+  Pop pop_locked(std::uint32_t* payload, std::uint64_t* ticket);
+  void crash_point(CrashPlan::Point p);
+  void flush_metrics();
+  void note_latency(std::uint64_t stamp_ns);
+  Segment& seg_;
+  ChannelCtrl& c_;
+  Slot* slots_;
+  std::atomic<std::uint8_t>* marks_;
+  Peer& peer_;
+  const ChannelTuning& tuning_;
+  CrashPlan crash_;
+  pilot::HashPool pool_;
+  ChannelKind kind_;
+  std::uint64_t mask_;
+  std::uint32_t channel_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t barriers_l_ = 0;
+  std::uint64_t full_l_ = 0;
+  std::uint64_t delivered_l_ = 0;
+  std::uint64_t gaps_l_ = 0;
+  std::uint64_t lat_sum_l_ = 0;
+  std::uint64_t lat_count_l_ = 0;
+  std::uint32_t hist_l_[kLatencyBuckets] = {};
+};
+
+/// The deterministic expected-payload stream: producer i writes
+/// payload_at(seed, ticket) and consumers verify on receipt, so a single
+/// misordered publication becomes a hard failure, not silent data loss.
+inline std::uint32_t payload_at(std::uint64_t seed, std::uint64_t ticket) {
+  std::uint64_t s = seed ^ (ticket * 0x9e3779b97f4a7c15ull);
+  return static_cast<std::uint32_t>(splitmix64(s)) & kPayloadMask;
+}
+
+/// log2-ns histogram bucket for a latency sample.
+inline std::size_t latency_bucket(std::uint64_t ns) {
+  std::size_t b = 0;
+  while (ns > 1 && b < kLatencyBuckets - 1) {
+    ns >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace armbar::shmsvc

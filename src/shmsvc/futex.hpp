@@ -1,0 +1,204 @@
+// Futex-backed doorbells and bounded exponential backoff for the shared
+// memory service (DESIGN.md §15).
+//
+// A FutexCell is a (word, sleepers) pair living *inside the shared
+// segment*. Waiters snapshot the word, spin/yield briefly, then sleep in
+// the kernel with an exponentially growing bounded timeout; posters bump
+// the word and issue FUTEX_WAKE only when someone advertised themselves in
+// `sleepers`, so the uncontended fast path is one relaxed fetch_add.
+//
+// Signal hardening (ISSUE 8 satellite): EINTR and EAGAIN from
+// futex(FUTEX_WAIT) are *retryable* outcomes handled inside the wait loop —
+// a SIGCHLD landing on the chaos supervisor or a doorbell racing the sleep
+// must never surface as a fatal ARMBAR_CHECK.
+//
+// Every blocking wait in the service is built on Backoff::pause(), which
+// additionally accumulates waited time toward a *lease*: when a waiter has
+// been blocked for longer than the lease it returns true, telling the
+// caller to run a liveness check / recovery pass instead of sleeping
+// forever on a dead peer. That is the "bounded exponential backoff on all
+// waits" guarantee: no wait path can sleep unboundedly without revalidating
+// the world.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <ctime>
+#include <thread>
+
+#include "common/check.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace armbar::shmsvc {
+
+/// Monotonic host clock in nanoseconds. CLOCK_MONOTONIC is consistent
+/// across processes on one machine, which is what cross-process latency
+/// stamps and leases need.
+inline std::uint64_t now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Architecture pause hint for spin loops.
+inline void cpu_relax() {
+#if defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#elif defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+enum class WaitResult : std::uint8_t {
+  kWoken,    ///< a poster issued FUTEX_WAKE
+  kChanged,  ///< the word no longer matches the snapshot (no sleep needed)
+  kTimeout,  ///< the bounded timeout expired
+};
+
+/// One shared-memory doorbell. Trivially layout-stable: two lock-free
+/// 32-bit atomics, no constructors that matter across processes (segments
+/// are zero-initialized at creation).
+struct FutexCell {
+  std::atomic<std::uint32_t> word{0};
+  std::atomic<std::uint32_t> sleepers{0};
+
+  std::uint32_t value() const { return word.load(std::memory_order_acquire); }
+
+  /// Ring the doorbell: bump the word so concurrent snapshots go stale, and
+  /// wake kernel sleepers only if any are advertised.
+  void post() {
+    word.fetch_add(1, std::memory_order_acq_rel);
+    if (sleepers.load(std::memory_order_acquire) != 0) wake_all();
+  }
+
+  void wake_all() {
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE,
+            INT32_MAX, nullptr, nullptr, 0);
+#endif
+  }
+
+  /// Sleep until the word moves off `expected`, a wake arrives, or
+  /// `timeout_ns` elapses. EINTR retries with the remaining budget; EAGAIN
+  /// (word already changed in the kernel's atomic re-check) reports
+  /// kChanged. `syscalls` (optional) counts actual kernel waits.
+  WaitResult wait(std::uint32_t expected, std::uint64_t timeout_ns,
+                  std::atomic<std::uint64_t>* syscalls = nullptr) {
+    static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t));
+    if (word.load(std::memory_order_acquire) != expected) return WaitResult::kChanged;
+    sleepers.fetch_add(1, std::memory_order_acq_rel);
+    WaitResult r = WaitResult::kTimeout;
+#if defined(__linux__)
+    const std::uint64_t deadline = now_ns() + timeout_ns;
+    for (;;) {
+      const std::uint64_t t = now_ns();
+      if (t >= deadline) break;  // r stays kTimeout
+      const std::uint64_t left = deadline - t;
+      timespec ts{static_cast<time_t>(left / 1000000000ull),
+                  static_cast<long>(left % 1000000000ull)};
+      if (syscalls != nullptr) syscalls->fetch_add(1, std::memory_order_relaxed);
+      const long rc = syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+                              FUTEX_WAIT, expected, &ts, nullptr, 0);
+      if (rc == 0) {
+        r = WaitResult::kWoken;
+        break;
+      }
+      const int e = errno;
+      if (e == EAGAIN) {
+        r = WaitResult::kChanged;
+        break;
+      }
+      if (e == ETIMEDOUT) break;
+      if (e == EINTR) {
+        // A signal (SIGCHLD from a reaped worker, a profiler tick…)
+        // interrupted the sleep. Retryable: loop with the remaining budget,
+        // bailing early if the word already moved.
+        if (word.load(std::memory_order_acquire) != expected) {
+          r = WaitResult::kChanged;
+          break;
+        }
+        continue;
+      }
+      ARMBAR_CHECK_MSG(false, "futex(FUTEX_WAIT) failed with unexpected errno");
+    }
+#else
+    // Portable fallback: sliced sleeps polling the word.
+    const std::uint64_t deadline = now_ns() + timeout_ns;
+    while (now_ns() < deadline) {
+      if (word.load(std::memory_order_acquire) != expected) {
+        r = WaitResult::kChanged;
+        break;
+      }
+      timespec ts{0, 200000};  // 0.2 ms slice
+      nanosleep(&ts, nullptr);
+    }
+    (void)syscalls;
+#endif
+    sleepers.fetch_sub(1, std::memory_order_acq_rel);
+    return r;
+  }
+};
+
+/// Knobs for one Backoff progression. Defaults target sub-millisecond
+/// reaction to normal traffic and ~100 ms leases for liveness checks.
+struct BackoffTuning {
+  std::uint32_t spins = 256;                  ///< busy spins before yielding
+  std::uint32_t yields = 64;                  ///< sched_yields before sleeping
+  std::uint64_t min_sleep_ns = 50 * 1000;     ///< first futex timeout
+  std::uint64_t max_sleep_ns = 10 * 1000 * 1000;  ///< exponential cap
+  std::uint64_t lease_ns = 100 * 1000 * 1000;     ///< liveness-check cadence
+};
+
+/// One wait progression: spin → yield → bounded exponential futex sleeps.
+/// pause() returns true when accumulated blocked time since the last
+/// reset_lease() crosses tuning.lease_ns — the caller must then verify peer
+/// liveness (and possibly run recovery) before waiting further.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffTuning& tuning)
+      : t_(tuning), sleep_ns_(tuning.min_sleep_ns) {}
+
+  bool pause(FutexCell& cell, std::atomic<std::uint64_t>* syscalls = nullptr) {
+    if (step_ < t_.spins) {
+      ++step_;
+      cpu_relax();
+    } else if (step_ < t_.spins + t_.yields) {
+      ++step_;
+      std::this_thread::yield();
+    } else {
+      const std::uint32_t snap = cell.value();
+      const std::uint64_t before = now_ns();
+      cell.wait(snap, sleep_ns_, syscalls);
+      waited_ns_ += now_ns() - before;
+      sleep_ns_ = sleep_ns_ * 2 < t_.max_sleep_ns ? sleep_ns_ * 2 : t_.max_sleep_ns;
+    }
+    return waited_ns_ >= t_.lease_ns;
+  }
+
+  /// Progress observed (or recovery ran): restart the lease clock and the
+  /// exponential progression.
+  void reset_lease() {
+    waited_ns_ = 0;
+    sleep_ns_ = t_.min_sleep_ns;
+    step_ = 0;
+  }
+
+  std::uint64_t waited_ns() const { return waited_ns_; }
+
+ private:
+  const BackoffTuning& t_;
+  std::uint32_t step_ = 0;
+  std::uint64_t sleep_ns_;
+  std::uint64_t waited_ns_ = 0;
+};
+
+}  // namespace armbar::shmsvc

@@ -1,0 +1,244 @@
+// Shared-memory segment layout for the channel service (DESIGN.md §15).
+//
+// One segment = [SegmentHeader][PeerSlot x kMaxPeers][Channel x N] where a
+// channel block is [ChannelCtrl][Slot x capacity][mark byte x records].
+// Everything that is touched concurrently is a lock-free std::atomic of
+// fixed width (address-free on every platform we build for), every hot
+// structure is cacheline-aligned, and nothing in the segment is a pointer —
+// processes may map it at different addresses.
+//
+// Attach-time validation (ISSUE 8 tentpole): the header carries a magic, a
+// layout version, and a layout *hash* mixing the structural sizes with the
+// run geometry (kind/channels/capacity/records). An attacher recomputes the
+// hash from the header's own geometry fields and rejects on mismatch, so a
+// stale segment from an older binary — or a half-written header from a
+// creator killed mid-init (ready == 0) — can never be consumed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "shmsvc/futex.hpp"
+
+namespace armbar::shmsvc {
+
+inline constexpr std::uint64_t kSegMagic = 0x41524d5342415231ull;  // "ARMSBAR1"
+inline constexpr std::uint32_t kLayoutVersion = 2;
+
+/// Peer registry capacity. 64 is far above any fleet we spawn; PeerSlot is
+/// one cache line so the whole registry is 4 KiB.
+inline constexpr std::uint32_t kMaxPeers = 64;
+inline constexpr std::uint32_t kNoPeer = 0xffffffffu;
+
+/// Payloads are 31-bit: the all-ones 32-bit pattern is the recovery
+/// tombstone ("this ticket is a counted gap"), so real payloads are masked
+/// to kPayloadMask and can never collide with it.
+inline constexpr std::uint32_t kPayloadMask = 0x7fffffffu;
+inline constexpr std::uint32_t kGapPayload = 0xffffffffu;
+
+/// Delivery-mark encoding, one byte per ticket. fetch_add of the mark value
+/// is the linearization point between a slow claimant and a recovery pass:
+/// whoever sees old == 0 owns the ticket's accounting; the loser undoes its
+/// add with fetch_sub. The values are chosen so a mark decodes as two
+/// independent counters — delivered adds in bits [0,2), gap adds in bits
+/// [2,8) — because an async SIGKILL can land between a loser's fetch_add
+/// and its undoing fetch_sub, leaving both components standing. Decode:
+///   a = m & 3 (standing delivered marks), b = m >> 2 (standing gap marks)
+///   consumed  ⇔ a + b > 0      delivered ⇔ a >= 1      gap ⇔ a == 0, b > 0
+///   duplicate ⇔ a >= 2  (two claimants both kept a delivered mark — the
+///   one state no crash interleaving can produce; see DESIGN.md §15)
+inline constexpr std::uint8_t kMarkDelivered = 1;
+inline constexpr std::uint8_t kMarkGap = 4;
+
+enum class ChannelKind : std::uint32_t {
+  kLockQueue = 0,  ///< Q: one futex-backed lock around produce and consume
+  kRing = 1,       ///< RB: lock-free seq-slot ring, DMB ld/st publication
+  kPilotRing = 2,  ///< RB-P: Pilot piggybacked tag, no publish barrier
+};
+
+inline const char* to_string(ChannelKind k) {
+  switch (k) {
+    case ChannelKind::kLockQueue: return "q";
+    case ChannelKind::kRing: return "rb";
+    case ChannelKind::kPilotRing: return "rbp";
+  }
+  return "?";
+}
+
+/// Parses "q" / "rb" / "rbp"; returns false on anything else.
+inline bool parse_kind(const std::string& s, ChannelKind* out) {
+  if (s == "q") *out = ChannelKind::kLockQueue;
+  else if (s == "rb") *out = ChannelKind::kRing;
+  else if (s == "rbp") *out = ChannelKind::kPilotRing;
+  else return false;
+  return true;
+}
+
+enum class Role : std::uint32_t { kNone = 0, kProducer = 1, kConsumer = 2 };
+
+/// One registered process. pid == 0 means free. `births` counts how many
+/// registrations ever landed in the slot, so tests can observe reclamation.
+/// `reclaim_mask` is a bitmap of channels whose recovery pass has processed
+/// this peer's death: the registry slot is freed (pid → 0) only once every
+/// channel's bit is set, so dead-peer evidence stays visible to each
+/// channel's slot sweep exactly once.
+struct alignas(kCacheLineBytes) PeerSlot {
+  std::atomic<std::uint32_t> pid{0};
+  std::atomic<std::uint32_t> role{0};
+  std::atomic<std::uint64_t> heartbeat_ns{0};
+  std::atomic<std::uint64_t> births{0};
+  std::atomic<std::uint64_t> reclaim_mask{0};
+};
+static_assert(sizeof(PeerSlot) == kCacheLineBytes);
+
+/// Latency histogram: log2(ns) buckets, enough for 1 ns .. 580 years.
+inline constexpr std::size_t kLatencyBuckets = 64;
+
+/// Per-channel control block. Hot producer state, hot consumer state, and
+/// coordination/recovery state live on separate cache lines.
+struct alignas(kCacheLineBytes) ChannelCtrl {
+  // -- producer-hot line --------------------------------------------------
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> prod{0};
+  /// Produce-intent journal: intent > prod means "record prod is mid-write".
+  /// A successor producer (or a consumer recovering a dead producer)
+  /// reconciles it: rescue if fully published, else tombstone as a gap.
+  std::atomic<std::uint64_t> intent{0};
+  std::atomic<std::uint32_t> producer_peer{kNoPeer};
+  std::atomic<std::uint32_t> produce_done{0};
+
+  // -- consumer-hot line --------------------------------------------------
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> cons{0};
+
+  // -- coordination -------------------------------------------------------
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> generation{0};
+  /// 0 = free, else (holder pid << 32) | low 32 bits of (peer index + 1).
+  /// Stealable when the embedded pid is dead; carrying the pid in the word
+  /// lets an attacher whose registry claim failed (registry full of dead
+  /// churn) still run recovery to free slots. Encoding changes bump
+  /// kLayoutVersion so mixed-build attaches are rejected.
+  std::atomic<std::uint64_t> recovery_lock{0};
+  /// Q-variant critical-section lock, same encoding and steal rule.
+  std::atomic<std::uint64_t> qlock{0};
+  /// Supervisor wind-down flag: producers finish() at the next op.
+  std::atomic<std::uint32_t> stop{0};
+
+  // -- recovery tallies (exact: bumped only under the recovery lock or at
+  //    the mark linearization point) ---------------------------------------
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> recoveries{0};
+  std::atomic<std::uint64_t> gaps_tombstoned{0};  ///< torn in-flight records
+  std::atomic<std::uint64_t> gaps_reclaimed{0};   ///< dead-claimant tickets
+  std::atomic<std::uint64_t> intents_rescued{0};  ///< published-but-unacked
+  std::atomic<std::uint64_t> slot_reclaims{0};    ///< marked-but-unreleased
+  std::atomic<std::uint64_t> seq_repairs{0};      ///< bad-parity seq words
+  std::atomic<std::uint64_t> lock_steals{0};      ///< qlock/recovery steals
+  std::atomic<std::uint64_t> peer_reclaims{0};    ///< dead registry slots
+
+  // -- throughput/latency metrics (approximate across crashes; the exact
+  //    accounting identity uses the mark array, not these) -----------------
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> gap_records{0};
+  std::atomic<std::uint64_t> barriers{0};       ///< order-preserving ops retired
+  std::atomic<std::uint64_t> full_barriers{0};  ///< the DMB-full subset
+  std::atomic<std::uint64_t> futex_waits{0};    ///< kernel sleeps entered
+  std::atomic<std::uint64_t> latency_sum_ns{0};
+  std::atomic<std::uint64_t> latency_count{0};
+
+  // -- doorbells ----------------------------------------------------------
+  alignas(kCacheLineBytes) FutexCell cons_doorbell;  ///< producer → consumers
+  alignas(kCacheLineBytes) FutexCell prod_doorbell;  ///< consumers → producer
+  alignas(kCacheLineBytes) FutexCell lock_bell;      ///< qlock release wake
+
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> latency_hist[kLatencyBuckets];
+};
+
+/// One ring slot. `seq` is the round protocol word: for slot i with round
+/// r (r ≡ i mod capacity), seq == r means free for the producer, r + 1
+/// means published, and the consumer releases it as r + capacity. Any seq
+/// with (seq − i) mod capacity ∉ {0, 1} is torn state that recovery
+/// repairs. `rec` packs (payload << 32 | low 32 bits of round + 1); RB-P
+/// additionally XORs it with the slot's Pilot seed so the tag doubles as
+/// the publication flag. `stamp` is the producer's publish time.
+struct alignas(kCacheLineBytes) Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> rec{0};
+  std::atomic<std::uint64_t> stamp{0};
+};
+static_assert(sizeof(Slot) == kCacheLineBytes);
+
+/// Segment header. Plain (non-atomic) fields are written only by the
+/// creator before the `ready` release-store; attachers read them only
+/// after acquiring `ready != 0`.
+struct alignas(kCacheLineBytes) SegmentHeader {
+  std::uint64_t magic;
+  std::uint32_t layout_version;
+  std::uint32_t layout_hash;
+  std::uint32_t kind;
+  std::uint32_t channels;
+  std::uint32_t capacity;  ///< slots per channel, power of two
+  std::uint32_t creator_pid;
+  std::uint64_t records;   ///< per-channel produce target = mark-array length
+  std::uint64_t seed;      ///< Pilot hash-pool seed (each side derives locally)
+  std::uint64_t total_bytes;
+  std::atomic<std::uint32_t> ready;
+};
+
+inline constexpr std::uint64_t round_up(std::uint64_t x, std::uint64_t a) {
+  return (x + a - 1) / a * a;
+}
+
+/// Derived offsets, all relative to the segment base.
+struct Geometry {
+  std::size_t peers_off = 0;
+  std::size_t channel_base = 0;    ///< offset of channel block 0
+  std::size_t channel_stride = 0;  ///< bytes per channel block
+  std::size_t slots_off = 0;       ///< within a channel block
+  std::size_t marks_off = 0;       ///< within a channel block
+  std::size_t total = 0;
+
+  static Geometry compute(std::uint32_t channels, std::uint32_t capacity,
+                          std::uint64_t records) {
+    Geometry g;
+    g.peers_off = round_up(sizeof(SegmentHeader), kCacheLineBytes);
+    g.channel_base = g.peers_off + sizeof(PeerSlot) * kMaxPeers;
+    g.slots_off = round_up(sizeof(ChannelCtrl), kCacheLineBytes);
+    g.marks_off = g.slots_off + sizeof(Slot) * capacity;
+    g.channel_stride = round_up(g.marks_off + records, kCacheLineBytes);
+    g.total = g.channel_base + g.channel_stride * channels;
+    return g;
+  }
+};
+
+/// FNV-1a over the structural sizes and the run geometry. Two binaries (or
+/// two invocations) agree on this iff they would interpret every byte of
+/// the segment identically.
+inline std::uint32_t layout_hash(ChannelKind kind, std::uint32_t channels,
+                                 std::uint32_t capacity, std::uint64_t records) {
+  std::uint32_t h = 2166136261u;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint32_t>(v >> (i * 8)) & 0xffu;
+      h *= 16777619u;
+    }
+  };
+  mix(kLayoutVersion);
+  mix(sizeof(SegmentHeader));
+  mix(sizeof(PeerSlot));
+  mix(sizeof(ChannelCtrl));
+  mix(sizeof(Slot));
+  mix(kMaxPeers);
+  mix(kLatencyBuckets);
+  mix(static_cast<std::uint64_t>(kind));
+  mix(channels);
+  mix(capacity);
+  mix(records);
+  return h;
+}
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+static_assert(std::atomic<std::uint8_t>::is_always_lock_free);
+
+}  // namespace armbar::shmsvc

@@ -1,0 +1,246 @@
+#include "shmsvc/seg.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace armbar::shmsvc {
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+bool pid_alive(int pid) {
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) == 0 || errno != ESRCH;
+}
+
+std::string current_user() {
+  if (const char* u = std::getenv("USER"); u != nullptr && u[0] != '\0') {
+    // Dots would break the name grammar; replace defensively.
+    std::string s(u);
+    for (char& c : s)
+      if (c == '.' || c == '/') c = '_';
+    return s;
+  }
+  return "uid" + std::to_string(::getuid());
+}
+
+std::string full_segment_name(const std::string& name) {
+  return "/armbar." + current_user() + "." + std::to_string(::getpid()) + "." +
+         name;
+}
+
+bool parse_segment_name(const std::string& entry, std::string* user, int* pid,
+                        std::string* name) {
+  const std::string prefix = "armbar.";
+  if (entry.rfind(prefix, 0) != 0) return false;
+  const std::size_t u0 = prefix.size();
+  const std::size_t u1 = entry.find('.', u0);
+  if (u1 == std::string::npos) return false;
+  const std::size_t p1 = entry.find('.', u1 + 1);
+  if (p1 == std::string::npos || p1 == u1 + 1) return false;
+  long p = 0;
+  for (std::size_t i = u1 + 1; i < p1; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(entry[i]))) return false;
+    p = p * 10 + (entry[i] - '0');
+    if (p > 0x7fffffff) return false;
+  }
+  if (user != nullptr) *user = entry.substr(u0, u1 - u0);
+  if (pid != nullptr) *pid = static_cast<int>(p);
+  if (name != nullptr) *name = entry.substr(p1 + 1);
+  return true;
+}
+
+Segment& Segment::operator=(Segment&& o) noexcept {
+  if (this != &o) {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+    base_ = o.base_;
+    bytes_ = o.bytes_;
+    geo_ = o.geo_;
+    shm_name_ = std::move(o.shm_name_);
+    o.base_ = nullptr;
+    o.bytes_ = 0;
+  }
+  return *this;
+}
+
+Segment::~Segment() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+}
+
+char* Segment::channel_block(std::uint32_t ch) {
+  ARMBAR_CHECK(ch < header().channels);
+  return base_ + geo_.channel_base + geo_.channel_stride * ch;
+}
+
+PeerSlot& Segment::peer(std::uint32_t i) {
+  ARMBAR_CHECK(i < kMaxPeers);
+  return *reinterpret_cast<PeerSlot*>(base_ + geo_.peers_off +
+                                      sizeof(PeerSlot) * i);
+}
+
+ChannelCtrl& Segment::ctrl(std::uint32_t ch) {
+  return *reinterpret_cast<ChannelCtrl*>(channel_block(ch));
+}
+
+Slot* Segment::slots(std::uint32_t ch) {
+  return reinterpret_cast<Slot*>(channel_block(ch) + geo_.slots_off);
+}
+
+std::atomic<std::uint8_t>* Segment::marks(std::uint32_t ch) {
+  return reinterpret_cast<std::atomic<std::uint8_t>*>(channel_block(ch) +
+                                                      geo_.marks_off);
+}
+
+Segment Segment::create(const SegmentConfig& cfg) {
+  ARMBAR_CHECK_MSG(is_pow2(cfg.capacity), "capacity must be a power of two");
+  ARMBAR_CHECK(cfg.channels >= 1 && cfg.channels <= 64);
+  ARMBAR_CHECK(cfg.records >= 1);
+  ARMBAR_CHECK(!cfg.name.empty());
+
+  Segment s;
+  s.shm_name_ = full_segment_name(cfg.name);
+  s.geo_ = Geometry::compute(cfg.channels, cfg.capacity, cfg.records);
+  s.bytes_ = s.geo_.total;
+
+  int fd = ::shm_open(s.shm_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // Same user, same pid, same name: only possible after pid reuse over a
+    // crashed predecessor — safe to reclaim.
+    ::shm_unlink(s.shm_name_.c_str());
+    fd = ::shm_open(s.shm_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  ARMBAR_CHECK_MSG(fd >= 0, "shm_open(O_CREAT) failed");
+  ARMBAR_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(s.bytes_)) == 0,
+                   "ftruncate on shm segment failed");
+  void* p = ::mmap(nullptr, s.bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  ARMBAR_CHECK_MSG(p != MAP_FAILED, "mmap of shm segment failed");
+  s.base_ = static_cast<char*>(p);
+
+  // ftruncate zero-fills; placement-construct the typed views anyway so the
+  // atomics are formally initialized.
+  auto* hdr = new (s.base_) SegmentHeader{};
+  for (std::uint32_t i = 0; i < kMaxPeers; ++i)
+    new (s.base_ + s.geo_.peers_off + sizeof(PeerSlot) * i) PeerSlot{};
+  for (std::uint32_t ch = 0; ch < cfg.channels; ++ch) {
+    char* blk = s.base_ + s.geo_.channel_base + s.geo_.channel_stride * ch;
+    new (blk) ChannelCtrl{};
+    auto* slots = reinterpret_cast<Slot*>(blk + s.geo_.slots_off);
+    for (std::uint32_t i = 0; i < cfg.capacity; ++i) {
+      new (&slots[i]) Slot{};
+      slots[i].seq.store(i, std::memory_order_relaxed);  // round 0: free
+    }
+    auto* marks =
+        reinterpret_cast<std::atomic<std::uint8_t>*>(blk + s.geo_.marks_off);
+    for (std::uint64_t t = 0; t < cfg.records; ++t)
+      new (&marks[t]) std::atomic<std::uint8_t>{0};
+  }
+
+  hdr->magic = kSegMagic;
+  hdr->layout_version = kLayoutVersion;
+  hdr->kind = static_cast<std::uint32_t>(cfg.kind);
+  hdr->channels = cfg.channels;
+  hdr->capacity = cfg.capacity;
+  hdr->creator_pid = static_cast<std::uint32_t>(::getpid());
+  hdr->records = cfg.records;
+  hdr->seed = cfg.seed;
+  hdr->total_bytes = s.bytes_;
+  hdr->layout_hash = layout_hash(cfg.kind, cfg.channels, cfg.capacity, cfg.records);
+  // Publication: attachers acquire-load ready before trusting anything else.
+  hdr->ready.store(1, std::memory_order_release);
+  return s;
+}
+
+bool Segment::attach(const std::string& shm_name, Segment* out,
+                     std::string* err) {
+  auto fail = [err](const char* why) {
+    if (err != nullptr) *err = why;
+    return false;
+  };
+  const int fd = ::shm_open(shm_name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return fail("shm segment does not exist or is not accessible");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) <
+                                   sizeof(SegmentHeader)) {
+    ::close(fd);
+    return fail("segment smaller than its header");
+  }
+  const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) return fail("mmap of shm segment failed");
+
+  Segment s;
+  s.base_ = static_cast<char*>(p);
+  s.bytes_ = bytes;
+  s.shm_name_ = shm_name;
+  const SegmentHeader& h = s.header();
+  if (h.ready.load(std::memory_order_acquire) == 0)
+    return fail("segment not ready (creator still initializing or died mid-init)");
+  if (h.magic != kSegMagic) return fail("bad segment magic");
+  if (h.layout_version != kLayoutVersion) return fail("layout version mismatch");
+  const auto kind = static_cast<ChannelKind>(h.kind);
+  if (h.kind > 2 || h.channels == 0 || h.channels > 64 || !is_pow2(h.capacity) ||
+      h.records == 0)
+    return fail("header geometry out of range");
+  if (h.layout_hash != layout_hash(kind, h.channels, h.capacity, h.records))
+    return fail("layout hash mismatch (segment written by an incompatible build)");
+  const Geometry geo = Geometry::compute(h.channels, h.capacity, h.records);
+  if (h.total_bytes != geo.total || bytes < geo.total)
+    return fail("segment size does not match its declared geometry");
+  s.geo_ = geo;
+  *out = std::move(s);
+  if (err != nullptr) err->clear();
+  return true;
+}
+
+void Segment::unlink() {
+  if (!shm_name_.empty()) ::shm_unlink(shm_name_.c_str());
+}
+
+GcStats gc_stale_segments(std::vector<std::string>* removed) {
+  GcStats gc;
+  DIR* d = ::opendir("/dev/shm");
+  if (d == nullptr) return gc;
+  const std::string me = current_user();
+  std::vector<std::string> stale;
+  while (dirent* e = ::readdir(d)) {
+    std::string user, name;
+    int pid = 0;
+    if (!parse_segment_name(e->d_name, &user, &pid, &name)) continue;
+    ++gc.scanned;
+    if (user != me) {
+      ++gc.foreign;
+      continue;
+    }
+    if (pid_alive(pid)) {
+      ++gc.alive;
+      continue;
+    }
+    stale.push_back(std::string("/") + e->d_name);
+  }
+  ::closedir(d);
+  for (const std::string& n : stale) {
+    if (::shm_unlink(n.c_str()) == 0) {
+      ++gc.removed;
+      if (removed != nullptr) removed->push_back(n);
+    }
+  }
+  return gc;
+}
+
+}  // namespace armbar::shmsvc

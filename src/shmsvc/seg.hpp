@@ -1,0 +1,99 @@
+// Segment lifecycle: POSIX shm create/attach/validate/unlink plus the
+// stale-segment garbage collector (ISSUE 8 satellite).
+//
+// Naming: every segment is "/armbar.<user>.<pid>.<name>" where <pid> is
+// the creator. The name alone is enough for the sweeper to decide
+// staleness — same user + dead creator pid ⇒ unlink — without mapping the
+// segment (whose header may be arbitrarily torn).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shmsvc/layout.hpp"
+
+namespace armbar::shmsvc {
+
+struct SegmentConfig {
+  std::string name = "bus";  ///< short name; the full shm name is derived
+  ChannelKind kind = ChannelKind::kRing;
+  std::uint32_t channels = 1;
+  std::uint32_t capacity = 256;       ///< slots per channel, power of two
+  std::uint64_t records = 1u << 20;   ///< per-channel produce target
+  std::uint64_t seed = 0x5eedull;     ///< Pilot pool + payload-stream seed
+};
+
+/// kill(pid, 0) liveness probe: false only when the pid is gone (ESRCH).
+/// EPERM ("exists but not ours") counts as alive.
+bool pid_alive(int pid);
+
+/// The user component of segment names (getuid-stable, no passwd lookup
+/// dependency: $USER if set, else "uid<N>").
+std::string current_user();
+
+/// "/armbar.<user>.<pid>.<name>" for this process.
+std::string full_segment_name(const std::string& name);
+
+/// Parses a /dev/shm entry ("armbar.user.pid.name", no leading slash).
+bool parse_segment_name(const std::string& entry, std::string* user, int* pid,
+                        std::string* name);
+
+/// A mapped segment. Move-only; unmaps on destruction. Destruction never
+/// unlinks — the owner calls unlink() explicitly (and the GC covers owners
+/// that died before they could).
+class Segment {
+ public:
+  Segment() = default;
+  Segment(Segment&& o) noexcept { *this = std::move(o); }
+  Segment& operator=(Segment&& o) noexcept;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  ~Segment();
+
+  /// Creates and fully initializes a fresh segment; ARMBAR_CHECKs on any
+  /// OS failure (a tool that cannot create its bus has nowhere to go).
+  static Segment create(const SegmentConfig& cfg);
+
+  /// Attaches to an existing segment by full shm name. Returns false with
+  /// a reason in *err on any validation failure (missing, truncated, bad
+  /// magic, wrong version, not ready, layout-hash mismatch, size mismatch).
+  static bool attach(const std::string& shm_name, Segment* out, std::string* err);
+
+  bool valid() const { return base_ != nullptr; }
+  const std::string& shm_name() const { return shm_name_; }
+  const Geometry& geometry() const { return geo_; }
+
+  SegmentHeader& header() { return *reinterpret_cast<SegmentHeader*>(base_); }
+  const SegmentHeader& header() const {
+    return *reinterpret_cast<const SegmentHeader*>(base_);
+  }
+  PeerSlot& peer(std::uint32_t i);
+  ChannelCtrl& ctrl(std::uint32_t ch);
+  Slot* slots(std::uint32_t ch);
+  /// Mark array for a channel: one byte per ticket in [0, records).
+  std::atomic<std::uint8_t>* marks(std::uint32_t ch);
+
+  /// Removes the name from the filesystem (mappings persist). Idempotent.
+  void unlink();
+
+ private:
+  char* channel_block(std::uint32_t ch);
+  char* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  Geometry geo_{};
+  std::string shm_name_;
+};
+
+struct GcStats {
+  int scanned = 0;  ///< armbar-named entries examined
+  int removed = 0;  ///< stale (our user, dead owner) segments unlinked
+  int alive = 0;    ///< our user, owner still running
+  int foreign = 0;  ///< other users' segments (never touched)
+};
+
+/// Sweeps /dev/shm for stale armbar segments and unlinks them. Optionally
+/// reports the removed shm names.
+GcStats gc_stale_segments(std::vector<std::string>* removed = nullptr);
+
+}  // namespace armbar::shmsvc

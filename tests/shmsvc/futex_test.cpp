@@ -1,0 +1,123 @@
+// FutexCell and Backoff tests: wake/changed/timeout outcomes, EINTR
+// retry-with-remaining-budget (a real interval timer hammers the sleep),
+// and the lease that bounds every blocking wait in the service.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <atomic>
+#include <thread>
+
+#include "shmsvc/futex.hpp"
+
+namespace armbar::shmsvc {
+namespace {
+
+TEST(Futex, PostBumpsWord) {
+  FutexCell c;
+  EXPECT_EQ(c.value(), 0u);
+  c.post();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Futex, StaleSnapshotReturnsChangedWithoutSleeping) {
+  FutexCell c;
+  c.post();
+  const std::uint64_t t0 = now_ns();
+  EXPECT_EQ(c.wait(0, 1'000'000'000ull), WaitResult::kChanged);
+  EXPECT_LT(now_ns() - t0, 100'000'000ull);  // no 1s sleep happened
+}
+
+TEST(Futex, WaitTimesOutAfterBudget) {
+  FutexCell c;
+  const std::uint64_t t0 = now_ns();
+  EXPECT_EQ(c.wait(0, 20'000'000ull), WaitResult::kTimeout);
+  EXPECT_GE(now_ns() - t0, 15'000'000ull);  // slack for coarse timers
+}
+
+TEST(Futex, PostWakesKernelSleeper) {
+  FutexCell c;
+  std::atomic<bool> timed_out{false};
+  std::thread waiter([&] {
+    timed_out.store(c.wait(0, 10'000'000'000ull) == WaitResult::kTimeout);
+  });
+  while (c.sleepers.load(std::memory_order_acquire) == 0) cpu_relax();
+  c.post();
+  waiter.join();
+  EXPECT_FALSE(timed_out.load());
+  EXPECT_EQ(c.sleepers.load(), 0u);
+}
+
+TEST(Futex, SyscallCounterCountsKernelWaits) {
+  FutexCell c;
+  std::atomic<std::uint64_t> n{0};
+  c.wait(0, 2'000'000ull, &n);
+  EXPECT_GE(n.load(), 1u);
+}
+
+namespace {
+void noop_handler(int) {}
+}  // namespace
+
+TEST(Futex, EintrRetriesWithRemainingBudget) {
+  // Interrupt the futex sleep every 2 ms with a real signal (handler
+  // installed WITHOUT SA_RESTART so futex returns EINTR). The wait must
+  // still run its full budget and report timeout, not die or return early.
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = &noop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: we *want* EINTR
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old), 0);
+  itimerval it{};
+  it.it_interval.tv_usec = 2000;
+  it.it_value.tv_usec = 2000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &it, nullptr), 0);
+
+  FutexCell c;
+  const std::uint64_t t0 = now_ns();
+  const WaitResult r = c.wait(0, 40'000'000ull);
+  const std::uint64_t elapsed = now_ns() - t0;
+
+  itimerval off{};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old, nullptr);
+
+  EXPECT_EQ(r, WaitResult::kTimeout);
+  EXPECT_GE(elapsed, 30'000'000ull);  // ~full budget despite ~15 EINTRs
+}
+
+TEST(Backoff, LeaseExpiresAfterBlockedTime) {
+  BackoffTuning t;
+  t.spins = 4;
+  t.yields = 2;
+  t.min_sleep_ns = 200'000;
+  t.max_sleep_ns = 1'000'000;
+  t.lease_ns = 5'000'000;
+  FutexCell cell;
+  Backoff bo(t);
+  int pauses = 0;
+  while (!bo.pause(cell)) {
+    ++pauses;
+    ASSERT_LT(pauses, 100000) << "lease never expired";
+  }
+  EXPECT_GE(bo.waited_ns(), t.lease_ns);
+  bo.reset_lease();
+  EXPECT_EQ(bo.waited_ns(), 0u);
+}
+
+TEST(Backoff, SpinAndYieldPhasesAccumulateNoBlockedTime) {
+  // The lease clock only runs while actually sleeping in the kernel: the
+  // spin and yield phases must not count toward it.
+  BackoffTuning t;
+  t.spins = 16;
+  t.yields = 8;
+  FutexCell cell;
+  Backoff bo(t);
+  for (std::uint32_t i = 0; i < t.spins + t.yields; ++i)
+    EXPECT_FALSE(bo.pause(cell));
+  EXPECT_EQ(bo.waited_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace armbar::shmsvc

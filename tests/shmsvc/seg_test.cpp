@@ -1,0 +1,146 @@
+// Segment lifecycle tests: naming, create/attach validation (magic,
+// layout hash, ready flag, truncation), and the stale-segment GC.
+#include <gtest/gtest.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "shmsvc/seg.hpp"
+
+namespace armbar::shmsvc {
+namespace {
+
+TEST(SegName, FormatAndParseRoundtrip) {
+  const std::string full = full_segment_name("abc");
+  ASSERT_EQ(full.rfind("/armbar.", 0), 0u);
+  std::string user, name;
+  int pid = 0;
+  ASSERT_TRUE(parse_segment_name(full.substr(1), &user, &pid, &name));
+  EXPECT_EQ(user, current_user());
+  EXPECT_EQ(pid, ::getpid());
+  EXPECT_EQ(name, "abc");
+}
+
+TEST(SegName, RejectsForeignAndMalformedEntries) {
+  std::string user, name;
+  int pid = 0;
+  EXPECT_FALSE(parse_segment_name("notarmbar.u.12.x", &user, &pid, &name));
+  EXPECT_FALSE(parse_segment_name("armbar.u.notapid.x", &user, &pid, &name));
+  EXPECT_FALSE(parse_segment_name("armbar.u.12", &user, &pid, &name));
+  EXPECT_FALSE(parse_segment_name("armbar", &user, &pid, &name));
+}
+
+TEST(Segment, CreateAttachRoundtrip) {
+  SegmentConfig cfg;
+  cfg.name = "segtest";
+  cfg.kind = ChannelKind::kPilotRing;
+  cfg.channels = 2;
+  cfg.capacity = 64;
+  cfg.records = 1024;
+  cfg.seed = 77;
+  Segment owner = Segment::create(cfg);
+  ASSERT_TRUE(owner.valid());
+
+  Segment att;
+  std::string err;
+  ASSERT_TRUE(Segment::attach(owner.shm_name(), &att, &err)) << err;
+  EXPECT_EQ(att.header().seed, 77u);
+  EXPECT_EQ(att.header().capacity, 64u);
+  EXPECT_EQ(att.header().channels, 2u);
+  EXPECT_EQ(att.header().records, 1024u);
+  EXPECT_EQ(static_cast<ChannelKind>(att.header().kind),
+            ChannelKind::kPilotRing);
+  // Slots initialized to their free state on every channel.
+  EXPECT_EQ(att.slots(0)[5].seq.load(), 5u);
+  EXPECT_EQ(att.slots(1)[63].seq.load(), 63u);
+  // The two mappings alias the same memory.
+  att.ctrl(1).prod.store(41, std::memory_order_relaxed);
+  EXPECT_EQ(owner.ctrl(1).prod.load(std::memory_order_relaxed), 41u);
+  owner.unlink();
+}
+
+TEST(Segment, AttachRejectsMissingSegment) {
+  Segment s;
+  std::string err;
+  EXPECT_FALSE(Segment::attach("/armbar.nobody.1.missing", &s, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Segment, AttachRejectsCorruptHeader) {
+  SegmentConfig cfg;
+  cfg.name = "segtest-corrupt";
+  cfg.capacity = 32;
+  cfg.records = 256;
+  Segment owner = Segment::create(cfg);
+  Segment s;
+  std::string err;
+
+  // Not ready (creator mid-initialization).
+  owner.header().ready.store(0, std::memory_order_release);
+  EXPECT_FALSE(Segment::attach(owner.shm_name(), &s, &err));
+  owner.header().ready.store(1, std::memory_order_release);
+
+  // Bad magic.
+  const std::uint64_t magic = owner.header().magic;
+  owner.header().magic = 0xdeadbeef;
+  EXPECT_FALSE(Segment::attach(owner.shm_name(), &s, &err));
+  owner.header().magic = magic;
+
+  // Layout-hash mismatch: a header whose geometry fields disagree with the
+  // hash stamped at creation (simulates an ABI/geometry skew).
+  const std::uint32_t cap = owner.header().capacity;
+  owner.header().capacity = cap * 2;
+  EXPECT_FALSE(Segment::attach(owner.shm_name(), &s, &err));
+  EXPECT_NE(err.find("layout"), std::string::npos) << err;
+  owner.header().capacity = cap;
+
+  // Restored: attaches again.
+  EXPECT_TRUE(Segment::attach(owner.shm_name(), &s, &err)) << err;
+  owner.unlink();
+}
+
+TEST(SegmentGc, SweepsDeadOwnersKeepsLiveOnes) {
+  // A live segment of ours must survive the sweep.
+  SegmentConfig cfg;
+  cfg.name = "gclive";
+  cfg.capacity = 32;
+  cfg.records = 256;
+  Segment live = Segment::create(cfg);
+
+  // Craft a stale entry: a segment named after a pid that is really dead
+  // (a forked child that already exited and was reaped).
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int st = 0;
+  ASSERT_EQ(::waitpid(child, &st, 0), child);
+  const std::string stale = "/armbar." + current_user() + "." +
+                            std::to_string(child) + ".gcstale";
+  const int fd = ::shm_open(stale.c_str(), O_CREAT | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(fd, 4096), 0);
+  ::close(fd);
+
+  std::vector<std::string> removed;
+  const GcStats gc = gc_stale_segments(&removed);
+  EXPECT_GE(gc.scanned, 2);
+  EXPECT_GE(gc.alive, 1);
+  EXPECT_GE(gc.removed, 1);
+  EXPECT_NE(std::find(removed.begin(), removed.end(), stale), removed.end());
+
+  // The stale name is gone; the live one still attaches.
+  Segment probe;
+  std::string err;
+  EXPECT_FALSE(Segment::attach(stale, &probe, &err));
+  EXPECT_TRUE(Segment::attach(live.shm_name(), &probe, &err)) << err;
+  live.unlink();
+}
+
+}  // namespace
+}  // namespace armbar::shmsvc

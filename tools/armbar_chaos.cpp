@@ -1,0 +1,202 @@
+// armbar-chaos — process-level chaos harness for the shm channel service
+// (ISSUE 8 tentpole proof).
+//
+//   $ armbar-chaos --seconds 20 --seed 7 --kind all
+//
+// For each requested channel kind, forks a producer/consumer fleet over a
+// fresh segment and SIGKILLs workers at seeded random points — both
+// supervisor kills and self-inflicted crash plans that die *inside*
+// produce/consume critical windows — restarting every victim, until the
+// kill window closes; then stops, drains, and audits. Pass criteria, per
+// fleet:
+//   * no hang (every blocked peer recovers via lease + recovery),
+//   * zero duplicate deliveries (mark-array proof, not sampling),
+//   * every gap accounted: delivered + gaps == produced exactly,
+//   * teardown leaves zero /dev/shm segments (incl. the GC sweep of any
+//     stale segment from previous crashed runs).
+//
+// Doubles as its own re-exec'd worker (maybe_run_worker). SIGINT/SIGTERM
+// kill + reap everything and exit 128+sig.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runner/arg_parser.hpp"
+#include "shmsvc/service.hpp"
+#include "trace/json_report.hpp"
+
+using namespace armbar;
+
+int main(int argc, char** argv) {
+  const int worker = shmsvc::maybe_run_worker(argc, argv);
+  if (worker >= 0) return worker;
+
+  runner::ArgParser args(
+      "armbar-chaos",
+      "Kill/restart chaos soak over the shm channel service: supervisor "
+      "SIGKILLs plus in-op crash plans, exact delivery audit after drain.");
+  args.add_value("kind", "K", "q | rb | rbp | all", "all");
+  args.add_int("seconds", "N", "total kill-window budget across kinds", 20, 1,
+               3600);
+  args.add_int("seed", "S", "chaos schedule seed", 1, 0, INT64_MAX);
+  args.add_int("channels", "N", "channels per segment", 2, 1, 16);
+  args.add_int("capacity", "N", "ring slots per channel", 256, 2, 1 << 20);
+  args.add_int("records", "N", "produce target per channel", 1 << 20, 1,
+               1ll << 32);
+  args.add_int("consumers", "N", "consumer processes per channel", 2, 1, 64);
+  args.add_int("kill-min-ms", "MS", "min gap between supervisor kills", 40, 1,
+               60000);
+  args.add_int("kill-max-ms", "MS", "max gap between supervisor kills", 160, 1,
+               60000);
+  args.add_int("crash-pct", "PCT", "workers spawned with an in-op crash plan",
+               60, 0, 100);
+  args.add_int("min-cycles", "N",
+               "fail unless at least N kill/restart cycles happened in total",
+               1, 0, INT64_MAX);
+  args.add_value("victims", "WHO", "all | producers", "all");
+  args.add_value("json", "PATH", "write an armbar.bench.report/v2 here", "");
+  args.add_flag("verbose", "log kills/spawns to stderr");
+  std::string err;
+  if (!args.parse(argc, argv, &err)) {
+    std::fprintf(stderr, "armbar-chaos: %s\n%s", err.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
+  std::vector<shmsvc::ChannelKind> kinds;
+  if (args.str("kind") == "all") {
+    kinds = {shmsvc::ChannelKind::kLockQueue, shmsvc::ChannelKind::kRing,
+             shmsvc::ChannelKind::kPilotRing};
+  } else {
+    shmsvc::ChannelKind k;
+    if (!shmsvc::parse_kind(args.str("kind"), &k)) {
+      std::fprintf(stderr, "armbar-chaos: bad --kind '%s'\n",
+                   args.str("kind").c_str());
+      return 2;
+    }
+    kinds = {k};
+  }
+  const bool producers_only = args.str("victims") == "producers";
+  if (!producers_only && args.str("victims") != "all") {
+    std::fprintf(stderr, "armbar-chaos: bad --victims '%s'\n",
+                 args.str("victims").c_str());
+    return 2;
+  }
+  const std::uint64_t window_ms =
+      static_cast<std::uint64_t>(args.integer("seconds")) * 1000 /
+      kinds.size();
+
+  volatile std::sig_atomic_t* sig = shmsvc::install_tool_signals();
+  trace::ReportBuilder rb("armbar_chaos",
+                          "shm service chaos soak (seed " +
+                              std::to_string(args.integer("seed")) + ")");
+  rb.add_param("seed", std::to_string(args.integer("seed")));
+  rb.add_param("victims", producers_only ? "producers" : "all");
+  rb.add_param("window_ms_per_kind", std::to_string(window_ms));
+
+  bool all_ok = true;
+  std::uint64_t total_kills = 0, total_cycles = 0;
+  for (shmsvc::ChannelKind kind : kinds) {
+    const std::string name = shmsvc::to_string(kind);
+    shmsvc::FleetConfig cfg;
+    cfg.seg.name = "chaos-" + name;
+    cfg.seg.kind = kind;
+    cfg.seg.channels = static_cast<std::uint32_t>(args.integer("channels"));
+    cfg.seg.capacity = static_cast<std::uint32_t>(args.integer("capacity"));
+    cfg.seg.records = static_cast<std::uint64_t>(args.integer("records"));
+    cfg.seg.seed = 0xc405ull + static_cast<std::uint64_t>(args.integer("seed"));
+    cfg.consumers_per_channel =
+        static_cast<std::uint32_t>(args.integer("consumers"));
+    cfg.chaos = true;
+    cfg.chaos_seed = static_cast<std::uint64_t>(args.integer("seed")) * 3 +
+                     static_cast<std::uint64_t>(kind);
+    cfg.chaos_ms = window_ms;
+    cfg.kill_min_ms = static_cast<std::uint32_t>(args.integer("kill-min-ms"));
+    cfg.kill_max_ms = static_cast<std::uint32_t>(args.integer("kill-max-ms"));
+    cfg.crash_plan_pct = static_cast<std::uint32_t>(args.integer("crash-pct"));
+    cfg.victims = producers_only ? shmsvc::ChaosVictims::kProducersOnly
+                                 : shmsvc::ChaosVictims::kAll;
+    // The workers spend most of their life being killed; leave generous
+    // slack over the window before calling it a hang.
+    cfg.deadline_ms = window_ms + 120000;
+    cfg.verbose = args.given("verbose");
+
+    std::printf("armbar-chaos: %s — %ums kill window...\n", name.c_str(),
+                static_cast<unsigned>(window_ms));
+    std::fflush(stdout);
+    shmsvc::Fleet fleet(cfg);
+    const shmsvc::FleetResult res = fleet.run([sig] { return *sig != 0; });
+    if (res.interrupted) {
+      shmsvc::emergency_cleanup();
+      return 128 + static_cast<int>(*sig);
+    }
+
+    std::uint64_t recoveries = 0, tombstoned = 0, reclaimed = 0, rescued = 0;
+    for (const shmsvc::ChannelAudit& a : res.channels) {
+      recoveries += a.recoveries;
+      tombstoned += a.gaps_tombstoned;
+      reclaimed += a.gaps_reclaimed;
+      rescued += a.intents_rescued;
+    }
+    std::printf(
+        "armbar-chaos: %s — %s: %llu kills, %llu cycles, produced %llu, "
+        "delivered %llu, gaps %llu (tombstoned %llu, reclaimed %llu, "
+        "rescued %llu), dups %llu, %llu recoveries, %.2fs\n",
+        name.c_str(), res.ok ? "ok" : ("FAILED: " + res.error).c_str(),
+        static_cast<unsigned long long>(res.kills),
+        static_cast<unsigned long long>(res.restarts),
+        static_cast<unsigned long long>(res.produced),
+        static_cast<unsigned long long>(res.delivered),
+        static_cast<unsigned long long>(res.gaps),
+        static_cast<unsigned long long>(tombstoned),
+        static_cast<unsigned long long>(reclaimed),
+        static_cast<unsigned long long>(rescued),
+        static_cast<unsigned long long>(res.duplicates),
+        static_cast<unsigned long long>(recoveries), res.seconds);
+
+    rb.add_check(name + ": fleet drained with no hang", res.ok);
+    rb.add_check(name + ": zero duplicate deliveries", res.duplicates == 0);
+    rb.add_check(name + ": every gap accounted (delivered + gaps == produced)",
+                 res.delivered + res.gaps == res.produced);
+    rb.add_check(name + ": zero shm segments left", res.segments_clean);
+    rb.add_metric(name + "_kills", static_cast<double>(res.kills));
+    rb.add_metric(name + "_cycles", static_cast<double>(res.restarts));
+    rb.add_metric(name + "_produced", static_cast<double>(res.produced));
+    rb.add_metric(name + "_delivered", static_cast<double>(res.delivered));
+    rb.add_metric(name + "_gaps", static_cast<double>(res.gaps));
+    rb.add_metric(name + "_recoveries", static_cast<double>(recoveries));
+    rb.add_metric(name + "_gc_removed", static_cast<double>(res.gc_removed));
+
+    all_ok = all_ok && res.ok && res.duplicates == 0 && res.segments_clean &&
+             res.delivered + res.gaps == res.produced;
+    total_kills += res.kills;
+    total_cycles += res.restarts;
+  }
+
+  const std::uint64_t min_cycles =
+      static_cast<std::uint64_t>(args.integer("min-cycles"));
+  const bool enough = total_cycles >= min_cycles;
+  if (!enough)
+    std::fprintf(stderr, "armbar-chaos: only %llu cycles (< %llu required)\n",
+                 static_cast<unsigned long long>(total_cycles),
+                 static_cast<unsigned long long>(min_cycles));
+  rb.add_check("kill/restart cycle floor reached", enough);
+  rb.add_metric("total_kills", static_cast<double>(total_kills));
+  rb.add_metric("total_cycles", static_cast<double>(total_cycles));
+  rb.set_ok(all_ok && enough);
+  if (!args.str("json").empty() && !rb.write(args.str("json"))) {
+    std::fprintf(stderr, "armbar-chaos: cannot write %s\n",
+                 args.str("json").c_str());
+    return 1;
+  }
+
+  std::printf("armbar-chaos: %s — %llu supervisor kills, %llu cycles total\n",
+              all_ok && enough ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(total_kills),
+              static_cast<unsigned long long>(total_cycles));
+  return all_ok && enough ? 0 : 1;
+}

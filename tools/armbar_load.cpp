@@ -1,0 +1,196 @@
+// armbar-load — the load generator / consumer half of the shm service.
+//
+// Two modes:
+//   * self-contained: create a segment and run producers AND consumers
+//     (one binary demo / bench driver):
+//       $ armbar-load --kind rbp --records 1000000 --json LOAD.json
+//   * attach: consume from an armbar-serve segment (polls until the
+//     creator publishes the ready flag):
+//       $ armbar-load --attach-file /tmp/bus.name --consumers 2
+//
+// Emits an armbar.bench.report/v2 document under --json with throughput,
+// tail latency and barrier counts, validated by tools/report_check in CI.
+// Doubles as its own re-exec'd worker (maybe_run_worker); SIGINT/SIGTERM
+// kill + reap the fleet and exit 128+sig.
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <string>
+
+#include "runner/arg_parser.hpp"
+#include "shmsvc/service.hpp"
+#include "trace/json_report.hpp"
+
+using namespace armbar;
+
+namespace {
+
+/// Polls Segment::attach until it succeeds (creator may still be
+/// initializing) or the budget expires.
+bool wait_attachable(const std::string& shm_name, std::uint64_t budget_ms,
+                     std::string* err) {
+  const std::uint64_t deadline = shmsvc::now_ns() + budget_ms * 1000000ull;
+  for (;;) {
+    {
+      shmsvc::Segment probe;
+      if (shmsvc::Segment::attach(shm_name, &probe, err)) return true;
+    }
+    if (shmsvc::now_ns() >= deadline) return false;
+    timespec ts{0, 20000000};  // 20 ms
+    nanosleep(&ts, nullptr);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int worker = shmsvc::maybe_run_worker(argc, argv);
+  if (worker >= 0) return worker;
+
+  runner::ArgParser args(
+      "armbar-load",
+      "Drive the shm channel service: self-contained producer+consumer "
+      "fleet, or the consumer side of an armbar-serve segment (--attach / "
+      "--attach-file).");
+  args.add_value("kind", "K", "channel kind: q | rb | rbp (create mode)", "rb");
+  args.add_int("channels", "N", "channels (create mode)", 1, 1, 16);
+  args.add_int("capacity", "N", "ring slots per channel (create mode)", 256, 2,
+               1 << 20);
+  args.add_int("records", "N", "records per channel (create mode)", 1 << 20, 1,
+               1ll << 32);
+  args.add_int("consumers", "N", "consumer processes per channel", 2, 1, 64);
+  args.add_int("produce-work", "K", "synthetic splitmix rounds per record", 0,
+               0, 1 << 20);
+  args.add_int("seed", "S", "payload/pilot seed (create mode)", 0x5eed, 0,
+               INT64_MAX);
+  args.add_int("deadline-s", "N", "no-progress watchdog", 180, 1, 86400);
+  args.add_value("attach", "SHMNAME", "attach to this segment (consume only)",
+                 "");
+  args.add_value("attach-file", "PATH",
+                 "read the shm name from this file (armbar-serve --name-file)",
+                 "");
+  args.add_int("attach-wait-ms", "MS", "how long to poll for the segment",
+               10000, 0, 600000);
+  args.add_value("json", "PATH", "write an armbar.bench.report/v2 here", "");
+  args.add_flag("verbose", "log per-worker lifecycle to stderr");
+  std::string err;
+  if (!args.parse(argc, argv, &err)) {
+    std::fprintf(stderr, "armbar-load: %s\n%s", err.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
+  shmsvc::FleetConfig cfg;
+  std::string attach = args.str("attach");
+  if (!args.str("attach-file").empty()) {
+    // Poll for the file too: serve writes it before creating the segment,
+    // but the supervisor may have started us first.
+    const std::uint64_t deadline =
+        shmsvc::now_ns() +
+        static_cast<std::uint64_t>(args.integer("attach-wait-ms")) * 1000000ull;
+    for (;;) {
+      std::ifstream in(args.str("attach-file"));
+      if (in.good() && std::getline(in, attach) && !attach.empty()) break;
+      if (shmsvc::now_ns() >= deadline) {
+        std::fprintf(stderr, "armbar-load: no shm name in %s\n",
+                     args.str("attach-file").c_str());
+        return 2;
+      }
+      timespec ts{0, 20000000};
+      nanosleep(&ts, nullptr);
+    }
+  }
+  if (!attach.empty()) {
+    if (!wait_attachable(attach,
+                         static_cast<std::uint64_t>(args.integer("attach-wait-ms")),
+                         &err)) {
+      std::fprintf(stderr, "armbar-load: cannot attach %s: %s\n",
+                   attach.c_str(), err.c_str());
+      return 1;
+    }
+    cfg.attach = attach;
+    cfg.spawn_producers = false;
+  } else {
+    if (!shmsvc::parse_kind(args.str("kind"), &cfg.seg.kind)) {
+      std::fprintf(stderr, "armbar-load: bad --kind '%s' (q | rb | rbp)\n",
+                   args.str("kind").c_str());
+      return 2;
+    }
+    cfg.seg.name = "load";
+    cfg.seg.channels = static_cast<std::uint32_t>(args.integer("channels"));
+    cfg.seg.capacity = static_cast<std::uint32_t>(args.integer("capacity"));
+    cfg.seg.records = static_cast<std::uint64_t>(args.integer("records"));
+    cfg.seg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  }
+  cfg.consumers_per_channel =
+      static_cast<std::uint32_t>(args.integer("consumers"));
+  cfg.tuning.produce_work =
+      static_cast<std::uint32_t>(args.integer("produce-work"));
+  cfg.deadline_ms = static_cast<std::uint64_t>(args.integer("deadline-s")) * 1000;
+  cfg.verbose = args.given("verbose");
+
+  volatile std::sig_atomic_t* sig = shmsvc::install_tool_signals();
+  shmsvc::Fleet fleet(cfg);
+  const shmsvc::FleetResult res = fleet.run([sig] { return *sig != 0; });
+  if (res.interrupted) {
+    shmsvc::emergency_cleanup();
+    return 128 + static_cast<int>(*sig);
+  }
+
+  const double per_op =
+      res.delivered == 0 ? 0.0 : 1.0 / static_cast<double>(res.delivered + res.gaps);
+  std::printf(
+      "armbar-load: %s — %llu delivered (%.2f M/s), gaps %llu, dups %llu, "
+      "p50 %.1fus p99 %.1fus, %.2f barriers/op (%.2f full)\n",
+      res.ok ? "ok" : ("FAILED: " + res.error).c_str(),
+      static_cast<unsigned long long>(res.delivered), res.mps,
+      static_cast<unsigned long long>(res.gaps),
+      static_cast<unsigned long long>(res.duplicates), res.p50_us, res.p99_us,
+      static_cast<double>(res.barriers) * per_op,
+      static_cast<double>(res.full_barriers) * per_op);
+
+  if (!args.str("json").empty()) {
+    trace::ReportBuilder rb("armbar_load",
+                            "shm channel service load (" +
+                                std::string(cfg.attach.empty()
+                                                ? shmsvc::to_string(cfg.seg.kind)
+                                                : "attached") +
+                                ")");
+    rb.add_check("fleet drained cleanly", res.ok);
+    rb.add_check("zero duplicate deliveries", res.duplicates == 0);
+    rb.add_check("delivery accounting identity holds",
+                 res.delivered + res.gaps == res.produced);
+    rb.add_check("no shm segment left after teardown", res.segments_clean);
+    rb.add_param("mode", cfg.attach.empty() ? "create" : "attach");
+    rb.add_param("kind", cfg.attach.empty() ? shmsvc::to_string(cfg.seg.kind)
+                                            : "external");
+    rb.add_param("consumers_per_channel",
+                 std::to_string(cfg.consumers_per_channel));
+    rb.add_metric("produced", static_cast<double>(res.produced));
+    rb.add_metric("delivered", static_cast<double>(res.delivered));
+    rb.add_metric("gaps", static_cast<double>(res.gaps));
+    rb.add_metric("duplicates", static_cast<double>(res.duplicates));
+    rb.add_metric("mps", res.mps);
+    rb.add_metric("p50_us", res.p50_us);
+    rb.add_metric("p99_us", res.p99_us);
+    rb.add_metric("p999_us", res.p999_us);
+    rb.add_metric("barriers_per_op",
+                  static_cast<double>(res.barriers) * per_op);
+    rb.add_metric("full_barriers_per_op",
+                  static_cast<double>(res.full_barriers) * per_op);
+    rb.add_metric("futex_waits", static_cast<double>(res.futex_waits));
+    rb.set_ok(res.ok && res.duplicates == 0 && res.segments_clean);
+    if (!rb.write(args.str("json"))) {
+      std::fprintf(stderr, "armbar-load: cannot write %s\n",
+                   args.str("json").c_str());
+      return 1;
+    }
+    std::printf("armbar-load: report written to %s\n",
+                args.str("json").c_str());
+  }
+  return res.ok && res.duplicates == 0 && res.segments_clean ? 0 : 1;
+}

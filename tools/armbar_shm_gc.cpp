@@ -1,0 +1,86 @@
+// armbar-shm-gc — sweep /dev/shm for stale armbar segments.
+//
+// A segment is stale when it belongs to the current user and its creator
+// pid (baked into the name: /armbar.<user>.<pid>.<name>) is dead. Other
+// users' segments and live owners are never touched. The chaos harness and
+// every Fleet teardown run the same sweep; this tool is the standalone
+// entry point for cron/CI hygiene.
+//
+//   $ armbar-shm-gc            # sweep and report
+//   $ armbar-shm-gc --dry-run  # report only
+#include <dirent.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runner/arg_parser.hpp"
+#include "shmsvc/service.hpp"
+
+using namespace armbar;
+
+int main(int argc, char** argv) {
+  const int worker = shmsvc::maybe_run_worker(argc, argv);
+  if (worker >= 0) return worker;
+
+  runner::ArgParser args("armbar-shm-gc",
+                         "Unlink /dev/shm/armbar.* segments whose creator "
+                         "process is dead (current user only).");
+  args.add_flag("dry-run", "scan and report without unlinking");
+  args.add_flag("quiet", "print nothing; exit status only");
+  std::string err;
+  if (!args.parse(argc, argv, &err)) {
+    std::fprintf(stderr, "armbar-shm-gc: %s\n%s", err.c_str(),
+                 args.help().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
+  if (args.given("dry-run")) {
+    // Same scan, no unlink: reuse the parser + liveness probe directly.
+    shmsvc::GcStats st;
+    std::vector<std::string> stale;
+    if (DIR* d = ::opendir("/dev/shm")) {
+      const std::string me = shmsvc::current_user();
+      while (dirent* e = ::readdir(d)) {
+        std::string user, name;
+        int pid = 0;
+        if (!shmsvc::parse_segment_name(e->d_name, &user, &pid, &name))
+          continue;
+        ++st.scanned;
+        if (user != me) {
+          ++st.foreign;
+        } else if (shmsvc::pid_alive(pid)) {
+          ++st.alive;
+        } else {
+          ++st.removed;  // would remove
+          stale.push_back(std::string("/") + e->d_name);
+        }
+      }
+      ::closedir(d);
+    }
+    if (!args.given("quiet")) {
+      std::printf(
+          "armbar-shm-gc (dry run): %d armbar segment(s), %d alive, %d "
+          "foreign, %d stale\n",
+          st.scanned, st.alive, st.foreign, st.removed);
+      for (const std::string& s : stale) std::printf("  stale: %s\n", s.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> removed;
+  const shmsvc::GcStats st = shmsvc::gc_stale_segments(&removed);
+  if (!args.given("quiet")) {
+    std::printf(
+        "armbar-shm-gc: %d armbar segment(s) scanned, %d alive, %d foreign, "
+        "%d removed\n",
+        st.scanned, st.alive, st.foreign, st.removed);
+    for (const std::string& s : removed)
+      std::printf("  removed: %s\n", s.c_str());
+  }
+  return 0;
+}
