@@ -197,6 +197,33 @@ inline simprog::LockResult cached_ffwd(ExperimentContext& ctx,
       [&] { return lock_to_json(simprog::run_ffwd(spec, w, choice)); }));
 }
 
+/// ISSUE 9 cna_scaling: CNA / MCS queue lock. New cache tag and value
+/// shape (adds the exact barrier count); existing lock wrappers keep their
+/// pinned JSON shape.
+inline simprog::LockResult cached_cna(ExperimentContext& ctx,
+                                      const sim::PlatformSpec& spec,
+                                      const simprog::LockWorkload& w,
+                                      const simprog::CnaChoice& choice) {
+  Fingerprint key = lock_workload_key("cna", spec, w);
+  key.mix(static_cast<std::uint32_t>(choice.acquire_barrier))
+      .mix(static_cast<std::uint32_t>(choice.release_barrier))
+      .mix(choice.local_handoff_cap)
+      .mix(choice.numa_aware);
+  const trace::Json v = ctx.cached(
+      key,
+      std::string("cna ") + (choice.numa_aware ? "numa " : "mcs ") +
+          spec.name + " t=" + std::to_string(w.threads),
+      [&] {
+        const simprog::LockResult r = simprog::run_cna(spec, w, choice);
+        trace::Json j = lock_to_json(r);
+        j.set("barriers", static_cast<double>(r.barriers));
+        return j;
+      });
+  simprog::LockResult r = lock_from_json(v);
+  r.barriers = static_cast<std::uint64_t>(json_num(v, "barriers"));
+  return r;
+}
+
 /// Fig 7c / Fig 8: CC-Synch combining lock.
 inline simprog::LockResult cached_ccsynch(ExperimentContext& ctx,
                                           const sim::PlatformSpec& spec,

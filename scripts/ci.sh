@@ -38,6 +38,12 @@
 #     followed by a planted-bug stage: a dropped-fence mutation must be
 #     caught, minimized, bundled, and the bundle must replay bit-exactly
 #     through armbar-repro;
+#   * a lock-verification smoke (armbar-lockver: all six clean lock
+#     variants over the full axiomatic + sim grid, zero bundles) plus the
+#     lock_verify experiment report (18/18 planted bugs caught), followed
+#     by a planted lock-bug stage: a dropped release edge in the weakened
+#     CNA handoff must fail verification, produce a lock_invariant bundle,
+#     and replay bit-exactly through armbar-repro;
 #   * an ARMBAR_PROF_DISABLED build proving the profiler compiles out to
 #     zero cost: tier1 must pass and sim_perf must still clear its gate
 #     with no host_prof section;
@@ -276,6 +282,49 @@ if [ "$FUZZ_RC" -ne 1 ]; then
 fi
 "$BUILD/tools/armbar-repro" "$FUZZ_DIR/fuzz-29.repro.json"
 echo "planted-bug pipeline OK (caught, minimized, replayed)"
+
+echo "== lock verification smoke (all clean variants, full sim grid) =="
+# Every family/strength handoff template must hold every invariant on the
+# axiomatic checker AND stay inside the model's allowed set across the
+# platform x fault-plan x skew sim grid. A clean run writes no bundles.
+LOCKVER_DIR="$SMOKE_DIR/lockver"
+rm -rf "$LOCKVER_DIR" && mkdir -p "$LOCKVER_DIR"
+"$BUILD/tools/armbar-lockver" --quiet --out "$LOCKVER_DIR"
+if compgen -G "$LOCKVER_DIR/*.repro.json" > /dev/null; then
+    echo "FAIL: clean lock verification produced repro bundles"
+    exit 1
+fi
+"$BENCH" --filter 'lock_verify*' --no-cache \
+    --json="$SMOKE_DIR/lock_verify.report.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/lock_verify.report.json"
+python3 - "$SMOKE_DIR/lock_verify.report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], "lock_verify experiment failed"
+m = doc["metrics"]
+assert m["clean_failures"] == 0, m
+assert m["planted_bugs"] == 18 and m["planted_caught"] == 18, m
+assert doc["quarantine"] == [], "clean lock_verify quarantined something"
+print(f"lock_verify OK ({m['clean_scenarios']:.0f} clean variants, "
+      f"{m['planted_caught']:.0f}/{m['planted_bugs']:.0f} planted bugs caught)")
+EOF
+
+echo "== planted lock-bug stage (drop-release must be caught and replay) =="
+# A release-edge miscompile of the weakened CNA handoff must fail
+# verification (rc 1), write a lock_invariant bundle, and replay
+# bit-exactly through armbar-repro — the proof a broken lock cannot pass.
+set +e
+"$BUILD/tools/armbar-lockver" --quiet --plant drop-release \
+    --out "$LOCKVER_DIR" cna/weakened
+LOCKVER_RC=$?
+set -e
+if [ "$LOCKVER_RC" -ne 1 ]; then
+    echo "FAIL: planted lock bug exited $LOCKVER_RC (want 1 = caught)"
+    exit 1
+fi
+"$BUILD/tools/armbar-repro" \
+    "$LOCKVER_DIR/lockver_cna_weakened_drop-release.repro.json"
+echo "planted lock-bug pipeline OK (caught, bundled, replayed)"
 
 echo "== shm service smoke (serve + cross-process attach load) =="
 # The crash-tolerant channel service end to end: armbar-serve owns the

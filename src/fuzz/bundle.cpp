@@ -328,6 +328,16 @@ trace::Json bundle_to_json(const ReproBundle& b) {
   j.set("expected_allowed", outcomes_to_json(b.expected_allowed));
   j.set("observed", outcomes_to_json(b.observed));
   if (b.has_diagnostic) j.set("diagnostic", b.diagnostic.to_json());
+  if (!b.scenario.empty()) {
+    Json lv = Json::object();
+    lv.set("scenario", b.scenario);
+    lv.set("invariant", b.invariant);
+    Json w = Json::array();
+    for (std::uint64_t v : b.witness) w.push(u64s(v));
+    lv.set("witness", std::move(w));
+    lv.set("crosschecked", b.lock_crosschecked);
+    j.set("lockver", std::move(lv));
+  }
   return j;
 }
 
@@ -372,6 +382,42 @@ bool bundle_from_json(const trace::Json& j, ReproBundle* out,
       return false;
     }
     out->has_diagnostic = true;
+  }
+  // Optional (absent in bundles captured by the differential fuzzer; only
+  // lock-verification bundles carry it). Strict when present.
+  if (const Json* lv = j.find("lockver"); lv != nullptr) {
+    if (!lv->is_object()) {
+      *err = "bundle.lockver: not an object";
+      return false;
+    }
+    const Json* sc = lv->find("scenario");
+    const Json* inv = lv->find("invariant");
+    if (sc == nullptr || !sc->is_string() || sc->str().empty() ||
+        inv == nullptr || !inv->is_string()) {
+      *err = "bundle.lockver.scenario/invariant: malformed";
+      return false;
+    }
+    out->scenario = sc->str();
+    out->invariant = inv->str();
+    const Json* w = lv->find("witness");
+    if (w == nullptr || !w->is_array()) {
+      *err = "bundle.lockver.witness: malformed";
+      return false;
+    }
+    for (const Json& v : w->items()) {
+      std::uint64_t x = 0;
+      if (!parse_u64(&v, &x)) {
+        *err = "bundle.lockver.witness: malformed entry";
+        return false;
+      }
+      out->witness.push_back(x);
+    }
+    const Json* cc = lv->find("crosschecked");
+    if (cc == nullptr || !cc->is_bool()) {
+      *err = "bundle.lockver.crosschecked: malformed";
+      return false;
+    }
+    out->lock_crosschecked = cc->boolean();
   }
   return true;
 }

@@ -35,6 +35,16 @@ struct ReproBundle {
   std::set<model::Outcome> observed;
   sim::SimDiagnostic diagnostic;  ///< when the failure carried one
   bool has_diagnostic = false;
+
+  // Lock-verification extension (ISSUE 9): present iff `scenario` is
+  // non-empty. Names the lockver scenario the program came from, the
+  // violated invariant and its minimized witness outcome, so armbar-repro
+  // can replay the whole invariant verdict — not just the diff — from the
+  // bundle alone.
+  std::string scenario;            ///< lockver scenario name, "" = none
+  std::string invariant;           ///< violated invariant name
+  model::Outcome witness;          ///< minimized violating outcome
+  bool lock_crosschecked = false;  ///< verdict included the sim cross-check
 };
 
 /// Capture a bundle from a completed (failing) diff run. Takes the first

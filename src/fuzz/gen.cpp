@@ -52,6 +52,14 @@ class CaseBuilder {
   }
 
   model::ConcurrentProgram build() {
+    // Lock shapes are opt-in and pre-rolled: with the knob at 0 no random
+    // draw happens here, so default-option seeds stay bit-identical.
+    if (opts_.lock_shape_pct > 0 &&
+        rng_.below(100) < opts_.lock_shape_pct && naddrs_ >= 2) {
+      lock_skeleton();
+      mutate();
+      return render();
+    }
     // Shape bias: MP 35%, SB 20%, IRIW 15% (when 4 threads fit), the rest
     // fully random.
     const std::uint64_t roll = rng_.below(100);
@@ -147,6 +155,47 @@ class CaseBuilder {
     };
     threads_ = {{{AOp::kStore, x}}, {{AOp::kStore, y}},
                 reader(x, y), reader(y, x)};
+  }
+
+  // Lock-handoff skeleton (ISSUE 9): the generic shape the lockver
+  // templates encode deliberately. The edge menus span correct (dmb ish,
+  // STLR/LDAR) and insufficient (dmb st, nothing) choices — the harness
+  // earns its keep on the boundary between them.
+  void lock_skeleton() {
+    const auto [grant, data] = two_addrs();
+    std::uint32_t probe = data;
+    for (std::uint32_t i = 0; i < naddrs_; ++i)
+      if (i != grant && i != data) {
+        probe = i;
+        break;
+      }
+    std::vector<AOp> holder;
+    holder.push_back({AOp::kStore, data});     // CS write
+    holder.push_back({AOp::kLoad, probe});     // CS read (overlap witness)
+    switch (rng_.below(4)) {                   // release edge menu
+      case 0:
+        holder.push_back({AOp::kBarrier, 0, Op::kDmbFull});
+        holder.push_back({AOp::kStore, grant});
+        break;
+      case 1:
+        holder.push_back({AOp::kRelStore, grant});
+        break;
+      case 2:  // store-only barrier: insufficient for the CS load above
+        holder.push_back({AOp::kBarrier, 0, Op::kDmbSt});
+        holder.push_back({AOp::kStore, grant});
+        break;
+      default:  // no edge at all
+        holder.push_back({AOp::kStore, grant});
+        break;
+    }
+    std::vector<AOp> waiter;
+    waiter.push_back(
+        {rng_.chance(1, 2) ? AOp::kAcqLoad : AOp::kLoad, grant});  // acquire
+    if (rng_.chance(1, 2)) waiter.push_back({AOp::kCtrlDep, 0});
+    waiter.push_back({AOp::kStore, probe});  // waiter's CS write
+    waiter.push_back(
+        {rng_.chance(1, 3) ? AOp::kAddrDepLoad : AOp::kLoad, data});
+    threads_ = {std::move(holder), std::move(waiter)};
   }
 
   void random_skeleton() {

@@ -35,6 +35,15 @@ struct GenOptions {
   std::uint32_t max_threads = 5;         ///< >= 2; 4+ enables IRIW shapes
   std::uint32_t max_ops_per_thread = 8;  ///< memory/barrier ops in the body
   std::uint32_t num_addrs = 4;           ///< 1..4 shared locations
+  /// Percent of cases drawn as lock-handoff skeletons (ISSUE 9): a holder
+  /// whose critical section stores data and loads a probe word, a release
+  /// edge drawn from the strong/weakened/insufficient menu (dmb ish, STLR,
+  /// dmb st, nothing), a grant store, and a waiter with a randomized
+  /// acquire edge and a ctrl-dep-guarded critical section — the exact
+  /// shape family the lockver harness verifies deliberately. MUST stay 0
+  /// by default: the roll is only drawn when the knob is on, so every
+  /// pinned seed (ci.sh bit-identity gate, golden corpus) is unaffected.
+  std::uint32_t lock_shape_pct = 0;
 };
 
 /// Generate the program for `seed`. Deterministic; the returned program's

@@ -28,6 +28,7 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "locks/delegation.hpp"
+#include "locks/topology.hpp"
 #include "pilot/pilot.hpp"
 
 namespace armbar::locks {
@@ -41,6 +42,14 @@ class CcSynchLock final : public Executor {
     /// Barrier publishing {ret, completed} before wait=false; ignored
     /// when use_pilot is true.
     arch::Barrier response_barrier = arch::Barrier::kDmbSt;
+
+    /// Size the node table from the shared topology source (one node per
+    /// core) instead of the historical hard-coded 64.
+    static Config for_topology(const Topology& t) {
+      Config c;
+      c.max_threads = t.total_cores();
+      return c;
+    }
   };
 
   CcSynchLock() : CcSynchLock(Config{}) {}

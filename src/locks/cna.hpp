@@ -1,0 +1,218 @@
+// Compact NUMA-Aware lock (CNA; Dice & Kogan, EuroSys'19), in the C11
+// atomics form studied by "Verifying and Optimizing Compact NUMA-Aware
+// Locks on Weak Memory Models" (PAPERS.md; ISSUE 9 tentpole).
+//
+// Shape: an MCS queue lock whose unlocker scans the main queue for a
+// waiter on its own socket. Remote-socket waiters in front of that local
+// successor are detached onto a *secondary* queue carried in the holder's
+// node, so the lock keeps migrating within one socket (cheap c2c) instead
+// of bouncing across the interconnect. To bound unfairness the holder
+// splices the secondary queue back to the front after a fixed streak of
+// local handoffs (the deterministic variant of the paper's probabilistic
+// keep_local coin).
+//
+// Socket ids come from locks::Topology (shared with the sim platform
+// presets — ISSUE 9 satellite); with one socket the scan always succeeds
+// immediately and the lock degenerates to plain MCS.
+//
+// The acquire/release barrier choices are configurable exactly like
+// TicketLock, because the lock-verification harness (src/lockver) studies
+// both the strong (DMB full) and the weakened (LDAR/STLR) orderings of
+// the handoff. Host fallbacks keep every configuration safe off-ARM.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "arch/barrier.hpp"
+#include "common/types.hpp"
+#include "locks/delegation.hpp"
+#include "locks/topology.hpp"
+
+namespace armbar::locks {
+
+class CnaLock final : public Executor {
+ public:
+  struct Config {
+    Topology topo = Topology::host();
+    /// Orders the grant-word spin read before the critical section.
+    arch::Barrier acquire_barrier = arch::Barrier::kDmbLd;
+    /// Orders critical-section accesses (and the transferred secondary-
+    /// queue fields) before the grant-word store.
+    arch::Barrier release_barrier = arch::Barrier::kDmbFull;
+    /// Use LDAR/STLR on the grant word instead of standalone barriers
+    /// (the paper's Table 3 weakening of the handoff).
+    bool rcsc = false;
+    /// Local handoffs in a row before the secondary queue is spliced back
+    /// in front of the main queue (starvation bound).
+    std::uint32_t local_handoff_cap = 64;
+
+    static Config strong(Topology t) {
+      Config c;
+      c.topo = t;
+      return c;
+    }
+    static Config weakened(Topology t) {
+      Config c;
+      c.topo = t;
+      c.acquire_barrier = arch::Barrier::kNone;
+      c.release_barrier = arch::Barrier::kNone;
+      c.rcsc = true;
+      return c;
+    }
+  };
+
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint64_t> grant{0};  ///< 0 = wait; 1 = lock is yours
+    std::uint32_t socket = 0;
+    // Holder-owned state, handed to the successor *before* the grant store
+    // (the release ordering on grant is what publishes these).
+    Node* sec_head = nullptr;
+    Node* sec_tail = nullptr;
+    std::uint32_t local_streak = 0;
+  };
+
+  CnaLock() : CnaLock(Config{}) {}
+  explicit CnaLock(Config cfg) : cfg_(cfg) {}
+
+  void lock(Node& me) {
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.grant.store(0, std::memory_order_relaxed);
+    me.socket = current_socket(cfg_.topo);
+    Node* pred = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      // Uncontended: holder state starts empty.
+      me.sec_head = me.sec_tail = nullptr;
+      me.local_streak = 0;
+      return;
+    }
+    pred->next.store(&me, std::memory_order_release);
+    unsigned spins = 0;
+    if (cfg_.rcsc) {
+      while (arch::load_acquire(me.grant) == 0) {
+        if ((++spins & 0x3f) == 0) std::this_thread::yield();
+      }
+    } else {
+      while (me.grant.load(std::memory_order_relaxed) == 0) {
+        if ((++spins & 0x3f) == 0) std::this_thread::yield();
+      }
+      arch::barrier(cfg_.acquire_barrier);
+    }
+#if !defined(__aarch64__)
+    // Host fallback: acquire semantics regardless of the configured
+    // barrier (the experiments weaken ARM orderings, not host safety).
+    std::atomic_thread_fence(std::memory_order_acquire);
+#endif
+  }
+
+  void unlock(Node& me) {
+    Node* succ = me.next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      if (me.sec_head != nullptr) {
+        // Main queue looks empty but remote waiters are parked: install
+        // the secondary queue as the new main queue (its tail becomes the
+        // lock tail) and pass to its head.
+        Node* expected = &me;
+        if (tail_.compare_exchange_strong(expected, me.sec_tail,
+                                          std::memory_order_acq_rel)) {
+          pass(*me.sec_head, nullptr, nullptr, 0);
+          return;
+        }
+      } else {
+        Node* expected = &me;
+        if (tail_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel))
+          return;  // no waiters: lock released
+      }
+      // Lost the race: an enqueuer holds the tail but has not linked yet.
+      unsigned spins = 0;
+      while ((succ = me.next.load(std::memory_order_acquire)) == nullptr) {
+        if ((++spins & 0x3f) == 0) std::this_thread::yield();
+      }
+    }
+
+    Node* sh = me.sec_head;
+    Node* st = me.sec_tail;
+    const std::uint32_t streak = me.local_streak;
+
+    if (sh != nullptr && streak >= cfg_.local_handoff_cap) {
+      // Fairness splice: the parked remote waiters jump ahead of the main
+      // queue and the oldest of them gets the lock.
+      st->next.store(succ, std::memory_order_relaxed);
+      pass(*sh, nullptr, nullptr, 0);
+      return;
+    }
+
+    // Scan the linked prefix of the main queue for a same-socket waiter.
+    // A node whose next is still null may be the published tail, so the
+    // scan never detaches past it.
+    Node* cur = succ;
+    Node* prev = nullptr;
+    while (cur->socket != me.socket) {
+      Node* nxt = cur->next.load(std::memory_order_acquire);
+      if (nxt == nullptr) {
+        cur = nullptr;
+        break;
+      }
+      prev = cur;
+      cur = nxt;
+    }
+
+    if (cur == nullptr) {
+      // Every linked waiter is remote: hand off across sockets, restoring
+      // any parked waiters to the front first (they are older).
+      if (sh != nullptr) {
+        st->next.store(succ, std::memory_order_relaxed);
+        pass(*sh, nullptr, nullptr, 0);
+      } else {
+        pass(*succ, nullptr, nullptr, 0);
+      }
+      return;
+    }
+
+    if (cur != succ) {
+      // Detach the remote prefix [succ .. prev] onto the secondary queue.
+      prev->next.store(nullptr, std::memory_order_relaxed);
+      if (sh == nullptr) {
+        sh = succ;
+      } else {
+        st->next.store(succ, std::memory_order_relaxed);
+      }
+      st = prev;
+    }
+    pass(*cur, sh, st, streak + 1);
+  }
+
+  std::uint64_t execute(CriticalFn fn, void* ctx, std::uint64_t arg) override {
+    Node me;
+    lock(me);
+    const std::uint64_t ret = fn(ctx, arg);
+    unlock(me);
+    return ret;
+  }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  void pass(Node& to, Node* sh, Node* st, std::uint32_t streak) {
+    to.sec_head = sh;
+    to.sec_tail = st;
+    to.local_streak = streak;
+#if !defined(__aarch64__)
+    std::atomic_thread_fence(std::memory_order_release);
+#endif
+    if (cfg_.rcsc) {
+      arch::store_release(to.grant, 1);
+    } else {
+      arch::barrier(cfg_.release_barrier);
+      to.grant.store(1, std::memory_order_relaxed);
+    }
+  }
+
+  Config cfg_;
+  alignas(kCacheLineBytes) std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace armbar::locks

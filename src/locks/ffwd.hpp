@@ -22,6 +22,7 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "locks/delegation.hpp"
+#include "locks/topology.hpp"
 #include "pilot/pilot.hpp"
 
 namespace armbar::locks {
@@ -37,6 +38,14 @@ class FfwdLock final : public Executor {
     /// Algorithm 5 line 7: order the response data before the flag.
     /// Ignored when use_pilot is true (that is the point of Pilot).
     arch::Barrier response_barrier = arch::Barrier::kDmbSt;
+
+    /// Size the client table from the shared topology source (one slot per
+    /// core) instead of the historical hard-coded 16.
+    static Config for_topology(const Topology& t) {
+      Config c;
+      c.max_clients = t.total_cores();
+      return c;
+    }
   };
 
   FfwdLock() : FfwdLock(Config{}) {}

@@ -1,0 +1,73 @@
+// Socket/cluster topology for the host-side locks (ISSUE 9 satellite).
+//
+// The lock headers used to hard-code their capacity and placement
+// constants (FFWD max_clients = 16, CC-Synch max_threads = 64, no socket
+// notion at all). CNA needs a real socket map, and the benches already
+// have one: the simulator's PlatformSpec. This header is the single
+// topology source both sides share — `Topology::from_platform` projects a
+// sim preset (kunpeng916 = 2 x 32, ...) and `Topology::host()` describes
+// the machine the process is actually running on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "sim/platform.hpp"
+
+namespace armbar::locks {
+
+/// A two-level core map: `sockets` NUMA/cluster domains of
+/// `cores_per_socket` cores each, numbered socket-major exactly like
+/// sim::PlatformSpec::node_of.
+struct Topology {
+  std::uint32_t sockets = 1;
+  std::uint32_t cores_per_socket = 1;
+
+  std::uint32_t total_cores() const { return sockets * cores_per_socket; }
+
+  /// Socket of a cpu/thread index (indices beyond the map wrap, so any
+  /// scheduler-reported cpu id maps to a valid socket).
+  std::uint32_t socket_of(std::uint32_t cpu) const {
+    const std::uint32_t n = total_cores();
+    return n == 0 ? 0 : (cpu % n) / cores_per_socket;
+  }
+
+  /// Project a simulator platform preset: sim NUMA nodes become sockets.
+  static Topology from_platform(const sim::PlatformSpec& spec) {
+    Topology t;
+    t.sockets = spec.nodes == 0 ? 1 : spec.nodes;
+    t.cores_per_socket = spec.cores_per_node == 0 ? 1 : spec.cores_per_node;
+    return t;
+  }
+
+  /// The running machine. Portable builds cannot probe NUMA without
+  /// platform libraries, so the host is described as one socket holding
+  /// every hardware thread — CNA degenerates to plain MCS there, which is
+  /// exactly the correct single-socket behaviour.
+  static Topology host() {
+    Topology t;
+    t.sockets = 1;
+    const unsigned hw = std::thread::hardware_concurrency();
+    t.cores_per_socket = hw == 0 ? 1 : hw;
+    return t;
+  }
+};
+
+/// Socket of the calling thread under `t`: the scheduler's cpu id where
+/// the OS exposes one, else a stable hash of the thread id (any fixed
+/// assignment is correct — the socket only steers the handoff policy).
+inline std::uint32_t current_socket(const Topology& t) {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu >= 0) return t.socket_of(static_cast<std::uint32_t>(cpu));
+#endif
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return t.socket_of(static_cast<std::uint32_t>(h));
+}
+
+}  // namespace armbar::locks

@@ -1,0 +1,99 @@
+// Lock-verification harness (ISSUE 9 tentpole): turn the axiomatic
+// checker + differential fuzzer into a correctness oracle for the repo's
+// own lock code.
+//
+// verify() runs one LockScenario through two layers:
+//   (a) model layer — enumerate the full allowed-outcome set with the
+//       axiomatic checker and evaluate every invariant over it. Any
+//       allowed outcome an invariant forbids is a *violation*: the lock's
+//       ordering admits an execution a correct lock must never produce.
+//       The recorded witness is minimized deterministically — the
+//       lexicographically smallest violating outcome in the set.
+//   (b) sim cross-check — drive the identical programs through the timing
+//       simulator across platform presets x fault plans x start skews via
+//       fuzz::run_diff (sim ⊆ model), and additionally evaluate the
+//       invariants over every outcome the simulator actually produced.
+//
+// A failing verification serializes into a standard armbar.repro/v1
+// bundle with failure_kind "lock_invariant" plus the scenario name,
+// invariant name and witness outcome; replay_lock_bundle() re-derives
+// the whole verdict from the bundle alone (tools/armbar-repro).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/bundle.hpp"
+#include "fuzz/diff.hpp"
+#include "lockver/templates.hpp"
+#include "model/model.hpp"
+
+namespace armbar::lockver {
+
+inline constexpr const char* kLockInvariantKind = "lock_invariant";
+
+struct VerifyOptions {
+  /// Platform presets for the sim cross-check; empty = all four.
+  std::vector<std::string> platforms;
+  /// Chaos fault plans per platform (plus one clean plan, always).
+  std::uint32_t chaos_seeds = 2;
+  std::vector<std::uint32_t> skews = {0, 11};
+  bool sim_crosscheck = true;
+  Cycle max_cycles = 2'000'000;
+  model::ModelOptions model;
+
+  /// The DiffOptions grid this VerifyOptions expands to (also what gets
+  /// serialized into bundles — plans are explicit there).
+  fuzz::DiffOptions diff_options() const;
+};
+
+struct Violation {
+  std::string invariant;
+  std::string description;
+  model::Outcome witness;        ///< lexicographically smallest violator
+  std::uint64_t model_hits = 0;  ///< violating outcomes in the model set
+  std::uint64_t sim_hits = 0;    ///< violating outcomes the sim produced
+};
+
+struct VerifyResult {
+  std::string scenario;
+  model::OutcomeSet model;            ///< the full allowed set
+  std::vector<Violation> violations;  ///< one entry per violated invariant
+  bool crosschecked = false;
+  fuzz::DiffResult diff;              ///< valid when crosschecked
+
+  /// Clean: the model enumerated completely, no invariant is violated,
+  /// and (when cross-checked) the simulator stayed inside the model set.
+  bool ok() const {
+    return model.ok() && model.complete && violations.empty() &&
+           (!crosschecked || diff.ok());
+  }
+  /// Behavioural identity for bundle replay: scenario name, allowed set
+  /// and every violation record (plus the diff digest when cross-checked).
+  std::uint64_t digest() const;
+  std::string summary() const;
+};
+
+VerifyResult verify(const LockScenario& sc, const VerifyOptions& opts);
+
+/// Capture a failing verification as a repro bundle: failure_kind
+/// "lock_invariant", first violation's name + witness, scenario name.
+fuzz::ReproBundle make_lock_bundle(const LockScenario& sc,
+                                   const VerifyOptions& opts,
+                                   const VerifyResult& result);
+
+struct ReplayVerdict {
+  bool loaded = false;      ///< scenario + invariants resolved
+  bool reproduced = false;  ///< digest matched and the violation recurred
+  std::string detail;
+};
+
+/// Replay a "lock_invariant" bundle: rebuild the invariants from the
+/// bundled scenario name, re-verify the *bundled* program (so the replay
+/// is bit-exact even if the templates later change), and check that the
+/// recorded invariant still fires with the recorded witness and that the
+/// fresh digest equals expect_digest.
+ReplayVerdict replay_lock_bundle(const fuzz::ReproBundle& b);
+
+}  // namespace armbar::lockver

@@ -285,8 +285,13 @@ EngineResult Engine::run() {
                       spec->name.c_str());
         try {
           spec->body(*ctx);
-        } catch (const ExperimentAbort&) {
+        } catch (const ExperimentAbort& e) {
           aborted = true;  // ctx.fatal() already recorded the failed check
+          // An abort classified via note_failure_kind() (e.g. the lock
+          // verifier's "lock_invariant") also gets a quarantine entry, so
+          // the report carries its repro bundle and quarantine params.
+          if (const std::string kind = ctx->failure_kind(); !kind.empty())
+            failure = {kind, e.reason, trace::Json()};
         } catch (const ExperimentTimeout& e) {
           failure = {"timeout", e.reason, trace::Json()};
         } catch (const ExperimentInterrupted&) {
@@ -373,9 +378,15 @@ EngineResult Engine::run() {
     // to pre-profiling ones; report_check rejects any report carrying it.
     if (ctx->prof_digest_leak())
       report.add_param(kp + "prof_digest_leak", "true");
-    if (!out.kind.empty())
+    if (!out.kind.empty()) {
+      trace::Json extra;
+      if (const auto qp = ctx->quarantine_params(); !qp.empty()) {
+        extra = trace::Json::object();
+        for (const auto& [k, v] : qp) extra.set(k, v);
+      }
       report.add_quarantine(out.name, out.status, out.kind, out.reason,
-                            out.diagnostic, out.repro_bundle);
+                            out.diagnostic, out.repro_bundle, extra);
+    }
     report.add_metric(kp + "wall_ms", wall_ms);
     report.add_metric(kp + "sim_points", static_cast<double>(out.points));
     report.add_metric(kp + "cache_point_hits",

@@ -81,6 +81,28 @@ std::string ExperimentContext::repro_bundle() const {
   return repro_bundle_;
 }
 
+void ExperimentContext::note_failure_kind(const std::string& kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failure_kind_ = kind;
+}
+
+std::string ExperimentContext::failure_kind() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failure_kind_;
+}
+
+void ExperimentContext::note_quarantine_param(const std::string& key,
+                                              const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantine_params_.emplace_back(key, value);
+}
+
+std::vector<std::pair<std::string, std::string>>
+ExperimentContext::quarantine_params() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_params_;
+}
+
 Fingerprint ExperimentContext::key() {
   Fingerprint fp;
   fp.mix(kCacheEpoch);

@@ -151,6 +151,18 @@ class ExperimentContext {
   void note_repro_bundle(const std::string& path);
   std::string repro_bundle() const;
 
+  /// Classify a subsequent fatal() abort. `kind` becomes the quarantine
+  /// entry's failure class (e.g. "lock_invariant" from the lock-verification
+  /// harness) instead of the default unclassified abort, and each
+  /// note_quarantine_param() pair lands on the entry verbatim — e.g. the
+  /// violated invariant's name and its minimized witness outcome, which
+  /// report_check requires for "lock_invariant" entries. Thread-safe; the
+  /// kind is last-writer-wins, params accumulate.
+  void note_failure_kind(const std::string& kind);
+  std::string failure_kind() const;
+  void note_quarantine_param(const std::string& key, const std::string& value);
+  std::vector<std::pair<std::string, std::string>> quarantine_params() const;
+
   // ---- parallel sweep ----
 
   /// Run fn(0..n-1) on the engine pool and return the results in index
@@ -235,8 +247,11 @@ class ExperimentContext {
   std::vector<std::pair<std::string, double>> metrics_recorded_;
   std::size_t failed_checks_ = 0;
   std::string repro_bundle_;
-  mutable std::mutex mu_;  // guards digest fields and repro_bundle_
-                           // (cached() and note_repro_bundle run on workers)
+  std::string failure_kind_;
+  std::vector<std::pair<std::string, std::string>> quarantine_params_;
+  mutable std::mutex mu_;  // guards digest fields, repro_bundle_ and the
+                           // failure kind/params (workers may call the
+                           // note_* methods)
   std::uint64_t points_digest_ = 0;
   std::uint64_t points_ = 0;
   std::uint64_t point_hits_ = 0;

@@ -23,6 +23,8 @@ constexpr Addr kRxState = 0x50000;   // client-private pilot rx state (32B)
 constexpr Addr kHashPool = 0x60000;  // 64 shared read-only seeds
 constexpr Addr kTail = 0x70000;      // CC-Synch tail pointer
 constexpr Addr kNodes = 0x80000;     // CC-Synch nodes, 192B apart
+constexpr Addr kCnaTail = 0x74000;   // CNA tail pointer
+constexpr Addr kCnaNodes = 0x90000;  // CNA nodes, 128B apart
 constexpr Addr kPrivBase = 0x100000; // per-core private counters
 constexpr std::uint32_t kPoolSize = 64;
 
@@ -245,6 +247,165 @@ Program make_ffwd_client(const LockWorkload& w, const FfwdChoice& c) {
   return a.take("ffwd-client");
 }
 
+// ---------------- CNA (compact NUMA-aware MCS) ----------------
+//
+// Node layout (128B, 2 lines):
+//   [0]  next        [8]  socket
+//   [64] grant       [72] sec_head   [80] sec_tail   [88] streak
+//
+// The lock holder's node carries the secondary-queue state; on handoff the
+// unlocker writes the successor's [72..88] before granting [64], so the
+// release edge under test orders the whole queue-state transfer. Remote
+// waiters detached onto the secondary queue keep spinning on their own
+// grant word and are spliced back in front of the main queue when the
+// local-handoff streak reaches the cap (or no local waiter remains).
+Program make_cna_program(const LockWorkload& w, const CnaChoice& c) {
+  // Per-core registers set by the harness:
+  //   X1 = my node address, X2 = my socket id.
+  Asm a;
+  a.movi(X0, kCnaTail);
+  a.movi(X22, c.local_handoff_cap);
+  a.movi(X20, 0);
+  a.label("loop");
+  // Re-initialize my node; it is unreferenced between iterations (the
+  // previous unlock either swung the tail off it or handed it to a linked
+  // successor, so enqueuers never touch it again).
+  a.str(XZR, X1, 0);                  // next = 0
+  a.str(X2, X1, 8);                   // socket
+  a.str(XZR, X1, 64);                 // grant = 0
+  a.str(XZR, X1, 72);                 // sec_head (holder state if fast path)
+  a.str(XZR, X1, 80);                 // sec_tail
+  a.str(XZR, X1, 88);                 // streak
+  a.dmb_st();                         // node init before it enters the queue
+  a.swp(X6, X1, X0);                  // X6 = predecessor (0: uncontended)
+  a.cbz(X6, "locked");
+  a.str(X1, X6, 0);                   // pred->next = me
+  a.label("spin");
+  if (c.acquire_barrier == OrderChoice::kLdar) {
+    a.ldar(X7, X1, 64);
+  } else {
+    a.ldr(X7, X1, 64);
+  }
+  a.cbnz(X7, "got");
+  a.wfe();
+  a.b("spin");
+  a.label("got");
+  if (c.acquire_barrier != OrderChoice::kLdar)
+    emit_choice(a, c.acquire_barrier);  // acquire edge under test
+  a.label("locked");
+  emit_cs(a, w.cs_lines, w.cs_ro_lines, X9);
+  // ---- unlock ----
+  a.ldr(X13, X1, 0);                  // succ
+  a.ldr(X10, X1, 72);                 // sec_head
+  a.ldr(X11, X1, 80);                 // sec_tail
+  a.ldr(X12, X1, 88);                 // streak
+  a.cbnz(X13, "have_succ");
+  a.cbnz(X10, "tail_sec");            // no succ but parked remote waiters
+  a.label("cas0");                    // try tail: me -> 0
+  a.ldxr(X14, X0);
+  a.cmp(X14, X1);
+  a.bne("wait_link");                 // an enqueuer swapped past me
+  a.stxr(X15, XZR, X0);
+  a.cbnz(X15, "cas0");
+  a.b("after");
+  a.label("tail_sec");                // try tail: me -> sec_tail
+  a.ldxr(X14, X0);
+  a.cmp(X14, X1);
+  a.bne("wait_link");
+  a.stxr(X15, X11, X0);
+  a.cbnz(X15, "tail_sec");
+  a.mov(X16, X10);                    // secondary becomes the main queue
+  a.movi(X10, 0);
+  a.movi(X11, 0);
+  a.movi(X12, 0);
+  a.b("grant");
+  a.label("wait_link");
+  a.ldr(X13, X1, 0);
+  a.cbz(X13, "wait_link");
+  a.label("have_succ");
+  a.dmb_ld();                         // succ's fields after its link store
+  if (!c.numa_aware) {
+    // Plain MCS baseline: strict FIFO handoff, no secondary queue.
+    a.mov(X16, X13);
+    a.movi(X10, 0);
+    a.movi(X11, 0);
+    a.movi(X12, 0);
+    a.b("grant");
+  } else {
+    a.cmp(X12, X22);
+    a.blt("scan");
+    a.cbz(X10, "scan");               // streak capped but nothing parked
+    a.str(X13, X11, 0);               // splice: sec_tail->next = succ
+    a.mov(X16, X10);                  // fairness handoff to sec_head
+    a.movi(X10, 0);
+    a.movi(X11, 0);
+    a.movi(X12, 0);
+    a.b("grant");
+    a.label("scan");                  // first same-socket main-queue waiter
+    a.mov(X17, X13);                  // cur = succ
+    a.movi(X18, 0);                   // prev = 0
+    a.label("scanloop");
+    a.ldr(X19, X17, 8);               // cur->socket
+    a.cmp(X19, X2);
+    a.beq("found");
+    a.ldr(X25, X17, 0);               // cur->next (0: end, or mid-link)
+    a.cbz(X25, "nolocal");
+    a.mov(X18, X17);
+    a.mov(X17, X25);
+    a.b("scanloop");
+    a.label("found");
+    a.cmp(X17, X13);
+    a.bne("detach");
+    a.addi(X12, X12, 1);              // succ is local: plain handoff
+    a.mov(X16, X13);
+    a.b("grant");
+    a.label("detach");                // park [succ .. prev] on the secondary
+    a.str(XZR, X18, 0);               // prev->next = 0 (cut from main)
+    a.cbz(X10, "fresh_sec");
+    a.str(X13, X11, 0);               // append: sec_tail->next = succ
+    a.b("setsec");
+    a.label("fresh_sec");
+    a.mov(X10, X13);                  // sec_head = succ
+    a.label("setsec");
+    a.mov(X11, X18);                  // sec_tail = prev
+    a.addi(X12, X12, 1);
+    a.mov(X16, X17);                  // handoff to the local waiter
+    a.b("grant");
+    a.label("nolocal");
+    a.cbz(X10, "pass_succ");
+    a.str(X13, X11, 0);               // splice secondary in front of succ
+    a.mov(X16, X10);
+    a.movi(X10, 0);
+    a.movi(X11, 0);
+    a.movi(X12, 0);
+    a.b("grant");
+    a.label("pass_succ");
+    a.mov(X16, X13);                  // no locals, nothing parked
+    a.movi(X12, 0);
+  }
+  a.label("grant");                   // X16 = next holder; X10/X11/X12 state
+  a.str(X10, X16, 72);                // transfer the secondary queue
+  a.str(X11, X16, 80);
+  a.str(X12, X16, 88);
+  if (c.release_barrier == OrderChoice::kStlr) {
+    a.movi(X29, 1);
+    a.stlr(X29, X16, 64);
+  } else {
+    emit_choice(a, c.release_barrier);  // release edge under test
+    a.movi(X29, 1);
+    a.str(X29, X16, 64);
+  }
+  a.label("after");
+  a.nops(w.interval_nops);
+  a.addi(X20, X20, 1);
+  a.cmpi(X20, w.iters);
+  a.blt("loop");
+  a.halt();
+  return a.take(std::string("cna/") +
+                (c.numa_aware ? "numa" : "mcs") + "/" +
+                to_string(c.release_barrier));
+}
+
 // ---------------- CC-Synch ("DSynch") ----------------
 //
 // Node layout (192B, 3 lines):
@@ -404,6 +565,7 @@ LockResult finish(const sim::PlatformSpec& spec, Machine& m, RunResult& r,
                   const LockWorkload& w) {
   LockResult res;
   res.cycles = r.cycles;
+  for (const auto& cs : r.cores) res.barriers += cs.barriers;
   if (!r.completed) return res;  // correct=false flags the timeout
   const std::uint64_t total = static_cast<std::uint64_t>(w.threads) * w.iters;
   res.acq_per_sec = RunResult::throughput_per_sec(total, r.cycles, spec.freq_ghz);
@@ -440,6 +602,20 @@ LockResult run_ffwd(const sim::PlatformSpec& spec, const LockWorkload& w,
     m.core(c).set_reg(X0, kReqBase + i * 128);
     m.core(c).set_reg(X1, kRespBase + i * 128);
     m.core(c).set_reg(X5, kRxState + i * 32);
+  }
+  auto r = m.run(sim::RunConfig{.max_cycles = 4'000'000'000ULL});
+  return finish(spec, m, r, w);
+}
+
+LockResult run_cna(const sim::PlatformSpec& spec, const LockWorkload& w,
+                   const CnaChoice& choice) {
+  ARMBAR_CHECK(w.threads >= 1 && w.threads <= spec.total_cores());
+  Machine m(spec, 8u << 20);
+  Program p = make_cna_program(w, choice);
+  for (CoreId c = 0; c < w.threads; ++c) {
+    m.load_program(c, p);
+    m.core(c).set_reg(X1, kCnaNodes + c * 128);
+    m.core(c).set_reg(X2, spec.node_of(c));
   }
   auto r = m.run(sim::RunConfig{.max_cycles = 4'000'000'000ULL});
   return finish(spec, m, r, w);

@@ -32,6 +32,10 @@ struct LockResult {
   double acq_per_sec = 0;   ///< critical sections per second (whole machine)
   bool correct = false;     ///< counter == threads * iters
   Cycle cycles = 0;
+  /// Exact machine-wide barrier-instruction count (dmb/dsb/isb retired
+  /// across all cores) — barriers/acquisition is the paper's per-variant
+  /// cost axis (ISSUE 9 cna_scaling).
+  std::uint64_t barriers = 0;
 };
 
 /// Ticket lock (Fig 7a). `release_barrier` guards the now-serving store;
@@ -49,6 +53,30 @@ struct FfwdChoice {
 };
 LockResult run_ffwd(const sim::PlatformSpec& spec, const LockWorkload& w,
                     const FfwdChoice& choice);
+
+/// CNA (compact NUMA-aware) queue lock (ISSUE 9): MCS-style queue where
+/// the unlocker prefers a same-socket successor, parking remote waiters on
+/// a secondary queue carried in the holder's node and splicing them back
+/// after `local_handoff_cap` consecutive local handoffs (deterministic
+/// long-term fairness). The acquire/release edges on the grant word are
+/// configurable so the paper's Table 3 weakenings are measurable:
+/// strong = plain spin + dmb ld / dmb ish + plain grant store;
+/// weakened = LDAR spin / STLR grant (no standalone dmb on the handoff).
+struct CnaChoice {
+  OrderChoice acquire_barrier = OrderChoice::kDmbLd;   ///< kLdar: LDAR spin
+  OrderChoice release_barrier = OrderChoice::kDmbFull; ///< kStlr: STLR grant
+  std::uint32_t local_handoff_cap = 64;
+  bool numa_aware = true;  ///< false: plain MCS handoff (scaling baseline)
+  static CnaChoice strong() { return {}; }
+  static CnaChoice weakened() {
+    return {OrderChoice::kLdar, OrderChoice::kStlr, 64, true};
+  }
+  static CnaChoice mcs() {
+    return {OrderChoice::kDmbLd, OrderChoice::kDmbFull, 64, false};
+  }
+};
+LockResult run_cna(const sim::PlatformSpec& spec, const LockWorkload& w,
+                   const CnaChoice& choice);
 
 /// CC-Synch combining lock ("DSynch"). `pilot` piggybacks the response.
 struct CcSynchChoice {

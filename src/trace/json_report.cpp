@@ -42,7 +42,8 @@ void ReportBuilder::add_quarantine(const std::string& name,
                                    const std::string& kind,
                                    const std::string& reason,
                                    const Json& diagnostic,
-                                   const std::string& repro_bundle) {
+                                   const std::string& repro_bundle,
+                                   const Json& extra) {
   Json q = Json::object();
   q.set("name", name);
   q.set("status", status);
@@ -50,6 +51,14 @@ void ReportBuilder::add_quarantine(const std::string& name,
   q.set("reason", reason);
   if (!diagnostic.is_null()) q.set("diagnostic", diagnostic);
   if (!repro_bundle.empty()) q.set("repro_bundle", repro_bundle);
+  if (extra.is_object()) {
+    for (const auto& [key, value] : extra.members()) {
+      if (key == "name" || key == "status" || key == "kind" ||
+          key == "reason" || key == "diagnostic" || key == "repro_bundle")
+        continue;  // reserved
+      if (value.is_string()) q.set(key, value.str());
+    }
+  }
   quarantine_.push(std::move(q));
   ok_ = false;
 }
@@ -245,6 +254,20 @@ bool validate_bench_report(const Json& doc, std::string* err) {
         bundle && (!bundle->is_string() || bundle->str().empty()))
       return violation(err, "quarantine entry '" + name->str() +
                                 "': 'repro_bundle' must be a non-empty string");
+    // Lock-verification entries (ISSUE 9) must name the violated invariant
+    // and carry its minimized witness outcome — that pair is what makes
+    // the entry independently replayable and auditable.
+    if (const Json* kind = q.find("kind");
+        kind && kind->is_string() && kind->str() == "lock_invariant") {
+      const Json* inv = q.find("invariant");
+      const Json* wit = q.find("witness");
+      if (!inv || !inv->is_string() || inv->str().empty() || !wit ||
+          !wit->is_string() || wit->str().empty())
+        return violation(err,
+                         "quarantine entry '" + name->str() +
+                             "': kind 'lock_invariant' needs non-empty "
+                             "string 'invariant' and 'witness'");
+    }
   }
   if (ok->boolean() && quarantine->size() > 0)
     return violation(err, "'ok' is true but experiments are quarantined");

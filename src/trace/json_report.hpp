@@ -51,14 +51,19 @@ class ReportBuilder {
   void add_metric(const std::string& name, double value);
   void add_histogram(const std::string& name, const HistogramSummary& s);
   /// Record an abnormally-terminated experiment (timeout, hang, invariant
-  /// violation, tripped ARMBAR_CHECK, interrupt). `diagnostic` may be a
-  /// null Json when no structured bundle exists; `repro_bundle` is the path
-  /// of a self-contained armbar.repro/v1 bundle replayable with
-  /// tools/armbar-repro (empty = none). Forces ok to false.
+  /// violation, tripped ARMBAR_CHECK, interrupt, lock-invariant violation).
+  /// `diagnostic` may be a null Json when no structured bundle exists;
+  /// `repro_bundle` is the path of a self-contained armbar.repro/v1 bundle
+  /// replayable with tools/armbar-repro (empty = none). `extra` is an
+  /// optional object of additional string parameters merged into the entry
+  /// verbatim (reserved keys are skipped) — kind "lock_invariant" entries
+  /// must carry "invariant" and "witness" this way (validated). Forces ok
+  /// to false.
   void add_quarantine(const std::string& name, const std::string& status,
                       const std::string& kind, const std::string& reason,
                       const Json& diagnostic = Json(),
-                      const std::string& repro_bundle = "");
+                      const std::string& repro_bundle = "",
+                      const Json& extra = Json());
   /// Pull every histogram (machine-wide merge) and counter out of a
   /// registry. Counters land in metrics as "<name>".
   void add_registry(const MetricsRegistry& reg);

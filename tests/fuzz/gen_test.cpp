@@ -92,6 +92,38 @@ TEST(FuzzGen, LoadsObservedAndMemoryInitialized) {
   }
 }
 
+// The opt-in lock-shape knob (ISSUE 9): off by default — identical output
+// to unconfigured generation for every seed — and on at 100% it yields
+// deterministic two-thread holder/waiter handoff programs.
+TEST(FuzzGen, LockShapeKnob) {
+  f::GenOptions off;  // defaults; lock_shape_pct == 0
+  ASSERT_EQ(off.lock_shape_pct, 0u);
+  f::GenOptions on = off;
+  on.lock_shape_pct = 100;
+  std::size_t two_thread = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const m::ConcurrentProgram base = f::generate(seed);
+    const m::ConcurrentProgram same = f::generate(seed, off);
+    ASSERT_EQ(base.threads.size(), same.threads.size()) << "seed " << seed;
+    for (std::size_t t = 0; t < base.threads.size(); ++t)
+      EXPECT_EQ(base.threads[t].serialize(), same.threads[t].serialize())
+          << "seed " << seed << ": default-off knob changed the program";
+
+    const m::ConcurrentProgram lk = f::generate(seed, on);
+    const m::ConcurrentProgram lk2 = f::generate(seed, on);
+    ASSERT_EQ(lk.threads.size(), lk2.threads.size()) << "seed " << seed;
+    for (std::size_t t = 0; t < lk.threads.size(); ++t) {
+      EXPECT_EQ(lk.threads[t].serialize(), lk2.threads[t].serialize())
+          << "seed " << seed;
+      for (const Instr& ins : lk.threads[t].code)
+        EXPECT_TRUE(model_supported(ins.op)) << "seed " << seed;
+    }
+    // mutate() may append ops/threads, but the skeleton itself is 2-thread.
+    if (lk.threads.size() == 2) ++two_thread;
+  }
+  EXPECT_GT(two_thread, 32u);  // the skeleton dominates at 100%
+}
+
 TEST(FuzzGen, SerializedProgramsRoundTrip) {
   for (std::uint64_t seed = 0; seed < 32; ++seed) {
     const m::ConcurrentProgram p = f::generate(seed);

@@ -1,0 +1,48 @@
+// Slow-tier exhaustive sweep: every clean scenario, full acceptance grid —
+// all four platform presets x (clean + chaos plans) x start skews, with
+// the sim cross-check on. This is the ISSUE 9 acceptance run in test form.
+#include "lockver/harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace armbar::lockver {
+namespace {
+
+TEST(LockverFull, AllCleanScenariosAllPlatforms) {
+  VerifyOptions opts;  // defaults: all platforms, 2 chaos seeds, 2 skews
+  for (const LockScenario& sc : all_clean_scenarios()) {
+    const VerifyResult r = verify(sc, opts);
+    EXPECT_TRUE(r.crosschecked);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_TRUE(r.diff.ok()) << sc.name << ": " << r.diff.summary();
+    // 4 platforms x 3 plans x 2 skews = 24 sim runs per scenario.
+    EXPECT_EQ(r.diff.runs, 24u) << sc.name;
+  }
+}
+
+// Every planted bug on every family/strength is caught, and the sim
+// cross-check still holds (the simulator runs the buggy program too — the
+// bug shows up as a forbidden-by-invariant outcome, not as a sim/model
+// divergence).
+TEST(LockverFull, AllPlantedBugsCaughtWithCrosscheck) {
+  VerifyOptions opts;
+  opts.platforms = {"kunpeng916", "rpi4"};
+  opts.chaos_seeds = 1;
+  for (LockFamily f :
+       {LockFamily::kTicket, LockFamily::kCna, LockFamily::kFfwd}) {
+    for (Strength s : {Strength::kStrong, Strength::kWeakened}) {
+      for (PlantedBug b : {PlantedBug::kDropAcquire, PlantedBug::kDropRelease,
+                           PlantedBug::kDowngradeDmb}) {
+        const LockScenario sc = make_scenario(f, s, b);
+        const VerifyResult r = verify(sc, opts);
+        EXPECT_FALSE(r.ok()) << sc.name << " should have been caught";
+        EXPECT_FALSE(r.violations.empty()) << sc.name;
+        EXPECT_TRUE(r.diff.ok())
+            << sc.name << ": sim diverged from model: " << r.diff.summary();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace armbar::lockver

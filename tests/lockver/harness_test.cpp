@@ -1,0 +1,234 @@
+// Tier-1 harness tests (ISSUE 9): every clean variant passes all
+// invariants under the axiomatic checker; every planted edge class is
+// caught with a minimized witness; failing verdicts round-trip through
+// armbar.repro/v1 bundles and replay bit-exactly. One test per planted
+// edge class (drop-acquire, drop-release, downgrade-dmb), per acceptance.
+#include "lockver/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fuzz/bundle.hpp"
+
+namespace armbar::lockver {
+namespace {
+
+// Model-only options: planted-bug catching is a property of the allowed
+// set, not of any particular simulator run.
+VerifyOptions model_only() {
+  VerifyOptions o;
+  o.sim_crosscheck = false;
+  return o;
+}
+
+// Small cross-check grid for tier-1: one platform, one chaos seed.
+VerifyOptions small_crosscheck() {
+  VerifyOptions o;
+  o.platforms = {"kunpeng916"};
+  o.chaos_seeds = 1;
+  return o;
+}
+
+const Violation* find_violation(const VerifyResult& r,
+                                const std::string& name) {
+  for (const Violation& v : r.violations)
+    if (v.invariant == name) return &v;
+  return nullptr;
+}
+
+// Every violation's witness must be a model-allowed outcome that the named
+// invariant actually rejects, and must be the lexicographically smallest
+// such outcome (the "minimized witness" contract the repro bundles rely on).
+void expect_minimized(const VerifyResult& r) {
+  LockScenario sc;
+  ASSERT_TRUE(scenario_by_name(r.scenario, &sc));
+  for (const Violation& v : r.violations) {
+    const Invariant* inv = nullptr;
+    for (const Invariant& i : sc.invariants)
+      if (i.name == v.invariant) inv = &i;
+    ASSERT_NE(inv, nullptr) << v.invariant;
+    ASSERT_TRUE(r.model.allowed.count(v.witness)) << v.invariant;
+    EXPECT_TRUE(inv->violated(v.witness)) << v.invariant;
+    std::uint64_t hits = 0;
+    for (const model::Outcome& o : r.model.allowed) {
+      if (!inv->violated(o)) continue;
+      ++hits;
+      EXPECT_LE(v.witness, o) << v.invariant;  // witness is the minimum
+    }
+    EXPECT_EQ(v.model_hits, hits) << v.invariant;
+  }
+}
+
+TEST(LockverHarness, CleanScenariosHoldAllInvariants) {
+  for (const LockScenario& sc : all_clean_scenarios()) {
+    const VerifyResult r = verify(sc, model_only());
+    EXPECT_TRUE(r.model.ok()) << sc.name << ": " << r.model.error;
+    EXPECT_TRUE(r.model.complete) << sc.name;
+    EXPECT_TRUE(r.violations.empty()) << r.summary();
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_FALSE(r.crosschecked);
+  }
+}
+
+TEST(LockverHarness, WeakenedVariantsCrosscheckOnSim) {
+  for (const char* name : {"ticket/weakened", "cna/weakened"}) {
+    LockScenario sc;
+    ASSERT_TRUE(scenario_by_name(name, &sc));
+    const VerifyResult r = verify(sc, small_crosscheck());
+    EXPECT_TRUE(r.crosschecked);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_GT(r.diff.runs, 0u) << name;
+  }
+}
+
+// --- one test per planted edge class (acceptance criterion) ---
+
+TEST(LockverHarness, PlantedDropAcquireCaught) {
+  const struct {
+    LockFamily family;
+    const char* invariant;
+  } kCases[] = {
+      {LockFamily::kTicket, "handoff-visibility"},
+      {LockFamily::kCna, "queue-state-transfer"},
+      {LockFamily::kFfwd, "request-payload"},
+  };
+  for (const auto& c : kCases) {
+    for (Strength s : {Strength::kStrong, Strength::kWeakened}) {
+      const LockScenario sc =
+          make_scenario(c.family, s, PlantedBug::kDropAcquire);
+      const VerifyResult r = verify(sc, model_only());
+      EXPECT_FALSE(r.ok()) << sc.name;
+      EXPECT_NE(find_violation(r, c.invariant), nullptr) << r.summary();
+      expect_minimized(r);
+    }
+  }
+}
+
+TEST(LockverHarness, PlantedDropReleaseCaught) {
+  const struct {
+    LockFamily family;
+    const char* invariant;
+  } kCases[] = {
+      {LockFamily::kTicket, "mutual-exclusion"},
+      {LockFamily::kCna, "mutual-exclusion"},
+      {LockFamily::kFfwd, "response-payload"},
+  };
+  for (const auto& c : kCases) {
+    for (Strength s : {Strength::kStrong, Strength::kWeakened}) {
+      const LockScenario sc =
+          make_scenario(c.family, s, PlantedBug::kDropRelease);
+      const VerifyResult r = verify(sc, model_only());
+      EXPECT_FALSE(r.ok()) << sc.name;
+      EXPECT_NE(find_violation(r, c.invariant), nullptr) << r.summary();
+      expect_minimized(r);
+    }
+  }
+}
+
+// The subtle one: `dmb st` still orders the CS *stores* before the grant,
+// so handoff visibility of written data survives — but the in-CS *load*
+// is left unordered and mutual exclusion falls (ticket/CNA). For FFWD the
+// downgrade is a wrong-direction `dmb ld` on a store->store path.
+TEST(LockverHarness, PlantedDowngradeDmbCaught) {
+  const struct {
+    LockFamily family;
+    const char* invariant;
+  } kCases[] = {
+      {LockFamily::kTicket, "mutual-exclusion"},
+      {LockFamily::kCna, "mutual-exclusion"},
+      {LockFamily::kFfwd, "response-payload"},
+  };
+  for (const auto& c : kCases) {
+    for (Strength s : {Strength::kStrong, Strength::kWeakened}) {
+      const LockScenario sc =
+          make_scenario(c.family, s, PlantedBug::kDowngradeDmb);
+      const VerifyResult r = verify(sc, model_only());
+      EXPECT_FALSE(r.ok()) << sc.name;
+      EXPECT_NE(find_violation(r, c.invariant), nullptr) << r.summary();
+      expect_minimized(r);
+    }
+  }
+}
+
+// --- bundle round trip + replay ---
+
+TEST(LockverHarness, BundleRoundTripsAndReplays) {
+  LockScenario sc;
+  ASSERT_TRUE(scenario_by_name("ticket/weakened+drop-release", &sc));
+  const VerifyOptions opts = small_crosscheck();
+  const VerifyResult r = verify(sc, opts);
+  ASSERT_FALSE(r.ok());
+  ASSERT_FALSE(r.violations.empty());
+
+  const fuzz::ReproBundle b = make_lock_bundle(sc, opts, r);
+  EXPECT_EQ(b.failure_kind, kLockInvariantKind);
+  EXPECT_EQ(b.scenario, sc.name);
+  EXPECT_EQ(b.invariant, r.violations.front().invariant);
+  EXPECT_EQ(b.witness, r.violations.front().witness);
+  EXPECT_TRUE(b.lock_crosschecked);
+  EXPECT_EQ(b.expect_digest, r.digest());
+
+  // JSON round trip preserves the lockver extension.
+  fuzz::ReproBundle back;
+  std::string err;
+  ASSERT_TRUE(fuzz::bundle_from_json(fuzz::bundle_to_json(b), &back, &err))
+      << err;
+  EXPECT_EQ(back.scenario, b.scenario);
+  EXPECT_EQ(back.invariant, b.invariant);
+  EXPECT_EQ(back.witness, b.witness);
+  EXPECT_EQ(back.lock_crosschecked, b.lock_crosschecked);
+  EXPECT_EQ(back.expect_digest, b.expect_digest);
+
+  // File round trip + replay: the verdict must reproduce bit-exactly.
+  const std::string path =
+      testing::TempDir() + "/lockver_bundle_test.repro.json";
+  ASSERT_TRUE(fuzz::write_bundle(path, b, &err)) << err;
+  fuzz::ReproBundle loaded;
+  ASSERT_TRUE(fuzz::load_bundle(path, &loaded, &err)) << err;
+  const ReplayVerdict v = replay_lock_bundle(loaded);
+  EXPECT_TRUE(v.loaded) << v.detail;
+  EXPECT_TRUE(v.reproduced) << v.detail;
+  std::remove(path.c_str());
+}
+
+TEST(LockverHarness, ReplayRejectsTamperedBundles) {
+  LockScenario sc;
+  ASSERT_TRUE(scenario_by_name("ffwd/strong+drop-acquire", &sc));
+  const VerifyOptions opts = model_only();
+  const VerifyResult r = verify(sc, opts);
+  ASSERT_FALSE(r.ok());
+  fuzz::ReproBundle b = make_lock_bundle(sc, opts, r);
+
+  fuzz::ReproBundle tampered = b;
+  tampered.expect_digest ^= 1;
+  EXPECT_FALSE(replay_lock_bundle(tampered).reproduced);
+
+  tampered = b;
+  tampered.scenario = "ticket/strong";  // wrong invariants for the program
+  EXPECT_FALSE(replay_lock_bundle(tampered).reproduced);
+
+  tampered = b;
+  tampered.failure_kind = "mismatch";
+  EXPECT_FALSE(replay_lock_bundle(tampered).loaded);
+
+  tampered = b;
+  tampered.scenario = "no/such+thing";
+  EXPECT_FALSE(replay_lock_bundle(tampered).loaded);
+}
+
+TEST(LockverHarness, DigestCoversViolationsAndScenario) {
+  LockScenario clean, buggy;
+  ASSERT_TRUE(scenario_by_name("cna/weakened", &clean));
+  ASSERT_TRUE(scenario_by_name("cna/weakened+drop-release", &buggy));
+  const VerifyOptions opts = model_only();
+  const VerifyResult rc = verify(clean, opts);
+  const VerifyResult rb = verify(buggy, opts);
+  EXPECT_NE(rc.digest(), rb.digest());
+  // Deterministic: the same verification twice yields the same digest.
+  EXPECT_EQ(rb.digest(), verify(buggy, opts).digest());
+}
+
+}  // namespace
+}  // namespace armbar::lockver

@@ -246,11 +246,63 @@ TEST(CcSynchSim, PilotFasterAtHighContention) {
   EXPECT_GT(pilot.acq_per_sec, plain.acq_per_sec);
 }
 
+TEST(CnaSim, CorrectAtVariousThreadCounts) {
+  for (std::uint32_t threads : {1u, 2u, 8u, 16u}) {
+    LockWorkload w;
+    w.threads = threads;
+    w.iters = 40;
+    auto r = run_cna(kServer, w, CnaChoice::strong());
+    EXPECT_TRUE(r.correct) << threads << " threads";
+    EXPECT_GT(r.acq_per_sec, 0.0);
+  }
+}
+
+TEST(CnaSim, CrossSocketWithSmallCapStillCorrect) {
+  // 36 cores on kunpeng916 spans both sockets, so the unlock path actually
+  // scans, detaches remote waiters and splices them back at the cap.
+  LockWorkload w;
+  w.threads = 36;
+  w.iters = 15;
+  CnaChoice c = CnaChoice::strong();
+  c.local_handoff_cap = 4;
+  auto r = run_cna(kServer, w, c);
+  EXPECT_TRUE(r.correct);
+  CnaChoice weak = CnaChoice::weakened();
+  weak.local_handoff_cap = 4;
+  auto rw = run_cna(kServer, w, weak);
+  EXPECT_TRUE(rw.correct);
+}
+
+TEST(CnaSim, WeakenedVariantUsesFewerBarriers) {
+  // Table 3: LDAR/STLR on the handoff replaces the standalone dmb ld /
+  // dmb ish pair, so the exact retired-barrier count must drop.
+  LockWorkload w;
+  w.threads = 8;
+  w.iters = 40;
+  auto strong = run_cna(kServer, w, CnaChoice::strong());
+  auto weak = run_cna(kServer, w, CnaChoice::weakened());
+  ASSERT_TRUE(strong.correct);
+  ASSERT_TRUE(weak.correct);
+  EXPECT_GT(strong.barriers, weak.barriers);
+}
+
+TEST(CnaSim, McsBaselineCorrectAndMobileWorks) {
+  LockWorkload w;
+  w.threads = 36;
+  w.iters = 15;
+  EXPECT_TRUE(run_cna(kServer, w, CnaChoice::mcs()).correct);
+  LockWorkload mob;
+  mob.threads = 4;
+  mob.iters = 40;
+  EXPECT_TRUE(run_cna(kMobile, mob, CnaChoice::strong()).correct);
+}
+
 TEST(LockSim, SingleThreadEdgeCases) {
   LockWorkload w;
   w.threads = 1;
   w.iters = 20;
   EXPECT_TRUE(run_ticket(kServer, w, OrderChoice::kDmbFull).correct);
+  EXPECT_TRUE(run_cna(kServer, w, CnaChoice::strong()).correct);
   EXPECT_TRUE(run_ffwd(kServer, w, {OrderChoice::kLdar, OrderChoice::kDmbSt, false}).correct);
   EXPECT_TRUE(run_ccsynch(kServer, w, {OrderChoice::kDmbSt, false, 64}).correct);
   EXPECT_TRUE(run_ccsynch(kServer, w, {OrderChoice::kDmbSt, true, 64}).correct);

@@ -104,6 +104,10 @@ int main(int argc, char** argv) {
                armbar::fuzz::GenOptions{}.max_threads, 2, 8);
   args.add_int("max-ops", "N", "generator: memory/barrier ops per thread",
                armbar::fuzz::GenOptions{}.max_ops_per_thread, 1, 32);
+  args.add_int("lock-shape-pct", "N",
+               "generator: percent of cases drawn as lock-handoff skeletons "
+               "(0 keeps pinned seeds bit-identical)",
+               armbar::fuzz::GenOptions{}.lock_shape_pct, 0, 100);
   args.add_flag("profile",
                 "enable the host-side self-profiler for the campaign; adds "
                 "a host_prof section to --json (report-only)");
@@ -179,6 +183,8 @@ int main(int argc, char** argv) {
   armbar::fuzz::GenOptions gen;
   gen.max_threads = static_cast<std::uint32_t>(args.integer("max-threads"));
   gen.max_ops_per_thread = static_cast<std::uint32_t>(args.integer("max-ops"));
+  gen.lock_shape_pct =
+      static_cast<std::uint32_t>(args.integer("lock-shape-pct"));
 
   const std::uint64_t seed_start =
       static_cast<std::uint64_t>(args.integer("seed-start"));

@@ -2,13 +2,19 @@
 //
 //   armbar-repro bundle.repro.json [more.repro.json ...]
 //
-// Each argument is an armbar.repro/v1 bundle (written by armbar-fuzz or the
-// fuzz_differential experiment). The tool re-runs the exact differential
-// grid the bundle captured — same program text, platform presets, fault
-// plans, skews, mutation and model budgets — and compares the fresh
-// DiffResult digest against the bundle's `expect_digest`. Equality means
-// the failure reproduced bit-exactly: same allowed set, same observed set,
-// same failure records.
+// Each argument is an armbar.repro/v1 bundle (written by armbar-fuzz, the
+// fuzz_differential experiment, or armbar-lockver). The tool re-runs the
+// exact grid the bundle captured — same program text, platform presets,
+// fault plans, skews, mutation and model budgets — and compares the fresh
+// digest against the bundle's `expect_digest`. Equality means the failure
+// reproduced bit-exactly: same allowed set, same observed set, same
+// failure records.
+//
+// Bundles with failure_kind "lock_invariant" (lock-verification harness,
+// ISSUE 9) replay through lockver::replay_lock_bundle instead: the
+// invariants are rebuilt from the bundled scenario name and re-evaluated
+// over the bundled program's allowed set, and the recorded witness must
+// still violate the recorded invariant.
 //
 // Exit status: 0 every bundle reproduced, 1 at least one did not (or was a
 // false capture that no longer fails), 2 usage / unreadable bundle.
@@ -19,6 +25,7 @@
 
 #include "fuzz/bundle.hpp"
 #include "fuzz/diff.hpp"
+#include "lockver/harness.hpp"
 
 namespace {
 
@@ -44,6 +51,25 @@ int replay(const char* path, bool quiet) {
                 b.prog.name.c_str(), b.prog.threads.size(),
                 b.failure_kind.c_str());
     if (!b.detail.empty()) std::printf("%s:   %s\n", path, b.detail.c_str());
+  }
+  if (b.failure_kind == armbar::lockver::kLockInvariantKind) {
+    if (!quiet && !b.scenario.empty())
+      std::printf("%s:   lockver scenario '%s', invariant '%s'\n", path,
+                  b.scenario.c_str(), b.invariant.c_str());
+    const armbar::lockver::ReplayVerdict v =
+        armbar::lockver::replay_lock_bundle(b);
+    if (!v.loaded) {
+      std::fprintf(stderr, "%s: cannot replay: %s\n", path, v.detail.c_str());
+      return 2;
+    }
+    if (!quiet) std::printf("%s:   %s\n", path, v.detail.c_str());
+    if (v.reproduced) {
+      std::printf("%s: REPRODUCED (digest %016" PRIx64 ")\n", path,
+                  b.expect_digest);
+      return 0;
+    }
+    std::printf("%s: NOT REPRODUCED — %s\n", path, v.detail.c_str());
+    return 1;
   }
   const armbar::fuzz::DiffResult fresh =
       armbar::fuzz::run_diff(b.prog, b.opts);

@@ -60,6 +60,10 @@ bool check_file(const char* path) {
                  q.find("name")->str().c_str(),
                  q.find("kind") ? q.find("kind")->str().c_str() : "?",
                  q.find("reason") ? q.find("reason")->str().c_str() : "");
+    if (const armbar::trace::Json* inv = q.find("invariant"))
+      std::fprintf(stderr, "%s:   invariant: %s, witness: %s\n", path,
+                   inv->str().c_str(),
+                   q.find("witness") ? q.find("witness")->str().c_str() : "?");
     if (const armbar::trace::Json* bundle = q.find("repro_bundle"))
       std::fprintf(stderr, "%s:   replay: armbar-repro %s\n", path,
                    bundle->str().c_str());
