@@ -44,6 +44,14 @@
 #     by a planted lock-bug stage: a dropped release edge in the weakened
 #     CNA handoff must fail verification, produce a lock_invariant bundle,
 #     and replay bit-exactly through armbar-repro;
+#   * the barrier_opt experiment (ISSUE 10): every accepted rewrite
+#     oracle-verified, >= 1 barrier eliminated on MP+dmb.full with
+#     positive simulated cycles saved on every platform preset, Table-3
+#     parity on all three lock families, and the armbar.opt.report/v1
+#     section arithmetically consistent; an armbar-opt CLI smoke whose
+#     report must validate; and a planted-unsoundness stage where an
+#     illegal rewrite injected *bypassing* the oracle must be caught by
+#     the final verification (exit 1 = caught is the only pass);
 #   * an ARMBAR_PROF_DISABLED build proving the profiler compiles out to
 #     zero cost: tier1 must pass and sim_perf must still clear its gate
 #     with no host_prof section;
@@ -325,6 +333,58 @@ fi
 "$BUILD/tools/armbar-repro" \
     "$LOCKVER_DIR/lockver_cna_weakened_drop-release.repro.json"
 echo "planted lock-bug pipeline OK (caught, bundled, replayed)"
+
+echo "== barrier_opt stage (oracle-verified rewrites, cycles saved, Table-3 parity) =="
+"$BENCH" --filter 'barrier_opt*' --no-cache \
+    --json="$SMOKE_DIR/barrier_opt.report.json" > /dev/null
+"$BUILD/tools/report_check" "$SMOKE_DIR/barrier_opt.report.json"
+python3 - "$SMOKE_DIR/barrier_opt.report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], "barrier_opt experiment failed"
+m = doc["metrics"]
+assert m["mp_dmb_full_eliminated"] >= 1, "MP+dmb.full kept all its barriers"
+assert m["mp_dmb_full_min_cycles_saved"] > 0, \
+    f"MP+dmb.full saved {m['mp_dmb_full_min_cycles_saved']} cycles on some preset"
+for preset in ("rpi4", "kirin960", "kirin970", "kunpeng916"):
+    assert m[f"{preset}_cycles_saved"] > 0, \
+        f"optimization saved nothing on {preset}"
+assert m["table3_parity_families"] == 3, \
+    f"Table-3 parity on {m['table3_parity_families']:.0f}/3 lock families"
+rep = doc["opt_report"]
+t = rep["totals"]
+assert t["rewrites_attempted"] >= t["rewrites_accepted"] + t["rewrites_restored"], t
+sums = [sum(p[k] for p in rep["programs"])
+        for k in ("rewrites_attempted", "rewrites_accepted", "rewrites_restored")]
+assert sums == [t["rewrites_attempted"], t["rewrites_accepted"],
+                t["rewrites_restored"]], (sums, t)
+assert all(p["verified_equal"] for p in rep["programs"] if p["model_valid"]), \
+    "a program left the optimizer unverified"
+print(f"barrier_opt OK ({t['barriers_eliminated']} barriers eliminated, "
+      f"{t['rewrites_accepted']}/{t['rewrites_attempted']} rewrites accepted, "
+      f"parity {m['table3_parity_families']:.0f}/3)")
+EOF
+
+echo "== armbar-opt CLI smoke (lock-template corpus, opt_report schema) =="
+"$BUILD/tools/armbar-opt" --locks --quiet \
+    --json "$SMOKE_DIR/armbar-opt.report.json"
+"$BUILD/tools/report_check" "$SMOKE_DIR/armbar-opt.report.json"
+
+echo "== planted-unsoundness stage (bypassed oracle must be caught) =="
+# An illegal barrier delete injected *after* the search, skipping the
+# per-candidate oracle, must be caught by the final whole-program
+# verification and restored. Exit 1 (caught) is the only passing outcome:
+# 0 would mean the plant silently survived the pipeline's bookkeeping,
+# 3 means it survived verification — the oracle would be decorative.
+set +e
+"$BUILD/tools/armbar-opt" --plant-unsound --quiet SB+dmb.full
+OPT_RC=$?
+set -e
+if [ "$OPT_RC" -ne 1 ]; then
+    echo "FAIL: planted unsound rewrite exited $OPT_RC (want 1 = caught)"
+    exit 1
+fi
+echo "planted-unsoundness OK (caught by final verification and restored)"
 
 echo "== shm service smoke (serve + cross-process attach load) =="
 # The crash-tolerant channel service end to end: armbar-serve owns the

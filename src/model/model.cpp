@@ -1113,6 +1113,33 @@ OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
   return out;
 }
 
+EquivalenceVerdict compare_outcome_sets(const OutcomeSet& a,
+                                        const OutcomeSet& b) {
+  EquivalenceVerdict v;
+  if (!a.ok() || !b.ok()) {
+    v.detail = "enumeration error: " + (a.ok() ? b.error : a.error);
+    return v;
+  }
+  if (!a.complete || !b.complete) {
+    v.detail = "enumeration incomplete (budget cap hit): allowed sets are "
+               "lower bounds and cannot witness equivalence";
+    return v;
+  }
+  v.comparable = true;
+  for (const Outcome& o : a.allowed)
+    if (b.allowed.count(o) == 0) {
+      v.detail = "only in A: " + to_string(o);
+      return v;
+    }
+  for (const Outcome& o : b.allowed)
+    if (a.allowed.count(o) == 0) {
+      v.detail = "only in B: " + to_string(o);
+      return v;
+    }
+  v.equal = true;
+  return v;
+}
+
 std::string to_string(const Outcome& o) {
   std::ostringstream os;
   os << '(';

@@ -128,6 +128,24 @@ struct OutcomeSet {
 OutcomeSet enumerate_outcomes(const ConcurrentProgram& p,
                               const ModelOptions& opts = {});
 
+/// Verdict of compare_outcome_sets() — the equivalence oracle contract the
+/// barrier-optimization driver (ISSUE 10) is built on. Two enumerations are
+/// only *comparable* when both are error-free AND complete: an incomplete
+/// set is a lower bound, and "lower bound == lower bound" proves nothing.
+/// A rewrite is admissible iff `equal` — the allowed-outcome sets are
+/// identical (the admissibility criterion from "On Architecture to
+/// Architecture Mapping for Concurrency": no outcome appears or disappears).
+struct EquivalenceVerdict {
+  bool comparable = false;  ///< both sets ok() && complete
+  bool equal = false;       ///< comparable && allowed sets identical
+  /// Why not equal: the first outcome present in exactly one set (prefixed
+  /// with "only in A:" / "only in B:"), or why not comparable.
+  std::string detail;
+};
+
+EquivalenceVerdict compare_outcome_sets(const OutcomeSet& a,
+                                        const OutcomeSet& b);
+
 std::string to_string(const Outcome& o);
 std::string to_string(const OutcomeSet& s);
 

@@ -1,0 +1,146 @@
+#include "opt/passes.hpp"
+
+#include "sim/isa.hpp"
+
+namespace armbar::opt {
+
+namespace {
+
+using sim::Instr;
+using sim::Op;
+
+bool branch_target_in(const sim::Program& prog, std::uint32_t lo,
+                      std::uint32_t hi) {
+  for (const Instr& ins : prog.code)
+    if (sim::is_branch(ins.op) && ins.target > lo && ins.target <= hi)
+      return true;
+  return false;
+}
+
+bool is_pair_breaker(Op op) {
+  return sim::is_load(op) || sim::is_store(op) || sim::is_barrier(op) ||
+         sim::is_branch(op);
+}
+
+/// Nearest instruction before `pc` that is not pipeline-neutral, or -1.
+int scan_back(const sim::Program& t, std::uint32_t pc) {
+  for (int i = static_cast<int>(pc) - 1; i >= 0; --i)
+    if (is_pair_breaker(t.code[i].op)) return i;
+  return -1;
+}
+
+/// Nearest instruction after `pc` that is not pipeline-neutral, or -1.
+int scan_fwd(const sim::Program& t, std::uint32_t pc) {
+  for (std::uint32_t i = pc + 1; i < t.code.size(); ++i)
+    if (is_pair_breaker(t.code[i].op)) return static_cast<int>(i);
+  return -1;
+}
+
+/// Redundancy: for each adjacent barrier pair (nothing but neutral
+/// instructions between, no branch entering between them), delete the
+/// dominated one. Prefer deleting the *later* barrier when both dominate
+/// (equal ops): a branch targeting the first barrier still executes the
+/// survivor.
+std::vector<RewriteCandidate> collect_redundancy(
+    const model::ConcurrentProgram& prog) {
+  std::vector<RewriteCandidate> out;
+  for (std::uint32_t ti = 0; ti < prog.threads.size(); ++ti) {
+    const sim::Program& t = prog.threads[ti];
+    for (std::uint32_t pc = 0; pc < t.code.size(); ++pc) {
+      if (!sim::is_barrier(t.code[pc].op)) continue;
+      const int nxt = scan_fwd(t, pc);
+      if (nxt < 0 || !sim::is_barrier(t.code[nxt].op)) continue;
+      const std::uint32_t b = static_cast<std::uint32_t>(nxt);
+      if (branch_target_in(t, pc, b)) continue;
+      RewriteCandidate c;
+      c.thread = ti;
+      c.kind = RewriteKind::kDeleteRedundant;
+      if (barrier_at_least(t.code[pc].op, t.code[b].op)) {
+        c.pc = b;
+        out.push_back(c);
+      } else if (barrier_at_least(t.code[b].op, t.code[pc].op)) {
+        c.pc = pc;
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+/// Downgrade: per barrier site (thread-major, pc-major), propose strength
+/// reductions most-aggressive first. The driver accepts the first proposal
+/// the oracle admits, so this order *is* the descent strategy: eliminate
+/// the instruction if at all possible, weaken it otherwise.
+std::vector<RewriteCandidate> collect_downgrade(
+    const model::ConcurrentProgram& prog) {
+  std::vector<RewriteCandidate> out;
+  for (std::uint32_t ti = 0; ti < prog.threads.size(); ++ti) {
+    const sim::Program& t = prog.threads[ti];
+    for (std::uint32_t pc = 0; pc < t.code.size(); ++pc) {
+      const Op op = t.code[pc].op;
+      if (!sim::is_barrier(op) || op == Op::kIsb) continue;
+      RewriteCandidate c;
+      c.thread = ti;
+      c.pc = pc;
+      // ldr ; <barrier with a load-ordering half> -> ldar
+      if (op == Op::kDmbFull || op == Op::kDmbLd || op == Op::kDsbFull ||
+          op == Op::kDsbLd) {
+        const int m = scan_back(t, pc);
+        if (m >= 0 && t.code[m].op == Op::kLdr &&
+            !branch_target_in(t, static_cast<std::uint32_t>(m), pc)) {
+          c.kind = RewriteKind::kAcquireConvert;
+          c.mem_pc = static_cast<std::uint32_t>(m);
+          out.push_back(c);
+        }
+      }
+      // <full barrier> ; str -> stlr
+      if (op == Op::kDmbFull || op == Op::kDsbFull) {
+        const int m = scan_fwd(t, pc);
+        if (m >= 0 && t.code[m].op == Op::kStr &&
+            !branch_target_in(t, pc, static_cast<std::uint32_t>(m))) {
+          c.kind = RewriteKind::kReleaseConvert;
+          c.mem_pc = static_cast<std::uint32_t>(m);
+          out.push_back(c);
+        }
+      }
+      c.mem_pc = 0;
+      if (op == Op::kDsbFull || op == Op::kDsbSt || op == Op::kDsbLd) {
+        c.kind = RewriteKind::kDsbToDmb;
+        out.push_back(c);
+      }
+      if (op == Op::kDmbFull) {
+        c.kind = RewriteKind::kDowngradeToSt;
+        out.push_back(c);
+        c.kind = RewriteKind::kDowngradeToLd;
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PassRegistry::PassRegistry() {
+  passes_.push_back(
+      {"redundancy", "delete barriers dominated by an adjacent equal-or-"
+                     "stronger barrier",
+       &collect_redundancy});
+  passes_.push_back(
+      {"downgrade", "LDAR/STLR conversion, DSB demotion and one-way DMB "
+                    "downgrades, most-aggressive first",
+       &collect_downgrade});
+}
+
+const PassRegistry& PassRegistry::global() {
+  static const PassRegistry r;
+  return r;
+}
+
+const Pass* PassRegistry::find(const std::string& name) const {
+  for (const Pass& p : passes_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+}  // namespace armbar::opt

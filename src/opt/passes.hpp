@@ -1,0 +1,48 @@
+// The optimization pass registry (ISSUE 10 tentpole).
+//
+// A Pass is a pure candidate *collector*: it scans a model program and
+// proposes RewriteCandidates in a deterministic order, claiming nothing
+// about soundness — every proposal is decided by the driver's axiomatic
+// oracle (driver.hpp). This mirrors the openvino barrier scheduler split
+// (SNIPPETS.md snippet 3): the scheduler proposes aggressively, the
+// checker disposes, and rejected proposals are restored.
+//
+// Built-in passes, in registry (= application) order:
+//   redundancy  delete a barrier adjacent to an equal-or-stronger one —
+//               every path through the pair is still ordered by the
+//               survivor, so the weaker barrier is dominated.
+//   downgrade   per barrier site, propose strength reductions from most
+//               to least aggressive: fold into the adjacent access as an
+//               LDAR/STLR half-barrier (eliminating the instruction),
+//               demote DSB to DMB (paper suggestion 1), then one-way
+//               dmb.st / dmb.ld downgrades (paper suggestion 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opt/rewrite.hpp"
+
+namespace armbar::opt {
+
+struct Pass {
+  std::string name;
+  std::string description;
+  std::vector<RewriteCandidate> (*collect)(const model::ConcurrentProgram&);
+};
+
+/// The built-in passes, in application order. Drivers select by name from
+/// here; an empty selection means "all, in registry order".
+class PassRegistry {
+ public:
+  static const PassRegistry& global();
+
+  const std::vector<Pass>& passes() const { return passes_; }
+  const Pass* find(const std::string& name) const;
+
+ private:
+  PassRegistry();
+  std::vector<Pass> passes_;
+};
+
+}  // namespace armbar::opt

@@ -1,0 +1,169 @@
+#include "opt/rewrite.hpp"
+
+#include "sim/isa.hpp"
+
+namespace armbar::opt {
+
+namespace {
+
+using sim::Instr;
+using sim::Op;
+
+bool is_full_barrier(Op op) { return op == Op::kDmbFull || op == Op::kDsbFull; }
+bool is_acquire_side_barrier(Op op) {
+  return op == Op::kDmbFull || op == Op::kDmbLd || op == Op::kDsbFull ||
+         op == Op::kDsbLd;
+}
+
+/// Any branch in `prog` whose target lands in (lo, hi]? Such a target
+/// would let a path reach one end of a rewrite pair without the other.
+bool branch_target_in(const sim::Program& prog, std::uint32_t lo,
+                      std::uint32_t hi) {
+  for (const Instr& ins : prog.code)
+    if (sim::is_branch(ins.op) && ins.target > lo && ins.target <= hi)
+      return true;
+  return false;
+}
+
+/// All instructions strictly between lo and hi are pipeline-neutral for a
+/// conversion pair: no memory access, no barrier, no branch.
+bool gap_is_neutral(const sim::Program& prog, std::uint32_t lo,
+                    std::uint32_t hi) {
+  for (std::uint32_t i = lo + 1; i < hi; ++i) {
+    const Op op = prog.code[i].op;
+    if (sim::is_load(op) || sim::is_store(op) || sim::is_barrier(op) ||
+        sim::is_branch(op))
+      return false;
+  }
+  return true;
+}
+
+/// Do the static side conditions of `c` hold against the current layout of
+/// `prog`? The driver re-applies candidates collected on an older layout;
+/// a stale candidate must fail here rather than rewrite the wrong site.
+bool candidate_matches(const model::ConcurrentProgram& prog,
+                       const RewriteCandidate& c) {
+  if (c.thread >= prog.threads.size()) return false;
+  const sim::Program& t = prog.threads[c.thread];
+  if (c.pc >= t.code.size()) return false;
+  const Op op = t.code[c.pc].op;
+  switch (c.kind) {
+    case RewriteKind::kDeleteRedundant:
+      return sim::is_barrier(op);
+    case RewriteKind::kAcquireConvert:
+      return is_acquire_side_barrier(op) && c.mem_pc < c.pc &&
+             t.code[c.mem_pc].op == Op::kLdr &&
+             gap_is_neutral(t, c.mem_pc, c.pc) &&
+             !branch_target_in(t, c.mem_pc, c.pc);
+    case RewriteKind::kReleaseConvert:
+      return is_full_barrier(op) && c.mem_pc > c.pc &&
+             c.mem_pc < t.code.size() && t.code[c.mem_pc].op == Op::kStr &&
+             gap_is_neutral(t, c.pc, c.mem_pc) &&
+             !branch_target_in(t, c.pc, c.mem_pc);
+    case RewriteKind::kDsbToDmb:
+      return op == Op::kDsbFull || op == Op::kDsbSt || op == Op::kDsbLd;
+    case RewriteKind::kDowngradeToSt:
+    case RewriteKind::kDowngradeToLd:
+      return op == Op::kDmbFull;
+  }
+  return false;
+}
+
+/// Remove code[idx], shifting every branch target past it down by one. A
+/// branch that targeted idx itself now lands on the instruction that
+/// followed the barrier — exactly where execution would have gone next.
+void delete_at(sim::Program* prog, std::uint32_t idx) {
+  prog->code.erase(prog->code.begin() + idx);
+  for (Instr& ins : prog->code)
+    if (sim::is_branch(ins.op) && ins.target > idx) --ins.target;
+}
+
+}  // namespace
+
+const char* to_string(RewriteKind k) {
+  switch (k) {
+    case RewriteKind::kDeleteRedundant: return "delete-redundant";
+    case RewriteKind::kAcquireConvert: return "acquire-convert";
+    case RewriteKind::kReleaseConvert: return "release-convert";
+    case RewriteKind::kDsbToDmb: return "dsb-to-dmb";
+    case RewriteKind::kDowngradeToSt: return "downgrade-st";
+    case RewriteKind::kDowngradeToLd: return "downgrade-ld";
+  }
+  return "?";
+}
+
+std::string RewriteCandidate::signature() const {
+  std::string s = "t" + std::to_string(thread) + ":pc" + std::to_string(pc) +
+                  " " + to_string(kind);
+  if (kind == RewriteKind::kAcquireConvert ||
+      kind == RewriteKind::kReleaseConvert)
+    s += " mem=" + std::to_string(mem_pc);
+  return s;
+}
+
+bool apply_rewrite(const model::ConcurrentProgram& prog,
+                   const RewriteCandidate& c, model::ConcurrentProgram* out) {
+  if (!candidate_matches(prog, c)) return false;
+  model::ConcurrentProgram next = prog;
+  sim::Program& t = next.threads[c.thread];
+  switch (c.kind) {
+    case RewriteKind::kDeleteRedundant:
+      delete_at(&t, c.pc);
+      break;
+    case RewriteKind::kAcquireConvert:
+      t.code[c.mem_pc].op = Op::kLdar;
+      delete_at(&t, c.pc);
+      break;
+    case RewriteKind::kReleaseConvert:
+      t.code[c.mem_pc].op = Op::kStlr;
+      delete_at(&t, c.pc);
+      break;
+    case RewriteKind::kDsbToDmb: {
+      const Op op = t.code[c.pc].op;
+      t.code[c.pc].op = op == Op::kDsbFull  ? Op::kDmbFull
+                        : op == Op::kDsbSt ? Op::kDmbSt
+                                           : Op::kDmbLd;
+      break;
+    }
+    case RewriteKind::kDowngradeToSt:
+      t.code[c.pc].op = Op::kDmbSt;
+      break;
+    case RewriteKind::kDowngradeToLd:
+      t.code[c.pc].op = Op::kDmbLd;
+      break;
+  }
+  *out = std::move(next);
+  return true;
+}
+
+bool barrier_at_least(sim::Op a, sim::Op b) {
+  if (!sim::is_barrier(a) || !sim::is_barrier(b)) return false;
+  if (a == b) return true;
+  switch (a) {
+    case Op::kDsbFull:
+      return b != Op::kIsb;  // dominates every memory barrier
+    case Op::kDmbFull:
+      return b == Op::kDmbSt || b == Op::kDmbLd;
+    case Op::kDsbSt:
+      return b == Op::kDmbSt;
+    case Op::kDsbLd:
+      return b == Op::kDmbLd;
+    default:
+      return false;  // one-way DMBs and ISB dominate only themselves
+  }
+}
+
+std::uint32_t count_standalone_barriers(const sim::Program& prog) {
+  std::uint32_t n = 0;
+  for (const sim::Instr& ins : prog.code)
+    if (sim::is_barrier(ins.op)) ++n;
+  return n;
+}
+
+std::uint32_t count_standalone_barriers(const model::ConcurrentProgram& prog) {
+  std::uint32_t n = 0;
+  for (const sim::Program& t : prog.threads) n += count_standalone_barriers(t);
+  return n;
+}
+
+}  // namespace armbar::opt

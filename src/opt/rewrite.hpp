@@ -1,0 +1,76 @@
+// Barrier rewrite candidates (ISSUE 10 tentpole).
+//
+// A RewriteCandidate is one *proposed* strength reduction on one barrier
+// site of a model::ConcurrentProgram: delete it, downgrade it to a one-way
+// DMB, demote a DSB to the matching DMB, or fold it into the adjacent
+// memory access as an LDAR/STLR half-barrier. Candidates are purely
+// syntactic proposals — the passes (passes.hpp) collect them
+// conservatively, and the bound-search driver (driver.hpp) decides each
+// one by re-running the axiomatic checker as the equivalence oracle.
+// Nothing in this file claims a candidate is sound.
+//
+// apply_rewrite() produces the rewritten program on a *copy*; deletions
+// re-resolve every forward-branch target across the removed slot, so the
+// rewritten threads stay valid micro-ISA programs for both the model and
+// the timing simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+#include "sim/program.hpp"
+
+namespace armbar::opt {
+
+/// The rewrite vocabulary, ordered by preference: eliminating a standalone
+/// barrier instruction outright (delete / LDAR / STLR conversion) beats
+/// keeping a weaker one (paper §6, Table 3 — the published weakenings
+/// favour half-barrier accesses over one-way DMBs on lock handoffs).
+enum class RewriteKind : std::uint8_t {
+  kDeleteRedundant,  ///< barrier dominated by an equal-or-stronger one
+  kAcquireConvert,   ///< ldr ; dmb {ish,ishld}  ->  ldar            (−1 instr)
+  kReleaseConvert,   ///< dmb ish ; str          ->  stlr            (−1 instr)
+  kDsbToDmb,         ///< dsb.X -> dmb.X   (paper suggestion 1: DSB abuse)
+  kDowngradeToSt,    ///< dmb/dsb ish -> dmb ishst (store->store only)
+  kDowngradeToLd,    ///< dmb/dsb ish -> dmb ishld (load->load/store only)
+};
+
+const char* to_string(RewriteKind k);
+
+/// One proposed rewrite, addressed by (thread, pc) in the layout of the
+/// program it was collected from. `mem_pc` is the paired plain load/store
+/// for the LDAR/STLR conversions (unused otherwise).
+struct RewriteCandidate {
+  std::uint32_t thread = 0;
+  std::uint32_t pc = 0;
+  RewriteKind kind = RewriteKind::kDeleteRedundant;
+  std::uint32_t mem_pc = 0;
+
+  /// Stable per-layout signature ("t1:pc3 acquire-convert mem=2") used by
+  /// the driver to avoid re-trying a rewrite the oracle already rejected.
+  std::string signature() const;
+};
+
+/// Apply `c` to a copy of `prog`. Returns false (and leaves *out*
+/// untouched) when the candidate no longer matches the program — e.g. the
+/// layout shifted under it after an earlier accepted rewrite. Deletions
+/// shift every branch target past the removed index down by one.
+bool apply_rewrite(const model::ConcurrentProgram& prog,
+                   const RewriteCandidate& c, model::ConcurrentProgram* out);
+
+/// Does barrier `a` order at least everything barrier `b` orders? Partial
+/// order used by the redundancy pass: dsb.ish dominates everything,
+/// dmb.ish dominates the one-way DMBs, each op dominates itself, and ISB
+/// only dominates ISB (it orders the instruction stream, not memory).
+bool barrier_at_least(sim::Op a, sim::Op b);
+
+/// Standalone barrier instructions (dmb/dsb/isb) in the program/thread —
+/// the quantity the optimization exists to reduce. LDAR/STLR half-barriers
+/// intentionally do not count: they ride on accesses the program already
+/// performs.
+std::uint32_t count_standalone_barriers(const sim::Program& prog);
+std::uint32_t count_standalone_barriers(const model::ConcurrentProgram& prog);
+
+}  // namespace armbar::opt

@@ -44,7 +44,13 @@ inline constexpr const char* kCacheEntrySchema = "armbar.cache.entry/v1";
 /// scheduler/coherence fast paths) — timing is verified bit-identical, but
 /// the rewrite is broad enough that stale-looking entries from a mid-PR
 /// build are worth retiring.
-inline constexpr const char* kCacheEpoch = "armbar-sim/7";
+/// armbar-sim/8: ISSUE 10 barrier-optimization pipeline — barrier_opt
+/// cache keys now mix the full opt pass configuration (pass list, oracle
+/// options, search bounds); the bump retires any entry written before
+/// that config was part of the key, so cached optimization points can't
+/// go stale when the pass pipeline evolves. Simulated timing unchanged
+/// (epoch-neutralized digest check repeated, see POINTS_DIGESTS.json).
+inline constexpr const char* kCacheEpoch = "armbar-sim/8";
 
 class ResultCache {
  public:

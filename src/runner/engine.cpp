@@ -374,6 +374,11 @@ EngineResult Engine::run() {
       report.add_metric(kp + name, value);
     report.add_param(kp + "points_digest", hex16(ctx->points_digest()));
     report.add_param(kp + "status", out.status);
+    // Barrier-optimization decisions (ISSUE 10): report-level section,
+    // validated by report_check. Last experiment to note one wins (only
+    // barrier_opt emits it today).
+    if (const trace::Json rep = ctx->opt_report(); !rep.is_null())
+      report.set_opt_report(rep);
     // Emitted only on contamination so clean reports stay byte-identical
     // to pre-profiling ones; report_check rejects any report carrying it.
     if (ctx->prof_digest_leak())

@@ -91,6 +91,16 @@ std::string ExperimentContext::failure_kind() const {
   return failure_kind_;
 }
 
+void ExperimentContext::note_opt_report(trace::Json rep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opt_report_ = std::move(rep);
+}
+
+trace::Json ExperimentContext::opt_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opt_report_;
+}
+
 void ExperimentContext::note_quarantine_param(const std::string& key,
                                               const std::string& value) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -163,6 +163,14 @@ class ExperimentContext {
   void note_quarantine_param(const std::string& key, const std::string& value);
   std::vector<std::pair<std::string, std::string>> quarantine_params() const;
 
+  /// Attach an armbar.opt.report/v1 section (opt::opt_report_json) to the
+  /// enclosing bench report (ISSUE 10). The engine forwards it to
+  /// ReportBuilder::set_opt_report, where validate_bench_report enforces
+  /// its arithmetic consistency. Last writer wins across a consolidated
+  /// run; thread-safe.
+  void note_opt_report(trace::Json rep);
+  trace::Json opt_report() const;
+
   // ---- parallel sweep ----
 
   /// Run fn(0..n-1) on the engine pool and return the results in index
@@ -249,6 +257,7 @@ class ExperimentContext {
   std::string repro_bundle_;
   std::string failure_kind_;
   std::vector<std::pair<std::string, std::string>> quarantine_params_;
+  trace::Json opt_report_;
   mutable std::mutex mu_;  // guards digest fields, repro_bundle_ and the
                            // failure kind/params (workers may call the
                            // note_* methods)

@@ -82,6 +82,7 @@ Json ReportBuilder::build() const {
   doc.set("histograms", histograms_);
   doc.set("quarantine", quarantine_);
   if (!host_prof_.is_null()) doc.set("host_prof", host_prof_);
+  if (!opt_report_.is_null()) doc.set("opt_report", opt_report_);
   return doc;
 }
 
@@ -171,6 +172,98 @@ bool validate_host_prof(const Json& hp, std::string* err) {
       return violation(err,
                        "host_prof sim_instructions_per_sec must be > 0 "
                        "when present");
+  if (err) err->clear();
+  return true;
+}
+
+/// Counter triple every armbar.opt.report/v1 program entry (and the totals
+/// object) must carry, with the arithmetic-consistency rule (ISSUE 10
+/// satellite): a rewrite is either accepted or restored, never both and
+/// never invented, so attempted >= accepted + restored always holds (">"
+/// only when a stale candidate failed to re-apply — counted attempted but
+/// never decided).
+struct OptCounters {
+  double attempted = 0, accepted = 0, restored = 0;
+};
+
+bool read_opt_counters(const Json& entry, const std::string& who,
+                       OptCounters* out, std::string* err) {
+  for (const char* field : {"rewrites_attempted", "rewrites_accepted",
+                            "rewrites_restored"}) {
+    const Json* v = entry.find(field);
+    if (!v || !v->is_number() || v->number() < 0)
+      return violation(err, "opt_report " + who +
+                                ": missing non-negative number '" + field +
+                                "'");
+  }
+  out->attempted = entry.find("rewrites_attempted")->number();
+  out->accepted = entry.find("rewrites_accepted")->number();
+  out->restored = entry.find("rewrites_restored")->number();
+  if (out->attempted < out->accepted + out->restored)
+    return violation(err, "opt_report " + who +
+                              ": rewrites_attempted < rewrites_accepted + "
+                              "rewrites_restored");
+  return true;
+}
+
+/// armbar.opt.report/v1 section gate: schema pinned, per-program and total
+/// counters arithmetically consistent, totals equal to the per-program
+/// sums, and every recorded rewrite carrying a recognizable verdict.
+bool validate_opt_report(const Json& rep, std::string* err) {
+  if (!rep.is_object())
+    return violation(err, "opt_report is not a JSON object");
+  const Json* schema = rep.find("schema");
+  if (!schema || !schema->is_string() || schema->str() != kOptReportSchema)
+    return violation(err, std::string("opt_report schema must be '") +
+                              kOptReportSchema + "'");
+
+  const Json* programs = rep.find("programs");
+  if (!programs || !programs->is_array())
+    return violation(err, "opt_report missing array field 'programs'");
+  OptCounters sum;
+  for (const Json& p : programs->items()) {
+    const Json* name = p.find("name");
+    if (!p.is_object() || !name || !name->is_string() || name->str().empty())
+      return violation(err,
+                       "opt_report program entries need a non-empty string "
+                       "'name'");
+    OptCounters c;
+    if (!read_opt_counters(p, "program '" + name->str() + "'", &c, err))
+      return false;
+    sum.attempted += c.attempted;
+    sum.accepted += c.accepted;
+    sum.restored += c.restored;
+    for (const char* field : {"barriers_before", "barriers_after"}) {
+      const Json* v = p.find(field);
+      if (!v || !v->is_number() || v->number() < 0)
+        return violation(err, "opt_report program '" + name->str() +
+                                  "': missing non-negative number '" + field +
+                                  "'");
+    }
+    const Json* rewrites = p.find("rewrites");
+    if (rewrites == nullptr) continue;
+    if (!rewrites->is_array())
+      return violation(err, "opt_report program '" + name->str() +
+                                "': 'rewrites' is not an array");
+    for (const Json& rw : rewrites->items()) {
+      const Json* verdict = rw.find("verdict");
+      if (!rw.is_object() || !verdict || !verdict->is_string() ||
+          (verdict->str() != "accepted" && verdict->str() != "restored"))
+        return violation(err, "opt_report program '" + name->str() +
+                                  "': rewrite entries need verdict "
+                                  "'accepted' or 'restored'");
+    }
+  }
+
+  const Json* totals = rep.find("totals");
+  if (!totals || !totals->is_object())
+    return violation(err, "opt_report missing object field 'totals'");
+  OptCounters t;
+  if (!read_opt_counters(*totals, "totals", &t, err)) return false;
+  if (t.attempted != sum.attempted || t.accepted != sum.accepted ||
+      t.restored != sum.restored)
+    return violation(err,
+                     "opt_report totals do not equal the per-program sums");
   if (err) err->clear();
   return true;
 }
@@ -287,6 +380,9 @@ bool validate_bench_report(const Json& doc, std::string* err) {
 
   if (const Json* hp = doc.find("host_prof"))
     if (!validate_host_prof(*hp, err)) return false;
+
+  if (const Json* rep = doc.find("opt_report"))
+    if (!validate_opt_report(*rep, err)) return false;
 
   if (err) err->clear();
   return true;

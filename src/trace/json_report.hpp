@@ -23,10 +23,14 @@
 //        "repro_bundle": "path/to/x.repro.json"}, // optional: replay with
 //       ...                                       //   tools/armbar-repro
 //     ],
-//     "host_prof": { ... }                   // optional (v2): host-side
-//   }                                        //   profile, armbar.host_prof/v1
+//     "host_prof": { ... },                  // optional (v2): host-side
+//                                            //   profile, armbar.host_prof/v1
 //                                            //   (see src/prof/export.hpp);
 //                                            //   excluded from all digests
+//     "opt_report": { ... }                  // optional (v2): barrier-
+//   }                                        //   optimization decisions,
+//                                            //   armbar.opt.report/v1
+//                                            //   (see src/opt/driver.hpp)
 #pragma once
 
 #include <string>
@@ -71,6 +75,11 @@ class ReportBuilder {
   /// timing is report-only: it never participates in points digests or
   /// cache keys. A null value removes the section.
   void set_host_prof(Json hp) { host_prof_ = std::move(hp); }
+  /// Attach an armbar.opt.report/v1 section (opt::opt_report_json): the
+  /// per-program rewrite decisions of the barrier-optimization driver.
+  /// Validated for arithmetic consistency (attempted >= accepted +
+  /// restored) by validate_bench_report. A null value removes the section.
+  void set_opt_report(Json rep) { opt_report_ = std::move(rep); }
 
   Json build() const;
   std::string str(int indent = 1) const { return build().dump(indent); }
@@ -86,7 +95,10 @@ class ReportBuilder {
   Json histograms_ = Json::object();
   Json quarantine_ = Json::array();
   Json host_prof_;
+  Json opt_report_;
 };
+
+inline constexpr const char* kOptReportSchema = "armbar.opt.report/v1";
 
 /// Validate a parsed document against armbar.bench.report/v2 (or v1). On
 /// failure returns false and describes the first violation in *err.

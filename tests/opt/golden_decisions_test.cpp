@@ -1,0 +1,80 @@
+// Golden pin of optimization decisions (ISSUE 10 satellite).
+//
+// For every Table 1 shape, the full default pipeline's decision log —
+// which barriers were downgraded, deleted, converted or kept, in which
+// order, with which oracle witnesses — is pinned in
+// tests/opt/golden/<shape>.golden via the describe_decisions() rendering.
+// A drift in pass order, candidate preference or oracle behaviour shows up
+// as a reviewable text diff, not a silent change of the optimizer's
+// output. Regenerate after an intentional change:
+//   ARMBAR_REGEN_GOLDEN=1 ./test_opt_golden
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "litmus/golden.hpp"
+#include "litmus/shapes.hpp"
+#include "opt/driver.hpp"
+
+#ifndef ARMBAR_TEST_SOURCE_DIR
+#error "ARMBAR_TEST_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace armbar::opt {
+namespace {
+
+std::string golden_path(const std::string& shape) {
+  return std::string(ARMBAR_TEST_SOURCE_DIR) + "/golden/" +
+         litmus::golden_filename(shape);
+}
+
+class GoldenDecisions : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenDecisions, DecisionsMatchPinnedLog) {
+  const litmus::Table1Shape& s = litmus::table1_shape(GetParam());
+  model::ConcurrentProgram prog = s.model_prog;
+  prog.name = s.name;  // the family name alone does not identify MP rows
+
+  const OptResult r = optimize(prog);
+  ASSERT_TRUE(r.model_valid) << s.name << ": " << r.model_error;
+  EXPECT_TRUE(r.verified_equal) << s.name;
+  EXPECT_EQ(r.attempted, r.accepted + r.restored) << s.name;
+  const std::string fresh = describe_decisions(r);
+
+  if (std::getenv("ARMBAR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(s.name), std::ios::binary);
+    ASSERT_TRUE(out.good()) << golden_path(s.name);
+    out << fresh;
+    GTEST_SKIP() << "regenerated " << golden_path(s.name);
+  }
+
+  std::ifstream in(golden_path(s.name), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing " << golden_path(s.name)
+                         << " — regenerate with ARMBAR_REGEN_GOLDEN=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), fresh) << s.name
+                              << ": optimizer decisions drifted from the "
+                                 "pinned log; if intentional, regenerate";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GoldenDecisions,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& s : litmus::table1_shapes()) names.push_back(s.name);
+      return names;
+    }()),
+    [](const auto& pinfo) {
+      std::string id = pinfo.param;
+      for (char& c : id)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return id;
+    });
+
+}  // namespace
+}  // namespace armbar::opt

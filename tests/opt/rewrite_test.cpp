@@ -1,0 +1,316 @@
+// Rewrite-mechanics unit tests (ISSUE 10): apply_rewrite must produce
+// valid micro-ISA programs for every kind — conversions touch exactly the
+// paired access, deletions re-resolve branch targets across the removed
+// slot — and must *refuse* candidates whose side conditions no longer hold
+// against the current layout (the driver replays candidates collected on
+// an older layout after every accepted rewrite).
+#include "opt/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/passes.hpp"
+#include "sim/isa.hpp"
+#include "sim/program.hpp"
+
+namespace armbar::opt {
+namespace {
+
+using sim::Asm;
+using sim::Op;
+using sim::X0;
+using sim::X1;
+using sim::X2;
+using sim::X3;
+
+model::ConcurrentProgram one_thread(sim::Program p) {
+  model::ConcurrentProgram prog;
+  prog.name = "unit";
+  prog.threads.push_back(std::move(p));
+  return prog;
+}
+
+RewriteCandidate cand(RewriteKind k, std::uint32_t pc,
+                      std::uint32_t mem_pc = 0) {
+  RewriteCandidate c;
+  c.thread = 0;
+  c.pc = pc;
+  c.kind = k;
+  c.mem_pc = mem_pc;
+  return c;
+}
+
+TEST(BarrierAtLeast, PartialOrderTable) {
+  // dsb.ish dominates every memory barrier; dmb.ish dominates the one-way
+  // DMBs; dsb.st/.ld dominate only their dmb counterpart; ISB only itself.
+  EXPECT_TRUE(barrier_at_least(Op::kDsbFull, Op::kDmbFull));
+  EXPECT_TRUE(barrier_at_least(Op::kDsbFull, Op::kDmbSt));
+  EXPECT_TRUE(barrier_at_least(Op::kDsbFull, Op::kDmbLd));
+  EXPECT_TRUE(barrier_at_least(Op::kDsbFull, Op::kDsbSt));
+  EXPECT_FALSE(barrier_at_least(Op::kDsbFull, Op::kIsb));
+
+  EXPECT_TRUE(barrier_at_least(Op::kDmbFull, Op::kDmbSt));
+  EXPECT_TRUE(barrier_at_least(Op::kDmbFull, Op::kDmbLd));
+  EXPECT_FALSE(barrier_at_least(Op::kDmbFull, Op::kDsbFull));
+  EXPECT_FALSE(barrier_at_least(Op::kDmbFull, Op::kDsbSt));
+
+  EXPECT_TRUE(barrier_at_least(Op::kDsbSt, Op::kDmbSt));
+  EXPECT_FALSE(barrier_at_least(Op::kDsbSt, Op::kDmbLd));
+  EXPECT_TRUE(barrier_at_least(Op::kDsbLd, Op::kDmbLd));
+  EXPECT_FALSE(barrier_at_least(Op::kDsbLd, Op::kDmbSt));
+
+  EXPECT_FALSE(barrier_at_least(Op::kDmbSt, Op::kDmbFull));
+  EXPECT_FALSE(barrier_at_least(Op::kDmbSt, Op::kDmbLd));
+  EXPECT_TRUE(barrier_at_least(Op::kDmbSt, Op::kDmbSt));
+
+  EXPECT_TRUE(barrier_at_least(Op::kIsb, Op::kIsb));
+  EXPECT_FALSE(barrier_at_least(Op::kIsb, Op::kDmbSt));
+
+  // Non-barriers never participate.
+  EXPECT_FALSE(barrier_at_least(Op::kLdr, Op::kDmbFull));
+  EXPECT_FALSE(barrier_at_least(Op::kDmbFull, Op::kStr));
+}
+
+TEST(CountBarriers, HalfBarriersDoNotCount) {
+  Asm a;
+  a.movi(X0, 16);
+  a.ldar(X1, X0);    // half-barrier: rides on the access, not counted
+  a.dmb_full();
+  a.dsb_st();
+  a.isb();
+  a.stlr(X1, X0);    // half-barrier
+  a.halt();
+  const model::ConcurrentProgram prog = one_thread(a.take("count"));
+  EXPECT_EQ(count_standalone_barriers(prog), 3u);
+  EXPECT_EQ(count_standalone_barriers(prog.threads[0]), 3u);
+}
+
+TEST(ApplyRewrite, AcquireConvertFoldsBarrierIntoLoad) {
+  Asm a;
+  a.movi(X0, 16);        // 0
+  a.ldr(X1, X0);         // 1   <- becomes ldar
+  a.dmb_full();          // 2   <- deleted
+  a.ldr(X2, X0, 8);      // 3
+  a.cbnz(X1, "end");     // 4   target 5 -> must shift to 4
+  a.label("end");
+  a.halt();              // 5
+  const model::ConcurrentProgram prog = one_thread(a.take("acq"));
+
+  model::ConcurrentProgram out;
+  ASSERT_TRUE(apply_rewrite(prog, cand(RewriteKind::kAcquireConvert, 2, 1),
+                            &out));
+  const sim::Program& t = out.threads[0];
+  ASSERT_EQ(t.code.size(), 5u);
+  EXPECT_EQ(t.code[1].op, Op::kLdar);
+  EXPECT_EQ(t.code[2].op, Op::kLdr);    // the old pc 3 slid down
+  EXPECT_EQ(t.code[3].op, Op::kCbnz);
+  EXPECT_EQ(t.code[3].target, 4u);      // branch target re-resolved
+  EXPECT_EQ(count_standalone_barriers(out), 0u);
+}
+
+TEST(ApplyRewrite, ReleaseConvertFoldsBarrierIntoStore) {
+  Asm a;
+  a.movi(X0, 16);   // 0
+  a.movi(X1, 1);    // 1
+  a.dmb_full();     // 2   <- deleted
+  a.str(X1, X0);    // 3   <- becomes stlr
+  a.halt();         // 4
+  const model::ConcurrentProgram prog = one_thread(a.take("rel"));
+
+  model::ConcurrentProgram out;
+  ASSERT_TRUE(apply_rewrite(prog, cand(RewriteKind::kReleaseConvert, 2, 3),
+                            &out));
+  const sim::Program& t = out.threads[0];
+  ASSERT_EQ(t.code.size(), 4u);
+  EXPECT_EQ(t.code[2].op, Op::kStlr);
+  EXPECT_EQ(count_standalone_barriers(out), 0u);
+}
+
+TEST(ApplyRewrite, DeleteShiftsOnlyLaterBranchTargets) {
+  Asm a;
+  a.label("top");
+  a.ldr(X1, X0);         // 0
+  a.cbnz(X1, "top");     // 1   backward target 0: unchanged by the delete
+  a.dmb_full();          // 2   <- deleted
+  a.ldr(X2, X0, 8);      // 3
+  a.cbnz(X2, "after");   // 4   forward target 5 -> 4
+  a.label("after");
+  a.halt();              // 5
+  const model::ConcurrentProgram prog = one_thread(a.take("del"));
+
+  model::ConcurrentProgram out;
+  ASSERT_TRUE(apply_rewrite(prog, cand(RewriteKind::kDeleteRedundant, 2),
+                            &out));
+  const sim::Program& t = out.threads[0];
+  ASSERT_EQ(t.code.size(), 5u);
+  EXPECT_EQ(t.code[1].target, 0u);  // backward branch untouched
+  EXPECT_EQ(t.code[3].target, 4u);  // forward branch shifted down
+}
+
+TEST(ApplyRewrite, StaleCandidateIsRejectedAndOutUntouched) {
+  Asm a;
+  a.ldr(X1, X0);   // 0
+  a.dmb_full();    // 1
+  a.halt();        // 2
+  const model::ConcurrentProgram prog = one_thread(a.take("stale"));
+
+  const RewriteCandidate c = cand(RewriteKind::kAcquireConvert, 1, 0);
+  model::ConcurrentProgram once;
+  ASSERT_TRUE(apply_rewrite(prog, c, &once));
+
+  // Replaying the same candidate against the rewritten layout must fail:
+  // pc 1 is now the halt, not a barrier.
+  model::ConcurrentProgram twice = once;
+  EXPECT_FALSE(apply_rewrite(once, c, &twice));
+  EXPECT_EQ(twice.threads[0].code.size(), once.threads[0].code.size());
+
+  // Out-of-range addresses are stale too.
+  model::ConcurrentProgram out;
+  EXPECT_FALSE(apply_rewrite(prog, cand(RewriteKind::kDeleteRedundant, 99),
+                             &out));
+  RewriteCandidate wrong_thread = cand(RewriteKind::kDeleteRedundant, 1);
+  wrong_thread.thread = 7;
+  EXPECT_FALSE(apply_rewrite(prog, wrong_thread, &out));
+}
+
+TEST(ApplyRewrite, ConversionSideConditionsGateTheGap) {
+  // A store between the load and the barrier breaks the acquire pair.
+  Asm a;
+  a.ldr(X1, X0);   // 0
+  a.str(X1, X0, 8);  // 1  non-neutral gap
+  a.dmb_full();    // 2
+  a.halt();        // 3
+  const model::ConcurrentProgram dirty = one_thread(a.take("gap"));
+  model::ConcurrentProgram out;
+  EXPECT_FALSE(
+      apply_rewrite(dirty, cand(RewriteKind::kAcquireConvert, 2, 0), &out));
+
+  // A branch landing between the pair lets a path see one end without the
+  // other — also rejected.
+  Asm b;
+  b.ldr(X1, X0);        // 0
+  b.cbnz(X1, "mid");    // 1
+  b.nop();              // 2
+  b.label("mid");
+  b.dmb_full();         // 3  (branch target == 3, inside (0, 3])
+  b.halt();             // 4
+  const model::ConcurrentProgram branchy = one_thread(b.take("branchy"));
+  EXPECT_FALSE(
+      apply_rewrite(branchy, cand(RewriteKind::kAcquireConvert, 3, 0), &out));
+
+  // The paired access must be a *plain* load: ldar is already converted.
+  Asm c;
+  c.ldar(X1, X0);  // 0
+  c.dmb_full();    // 1
+  c.halt();        // 2
+  const model::ConcurrentProgram acq = one_thread(c.take("already"));
+  EXPECT_FALSE(
+      apply_rewrite(acq, cand(RewriteKind::kAcquireConvert, 1, 0), &out));
+}
+
+TEST(ApplyRewrite, DsbToDmbMapsEachFlavour) {
+  const struct {
+    Op from, to;
+  } cases[] = {{Op::kDsbFull, Op::kDmbFull},
+               {Op::kDsbSt, Op::kDmbSt},
+               {Op::kDsbLd, Op::kDmbLd}};
+  for (const auto& cs : cases) {
+    Asm a;
+    a.emit({cs.from});
+    a.halt();
+    const model::ConcurrentProgram prog = one_thread(a.take("dsb"));
+    model::ConcurrentProgram out;
+    ASSERT_TRUE(apply_rewrite(prog, cand(RewriteKind::kDsbToDmb, 0), &out))
+        << sim::op_token(cs.from);
+    EXPECT_EQ(out.threads[0].code[0].op, cs.to) << sim::op_token(cs.from);
+  }
+
+  // A DMB is not a DSB; the demotion does not apply.
+  Asm a;
+  a.dmb_full();
+  a.halt();
+  model::ConcurrentProgram out;
+  EXPECT_FALSE(apply_rewrite(one_thread(a.take("dmb")),
+                             cand(RewriteKind::kDsbToDmb, 0), &out));
+}
+
+TEST(ApplyRewrite, DowngradesOnlyTargetFullDmb) {
+  Asm a;
+  a.dmb_full();  // 0
+  a.dmb_st();    // 1
+  a.halt();      // 2
+  const model::ConcurrentProgram prog = one_thread(a.take("down"));
+
+  model::ConcurrentProgram out;
+  ASSERT_TRUE(apply_rewrite(prog, cand(RewriteKind::kDowngradeToSt, 0), &out));
+  EXPECT_EQ(out.threads[0].code[0].op, Op::kDmbSt);
+  ASSERT_TRUE(apply_rewrite(prog, cand(RewriteKind::kDowngradeToLd, 0), &out));
+  EXPECT_EQ(out.threads[0].code[0].op, Op::kDmbLd);
+
+  // Already one-way: nothing weaker to downgrade to in the vocabulary.
+  EXPECT_FALSE(apply_rewrite(prog, cand(RewriteKind::kDowngradeToSt, 1), &out));
+  EXPECT_FALSE(apply_rewrite(prog, cand(RewriteKind::kDowngradeToLd, 1), &out));
+}
+
+TEST(Signature, StableAndCarriesThePair) {
+  EXPECT_EQ(cand(RewriteKind::kDeleteRedundant, 3).signature(),
+            "t0:pc3 delete-redundant");
+  EXPECT_EQ(cand(RewriteKind::kAcquireConvert, 3, 1).signature(),
+            "t0:pc3 acquire-convert mem=1");
+  RewriteCandidate c = cand(RewriteKind::kDowngradeToSt, 2);
+  c.thread = 4;
+  EXPECT_EQ(c.signature(), "t4:pc2 downgrade-st");
+}
+
+TEST(PassRegistry, RedundancyBeforeDowngrade) {
+  const auto& passes = PassRegistry::global().passes();
+  ASSERT_EQ(passes.size(), 2u);
+  EXPECT_EQ(passes[0].name, "redundancy");
+  EXPECT_EQ(passes[1].name, "downgrade");
+  EXPECT_NE(PassRegistry::global().find("redundancy"), nullptr);
+  EXPECT_NE(PassRegistry::global().find("downgrade"), nullptr);
+  EXPECT_EQ(PassRegistry::global().find("nonesuch"), nullptr);
+}
+
+TEST(Passes, RedundancyProposesTheDominatedNeighbour) {
+  Asm a;
+  a.str(X1, X0);   // 0
+  a.dmb_full();    // 1  dominates the dmb.st behind it
+  a.dmb_st();      // 2  <- proposed for deletion
+  a.str(X1, X0, 8);  // 3
+  a.halt();
+  const model::ConcurrentProgram prog = one_thread(a.take("red"));
+  const Pass* red = PassRegistry::global().find("redundancy");
+  ASSERT_NE(red, nullptr);
+  const std::vector<RewriteCandidate> cands = red->collect(prog);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands[0].kind, RewriteKind::kDeleteRedundant);
+  EXPECT_EQ(cands[0].pc, 2u);
+}
+
+TEST(Passes, DowngradePrefersEliminationOverWeakening) {
+  // For `ldr ; dmb ish`, the acquire conversion (eliminating the barrier
+  // instruction) must be proposed before any strength downgrade — Table 3
+  // parity depends on this order (the driver picks the first candidate).
+  Asm a;
+  a.ldr(X1, X0);   // 0
+  a.dmb_full();    // 1
+  a.str(X1, X0, 8);  // 2
+  a.halt();
+  const model::ConcurrentProgram prog = one_thread(a.take("prefer"));
+  const Pass* down = PassRegistry::global().find("downgrade");
+  ASSERT_NE(down, nullptr);
+  const std::vector<RewriteCandidate> cands = down->collect(prog);
+  ASSERT_GE(cands.size(), 3u);
+  EXPECT_EQ(cands[0].kind, RewriteKind::kAcquireConvert);
+  EXPECT_EQ(cands[1].kind, RewriteKind::kReleaseConvert);
+  // Downgrades trail the conversions for the same site.
+  bool saw_downgrade = false;
+  for (const RewriteCandidate& c : cands)
+    if (c.kind == RewriteKind::kDowngradeToSt ||
+        c.kind == RewriteKind::kDowngradeToLd)
+      saw_downgrade = true;
+  EXPECT_TRUE(saw_downgrade);
+}
+
+}  // namespace
+}  // namespace armbar::opt

@@ -1,0 +1,31 @@
+// Full optimizer soundness campaign (ISSUE 10 satellite, slow tier): all
+// 200 generator seeds — the same seed range the POR/naive equivalence
+// sweep pins — re-proving every accepted rewrite with fresh POR
+// enumerations, the simulator grid on every fitting platform preset, and
+// the naive exhaustive enumerator on an every-10th-seed subsample (20
+// seeds). Split into four 50-seed shards so `ctest -j` can spread them.
+#include "soundness_util.hpp"
+
+namespace armbar::opt {
+namespace {
+
+class OptSoundnessFull : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptSoundnessFull, FiftySeedShard) {
+  const std::uint64_t lo = 1 + 50 * static_cast<std::uint64_t>(GetParam());
+  SoundnessStats stats;
+  for (std::uint64_t seed = lo; seed < lo + 50; ++seed)
+    check_seed_soundness(seed, /*naive_crosscheck=*/seed % 10 == 0,
+                         /*sim_crosscheck=*/true, &stats);
+  EXPECT_EQ(stats.seeds, 50);
+  // Sanity against a vacuous sweep: most seeds must be optimizable, and
+  // the budget-capped naive subsample must mostly complete.
+  EXPECT_GE(stats.optimizable, 35) << "model budget ate the shard";
+  EXPECT_GE(stats.naive_checked, 2) << "naive budget ate the subsample";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds1To200, OptSoundnessFull,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace armbar::opt

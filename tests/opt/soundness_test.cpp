@@ -1,0 +1,46 @@
+// Tier-1 slice of the optimizer soundness sweep: seeds 4..15 with every
+// check on — the naive cross-check on a quarter of the seeds and the
+// simulator cross-check whenever a rewrite was accepted. Sharded three
+// seeds per test so `ctest -j` spreads the slice. The slice starts at 4
+// because seed 3's program is an enumeration outlier (~17s per oracle
+// call); the full 200-seed campaign in test_opt_soundness_full (slow)
+// covers it.
+//
+// The per-shard floors pin the generator mapping as much as the optimizer:
+// they were measured on the current seed->program mapping and must be
+// re-derived if fuzz::GenOptions defaults ever change (same re-pin rule as
+// every other pinned seed, see gen.hpp).
+#include "soundness_util.hpp"
+
+namespace armbar::opt {
+namespace {
+
+struct Shard {
+  std::uint64_t lo;     ///< seeds lo .. lo+2
+  int min_optimizable;  ///< floor on seeds whose baseline enumerates
+  int min_accepted;     ///< floor on rewrites accepted across the shard
+};
+
+class OptSoundness : public ::testing::TestWithParam<Shard> {};
+
+TEST_P(OptSoundness, ThreeSeedShard) {
+  const Shard s = GetParam();
+  SoundnessStats stats;
+  for (std::uint64_t seed = s.lo; seed < s.lo + 3; ++seed)
+    check_seed_soundness(seed, /*naive_crosscheck=*/seed % 4 == 0,
+                         /*sim_crosscheck=*/true, &stats);
+  EXPECT_GE(stats.optimizable, s.min_optimizable)
+      << "model budget ate the shard";
+  EXPECT_GE(stats.accepted_total, s.min_accepted)
+      << "expected accepted rewrites vanished — generator drift?";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds4To15, OptSoundness,
+                         ::testing::Values(Shard{4, 2, 2}, Shard{7, 2, 1},
+                                           Shard{10, 2, 0}, Shard{13, 2, 2}),
+                         [](const auto& pinfo) {
+                           return "Seed" + std::to_string(pinfo.param.lo);
+                         });
+
+}  // namespace
+}  // namespace armbar::opt

@@ -1,0 +1,98 @@
+// Shared body of the optimizer soundness property test (ISSUE 10
+// satellite), split across two binaries:
+//   test_opt_soundness       (tier1) — a fast seed prefix, every check on
+//   test_opt_soundness_full  (slow)  — all 200 generator seeds, with the
+//                                      naive-enumerator cross-check on an
+//                                      every-10th-seed subsample
+//
+// Per seed, the property is end-to-end: optimize the generated program
+// with the production pipeline, then *independently* re-prove what the
+// driver claims —
+//   * counter arithmetic (attempted == accepted + restored);
+//   * the optimized program's POR allowed-outcome set equals the
+//     original's (fresh enumerations, not the driver's own);
+//   * optionally the naive exhaustive enumerator agrees on both programs
+//     (budget-capped: seeds it cannot finish degrade to a skip, counted);
+//   * the timing simulator, run across every platform preset that fits
+//     the thread count, only ever observes outcomes inside the optimized
+//     program's allowed set (fuzz::run_diff, sim ⊆ model direction).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fuzz/diff.hpp"
+#include "fuzz/gen.hpp"
+#include "model/model.hpp"
+#include "opt/driver.hpp"
+
+namespace armbar::opt {
+
+struct SoundnessStats {
+  int seeds = 0;
+  int optimizable = 0;      ///< baseline enumerated ok and complete
+  int accepted_total = 0;   ///< rewrites accepted across all seeds
+  int naive_checked = 0;    ///< seeds the naive cross-check completed on
+};
+
+inline void check_seed_soundness(std::uint64_t seed, bool naive_crosscheck,
+                                 bool sim_crosscheck, SoundnessStats* stats) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const model::ConcurrentProgram prog = fuzz::generate(seed, {});
+  const OptResult r = optimize(prog);
+  ++stats->seeds;
+
+  EXPECT_EQ(r.attempted, r.accepted + r.restored);
+  EXPECT_EQ(r.rewrites.size(), r.attempted);
+  if (!r.model_valid) {
+    // Not optimizable (budget cap or model error): the contract is that
+    // the program is returned untouched.
+    EXPECT_EQ(r.optimized.threads.size(), r.original.threads.size());
+    EXPECT_EQ(r.barriers_after, r.barriers_before);
+    EXPECT_EQ(r.accepted, 0u);
+    return;
+  }
+  ++stats->optimizable;
+  stats->accepted_total += static_cast<int>(r.accepted);
+  EXPECT_TRUE(r.verified_equal);
+
+  // Independent POR re-proof: fresh enumerations of both programs, not
+  // the driver's own verdict.
+  const model::OutcomeSet orig = model::enumerate_outcomes(r.original);
+  const model::OutcomeSet opt = model::enumerate_outcomes(r.optimized);
+  const model::EquivalenceVerdict v = model::compare_outcome_sets(orig, opt);
+  ASSERT_TRUE(v.comparable) << v.detail;
+  EXPECT_TRUE(v.equal) << v.detail;
+
+  if (naive_crosscheck) {
+    // The exhaustive enumerator as a second, independent oracle. Budget
+    // capped like the POR/naive equivalence sweep: a seed the naive
+    // engine cannot finish degrades to a skip, counted by the caller.
+    model::ModelOptions nopts;
+    nopts.naive = true;
+    nopts.max_candidates = 100'000;
+    const model::OutcomeSet n_orig =
+        model::enumerate_outcomes(r.original, nopts);
+    const model::OutcomeSet n_opt =
+        model::enumerate_outcomes(r.optimized, nopts);
+    if (n_orig.ok() && n_orig.complete && n_opt.ok() && n_opt.complete) {
+      EXPECT_EQ(n_orig.allowed, n_opt.allowed)
+          << "naive enumerator disagrees across the rewrite";
+      EXPECT_EQ(orig.allowed, n_orig.allowed)
+          << "POR and naive disagree on the original";
+      ++stats->naive_checked;
+    }
+  }
+
+  if (sim_crosscheck && r.accepted > 0) {
+    // The optimized program on real (simulated) pipelines: every platform
+    // preset that fits the thread count, clean plans, two start skews.
+    // run_diff flags any outcome outside the model's allowed set.
+    const fuzz::DiffOptions dopts = fuzz::DiffOptions::defaults(0);
+    const fuzz::DiffResult dr = fuzz::run_diff(r.optimized, dopts);
+    EXPECT_TRUE(dr.ok()) << dr.summary();
+  }
+}
+
+}  // namespace armbar::opt

@@ -163,11 +163,12 @@ TEST(Fingerprint, ContextKeyCoversGlobalFaultPlanAndVerifyCadence) {
 }
 
 TEST(Fingerprint, CacheEpochIsCurrent) {
-  // The ISSUE 7 fast-path interpreter bumps to /7: timing is verified
+  // The ISSUE 10 barrier optimizer bumps to /8: timing is verified
   // bit-identical, but the bump retires entries a mid-refactor build could
-  // have written (ISSUE 6 host-profiling killed /5, the ISSUE 5 POR
-  // checker killed /4, the ISSUE 4 key-coverage change killed /2).
-  EXPECT_STREQ(kCacheEpoch, "armbar-sim/7");
+  // have written (ISSUE 7 fast-path interpreter killed /6, ISSUE 6
+  // host-profiling killed /5, the ISSUE 5 POR checker killed /4, the
+  // ISSUE 4 key-coverage change killed /2).
+  EXPECT_STREQ(kCacheEpoch, "armbar-sim/8");
 }
 
 }  // namespace

@@ -55,6 +55,22 @@ bool check_file(const char* path) {
       std::printf("%s:   host_prof: %.2f M sim instr/s\n", path,
                   ips->number() / 1e6);
   }
+  if (const armbar::trace::Json* rep = doc.find("opt_report")) {
+    // Arithmetic consistency (attempted >= accepted + restored, totals ==
+    // per-program sums) already validated; print the human summary.
+    const armbar::trace::Json* t = rep->find("totals");
+    std::printf("%s:   opt_report: %zu programs, %.0f attempted = %.0f "
+                "accepted + %.0f restored (+%.0f undecided), %.0f barriers "
+                "eliminated\n",
+                path, rep->find("programs")->size(),
+                t->find("rewrites_attempted")->number(),
+                t->find("rewrites_accepted")->number(),
+                t->find("rewrites_restored")->number(),
+                t->find("rewrites_attempted")->number() -
+                    t->find("rewrites_accepted")->number() -
+                    t->find("rewrites_restored")->number(),
+                t->find("barriers_eliminated")->number());
+  }
   for (const armbar::trace::Json& q : doc.find("quarantine")->items()) {
     std::fprintf(stderr, "%s: quarantined '%s': %s (%s)\n", path,
                  q.find("name")->str().c_str(),
